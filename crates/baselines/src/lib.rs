@@ -1,0 +1,34 @@
+//! Baseline Ω implementations the paper compares against.
+//!
+//! The paper's contribution is an assumption — the intermittent rotating
+//! t-star — that strictly generalises the assumptions required by earlier Ω
+//! algorithms. To make that comparison executable, this crate provides one
+//! representative implementation per earlier assumption family:
+//!
+//! | baseline | assumption it needs | module |
+//! |---|---|---|
+//! | [`OmegaTimeoutAll`] | all output links of some correct process eventually timely | [`timeout_all`] |
+//! | [`OmegaTSource`] | eventual t-source (fixed set of `t` eventually timely output links) | [`tsource`] |
+//! | [`OmegaMessagePattern`] | message pattern (fixed set of `t` processes for which the source's responses are always winning) | [`query_response`] |
+//!
+//! All three are sans-IO [`irs_types::Protocol`] state machines, so they run
+//! under the same simulator and the same adversary schedules as the paper's
+//! algorithm; experiment E6 ("assumption matrix") runs every algorithm under
+//! every assumption and reports which combinations stabilise.
+//!
+//! The implementations follow the published algorithms in structure but keep
+//! the simplest adaptive rules; the simplifications are listed in each
+//! module's documentation and in DESIGN.md. They are baselines, not
+//! re-publications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod query_response;
+pub mod timeout_all;
+pub mod tsource;
+
+pub use query_response::{MessagePatternConfig, OmegaMessagePattern, QueryMsg};
+pub use timeout_all::{Heartbeat, OmegaTimeoutAll, TimeoutAllConfig};
+pub use tsource::{OmegaTSource, TSourceConfig, TSourceMsg};

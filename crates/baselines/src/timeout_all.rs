@@ -1,0 +1,283 @@
+//! Baseline 1: timeout-based Ω requiring *all* links of the leader to be
+//! eventually timely.
+//!
+//! This is the oldest style of Ω implementation (Larrea–Fernández–Arévalo
+//! SRDS 2000, and the Ω extracted from Chandra–Toueg's `◊S` constructions):
+//! every process periodically broadcasts a heartbeat; every process monitors
+//! every other process with an adaptive per-sender timeout and counts how
+//! often each process was suspected; counters are gossiped with an
+//! entry-wise max and the leader is the process with the lexicographically
+//! smallest `(counter, id)` pair.
+//!
+//! Its correctness needs a much stronger assumption than the paper's: there
+//! must be a correct process whose output links to *all* processes are
+//! eventually timely (in fact the classical proofs assume all links of the
+//! system are eventually timely). Under a message-pattern-only or
+//! intermittent-star schedule with unboundedly growing delays it keeps
+//! suspecting everybody and never stabilises — which is exactly what
+//! experiment E6 demonstrates.
+
+use irs_types::{
+    Actions, Duration, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, RoundTagged,
+    Snapshot, SystemConfig, TimerId,
+};
+
+/// Timer used for the periodic heartbeat broadcast.
+const TIMER_HEARTBEAT: TimerId = TimerId::new(0);
+/// Per-sender suspicion timers start at this id (timer for sender `j` is
+/// `TIMER_WATCH_BASE + j`).
+const TIMER_WATCH_BASE: u16 = 8;
+
+/// Message of the timeout-all baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Heartbeat sequence number of the sender.
+    pub seq: u64,
+    /// The sender's view of every process's suspicion counter (max-merged by
+    /// receivers).
+    pub counters: Vec<u64>,
+}
+
+impl RoundTagged for Heartbeat {
+    fn constrained_round(&self) -> Option<RoundNum> {
+        // Heartbeats play the role of the ALIVE messages, so assumption
+        // schedules constrain them the same way — the comparison of E6 is
+        // fair: every algorithm's periodic messages get whatever guarantee
+        // the assumption offers.
+        Some(RoundNum::new(self.seq))
+    }
+
+    fn estimated_size(&self) -> usize {
+        1 + 8 + 8 * self.counters.len()
+    }
+}
+
+/// Configuration of [`OmegaTimeoutAll`].
+#[derive(Clone, Copy, Debug)]
+pub struct TimeoutAllConfig {
+    /// The system `(n, t)` (only `n` is used; the algorithm is not
+    /// quorum-based).
+    pub system: SystemConfig,
+    /// Heartbeat period.
+    pub period: Duration,
+    /// Initial per-sender timeout.
+    pub initial_timeout: Duration,
+    /// Additive timeout increase applied after each false suspicion.
+    pub timeout_step: Duration,
+}
+
+impl TimeoutAllConfig {
+    /// Default tuning: period 10, initial timeout 30, step 10.
+    pub fn new(system: SystemConfig) -> Self {
+        TimeoutAllConfig {
+            system,
+            period: Duration::from_ticks(10),
+            initial_timeout: Duration::from_ticks(30),
+            timeout_step: Duration::from_ticks(10),
+        }
+    }
+}
+
+/// See the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct OmegaTimeoutAll {
+    id: ProcessId,
+    cfg: TimeoutAllConfig,
+    seq: u64,
+    /// Gossiped suspicion counters (monotone, max-merged).
+    counters: Vec<u64>,
+    /// Current per-sender timeout.
+    timeouts: Vec<Duration>,
+    /// Whether the sender is currently suspected.
+    suspected: Vec<bool>,
+    false_suspicions: u64,
+}
+
+impl OmegaTimeoutAll {
+    /// Creates the process with default tuning.
+    pub fn new(id: ProcessId, system: SystemConfig) -> Self {
+        Self::with_config(id, TimeoutAllConfig::new(system))
+    }
+
+    /// Creates the process with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a process of the system.
+    pub fn with_config(id: ProcessId, cfg: TimeoutAllConfig) -> Self {
+        assert!(cfg.system.contains(id), "process id {id} out of range");
+        let n = cfg.system.n();
+        OmegaTimeoutAll {
+            id,
+            cfg,
+            seq: 0,
+            counters: vec![0; n],
+            timeouts: vec![cfg.initial_timeout; n],
+            suspected: vec![false; n],
+            false_suspicions: 0,
+        }
+    }
+
+    /// The gossiped suspicion counters.
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    fn watch_timer(&self, sender: ProcessId) -> TimerId {
+        TimerId::new(TIMER_WATCH_BASE + sender.as_u32() as u16)
+    }
+
+    fn sender_of_timer(&self, timer: TimerId) -> Option<ProcessId> {
+        let raw = timer.raw();
+        if raw >= TIMER_WATCH_BASE && ((raw - TIMER_WATCH_BASE) as usize) < self.cfg.system.n() {
+            Some(ProcessId::new((raw - TIMER_WATCH_BASE) as u32))
+        } else {
+            None
+        }
+    }
+
+    fn broadcast(&mut self, out: &mut Actions<Heartbeat>) {
+        self.seq += 1;
+        out.broadcast_others(Heartbeat { seq: self.seq, counters: self.counters.clone() });
+        out.set_timer(TIMER_HEARTBEAT, self.cfg.period);
+    }
+}
+
+impl Protocol for OmegaTimeoutAll {
+    type Msg = Heartbeat;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Actions<Heartbeat>) {
+        self.broadcast(out);
+        for sender in self.cfg.system.processes().filter(|s| *s != self.id) {
+            out.set_timer(self.watch_timer(sender), self.timeouts[sender.index()]);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Heartbeat, out: &mut Actions<Heartbeat>) {
+        for (mine, theirs) in self.counters.iter_mut().zip(&msg.counters) {
+            *mine = (*mine).max(*theirs);
+        }
+        if self.suspected[from.index()] {
+            // Premature suspicion: be more patient with this sender.
+            self.suspected[from.index()] = false;
+            self.false_suspicions += 1;
+            self.timeouts[from.index()] = self.timeouts[from.index()] + self.cfg.timeout_step;
+        }
+        out.set_timer(self.watch_timer(from), self.timeouts[from.index()]);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Heartbeat>) {
+        if timer == TIMER_HEARTBEAT {
+            self.broadcast(out);
+            return;
+        }
+        if let Some(sender) = self.sender_of_timer(timer) {
+            // No heartbeat from `sender` within its timeout: suspect it and
+            // charge it one suspicion.
+            self.suspected[sender.index()] = true;
+            self.counters[sender.index()] += 1;
+            out.set_timer(self.watch_timer(sender), self.timeouts[sender.index()]);
+        }
+    }
+}
+
+impl LeaderOracle for OmegaTimeoutAll {
+    fn leader(&self) -> ProcessId {
+        let mut best = ProcessId::new(0);
+        let mut best_key = (u64::MAX, u32::MAX);
+        for p in self.cfg.system.processes() {
+            let key = (self.counters[p.index()], p.as_u32());
+            if key < best_key {
+                best_key = key;
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+impl Introspect for OmegaTimeoutAll {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            leader: self.leader(),
+            sending_round: self.seq,
+            receiving_round: self.seq,
+            timer_value: self.timeouts.iter().map(|d| d.ticks()).max().unwrap_or(0),
+            susp_levels: self.counters.clone(),
+            extra: vec![
+                ("false_suspicions", self.false_suspicions),
+                ("suspected_now", self.suspected.iter().filter(|s| **s).count() as u64),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(4, 1).unwrap()
+    }
+
+    #[test]
+    fn start_broadcasts_and_watches_everyone() {
+        let mut p = OmegaTimeoutAll::new(ProcessId::new(1), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        assert_eq!(out.sends().len(), 1);
+        // One heartbeat timer + three watch timers.
+        assert_eq!(out.timers().len(), 4);
+    }
+
+    #[test]
+    fn timeout_without_heartbeat_increments_counter() {
+        let mut p = OmegaTimeoutAll::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let watch_p2 = TimerId::new(TIMER_WATCH_BASE + 1);
+        let mut out = Actions::new();
+        p.on_timer(watch_p2, &mut out);
+        assert_eq!(p.counters()[1], 1);
+        assert_eq!(p.leader(), ProcessId::new(0));
+    }
+
+    #[test]
+    fn heartbeat_after_suspicion_raises_timeout() {
+        let mut p = OmegaTimeoutAll::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let before = p.timeouts[1];
+        let mut out = Actions::new();
+        p.on_timer(TimerId::new(TIMER_WATCH_BASE + 1), &mut out);
+        let mut out = Actions::new();
+        p.on_message(ProcessId::new(1), Heartbeat { seq: 1, counters: vec![0; 4] }, &mut out);
+        assert!(p.timeouts[1] > before);
+        assert_eq!(p.snapshot().gauge("false_suspicions"), Some(1));
+    }
+
+    #[test]
+    fn counters_are_max_merged_and_drive_leader() {
+        let mut p = OmegaTimeoutAll::new(ProcessId::new(2), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        p.on_message(
+            ProcessId::new(1),
+            Heartbeat { seq: 1, counters: vec![7, 0, 3, 2] },
+            &mut Actions::new(),
+        );
+        assert_eq!(p.counters(), &[7, 0, 3, 2]);
+        assert_eq!(p.leader(), ProcessId::new(1));
+    }
+
+    #[test]
+    fn heartbeats_are_round_tagged_by_sequence() {
+        let hb = Heartbeat { seq: 9, counters: vec![0; 4] };
+        assert_eq!(hb.constrained_round(), Some(RoundNum::new(9)));
+        assert!(hb.estimated_size() > 32);
+    }
+}

@@ -1,0 +1,391 @@
+//! Baseline 3: accusation-counter Ω for the *eventual t-source* assumption,
+//! inspired by Aguilera, Delporte-Gallet, Fauconnier and Toueg (PODC 2004).
+//!
+//! Every process periodically broadcasts `ALIVE(seq, counter)` where
+//! `counter` is its own accusation counter. Receivers monitor each sender
+//! with an adaptive timeout; when the timeout for a sender expires they send
+//! an `ACCUSE(seq)` back to that sender (and only to it). A process
+//! increments its own counter when it has been accused by at least `n − t`
+//! distinct processes for the same sequence number — which can never keep
+//! happening to an eventual t-source, because at least `t` of its output
+//! links are eventually timely and hence at most `n − t − 1` processes can
+//! legitimately accuse it.
+//!
+//! The leader is the process with the smallest `(counter, id)` pair among the
+//! processes that are not *long-silent* (no `ALIVE` received for an
+//! adaptively growing silence limit); long-silence is how crashed processes —
+//! whose counters freeze because they can no longer accuse themselves — get
+//! excluded.
+//!
+//! Compared to the published algorithm this implementation keeps the
+//! simplest adaptive rules (additive timeout increase, doubling silence
+//! limit) and does not implement the communication-efficiency optimisation;
+//! DESIGN.md lists the simplifications. Its assumption is the eventual
+//! t-source with a *fixed* point set — strictly stronger than the paper's
+//! rotating/intermittent star, which experiment E6 exploits.
+
+use irs_types::{
+    Actions, Duration, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, RoundTagged,
+    Snapshot, SystemConfig, TimerId,
+};
+use std::collections::BTreeSet;
+
+/// Timer used for the periodic `ALIVE` broadcast.
+const TIMER_ALIVE: TimerId = TimerId::new(0);
+/// Per-sender accusation timers start at this id.
+const TIMER_WATCH_BASE: u16 = 8;
+
+/// Message of the t-source baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TSourceMsg {
+    /// Periodic liveness announcement carrying the sender's own accusation
+    /// counter (receivers keep the maximum they have seen per sender).
+    Alive {
+        /// Sequence number of the announcement.
+        seq: u64,
+        /// The sender's own accusation counter.
+        counter: u64,
+    },
+    /// Accusation sent to a process whose `ALIVE` did not arrive in time.
+    Accuse {
+        /// The accuser's estimate of the sequence number it missed.
+        seq: u64,
+    },
+}
+
+impl RoundTagged for TSourceMsg {
+    fn constrained_round(&self) -> Option<RoundNum> {
+        match self {
+            TSourceMsg::Alive { seq, .. } => Some(RoundNum::new(*seq)),
+            TSourceMsg::Accuse { .. } => None,
+        }
+    }
+
+    fn estimated_size(&self) -> usize {
+        match self {
+            TSourceMsg::Alive { .. } => 1 + 8 + 8,
+            TSourceMsg::Accuse { .. } => 1 + 8,
+        }
+    }
+}
+
+/// Configuration of [`OmegaTSource`].
+#[derive(Clone, Copy, Debug)]
+pub struct TSourceConfig {
+    /// The system `(n, t)`.
+    pub system: SystemConfig,
+    /// `ALIVE` period.
+    pub period: Duration,
+    /// Initial per-sender accusation timeout.
+    pub initial_timeout: Duration,
+    /// Additive timeout increase applied when an accusation proves premature.
+    pub timeout_step: Duration,
+    /// Initial long-silence limit, expressed in own `ALIVE` periods.
+    pub initial_silence_periods: u64,
+}
+
+impl TSourceConfig {
+    /// Default tuning: period 10, timeout 30, step 10, silence 20 periods.
+    pub fn new(system: SystemConfig) -> Self {
+        TSourceConfig {
+            system,
+            period: Duration::from_ticks(10),
+            initial_timeout: Duration::from_ticks(30),
+            timeout_step: Duration::from_ticks(10),
+            initial_silence_periods: 20,
+        }
+    }
+}
+
+/// See the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct OmegaTSource {
+    id: ProcessId,
+    cfg: TSourceConfig,
+    seq: u64,
+    /// My own accusation counter (incremented on a quorum of accusations for
+    /// the same sequence number).
+    my_counter: u64,
+    /// Distinct accusers per recent sequence number.
+    accusers: Vec<(u64, BTreeSet<ProcessId>)>,
+    /// Highest counter received from each process.
+    counters: Vec<u64>,
+    /// Adaptive accusation timeout per sender.
+    timeouts: Vec<Duration>,
+    /// Whether an accusation for the sender is outstanding (no ALIVE since).
+    accused: Vec<bool>,
+    /// Own-period tick at which the last ALIVE from each sender arrived.
+    last_heard_tick: Vec<u64>,
+    /// Long-silence limit (in own periods) per sender.
+    silence_limit: Vec<u64>,
+    accusations_sent: u64,
+    quorum_accusations: u64,
+}
+
+impl OmegaTSource {
+    /// Creates the process with default tuning.
+    pub fn new(id: ProcessId, system: SystemConfig) -> Self {
+        Self::with_config(id, TSourceConfig::new(system))
+    }
+
+    /// Creates the process with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a process of the system.
+    pub fn with_config(id: ProcessId, cfg: TSourceConfig) -> Self {
+        assert!(cfg.system.contains(id), "process id {id} out of range");
+        let n = cfg.system.n();
+        OmegaTSource {
+            id,
+            cfg,
+            seq: 0,
+            my_counter: 0,
+            accusers: Vec::new(),
+            counters: vec![0; n],
+            timeouts: vec![cfg.initial_timeout; n],
+            accused: vec![false; n],
+            last_heard_tick: vec![0; n],
+            silence_limit: vec![cfg.initial_silence_periods; n],
+            accusations_sent: 0,
+            quorum_accusations: 0,
+        }
+    }
+
+    /// The accusation counters as currently known (own entry included).
+    pub fn counters(&self) -> &[u64] {
+        &self.counters
+    }
+
+    fn watch_timer(&self, sender: ProcessId) -> TimerId {
+        TimerId::new(TIMER_WATCH_BASE + sender.as_u32() as u16)
+    }
+
+    fn sender_of_timer(&self, timer: TimerId) -> Option<ProcessId> {
+        let raw = timer.raw();
+        if raw >= TIMER_WATCH_BASE && ((raw - TIMER_WATCH_BASE) as usize) < self.cfg.system.n() {
+            Some(ProcessId::new((raw - TIMER_WATCH_BASE) as u32))
+        } else {
+            None
+        }
+    }
+
+    fn broadcast_alive(&mut self, out: &mut Actions<TSourceMsg>) {
+        self.seq += 1;
+        self.counters[self.id.index()] = self.my_counter;
+        out.broadcast_others(TSourceMsg::Alive { seq: self.seq, counter: self.my_counter });
+        out.set_timer(TIMER_ALIVE, self.cfg.period);
+    }
+
+    fn record_accusation(&mut self, from: ProcessId, seq: u64) {
+        let quorum = self.cfg.system.quorum();
+        let entry = match self.accusers.iter_mut().find(|(s, _)| *s == seq) {
+            Some(entry) => entry,
+            None => {
+                self.accusers.push((seq, BTreeSet::new()));
+                if self.accusers.len() > 64 {
+                    self.accusers.remove(0);
+                }
+                self.accusers.last_mut().expect("just pushed")
+            }
+        };
+        let newly_added = entry.1.insert(from);
+        if newly_added && entry.1.len() == quorum {
+            self.my_counter += 1;
+            self.quorum_accusations += 1;
+            self.counters[self.id.index()] = self.my_counter;
+        }
+    }
+
+    fn is_long_silent(&self, p: ProcessId) -> bool {
+        if p == self.id {
+            return false;
+        }
+        self.seq.saturating_sub(self.last_heard_tick[p.index()]) > self.silence_limit[p.index()]
+    }
+}
+
+impl Protocol for OmegaTSource {
+    type Msg = TSourceMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Actions<TSourceMsg>) {
+        self.broadcast_alive(out);
+        for sender in self.cfg.system.processes().filter(|s| *s != self.id) {
+            out.set_timer(self.watch_timer(sender), self.timeouts[sender.index()]);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: TSourceMsg, out: &mut Actions<TSourceMsg>) {
+        match msg {
+            TSourceMsg::Alive { counter, .. } => {
+                self.counters[from.index()] = self.counters[from.index()].max(counter);
+                if self.is_long_silent(from) {
+                    // We wrongly considered this process dead: be more patient.
+                    self.silence_limit[from.index()] = self.silence_limit[from.index()].saturating_mul(2);
+                }
+                self.last_heard_tick[from.index()] = self.seq;
+                if self.accused[from.index()] {
+                    // The accusation was premature: enlarge the timeout.
+                    self.accused[from.index()] = false;
+                    self.timeouts[from.index()] = self.timeouts[from.index()] + self.cfg.timeout_step;
+                }
+                out.set_timer(self.watch_timer(from), self.timeouts[from.index()]);
+            }
+            TSourceMsg::Accuse { seq } => {
+                self.record_accusation(from, seq);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<TSourceMsg>) {
+        if timer == TIMER_ALIVE {
+            self.broadcast_alive(out);
+            return;
+        }
+        if let Some(sender) = self.sender_of_timer(timer) {
+            // The sender's ALIVE did not arrive within the timeout: accuse it
+            // (the accusation goes to the accused only, as in the original
+            // algorithm) and keep watching.
+            self.accused[sender.index()] = true;
+            self.accusations_sent += 1;
+            out.send(sender, TSourceMsg::Accuse { seq: self.seq });
+            out.set_timer(self.watch_timer(sender), self.timeouts[sender.index()]);
+        }
+    }
+}
+
+impl LeaderOracle for OmegaTSource {
+    fn leader(&self) -> ProcessId {
+        let mut best: Option<(u64, u32)> = None;
+        let mut best_id = ProcessId::new(0);
+        for p in self.cfg.system.processes() {
+            if self.is_long_silent(p) {
+                continue;
+            }
+            let key = (self.counters[p.index()], p.as_u32());
+            if best.is_none() || key < best.expect("checked") {
+                best = Some(key);
+                best_id = p;
+            }
+        }
+        best_id
+    }
+}
+
+impl Introspect for OmegaTSource {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            leader: self.leader(),
+            sending_round: self.seq,
+            receiving_round: self.seq,
+            timer_value: self.timeouts.iter().map(|d| d.ticks()).max().unwrap_or(0),
+            susp_levels: self.counters.clone(),
+            extra: vec![
+                ("accusations_sent", self.accusations_sent),
+                ("quorum_accusations", self.quorum_accusations),
+                ("my_counter", self.my_counter),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(4, 1).unwrap() // quorum 3
+    }
+
+    #[test]
+    fn start_broadcasts_alive_and_watches() {
+        let mut p = OmegaTSource::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(out.sends()[0].msg, TSourceMsg::Alive { seq: 1, .. }));
+        assert_eq!(out.timers().len(), 4);
+    }
+
+    #[test]
+    fn timeout_sends_accusation_to_the_accused_only() {
+        let mut p = OmegaTSource::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let mut out = Actions::new();
+        p.on_timer(TimerId::new(TIMER_WATCH_BASE + 2), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(out.sends()[0].dest, irs_types::Destination::To(q) if q == ProcessId::new(2)));
+        assert!(matches!(out.sends()[0].msg, TSourceMsg::Accuse { .. }));
+    }
+
+    #[test]
+    fn quorum_of_accusations_raises_own_counter_once_per_seq() {
+        let mut p = OmegaTSource::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        for accuser in [1u32, 2, 3] {
+            p.on_message(ProcessId::new(accuser), TSourceMsg::Accuse { seq: 5 }, &mut Actions::new());
+        }
+        assert_eq!(p.counters()[0], 1);
+        // Duplicate accusations for the same seq do not double-charge.
+        p.on_message(ProcessId::new(1), TSourceMsg::Accuse { seq: 5 }, &mut Actions::new());
+        assert_eq!(p.counters()[0], 1);
+        // Fewer than a quorum for another seq does not charge.
+        for accuser in [1u32, 2] {
+            p.on_message(ProcessId::new(accuser), TSourceMsg::Accuse { seq: 6 }, &mut Actions::new());
+        }
+        assert_eq!(p.counters()[0], 1);
+    }
+
+    #[test]
+    fn premature_accusation_raises_timeout() {
+        let mut p = OmegaTSource::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let before = p.timeouts[1];
+        p.on_timer(TimerId::new(TIMER_WATCH_BASE + 1), &mut Actions::new());
+        p.on_message(ProcessId::new(1), TSourceMsg::Alive { seq: 1, counter: 0 }, &mut Actions::new());
+        assert!(p.timeouts[1] > before);
+    }
+
+    #[test]
+    fn long_silent_processes_are_not_elected() {
+        let mut p = OmegaTSource::new(ProcessId::new(2), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // Everyone has counter 0, so the leader would be p1 — but after many
+        // of our own periods without hearing from p1 or p2 they are long
+        // silent, leaving p3 (ourselves) as leader.
+        for _ in 0..40 {
+            p.on_timer(TIMER_ALIVE, &mut Actions::new());
+            p.on_message(ProcessId::new(3), TSourceMsg::Alive { seq: p.seq, counter: 0 }, &mut Actions::new());
+        }
+        assert!(p.is_long_silent(ProcessId::new(0)));
+        assert!(p.is_long_silent(ProcessId::new(1)));
+        assert!(!p.is_long_silent(ProcessId::new(3)));
+        assert_eq!(p.leader(), ProcessId::new(2));
+    }
+
+    #[test]
+    fn counters_gossip_via_alive() {
+        let mut p = OmegaTSource::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        p.on_message(ProcessId::new(2), TSourceMsg::Alive { seq: 1, counter: 7 }, &mut Actions::new());
+        assert_eq!(p.counters()[2], 7);
+    }
+
+    #[test]
+    fn alive_is_constrained_accuse_is_not() {
+        assert_eq!(
+            TSourceMsg::Alive { seq: 4, counter: 0 }.constrained_round(),
+            Some(RoundNum::new(4))
+        );
+        assert_eq!(TSourceMsg::Accuse { seq: 4 }.constrained_round(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! E6 — the assumption matrix (which algorithm stabilises under which
+//! assumption).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irs_bench::experiments::{suite, Algorithm, Assumption, Background, Scenario};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", suite::e6_assumption_matrix(true));
+    let mut group = c.benchmark_group("e6_assumption_matrix");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    // One representative positive cell and one representative negative cell.
+    let cells = [
+        ("fig3_under_message_pattern", Algorithm::Fig3, Assumption::MessagePattern),
+        ("timeout_all_under_message_pattern", Algorithm::TimeoutAll, Assumption::MessagePattern),
+    ];
+    for (label, algorithm, assumption) in cells {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let scenario = Scenario::new("bench-e6", 4, 1, algorithm, assumption)
+                    .with_background(Background::Growing)
+                    .with_horizon(100_000, 15_000)
+                    .with_seeds(&[1]);
+                scenario.run()[0].stabilized
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

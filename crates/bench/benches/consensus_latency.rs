@@ -1,0 +1,24 @@
+//! E8 — Ω-based consensus (Theorem 5): decision latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irs_bench::experiments::suite;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", suite::e8_consensus(true));
+    let mut group = c.benchmark_group("e8_consensus_latency");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    for (label, crash) in [("no_crash", false), ("leader_crash", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &crash, |b, &crash| {
+            b.iter(|| {
+                let outcome = suite::run_consensus_once(5, 2, None, crash, 300_000, 1);
+                assert!(outcome.all_decided);
+                outcome.decision_ticks
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

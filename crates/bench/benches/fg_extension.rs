@@ -1,0 +1,32 @@
+//! E7 — the `A_{f,g}` extension of Section 7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::experiments::{suite, Algorithm, Assumption, Scenario};
+use irs_bench::types::GrowthFn;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", suite::e7_fg_extension(true));
+    let mut group = c.benchmark_group("e7_fg_extension");
+    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    let f = GrowthFn::Log2;
+    let g = GrowthFn::Log2;
+    group.bench_function("fg_variant_until_stable", |b| {
+        b.iter(|| {
+            let scenario = Scenario::new(
+                "bench-e7",
+                5,
+                2,
+                Algorithm::Fg { f, g },
+                Assumption::FgStar { d: 3, f, g },
+            )
+            .with_horizon(180_000, 20_000)
+            .with_seeds(&[1]);
+            scenario.run()[0].stabilization_ticks
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benchmark harness.
+//!
+//! This crate has no library code of its own; every benchmark target under
+//! `benches/` corresponds to one experiment family of `EXPERIMENTS.md` and
+//! drives the same [`irs_experiments`] scenarios in `quick` mode, so that
+//! `cargo bench --workspace` regenerates a (reduced) version of every table
+//! while also measuring how long each scenario takes to simulate.
+
+#![forbid(unsafe_code)]
+
+// Re-export the crates the bench targets use so that a single dependency
+// suffices inside `benches/*.rs`.
+pub use irs_baselines as baselines;
+pub use irs_consensus as consensus;
+pub use irs_experiments as experiments;
+pub use irs_omega as omega;
+pub use irs_sim as sim;
+pub use irs_types as types;

@@ -1,0 +1,100 @@
+//! Ballots and proposal values.
+
+use core::fmt;
+use irs_types::ProcessId;
+
+/// A totally ordered ballot (round) identifier for the consensus protocol.
+///
+/// Ballots are ordered first by attempt number, then by proposer id, so two
+/// distinct processes can never issue the same ballot — the standard
+/// Paxos-style construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Ballot {
+    /// Attempt number (starts at 1; 0 is the "no ballot yet" sentinel).
+    pub attempt: u64,
+    /// The proposer that owns the ballot.
+    pub proposer: ProcessId,
+}
+
+impl Ballot {
+    /// The "no ballot seen yet" sentinel, smaller than every real ballot.
+    pub const ZERO: Ballot = Ballot { attempt: 0, proposer: ProcessId::new(0) };
+
+    /// Creates a ballot.
+    pub fn new(attempt: u64, proposer: ProcessId) -> Self {
+        Ballot { attempt, proposer }
+    }
+
+    /// The next ballot owned by `proposer` that is strictly greater than
+    /// `self` (regardless of who owns `self`).
+    pub fn next_for(self, proposer: ProcessId) -> Ballot {
+        Ballot { attempt: self.attempt + 1, proposer }
+    }
+
+    /// Returns `true` for real ballots (attempt ≥ 1).
+    pub fn is_real(self) -> bool {
+        self.attempt > 0
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.attempt, self.proposer)
+    }
+}
+
+/// A proposal value.
+///
+/// Consensus is value-agnostic; the library fixes the value domain to a
+/// 64-bit identifier that callers map to application data (a command id, a
+/// log-entry hash, …). This keeps every message field of the protocol in a
+/// finite, fixed-size domain, in the spirit of the paper's bounded-variable
+/// design.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Value(pub u64);
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_attempt_then_proposer() {
+        let a = Ballot::new(1, ProcessId::new(2));
+        let b = Ballot::new(2, ProcessId::new(0));
+        let c = Ballot::new(2, ProcessId::new(1));
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Ballot::ZERO < a);
+        assert!(!Ballot::ZERO.is_real());
+        assert!(a.is_real());
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_and_owned() {
+        let b = Ballot::new(3, ProcessId::new(1));
+        let n = b.next_for(ProcessId::new(0));
+        assert!(n > b);
+        assert_eq!(n.proposer, ProcessId::new(0));
+        assert_eq!(n.attempt, 4);
+    }
+
+    #[test]
+    fn distinct_proposers_never_collide() {
+        let x = Ballot::new(5, ProcessId::new(1));
+        let y = Ballot::new(5, ProcessId::new(2));
+        assert_ne!(x, y);
+        assert!(x < y);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ballot::new(2, ProcessId::new(0)).to_string(), "b2.p1");
+        assert_eq!(Value(9).to_string(), "v9");
+    }
+}

@@ -1,0 +1,392 @@
+//! A single-decree, ballot-based consensus instance (Paxos-style), written
+//! independently of any I/O or timing machinery.
+//!
+//! The instance is *indulgent* in the sense of Guerraoui: its safety
+//! (agreement, validity) never depends on the leader oracle behaving well —
+//! quorum intersection alone protects it — while its liveness needs the
+//! eventual leader that `irs-omega` provides (Theorem 5 of the paper:
+//! Ω + a majority of correct processes ⇒ consensus).
+//!
+//! Quorums have size `n − t`; with `t < n/2` any two quorums intersect, which
+//! is exactly the premise of Theorem 5.
+
+use crate::{Ballot, Value};
+use irs_types::{Destination, ProcessId, SystemConfig};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Messages exchanged by a consensus instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PaxosMsg {
+    /// Phase-1a: the ballot owner asks acceptors to promise.
+    Prepare {
+        /// The ballot being prepared.
+        b: Ballot,
+    },
+    /// Phase-1b: an acceptor promises not to accept lower ballots and
+    /// reports the highest value it has accepted so far.
+    Promise {
+        /// The ballot being promised.
+        b: Ballot,
+        /// The acceptor's highest accepted (ballot, value), if any.
+        accepted: Option<(Ballot, Value)>,
+    },
+    /// Phase-2a: the ballot owner asks acceptors to accept a value.
+    Accept {
+        /// The ballot.
+        b: Ballot,
+        /// The value, chosen according to the phase-1 rule.
+        v: Value,
+    },
+    /// Phase-2b: an acceptor announces it accepted `(b, v)`.
+    Accepted {
+        /// The ballot.
+        b: Ballot,
+        /// The accepted value.
+        v: Value,
+    },
+    /// A decided value, re-broadcast once by each decider as a catch-up aid.
+    Decide {
+        /// The decided value.
+        v: Value,
+    },
+}
+
+/// An outbound consensus message together with its destination.
+pub type PaxosSend = (Destination, PaxosMsg);
+
+/// The state of one consensus instance at one process (every process plays
+/// proposer, acceptor and learner).
+#[derive(Clone, Debug)]
+pub struct PaxosInstance {
+    id: ProcessId,
+    system: SystemConfig,
+    /// My input value, if any.
+    proposal: Option<Value>,
+    // --- acceptor state ---
+    promised: Ballot,
+    accepted: Option<(Ballot, Value)>,
+    // --- proposer state (only meaningful while I lead a ballot) ---
+    current: Ballot,
+    promises: BTreeMap<ProcessId, Option<(Ballot, Value)>>,
+    phase2_started: bool,
+    // --- learner state ---
+    accepted_votes: BTreeMap<Ballot, (Value, BTreeSet<ProcessId>)>,
+    decided: Option<Value>,
+    decide_rebroadcast: bool,
+    // --- statistics ---
+    ballots_started: u64,
+    progress: u64,
+}
+
+impl PaxosInstance {
+    /// Creates an instance for process `id` in the given system.
+    pub fn new(id: ProcessId, system: SystemConfig) -> Self {
+        PaxosInstance {
+            id,
+            system,
+            proposal: None,
+            promised: Ballot::ZERO,
+            accepted: None,
+            current: Ballot::ZERO,
+            promises: BTreeMap::new(),
+            phase2_started: false,
+            accepted_votes: BTreeMap::new(),
+            decided: None,
+            decide_rebroadcast: false,
+            ballots_started: 0,
+            progress: 0,
+        }
+    }
+
+    /// Sets this process's input value (first call wins).
+    pub fn set_proposal(&mut self, v: Value) {
+        if self.proposal.is_none() {
+            self.proposal = Some(v);
+        }
+    }
+
+    /// This process's input value, if any.
+    pub fn proposal(&self) -> Option<Value> {
+        self.proposal
+    }
+
+    /// The decided value, once known.
+    pub fn decided(&self) -> Option<Value> {
+        self.decided
+    }
+
+    /// Number of ballots this process has started as a proposer.
+    pub fn ballots_started(&self) -> u64 {
+        self.ballots_started
+    }
+
+    /// A counter that increases whenever the instance makes observable
+    /// progress (a promise or an acceptance arrives, a decision is reached).
+    /// The driving protocol uses it to avoid restarting ballots that are
+    /// still advancing.
+    pub fn progress_counter(&self) -> u64 {
+        self.progress
+    }
+
+    fn quorum(&self) -> usize {
+        self.system.quorum()
+    }
+
+    /// Starts a fresh ballot strictly greater than anything seen, as the
+    /// proposer. Call only when the leader oracle points at this process;
+    /// calling it without being the leader is safe (indulgence) but wasteful.
+    ///
+    /// No-op once a value has been decided or if this process has no
+    /// proposal yet.
+    pub fn start_ballot(&mut self, out: &mut Vec<PaxosSend>) {
+        if self.decided.is_some() || self.proposal.is_none() {
+            return;
+        }
+        let base = self.promised.max(self.current);
+        self.current = base.next_for(self.id);
+        self.promises.clear();
+        self.phase2_started = false;
+        self.ballots_started += 1;
+        out.push((Destination::All, PaxosMsg::Prepare { b: self.current }));
+    }
+
+    /// Handles one incoming consensus message.
+    pub fn handle(&mut self, from: ProcessId, msg: PaxosMsg, out: &mut Vec<PaxosSend>) {
+        match msg {
+            PaxosMsg::Prepare { b } => self.on_prepare(from, b, out),
+            PaxosMsg::Promise { b, accepted } => self.on_promise(from, b, accepted, out),
+            PaxosMsg::Accept { b, v } => self.on_accept(b, v, out),
+            PaxosMsg::Accepted { b, v } => self.on_accepted(from, b, v, out),
+            PaxosMsg::Decide { v } => self.decide(v, out),
+        }
+    }
+
+    fn on_prepare(&mut self, from: ProcessId, b: Ballot, out: &mut Vec<PaxosSend>) {
+        if b >= self.promised {
+            self.promised = b;
+            out.push((
+                Destination::To(from),
+                PaxosMsg::Promise { b, accepted: self.accepted },
+            ));
+        }
+    }
+
+    fn on_promise(
+        &mut self,
+        from: ProcessId,
+        b: Ballot,
+        accepted: Option<(Ballot, Value)>,
+        out: &mut Vec<PaxosSend>,
+    ) {
+        if b != self.current || self.phase2_started || self.decided.is_some() {
+            return;
+        }
+        self.progress += 1;
+        self.promises.insert(from, accepted);
+        if self.promises.len() < self.quorum() {
+            return;
+        }
+        // Phase-1 value rule: adopt the value of the highest reported
+        // acceptance, fall back to my own proposal.
+        let inherited = self
+            .promises
+            .values()
+            .flatten()
+            .max_by_key(|(ballot, _)| *ballot)
+            .map(|(_, v)| *v);
+        let value = inherited
+            .or(self.proposal)
+            .expect("start_ballot requires a proposal");
+        self.phase2_started = true;
+        out.push((Destination::All, PaxosMsg::Accept { b, v: value }));
+    }
+
+    fn on_accept(&mut self, b: Ballot, v: Value, out: &mut Vec<PaxosSend>) {
+        if b >= self.promised {
+            self.promised = b;
+            self.accepted = Some((b, v));
+            out.push((Destination::All, PaxosMsg::Accepted { b, v }));
+        }
+    }
+
+    fn on_accepted(&mut self, from: ProcessId, b: Ballot, v: Value, out: &mut Vec<PaxosSend>) {
+        self.progress += 1;
+        let entry = self
+            .accepted_votes
+            .entry(b)
+            .or_insert_with(|| (v, BTreeSet::new()));
+        debug_assert_eq!(entry.0, v, "two values accepted under the same ballot");
+        entry.1.insert(from);
+        if entry.1.len() >= self.quorum() {
+            self.decide(v, out);
+        }
+        // Bound the learner bookkeeping: ballots below the highest with a
+        // quorum-in-progress can be dropped once we have many of them.
+        if self.accepted_votes.len() > 64 {
+            let keep_from = *self.accepted_votes.keys().nth(self.accepted_votes.len() - 32).expect("len > 32");
+            self.accepted_votes.retain(|k, _| *k >= keep_from);
+        }
+    }
+
+    fn decide(&mut self, v: Value, out: &mut Vec<PaxosSend>) {
+        if self.decided.is_none() {
+            self.decided = Some(v);
+            self.progress += 1;
+        }
+        if !self.decide_rebroadcast {
+            self.decide_rebroadcast = true;
+            out.push((Destination::AllOthers, PaxosMsg::Decide { v }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(5, 2).unwrap() // quorum 3, majority-compatible
+    }
+
+    fn instances() -> Vec<PaxosInstance> {
+        system()
+            .processes()
+            .map(|id| {
+                let mut inst = PaxosInstance::new(id, system());
+                inst.set_proposal(Value(100 + id.as_u32() as u64));
+                inst
+            })
+            .collect()
+    }
+
+    /// Synchronously routes every outbound message until quiescence.
+    fn route(instances: &mut [PaxosInstance], mut pending: Vec<(ProcessId, PaxosSend)>) {
+        let n = instances.len();
+        while let Some((from, (dest, msg))) = pending.pop() {
+            let targets: Vec<usize> = match dest {
+                Destination::To(q) => vec![q.index()],
+                Destination::AllOthers => (0..n).filter(|i| *i != from.index()).collect(),
+                Destination::All => (0..n).collect(),
+            };
+            for target in targets {
+                let mut out = Vec::new();
+                instances[target].handle(from, msg, &mut out);
+                let sender = ProcessId::new(target as u32);
+                pending.extend(out.into_iter().map(|send| (sender, send)));
+            }
+        }
+    }
+
+    #[test]
+    fn single_leader_decides_its_value() {
+        let mut insts = instances();
+        let mut out = Vec::new();
+        insts[2].start_ballot(&mut out);
+        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(2), s)).collect());
+        for inst in &insts {
+            assert_eq!(inst.decided(), Some(Value(102)));
+        }
+    }
+
+    #[test]
+    fn competing_proposers_still_agree() {
+        let mut insts = instances();
+        // p1 and p5 both start ballots before any message is routed.
+        let mut out0 = Vec::new();
+        insts[0].start_ballot(&mut out0);
+        let mut out4 = Vec::new();
+        insts[4].start_ballot(&mut out4);
+        let mut pending: Vec<(ProcessId, PaxosSend)> =
+            out0.into_iter().map(|s| (ProcessId::new(0), s)).collect();
+        pending.extend(out4.into_iter().map(|s| (ProcessId::new(4), s)));
+        route(&mut insts, pending);
+        let decisions: Vec<Option<Value>> = insts.iter().map(|i| i.decided()).collect();
+        let first = decisions.iter().flatten().next().copied();
+        assert!(first.is_some(), "at least one ballot should have completed");
+        for d in decisions.iter().flatten() {
+            assert_eq!(Some(*d), first, "agreement violated: {decisions:?}");
+        }
+        // Validity: the decision is one of the proposals.
+        assert!(matches!(first.unwrap().0, 100..=104));
+    }
+
+    #[test]
+    fn later_ballot_adopts_previously_accepted_value() {
+        let mut insts = instances();
+        // First, p1 gets its value accepted by a quorum (full run).
+        let mut out = Vec::new();
+        insts[0].start_ballot(&mut out);
+        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        assert_eq!(insts[3].decided(), Some(Value(100)));
+        // A later ballot by p5 must re-decide the same value (it is inherited
+        // from the promises), not propose its own.
+        let mut out = Vec::new();
+        insts[4].start_ballot(&mut out);
+        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(4), s)).collect());
+        for inst in &insts {
+            assert_eq!(inst.decided(), Some(Value(100)));
+        }
+    }
+
+    #[test]
+    fn acceptor_ignores_stale_prepare() {
+        let sys = system();
+        let mut acceptor = PaxosInstance::new(ProcessId::new(1), sys);
+        let high = Ballot::new(5, ProcessId::new(4));
+        let low = Ballot::new(2, ProcessId::new(0));
+        let mut out = Vec::new();
+        acceptor.handle(ProcessId::new(4), PaxosMsg::Prepare { b: high }, &mut out);
+        assert_eq!(out.len(), 1);
+        let mut out = Vec::new();
+        acceptor.handle(ProcessId::new(0), PaxosMsg::Prepare { b: low }, &mut out);
+        assert!(out.is_empty(), "stale prepare must not be promised");
+        let mut out = Vec::new();
+        acceptor.handle(ProcessId::new(0), PaxosMsg::Accept { b: low, v: Value(7) }, &mut out);
+        assert!(out.is_empty(), "stale accept must not be accepted");
+    }
+
+    #[test]
+    fn no_ballot_without_a_proposal() {
+        let mut inst = PaxosInstance::new(ProcessId::new(0), system());
+        let mut out = Vec::new();
+        inst.start_ballot(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(inst.ballots_started(), 0);
+    }
+
+    #[test]
+    fn start_ballot_after_decision_is_a_noop() {
+        let mut insts = instances();
+        let mut out = Vec::new();
+        insts[0].start_ballot(&mut out);
+        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        let started_before = insts[0].ballots_started();
+        let mut out = Vec::new();
+        insts[0].start_ballot(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(insts[0].ballots_started(), started_before);
+    }
+
+    #[test]
+    fn progress_counter_moves_with_messages() {
+        let mut insts = instances();
+        let before = insts[0].progress_counter();
+        let mut out = Vec::new();
+        insts[0].start_ballot(&mut out);
+        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        assert!(insts[0].progress_counter() > before);
+    }
+
+    #[test]
+    fn quorum_of_accepted_is_required_to_decide() {
+        let sys = system();
+        let mut learner = PaxosInstance::new(ProcessId::new(0), sys);
+        let b = Ballot::new(1, ProcessId::new(1));
+        let mut out = Vec::new();
+        learner.handle(ProcessId::new(1), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
+        learner.handle(ProcessId::new(2), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
+        assert_eq!(learner.decided(), None);
+        learner.handle(ProcessId::new(3), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
+        assert_eq!(learner.decided(), Some(Value(9)));
+    }
+}

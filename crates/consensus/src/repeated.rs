@@ -1,0 +1,451 @@
+//! Repeated consensus: a replicated, totally ordered log.
+//!
+//! Ω exists to make consensus live, and consensus exists (mostly) to build
+//! total-order broadcast / state-machine replication — the application the
+//! paper's introduction uses to motivate the whole line of work. A
+//! [`ReplicatedLog`] runs one [`PaxosInstance`] per log slot: slot `k` is
+//! decided independently of slot `k + 1`, the current Ω leader drives the
+//! lowest undecided slot, and every process observes the same prefix of
+//! decided values.
+
+use crate::{ConsensusConfig, PaxosInstance, PaxosMsg, Value};
+use irs_types::{
+    Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, RoundTagged,
+    Snapshot, SystemConfig, TimerId,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Timer used to periodically re-evaluate leadership and drive the lowest
+/// undecided slot. The embedded oracle must not use timer ids at or above
+/// this value.
+pub const TIMER_LOG_CHECK: TimerId = TimerId::new(201);
+
+/// Message of the replicated log: either an oracle message or a consensus
+/// message tagged with its log slot.
+#[derive(Clone, Debug)]
+pub enum LogMsg<M> {
+    /// A message of the embedded Ω implementation.
+    Omega(M),
+    /// A consensus message for one log slot.
+    Slot {
+        /// The slot index (0-based).
+        slot: u64,
+        /// The consensus message.
+        msg: PaxosMsg,
+    },
+    /// A value submitted at a non-leader replica, forwarded to the process it
+    /// currently believes to be the leader.
+    Forward {
+        /// The forwarded value.
+        v: Value,
+    },
+}
+
+impl<M: RoundTagged> RoundTagged for LogMsg<M> {
+    fn constrained_round(&self) -> Option<RoundNum> {
+        match self {
+            LogMsg::Omega(m) => m.constrained_round(),
+            LogMsg::Slot { .. } | LogMsg::Forward { .. } => None,
+        }
+    }
+
+    fn estimated_size(&self) -> usize {
+        match self {
+            LogMsg::Omega(m) => 1 + m.estimated_size(),
+            LogMsg::Slot { .. } => 1 + 8 + 24,
+            LogMsg::Forward { .. } => 1 + 8,
+        }
+    }
+}
+
+/// One replica of the totally ordered log. `O` is the embedded eventual
+/// leader oracle (normally [`irs_omega::OmegaProcess`]).
+#[derive(Debug)]
+pub struct ReplicatedLog<O> {
+    id: ProcessId,
+    cfg: ConsensusConfig,
+    oracle: O,
+    /// Open consensus instances by slot.
+    instances: BTreeMap<u64, PaxosInstance>,
+    /// Decided values by slot (kept even after the instance is pruned).
+    decisions: BTreeMap<u64, Value>,
+    /// The set of values known to be decided (for duplicate suppression of
+    /// forwarded submissions).
+    decided_values: std::collections::BTreeSet<Value>,
+    /// Values submitted locally or forwarded to us and not yet decided.
+    pending: VecDeque<Value>,
+    /// Progress counter of the slot being driven, as of the previous check.
+    last_progress: (u64, u64),
+    slots_driven: u64,
+}
+
+impl ReplicatedLog<irs_omega::OmegaProcess> {
+    /// Builds a log replica over the paper's Figure 3 Ω algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not have a correct majority (`t ≥ n/2`).
+    pub fn over_omega(id: ProcessId, system: SystemConfig) -> Self {
+        assert!(
+            system.supports_consensus(),
+            "replication requires t < n/2 (got n = {}, t = {})",
+            system.n(),
+            system.t()
+        );
+        Self::new(id, ConsensusConfig::new(system), irs_omega::OmegaProcess::fig3(id, system))
+    }
+}
+
+impl<O> ReplicatedLog<O>
+where
+    O: Protocol + LeaderOracle + Introspect,
+    O::Msg: RoundTagged,
+{
+    /// Builds a log replica over an explicit oracle instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `oracle.id() != id`.
+    pub fn new(id: ProcessId, cfg: ConsensusConfig, oracle: O) -> Self {
+        assert_eq!(oracle.id(), id, "oracle identity mismatch");
+        ReplicatedLog {
+            id,
+            cfg,
+            oracle,
+            instances: BTreeMap::new(),
+            decisions: BTreeMap::new(),
+            decided_values: std::collections::BTreeSet::new(),
+            pending: VecDeque::new(),
+            last_progress: (0, 0),
+            slots_driven: 0,
+        }
+    }
+
+    /// Submits a value for eventual inclusion in the log.
+    pub fn submit(&mut self, v: Value) {
+        self.pending.push_back(v);
+    }
+
+    /// The contiguous decided prefix of the log.
+    pub fn log(&self) -> Vec<Value> {
+        let mut prefix = Vec::new();
+        for slot in 0.. {
+            match self.decisions.get(&slot) {
+                Some(v) => prefix.push(*v),
+                None => break,
+            }
+        }
+        prefix
+    }
+
+    /// The decision for a specific slot, if known.
+    pub fn decision(&self, slot: u64) -> Option<Value> {
+        self.decisions.get(&slot).copied()
+    }
+
+    /// Number of values submitted locally and not yet decided anywhere.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Read access to the embedded oracle.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
+    /// The lowest slot without a known decision.
+    fn frontier(&self) -> u64 {
+        let mut slot = 0;
+        while self.decisions.contains_key(&slot) {
+            slot += 1;
+        }
+        slot
+    }
+
+    fn lift_oracle(&self, inner: Actions<O::Msg>, out: &mut Actions<LogMsg<O::Msg>>) {
+        let (sends, timers, cancels) = inner.into_parts();
+        for send in sends {
+            match send.dest {
+                Destination::To(q) => out.send(q, LogMsg::Omega(send.msg)),
+                Destination::AllOthers => out.broadcast_others(LogMsg::Omega(send.msg)),
+                Destination::All => out.broadcast_all(LogMsg::Omega(send.msg)),
+            }
+        }
+        for t in timers {
+            out.set_timer(t.id, t.after);
+        }
+        for c in cancels {
+            out.cancel_timer(c);
+        }
+    }
+
+    fn emit_slot(
+        &self,
+        slot: u64,
+        sends: Vec<(Destination, PaxosMsg)>,
+        out: &mut Actions<LogMsg<O::Msg>>,
+    ) {
+        for (dest, msg) in sends {
+            match dest {
+                Destination::To(q) => out.send(q, LogMsg::Slot { slot, msg }),
+                Destination::AllOthers => out.broadcast_others(LogMsg::Slot { slot, msg }),
+                Destination::All => out.broadcast_all(LogMsg::Slot { slot, msg }),
+            }
+        }
+    }
+
+    fn instance(&mut self, slot: u64) -> &mut PaxosInstance {
+        let id = self.id;
+        let system = self.cfg.system;
+        self.instances.entry(slot).or_insert_with(|| PaxosInstance::new(id, system))
+    }
+
+    /// Records a fresh decision, removes the pending value it satisfies, and
+    /// prunes the instance bookkeeping below the contiguous frontier.
+    fn note_decision(&mut self, slot: u64, v: Value) {
+        self.decisions.entry(slot).or_insert(v);
+        self.decided_values.insert(v);
+        if let Some(pos) = self.pending.iter().position(|p| *p == v) {
+            self.pending.remove(pos);
+        }
+        let frontier = self.frontier();
+        // Keep the frontier instance and everything above it; decided slots
+        // below the frontier only need their decision.
+        self.instances.retain(|s, _| *s >= frontier);
+    }
+
+    fn check(&mut self, out: &mut Actions<LogMsg<O::Msg>>) {
+        out.set_timer(TIMER_LOG_CHECK, self.cfg.ballot_check_period);
+        let leader = self.oracle.leader();
+        if leader != self.id {
+            // Not the leader: forward our oldest pending submission to the
+            // process we currently believe leads, and let it sequence it.
+            if let Some(v) = self.pending.front().copied() {
+                out.send(leader, LogMsg::Forward { v });
+            }
+            return;
+        }
+        let Some(next_value) = self.pending.front().copied() else {
+            return;
+        };
+        let slot = self.frontier();
+        let last_progress = self.last_progress;
+        let instance = self.instance(slot);
+        instance.set_proposal(next_value);
+        let progress = (slot, instance.progress_counter());
+        let stalled = progress == last_progress;
+        let mut sends = Vec::new();
+        if stalled {
+            instance.start_ballot(&mut sends);
+        }
+        self.last_progress = progress;
+        if !sends.is_empty() {
+            self.slots_driven += 1;
+        }
+        self.emit_slot(slot, sends, out);
+    }
+}
+
+impl<O> Protocol for ReplicatedLog<O>
+where
+    O: Protocol + LeaderOracle + Introspect,
+    O::Msg: RoundTagged,
+{
+    type Msg = LogMsg<O::Msg>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Actions<Self::Msg>) {
+        let mut inner = Actions::new();
+        self.oracle.on_start(&mut inner);
+        self.lift_oracle(inner, out);
+        out.set_timer(TIMER_LOG_CHECK, self.cfg.ballot_check_period);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Actions<Self::Msg>) {
+        match msg {
+            LogMsg::Omega(m) => {
+                let mut inner = Actions::new();
+                self.oracle.on_message(from, m, &mut inner);
+                self.lift_oracle(inner, out);
+            }
+            LogMsg::Forward { v } => {
+                if !self.decided_values.contains(&v) && !self.pending.contains(&v) {
+                    self.pending.push_back(v);
+                }
+            }
+            LogMsg::Slot { slot, msg } => {
+                if let Some(v) = self.decisions.get(&slot).copied() {
+                    // Help a lagging peer: the slot is already decided here.
+                    if !matches!(msg, PaxosMsg::Decide { .. }) {
+                        out.send(from, LogMsg::Slot { slot, msg: PaxosMsg::Decide { v } });
+                    }
+                    return;
+                }
+                let mut sends = Vec::new();
+                self.instance(slot).handle(from, msg, &mut sends);
+                let decided = self.instances.get(&slot).and_then(|i| i.decided());
+                self.emit_slot(slot, sends, out);
+                if let Some(v) = decided {
+                    self.note_decision(slot, v);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Self::Msg>) {
+        if timer == TIMER_LOG_CHECK {
+            self.check(out);
+        } else {
+            let mut inner = Actions::new();
+            self.oracle.on_timer(timer, &mut inner);
+            self.lift_oracle(inner, out);
+        }
+    }
+}
+
+impl<O: LeaderOracle> LeaderOracle for ReplicatedLog<O> {
+    fn leader(&self) -> ProcessId {
+        self.oracle.leader()
+    }
+}
+
+impl<O> Introspect for ReplicatedLog<O>
+where
+    O: Protocol + LeaderOracle + Introspect,
+    O::Msg: RoundTagged,
+{
+    fn snapshot(&self) -> Snapshot {
+        let mut snap = self.oracle.snapshot();
+        snap.extra.push(("log_len", self.log().len() as u64));
+        snap.extra.push(("pending", self.pending.len() as u64));
+        snap.extra.push(("slots_driven", self.slots_driven));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(5, 2).unwrap()
+    }
+
+    #[test]
+    fn submit_and_empty_log() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        assert!(log.log().is_empty());
+        log.submit(Value(1));
+        log.submit(Value(2));
+        assert_eq!(log.pending_len(), 2);
+        assert_eq!(log.decision(0), None);
+    }
+
+    #[test]
+    fn leader_drives_the_lowest_undecided_slot() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        log.submit(Value(7));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let prepared: Vec<u64> = out
+            .sends()
+            .iter()
+            .filter_map(|s| match &s.msg {
+                LogMsg::Slot { slot, msg: PaxosMsg::Prepare { .. } } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(prepared, vec![0]);
+    }
+
+    #[test]
+    fn non_leader_does_not_drive_slots() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(3), system());
+        log.submit(Value(7));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert!(!out.sends().iter().any(|s| matches!(s.msg, LogMsg::Slot { .. })));
+    }
+
+    #[test]
+    fn decided_slot_answers_stragglers_with_decide() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        log.decisions.insert(0, Value(9));
+        let mut out = Actions::new();
+        log.on_message(
+            ProcessId::new(2),
+            LogMsg::Slot { slot: 0, msg: PaxosMsg::Prepare { b: crate::Ballot::new(1, ProcessId::new(2)) } },
+            &mut out,
+        );
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(
+            &out.sends()[0].msg,
+            LogMsg::Slot { slot: 0, msg: PaxosMsg::Decide { v } } if *v == Value(9)
+        ));
+    }
+
+    #[test]
+    fn decision_removes_matching_pending_value_and_prunes_instances() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        log.submit(Value(4));
+        log.submit(Value(5));
+        // Force an instance for slot 0 to exist, then record its decision.
+        log.instance(0);
+        log.note_decision(0, Value(4));
+        assert_eq!(log.log(), vec![Value(4)]);
+        assert_eq!(log.pending_len(), 1);
+        assert!(log.instances.is_empty(), "decided slot should be pruned");
+        // A decision for a value we did not submit leaves pending untouched.
+        log.note_decision(1, Value(99));
+        assert_eq!(log.pending_len(), 1);
+        assert_eq!(log.log(), vec![Value(4), Value(99)]);
+    }
+
+    #[test]
+    fn non_leader_forwards_pending_values_to_the_leader() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(3), system());
+        log.submit(Value(77));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let forwarded: Vec<_> = out
+            .sends()
+            .iter()
+            .filter(|s| matches!(s.msg, LogMsg::Forward { v } if v == Value(77)))
+            .collect();
+        assert_eq!(forwarded.len(), 1);
+        assert!(matches!(forwarded[0].dest, irs_types::Destination::To(p) if p == ProcessId::new(0)));
+    }
+
+    #[test]
+    fn forwarded_values_are_queued_once_and_not_after_decision() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        log.on_message(ProcessId::new(2), LogMsg::Forward { v: Value(5) }, &mut out);
+        log.on_message(ProcessId::new(3), LogMsg::Forward { v: Value(5) }, &mut out);
+        assert_eq!(log.pending_len(), 1);
+        log.note_decision(0, Value(5));
+        assert_eq!(log.pending_len(), 0);
+        // A stale forward of an already decided value is ignored.
+        log.on_message(ProcessId::new(2), LogMsg::Forward { v: Value(5) }, &mut out);
+        assert_eq!(log.pending_len(), 0);
+    }
+
+    #[test]
+    fn log_prefix_stops_at_first_gap() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        log.decisions.insert(0, Value(1));
+        log.decisions.insert(2, Value(3));
+        assert_eq!(log.log(), vec![Value(1)]);
+        log.decisions.insert(1, Value(2));
+        assert_eq!(log.log(), vec![Value(1), Value(2), Value(3)]);
+    }
+}

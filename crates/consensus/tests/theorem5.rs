@@ -1,0 +1,163 @@
+//! Theorem 5, executable: consensus terminates, agrees and is valid in a
+//! system with a majority of correct processes and an (intermittent)
+//! rotating t-star, even across leader crashes; and repeated consensus
+//! yields identical logs at every correct replica.
+
+use irs_consensus::{ConsensusProcess, ReplicatedLog, Value};
+use irs_sim::adversary::presets;
+use irs_sim::adversary::star::{StarAdversary, StarConfig};
+use irs_sim::adversary::DelayDist;
+use irs_sim::{CrashPlan, SimConfig, Simulation};
+use irs_types::{Duration, ProcessId, SystemConfig, Time};
+
+fn system() -> SystemConfig {
+    SystemConfig::new(5, 2).unwrap()
+}
+
+fn background() -> DelayDist {
+    DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(40))
+}
+
+fn consensus_processes(system: SystemConfig) -> Vec<ConsensusProcess<irs_omega::OmegaProcess>> {
+    system
+        .processes()
+        .map(|id| {
+            let mut p = ConsensusProcess::over_omega(id, system);
+            p.propose(Value(1000 + id.as_u32() as u64));
+            p
+        })
+        .collect()
+}
+
+fn assert_consensus_properties(
+    sim: &Simulation<ConsensusProcess<irs_omega::OmegaProcess>, StarAdversary>,
+    crashed: &[ProcessId],
+) {
+    let decisions: Vec<(ProcessId, Option<Value>)> = system()
+        .processes()
+        .filter(|p| !crashed.contains(p))
+        .map(|p| (p, sim.process(p).decision()))
+        .collect();
+    // Termination: every live process decided.
+    for (p, d) in &decisions {
+        assert!(d.is_some(), "{p} did not decide");
+    }
+    // Agreement: all decisions are equal.
+    let first = decisions[0].1.unwrap();
+    for (p, d) in &decisions {
+        assert_eq!(d.unwrap(), first, "{p} decided differently");
+    }
+    // Validity: the decision is one of the proposed values.
+    assert!((1000..1000 + system().n() as u64).contains(&first.0), "decided {first}");
+}
+
+#[test]
+fn consensus_under_a_prime_without_crashes() {
+    let sys = system();
+    let adversary = StarAdversary::new(StarConfig::a_prime(sys, ProcessId::new(3)), 5);
+    let mut sim = Simulation::new(
+        SimConfig::new(1, Time::from_ticks(400_000)),
+        consensus_processes(sys),
+        adversary,
+        CrashPlan::new(),
+    );
+    sim.start();
+    while sim.step() {
+        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+            break;
+        }
+    }
+    assert_consensus_properties(&sim, &[]);
+}
+
+#[test]
+fn consensus_survives_crash_of_initial_leader() {
+    let sys = system();
+    // The star centre is p5; the initially elected Ω leader (p1, smallest id)
+    // crashes early, so the ballots it may have started must be superseded.
+    let adversary = StarAdversary::new(StarConfig::a_prime(sys, ProcessId::new(4)), 9);
+    let crashes = CrashPlan::new().crash(ProcessId::new(0), Time::from_ticks(2_000));
+    let mut sim = Simulation::new(
+        SimConfig::new(3, Time::from_ticks(600_000)),
+        consensus_processes(sys),
+        adversary,
+        crashes,
+    );
+    sim.start();
+    while sim.step() {
+        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+            break;
+        }
+    }
+    assert_consensus_properties(&sim, &[ProcessId::new(0)]);
+}
+
+#[test]
+fn consensus_under_intermittent_star() {
+    let sys = system();
+    let adversary = presets::intermittent_rotating_star(
+        sys,
+        ProcessId::new(2),
+        Duration::from_ticks(8),
+        4,
+        background(),
+        31,
+    );
+    let mut sim = Simulation::new(
+        SimConfig::new(7, Time::from_ticks(600_000)),
+        consensus_processes(sys),
+        adversary,
+        CrashPlan::new(),
+    );
+    sim.start();
+    while sim.step() {
+        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+            break;
+        }
+    }
+    assert_consensus_properties(&sim, &[]);
+}
+
+#[test]
+fn replicated_log_converges_to_identical_prefixes() {
+    let sys = system();
+    let adversary = StarAdversary::new(StarConfig::a_prime(sys, ProcessId::new(1)), 13);
+    let replicas: Vec<ReplicatedLog<irs_omega::OmegaProcess>> = sys
+        .processes()
+        .map(|id| {
+            let mut r = ReplicatedLog::over_omega(id, sys);
+            // Every replica submits two commands of its own.
+            r.submit(Value(10 + id.as_u32() as u64));
+            r.submit(Value(20 + id.as_u32() as u64));
+            r
+        })
+        .collect();
+    let mut sim = Simulation::new(
+        SimConfig::new(11, Time::from_ticks(500_000)),
+        replicas,
+        adversary,
+        CrashPlan::new(),
+    );
+    sim.start();
+    // Run until every live replica has at least 3 log entries or the horizon.
+    while sim.step() {
+        let done = sys
+            .processes()
+            .all(|p| sim.is_crashed(p) || sim.process(p).log().len() >= 3);
+        if done {
+            break;
+        }
+    }
+    let logs: Vec<Vec<Value>> = sys.processes().map(|p| sim.process(p).log()).collect();
+    let min_len = logs.iter().map(|l| l.len()).min().unwrap();
+    assert!(min_len >= 3, "logs too short: {logs:?}");
+    // Total order: every pair of logs agrees on the common prefix.
+    for log in &logs {
+        assert_eq!(&log[..min_len], &logs[0][..min_len], "logs diverged: {logs:?}");
+    }
+    // No duplicates within the common prefix.
+    let mut seen = std::collections::BTreeSet::new();
+    for v in &logs[0][..min_len] {
+        assert!(seen.insert(*v), "duplicate {v} in log");
+    }
+}

@@ -1,0 +1,241 @@
+//! Configuration of an Ω process.
+
+use irs_types::{ConfigError, Duration, GrowthFn, RoundNum, SystemConfig};
+
+/// Which of the paper's algorithms a process runs.
+///
+/// The four variants share all their machinery; they differ only in the two
+/// extra guards of lines `*` and `**` and in the `A_{f,g}` slack terms:
+///
+/// | variant | guard `*` (window) | guard `**` (bound) | slack `f`,`g` | assumption |
+/// |---|---|---|---|---|
+/// | [`Variant::Fig1`] | – | – | – | `A′` |
+/// | [`Variant::Fig2`] | ✓ | – | – | `A` |
+/// | [`Variant::Fig3`] | ✓ | ✓ | – | `A` (bounded variables) |
+/// | [`Variant::Fg`]   | ✓ | ✓ | ✓ | `A_{f,g}` |
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Figure 1: the `A′`-based algorithm (no window, no bound).
+    Fig1,
+    /// Figure 2: the `A`-based algorithm (adds the line-`*` window condition).
+    Fig2,
+    /// Figure 3: the bounded-variable `A`-based algorithm (adds line `**`).
+    Fig3,
+    /// Section 7: the `A_{f,g}`-based algorithm (Figure 3 plus the known
+    /// growth functions `f` and `g`).
+    Fg {
+        /// The gap-slack function `f` (applied to the look-back window).
+        f: GrowthFn,
+        /// The timeliness-slack function `g` (added to the timer value).
+        g: GrowthFn,
+    },
+}
+
+impl Variant {
+    /// Returns `true` if the variant applies the line-`*` window condition.
+    pub fn uses_window(self) -> bool {
+        !matches!(self, Variant::Fig1)
+    }
+
+    /// Returns `true` if the variant applies the line-`**` bound condition.
+    pub fn uses_min_bound(self) -> bool {
+        matches!(self, Variant::Fig3 | Variant::Fg { .. })
+    }
+
+    /// The gap-slack function `f` (zero except for [`Variant::Fg`]).
+    pub fn f(self) -> GrowthFn {
+        match self {
+            Variant::Fg { f, .. } => f,
+            _ => GrowthFn::Zero,
+        }
+    }
+
+    /// The timer-slack function `g` (zero except for [`Variant::Fg`]).
+    pub fn g(self) -> GrowthFn {
+        match self {
+            Variant::Fg { g, .. } => g,
+            _ => GrowthFn::Zero,
+        }
+    }
+
+    /// A short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Fig1 => "fig1",
+            Variant::Fig2 => "fig2",
+            Variant::Fig3 => "fig3",
+            Variant::Fg { .. } => "fg",
+        }
+    }
+}
+
+/// Full configuration of one [`OmegaProcess`](crate::OmegaProcess).
+///
+/// # Example
+///
+/// ```
+/// use irs_omega::{OmegaConfig, Variant};
+/// use irs_types::{Duration, SystemConfig};
+///
+/// # fn main() -> Result<(), irs_types::ConfigError> {
+/// let cfg = OmegaConfig::new(SystemConfig::new(5, 2)?, Variant::Fig3)
+///     .with_send_period(Duration::from_ticks(20))
+///     .with_timeout_unit(Duration::from_ticks(4));
+/// assert_eq!(cfg.quorum(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OmegaConfig {
+    /// The system parameters `(n, t)`.
+    pub system: SystemConfig,
+    /// Which algorithm to run.
+    pub variant: Variant,
+    /// The broadcast period β of task `T1` ("repeat regularly": two
+    /// consecutive broadcasts are at most β apart).
+    pub send_period: Duration,
+    /// How many ticks one unit of the timer value corresponds to. The paper
+    /// resets the timer to `max_j susp_level[j]`, a pure number; mapping it
+    /// onto the clock requires a unit.
+    pub timeout_unit: Duration,
+    /// How many closed receiving rounds of per-round bookkeeping
+    /// (`rec_from`, `suspicions`) to retain, beyond what the line-`*` window
+    /// needs. `0` means unbounded retention.
+    pub retention_rounds: u64,
+}
+
+impl OmegaConfig {
+    /// Creates a configuration with the default tuning: β = 10 ticks,
+    /// timeout unit = 4 ticks, retention = 4096 rounds.
+    pub fn new(system: SystemConfig, variant: Variant) -> Self {
+        OmegaConfig {
+            system,
+            variant,
+            send_period: Duration::from_ticks(10),
+            timeout_unit: Duration::from_ticks(4),
+            retention_rounds: 4096,
+        }
+    }
+
+    /// Sets the broadcast period β.
+    #[must_use]
+    pub fn with_send_period(mut self, period: Duration) -> Self {
+        self.send_period = period;
+        self
+    }
+
+    /// Sets the tick value of one timer unit.
+    #[must_use]
+    pub fn with_timeout_unit(mut self, unit: Duration) -> Self {
+        self.timeout_unit = unit;
+        self
+    }
+
+    /// Sets the bookkeeping retention (0 = unbounded).
+    #[must_use]
+    pub fn with_retention(mut self, rounds: u64) -> Self {
+        self.retention_rounds = rounds;
+        self
+    }
+
+    /// The quorum `n − t`.
+    pub fn quorum(&self) -> usize {
+        self.system.quorum()
+    }
+
+    /// Validates the tunables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the send period is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.send_period.is_zero() {
+            return Err(ConfigError::ZeroParameter { name: "send_period" });
+        }
+        Ok(())
+    }
+
+    /// The value (in ticks) to which the receiving-round timer is reset when
+    /// closing round `rn` and moving to `rn + 1` (line 11, plus the `g`
+    /// term of Section 7): `max_susp · timeout_unit + g(rn + 1)`.
+    pub fn timer_ticks(&self, max_susp: u64, next_round: RoundNum) -> Duration {
+        self.timeout_unit
+            .saturating_mul(max_susp)
+            .saturating_add(Duration::from_ticks(self.variant.g().eval(next_round)))
+    }
+
+    /// The look-back length of the line-`*` window when examining round `rn`
+    /// with current suspicion level `susp`: `susp + f(rn)`.
+    pub fn window_lookback(&self, susp: u64, rn: RoundNum) -> u64 {
+        susp.saturating_add(self.variant.f().eval(rn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(5, 2).unwrap()
+    }
+
+    #[test]
+    fn variant_guards() {
+        assert!(!Variant::Fig1.uses_window());
+        assert!(!Variant::Fig1.uses_min_bound());
+        assert!(Variant::Fig2.uses_window());
+        assert!(!Variant::Fig2.uses_min_bound());
+        assert!(Variant::Fig3.uses_window());
+        assert!(Variant::Fig3.uses_min_bound());
+        let fg = Variant::Fg { f: GrowthFn::Sqrt, g: GrowthFn::Constant(2) };
+        assert!(fg.uses_window());
+        assert!(fg.uses_min_bound());
+        assert_eq!(fg.f(), GrowthFn::Sqrt);
+        assert_eq!(fg.g(), GrowthFn::Constant(2));
+        assert_eq!(Variant::Fig1.f(), GrowthFn::Zero);
+        assert_eq!(Variant::Fig2.g(), GrowthFn::Zero);
+        assert_eq!(Variant::Fig1.name(), "fig1");
+        assert_eq!(fg.name(), "fg");
+    }
+
+    #[test]
+    fn defaults_and_builders() {
+        let cfg = OmegaConfig::new(system(), Variant::Fig3)
+            .with_send_period(Duration::from_ticks(25))
+            .with_timeout_unit(Duration::from_ticks(2))
+            .with_retention(128);
+        assert_eq!(cfg.send_period, Duration::from_ticks(25));
+        assert_eq!(cfg.timeout_unit, Duration::from_ticks(2));
+        assert_eq!(cfg.retention_rounds, 128);
+        assert_eq!(cfg.quorum(), 3);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_send_period_is_rejected() {
+        let cfg = OmegaConfig::new(system(), Variant::Fig1).with_send_period(Duration::ZERO);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn timer_ticks_scale_with_susp_and_g() {
+        let cfg = OmegaConfig::new(system(), Variant::Fig3).with_timeout_unit(Duration::from_ticks(4));
+        assert_eq!(cfg.timer_ticks(0, RoundNum::new(1)), Duration::ZERO);
+        assert_eq!(cfg.timer_ticks(3, RoundNum::new(1)), Duration::from_ticks(12));
+
+        let fg = OmegaConfig::new(system(), Variant::Fg { f: GrowthFn::Zero, g: GrowthFn::Constant(7) })
+            .with_timeout_unit(Duration::from_ticks(4));
+        assert_eq!(fg.timer_ticks(3, RoundNum::new(10)), Duration::from_ticks(19));
+    }
+
+    #[test]
+    fn window_lookback_adds_f() {
+        let plain = OmegaConfig::new(system(), Variant::Fig2);
+        assert_eq!(plain.window_lookback(5, RoundNum::new(100)), 5);
+        let fg = OmegaConfig::new(
+            system(),
+            Variant::Fg { f: GrowthFn::Constant(3), g: GrowthFn::Zero },
+        );
+        assert_eq!(fg.window_lookback(5, RoundNum::new(100)), 8);
+    }
+}

@@ -1,0 +1,190 @@
+//! Executable statements of the paper's lemmas and theorems.
+//!
+//! The paper proves its claims; this module turns the ones that talk about
+//! observable state into checkers that tests, property tests and the
+//! experiment harness run against real executions:
+//!
+//! * **Lemma 8** — for the Figure 3 algorithm, every `susp_level_i` vector
+//!   satisfies `max − min ≤ 1` at all times ([`lemma8_spread_ok`]).
+//! * **Theorem 4** — no entry ever exceeds `B + 1`, where `B` is the smallest
+//!   entry-maximum across processes ([`theorem4_bound`]).
+//! * **Monotonicity** — suspicion levels never decrease
+//!   ([`MonotonicityChecker`]).
+//! * **Eventual leadership** — once stabilised, all live processes output the
+//!   same live leader ([`leadership_holds`]).
+
+use crate::SuspVector;
+use irs_types::{ProcessId, Snapshot};
+
+/// Lemma 8: `max(susp_level) − min(susp_level) ≤ 1`.
+///
+/// Guaranteed by the algorithm of Figure 3 (and the `A_{f,g}` variant); the
+/// Figure 1/2 algorithms may violate it.
+pub fn lemma8_spread_ok(v: &SuspVector) -> bool {
+    v.max() - v.min() <= 1
+}
+
+/// Computes the bound `B` of Definition 3 from the final suspicion vectors of
+/// all processes (crashed processes excluded): `B = min_j max_i susp_level_i[j]`
+/// — the smallest, over processes `j`, of the largest level any process ever
+/// attributed to `j`. Returns `None` when no live snapshot carries levels.
+pub fn definition3_bound(snapshots: &[Option<Snapshot>]) -> Option<u64> {
+    let live: Vec<&Snapshot> = snapshots.iter().flatten().collect();
+    let n = live.first()?.susp_levels.len();
+    if n == 0 || live.iter().any(|s| s.susp_levels.len() != n) {
+        return None;
+    }
+    (0..n)
+        .map(|j| live.iter().map(|s| s.susp_levels[j]).max().unwrap_or(0))
+        .min()
+}
+
+/// Theorem 4: every suspicion level of every live process is at most `B + 1`.
+///
+/// Returns `(B, holds)`; `holds` is vacuously true when `B` cannot be
+/// computed (no live processes with levels).
+pub fn theorem4_bound(snapshots: &[Option<Snapshot>]) -> (u64, bool) {
+    let Some(b) = definition3_bound(snapshots) else {
+        return (0, true);
+    };
+    let holds = snapshots
+        .iter()
+        .flatten()
+        .all(|s| s.susp_levels.iter().all(|&lvl| lvl <= b + 1));
+    (b, holds)
+}
+
+/// Eventual leadership (the Ω property, observed at the end of a run): every
+/// live process outputs the same leader, and that leader is live.
+pub fn leadership_holds(snapshots: &[Option<Snapshot>], crashed: &[ProcessId]) -> bool {
+    let live: Vec<&Snapshot> = snapshots.iter().flatten().collect();
+    let Some(first) = live.first() else {
+        return false;
+    };
+    let leader = first.leader;
+    live.iter().all(|s| s.leader == leader) && !crashed.contains(&leader)
+}
+
+/// Tracks suspicion vectors over time and checks that no entry ever
+/// decreases (they are counters merged with `max`, so they must be
+/// monotonically non-decreasing at every process).
+#[derive(Clone, Debug, Default)]
+pub struct MonotonicityChecker {
+    last: Vec<Vec<u64>>,
+    violations: u64,
+    observations: u64,
+}
+
+impl MonotonicityChecker {
+    /// Creates a checker for `n` processes.
+    pub fn new(n: usize) -> Self {
+        MonotonicityChecker {
+            last: vec![Vec::new(); n],
+            violations: 0,
+            observations: 0,
+        }
+    }
+
+    /// Feeds the current suspicion levels of process `pid`.
+    pub fn observe(&mut self, pid: ProcessId, levels: &[u64]) {
+        self.observations += 1;
+        let prev = &mut self.last[pid.index()];
+        if !prev.is_empty() && prev.len() == levels.len() {
+            if prev.iter().zip(levels).any(|(old, new)| new < old) {
+                self.violations += 1;
+            }
+        }
+        *prev = levels.to_vec();
+    }
+
+    /// Number of monotonicity violations observed (should be zero).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Number of observations fed to the checker.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Returns `true` if no violation was observed.
+    pub fn ok(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(leader: u32, levels: Vec<u64>) -> Option<Snapshot> {
+        Some(Snapshot {
+            leader: ProcessId::new(leader),
+            susp_levels: levels,
+            ..Snapshot::default()
+        })
+    }
+
+    #[test]
+    fn lemma8_detects_spread() {
+        assert!(lemma8_spread_ok(&SuspVector::from_levels(vec![3, 3, 4])));
+        assert!(lemma8_spread_ok(&SuspVector::from_levels(vec![0, 0, 0])));
+        assert!(!lemma8_spread_ok(&SuspVector::from_levels(vec![1, 3, 2])));
+    }
+
+    #[test]
+    fn definition3_bound_is_min_of_column_maxima() {
+        let snaps = vec![
+            snap(0, vec![5, 2, 9]),
+            snap(0, vec![4, 3, 7]),
+            None, // crashed process is ignored
+        ];
+        // column maxima: [5, 3, 9] → B = 3.
+        assert_eq!(definition3_bound(&snaps), Some(3));
+    }
+
+    #[test]
+    fn theorem4_checks_b_plus_one() {
+        let good = vec![snap(1, vec![4, 3, 4]), snap(1, vec![4, 3, 3])];
+        let (b, ok) = theorem4_bound(&good);
+        assert_eq!(b, 3);
+        assert!(ok);
+        let bad = vec![snap(1, vec![9, 3, 4]), snap(1, vec![4, 3, 3])];
+        let (b, ok) = theorem4_bound(&bad);
+        assert_eq!(b, 3);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn theorem4_vacuous_without_levels() {
+        let (b, ok) = theorem4_bound(&[None, None]);
+        assert_eq!(b, 0);
+        assert!(ok);
+    }
+
+    #[test]
+    fn leadership_requires_agreement_on_live_leader() {
+        let agree = vec![snap(2, vec![1, 1, 0]), snap(2, vec![1, 1, 0]), None];
+        assert!(leadership_holds(&agree, &[ProcessId::new(1)]));
+        // Leader crashed.
+        assert!(!leadership_holds(&agree, &[ProcessId::new(2)]));
+        // Disagreement.
+        let disagree = vec![snap(2, vec![1, 1, 0]), snap(0, vec![0, 1, 1])];
+        assert!(!leadership_holds(&disagree, &[]));
+        // No live processes.
+        assert!(!leadership_holds(&[None, None], &[]));
+    }
+
+    #[test]
+    fn monotonicity_checker_flags_decreases() {
+        let mut c = MonotonicityChecker::new(2);
+        c.observe(ProcessId::new(0), &[0, 1]);
+        c.observe(ProcessId::new(0), &[1, 1]);
+        c.observe(ProcessId::new(1), &[5, 5]);
+        assert!(c.ok());
+        c.observe(ProcessId::new(0), &[0, 1]); // decrease!
+        assert!(!c.ok());
+        assert_eq!(c.violations(), 1);
+        assert_eq!(c.observations(), 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Ω (eventual leader election) from an intermittent rotating t-star.
+//!
+//! This crate is a faithful implementation of the algorithms of
+//!
+//! > Antonio Fernández and Michel Raynal,
+//! > *From an intermittent rotating star to a leader*,
+//! > IRISA research report PI 1810 (2006) / OPODIS 2007.
+//!
+//! The paper shows that the eventual-leader failure detector **Ω** — the
+//! weakest failure detector for consensus — can be implemented in an
+//! asynchronous crash-prone system under an assumption strictly weaker than
+//! every previously published one: the *eventual intermittent rotating
+//! t-star*. Informally, some correct process `p` must, for infinitely many
+//! round numbers (with bounded gaps `D` between them), have its `ALIVE(rn)`
+//! message received by some set of `t` processes either within an unknown
+//! bound `Δ` or among the first `n − t` round-`rn` `ALIVE` messages.
+//!
+//! # What is here
+//!
+//! * [`OmegaProcess`] — one process of the algorithm, as a sans-IO state
+//!   machine ([`irs_types::Protocol`]); run it under `irs-sim` or
+//!   `irs-runtime`.
+//! * [`Variant`] — which of the paper's algorithms the process runs:
+//!   Figure 1 (`A′`), Figure 2 (`A`), Figure 3 (`A` with every variable but
+//!   the round numbers bounded), or the Section 7 `A_{f,g}` generalisation.
+//! * [`OmegaMsg`], [`SuspVector`], [`RoundBook`] — the algorithm's messages
+//!   and bookkeeping.
+//! * [`invariants`] — executable versions of Lemma 8, Theorem 4 and the Ω
+//!   eventual-leadership property, used throughout the test-suite and the
+//!   experiment harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use irs_omega::OmegaProcess;
+//! use irs_sim::{adversary::star::{StarAdversary, StarConfig}, CrashPlan, SimConfig, Simulation};
+//! use irs_types::{ProcessId, SystemConfig, Time};
+//!
+//! # fn main() -> Result<(), irs_types::ConfigError> {
+//! let system = SystemConfig::new(5, 2)?;
+//! // Assumption A′: an eventual rotating t-star centred at p3.
+//! let adversary = StarAdversary::new(StarConfig::a_prime(system, ProcessId::new(2)), 7);
+//! let processes = system
+//!     .processes()
+//!     .map(|id| OmegaProcess::fig3(id, system))
+//!     .collect();
+//! let mut sim = Simulation::new(
+//!     SimConfig::new(42, Time::from_ticks(200_000)),
+//!     processes,
+//!     adversary,
+//!     CrashPlan::new(),
+//! );
+//! let report = sim.run();
+//! assert!(report.is_stable(), "a common leader is eventually elected");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod invariants;
+mod msg;
+mod process;
+mod rounds;
+mod susp;
+
+pub use config::{OmegaConfig, Variant};
+pub use msg::OmegaMsg;
+pub use process::{OmegaMetrics, OmegaProcess, TIMER_BROADCAST, TIMER_ROUND};
+pub use rounds::RoundBook;
+pub use susp::SuspVector;

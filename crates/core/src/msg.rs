@@ -1,0 +1,107 @@
+//! The two message kinds of the paper's algorithms.
+
+use crate::SuspVector;
+use irs_types::{ProcessSet, RoundNum, RoundTagged};
+
+/// A message of the Ω algorithms of Figures 1–3 (and the `A_{f,g}` variant).
+///
+/// Only two kinds of messages exist:
+///
+/// * `ALIVE(rn, susp_level)` — broadcast regularly by task `T1`. Carries the
+///   sender's whole suspicion-level vector so that bounded entries converge
+///   to the same value everywhere. These are the only messages the
+///   behavioural assumptions constrain.
+/// * `SUSPICION(rn, suspects)` — broadcast when a process closes its
+///   receiving round `rn`, naming the processes it did not hear from in that
+///   round.
+///
+/// Apart from the round numbers, every field has a finite domain (Section 6's
+/// bounded-variable claim extends to message fields).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum OmegaMsg {
+    /// `ALIVE(rn, susp_level)` (lines 1–3 of Figure 1).
+    Alive {
+        /// The sending round number.
+        rn: RoundNum,
+        /// The sender's current suspicion-level vector.
+        susp: SuspVector,
+    },
+    /// `SUSPICION(rn, suspects)` (line 10 of Figure 1).
+    Suspicion {
+        /// The receiving round being closed.
+        rn: RoundNum,
+        /// The processes not heard from in that round.
+        suspects: ProcessSet,
+    },
+}
+
+impl OmegaMsg {
+    /// The round number carried by the message.
+    pub fn round(&self) -> RoundNum {
+        match self {
+            OmegaMsg::Alive { rn, .. } | OmegaMsg::Suspicion { rn, .. } => *rn,
+        }
+    }
+
+    /// Returns `true` for `ALIVE` messages.
+    pub fn is_alive(&self) -> bool {
+        matches!(self, OmegaMsg::Alive { .. })
+    }
+}
+
+impl RoundTagged for OmegaMsg {
+    /// Only `ALIVE(rn)` messages are constrained by the assumptions
+    /// (Section 3: "the assumption places constraints only on the messages
+    /// tagged ALIVE").
+    fn constrained_round(&self) -> Option<RoundNum> {
+        match self {
+            OmegaMsg::Alive { rn, .. } => Some(*rn),
+            OmegaMsg::Suspicion { .. } => None,
+        }
+    }
+
+    fn estimated_size(&self) -> usize {
+        match self {
+            // tag + round number + n 64-bit suspicion levels
+            OmegaMsg::Alive { susp, .. } => 1 + 8 + 8 * susp.len(),
+            // tag + round number + n-bit set
+            OmegaMsg::Suspicion { suspects, .. } => 1 + 8 + suspects.capacity().div_ceil(8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_types::ProcessId;
+
+    #[test]
+    fn alive_is_constrained_suspicion_is_not() {
+        let alive = OmegaMsg::Alive { rn: RoundNum::new(7), susp: SuspVector::new(4) };
+        let susp = OmegaMsg::Suspicion { rn: RoundNum::new(7), suspects: ProcessSet::empty(4) };
+        assert_eq!(alive.constrained_round(), Some(RoundNum::new(7)));
+        assert_eq!(susp.constrained_round(), None);
+        assert!(alive.is_alive());
+        assert!(!susp.is_alive());
+        assert_eq!(alive.round(), RoundNum::new(7));
+        assert_eq!(susp.round(), RoundNum::new(7));
+    }
+
+    #[test]
+    fn size_estimates_scale_with_n() {
+        let small = OmegaMsg::Alive { rn: RoundNum::new(1), susp: SuspVector::new(4) };
+        let large = OmegaMsg::Alive { rn: RoundNum::new(1), susp: SuspVector::new(64) };
+        assert!(large.estimated_size() > small.estimated_size());
+        assert_eq!(small.estimated_size(), 1 + 8 + 32);
+
+        let s4 = OmegaMsg::Suspicion { rn: RoundNum::new(1), suspects: ProcessSet::empty(4) };
+        let s64 = OmegaMsg::Suspicion {
+            rn: RoundNum::new(1),
+            suspects: ProcessSet::from_ids(64, ProcessId::all(64)),
+        };
+        assert_eq!(s4.estimated_size(), 1 + 8 + 1);
+        assert_eq!(s64.estimated_size(), 1 + 8 + 8);
+        // SUSPICION messages are much smaller than ALIVE messages.
+        assert!(s64.estimated_size() < large.estimated_size());
+    }
+}

@@ -1,0 +1,608 @@
+//! The Ω process: the paper's algorithms as one sans-IO state machine.
+
+use crate::{OmegaConfig, OmegaMsg, RoundBook, SuspVector, Variant};
+use irs_types::{
+    Actions, Duration, GrowthFn, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum,
+    Snapshot, SystemConfig, TimerId,
+};
+
+/// Timer of task `T1`: the periodic `ALIVE` broadcast ("repeat regularly").
+pub const TIMER_BROADCAST: TimerId = TimerId::new(0);
+/// Timer of task `T2`: the receiving-round timer `timer_i`.
+pub const TIMER_ROUND: TimerId = TimerId::new(1);
+
+/// Counters describing what one Ω process has done so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OmegaMetrics {
+    /// `ALIVE` broadcasts performed (task `T1` iterations).
+    pub alive_broadcasts: u64,
+    /// `SUSPICION` broadcasts performed (receiving rounds closed).
+    pub rounds_closed: u64,
+    /// Suspicion-level increments performed at line 17.
+    pub susp_increments: u64,
+    /// The largest timer value (in ticks) ever loaded into `timer_i`.
+    pub max_timer_ticks: u64,
+    /// `ALIVE` messages received and recorded (line 6 executed).
+    pub alives_recorded: u64,
+    /// `ALIVE` messages received too late (`rn < r_rn`) and therefore only
+    /// used for the gossip merge.
+    pub alives_late: u64,
+}
+
+/// One process `p_i` running the paper's eventual-leader algorithm.
+///
+/// The [`Variant`](crate::Variant) in the configuration selects between the
+/// algorithms of Figure 1, Figure 2, Figure 3 and Section 7; see the crate
+/// documentation for the correspondence. The process is a pure state machine:
+/// it implements [`Protocol`] and is driven by `irs-sim` (deterministic
+/// simulation) or `irs-runtime` (threads and wall-clock time).
+///
+/// # Example
+///
+/// ```
+/// use irs_omega::OmegaProcess;
+/// use irs_types::{Actions, LeaderOracle, ProcessId, Protocol, SystemConfig};
+///
+/// # fn main() -> Result<(), irs_types::ConfigError> {
+/// let system = SystemConfig::new(4, 1)?;
+/// let mut p0 = OmegaProcess::fig3(ProcessId::new(0), system);
+/// let mut out = Actions::new();
+/// p0.on_start(&mut out);
+/// // The very first action is the round-1 ALIVE broadcast of task T1.
+/// assert!(!out.sends().is_empty());
+/// // Before hearing anything, the least-suspected process is p1 (id 0).
+/// assert_eq!(p0.leader(), ProcessId::new(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct OmegaProcess {
+    id: ProcessId,
+    cfg: OmegaConfig,
+    /// Sending round `s_rn_i` (task `T1`).
+    s_rn: RoundNum,
+    /// Receiving round `r_rn_i` (task `T2`).
+    r_rn: RoundNum,
+    /// The suspicion-level vector `susp_level_i[1..n]`.
+    susp: SuspVector,
+    /// Per-round bookkeeping (`rec_from`, `suspicions`).
+    book: RoundBook,
+    /// Whether `timer_i` has expired for the current receiving round.
+    timer_expired: bool,
+    /// The value (in ticks) most recently loaded into `timer_i`.
+    current_timer_ticks: u64,
+    metrics: OmegaMetrics,
+}
+
+impl OmegaProcess {
+    /// Creates a process with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero send period) or if `id`
+    /// is not a process of the configured system.
+    pub fn new(id: ProcessId, cfg: OmegaConfig) -> Self {
+        cfg.validate().expect("invalid Omega configuration");
+        assert!(
+            cfg.system.contains(id),
+            "process id {id} out of range for n = {}",
+            cfg.system.n()
+        );
+        let n = cfg.system.n();
+        OmegaProcess {
+            id,
+            cfg,
+            s_rn: RoundNum::ZERO,
+            r_rn: RoundNum::FIRST,
+            susp: SuspVector::new(n),
+            book: RoundBook::new(id, n, cfg.retention_rounds),
+            timer_expired: false,
+            current_timer_ticks: 0,
+            metrics: OmegaMetrics::default(),
+        }
+    }
+
+    /// The algorithm of Figure 1 (assumption `A′`), with default tuning.
+    pub fn fig1(id: ProcessId, system: SystemConfig) -> Self {
+        Self::new(id, OmegaConfig::new(system, Variant::Fig1))
+    }
+
+    /// The algorithm of Figure 2 (assumption `A`), with default tuning.
+    pub fn fig2(id: ProcessId, system: SystemConfig) -> Self {
+        Self::new(id, OmegaConfig::new(system, Variant::Fig2))
+    }
+
+    /// The bounded-variable algorithm of Figure 3 (assumption `A`), with
+    /// default tuning. This is the variant a user should normally pick.
+    pub fn fig3(id: ProcessId, system: SystemConfig) -> Self {
+        Self::new(id, OmegaConfig::new(system, Variant::Fig3))
+    }
+
+    /// The `A_{f,g}` algorithm of Section 7, with default tuning.
+    pub fn fg(id: ProcessId, system: SystemConfig, f: GrowthFn, g: GrowthFn) -> Self {
+        Self::new(id, OmegaConfig::new(system, Variant::Fg { f, g }))
+    }
+
+    /// The configuration this process runs with.
+    pub fn config(&self) -> &OmegaConfig {
+        &self.cfg
+    }
+
+    /// The process's activity counters.
+    pub fn metrics(&self) -> OmegaMetrics {
+        self.metrics
+    }
+
+    /// The current suspicion-level vector.
+    pub fn susp_levels(&self) -> &SuspVector {
+        &self.susp
+    }
+
+    /// The current sending round `s_rn_i`.
+    pub fn sending_round(&self) -> RoundNum {
+        self.s_rn
+    }
+
+    /// The current receiving round `r_rn_i`.
+    pub fn receiving_round(&self) -> RoundNum {
+        self.r_rn
+    }
+
+    /// The value (in ticks) most recently loaded into `timer_i`. Section 6's
+    /// claim is that, with the Figure 3 guards, this quantity is bounded for
+    /// the whole execution.
+    pub fn current_timer_ticks(&self) -> u64 {
+        self.current_timer_ticks
+    }
+
+    /// Task `T1`, one iteration: advance the sending round and broadcast
+    /// `ALIVE(s_rn, susp_level)` to every other process (lines 2–3).
+    fn broadcast_alive(&mut self, out: &mut Actions<OmegaMsg>) {
+        self.s_rn += 1;
+        self.metrics.alive_broadcasts += 1;
+        out.broadcast_others(OmegaMsg::Alive { rn: self.s_rn, susp: self.susp.clone() });
+        out.set_timer(TIMER_BROADCAST, self.cfg.send_period);
+    }
+
+    /// Lines 8–12: if the round predicate holds, close the current receiving
+    /// round — broadcast the suspects, re-arm `timer_i`, advance `r_rn`.
+    fn try_close_round(&mut self, out: &mut Actions<OmegaMsg>) {
+        if !self.timer_expired || self.book.heard_count(self.r_rn) < self.cfg.quorum() {
+            return;
+        }
+        let rn = self.r_rn;
+        let suspects = self.book.suspects(rn);
+        self.metrics.rounds_closed += 1;
+        // Line 10: to every process, itself included.
+        out.broadcast_all(OmegaMsg::Suspicion { rn, suspects });
+        // Line 11 (+ the g term of Section 7): reset the timer.
+        let next = rn.next();
+        let timer = self.cfg.timer_ticks(self.susp.max(), next);
+        self.current_timer_ticks = timer.ticks();
+        self.metrics.max_timer_ticks = self.metrics.max_timer_ticks.max(timer.ticks());
+        out.set_timer(TIMER_ROUND, timer);
+        self.timer_expired = false;
+        // Line 12.
+        self.r_rn = next;
+        self.book.prune(self.r_rn);
+    }
+
+    /// Lines 13–18: count a suspicion vote and raise `susp_level[k]` when the
+    /// variant's guards allow it.
+    fn handle_suspicion(&mut self, rn: RoundNum, suspects: &irs_types::ProcessSet) {
+        let quorum = self.cfg.quorum() as u32;
+        for k in suspects.iter() {
+            let count = self.book.record_suspicion(rn, k);
+            if count < quorum {
+                continue;
+            }
+            // Line `*` (Figure 2): k must have been suspected by a quorum in
+            // every round of the look-back window.
+            if self.cfg.variant.uses_window() {
+                let lookback = self.cfg.window_lookback(self.susp.get(k), rn);
+                if !self.book.window_suspected(k, rn, lookback, quorum) {
+                    continue;
+                }
+            }
+            // Line `**` (Figure 3): only the currently least-suspected
+            // processes may have their level raised.
+            if self.cfg.variant.uses_min_bound() && self.susp.get(k) > self.susp.min() {
+                continue;
+            }
+            // Line 17.
+            self.susp.increment(k);
+            self.metrics.susp_increments += 1;
+        }
+    }
+}
+
+impl Protocol for OmegaProcess {
+    type Msg = OmegaMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn on_start(&mut self, out: &mut Actions<OmegaMsg>) {
+        // init: susp_level = [0,…,0]; s_rn = 0; r_rn = 1; set timer_i to 0.
+        self.broadcast_alive(out);
+        self.current_timer_ticks = 0;
+        out.set_timer(TIMER_ROUND, Duration::ZERO);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: OmegaMsg, out: &mut Actions<OmegaMsg>) {
+        match msg {
+            OmegaMsg::Alive { rn, susp } => {
+                // Line 5: entry-wise max merge of the gossiped vector.
+                self.susp.merge_max(&susp);
+                // Line 6: record the sender if the message is not late.
+                if rn >= self.r_rn {
+                    self.book.record_alive(rn, from);
+                    self.metrics.alives_recorded += 1;
+                } else {
+                    self.metrics.alives_late += 1;
+                }
+                self.try_close_round(out);
+            }
+            OmegaMsg::Suspicion { rn, suspects } => {
+                self.handle_suspicion(rn, &suspects);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<OmegaMsg>) {
+        match timer {
+            TIMER_BROADCAST => self.broadcast_alive(out),
+            TIMER_ROUND => {
+                self.timer_expired = true;
+                self.try_close_round(out);
+            }
+            other => debug_assert!(false, "unknown timer {other}"),
+        }
+    }
+}
+
+impl LeaderOracle for OmegaProcess {
+    /// Lines 19–21: the process with the lexicographically smallest
+    /// `(susp_level[ℓ], ℓ)` pair.
+    fn leader(&self) -> ProcessId {
+        self.susp.least_suspected()
+    }
+}
+
+impl Introspect for OmegaProcess {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            leader: self.leader(),
+            sending_round: self.s_rn.value(),
+            receiving_round: self.r_rn.value(),
+            timer_value: self.current_timer_ticks,
+            susp_levels: self.susp.to_vec(),
+            extra: vec![
+                ("alive_broadcasts", self.metrics.alive_broadcasts),
+                ("rounds_closed", self.metrics.rounds_closed),
+                ("susp_increments", self.metrics.susp_increments),
+                ("max_timer_ticks", self.metrics.max_timer_ticks),
+                ("retained_suspicion_rounds", self.book.retained_suspicion_rounds() as u64),
+                ("retained_rec_from_rounds", self.book.retained_rec_from_rounds() as u64),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_types::{Destination, ProcessSet, RoundTagged};
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(4, 1).unwrap()
+    }
+
+    fn drain_sends(out: &Actions<OmegaMsg>) -> Vec<(Destination, OmegaMsg)> {
+        out.sends().iter().map(|o| (o.dest, o.msg.clone())).collect()
+    }
+
+    /// Feed a SUSPICION(rn, {k}) from `quorum` distinct senders.
+    fn feed_quorum_suspicions(p: &mut OmegaProcess, rn: u64, k: u32, quorum: usize) {
+        for sender in 0..quorum {
+            let mut out = Actions::new();
+            p.on_message(
+                ProcessId::new(sender as u32),
+                OmegaMsg::Suspicion {
+                    rn: RoundNum::new(rn),
+                    suspects: ProcessSet::from_ids(4, [ProcessId::new(k)]),
+                },
+                &mut out,
+            );
+        }
+    }
+
+    #[test]
+    fn start_broadcasts_round_one_alive_and_arms_both_timers() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(2), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let sends = drain_sends(&out);
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(&sends[0].1, OmegaMsg::Alive { rn, .. } if *rn == RoundNum::FIRST));
+        assert!(matches!(sends[0].0, Destination::AllOthers));
+        assert_eq!(out.timers().len(), 2);
+        assert_eq!(p.sending_round(), RoundNum::FIRST);
+        assert_eq!(p.receiving_round(), RoundNum::FIRST);
+    }
+
+    #[test]
+    fn broadcast_timer_advances_sending_round() {
+        let mut p = OmegaProcess::fig1(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        for expected in 2..=5u64 {
+            let mut out = Actions::new();
+            p.on_timer(TIMER_BROADCAST, &mut out);
+            assert_eq!(p.sending_round(), RoundNum::new(expected));
+            let sends = drain_sends(&out);
+            assert!(matches!(&sends[0].1, OmegaMsg::Alive { rn, .. } if rn.value() == expected));
+        }
+        assert_eq!(p.metrics().alive_broadcasts, 5);
+    }
+
+    #[test]
+    fn round_closes_only_with_timer_and_quorum() {
+        // n = 4, t = 1 → quorum 3 (self + 2 others).
+        let mut p = OmegaProcess::fig3(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+
+        // Quorum of ALIVE(1) but timer not expired yet: round stays open.
+        for sender in [1u32, 2] {
+            let mut out = Actions::new();
+            p.on_message(
+                ProcessId::new(sender),
+                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &mut out,
+            );
+            assert!(out.sends().is_empty());
+        }
+        assert_eq!(p.receiving_round(), RoundNum::FIRST);
+
+        // Timer expiry closes the round and suspects the silent process p4.
+        let mut out = Actions::new();
+        p.on_timer(TIMER_ROUND, &mut out);
+        let sends = drain_sends(&out);
+        assert_eq!(sends.len(), 1);
+        match &sends[0] {
+            (Destination::All, OmegaMsg::Suspicion { rn, suspects }) => {
+                assert_eq!(*rn, RoundNum::FIRST);
+                assert_eq!(suspects.to_vec(), vec![ProcessId::new(3)]);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(p.receiving_round(), RoundNum::new(2));
+        assert_eq!(p.metrics().rounds_closed, 1);
+    }
+
+    #[test]
+    fn round_closes_on_late_quorum_after_timer() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // Timer fires first: predicate still false (only self heard).
+        let mut out = Actions::new();
+        p.on_timer(TIMER_ROUND, &mut out);
+        assert!(out.sends().is_empty());
+        assert_eq!(p.receiving_round(), RoundNum::FIRST);
+        // Second ALIVE arrives: still below quorum.
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(1),
+            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+            &mut out,
+        );
+        assert!(out.sends().is_empty());
+        // Third ALIVE arrives: quorum reached, round closes from on_message.
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(2),
+            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+            &mut out,
+        );
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(&out.sends()[0].msg, OmegaMsg::Suspicion { .. }));
+        assert_eq!(p.receiving_round(), RoundNum::new(2));
+    }
+
+    #[test]
+    fn alive_messages_for_future_rounds_are_recorded() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(1),
+            OmegaMsg::Alive { rn: RoundNum::new(5), susp: SuspVector::new(4) },
+            &mut out,
+        );
+        assert_eq!(p.metrics().alives_recorded, 1);
+        // Late messages only merge gossip.
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(1),
+            OmegaMsg::Alive { rn: RoundNum::ZERO, susp: SuspVector::from_levels(vec![0, 0, 9, 0]) },
+            &mut out,
+        );
+        assert_eq!(p.metrics().alives_late, 1);
+        assert_eq!(p.susp_levels().get(ProcessId::new(2)), 9);
+    }
+
+    #[test]
+    fn gossip_merge_updates_leader() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(3), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        assert_eq!(p.leader(), ProcessId::new(0));
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(1),
+            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::from_levels(vec![4, 2, 3, 3]) },
+            &mut out,
+        );
+        // Now p2 (index 1) has the smallest level.
+        assert_eq!(p.leader(), ProcessId::new(1));
+    }
+
+    #[test]
+    fn fig1_increments_on_any_quorum_round() {
+        let mut p = OmegaProcess::fig1(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        feed_quorum_suspicions(&mut p, 10, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 1);
+        assert_eq!(p.metrics().susp_increments, 1);
+        // Another quorum on a far-away, isolated round also increments (no
+        // window condition in Figure 1).
+        feed_quorum_suspicions(&mut p, 50, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 2);
+    }
+
+    #[test]
+    fn fig2_window_blocks_isolated_round_quorums() {
+        let mut p = OmegaProcess::fig2(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // First quorum: susp_level[3] is 0, window = {10} only → increments.
+        feed_quorum_suspicions(&mut p, 10, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 1);
+        // Second quorum on round 50: window is [49, 50] and round 49 has no
+        // quorum → blocked.
+        feed_quorum_suspicions(&mut p, 50, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 1);
+        // Consecutive quorums on 60 and 61: the window [60, 61] is full →
+        // increments again.
+        feed_quorum_suspicions(&mut p, 60, 3, 3);
+        feed_quorum_suspicions(&mut p, 61, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 2);
+    }
+
+    #[test]
+    fn fig3_min_bound_blocks_runaway_entries() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // Suspect p4 on many consecutive rounds; without line ** its level
+        // would keep climbing, with it the level stops at min + 1 = 1.
+        for rn in 1..=20u64 {
+            feed_quorum_suspicions(&mut p, rn, 3, 3);
+        }
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 1);
+        // Raise everyone else to 1 as well, then p4 may climb to 2.
+        for k in 0..3u32 {
+            for rn in 30..=31u64 {
+                feed_quorum_suspicions(&mut p, rn, k, 3);
+            }
+        }
+        for rn in 40..=44u64 {
+            feed_quorum_suspicions(&mut p, rn, 3, 3);
+        }
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 2);
+        // Lemma 8: max − min ≤ 1 throughout.
+        assert!(p.susp_levels().max() - p.susp_levels().min() <= 1);
+    }
+
+    #[test]
+    fn timer_value_tracks_max_susp_level() {
+        let mut p = OmegaProcess::new(
+            ProcessId::new(0),
+            OmegaConfig::new(system(), Variant::Fig1).with_timeout_unit(Duration::from_ticks(4)),
+        );
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        feed_quorum_suspicions(&mut p, 1, 3, 3);
+        assert_eq!(p.susp_levels().max(), 1);
+        // Close round 1: timer must be reloaded with 1 × 4 ticks.
+        for sender in [1u32, 2] {
+            let mut out = Actions::new();
+            p.on_message(
+                ProcessId::new(sender),
+                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &mut out,
+            );
+        }
+        let mut out = Actions::new();
+        p.on_timer(TIMER_ROUND, &mut out);
+        assert_eq!(p.current_timer_ticks(), 4);
+        assert!(out
+            .timers()
+            .iter()
+            .any(|t| t.id == TIMER_ROUND && t.after == Duration::from_ticks(4)));
+    }
+
+    #[test]
+    fn fg_variant_adds_g_to_timer_and_f_to_window() {
+        let f = GrowthFn::Constant(2);
+        let g = GrowthFn::Constant(7);
+        let mut p = OmegaProcess::fg(ProcessId::new(0), system(), f, g);
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // Close round 1 with quorum + timer.
+        for sender in [1u32, 2] {
+            let mut out = Actions::new();
+            p.on_message(
+                ProcessId::new(sender),
+                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &mut out,
+            );
+        }
+        let mut out = Actions::new();
+        p.on_timer(TIMER_ROUND, &mut out);
+        // susp max = 0 → timer = 0·unit + g(2) = 7 ticks.
+        assert_eq!(p.current_timer_ticks(), 7);
+        // Window lookback with susp 0 is f = 2: an isolated quorum at round
+        // 10 is blocked because rounds 8 and 9 are missing.
+        feed_quorum_suspicions(&mut p, 10, 3, 3);
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 0);
+        // Quorums on 8, 9, 10 fill the window.
+        feed_quorum_suspicions(&mut p, 8, 3, 3);
+        feed_quorum_suspicions(&mut p, 9, 3, 3);
+        feed_quorum_suspicions(&mut p, 10, 3, 1); // one more vote re-triggers the check
+        assert_eq!(p.susp_levels().get(ProcessId::new(3)), 1);
+    }
+
+    #[test]
+    fn snapshot_exposes_state() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(1), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let s = p.snapshot();
+        assert_eq!(s.leader, ProcessId::new(0));
+        assert_eq!(s.sending_round, 1);
+        assert_eq!(s.receiving_round, 1);
+        assert_eq!(s.susp_levels, vec![0, 0, 0, 0]);
+        assert_eq!(s.gauge("alive_broadcasts"), Some(1));
+        assert_eq!(s.gauge("rounds_closed"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        let _ = OmegaProcess::fig3(ProcessId::new(9), system());
+    }
+
+    #[test]
+    fn suspicion_votes_below_quorum_never_increment() {
+        let mut p = OmegaProcess::fig1(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        feed_quorum_suspicions(&mut p, 5, 2, 2); // quorum is 3
+        assert_eq!(p.susp_levels().get(ProcessId::new(2)), 0);
+        assert_eq!(p.metrics().susp_increments, 0);
+    }
+
+    #[test]
+    fn messages_are_round_tagged_correctly() {
+        let alive = OmegaMsg::Alive { rn: RoundNum::new(3), susp: SuspVector::new(4) };
+        assert_eq!(alive.constrained_round(), Some(RoundNum::new(3)));
+        let susp = OmegaMsg::Suspicion { rn: RoundNum::new(3), suspects: ProcessSet::empty(4) };
+        assert_eq!(susp.constrained_round(), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-round bookkeeping: `rec_from_i[rn]` and `suspicions_i[rn][k]`.
+
+use irs_types::{ProcessId, ProcessSet, RoundNum};
+use std::collections::BTreeMap;
+
+/// The per-round state of one Ω process: which processes it has heard an
+/// `ALIVE(rn)` from, and how many `SUSPICION(rn, …)` votes it has counted
+/// against each process.
+///
+/// The paper's pseudo-code indexes both structures by every round number ever
+/// seen; a literal implementation would grow without bound. `RoundBook`
+/// stores them in ordered maps and prunes entries that can no longer
+/// influence the algorithm:
+///
+/// * `rec_from[rn]` is only read for `rn = r_rn` (the current receiving
+///   round) and only written for `rn ≥ r_rn`, so rounds below `r_rn` are
+///   dropped when the round advances;
+/// * `suspicions[rn][k]` is read by the line-`*` window, which looks back at
+///   most `susp_level[k] + f(rn)` rounds from the round of an incoming
+///   `SUSPICION`; a configurable retention (always at least the largest
+///   window observed so far, plus slack) keeps what the window may need.
+///   A pruned or absent round counts as "not suspected by a quorum", which
+///   can only *delay* a suspicion-level increment, never cause a spurious
+///   one — the conservative direction for the leader-stability lemmas.
+#[derive(Clone, Debug)]
+pub struct RoundBook {
+    owner: ProcessId,
+    n: usize,
+    rec_from: BTreeMap<RoundNum, ProcessSet>,
+    suspicions: BTreeMap<RoundNum, Vec<u32>>,
+    /// Rounds strictly below this have been pruned.
+    floor: RoundNum,
+    /// Extra rounds of suspicion history to retain beyond the largest window
+    /// (0 = never prune).
+    retention: u64,
+    /// Largest look-back window requested so far, tracked so pruning never
+    /// outpaces the window.
+    max_lookback_seen: u64,
+}
+
+impl RoundBook {
+    /// Creates the bookkeeping for a process `owner` of a system of `n`
+    /// processes.
+    pub fn new(owner: ProcessId, n: usize, retention: u64) -> Self {
+        RoundBook {
+            owner,
+            n,
+            rec_from: BTreeMap::new(),
+            suspicions: BTreeMap::new(),
+            floor: RoundNum::FIRST,
+            retention,
+            max_lookback_seen: 0,
+        }
+    }
+
+    /// Records the reception of `ALIVE(rn)` from `from` (line 6).
+    pub fn record_alive(&mut self, rn: RoundNum, from: ProcessId) {
+        let owner = self.owner;
+        let n = self.n;
+        self.rec_from
+            .entry(rn)
+            .or_insert_with(|| ProcessSet::singleton(n, owner))
+            .insert(from);
+    }
+
+    /// The number of processes heard from in round `rn` (the owner always
+    /// counts, per the paper's initialisation `rec_from_i[rn] = {i}`).
+    pub fn heard_count(&self, rn: RoundNum) -> usize {
+        self.rec_from.get(&rn).map_or(1, |s| s.len())
+    }
+
+    /// The set `Π ∖ rec_from_i[rn]` (line 9).
+    pub fn suspects(&self, rn: RoundNum) -> ProcessSet {
+        let all = ProcessSet::full(self.n);
+        match self.rec_from.get(&rn) {
+            Some(heard) => all.difference(heard),
+            None => all.difference(&ProcessSet::singleton(self.n, self.owner)),
+        }
+    }
+
+    /// Records one `SUSPICION(rn, …)` vote against `k` (line 15) and returns
+    /// the updated count.
+    pub fn record_suspicion(&mut self, rn: RoundNum, k: ProcessId) -> u32 {
+        if rn < self.floor {
+            // The round was pruned; counting a vote for it could not lead to
+            // an increment anyway (the window check treats pruned rounds as
+            // unsatisfied), so drop it.
+            return 0;
+        }
+        let n = self.n;
+        let counts = self.suspicions.entry(rn).or_insert_with(|| vec![0; n]);
+        counts[k.index()] += 1;
+        counts[k.index()]
+    }
+
+    /// The number of `SUSPICION(rn, …)` votes counted against `k`.
+    pub fn suspicion_count(&self, rn: RoundNum, k: ProcessId) -> u32 {
+        self.suspicions.get(&rn).map_or(0, |c| c[k.index()])
+    }
+
+    /// The line-`*` window condition: `true` iff every round
+    /// `x ∈ [rn − lookback, rn]` (clamped to start at round 1) has counted at
+    /// least `quorum` votes against `k`.
+    ///
+    /// Rounds that were pruned (below the retention floor) count as *not*
+    /// satisfying the condition.
+    pub fn window_suspected(&mut self, k: ProcessId, rn: RoundNum, lookback: u64, quorum: u32) -> bool {
+        self.max_lookback_seen = self.max_lookback_seen.max(lookback);
+        let low = rn.saturating_back(lookback).max(RoundNum::FIRST);
+        if low < self.floor {
+            return false;
+        }
+        for x in low.through(rn) {
+            if self.suspicion_count(x, k) < quorum {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Drops bookkeeping that can no longer influence the algorithm, given
+    /// that the receiving round has advanced to `r_rn`.
+    pub fn prune(&mut self, r_rn: RoundNum) {
+        // rec_from is only read at r_rn and written at rn ≥ r_rn.
+        self.rec_from.retain(|rn, _| *rn >= r_rn);
+        if self.retention == 0 {
+            return;
+        }
+        // Keep at least the largest window ever requested, plus slack, plus
+        // the configured retention.
+        let keep = self
+            .retention
+            .max(self.max_lookback_seen.saturating_add(2));
+        let new_floor = r_rn.saturating_back(keep);
+        if new_floor > self.floor {
+            self.floor = new_floor;
+            self.suspicions.retain(|rn, _| *rn >= new_floor);
+        }
+    }
+
+    /// Number of rounds currently retained in the suspicion table (a gauge
+    /// for the memory-boundedness experiment).
+    pub fn retained_suspicion_rounds(&self) -> usize {
+        self.suspicions.len()
+    }
+
+    /// Number of rounds currently retained in the `rec_from` table.
+    pub fn retained_rec_from_rounds(&self) -> usize {
+        self.rec_from.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> RoundBook {
+        RoundBook::new(ProcessId::new(0), 5, 64)
+    }
+
+    #[test]
+    fn owner_always_counts_as_heard() {
+        let b = book();
+        assert_eq!(b.heard_count(RoundNum::new(3)), 1);
+        let suspects = b.suspects(RoundNum::new(3));
+        assert_eq!(suspects.len(), 4);
+        assert!(!suspects.contains(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn record_alive_and_suspects() {
+        let mut b = book();
+        b.record_alive(RoundNum::new(2), ProcessId::new(1));
+        b.record_alive(RoundNum::new(2), ProcessId::new(3));
+        b.record_alive(RoundNum::new(2), ProcessId::new(3)); // duplicate is idempotent
+        assert_eq!(b.heard_count(RoundNum::new(2)), 3);
+        let suspects = b.suspects(RoundNum::new(2));
+        assert_eq!(suspects.to_vec(), vec![ProcessId::new(2), ProcessId::new(4)]);
+    }
+
+    #[test]
+    fn suspicion_counting() {
+        let mut b = book();
+        assert_eq!(b.suspicion_count(RoundNum::new(1), ProcessId::new(2)), 0);
+        assert_eq!(b.record_suspicion(RoundNum::new(1), ProcessId::new(2)), 1);
+        assert_eq!(b.record_suspicion(RoundNum::new(1), ProcessId::new(2)), 2);
+        assert_eq!(b.record_suspicion(RoundNum::new(1), ProcessId::new(4)), 1);
+        assert_eq!(b.suspicion_count(RoundNum::new(1), ProcessId::new(2)), 2);
+    }
+
+    #[test]
+    fn window_requires_every_round_in_range() {
+        let mut b = book();
+        let k = ProcessId::new(3);
+        for rn in 5..=10u64 {
+            for _ in 0..3 {
+                b.record_suspicion(RoundNum::new(rn), k);
+            }
+        }
+        // lookback 5 from round 10 → rounds 5..=10, all have 3 votes.
+        assert!(b.window_suspected(k, RoundNum::new(10), 5, 3));
+        // lookback 6 from round 10 → round 4 has no votes.
+        assert!(!b.window_suspected(k, RoundNum::new(10), 6, 3));
+        // higher quorum fails.
+        assert!(!b.window_suspected(k, RoundNum::new(10), 5, 4));
+        // lookback 0 only checks rn itself.
+        assert!(b.window_suspected(k, RoundNum::new(7), 0, 3));
+    }
+
+    #[test]
+    fn window_clamps_at_round_one() {
+        let mut b = book();
+        let k = ProcessId::new(1);
+        b.record_suspicion(RoundNum::new(1), k);
+        b.record_suspicion(RoundNum::new(2), k);
+        // lookback larger than the history: window is [1, 2] after clamping.
+        assert!(b.window_suspected(k, RoundNum::new(2), 100, 1));
+    }
+
+    #[test]
+    fn prune_drops_old_rounds_but_keeps_window() {
+        let mut b = RoundBook::new(ProcessId::new(0), 4, 8);
+        let k = ProcessId::new(2);
+        for rn in 1..=100u64 {
+            b.record_alive(RoundNum::new(rn), ProcessId::new(1));
+            b.record_suspicion(RoundNum::new(rn), k);
+        }
+        assert_eq!(b.retained_rec_from_rounds(), 100);
+        b.prune(RoundNum::new(100));
+        // rec_from below round 100 is gone.
+        assert_eq!(b.retained_rec_from_rounds(), 1);
+        // suspicion history keeps the last `retention` (8) + slack rounds.
+        assert!(b.retained_suspicion_rounds() <= 12);
+        assert!(b.retained_suspicion_rounds() >= 8);
+        // Window queries inside the retained range still work…
+        assert!(b.window_suspected(k, RoundNum::new(100), 5, 1));
+        // …and queries reaching below the pruned floor conservatively fail.
+        assert!(!b.window_suspected(k, RoundNum::new(100), 50, 1));
+        // Votes for pruned rounds are ignored.
+        assert_eq!(b.record_suspicion(RoundNum::new(3), k), 0);
+    }
+
+    #[test]
+    fn zero_retention_never_prunes_suspicions() {
+        let mut b = RoundBook::new(ProcessId::new(0), 4, 0);
+        let k = ProcessId::new(1);
+        for rn in 1..=50u64 {
+            b.record_suspicion(RoundNum::new(rn), k);
+        }
+        b.prune(RoundNum::new(50));
+        assert_eq!(b.retained_suspicion_rounds(), 50);
+        assert!(b.window_suspected(k, RoundNum::new(50), 49, 1));
+    }
+
+    #[test]
+    fn prune_respects_observed_lookback() {
+        let mut b = RoundBook::new(ProcessId::new(0), 4, 4);
+        let k = ProcessId::new(1);
+        for rn in 1..=60u64 {
+            b.record_suspicion(RoundNum::new(rn), k);
+        }
+        // A window of 30 has been requested: pruning must keep at least 32.
+        assert!(b.window_suspected(k, RoundNum::new(60), 30, 1));
+        b.prune(RoundNum::new(60));
+        assert!(b.retained_suspicion_rounds() >= 32, "{}", b.retained_suspicion_rounds());
+    }
+}

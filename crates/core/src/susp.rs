@@ -1,0 +1,204 @@
+//! The `susp_level_i[1..n]` vector.
+
+use irs_types::ProcessId;
+
+/// The per-process suspicion-level vector `susp_level_i[1..n]`.
+///
+/// `susp_level_i[j]` counts, from `p_i`'s point of view, the number of
+/// (windows of) rounds during which `p_j` has been suspected by at least
+/// `n − t` processes. The vector is gossiped inside every `ALIVE` message and
+/// merged entry-wise with `max` on reception (line 5 of Figure 1), so all
+/// correct processes converge on the same value for every entry that stops
+/// increasing.
+///
+/// Entries never decrease. The current leader is the process with the
+/// lexicographically smallest `(susp_level[ℓ], ℓ)` pair (lines 19–21).
+///
+/// # Example
+///
+/// ```
+/// use irs_omega::SuspVector;
+/// use irs_types::ProcessId;
+///
+/// let mut v = SuspVector::new(3);
+/// v.increment(ProcessId::new(0));
+/// v.increment(ProcessId::new(0));
+/// v.increment(ProcessId::new(2));
+/// assert_eq!(v.get(ProcessId::new(0)), 2);
+/// assert_eq!(v.least_suspected(), ProcessId::new(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SuspVector {
+    levels: Vec<u64>,
+}
+
+impl SuspVector {
+    /// Creates an all-zero vector for `n` processes.
+    pub fn new(n: usize) -> Self {
+        SuspVector { levels: vec![0; n] }
+    }
+
+    /// Creates a vector from raw levels (mainly for tests).
+    pub fn from_levels(levels: Vec<u64>) -> Self {
+        SuspVector { levels }
+    }
+
+    /// Number of entries (the system size `n`).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The suspicion level of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a process of this system.
+    pub fn get(&self, p: ProcessId) -> u64 {
+        self.levels[p.index()]
+    }
+
+    /// Increments the suspicion level of `p` (line 17).
+    pub fn increment(&mut self, p: ProcessId) {
+        self.levels[p.index()] += 1;
+    }
+
+    /// Entry-wise maximum with another vector (line 5, the gossip merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn merge_max(&mut self, other: &SuspVector) {
+        assert_eq!(self.levels.len(), other.levels.len(), "merging vectors of different systems");
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The smallest entry.
+    pub fn min(&self) -> u64 {
+        self.levels.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The largest entry.
+    pub fn max(&self) -> u64 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The process with the lexicographically smallest `(level, id)` pair —
+    /// the leader (lines 19–21 of Figure 1).
+    pub fn least_suspected(&self) -> ProcessId {
+        let mut best = ProcessId::new(0);
+        let mut best_level = self.levels.first().copied().unwrap_or(0);
+        for (i, &level) in self.levels.iter().enumerate().skip(1) {
+            if level < best_level {
+                best = ProcessId::new(i as u32);
+                best_level = level;
+            }
+        }
+        best
+    }
+
+    /// A read-only view of the raw levels, indexed by process index.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.levels
+    }
+
+    /// Copies the levels into a `Vec<u64>` (for snapshots).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.levels.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let v = SuspVector::new(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.as_slice(), &[0, 0, 0, 0]);
+        assert_eq!(v.min(), 0);
+        assert_eq!(v.max(), 0);
+    }
+
+    #[test]
+    fn increment_and_get() {
+        let mut v = SuspVector::new(3);
+        v.increment(ProcessId::new(1));
+        v.increment(ProcessId::new(1));
+        assert_eq!(v.get(ProcessId::new(1)), 2);
+        assert_eq!(v.get(ProcessId::new(0)), 0);
+        assert_eq!(v.max(), 2);
+    }
+
+    #[test]
+    fn merge_takes_entrywise_max() {
+        let mut a = SuspVector::from_levels(vec![3, 0, 5]);
+        let b = SuspVector::from_levels(vec![1, 4, 5]);
+        a.merge_max(&b);
+        assert_eq!(a.as_slice(), &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different systems")]
+    fn merge_different_lengths_panics() {
+        SuspVector::new(2).merge_max(&SuspVector::new(3));
+    }
+
+    #[test]
+    fn leader_is_lexicographic_min() {
+        // Equal levels: smallest id wins.
+        let v = SuspVector::from_levels(vec![2, 2, 2]);
+        assert_eq!(v.least_suspected(), ProcessId::new(0));
+        // Strictly smaller level wins regardless of id.
+        let v = SuspVector::from_levels(vec![2, 1, 2]);
+        assert_eq!(v.least_suspected(), ProcessId::new(1));
+        // Ties between non-zero ids: smaller id.
+        let v = SuspVector::from_levels(vec![5, 3, 3]);
+        assert_eq!(v.least_suspected(), ProcessId::new(1));
+    }
+
+    #[test]
+    fn empty_vector_leader_is_p0() {
+        let v = SuspVector::new(0);
+        assert!(v.is_empty());
+        assert_eq!(v.least_suspected(), ProcessId::new(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_is_commutative_and_idempotent(
+            a in proptest::collection::vec(0u64..100, 1..16),
+        ) {
+            let b: Vec<u64> = a.iter().rev().copied().collect();
+            let mut ab = SuspVector::from_levels(a.clone());
+            ab.merge_max(&SuspVector::from_levels(b.clone()));
+            let mut ba = SuspVector::from_levels(b);
+            ba.merge_max(&SuspVector::from_levels(a));
+            prop_assert_eq!(ab.clone(), ba);
+            let mut twice = ab.clone();
+            twice.merge_max(&ab);
+            prop_assert_eq!(twice, ab);
+        }
+
+        #[test]
+        fn prop_leader_has_min_level(levels in proptest::collection::vec(0u64..50, 1..20)) {
+            let v = SuspVector::from_levels(levels.clone());
+            let leader = v.least_suspected();
+            let min = levels.iter().copied().min().unwrap();
+            prop_assert_eq!(v.get(leader), min);
+            // And no smaller id has the same level.
+            for i in 0..leader.index() {
+                prop_assert!(levels[i] > min);
+            }
+        }
+    }
+}

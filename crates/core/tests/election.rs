@@ -1,0 +1,204 @@
+//! Integration tests: the Ω algorithms driven by the discrete-event
+//! simulator under the assumptions they are proved correct for.
+//!
+//! These are the executable counterparts of Theorems 1–3 of the paper.
+
+use irs_omega::{invariants, OmegaConfig, OmegaProcess, Variant};
+use irs_sim::adversary::presets;
+use irs_sim::adversary::star::{StarAdversary, StarConfig};
+use irs_sim::adversary::{Adversary, DelayDist};
+use irs_sim::{CrashPlan, SimConfig, SimReport, Simulation};
+use irs_types::{Duration, ProcessId, RoundTagged, SystemConfig, Time};
+
+fn background() -> DelayDist {
+    DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(60))
+}
+
+fn processes(system: SystemConfig, variant: Variant) -> Vec<OmegaProcess> {
+    system
+        .processes()
+        .map(|id| OmegaProcess::new(id, OmegaConfig::new(system, variant)))
+        .collect()
+}
+
+fn run<A>(
+    system: SystemConfig,
+    variant: Variant,
+    adversary: A,
+    crashes: CrashPlan,
+    seed: u64,
+    horizon: u64,
+) -> SimReport
+where
+    A: Adversary<irs_omega::OmegaMsg>,
+    irs_omega::OmegaMsg: RoundTagged,
+{
+    let mut sim = Simulation::new(
+        SimConfig::new(seed, Time::from_ticks(horizon)),
+        processes(system, variant),
+        adversary,
+        crashes,
+    );
+    sim.run_until_stable_for(Duration::from_ticks(20_000))
+}
+
+/// Theorem 1: Figure 1 implements Ω under A′ (rotating star, every round).
+#[test]
+fn fig1_elects_leader_under_a_prime() {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(3);
+    let adversary = StarAdversary::new(StarConfig::a_prime(system, center), 11);
+    let report = run(system, Variant::Fig1, adversary, CrashPlan::new(), 1, 400_000);
+    assert!(report.is_stable(), "history: {:?}", report.leader_history.len());
+    assert!(invariants::leadership_holds(&report.final_snapshots, &report.crashed));
+}
+
+/// Theorem 3: Figure 3 implements Ω under A (intermittent rotating star).
+#[test]
+fn fig3_elects_leader_under_intermittent_star() {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(2);
+    let adversary = presets::intermittent_rotating_star(
+        system,
+        center,
+        Duration::from_ticks(8),
+        4,
+        background(),
+        13,
+    );
+    let report = run(system, Variant::Fig3, adversary, CrashPlan::new(), 2, 400_000);
+    assert!(report.is_stable());
+    let (_, bounded) = invariants::theorem4_bound(&report.final_snapshots);
+    assert!(bounded, "Theorem 4 bound violated");
+    for snap in report.final_snapshots.iter().flatten() {
+        let spread = snap.susp_levels.iter().max().unwrap() - snap.susp_levels.iter().min().unwrap();
+        assert!(spread <= 1, "Lemma 8 violated: {:?}", snap.susp_levels);
+    }
+}
+
+/// Lemma 1 / Lemma 3 / re-election: when the elected leader crashes, its
+/// suspicion level keeps growing at every correct process and a new correct
+/// leader is eventually elected.
+#[test]
+fn leader_crash_triggers_reelection() {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(4);
+    let adversary = StarAdversary::new(StarConfig::a_prime(system, center), 17);
+    // p1 (smallest id, hence initial leader) crashes mid-run.
+    let crashes = CrashPlan::new().crash(ProcessId::new(0), Time::from_ticks(50_000));
+    let report = run(system, Variant::Fig3, adversary, crashes, 3, 600_000);
+    assert!(report.is_stable());
+    let leader = report.stabilization.unwrap().leader;
+    assert_ne!(leader, ProcessId::new(0), "crashed process must not stay leader");
+    assert!(!report.crashed.contains(&leader));
+    // The crashed process is (among) the most suspected at every live process.
+    for snap in report.final_snapshots.iter().flatten() {
+        let crashed_level = snap.susp_levels[0];
+        let leader_level = snap.susp_levels[leader.index()];
+        assert!(crashed_level >= leader_level);
+    }
+}
+
+/// The special cases of Section 1.2: the same Figure 3 algorithm works under
+/// the eventual t-source, moving source, message pattern and combined
+/// assumptions (they are all instances of A′).
+#[test]
+fn fig3_works_under_all_special_case_assumptions() {
+    let system = SystemConfig::new(4, 1).unwrap();
+    let center = ProcessId::new(2);
+    let delta = Duration::from_ticks(8);
+    let cases: Vec<(&str, StarAdversary)> = vec![
+        ("t-source", presets::eventual_t_source(system, center, delta, background(), 5)),
+        ("moving", presets::eventual_t_moving_source(system, center, delta, background(), 5)),
+        ("pattern", presets::message_pattern(system, center, background(), 5)),
+        ("combined", presets::combined_fixed(system, center, delta, background(), 5)),
+    ];
+    for (name, adversary) in cases {
+        let report = run(system, Variant::Fig3, adversary, CrashPlan::new(), 7, 400_000);
+        assert!(report.is_stable(), "assumption {name} failed to elect a leader");
+    }
+}
+
+/// Section 7: the A_{f,g} variant elects a leader even when the timeliness
+/// bound and the star gaps grow over time, provided the algorithm knows f, g.
+#[test]
+fn fg_variant_elects_leader_under_fg_star() {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(1);
+    let f = irs_types::GrowthFn::Log2;
+    let g = irs_types::GrowthFn::Log2;
+    let adversary = presets::fg_rotating_star(
+        system,
+        center,
+        Duration::from_ticks(8),
+        3,
+        f,
+        g,
+        background(),
+        23,
+    );
+    let report = run(
+        system,
+        Variant::Fg { f, g },
+        adversary,
+        CrashPlan::new(),
+        5,
+        500_000,
+    );
+    assert!(report.is_stable());
+}
+
+/// Determinism: identical seeds and configurations give identical runs.
+#[test]
+fn simulation_is_deterministic() {
+    let system = SystemConfig::new(4, 1).unwrap();
+    let go = || {
+        let adversary = StarAdversary::new(StarConfig::a_prime(system, ProcessId::new(1)), 3);
+        let mut sim = Simulation::new(
+            SimConfig::new(77, Time::from_ticks(60_000)),
+            processes(system, Variant::Fig3),
+            adversary,
+            CrashPlan::new().crash(ProcessId::new(3), Time::from_ticks(9_000)),
+        );
+        let r = sim.run();
+        (
+            r.counters,
+            r.leader_history.len(),
+            r.stabilization,
+            r.final_snapshots
+                .iter()
+                .flatten()
+                .map(|s| s.susp_levels.clone())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(go(), go());
+}
+
+/// Crashing up to t processes never prevents election (here t = 2 of n = 5).
+/// This test runs to the full horizon (no early stop) so that both scheduled
+/// crashes actually happen before the final agreement is checked.
+#[test]
+fn tolerates_t_crashes() {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(4);
+    let adversary = StarAdversary::new(StarConfig::a_prime(system, center), 29);
+    let crashes = CrashPlan::new()
+        .crash(ProcessId::new(0), Time::from_ticks(20_000))
+        .crash(ProcessId::new(1), Time::from_ticks(40_000));
+    let mut sim = Simulation::new(
+        SimConfig::new(9, Time::from_ticks(300_000)),
+        processes(system, Variant::Fig3),
+        adversary,
+        crashes,
+    );
+    // Advance past both crash times first, then wait for a quiet period, so
+    // the early-stop cannot fire before the crashes have been injected.
+    sim.start();
+    while sim.now() < Time::from_ticks(45_000) && sim.step() {}
+    let report = sim.run_until_stable_for(Duration::from_ticks(20_000));
+    assert!(report.is_stable());
+    let leader = report.stabilization.unwrap().leader;
+    assert!(leader.index() >= 2, "leader {leader} crashed");
+    assert_eq!(report.crashed.len(), 2);
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the intermittent-rotating-star workspace.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of lemmas and
+//! theorems. This crate turns each of them into a measurable experiment
+//! (E1–E10, indexed in `EXPERIMENTS.md` and `DESIGN.md`) and provides the
+//! machinery to run them reproducibly:
+//!
+//! * [`Scenario`] — one fully specified cell: system size, algorithm,
+//!   assumption (adversary), background-delay regime, crash schedule,
+//!   horizon, seeds;
+//! * [`RunOutcome`] / [`Aggregate`] — what one run produced and how a batch
+//!   of seeds is summarised;
+//! * [`suite`] — the ten experiments, each returning a [`Table`];
+//! * [`Table`] — plain-text / CSV rendering used by the `irs-experiments`
+//!   binary and pasted into `EXPERIMENTS.md`.
+//!
+//! Run the whole suite with `cargo run --release -p irs-experiments -- all`,
+//! or a single experiment with e.g. `… -- e6`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod outcome;
+mod scenario;
+pub mod suite;
+mod table;
+
+pub use outcome::{Aggregate, RunOutcome};
+pub use scenario::{Algorithm, Assumption, Background, Scenario};
+pub use table::Table;

@@ -1,0 +1,64 @@
+//! Command-line entry point: regenerate the tables of EXPERIMENTS.md.
+//!
+//! ```text
+//! irs-experiments list              # list experiment ids
+//! irs-experiments all [--quick]     # run everything
+//! irs-experiments e6 e8 [--csv]     # run selected experiments
+//! ```
+
+use irs_experiments::suite;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let selections: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let catalogue = suite::all();
+
+    if selections.is_empty() || selections.iter().any(|s| s == "list") {
+        eprintln!("usage: irs-experiments [list | all | e1 .. e10]... [--quick] [--csv]");
+        eprintln!("available experiments:");
+        for (id, _) in &catalogue {
+            eprintln!("  {id}");
+        }
+        if selections.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let run_all = selections.iter().any(|s| s == "all");
+    let mut ran_any = false;
+    for (id, run) in catalogue {
+        if run_all || selections.iter().any(|s| s == id) {
+            ran_any = true;
+            let started = std::time::Instant::now();
+            let table = run(quick);
+            let elapsed = started.elapsed();
+            let mut stdout = std::io::stdout().lock();
+            if csv {
+                let _ = writeln!(stdout, "# {} — {}", table.id, table.title);
+                let _ = write!(stdout, "{}", table.to_csv());
+            } else {
+                let _ = write!(stdout, "{}", table.to_text());
+            }
+            let _ = writeln!(
+                stdout,
+                "({} finished in {:.1}s{})\n",
+                id,
+                elapsed.as_secs_f64(),
+                if quick { ", quick mode" } else { "" }
+            );
+        }
+    }
+    if !ran_any {
+        eprintln!("no experiment matched {selections:?}; try `irs-experiments list`");
+        std::process::exit(2);
+    }
+}

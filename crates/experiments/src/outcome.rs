@@ -1,0 +1,252 @@
+//! Per-run outcomes and cross-seed aggregation.
+
+use irs_sim::{SimReport, Summary};
+use irs_types::ProcessId;
+
+/// What one simulated run produced, reduced to the quantities the
+/// experiment tables report.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Did the run end with all live processes agreeing on a live leader?
+    pub stabilized: bool,
+    /// Time (ticks) of the last leadership change, when stabilised.
+    pub stabilization_ticks: Option<u64>,
+    /// Simulated time at which the run stopped.
+    pub final_ticks: u64,
+    /// The final common leader, if any.
+    pub leader: Option<ProcessId>,
+    /// Whether that leader is the star centre of the assumption.
+    pub leader_is_center: bool,
+    /// How many distinct common leaders the run went through.
+    pub distinct_leaders: usize,
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Assumption-constrained (`ALIVE`-class) messages sent.
+    pub constrained_sent: u64,
+    /// Other messages sent.
+    pub other_sent: u64,
+    /// Estimated bytes sent.
+    pub bytes_sent: u64,
+    /// Largest suspicion level / counter across live processes at the end.
+    pub max_susp_level: u64,
+    /// Smallest suspicion level / counter across live processes at the end —
+    /// the level of the *least* suspected process. An algorithm whose
+    /// suspicions truly stabilise keeps this small; one that merely happens
+    /// to keep a stable arg-min while charging everybody lets it grow.
+    pub min_susp_level: u64,
+    /// Largest timer value (ticks) reported by live processes at the end.
+    pub max_timer_ticks: u64,
+    /// Largest within-process spread `max − min` of suspicion levels.
+    pub susp_spread: u64,
+    /// The bound `B` of Definition 3 computed from the final snapshots.
+    pub theorem4_b: u64,
+    /// Whether every entry is at most `B + 1` (Theorem 4).
+    pub theorem4_holds: bool,
+    /// Largest number of receiving rounds closed by any live process.
+    pub rounds_closed: u64,
+    /// How many processes crashed during the run.
+    pub crashed: usize,
+}
+
+impl RunOutcome {
+    /// Reduces a [`SimReport`] to an outcome. `center` is the star centre of
+    /// the assumption the run used, if it had one.
+    pub fn from_report(report: &SimReport, center: Option<ProcessId>) -> Self {
+        let (b, holds) = irs_omega::invariants::theorem4_bound(&report.final_snapshots);
+        let susp_spread = report
+            .final_snapshots
+            .iter()
+            .flatten()
+            .filter(|s| !s.susp_levels.is_empty())
+            .map(|s| s.max_susp_level() - s.min_susp_level())
+            .max()
+            .unwrap_or(0);
+        let max_timer_ticks = report
+            .final_snapshots
+            .iter()
+            .flatten()
+            .map(|s| s.gauge("max_timer_ticks").unwrap_or(s.timer_value))
+            .max()
+            .unwrap_or(0);
+        let rounds_closed = report
+            .final_snapshots
+            .iter()
+            .flatten()
+            .map(|s| s.gauge("rounds_closed").unwrap_or(s.receiving_round))
+            .max()
+            .unwrap_or(0);
+        let distinct_leaders = {
+            let mut leaders: Vec<ProcessId> = Vec::new();
+            for change in &report.leader_history {
+                if let Some(l) = change.agreed {
+                    if leaders.last() != Some(&l) {
+                        leaders.push(l);
+                    }
+                }
+            }
+            leaders.len()
+        };
+        let leader = report.stabilization.map(|s| s.leader);
+        RunOutcome {
+            stabilized: report.is_stable(),
+            stabilization_ticks: report.stabilization_ticks(),
+            final_ticks: report.final_time.ticks(),
+            leader,
+            leader_is_center: center.is_some() && leader == center,
+            distinct_leaders,
+            messages_sent: report.counters.messages_sent,
+            constrained_sent: report.counters.constrained_sent,
+            other_sent: report.counters.other_sent,
+            bytes_sent: report.counters.bytes_sent,
+            max_susp_level: report.max_final_susp_level(),
+            min_susp_level: report
+                .final_snapshots
+                .iter()
+                .flatten()
+                .filter(|s| !s.susp_levels.is_empty())
+                .map(|s| s.min_susp_level())
+                .min()
+                .unwrap_or(0),
+            max_timer_ticks,
+            susp_spread,
+            theorem4_b: b,
+            theorem4_holds: holds,
+            rounds_closed,
+            crashed: report.crashed.len(),
+        }
+    }
+}
+
+/// Aggregation of the same scenario run under several seeds.
+#[derive(Clone, Debug)]
+pub struct Aggregate {
+    /// Number of runs.
+    pub runs: usize,
+    /// Number of runs that stabilised.
+    pub stabilized: usize,
+    /// Stabilisation times of the stabilised runs.
+    pub stab_time: Summary,
+    /// Messages sent per run.
+    pub messages: Summary,
+    /// Bytes sent per run.
+    pub bytes: Summary,
+    /// Largest suspicion level observed in any run.
+    pub max_susp_level: u64,
+    /// Largest timer value observed in any run.
+    pub max_timer_ticks: u64,
+    /// Largest suspicion-level spread observed in any run.
+    pub max_spread: u64,
+    /// Whether Theorem 4's bound held in every run.
+    pub theorem4_all_hold: bool,
+    /// Number of runs whose final leader was the star centre.
+    pub leader_was_center: usize,
+    /// Distinct common leaders, averaged over runs.
+    pub mean_distinct_leaders: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a batch of outcomes.
+    pub fn from_outcomes(outcomes: &[RunOutcome]) -> Self {
+        let stab_times: Vec<u64> = outcomes.iter().filter_map(|o| o.stabilization_ticks).collect();
+        Aggregate {
+            runs: outcomes.len(),
+            stabilized: outcomes.iter().filter(|o| o.stabilized).count(),
+            stab_time: Summary::from_samples(&stab_times),
+            messages: Summary::from_samples(&outcomes.iter().map(|o| o.messages_sent).collect::<Vec<_>>()),
+            bytes: Summary::from_samples(&outcomes.iter().map(|o| o.bytes_sent).collect::<Vec<_>>()),
+            max_susp_level: outcomes.iter().map(|o| o.max_susp_level).max().unwrap_or(0),
+            max_timer_ticks: outcomes.iter().map(|o| o.max_timer_ticks).max().unwrap_or(0),
+            max_spread: outcomes.iter().map(|o| o.susp_spread).max().unwrap_or(0),
+            theorem4_all_hold: outcomes.iter().all(|o| o.theorem4_holds),
+            leader_was_center: outcomes.iter().filter(|o| o.leader_is_center).count(),
+            mean_distinct_leaders: if outcomes.is_empty() {
+                0.0
+            } else {
+                outcomes.iter().map(|o| o.distinct_leaders as f64).sum::<f64>() / outcomes.len() as f64
+            },
+        }
+    }
+
+    /// `"k/n"` stabilisation cell.
+    pub fn stab_cell(&self) -> String {
+        format!("{}/{}", self.stabilized, self.runs)
+    }
+
+    /// Median stabilisation time cell (`"-"` when nothing stabilised).
+    pub fn stab_time_cell(&self) -> String {
+        if self.stabilized == 0 {
+            "-".to_string()
+        } else {
+            format!("{}", self.stab_time.median())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_sim::{LeaderChange, TraceCounters};
+    use irs_types::{Snapshot, Time};
+
+    fn fake_report(stable: bool) -> SimReport {
+        let snapshot = Snapshot {
+            leader: ProcessId::new(1),
+            susp_levels: vec![3, 1, 2],
+            timer_value: 12,
+            ..Snapshot::default()
+        };
+        SimReport {
+            final_time: Time::from_ticks(5_000),
+            counters: TraceCounters { messages_sent: 100, constrained_sent: 60, other_sent: 40, bytes_sent: 9_000, ..TraceCounters::default() },
+            leader_history: vec![LeaderChange { at: Time::from_ticks(1_000), agreed: Some(ProcessId::new(1)) }],
+            stabilization: stable.then_some(irs_sim::Stabilization { leader: ProcessId::new(1), at: Time::from_ticks(1_000) }),
+            final_snapshots: vec![Some(snapshot.clone()), Some(snapshot), None],
+            crashed: vec![ProcessId::new(2)],
+            adversary: "test".into(),
+        }
+    }
+
+    #[test]
+    fn outcome_extracts_report_fields() {
+        let o = RunOutcome::from_report(&fake_report(true), Some(ProcessId::new(1)));
+        assert!(o.stabilized);
+        assert_eq!(o.stabilization_ticks, Some(1_000));
+        assert_eq!(o.leader, Some(ProcessId::new(1)));
+        assert!(o.leader_is_center);
+        assert_eq!(o.messages_sent, 100);
+        assert_eq!(o.max_susp_level, 3);
+        assert_eq!(o.min_susp_level, 1);
+        assert_eq!(o.susp_spread, 2);
+        assert_eq!(o.crashed, 1);
+        assert_eq!(o.distinct_leaders, 1);
+        // B = min over columns of the max = min(3,1,2) = 1; 3 > B+1 so the
+        // bound does not hold for this synthetic snapshot.
+        assert_eq!(o.theorem4_b, 1);
+        assert!(!o.theorem4_holds);
+    }
+
+    #[test]
+    fn outcome_without_center_or_stabilization() {
+        let o = RunOutcome::from_report(&fake_report(false), None);
+        assert!(!o.stabilized);
+        assert_eq!(o.stabilization_ticks, None);
+        assert!(!o.leader_is_center);
+    }
+
+    #[test]
+    fn aggregate_counts_and_cells() {
+        let stable = RunOutcome::from_report(&fake_report(true), Some(ProcessId::new(1)));
+        let unstable = RunOutcome::from_report(&fake_report(false), Some(ProcessId::new(1)));
+        let agg = Aggregate::from_outcomes(&[stable.clone(), stable, unstable]);
+        assert_eq!(agg.runs, 3);
+        assert_eq!(agg.stabilized, 2);
+        assert_eq!(agg.stab_cell(), "2/3");
+        assert_eq!(agg.stab_time_cell(), "1000");
+        assert_eq!(agg.leader_was_center, 2);
+        assert_eq!(agg.max_susp_level, 3);
+        assert!(!agg.theorem4_all_hold);
+        let empty = Aggregate::from_outcomes(&[]);
+        assert_eq!(empty.stab_cell(), "0/0");
+        assert_eq!(empty.stab_time_cell(), "-");
+    }
+}

@@ -1,0 +1,415 @@
+//! Scenario description and the generic scenario runner.
+//!
+//! A [`Scenario`] names everything a reproducible run needs: the system size,
+//! the algorithm under test, the behavioural assumption (adversary), the
+//! background-delay regime, the crash schedule, the horizon and the seeds.
+//! [`Scenario::run`] executes it under every seed and returns one
+//! [`RunOutcome`] per seed; the experiment modules turn those into table
+//! rows.
+
+use crate::outcome::RunOutcome;
+use irs_baselines::{OmegaMessagePattern, OmegaTSource, OmegaTimeoutAll};
+use irs_omega::{OmegaConfig, OmegaProcess, Variant};
+use irs_sim::adversary::basic::{EventuallySynchronous, RandomDelay};
+use irs_sim::adversary::{presets, Adversary, DelayDist};
+use irs_sim::{CrashPlan, SimConfig, Simulation};
+use irs_types::{
+    Duration, GrowthFn, Introspect, ProcessId, Protocol, RoundTagged, SystemConfig, Time,
+};
+
+/// The delay regime of all assumption-unconstrained messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Background {
+    /// Uniform delays in `[1, 60]` ticks — bounded, so even timeout-chasing
+    /// algorithms can eventually adapt to it.
+    Static,
+    /// Delays whose spread grows without bound over simulated time — only
+    /// assumption-protected messages remain usable forever.
+    Growing,
+}
+
+impl Background {
+    /// The delay distribution this regime denotes.
+    pub fn dist(self) -> DelayDist {
+        match self {
+            Background::Static => {
+                DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(60))
+            }
+            Background::Growing => {
+                DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(40)).with_growth(
+                    GrowthFn::Linear { per_round: 1, divisor: 4 },
+                    Duration::from_ticks(100),
+                )
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Background::Static => "static",
+            Background::Growing => "growing",
+        }
+    }
+}
+
+/// The behavioural assumption (adversary) a scenario runs under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assumption {
+    /// Every link of every process is timely after a global stabilisation
+    /// time — the strongest model, satisfied by all algorithms.
+    EventuallySynchronous,
+    /// Eventual t-source: a fixed set of `t` output links of the centre is
+    /// eventually `Δ`-timely.
+    TSource,
+    /// Eventual t-moving source: as above, but the set may change per round.
+    MovingSource,
+    /// Message pattern: the centre's round messages are winning at a fixed
+    /// set of `t` processes; no timeliness whatsoever.
+    MessagePattern,
+    /// The combined assumption: fixed set, each link timely or winning.
+    Combined,
+    /// The paper's `A′`: rotating star, every round.
+    RotatingStar,
+    /// The paper's `A`: intermittent rotating star with gap bound `d`.
+    Intermittent {
+        /// The gap bound `D`.
+        d: u64,
+    },
+    /// The paper's `A_{f,g}`: growing gaps and growing timeliness slack.
+    FgStar {
+        /// The base gap bound `D`.
+        d: u64,
+        /// The gap-slack function `f`.
+        f: GrowthFn,
+        /// The timeliness-slack function `g`.
+        g: GrowthFn,
+    },
+    /// No assumption at all (negative control).
+    PureAsync,
+}
+
+impl Assumption {
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            Assumption::EventuallySynchronous => "evt-synchronous".into(),
+            Assumption::TSource => "evt-t-source".into(),
+            Assumption::MovingSource => "evt-moving-source".into(),
+            Assumption::MessagePattern => "message-pattern".into(),
+            Assumption::Combined => "combined".into(),
+            Assumption::RotatingStar => "rotating-star(A')".into(),
+            Assumption::Intermittent { d } => format!("intermittent(A,D={d})"),
+            Assumption::FgStar { d, .. } => format!("fg-star(D={d})"),
+            Assumption::PureAsync => "pure-async".into(),
+        }
+    }
+}
+
+/// The algorithm a scenario runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// Figure 1 of the paper.
+    Fig1,
+    /// Figure 2 of the paper.
+    Fig2,
+    /// Figure 3 of the paper (bounded variables).
+    Fig3,
+    /// The Section 7 `A_{f,g}` variant.
+    Fg {
+        /// The gap-slack function `f` known to the processes.
+        f: GrowthFn,
+        /// The timer-slack function `g` known to the processes.
+        g: GrowthFn,
+    },
+    /// Baseline: timeout-based Ω needing all-links timeliness.
+    TimeoutAll,
+    /// Baseline: accusation-counter Ω for the eventual t-source.
+    TSourceCounter,
+    /// Baseline: time-free message-pattern Ω (MMR DSN'03).
+    MessagePatternMMR,
+}
+
+impl Algorithm {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Fig1 => "fig1",
+            Algorithm::Fig2 => "fig2",
+            Algorithm::Fig3 => "fig3",
+            Algorithm::Fg { .. } => "fig3+fg",
+            Algorithm::TimeoutAll => "timeout-all",
+            Algorithm::TSourceCounter => "tsource-counter",
+            Algorithm::MessagePatternMMR => "mmr-pattern",
+        }
+    }
+}
+
+/// One fully specified experiment cell.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Free-form name used in logs.
+    pub name: String,
+    /// The system `(n, t)`.
+    pub system: SystemConfig,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// The behavioural assumption (adversary).
+    pub assumption: Assumption,
+    /// Background-delay regime for unconstrained messages.
+    pub background: Background,
+    /// The star centre of the assumption.
+    pub center: ProcessId,
+    /// The timeliness bound `Δ`.
+    pub delta: Duration,
+    /// Crash schedule: `(process index, crash time in ticks)`.
+    pub crashes: Vec<(u32, u64)>,
+    /// Simulation horizon in ticks.
+    pub horizon: u64,
+    /// Early-stop window: stop once the agreement has been stable for this
+    /// many ticks (0 = always run to the horizon).
+    pub quiet: u64,
+    /// Seeds; one run per seed.
+    pub seeds: Vec<u64>,
+}
+
+impl Scenario {
+    /// Creates a scenario with default tuning: `Δ = 8` ticks, centre = the
+    /// highest-id process, static background, no crashes, horizon 250 000
+    /// ticks, early stop after 20 000 quiet ticks, seeds `1..=3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(n, t)` is not a valid system.
+    pub fn new(name: &str, n: usize, t: usize, algorithm: Algorithm, assumption: Assumption) -> Self {
+        let system = SystemConfig::new(n, t).expect("invalid system parameters");
+        Scenario {
+            name: name.to_string(),
+            system,
+            algorithm,
+            assumption,
+            background: Background::Static,
+            center: ProcessId::new(n as u32 - 1),
+            delta: Duration::from_ticks(8),
+            crashes: Vec::new(),
+            horizon: 250_000,
+            quiet: 20_000,
+            seeds: vec![1, 2, 3],
+        }
+    }
+
+    /// Sets the background-delay regime.
+    #[must_use]
+    pub fn with_background(mut self, background: Background) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// Sets the star centre.
+    #[must_use]
+    pub fn with_center(mut self, center: ProcessId) -> Self {
+        self.center = center;
+        self
+    }
+
+    /// Adds a crash.
+    #[must_use]
+    pub fn with_crash(mut self, process: u32, at_ticks: u64) -> Self {
+        self.crashes.push((process, at_ticks));
+        self
+    }
+
+    /// Sets the horizon and early-stop window.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: u64, quiet: u64) -> Self {
+        self.horizon = horizon;
+        self.quiet = quiet;
+        self
+    }
+
+    /// Sets the seeds.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Runs the scenario once per seed.
+    pub fn run(&self) -> Vec<RunOutcome> {
+        self.seeds.iter().map(|&seed| self.run_seed(seed)).collect()
+    }
+
+    /// Runs the scenario under one seed.
+    pub fn run_seed(&self, seed: u64) -> RunOutcome {
+        match self.algorithm {
+            Algorithm::Fig1 => self.run_omega(seed, Variant::Fig1),
+            Algorithm::Fig2 => self.run_omega(seed, Variant::Fig2),
+            Algorithm::Fig3 => self.run_omega(seed, Variant::Fig3),
+            Algorithm::Fg { f, g } => self.run_omega(seed, Variant::Fg { f, g }),
+            Algorithm::TimeoutAll => {
+                self.run_protocol(seed, |id, sys| OmegaTimeoutAll::new(id, sys))
+            }
+            Algorithm::TSourceCounter => {
+                self.run_protocol(seed, |id, sys| OmegaTSource::new(id, sys))
+            }
+            Algorithm::MessagePatternMMR => {
+                self.run_protocol(seed, |id, sys| OmegaMessagePattern::new(id, sys))
+            }
+        }
+    }
+
+    fn run_omega(&self, seed: u64, variant: Variant) -> RunOutcome {
+        self.run_protocol(seed, move |id, sys| {
+            OmegaProcess::new(id, OmegaConfig::new(sys, variant))
+        })
+    }
+
+    /// Builds the protocol instances and dispatches on the assumption to
+    /// construct the matching adversary.
+    fn run_protocol<P, F>(&self, seed: u64, make: F) -> RunOutcome
+    where
+        P: Protocol + Introspect,
+        P::Msg: RoundTagged,
+        F: Fn(ProcessId, SystemConfig) -> P,
+    {
+        let processes: Vec<P> = self.system.processes().map(|id| make(id, self.system)).collect();
+        let dist = self.background.dist();
+        let sys = self.system;
+        let center = self.center;
+        let delta = self.delta;
+        match self.assumption {
+            Assumption::EventuallySynchronous => self.finish(
+                seed,
+                processes,
+                EventuallySynchronous::new(Time::from_ticks(self.horizon / 20), delta, dist),
+            ),
+            Assumption::TSource => {
+                self.finish(seed, processes, presets::eventual_t_source(sys, center, delta, dist, seed))
+            }
+            Assumption::MovingSource => self.finish(
+                seed,
+                processes,
+                presets::eventual_t_moving_source(sys, center, delta, dist, seed),
+            ),
+            Assumption::MessagePattern => {
+                self.finish(seed, processes, presets::message_pattern(sys, center, dist, seed))
+            }
+            Assumption::Combined => {
+                self.finish(seed, processes, presets::combined_fixed(sys, center, delta, dist, seed))
+            }
+            Assumption::RotatingStar => {
+                self.finish(seed, processes, presets::rotating_star_a_prime(sys, center, delta, dist, seed))
+            }
+            Assumption::Intermittent { d } => self.finish(
+                seed,
+                processes,
+                presets::intermittent_rotating_star(sys, center, delta, d, dist, seed),
+            ),
+            Assumption::FgStar { d, f, g } => self.finish(
+                seed,
+                processes,
+                presets::fg_rotating_star(sys, center, delta, d, f, g, dist, seed),
+            ),
+            Assumption::PureAsync => self.finish(seed, processes, RandomDelay::new(dist)),
+        }
+    }
+
+    fn finish<P, A>(&self, seed: u64, processes: Vec<P>, adversary: A) -> RunOutcome
+    where
+        P: Protocol + Introspect,
+        P::Msg: RoundTagged,
+        A: Adversary<P::Msg>,
+    {
+        let mut crash_plan = CrashPlan::new();
+        for (pid, at) in &self.crashes {
+            crash_plan = crash_plan.crash(ProcessId::new(*pid), Time::from_ticks(*at));
+        }
+        let last_crash = self.crashes.iter().map(|(_, at)| *at).max().unwrap_or(0);
+        let mut sim = Simulation::new(
+            SimConfig::new(seed, Time::from_ticks(self.horizon)),
+            processes,
+            adversary,
+            crash_plan,
+        );
+        let report = if self.quiet == 0 {
+            sim.run()
+        } else {
+            // Never let the early stop fire before all scheduled crashes
+            // have been injected.
+            sim.start();
+            while sim.now() < Time::from_ticks(last_crash) && sim.step() {}
+            sim.run_until_stable_for(Duration::from_ticks(self.quiet))
+        };
+        RunOutcome::from_report(&report, Some(self.center))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::Aggregate;
+
+    #[test]
+    fn scenario_builders_compose() {
+        let s = Scenario::new("x", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_background(Background::Growing)
+            .with_center(ProcessId::new(1))
+            .with_crash(0, 10_000)
+            .with_horizon(50_000, 5_000)
+            .with_seeds(&[7]);
+        assert_eq!(s.system.n(), 5);
+        assert_eq!(s.center, ProcessId::new(1));
+        assert_eq!(s.crashes, vec![(0, 10_000)]);
+        assert_eq!(s.horizon, 50_000);
+        assert_eq!(s.seeds, vec![7]);
+        assert_eq!(s.background.label(), "growing");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let algorithms = [
+            Algorithm::Fig1,
+            Algorithm::Fig2,
+            Algorithm::Fig3,
+            Algorithm::TimeoutAll,
+            Algorithm::TSourceCounter,
+            Algorithm::MessagePatternMMR,
+        ];
+        let labels: std::collections::BTreeSet<&str> = algorithms.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), algorithms.len());
+        assert!(Assumption::Intermittent { d: 4 }.label().contains("D=4"));
+    }
+
+    #[test]
+    fn fig3_scenario_stabilises_under_a_prime() {
+        let s = Scenario::new("smoke", 4, 1, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_horizon(150_000, 15_000)
+            .with_seeds(&[1, 2]);
+        let outcomes = s.run();
+        let agg = Aggregate::from_outcomes(&outcomes);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.stabilized, 2, "outcomes: {outcomes:?}");
+    }
+
+    #[test]
+    fn baseline_scenario_runs_end_to_end() {
+        let s = Scenario::new("smoke-baseline", 4, 1, Algorithm::TimeoutAll, Assumption::EventuallySynchronous)
+            .with_horizon(100_000, 10_000)
+            .with_seeds(&[3]);
+        let outcomes = s.run();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].stabilized);
+    }
+
+    #[test]
+    fn crash_is_injected_before_early_stop() {
+        let s = Scenario::new("crash", 4, 1, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_crash(0, 30_000)
+            .with_horizon(200_000, 15_000)
+            .with_seeds(&[5]);
+        let o = &s.run()[0];
+        assert_eq!(o.crashed, 1);
+        assert!(o.stabilized);
+        assert_ne!(o.leader, Some(ProcessId::new(0)));
+    }
+}

@@ -1,0 +1,467 @@
+//! The experiment suite: one function per row-block of EXPERIMENTS.md.
+//!
+//! Every function returns a [`Table`] and takes a `quick` flag: `quick` runs
+//! use fewer seeds, smaller systems and shorter horizons so that the whole
+//! suite stays affordable inside CI and Criterion; the full runs are what
+//! EXPERIMENTS.md records.
+
+use crate::outcome::Aggregate;
+use crate::scenario::{Algorithm, Assumption, Background, Scenario};
+use crate::table::Table;
+use irs_consensus::{ConsensusProcess, Value};
+use irs_omega::OmegaProcess;
+use irs_sim::adversary::presets;
+use irs_sim::{CrashPlan, SimConfig, Simulation};
+use irs_types::{Duration, GrowthFn, ProcessId, SystemConfig, Time};
+
+fn seeds(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    }
+}
+
+/// E1 — Theorem 1: election under `A′` (rotating star every round), as a
+/// function of the system size.
+pub fn e1_election_under_a_prime(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E1",
+        "Eventual election under A' (rotating t-star, every round)",
+        &["n", "t", "algorithm", "stabilised", "median stab time", "median msgs", "leader=center"],
+    );
+    let sizes: &[(usize, usize)] = if quick { &[(4, 1), (8, 3)] } else { &[(4, 1), (8, 3), (16, 7), (32, 15)] };
+    for &(n, t) in sizes {
+        for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
+            let scenario = Scenario::new("e1", n, t, algorithm, Assumption::RotatingStar)
+                .with_horizon(if quick { 120_000 } else { 250_000 }, 15_000)
+                .with_seeds(&seeds(quick));
+            let agg = Aggregate::from_outcomes(&scenario.run());
+            table.push_row(vec![
+                n.to_string(),
+                t.to_string(),
+                algorithm.label().to_string(),
+                agg.stab_cell(),
+                agg.stab_time_cell(),
+                format!("{}", agg.messages.median()),
+                format!("{}/{}", agg.leader_was_center, agg.runs),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 — Theorems 2/3: election under the intermittent star `A`, as a
+/// function of the gap bound `D`, contrasting Figure 1 with Figures 2/3.
+pub fn e2_election_under_a(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E2",
+        "Eventual election under A (intermittent rotating t-star), varying D",
+        &["D", "algorithm", "stabilised", "median stab time", "distinct leaders"],
+    );
+    let ds: &[u64] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    for &d in ds {
+        for algorithm in [Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3] {
+            let scenario = Scenario::new("e2", 5, 2, algorithm, Assumption::Intermittent { d })
+                .with_background(Background::Growing)
+                .with_horizon(if quick { 150_000 } else { 300_000 }, 20_000)
+                .with_seeds(&seeds(quick));
+            let agg = Aggregate::from_outcomes(&scenario.run());
+            table.push_row(vec![
+                d.to_string(),
+                algorithm.label().to_string(),
+                agg.stab_cell(),
+                agg.stab_time_cell(),
+                format!("{:.1}", agg.mean_distinct_leaders),
+            ]);
+        }
+    }
+    table
+}
+
+/// E3 — Lemmas 1/3: a crashed process's suspicion level keeps growing and
+/// the leadership moves off it.
+pub fn e3_crash_suspicion_growth(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E3",
+        "Crash of the elected leader: suspicion growth and re-election",
+        &["variant", "crashed proc", "stabilised", "final leader != crashed", "max susp of crashed", "max susp of leader"],
+    );
+    for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
+        let scenario = Scenario::new("e3", 5, 2, algorithm, Assumption::RotatingStar)
+            .with_crash(0, 40_000)
+            .with_horizon(if quick { 160_000 } else { 300_000 }, 20_000)
+            .with_seeds(&seeds(quick));
+        let outcomes = scenario.run();
+        let agg = Aggregate::from_outcomes(&outcomes);
+        let moved = outcomes.iter().filter(|o| o.leader.is_some() && o.leader != Some(ProcessId::new(0))).count();
+        table.push_row(vec![
+            algorithm.label().to_string(),
+            "p1".to_string(),
+            agg.stab_cell(),
+            format!("{moved}/{}", agg.runs),
+            agg.max_susp_level.to_string(),
+            // For Fig3 the leader's level is within 1 of the minimum by Lemma 8.
+            format!("spread<={}", agg.max_spread),
+        ]);
+    }
+    table
+}
+
+/// E4 — Lemmas 2/4/5: once elected, the leader stops being suspected — the
+/// agreement never changes again over a long horizon.
+pub fn e4_suspicion_stabilisation(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E4",
+        "Suspicion stabilisation: leadership changes over a long run",
+        &["assumption", "algorithm", "stabilised", "distinct leaders", "last change (ticks)", "horizon"],
+    );
+    let horizon = if quick { 200_000 } else { 500_000 };
+    for assumption in [Assumption::RotatingStar, Assumption::Intermittent { d: 4 }] {
+        let scenario = Scenario::new("e4", 5, 2, Algorithm::Fig3, assumption)
+            .with_horizon(horizon, 0) // run the full horizon: stability must persist
+            .with_seeds(&seeds(quick));
+        let outcomes = scenario.run();
+        let agg = Aggregate::from_outcomes(&outcomes);
+        table.push_row(vec![
+            assumption.label(),
+            "fig3".to_string(),
+            agg.stab_cell(),
+            format!("{:.1}", agg.mean_distinct_leaders),
+            agg.stab_time_cell(),
+            horizon.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E5 — Lemma 8 / Theorem 4: with Figure 3 every variable except the round
+/// numbers is bounded; Figures 1/2 are not.
+pub fn e5_bounded_variables(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E5",
+        "Bounded variables (crashed process in the system, identical schedules)",
+        &["variant", "max susp level", "max timer (ticks)", "max spread", "B", "all <= B+1"],
+    );
+    for algorithm in [Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3] {
+        let scenario = Scenario::new("e5", 5, 2, algorithm, Assumption::RotatingStar)
+            .with_crash(1, 10_000)
+            .with_horizon(if quick { 150_000 } else { 300_000 }, 0)
+            .with_seeds(&seeds(quick)[..1.max(seeds(quick).len() / 2)]);
+        let outcomes = scenario.run();
+        let agg = Aggregate::from_outcomes(&outcomes);
+        let b = outcomes.iter().map(|o| o.theorem4_b).max().unwrap_or(0);
+        table.push_row(vec![
+            algorithm.label().to_string(),
+            agg.max_susp_level.to_string(),
+            agg.max_timer_ticks.to_string(),
+            agg.max_spread.to_string(),
+            b.to_string(),
+            if agg.theorem4_all_hold { "yes".into() } else { "no".into() },
+        ]);
+    }
+    table
+}
+
+/// E6 — the assumption matrix: which algorithm stabilises under which
+/// assumption. The paper's algorithm is the only one that covers every
+/// column that admits Ω at all.
+pub fn e6_assumption_matrix(quick: bool) -> Table {
+    let assumptions = [
+        Assumption::EventuallySynchronous,
+        Assumption::TSource,
+        Assumption::MovingSource,
+        Assumption::MessagePattern,
+        Assumption::Combined,
+        Assumption::RotatingStar,
+        Assumption::Intermittent { d: 4 },
+    ];
+    let algorithms = [
+        Algorithm::Fig3,
+        Algorithm::TimeoutAll,
+        Algorithm::TSourceCounter,
+        Algorithm::MessagePatternMMR,
+    ];
+    let mut headers: Vec<&str> = vec!["algorithm \\ assumption"];
+    let labels: Vec<String> = assumptions.iter().map(|a| a.label()).collect();
+    headers.extend(labels.iter().map(|s| s.as_str()));
+    let mut table = Table::new(
+        "E6",
+        "Assumption matrix: runs stabilised / final min suspicion counter (growing background delays)",
+        &headers,
+    );
+    for algorithm in algorithms {
+        let mut row = vec![algorithm.label().to_string()];
+        for assumption in assumptions {
+            // Full-horizon runs (no early stop): "stabilised" then means the
+            // agreement reached was never disturbed again, which is the
+            // criterion that separates the algorithms once the background
+            // delays have grown large.
+            let scenario = Scenario::new("e6", 4, 1, algorithm, assumption)
+                .with_background(Background::Growing)
+                .with_horizon(if quick { 150_000 } else { 300_000 }, 0)
+                .with_seeds(if quick { &[1, 2] } else { &[1, 2, 3] });
+            let outcomes = scenario.run();
+            let agg = Aggregate::from_outcomes(&outcomes);
+            // An algorithm genuinely covered by the assumption not only keeps
+            // a stable leader, its suspicions of that leader *stop*: the
+            // smallest final counter stays small. An algorithm outside its
+            // assumption keeps charging every process forever even when its
+            // arg-min output happens to look stable over the horizon.
+            let settled = outcomes.iter().map(|o| o.min_susp_level).max().unwrap_or(0);
+            row.push(format!("{} s={}", agg.stab_cell(), settled));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// E7 — Section 7: the `A_{f,g}` variant elects a leader when delays and
+/// star gaps grow without bound, provided the algorithm knows `f` and `g`.
+pub fn e7_fg_extension(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E7",
+        "A_{f,g}: growing timeliness bound and star gaps",
+        &["f", "g", "algorithm", "stabilised", "median stab time"],
+    );
+    let f = GrowthFn::Log2;
+    let g = GrowthFn::Log2;
+    let cases = [
+        ("log2", "log2", Algorithm::Fg { f, g }),
+        ("log2", "log2", Algorithm::Fig3), // does not know f, g
+    ];
+    for (fl, gl, algorithm) in cases {
+        let scenario = Scenario::new("e7", 5, 2, algorithm, Assumption::FgStar { d: 3, f, g })
+            .with_horizon(if quick { 200_000 } else { 400_000 }, 25_000)
+            .with_seeds(&seeds(quick));
+        let agg = Aggregate::from_outcomes(&scenario.run());
+        table.push_row(vec![
+            fl.to_string(),
+            gl.to_string(),
+            algorithm.label().to_string(),
+            agg.stab_cell(),
+            agg.stab_time_cell(),
+        ]);
+    }
+    table
+}
+
+/// Outcome of one consensus run used by [`e8_consensus`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConsensusOutcome {
+    /// Did every live process decide within the horizon?
+    pub all_decided: bool,
+    /// Time at which the last live process decided (or the horizon).
+    pub decision_ticks: u64,
+    /// Messages sent in total.
+    pub messages: u64,
+    /// Ballots started across all processes.
+    pub ballots: u64,
+}
+
+/// Runs one Ω-based consensus instance to completion (or the horizon).
+pub fn run_consensus_once(
+    n: usize,
+    t: usize,
+    d: Option<u64>,
+    crash_initial_leader: bool,
+    horizon: u64,
+    seed: u64,
+) -> ConsensusOutcome {
+    let system = SystemConfig::new(n, t).expect("invalid system");
+    let center = ProcessId::new(n as u32 - 1);
+    let dist = Background::Static.dist();
+    let processes: Vec<ConsensusProcess<OmegaProcess>> = system
+        .processes()
+        .map(|id| {
+            let mut p = ConsensusProcess::over_omega(id, system);
+            p.propose(Value(1_000 + id.as_u32() as u64));
+            p
+        })
+        .collect();
+    // The initially elected Ω leader is p1 (smallest id, all levels zero).
+    // Crashing it *before* its first ballot check (80 ticks) forces the
+    // decision to wait for Ω to re-elect, which is the interesting case.
+    let crashes = if crash_initial_leader {
+        CrashPlan::new().crash(ProcessId::new(0), Time::from_ticks(60))
+    } else {
+        CrashPlan::new()
+    };
+    let adversary = match d {
+        Some(d) => presets::intermittent_rotating_star(system, center, Duration::from_ticks(8), d, dist, seed),
+        None => presets::rotating_star_a_prime(system, center, Duration::from_ticks(8), dist, seed),
+    };
+    let mut sim = Simulation::new(SimConfig::new(seed, Time::from_ticks(horizon)), processes, adversary, crashes);
+    sim.start();
+    while sim.step() {
+        let all = system
+            .processes()
+            .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some());
+        if all {
+            break;
+        }
+    }
+    let all_decided = system
+        .processes()
+        .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some());
+    let ballots = system.processes().map(|p| sim.process(p).ballots_started()).sum();
+    ConsensusOutcome {
+        all_decided,
+        decision_ticks: sim.now().ticks(),
+        messages: sim.trace().counters.messages_sent,
+        ballots,
+    }
+}
+
+/// E8 — Theorem 5: Ω-based consensus decides under `A′` and `A`, with and
+/// without a crash of the initially elected leader.
+pub fn e8_consensus(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E8",
+        "Theorem 5: Omega-based consensus (n = 5, t = 2)",
+        &["assumption", "leader crash", "decided", "median decision time", "median msgs", "median ballots"],
+    );
+    let horizon = if quick { 200_000 } else { 400_000 };
+    let cases = [(None, false), (None, true), (Some(4u64), false)];
+    for (d, crash) in cases {
+        let runs: Vec<ConsensusOutcome> = seeds(quick)
+            .iter()
+            .map(|&seed| run_consensus_once(5, 2, d, crash, horizon, seed))
+            .collect();
+        let decided = runs.iter().filter(|r| r.all_decided).count();
+        let med = |f: fn(&ConsensusOutcome) -> u64| {
+            irs_sim::Summary::from_samples(&runs.iter().map(f).collect::<Vec<_>>()).median()
+        };
+        table.push_row(vec![
+            match d {
+                None => "rotating-star(A')".to_string(),
+                Some(d) => format!("intermittent(A,D={d})"),
+            },
+            if crash { "yes".into() } else { "no".into() },
+            format!("{decided}/{}", runs.len()),
+            med(|r| r.decision_ticks).to_string(),
+            med(|r| r.messages).to_string(),
+            med(|r| r.ballots).to_string(),
+        ]);
+    }
+    table
+}
+
+/// E9 — communication cost: messages and bytes per closed round, and how
+/// the timer values compare between Figure 1 and Figure 3.
+pub fn e9_message_cost(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E9",
+        "Communication cost per receiving round and timer growth",
+        &["n", "variant", "msgs/round", "ALIVE share", "bytes/round", "max timer (ticks)"],
+    );
+    let sizes: &[(usize, usize)] = if quick { &[(4, 1), (8, 3)] } else { &[(4, 1), (8, 3), (16, 7)] };
+    for &(n, t) in sizes {
+        for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
+            let scenario = Scenario::new("e9", n, t, algorithm, Assumption::RotatingStar)
+                .with_crash(0, 20_000)
+                .with_horizon(if quick { 100_000 } else { 200_000 }, 0)
+                .with_seeds(&seeds(quick)[..1])
+                .with_center(ProcessId::new(n as u32 - 1));
+            let o = &scenario.run()[0];
+            let rounds = o.rounds_closed.max(1);
+            table.push_row(vec![
+                n.to_string(),
+                algorithm.label().to_string(),
+                format!("{:.1}", o.messages_sent as f64 / rounds as f64),
+                format!("{:.0}%", 100.0 * o.constrained_sent as f64 / o.messages_sent.max(1) as f64),
+                format!("{:.0}", o.bytes_sent as f64 / rounds as f64),
+                o.max_timer_ticks.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E10 — sensitivity: stabilisation time as one parameter varies at a time.
+pub fn e10_sensitivity(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E10",
+        "Sensitivity of stabilisation time (fig3, n = 5, t = 2)",
+        &["parameter", "value", "stabilised", "median stab time"],
+    );
+    let horizon = if quick { 150_000 } else { 300_000 };
+    // Gap bound D of the intermittent star.
+    let ds: &[u64] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    for &d in ds {
+        let s = Scenario::new("e10-d", 5, 2, Algorithm::Fig3, Assumption::Intermittent { d })
+            .with_horizon(horizon, 20_000)
+            .with_seeds(&seeds(quick));
+        let agg = Aggregate::from_outcomes(&s.run());
+        table.push_row(vec!["D".into(), d.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+    }
+    // Number of crashes (up to t).
+    for crashes in 0..=2u32 {
+        let mut s = Scenario::new("e10-crashes", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_horizon(horizon, 20_000)
+            .with_seeds(&seeds(quick));
+        for c in 0..crashes {
+            s = s.with_crash(c, 20_000 + 10_000 * c as u64);
+        }
+        let agg = Aggregate::from_outcomes(&s.run());
+        table.push_row(vec!["crashes".into(), crashes.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+    }
+    // Timeliness bound delta of the star.
+    let deltas: &[u64] = if quick { &[4, 32] } else { &[2, 4, 8, 16, 32, 64] };
+    for &delta in deltas {
+        let mut s = Scenario::new("e10-delta", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_horizon(horizon, 20_000)
+            .with_seeds(&seeds(quick));
+        s.delta = Duration::from_ticks(delta);
+        let agg = Aggregate::from_outcomes(&s.run());
+        table.push_row(vec!["delta".into(), delta.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+    }
+    table
+}
+
+/// Every experiment, in order, as `(id, function)` pairs.
+pub fn all() -> Vec<(&'static str, fn(bool) -> Table)> {
+    vec![
+        ("e1", e1_election_under_a_prime),
+        ("e2", e2_election_under_a),
+        ("e3", e3_crash_suspicion_growth),
+        ("e4", e4_suspicion_stabilisation),
+        ("e5", e5_bounded_variables),
+        ("e6", e6_assumption_matrix),
+        ("e7", e7_fg_extension),
+        ("e8", e8_consensus),
+        ("e9", e9_message_cost),
+        ("e10", e10_sensitivity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_every_experiment_once() {
+        let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 10);
+        let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn consensus_runner_decides_quickly_under_a_prime() {
+        let outcome = run_consensus_once(4, 1, None, false, 150_000, 1);
+        assert!(outcome.all_decided);
+        assert!(outcome.messages > 0);
+    }
+
+    // The table-producing experiments are exercised end-to-end (in quick
+    // mode) by the workspace-level integration tests and the benches; here we
+    // only run the cheapest one to keep the unit test suite fast.
+    #[test]
+    fn e9_quick_produces_rows_for_both_variants() {
+        let table = e9_message_cost(true);
+        assert_eq!(table.rows.len(), 4);
+        assert!(table.to_text().contains("fig3"));
+        assert!(table.to_csv().lines().count() > 3);
+    }
+}

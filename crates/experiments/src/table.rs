@@ -1,0 +1,140 @@
+//! Plain-text and CSV table rendering for experiment reports.
+
+use std::fmt;
+
+/// A rectangular table of results, rendered as aligned text (for the
+/// terminal and EXPERIMENTS.md) or CSV (for plotting).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table identifier, e.g. `"E2"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have exactly `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in table {}", self.id);
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} — {}\n", self.id, self.title));
+        let render_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers included).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0", "sample", &["algo", "stabilised", "time"]);
+        t.push_row(vec!["fig3".into(), "yes".into(), "1234".into()]);
+        t.push_row(vec!["timeout-all".into(), "no".into(), "-".into()]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned_and_contains_everything() {
+        let text = sample().to_text();
+        assert!(text.contains("E0 — sample"));
+        assert!(text.contains("algo"));
+        assert!(text.contains("timeout-all"));
+        // Header/divider/rows lines present.
+        assert!(text.lines().count() >= 5);
+        // All data lines have the same length (alignment).
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("X", "t", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\",plain"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("X", "t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(format!("{t}"), t.to_text());
+    }
+}

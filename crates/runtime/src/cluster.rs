@@ -1,0 +1,493 @@
+//! Thread-per-process cluster runtime.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot, TimerId};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+/// How wall-clock time maps onto the protocols' logical ticks.
+#[derive(Clone, Copy, Debug)]
+pub struct RealtimeConfig {
+    /// The wall-clock length of one logical tick. Protocol durations (send
+    /// periods, timeout units) are multiplied by this to obtain real
+    /// deadlines.
+    pub tick: StdDuration,
+}
+
+impl Default for RealtimeConfig {
+    fn default() -> Self {
+        RealtimeConfig { tick: StdDuration::from_micros(100) }
+    }
+}
+
+/// Artificial delay the in-memory router injects on every message, emulating
+/// a (well-behaved) network.
+#[derive(Clone, Copy, Debug)]
+pub enum LinkDelay {
+    /// Deliver immediately.
+    None,
+    /// Deliver after a fixed delay.
+    Fixed(StdDuration),
+    /// Deliver after a uniformly random delay in `[min, max]`.
+    Jitter {
+        /// Minimum delay.
+        min: StdDuration,
+        /// Maximum delay.
+        max: StdDuration,
+    },
+}
+
+impl LinkDelay {
+    fn sample(&self, state: &mut u64) -> StdDuration {
+        match *self {
+            LinkDelay::None => StdDuration::ZERO,
+            LinkDelay::Fixed(d) => d,
+            LinkDelay::Jitter { min, max } => {
+                if max <= min {
+                    return min;
+                }
+                // xorshift64*, plenty for jitter.
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                let span = (max - min).as_nanos() as u64;
+                min + StdDuration::from_nanos(*state % (span + 1))
+            }
+        }
+    }
+}
+
+enum ProcInput<M> {
+    Deliver { from: ProcessId, msg: M },
+    Crash,
+    Shutdown,
+}
+
+enum RouterInput<M> {
+    Send { from: ProcessId, dest: Destination, msg: M },
+    Shutdown,
+}
+
+struct Delayed<M> {
+    at: Instant,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    msg: M,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A running cluster of protocol instances, one OS thread per process plus a
+/// router thread.
+///
+/// Dropping the cluster without calling [`Cluster::shutdown`] leaves the
+/// worker threads running detached until the embedding process exits; call
+/// `shutdown` to stop them cleanly and recover the final protocol states.
+#[derive(Debug)]
+pub struct Cluster<P: Protocol> {
+    proc_txs: Vec<Sender<ProcInput<P::Msg>>>,
+    router_tx: Sender<RouterInput<P::Msg>>,
+    snapshots: Vec<Arc<Mutex<Snapshot>>>,
+    crashed: Vec<Arc<AtomicBool>>,
+    messages_routed: Arc<AtomicU64>,
+    handles: Vec<JoinHandle<P>>,
+    router_handle: Option<JoinHandle<()>>,
+}
+
+impl<P> Cluster<P>
+where
+    P: Protocol + Introspect + Send + 'static,
+{
+    /// Spawns one thread per protocol instance plus the router thread.
+    ///
+    /// `processes[i]` must be the instance whose `id()` is `ProcessId(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order.
+    pub fn spawn(processes: Vec<P>, config: RealtimeConfig, link: LinkDelay) -> Self {
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(p.id(), ProcessId::new(i as u32), "process at index {i} reports id {}", p.id());
+        }
+        let n = processes.len();
+        let (router_tx, router_rx) = unbounded::<RouterInput<P::Msg>>();
+        let mut proc_txs = Vec::with_capacity(n);
+        let mut proc_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<ProcInput<P::Msg>>();
+            proc_txs.push(tx);
+            proc_rxs.push(rx);
+        }
+        let snapshots: Vec<Arc<Mutex<Snapshot>>> = processes.iter().map(|p| Arc::new(Mutex::new(p.snapshot()))).collect();
+        let crashed: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let messages_routed = Arc::new(AtomicU64::new(0));
+
+        // Router thread.
+        let router_handle = {
+            let proc_txs = proc_txs.clone();
+            let counter = Arc::clone(&messages_routed);
+            std::thread::Builder::new()
+                .name("irs-router".into())
+                .spawn(move || run_router(router_rx, proc_txs, link, counter))
+                .expect("spawn router thread")
+        };
+
+        // Process threads.
+        let mut handles = Vec::with_capacity(n);
+        for (i, proto) in processes.into_iter().enumerate() {
+            let rx = proc_rxs.remove(0);
+            let tx = router_tx.clone();
+            let snapshot = Arc::clone(&snapshots[i]);
+            let handle = std::thread::Builder::new()
+                .name(format!("irs-proc-{i}"))
+                .spawn(move || run_process(proto, rx, tx, snapshot, config.tick))
+                .expect("spawn process thread");
+            handles.push(handle);
+        }
+
+        Cluster {
+            proc_txs,
+            router_tx,
+            snapshots,
+            crashed,
+            messages_routed,
+            handles,
+            router_handle: Some(router_handle),
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.proc_txs.len()
+    }
+
+    /// The latest published snapshot of a process.
+    pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
+        self.snapshots[pid.index()].lock().clone()
+    }
+
+    /// The current `leader()` output of a process.
+    pub fn leader_of(&self, pid: ProcessId) -> ProcessId {
+        self.snapshot(pid).leader
+    }
+
+    /// The current `leader()` output of every process, in id order.
+    pub fn leaders(&self) -> Vec<ProcessId> {
+        (0..self.n()).map(|i| self.leader_of(ProcessId::new(i as u32))).collect()
+    }
+
+    /// Returns `Some(p)` when every non-crashed process currently outputs the
+    /// same leader `p` and `p` has not been crashed through
+    /// [`Cluster::crash`].
+    pub fn agreed_leader(&self) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for i in 0..self.n() {
+            if self.crashed[i].load(Ordering::SeqCst) {
+                continue;
+            }
+            let leader = self.leader_of(ProcessId::new(i as u32));
+            match agreed {
+                None => agreed = Some(leader),
+                Some(l) if l == leader => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.filter(|l| !self.crashed[l.index()].load(Ordering::SeqCst))
+    }
+
+    /// Crash-stops a process: it stops reacting to messages and timers.
+    pub fn crash(&self, pid: ProcessId) {
+        self.crashed[pid.index()].store(true, Ordering::SeqCst);
+        let _ = self.proc_txs[pid.index()].send(ProcInput::Crash);
+    }
+
+    /// Returns `true` if the process has been crashed through [`Cluster::crash`].
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.crashed[pid.index()].load(Ordering::SeqCst)
+    }
+
+    /// Total number of messages the router has delivered so far.
+    pub fn messages_routed(&self) -> u64 {
+        self.messages_routed.load(Ordering::SeqCst)
+    }
+
+    /// Stops every thread and returns the final protocol states (crashed
+    /// processes included), in id order.
+    pub fn shutdown(mut self) -> Vec<P> {
+        for tx in &self.proc_txs {
+            let _ = tx.send(ProcInput::Shutdown);
+        }
+        let _ = self.router_tx.send(RouterInput::Shutdown);
+        let mut finals = Vec::with_capacity(self.handles.len());
+        for handle in self.handles.drain(..) {
+            finals.push(handle.join().expect("process thread panicked"));
+        }
+        if let Some(router) = self.router_handle.take() {
+            router.join().expect("router thread panicked");
+        }
+        finals
+    }
+}
+
+fn run_process<P>(
+    mut proto: P,
+    rx: Receiver<ProcInput<P::Msg>>,
+    router_tx: Sender<RouterInput<P::Msg>>,
+    snapshot: Arc<Mutex<Snapshot>>,
+    tick: StdDuration,
+) -> P
+where
+    P: Protocol + Introspect,
+{
+    let id = proto.id();
+    let mut timers: HashMap<TimerId, Instant> = HashMap::new();
+    let mut crashed = false;
+
+    let apply = |proto: &P,
+                 out: Actions<P::Msg>,
+                 timers: &mut HashMap<TimerId, Instant>,
+                 router_tx: &Sender<RouterInput<P::Msg>>| {
+        let (sends, timer_reqs, cancels) = out.into_parts();
+        for send in sends {
+            let _ = router_tx.send(RouterInput::Send { from: proto.id(), dest: send.dest, msg: send.msg });
+        }
+        let now = Instant::now();
+        for req in timer_reqs {
+            timers.insert(req.id, now + tick * (req.after.ticks().min(u32::MAX as u64) as u32));
+        }
+        for cancel in cancels {
+            timers.remove(&cancel);
+        }
+    };
+
+    let mut out = Actions::new();
+    proto.on_start(&mut out);
+    apply(&proto, out, &mut timers, &router_tx);
+    *snapshot.lock() = proto.snapshot();
+    let _ = id;
+
+    loop {
+        let next_deadline = timers.values().min().copied();
+        let event = match next_deadline {
+            _ if crashed => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(deadline) => {
+                let now = Instant::now();
+                if deadline <= now {
+                    Err(RecvTimeoutError::Timeout)
+                } else {
+                    rx.recv_timeout(deadline - now)
+                }
+            }
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+        };
+        match event {
+            Ok(ProcInput::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(ProcInput::Crash) => {
+                crashed = true;
+                timers.clear();
+            }
+            Ok(ProcInput::Deliver { from, msg }) => {
+                if !crashed {
+                    let mut out = Actions::new();
+                    proto.on_message(from, msg, &mut out);
+                    apply(&proto, out, &mut timers, &router_tx);
+                    *snapshot.lock() = proto.snapshot();
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if crashed {
+                    continue;
+                }
+                let now = Instant::now();
+                let due: Vec<TimerId> =
+                    timers.iter().filter(|(_, at)| **at <= now).map(|(t, _)| *t).collect();
+                for timer in due {
+                    timers.remove(&timer);
+                    let mut out = Actions::new();
+                    proto.on_timer(timer, &mut out);
+                    apply(&proto, out, &mut timers, &router_tx);
+                }
+                *snapshot.lock() = proto.snapshot();
+            }
+        }
+    }
+    proto
+}
+
+fn run_router<M: Send + 'static>(
+    rx: Receiver<RouterInput<M>>,
+    proc_txs: Vec<Sender<ProcInput<M>>>,
+    link: LinkDelay,
+    counter: Arc<AtomicU64>,
+) where
+    M: Clone,
+{
+    let n = proc_txs.len();
+    let mut heap: BinaryHeap<Reverse<Delayed<M>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut rng_state = 0x9E37_79B9_7F4A_7C15u64;
+
+    loop {
+        // Deliver everything that is due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.at <= now) {
+            let Reverse(d) = heap.pop().expect("peeked");
+            counter.fetch_add(1, Ordering::Relaxed);
+            let _ = proc_txs[d.to.index()].send(ProcInput::Deliver { from: d.from, msg: d.msg });
+        }
+        let timeout = heap
+            .peek()
+            .map(|Reverse(d)| d.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(StdDuration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(RouterInput::Send { from, dest, msg }) => {
+                let targets: Vec<ProcessId> = match dest {
+                    Destination::To(q) => vec![q],
+                    Destination::AllOthers => {
+                        (0..n as u32).map(ProcessId::new).filter(|q| *q != from).collect()
+                    }
+                    Destination::All => (0..n as u32).map(ProcessId::new).collect(),
+                };
+                for to in targets {
+                    if to.index() >= n {
+                        continue;
+                    }
+                    let delay = link.sample(&mut rng_state);
+                    if delay.is_zero() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        let _ = proc_txs[to.index()].send(ProcInput::Deliver { from, msg: msg.clone() });
+                    } else {
+                        seq += 1;
+                        heap.push(Reverse(Delayed { at: Instant::now() + delay, seq, from, to, msg: msg.clone() }));
+                    }
+                }
+            }
+            Ok(RouterInput::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_omega::OmegaProcess;
+    use irs_types::{Duration, SystemConfig};
+    use std::time::Duration as StdDuration;
+
+    fn wait_for<F: Fn() -> bool>(limit: StdDuration, check: F) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < limit {
+            if check() {
+                return true;
+            }
+            std::thread::sleep(StdDuration::from_millis(10));
+        }
+        check()
+    }
+
+    fn omega_cluster(n: usize, t: usize) -> Cluster<OmegaProcess> {
+        let system = SystemConfig::new(n, t).unwrap();
+        let processes: Vec<_> = system
+            .processes()
+            .map(|id| {
+                OmegaProcess::new(
+                    id,
+                    irs_omega::OmegaConfig::new(system, irs_omega::Variant::Fig3)
+                        .with_send_period(Duration::from_ticks(20))
+                        .with_timeout_unit(Duration::from_ticks(10)),
+                )
+            })
+            .collect();
+        Cluster::spawn(
+            processes,
+            RealtimeConfig { tick: StdDuration::from_micros(100) },
+            LinkDelay::Jitter { min: StdDuration::from_micros(50), max: StdDuration::from_micros(800) },
+        )
+    }
+
+    #[test]
+    fn cluster_elects_a_common_leader_in_real_time() {
+        let cluster = omega_cluster(4, 1);
+        // Wait until the protocol has actually run for a while (several ALIVE
+        // rounds everywhere) and the live processes agree on a leader.
+        let stable = wait_for(StdDuration::from_secs(20), || {
+            let progressed = (0..4).all(|i| cluster.snapshot(ProcessId::new(i)).sending_round > 10);
+            progressed && cluster.agreed_leader().is_some()
+        });
+        assert!(stable, "no agreement within 20s: leaders {:?}", cluster.leaders());
+        assert!(cluster.messages_routed() > 0);
+        let finals = cluster.shutdown();
+        assert_eq!(finals.len(), 4);
+    }
+
+    #[test]
+    fn crashed_leader_is_replaced_in_real_time() {
+        let cluster = omega_cluster(4, 1);
+        assert!(wait_for(StdDuration::from_secs(10), || cluster.agreed_leader().is_some()));
+        let first = cluster.agreed_leader().unwrap();
+        cluster.crash(first);
+        assert!(cluster.is_crashed(first));
+        let replaced = wait_for(StdDuration::from_secs(30), || {
+            cluster.agreed_leader().is_some_and(|l| l != first)
+        });
+        assert!(replaced, "leaders after crash: {:?}", cluster.leaders());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn link_delay_sampling_respects_bounds() {
+        let mut state = 42;
+        let jitter = LinkDelay::Jitter {
+            min: StdDuration::from_micros(10),
+            max: StdDuration::from_micros(30),
+        };
+        for _ in 0..1000 {
+            let d = jitter.sample(&mut state);
+            assert!(d >= StdDuration::from_micros(10) && d <= StdDuration::from_micros(30));
+        }
+        assert_eq!(LinkDelay::None.sample(&mut state), StdDuration::ZERO);
+        assert_eq!(
+            LinkDelay::Fixed(StdDuration::from_millis(1)).sample(&mut state),
+            StdDuration::from_millis(1)
+        );
+        // Degenerate jitter range falls back to the minimum.
+        let degenerate = LinkDelay::Jitter {
+            min: StdDuration::from_micros(10),
+            max: StdDuration::from_micros(5),
+        };
+        assert_eq!(degenerate.sample(&mut state), StdDuration::from_micros(10));
+    }
+
+    #[test]
+    fn snapshots_are_published() {
+        let cluster = omega_cluster(3, 1);
+        assert!(wait_for(StdDuration::from_secs(5), || {
+            cluster.snapshot(ProcessId::new(0)).sending_round > 2
+        }));
+        let snap = cluster.snapshot(ProcessId::new(1));
+        assert_eq!(snap.susp_levels.len(), 3);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,43 @@
+//! Real-time execution of the sans-IO protocols: threads, channels and
+//! wall-clock timers.
+//!
+//! The discrete-event simulator (`irs-sim`) is where the assumptions of the
+//! paper are reproduced faithfully and deterministically; this crate answers
+//! the other question a user of the library has — *can I actually run this?*
+//! A [`Cluster`] spawns one OS thread per process, routes messages through an
+//! in-memory router that can inject per-link delay jitter, drives timers off
+//! the wall clock, and exposes each process's [`irs_types::Snapshot`] (and
+//! therefore its `leader()` output) to the embedding application.
+//!
+//! The protocols themselves are byte-for-byte the same state machines that
+//! run under the simulator: [`irs_omega::OmegaProcess`], the baselines and
+//! the consensus layer all work unchanged.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use irs_runtime::{Cluster, LinkDelay, RealtimeConfig};
+//! use irs_omega::OmegaProcess;
+//! use irs_types::SystemConfig;
+//!
+//! # fn main() -> Result<(), irs_types::ConfigError> {
+//! let system = SystemConfig::new(4, 1)?;
+//! let processes: Vec<_> = system.processes().map(|id| OmegaProcess::fig3(id, system)).collect();
+//! let cluster = Cluster::spawn(processes, RealtimeConfig::default(), LinkDelay::Jitter {
+//!     min: std::time::Duration::from_micros(50),
+//!     max: std::time::Duration::from_millis(2),
+//! });
+//! std::thread::sleep(std::time::Duration::from_millis(500));
+//! println!("leaders: {:?}", cluster.leaders());
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+
+pub use cluster::{Cluster, LinkDelay, RealtimeConfig};

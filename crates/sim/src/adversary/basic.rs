@@ -1,0 +1,236 @@
+//! Assumption-free adversary models.
+//!
+//! These models make no promise that suffices to implement Ω (except
+//! [`EventuallySynchronous`], which is far stronger than the paper's
+//! assumption). They serve as building blocks, negative controls, and as the
+//! "chaotic background" against which the star adversary's guarantees stand
+//! out.
+
+use super::{Adversary, DelayDist, Delivery};
+use crate::SimRng;
+use irs_types::{Duration, ProcessId, RoundTagged, Time};
+
+/// Delivers every message after exactly the same delay.
+///
+/// This is a *synchronous* network in disguise and therefore trivially
+/// satisfies every assumption of the paper; it is useful for smoke tests
+/// where the interesting part is the algorithm, not the adversary.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedDelay {
+    delay: Duration,
+}
+
+impl FixedDelay {
+    /// Creates a fixed-delay network.
+    pub fn new(delay: Duration) -> Self {
+        FixedDelay { delay }
+    }
+}
+
+impl<M: RoundTagged> Adversary<M> for FixedDelay {
+    fn delivery(
+        &mut self,
+        _now: Time,
+        _from: ProcessId,
+        _to: ProcessId,
+        _msg: &M,
+        _rng: &mut SimRng,
+    ) -> Delivery {
+        Delivery::After(self.delay)
+    }
+
+    fn describe(&self) -> String {
+        format!("fixed-delay({})", self.delay)
+    }
+}
+
+/// Samples every message delay independently from a [`DelayDist`].
+///
+/// With a growing distribution this is the canonical *purely asynchronous*
+/// adversary: no bound on delays holds, even eventually, so no algorithm can
+/// implement Ω against it (the experiments use it as a negative control).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomDelay {
+    dist: DelayDist,
+}
+
+impl RandomDelay {
+    /// Creates a random-delay network.
+    pub fn new(dist: DelayDist) -> Self {
+        RandomDelay { dist }
+    }
+}
+
+impl<M: RoundTagged> Adversary<M> for RandomDelay {
+    fn delivery(
+        &mut self,
+        now: Time,
+        _from: ProcessId,
+        _to: ProcessId,
+        _msg: &M,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        Delivery::After(self.dist.sample(now, rng))
+    }
+
+    fn describe(&self) -> String {
+        format!("random-delay[{}..{}]", self.dist.min, self.dist.max)
+    }
+}
+
+/// Chaotic delays before a global stabilisation time (GST), then every link
+/// is `Δ`-timely.
+///
+/// This is the classic partially-synchronous model of Dwork–Lynch–Stockmeyer
+/// used by the earliest Ω implementations ("all links eventually timely").
+/// It is *much* stronger than the intermittent rotating t-star: all `n²`
+/// links become timely instead of `t` per (intermittent) round.
+#[derive(Clone, Copy, Debug)]
+pub struct EventuallySynchronous {
+    /// The global stabilisation time.
+    pub gst: Time,
+    /// The bound that holds after GST.
+    pub delta: Duration,
+    /// Behaviour before GST.
+    pub before: DelayDist,
+}
+
+impl EventuallySynchronous {
+    /// Creates an eventually-synchronous network.
+    pub fn new(gst: Time, delta: Duration, before: DelayDist) -> Self {
+        EventuallySynchronous { gst, delta, before }
+    }
+}
+
+impl<M: RoundTagged> Adversary<M> for EventuallySynchronous {
+    fn delivery(
+        &mut self,
+        now: Time,
+        _from: ProcessId,
+        _to: ProcessId,
+        _msg: &M,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        if now >= self.gst {
+            let d = rng.duration_between(Duration::from_ticks(1), self.delta);
+            Delivery::After(d)
+        } else {
+            Delivery::After(self.before.sample(now, rng))
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("eventually-synchronous(gst={}, delta={})", self.gst, self.delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_types::{GrowthFn, RoundNum};
+
+    /// Minimal message type for exercising the adversaries in isolation.
+    #[derive(Clone, Debug)]
+    struct TestMsg(Option<RoundNum>);
+    impl RoundTagged for TestMsg {
+        fn constrained_round(&self) -> Option<RoundNum> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut adv = FixedDelay::new(Duration::from_ticks(4));
+        let mut rng = SimRng::from_seed(0);
+        for _ in 0..10 {
+            let d = adv.delivery(
+                Time::ZERO,
+                ProcessId::new(0),
+                ProcessId::new(1),
+                &TestMsg(None),
+                &mut rng,
+            );
+            assert_eq!(d, Delivery::After(Duration::from_ticks(4)));
+        }
+        assert!(Adversary::<TestMsg>::describe(&adv).contains("fixed"));
+    }
+
+    #[test]
+    fn random_delay_within_bounds() {
+        let mut adv = RandomDelay::new(DelayDist::uniform(
+            Duration::from_ticks(2),
+            Duration::from_ticks(6),
+        ));
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..200 {
+            match adv.delivery(
+                Time::ZERO,
+                ProcessId::new(0),
+                ProcessId::new(1),
+                &TestMsg(Some(RoundNum::new(3))),
+                &mut rng,
+            ) {
+                Delivery::After(d) => assert!(d >= Duration::from_ticks(2) && d <= Duration::from_ticks(6)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_delay_with_growth_reaches_unbounded_tail() {
+        let mut adv = RandomDelay::new(
+            DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(3)).with_growth(
+                GrowthFn::Linear { per_round: 1, divisor: 1 },
+                Duration::from_ticks(10),
+            ),
+        );
+        let mut rng = SimRng::from_seed(2);
+        let mut max_seen = Duration::ZERO;
+        for _ in 0..200 {
+            let Delivery::After(d) = adv.delivery(
+                Time::from_ticks(100_000),
+                ProcessId::new(0),
+                ProcessId::new(1),
+                &TestMsg(None),
+                &mut rng,
+            ) else {
+                panic!("expected After")
+            };
+            max_seen = max_seen.max(d);
+        }
+        // The support at t = 100 000 is [1, 3 + 10 000]; the tail must be hit.
+        assert!(max_seen >= Duration::from_ticks(5_000), "max seen {max_seen}");
+    }
+
+    #[test]
+    fn eventually_synchronous_respects_gst() {
+        let mut adv = EventuallySynchronous::new(
+            Time::from_ticks(1000),
+            Duration::from_ticks(5),
+            DelayDist::uniform(Duration::from_ticks(100), Duration::from_ticks(200)),
+        );
+        let mut rng = SimRng::from_seed(3);
+        let Delivery::After(before) = adv.delivery(
+            Time::from_ticks(10),
+            ProcessId::new(0),
+            ProcessId::new(1),
+            &TestMsg(None),
+            &mut rng,
+        ) else {
+            panic!()
+        };
+        assert!(before >= Duration::from_ticks(100));
+        for _ in 0..100 {
+            let Delivery::After(after) = adv.delivery(
+                Time::from_ticks(2000),
+                ProcessId::new(0),
+                ProcessId::new(1),
+                &TestMsg(None),
+                &mut rng,
+            ) else {
+                panic!()
+            };
+            assert!(after <= Duration::from_ticks(5));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Adversary (assumption) models.
+//!
+//! In the paper's system model the network is reliable but entirely under the
+//! control of an adversary: message transfer delays are arbitrary unless an
+//! additional behavioural assumption constrains them. An [`Adversary`] is that
+//! entity made programmable — for every message handed to the network it
+//! decides *when* (and, for the winning-message guarantee, *in which order*)
+//! the message reaches its destination.
+//!
+//! The module provides:
+//!
+//! * [`basic`] — assumption-free models (fixed delay, uniformly random delay,
+//!   eventually-synchronous) used as building blocks and for negative
+//!   controls;
+//! * [`star`] — the general *star adversary* realising the paper's
+//!   assumptions `A′`, `A` and `A_{f,g}` as well as every special case they
+//!   generalise (eventual t-source, eventual t-moving source, message
+//!   pattern, combined);
+//! * [`presets`] — named constructors for each published assumption, used by
+//!   the experiment harness and the examples.
+
+pub mod basic;
+pub mod presets;
+pub mod star;
+
+use crate::SimRng;
+use irs_types::{Duration, GrowthFn, ProcessId, RoundNum, RoundTagged, Time};
+
+/// How the network should deliver one message, as decided by an adversary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delivery {
+    /// Deliver the message `delay` after it was sent.
+    After(Duration),
+    /// Deliver the message `delay` after it was sent **and** mark it as the
+    /// star-centre message for `(receiver, round)`: its delivery opens the
+    /// winning-message gate, releasing any held messages for the same key.
+    StarAfter(Duration),
+    /// Hold the message until the star-centre message for
+    /// `(receiver, round)` has been delivered, then deliver it `slack` later.
+    /// If the star message has not arrived `deadline` after the send, deliver
+    /// anyway (links are reliable; a missed deadline merely means the winning
+    /// property was not enforced for that round).
+    AfterStar {
+        /// Extra delay applied once the gate opens.
+        slack: Duration,
+        /// Unconditional delivery deadline, measured from the send time.
+        deadline: Duration,
+    },
+}
+
+/// A message-delay distribution with optional growth over simulated time.
+///
+/// The delay of each sample is drawn uniformly from
+/// `[min, max + growth(now / growth_unit)]` ticks: the growth term widens the
+/// *spread* of the distribution as simulated time passes. A non-zero
+/// [`GrowthFn`] therefore makes the network not just slower but unboundedly
+/// more erratic, which is how the experiments defeat algorithms whose
+/// correctness needs a fixed (if unknown) bound on delays — adaptive timeouts
+/// can chase a bounded distribution but not one whose tail keeps growing —
+/// while leaving order-based (winning message) guarantees intact.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayDist {
+    /// Minimum base delay.
+    pub min: Duration,
+    /// Maximum base delay (inclusive).
+    pub max: Duration,
+    /// Additional delay as a function of elapsed simulated time.
+    pub growth: GrowthFn,
+    /// The unit of elapsed time fed to `growth` (e.g. `1000` ticks).
+    pub growth_unit: Duration,
+}
+
+impl DelayDist {
+    /// A distribution with constant support `[min, max]` and no growth.
+    pub fn uniform(min: Duration, max: Duration) -> Self {
+        DelayDist {
+            min,
+            max,
+            growth: GrowthFn::Zero,
+            growth_unit: Duration::from_ticks(1),
+        }
+    }
+
+    /// A distribution that always returns `d`.
+    pub fn fixed(d: Duration) -> Self {
+        Self::uniform(d, d)
+    }
+
+    /// Adds growth over simulated time to the distribution.
+    pub fn with_growth(mut self, growth: GrowthFn, per: Duration) -> Self {
+        self.growth = growth;
+        self.growth_unit = if per.is_zero() { Duration::from_ticks(1) } else { per };
+        self
+    }
+
+    /// Samples a delay at simulated time `now`.
+    pub fn sample(&self, now: Time, rng: &mut SimRng) -> Duration {
+        let upper = self.max.saturating_add(Duration::from_ticks(self.growth_extra(now)));
+        rng.duration_between(self.min, upper)
+    }
+
+    /// The largest delay the distribution can currently produce.
+    pub fn current_max(&self, now: Time) -> Duration {
+        self.max.saturating_add(Duration::from_ticks(self.growth_extra(now)))
+    }
+
+    fn growth_extra(&self, now: Time) -> u64 {
+        if self.growth.is_zero() {
+            0
+        } else {
+            self.growth
+                .eval(RoundNum::new(now.ticks() / self.growth_unit.ticks().max(1)))
+        }
+    }
+}
+
+/// The entity that controls message transfer delays.
+///
+/// The network itself is reliable (no loss, no corruption, no duplication);
+/// the adversary only chooses delays and — through the gate mechanism of
+/// [`Delivery::AfterStar`] — relative delivery order of `ALIVE` messages of
+/// the same round at the same receiver.
+pub trait Adversary<M: RoundTagged>: Send {
+    /// Decides how to deliver one message.
+    ///
+    /// `now` is the send time. Self-addressed messages also pass through the
+    /// adversary; the assumptions never constrain them, so models typically
+    /// treat them like any other unconstrained message.
+    fn delivery(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SimRng,
+    ) -> Delivery;
+
+    /// A short human-readable description, used in experiment tables.
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_dist_uniform_bounds() {
+        let d = DelayDist::uniform(Duration::from_ticks(3), Duration::from_ticks(9));
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..500 {
+            let s = d.sample(Time::ZERO, &mut rng);
+            assert!(s >= Duration::from_ticks(3) && s <= Duration::from_ticks(9));
+        }
+        assert_eq!(d.current_max(Time::ZERO), Duration::from_ticks(9));
+    }
+
+    #[test]
+    fn delay_dist_fixed() {
+        let d = DelayDist::fixed(Duration::from_ticks(5));
+        let mut rng = SimRng::from_seed(2);
+        assert_eq!(d.sample(Time::from_ticks(123), &mut rng), Duration::from_ticks(5));
+    }
+
+    #[test]
+    fn delay_dist_growth_widens_the_spread_over_time() {
+        let d = DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(2)).with_growth(
+            GrowthFn::Linear { per_round: 10, divisor: 1 },
+            Duration::from_ticks(100),
+        );
+        let mut rng = SimRng::from_seed(3);
+        // Early on, samples stay within the base range.
+        for _ in 0..100 {
+            assert!(d.sample(Time::from_ticks(0), &mut rng) <= Duration::from_ticks(2));
+        }
+        // Much later the support is [1, 2 + 1000]: the tail is reachable…
+        let late: Vec<Duration> = (0..200).map(|_| d.sample(Time::from_ticks(10_000), &mut rng)).collect();
+        assert!(late.iter().any(|&x| x > Duration::from_ticks(500)));
+        // …and the spread, not just the shift, has grown (small delays remain possible).
+        assert!(late.iter().any(|&x| x < Duration::from_ticks(100)));
+        assert!(d.current_max(Time::from_ticks(10_000)) >= Duration::from_ticks(1000));
+    }
+
+    #[test]
+    fn growth_unit_zero_is_sanitised() {
+        let d = DelayDist::uniform(Duration::from_ticks(5), Duration::from_ticks(5))
+            .with_growth(GrowthFn::Constant(4), Duration::ZERO);
+        let mut rng = SimRng::from_seed(4);
+        let s = d.sample(Time::from_ticks(50), &mut rng);
+        assert!(s >= Duration::from_ticks(5) && s <= Duration::from_ticks(9));
+    }
+}

@@ -1,0 +1,233 @@
+//! Named constructors for the published assumptions the paper generalises.
+//!
+//! Each function returns a [`StarAdversary`] configured to realise exactly one
+//! of the assumptions discussed in Sections 1.2 and 3 of the paper. The
+//! experiment harness uses these for the "assumption matrix" experiment (E6),
+//! and the examples use them to show how each assumption is expressed.
+
+use super::star::{Activation, PointGuarantee, Rotation, StarAdversary, StarConfig};
+use super::DelayDist;
+use irs_types::{Duration, GrowthFn, ProcessId, ProcessSet, SystemConfig};
+
+/// The first `t` processes other than `center`, used as the fixed point set
+/// of the non-moving ("source"-style) assumptions.
+pub fn default_fixed_points(system: SystemConfig, center: ProcessId) -> ProcessSet {
+    ProcessSet::from_ids(
+        system.n(),
+        system.processes().filter(|p| *p != center).take(system.t()),
+    )
+}
+
+fn base(system: SystemConfig, center: ProcessId, delta: Duration, unconstrained: DelayDist) -> StarConfig {
+    StarConfig {
+        delta,
+        unconstrained,
+        ..StarConfig::a_prime(system, center)
+    }
+}
+
+/// *Eventual t-source* (Aguilera et al., PODC 2004): a fixed set of `t`
+/// outgoing links of `center` is eventually `Δ`-timely.
+pub fn eventual_t_source(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::Fixed(default_fixed_points(system, center)),
+        guarantee: PointGuarantee::Timely,
+        activation: Activation::EveryRound,
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// *Eventual t-moving source* (Hutle–Malkhi–Schmid–Zhou): as above but the
+/// set of timely links may change every round.
+pub fn eventual_t_moving_source(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::PerRound,
+        guarantee: PointGuarantee::Timely,
+        activation: Activation::EveryRound,
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// *Message pattern* (Mostéfaoui–Mourgaya–Raynal, DSN 2003): a fixed set of
+/// `t` processes always receives `center`'s `ALIVE` among the first `n − t`
+/// such messages of the round; no timing guarantee at all.
+pub fn message_pattern(
+    system: SystemConfig,
+    center: ProcessId,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::Fixed(default_fixed_points(system, center)),
+        guarantee: PointGuarantee::Winning,
+        activation: Activation::EveryRound,
+        ..base(system, center, Duration::from_ticks(1), unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// The *combined* assumption (Mostéfaoui–Raynal–Travers, TPDS 2006): a fixed
+/// set of `t` processes, each link independently timely or winning.
+pub fn combined_fixed(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::Fixed(default_fixed_points(system, center)),
+        guarantee: PointGuarantee::Mixed,
+        activation: Activation::EveryRound,
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// The paper's assumption `A′`: an *eventual rotating t-star* — per-round
+/// point sets, each point timely or winning, every round active.
+pub fn rotating_star_a_prime(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::PerRound,
+        guarantee: PointGuarantee::Mixed,
+        activation: Activation::EveryRound,
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// The paper's assumption `A`: an *eventual intermittent rotating t-star* —
+/// the star only materialises on a sub-sequence of rounds whose consecutive
+/// gaps are bounded by `d`.
+pub fn intermittent_rotating_star(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    d: u64,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::PerRound,
+        guarantee: PointGuarantee::Mixed,
+        activation: Activation::RandomGap { max_gap: d.max(1) },
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+/// The `A_{f,g}` assumption of Section 7: gaps bounded by `D + f(s_k)` and
+/// timeliness bound `Δ + g(rn)`, both possibly growing without bound.
+pub fn fg_rotating_star(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    d: u64,
+    f: GrowthFn,
+    g: GrowthFn,
+    unconstrained: DelayDist,
+    seed: u64,
+) -> StarAdversary {
+    let cfg = StarConfig {
+        rotation: Rotation::PerRound,
+        guarantee: PointGuarantee::Mixed,
+        activation: Activation::GrowingGap { base: d.max(1), f },
+        g,
+        ..base(system, center, delta, unconstrained)
+    };
+    StarAdversary::new(cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Adversary;
+    use irs_types::{RoundNum, RoundTagged};
+
+    #[derive(Clone, Debug)]
+    struct TestMsg(Option<RoundNum>);
+    impl RoundTagged for TestMsg {
+        fn constrained_round(&self) -> Option<RoundNum> {
+            self.0
+        }
+    }
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(6, 2).unwrap()
+    }
+
+    fn dist() -> DelayDist {
+        DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(40))
+    }
+
+    #[test]
+    fn default_fixed_points_excludes_center_and_has_size_t() {
+        let pts = default_fixed_points(system(), ProcessId::new(2));
+        assert_eq!(pts.len(), 2);
+        assert!(!pts.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    fn t_source_points_are_fixed_across_rounds() {
+        let adv = eventual_t_source(system(), ProcessId::new(1), Duration::from_ticks(5), dist(), 7);
+        let p1 = adv.points(RoundNum::new(1));
+        let p99 = adv.points(RoundNum::new(99));
+        assert_eq!(p1, p99);
+    }
+
+    #[test]
+    fn moving_source_points_rotate() {
+        let adv = eventual_t_moving_source(system(), ProcessId::new(1), Duration::from_ticks(5), dist(), 7);
+        let sets: std::collections::BTreeSet<Vec<ProcessId>> =
+            (1..60u64).map(|rn| adv.points(RoundNum::new(rn)).to_vec()).collect();
+        assert!(sets.len() > 3);
+    }
+
+    #[test]
+    fn every_preset_builds_and_describes_itself() {
+        let s = system();
+        let c = ProcessId::new(0);
+        let d = Duration::from_ticks(6);
+        let advs: Vec<StarAdversary> = vec![
+            eventual_t_source(s, c, d, dist(), 1),
+            eventual_t_moving_source(s, c, d, dist(), 1),
+            message_pattern(s, c, dist(), 1),
+            combined_fixed(s, c, d, dist(), 1),
+            rotating_star_a_prime(s, c, d, dist(), 1),
+            intermittent_rotating_star(s, c, d, 4, dist(), 1),
+            fg_rotating_star(s, c, d, 4, GrowthFn::Sqrt, GrowthFn::Log2, dist(), 1),
+        ];
+        for adv in &advs {
+            let desc = Adversary::<TestMsg>::describe(adv);
+            assert!(desc.contains("center=p1"), "{desc}");
+        }
+    }
+
+    #[test]
+    fn intermittent_star_is_sometimes_inactive() {
+        let mut adv = intermittent_rotating_star(system(), ProcessId::new(0), Duration::from_ticks(5), 5, dist(), 11);
+        let active = (1..500u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).count();
+        assert!(active > 90, "active rounds: {active}");
+        assert!(active < 450, "star should be intermittent, active rounds: {active}");
+    }
+}

@@ -1,0 +1,573 @@
+//! The star adversary: a programmable realisation of the paper's assumptions.
+//!
+//! A [`StarAdversary`] guarantees that one distinguished process — the *star
+//! centre* — satisfies, for a configurable subset of the rounds, the
+//! properties A1/A2 of the paper: for every *active* round `rn` there is a
+//! set `Q(rn)` of `t` points such that the centre's `ALIVE(rn)` message to
+//! each point is either `Δ`-timely or winning. Everything else (messages of
+//! other senders, `SUSPICION` messages, inactive rounds, non-point receivers)
+//! is delayed according to an arbitrary, possibly unboundedly growing,
+//! background distribution.
+//!
+//! By choosing [`Rotation`], [`PointGuarantee`] and [`Activation`] the same
+//! type realises the whole assumption lattice discussed in Sections 1.2 and 3
+//! of the paper:
+//!
+//! | assumption | rotation | guarantee | activation |
+//! |---|---|---|---|
+//! | eventual t-source (PODC'04) | `Fixed` | `Timely` | `EveryRound` |
+//! | message pattern (DSN'03) | `Fixed` | `Winning` | `EveryRound` |
+//! | combined (TPDS'06) | `Fixed` | `Mixed` | `EveryRound` |
+//! | eventual t-moving source | `PerRound` | `Timely` | `EveryRound` |
+//! | moving message pattern | `PerRound` | `Winning` | `EveryRound` |
+//! | eventual rotating t-star (`A′`) | `PerRound` | `Mixed` | `EveryRound` |
+//! | intermittent rotating t-star (`A`) | `PerRound` | `Mixed` | `RandomGap`/`Periodic` |
+//! | `A_{f,g}` (§7) | `PerRound` | `Mixed` | `GrowingGap` + `g ≠ 0` |
+
+use super::{Adversary, DelayDist, Delivery};
+use crate::SimRng;
+use irs_types::{
+    Duration, GrowthFn, ProcessId, ProcessSet, RoundNum, RoundTagged, SystemConfig, Time,
+};
+use std::collections::BTreeSet;
+
+/// Whether the point set `Q(rn)` may change from round to round.
+#[derive(Clone, Debug)]
+pub enum Rotation {
+    /// The same point set is used for every active round (the "source"-style
+    /// assumptions).
+    Fixed(ProcessSet),
+    /// A fresh pseudo-random point set of size `t` is drawn for every active
+    /// round (the "moving"/"rotating" assumptions).
+    PerRound,
+}
+
+/// Which of the two properties of A2 the star points receive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PointGuarantee {
+    /// Property (2): the centre's `ALIVE(rn)` is `Δ`-timely.
+    Timely,
+    /// Property (3): the centre's `ALIVE(rn)` is winning (among the first
+    /// `n − t` `ALIVE(rn)` messages the point receives).
+    Winning,
+    /// Each point of each round independently gets (2) or (3) — the general
+    /// case the paper emphasises ("two points of the star are allowed to
+    /// satisfy different properties").
+    Mixed,
+}
+
+/// Which rounds are *active*, i.e. belong to the sequence `S` on which the
+/// star guarantee holds.
+#[derive(Clone, Copy, Debug)]
+pub enum Activation {
+    /// Every round from `start_round` on is active — assumption `A′`.
+    EveryRound,
+    /// Rounds `start_round, start_round + gap, start_round + 2·gap, …` —
+    /// assumption `A` with `D = gap`.
+    Periodic {
+        /// The constant gap between consecutive active rounds.
+        gap: u64,
+    },
+    /// Pseudo-random gaps drawn uniformly from `[1, max_gap]` — assumption
+    /// `A` with `D = max_gap`.
+    RandomGap {
+        /// The bound `D` on the gap between consecutive active rounds.
+        max_gap: u64,
+    },
+    /// Pseudo-random gaps drawn from `[1, base + f(s_k)]` — assumption
+    /// `A_{f,g}` (the gap bound grows with the round number).
+    GrowingGap {
+        /// The base gap bound `D`.
+        base: u64,
+        /// The growth function `f`.
+        f: GrowthFn,
+    },
+}
+
+/// Full configuration of a [`StarAdversary`].
+#[derive(Clone, Debug)]
+pub struct StarConfig {
+    /// The system parameters `(n, t)`.
+    pub system: SystemConfig,
+    /// The star centre — the process the assumption promises to be correct.
+    pub center: ProcessId,
+    /// Point-set behaviour.
+    pub rotation: Rotation,
+    /// Guarantee given to the points.
+    pub guarantee: PointGuarantee,
+    /// Which rounds are active.
+    pub activation: Activation,
+    /// The first round (`RN₀`) from which the guarantee holds; earlier rounds
+    /// are entirely unconstrained.
+    pub start_round: u64,
+    /// The timeliness bound `Δ` for timely points.
+    pub delta: Duration,
+    /// The extra timeliness slack `g(rn)` of `A_{f,g}` (zero recovers `A`).
+    pub g: GrowthFn,
+    /// Delay distribution for every unconstrained message.
+    pub unconstrained: DelayDist,
+    /// Extra delay applied to held messages once the winning gate opens.
+    pub winning_slack: Duration,
+}
+
+impl StarConfig {
+    /// A reasonable default configuration for assumption `A′` around the
+    /// given centre: per-round rotation, mixed guarantees, active from round
+    /// 1, `Δ = 8` ticks, background delays in `[1, 60]` ticks.
+    pub fn a_prime(system: SystemConfig, center: ProcessId) -> Self {
+        StarConfig {
+            system,
+            center,
+            rotation: Rotation::PerRound,
+            guarantee: PointGuarantee::Mixed,
+            activation: Activation::EveryRound,
+            start_round: 1,
+            delta: Duration::from_ticks(8),
+            g: GrowthFn::Zero,
+            unconstrained: DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(60)),
+            winning_slack: Duration::from_ticks(2),
+        }
+    }
+}
+
+/// See the [module documentation](self).
+#[derive(Clone, Debug)]
+pub struct StarAdversary {
+    cfg: StarConfig,
+    seed: u64,
+    /// Memoised active rounds for the gap-based activations.
+    active: BTreeSet<u64>,
+    /// Highest active round generated so far.
+    generated_up_to: u64,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    mix(seed ^ mix(a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mix(b)))
+}
+
+impl StarAdversary {
+    /// Creates a star adversary with the given configuration and seed.
+    ///
+    /// The seed drives only the adversary's own pseudo-random choices (point
+    /// sets, per-point guarantee flips, activation gaps); background delays
+    /// are sampled from the engine's RNG.
+    pub fn new(cfg: StarConfig, seed: u64) -> Self {
+        let start = cfg.start_round.max(1);
+        StarAdversary {
+            cfg,
+            seed,
+            active: BTreeSet::from([start]),
+            generated_up_to: start,
+        }
+    }
+
+    /// The configured star centre.
+    pub fn center(&self) -> ProcessId {
+        self.cfg.center
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StarConfig {
+        &self.cfg
+    }
+
+    /// Returns the point set `Q(rn)` that the adversary enforces in round
+    /// `rn`. Deterministic in `(seed, rn)`.
+    pub fn points(&self, rn: RoundNum) -> ProcessSet {
+        match &self.cfg.rotation {
+            Rotation::Fixed(set) => set.clone(),
+            Rotation::PerRound => {
+                let n = self.cfg.system.n();
+                let candidates: Vec<ProcessId> = self
+                    .cfg
+                    .system
+                    .processes()
+                    .filter(|p| *p != self.cfg.center)
+                    .collect();
+                let mut rng = SimRng::from_seed(hash3(self.seed, rn.value(), 0xA11CE));
+                rng.choose_subset(n, &candidates, self.cfg.system.t())
+            }
+        }
+    }
+
+    /// Returns the guarantee enforced for point `q` in round `rn`.
+    pub fn point_guarantee(&self, rn: RoundNum, q: ProcessId) -> PointGuarantee {
+        match self.cfg.guarantee {
+            PointGuarantee::Timely => PointGuarantee::Timely,
+            PointGuarantee::Winning => PointGuarantee::Winning,
+            PointGuarantee::Mixed => {
+                if hash3(self.seed, rn.value(), 0xB0B0 ^ u64::from(q.as_u32())) & 1 == 0 {
+                    PointGuarantee::Timely
+                } else {
+                    PointGuarantee::Winning
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if round `rn` belongs to the active sequence `S`.
+    pub fn is_active(&mut self, rn: RoundNum) -> bool {
+        let r = rn.value();
+        if r < self.cfg.start_round.max(1) {
+            return false;
+        }
+        match self.cfg.activation {
+            Activation::EveryRound => true,
+            Activation::Periodic { gap } => (r - self.cfg.start_round.max(1)) % gap.max(1) == 0,
+            Activation::RandomGap { .. } | Activation::GrowingGap { .. } => {
+                self.extend_active_to(r);
+                self.active.contains(&r)
+            }
+        }
+    }
+
+    /// The largest gap between consecutive active rounds generated so far
+    /// (useful to check the `D` bound in tests).
+    pub fn max_generated_gap(&self) -> u64 {
+        self.active
+            .iter()
+            .zip(self.active.iter().skip(1))
+            .map(|(a, b)| b - a)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn extend_active_to(&mut self, round: u64) {
+        let mut k = self.active.len() as u64;
+        while self.generated_up_to < round {
+            let current = self.generated_up_to;
+            let max_gap = match self.cfg.activation {
+                Activation::RandomGap { max_gap } => max_gap.max(1),
+                Activation::GrowingGap { base, f } => {
+                    base.max(1).saturating_add(f.eval(RoundNum::new(current)))
+                }
+                _ => 1,
+            };
+            let gap = 1 + hash3(self.seed, k, 0x5EED) % max_gap;
+            let next = current + gap;
+            self.active.insert(next);
+            self.generated_up_to = next;
+            k += 1;
+        }
+    }
+
+    /// The effective timeliness bound for round `rn`: `Δ + g(rn)`.
+    fn effective_delta(&self, rn: RoundNum) -> Duration {
+        self.cfg
+            .delta
+            .saturating_add(Duration::from_ticks(self.cfg.g.eval(rn)))
+    }
+}
+
+impl<M: RoundTagged> Adversary<M> for StarAdversary {
+    fn delivery(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        to: ProcessId,
+        msg: &M,
+        rng: &mut SimRng,
+    ) -> Delivery {
+        let Some(rn) = msg.constrained_round() else {
+            return Delivery::After(self.cfg.unconstrained.sample(now, rng));
+        };
+        if !self.is_active(rn) {
+            return Delivery::After(self.cfg.unconstrained.sample(now, rng));
+        }
+        let points = self.points(rn);
+        if !points.contains(to) {
+            return Delivery::After(self.cfg.unconstrained.sample(now, rng));
+        }
+        let mode = self.point_guarantee(rn, to);
+        if from == self.cfg.center {
+            match mode {
+                PointGuarantee::Timely => {
+                    let d = rng.duration_between(Duration::from_ticks(1), self.effective_delta(rn));
+                    Delivery::After(d)
+                }
+                // For a winning point the centre's message is constrained in
+                // order, not in time: sample from the background distribution
+                // but mark it as the gate opener.
+                PointGuarantee::Winning | PointGuarantee::Mixed => {
+                    Delivery::StarAfter(self.cfg.unconstrained.sample(now, rng))
+                }
+            }
+        } else if mode == PointGuarantee::Winning {
+            // Another sender's ALIVE(rn) to a winning point: hold it behind
+            // the centre's message so the centre's is received first (hence
+            // within the first n − t). The deadline keeps links reliable even
+            // if the centre is (mis)configured as crashed.
+            let deadline = self
+                .cfg
+                .unconstrained
+                .current_max(now)
+                .saturating_mul(4)
+                .saturating_add(self.effective_delta(rn).saturating_mul(4))
+                .saturating_add(Duration::from_ticks(64));
+            Delivery::AfterStar {
+                slack: rng.duration_between(Duration::from_ticks(1), self.cfg.winning_slack.max(Duration::from_ticks(1))),
+                deadline,
+            }
+        } else {
+            Delivery::After(self.cfg.unconstrained.sample(now, rng))
+        }
+    }
+
+    fn describe(&self) -> String {
+        let rotation = match &self.cfg.rotation {
+            Rotation::Fixed(_) => "fixed",
+            Rotation::PerRound => "rotating",
+        };
+        let guarantee = match self.cfg.guarantee {
+            PointGuarantee::Timely => "timely",
+            PointGuarantee::Winning => "winning",
+            PointGuarantee::Mixed => "mixed",
+        };
+        let activation = match self.cfg.activation {
+            Activation::EveryRound => "every-round".to_string(),
+            Activation::Periodic { gap } => format!("periodic(D={gap})"),
+            Activation::RandomGap { max_gap } => format!("intermittent(D={max_gap})"),
+            Activation::GrowingGap { base, f } => format!("growing(D={base}+{f})"),
+        };
+        format!(
+            "star(center={}, {rotation}, {guarantee}, {activation}, delta={}, g={})",
+            self.cfg.center, self.cfg.delta, self.cfg.g
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct TestMsg(Option<RoundNum>);
+    impl RoundTagged for TestMsg {
+        fn constrained_round(&self) -> Option<RoundNum> {
+            self.0
+        }
+    }
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(7, 3).unwrap()
+    }
+
+    fn base_cfg(guarantee: PointGuarantee, activation: Activation) -> StarConfig {
+        StarConfig {
+            guarantee,
+            activation,
+            ..StarConfig::a_prime(system(), ProcessId::new(0))
+        }
+    }
+
+    #[test]
+    fn points_have_size_t_and_exclude_center() {
+        let adv = StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 1);
+        for rn in 1..200u64 {
+            let pts = adv.points(RoundNum::new(rn));
+            assert_eq!(pts.len(), system().t());
+            assert!(!pts.contains(ProcessId::new(0)));
+        }
+    }
+
+    #[test]
+    fn points_rotate_across_rounds() {
+        let adv = StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 2);
+        let distinct: std::collections::BTreeSet<Vec<ProcessId>> = (1..100u64)
+            .map(|rn| adv.points(RoundNum::new(rn)).to_vec())
+            .collect();
+        assert!(distinct.len() > 5, "point sets should rotate, got {}", distinct.len());
+    }
+
+    #[test]
+    fn fixed_rotation_never_changes() {
+        let fixed = ProcessSet::from_ids(7, [ProcessId::new(2), ProcessId::new(4), ProcessId::new(5)]);
+        let cfg = StarConfig {
+            rotation: Rotation::Fixed(fixed.clone()),
+            ..base_cfg(PointGuarantee::Timely, Activation::EveryRound)
+        };
+        let adv = StarAdversary::new(cfg, 3);
+        for rn in 1..50u64 {
+            assert_eq!(adv.points(RoundNum::new(rn)), fixed);
+        }
+    }
+
+    #[test]
+    fn point_guarantee_is_deterministic_and_mixed() {
+        let adv = StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 4);
+        let mut timely = 0;
+        let mut winning = 0;
+        for rn in 1..200u64 {
+            for q in system().processes() {
+                let a = adv.point_guarantee(RoundNum::new(rn), q);
+                let b = adv.point_guarantee(RoundNum::new(rn), q);
+                assert_eq!(a, b);
+                match a {
+                    PointGuarantee::Timely => timely += 1,
+                    PointGuarantee::Winning => winning += 1,
+                    PointGuarantee::Mixed => unreachable!(),
+                }
+            }
+        }
+        assert!(timely > 100 && winning > 100);
+    }
+
+    #[test]
+    fn every_round_activation() {
+        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 5);
+        assert!(!adv.is_active(RoundNum::ZERO));
+        for rn in 1..100u64 {
+            assert!(adv.is_active(RoundNum::new(rn)));
+        }
+    }
+
+    #[test]
+    fn start_round_is_respected() {
+        let cfg = StarConfig {
+            start_round: 50,
+            ..base_cfg(PointGuarantee::Mixed, Activation::EveryRound)
+        };
+        let mut adv = StarAdversary::new(cfg, 6);
+        assert!(!adv.is_active(RoundNum::new(49)));
+        assert!(adv.is_active(RoundNum::new(50)));
+    }
+
+    #[test]
+    fn periodic_activation_has_exact_gap() {
+        let mut adv = StarAdversary::new(
+            base_cfg(PointGuarantee::Mixed, Activation::Periodic { gap: 4 }),
+            7,
+        );
+        let actives: Vec<u64> = (1..40u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        assert_eq!(actives, vec![1, 5, 9, 13, 17, 21, 25, 29, 33, 37]);
+    }
+
+    #[test]
+    fn random_gap_activation_respects_bound_d() {
+        let mut adv = StarAdversary::new(
+            base_cfg(PointGuarantee::Mixed, Activation::RandomGap { max_gap: 6 }),
+            8,
+        );
+        let actives: Vec<u64> = (1..2000u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        assert!(actives.len() > 300);
+        for w in actives.windows(2) {
+            assert!(w[1] - w[0] >= 1 && w[1] - w[0] <= 6, "gap {} out of bounds", w[1] - w[0]);
+        }
+        assert!(adv.max_generated_gap() <= 6);
+    }
+
+    #[test]
+    fn growing_gap_activation_gaps_grow_but_respect_base_plus_f() {
+        let f = GrowthFn::Linear { per_round: 1, divisor: 100 };
+        let mut adv = StarAdversary::new(
+            base_cfg(PointGuarantee::Mixed, Activation::GrowingGap { base: 3, f }),
+            9,
+        );
+        let actives: Vec<u64> = (1..3000u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        for w in actives.windows(2) {
+            let bound = 3 + f.eval(RoundNum::new(w[0]));
+            assert!(w[1] - w[0] <= bound, "gap {} exceeds D + f = {}", w[1] - w[0], bound);
+        }
+    }
+
+    #[test]
+    fn center_to_timely_point_is_delta_timely() {
+        let cfg = base_cfg(PointGuarantee::Timely, Activation::EveryRound);
+        let delta = cfg.delta;
+        let mut adv = StarAdversary::new(cfg, 10);
+        let mut rng = SimRng::from_seed(0);
+        for rn in 1..100u64 {
+            let pts = adv.points(RoundNum::new(rn));
+            for q in pts.iter() {
+                match adv.delivery(
+                    Time::from_ticks(rn * 10),
+                    ProcessId::new(0),
+                    q,
+                    &TestMsg(Some(RoundNum::new(rn))),
+                    &mut rng,
+                ) {
+                    Delivery::After(d) => assert!(d <= delta, "delay {d} exceeds delta {delta}"),
+                    other => panic!("expected After, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn center_to_winning_point_is_marked_star_and_others_held() {
+        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Winning, Activation::EveryRound), 11);
+        let mut rng = SimRng::from_seed(1);
+        let rn = RoundNum::new(5);
+        let q = adv.points(rn).iter().next().unwrap();
+        let center_delivery = adv.delivery(Time::ZERO, ProcessId::new(0), q, &TestMsg(Some(rn)), &mut rng);
+        assert!(matches!(center_delivery, Delivery::StarAfter(_)));
+        let other = ProcessId::new(6);
+        assert_ne!(other, q);
+        let other_delivery = adv.delivery(Time::ZERO, other, q, &TestMsg(Some(rn)), &mut rng);
+        assert!(matches!(other_delivery, Delivery::AfterStar { .. }));
+    }
+
+    #[test]
+    fn unconstrained_messages_are_unconstrained() {
+        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Timely, Activation::EveryRound), 12);
+        let mut rng = SimRng::from_seed(2);
+        // A non-ALIVE message from the centre to a point: no guarantee applies.
+        let q = adv.points(RoundNum::new(1)).iter().next().unwrap();
+        match adv.delivery(Time::ZERO, ProcessId::new(0), q, &TestMsg(None), &mut rng) {
+            Delivery::After(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // An ALIVE message from a non-centre process to a non-point process.
+        match adv.delivery(
+            Time::ZERO,
+            ProcessId::new(3),
+            ProcessId::new(0),
+            &TestMsg(Some(RoundNum::new(1))),
+            &mut rng,
+        ) {
+            Delivery::After(_) | Delivery::AfterStar { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inactive_rounds_give_no_guarantee() {
+        let cfg = base_cfg(PointGuarantee::Timely, Activation::Periodic { gap: 10 });
+        let delta = cfg.delta;
+        let mut adv = StarAdversary::new(cfg, 13);
+        let mut rng = SimRng::from_seed(3);
+        // Round 2 is inactive (active rounds are 1, 11, 21, …): delays may
+        // exceed delta.
+        let rn = RoundNum::new(2);
+        assert!(!adv.is_active(rn));
+        let q = adv.points(rn).iter().next().unwrap();
+        let mut saw_large = false;
+        for _ in 0..200 {
+            if let Delivery::After(d) =
+                adv.delivery(Time::ZERO, ProcessId::new(0), q, &TestMsg(Some(rn)), &mut rng)
+            {
+                if d > delta {
+                    saw_large = true;
+                }
+            }
+        }
+        assert!(saw_large, "inactive round should allow delays above delta");
+    }
+
+    #[test]
+    fn describe_mentions_key_parameters() {
+        let adv = StarAdversary::new(
+            base_cfg(PointGuarantee::Mixed, Activation::RandomGap { max_gap: 5 }),
+            14,
+        );
+        let d = Adversary::<TestMsg>::describe(&adv);
+        assert!(d.contains("center=p1"));
+        assert!(d.contains("intermittent(D=5)"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Crash-failure injection.
+
+use irs_types::{ProcessId, ProcessSet, Time};
+
+/// A schedule of crash failures to inject into a simulation run.
+///
+/// The paper's failure model is crash-stop: a faulty process behaves
+/// correctly until it halts, and it never recovers. The plan simply lists
+/// `(process, time)` pairs; the engine stops invoking a crashed process's
+/// callbacks and drops messages addressed to it from the crash time on
+/// (messages already sent by the process remain in flight — links are
+/// reliable).
+///
+/// # Example
+///
+/// ```
+/// use irs_sim::CrashPlan;
+/// use irs_types::{ProcessId, Time};
+///
+/// let plan = CrashPlan::new()
+///     .crash(ProcessId::new(0), Time::from_ticks(500))
+///     .crash(ProcessId::new(3), Time::from_ticks(1_000));
+/// assert_eq!(plan.len(), 2);
+/// assert!(plan.will_crash(ProcessId::new(3)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    crashes: Vec<(ProcessId, Time)>,
+}
+
+impl CrashPlan {
+    /// A plan with no crashes.
+    pub fn new() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash of `pid` at time `at`.
+    ///
+    /// Adding the same process twice keeps only the earliest crash time.
+    #[must_use]
+    pub fn crash(mut self, pid: ProcessId, at: Time) -> Self {
+        if let Some(existing) = self.crashes.iter_mut().find(|(p, _)| *p == pid) {
+            existing.1 = existing.1.min(at);
+        } else {
+            self.crashes.push((pid, at));
+        }
+        self
+    }
+
+    /// Crashes the first `k` processes of the system at the given times
+    /// (one entry per process, round-robin over `times`).
+    ///
+    /// Convenience for experiments that crash "up to t processes".
+    #[must_use]
+    pub fn crash_first(mut self, k: usize, times: &[Time]) -> Self {
+        for i in 0..k {
+            let at = times[i % times.len().max(1)];
+            self = self.crash(ProcessId::new(i as u32), at);
+        }
+        self
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Returns `true` if no crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// Returns `true` if `pid` is scheduled to crash at some point.
+    pub fn will_crash(&self, pid: ProcessId) -> bool {
+        self.crashes.iter().any(|(p, _)| *p == pid)
+    }
+
+    /// The scheduled crash time of `pid`, if any.
+    pub fn crash_time(&self, pid: ProcessId) -> Option<Time> {
+        self.crashes.iter().find(|(p, _)| *p == pid).map(|(_, t)| *t)
+    }
+
+    /// Iterates over the `(process, time)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Time)> + '_ {
+        self.crashes.iter().copied()
+    }
+
+    /// The set of processes that will have crashed by the end of the run,
+    /// i.e. the *faulty* processes.
+    pub fn faulty_set(&self, n: usize) -> ProcessSet {
+        ProcessSet::from_ids(n, self.crashes.iter().map(|(p, _)| *p).filter(|p| p.index() < n))
+    }
+
+    /// Validates the plan against a fault bound: at most `t` crashes, all of
+    /// known processes.
+    pub fn respects_bound(&self, n: usize, t: usize) -> bool {
+        self.len() <= t && self.crashes.iter().all(|(p, _)| p.index() < n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let p = CrashPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(!p.will_crash(ProcessId::new(0)));
+        assert_eq!(p.crash_time(ProcessId::new(0)), None);
+        assert!(p.respects_bound(4, 0));
+    }
+
+    #[test]
+    fn duplicate_crash_keeps_earliest() {
+        let p = CrashPlan::new()
+            .crash(ProcessId::new(1), Time::from_ticks(100))
+            .crash(ProcessId::new(1), Time::from_ticks(50));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.crash_time(ProcessId::new(1)), Some(Time::from_ticks(50)));
+    }
+
+    #[test]
+    fn crash_first_crashes_prefix() {
+        let p = CrashPlan::new().crash_first(3, &[Time::from_ticks(10), Time::from_ticks(20)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.crash_time(ProcessId::new(0)), Some(Time::from_ticks(10)));
+        assert_eq!(p.crash_time(ProcessId::new(1)), Some(Time::from_ticks(20)));
+        assert_eq!(p.crash_time(ProcessId::new(2)), Some(Time::from_ticks(10)));
+    }
+
+    #[test]
+    fn faulty_set_and_bound() {
+        let p = CrashPlan::new()
+            .crash(ProcessId::new(2), Time::from_ticks(5))
+            .crash(ProcessId::new(4), Time::from_ticks(9));
+        let f = p.faulty_set(6);
+        assert_eq!(f.to_vec(), vec![ProcessId::new(2), ProcessId::new(4)]);
+        assert!(p.respects_bound(6, 2));
+        assert!(!p.respects_bound(6, 1));
+        assert!(!p.respects_bound(3, 2)); // p4 is not a process of a 3-process system
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let p = CrashPlan::new()
+            .crash(ProcessId::new(0), Time::from_ticks(1))
+            .crash(ProcessId::new(1), Time::from_ticks(2));
+        assert_eq!(p.iter().count(), 2);
+    }
+}

@@ -1,0 +1,738 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulation`] owns `n` protocol instances, an [`Adversary`] that decides
+//! message delays, a [`CrashPlan`], and a time-ordered [`EventQueue`]. It
+//! repeatedly pops the earliest event, hands it to the affected protocol
+//! instance, and schedules whatever that instance asked for. Everything is
+//! deterministic for a given `(seed, configuration)` pair.
+//!
+//! Besides driving the protocols, the engine implements the *winning-message
+//! gate*: when the adversary answers [`Delivery::AfterStar`] for a message,
+//! the engine holds it until the star-centre message of the same
+//! `(receiver, round)` key has been delivered, guaranteeing the centre's
+//! `ALIVE(rn)` is received first (and hence among the first `n − t`).
+
+use crate::adversary::{Adversary, Delivery};
+use crate::crash::CrashPlan;
+use crate::event::{Event, EventQueue, HoldKey};
+use crate::rng::SimRng;
+use crate::trace::{LeaderChange, Trace, TraceCounters};
+use irs_types::{
+    Actions, Destination, Duration, Introspect, ProcessId, Protocol, RoundNum, RoundTagged,
+    Snapshot, Time, TimerId, TimerRequest,
+};
+use std::collections::HashMap;
+
+/// Static parameters of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Seed of the engine's random number generator (delays, jitter).
+    pub seed: u64,
+    /// The run stops when simulated time would exceed this horizon.
+    pub horizon: Time,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            horizon: Time::from_ticks(1_000_000),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given seed and horizon.
+    pub fn new(seed: u64, horizon: Time) -> Self {
+        SimConfig { seed, horizon }
+    }
+}
+
+/// The final agreement reached by a run, if any.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stabilization {
+    /// The commonly elected (and still live) leader.
+    pub leader: ProcessId,
+    /// The time of the *last* change of the agreement state — i.e. the
+    /// moment from which the leadership was never disturbed again within the
+    /// run.
+    pub at: Time,
+}
+
+/// Everything an experiment needs to know about a finished run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Simulated time when the run stopped.
+    pub final_time: Time,
+    /// Aggregate counters.
+    pub counters: TraceCounters,
+    /// Every transition of the system-wide leader agreement.
+    pub leader_history: Vec<LeaderChange>,
+    /// The final stable agreement, if the run ended with all live processes
+    /// agreeing on a live leader.
+    pub stabilization: Option<Stabilization>,
+    /// Final snapshot of every process (`None` for crashed processes).
+    pub final_snapshots: Vec<Option<Snapshot>>,
+    /// Processes that crashed during the run.
+    pub crashed: Vec<ProcessId>,
+    /// The adversary's description, for experiment tables.
+    pub adversary: String,
+}
+
+impl SimReport {
+    /// Returns `true` if the run ended with a stable, live, common leader.
+    pub fn is_stable(&self) -> bool {
+        self.stabilization.is_some()
+    }
+
+    /// The stabilisation time in ticks (`None` if the run did not stabilise).
+    pub fn stabilization_ticks(&self) -> Option<u64> {
+        self.stabilization.map(|s| s.at.ticks())
+    }
+
+    /// The largest value ever reported as a timer value in the final
+    /// snapshots (the bounded-timeout claim of Section 6 is about this).
+    pub fn max_final_timer_value(&self) -> u64 {
+        self.final_snapshots
+            .iter()
+            .flatten()
+            .map(|s| s.timer_value)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest suspicion level across all live processes at the end.
+    pub fn max_final_susp_level(&self) -> u64 {
+        self.final_snapshots
+            .iter()
+            .flatten()
+            .map(|s| s.max_susp_level())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct HeldMsg<M> {
+    token: u64,
+    from: ProcessId,
+    msg: M,
+    slack: Duration,
+}
+
+struct ProcSlot<P> {
+    proto: P,
+    crashed: bool,
+    timer_gen: HashMap<TimerId, u64>,
+    last_leader: ProcessId,
+}
+
+/// A deterministic discrete-event simulation of `n` protocol instances under
+/// a programmable adversary.
+///
+/// # Example
+///
+/// See the crate-level documentation of `irs-omega` and the `quickstart`
+/// example of the workspace root; constructing a simulation requires a
+/// protocol implementation, which this crate deliberately does not provide.
+pub struct Simulation<P, A>
+where
+    P: Protocol + Introspect,
+    P::Msg: RoundTagged,
+    A: Adversary<P::Msg>,
+{
+    horizon: Time,
+    now: Time,
+    queue: EventQueue<P::Msg>,
+    procs: Vec<ProcSlot<P>>,
+    adversary: A,
+    rng: SimRng,
+    trace: Trace,
+    /// Scheduled delivery time of the star-centre message per gate key.
+    star_time: HashMap<HoldKey, Time>,
+    /// Messages held by the winning-message gate, per gate key.
+    held: HashMap<HoldKey, Vec<HeldMsg<P::Msg>>>,
+    next_token: u64,
+    crash_plan: CrashPlan,
+    started: bool,
+}
+
+impl<P, A> core::fmt::Debug for Simulation<P, A>
+where
+    P: Protocol + Introspect,
+    P::Msg: RoundTagged,
+    A: Adversary<P::Msg>,
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("n", &self.procs.len())
+            .field("pending_events", &self.queue.len())
+            .field("adversary", &self.adversary.describe())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, A> Simulation<P, A>
+where
+    P: Protocol + Introspect,
+    P::Msg: RoundTagged,
+    A: Adversary<P::Msg>,
+{
+    /// Creates a simulation over the given protocol instances.
+    ///
+    /// `processes[i]` must be the instance whose `id()` is `ProcessId(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order.
+    pub fn new(config: SimConfig, processes: Vec<P>, adversary: A, crashes: CrashPlan) -> Self {
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(
+                p.id(),
+                ProcessId::new(i as u32),
+                "process at index {i} reports id {}",
+                p.id()
+            );
+        }
+        let procs = processes
+            .into_iter()
+            .map(|p| {
+                let last_leader = p.leader();
+                ProcSlot {
+                    proto: p,
+                    crashed: false,
+                    timer_gen: HashMap::new(),
+                    last_leader,
+                }
+            })
+            .collect();
+        Simulation {
+            horizon: config.horizon,
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            procs,
+            adversary,
+            rng: SimRng::from_seed(config.seed),
+            trace: Trace::default(),
+            star_time: HashMap::new(),
+            held: HashMap::new(),
+            next_token: 0,
+            crash_plan: crashes,
+            started: false,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read access to a protocol instance (even if crashed, its last state is
+    /// observable).
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.procs[pid.index()].proto
+    }
+
+    /// Returns `true` if the process has crashed.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].crashed
+    }
+
+    /// The run trace accumulated so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The leader currently agreed on by every live process, if any.
+    pub fn agreed_leader(&self) -> Option<ProcessId> {
+        self.trace.current_agreement()
+    }
+
+    /// Starts the run (idempotent): invokes `on_start` on every process and
+    /// schedules the crash plan.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let crashes: Vec<_> = self.crash_plan.iter().collect();
+        for (pid, at) in crashes {
+            if pid.index() < self.procs.len() {
+                self.queue.push(at, Event::Crash { pid });
+            }
+        }
+        for i in 0..self.procs.len() {
+            let pid = ProcessId::new(i as u32);
+            let mut out = Actions::new();
+            self.procs[i].proto.on_start(&mut out);
+            self.after_callback(pid, out);
+        }
+        self.refresh_agreement();
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty or
+    /// the horizon has been reached.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        if at > self.horizon {
+            self.now = self.horizon;
+            return false;
+        }
+        self.now = at;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                if self.procs[to.index()].crashed {
+                    self.trace.counters.dropped_to_crashed += 1;
+                } else {
+                    self.trace.counters.messages_delivered += 1;
+                    let mut out = Actions::new();
+                    self.procs[to.index()].proto.on_message(from, msg, &mut out);
+                    self.after_callback(to, out);
+                }
+            }
+            Event::TimerFire { pid, timer, generation } => {
+                let slot = &mut self.procs[pid.index()];
+                if slot.crashed {
+                    return true;
+                }
+                if slot.timer_gen.get(&timer).copied().unwrap_or(0) != generation {
+                    return true; // superseded or cancelled
+                }
+                self.trace.counters.timer_fires += 1;
+                let mut out = Actions::new();
+                slot.proto.on_timer(timer, &mut out);
+                self.after_callback(pid, out);
+            }
+            Event::Crash { pid } => {
+                if !self.procs[pid.index()].crashed {
+                    self.procs[pid.index()].crashed = true;
+                    self.trace.counters.crashes += 1;
+                    self.refresh_agreement();
+                }
+            }
+            Event::ReleaseHeld { key, token } => {
+                if let Some(list) = self.held.get_mut(&key) {
+                    if let Some(pos) = list.iter().position(|h| h.token == token) {
+                        let h = list.remove(pos);
+                        if list.is_empty() {
+                            self.held.remove(&key);
+                        }
+                        self.trace.counters.gate_deadline_releases += 1;
+                        self.queue.push(
+                            self.now,
+                            Event::Deliver { from: h.from, to: key.0, msg: h.msg },
+                        );
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the horizon (or until no event is pending) and reports.
+    pub fn run(&mut self) -> SimReport {
+        self.start();
+        while self.step() {}
+        self.report()
+    }
+
+    /// Runs until the live processes have agreed on a live leader and that
+    /// agreement has not changed for `quiet` ticks, or until the horizon.
+    pub fn run_until_stable_for(&mut self, quiet: Duration) -> SimReport {
+        self.start();
+        loop {
+            if !self.step() {
+                break;
+            }
+            if let (Some(leader), Some(changed_at)) =
+                (self.trace.current_agreement(), self.trace.last_change_at())
+            {
+                if !self.procs[leader.index()].crashed
+                    && self.now.saturating_since(changed_at) >= quiet
+                {
+                    break;
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Builds the report for the current state of the run.
+    pub fn report(&self) -> SimReport {
+        let stabilization = match (self.trace.current_agreement(), self.trace.last_change_at()) {
+            (Some(leader), Some(at))
+                if leader.index() < self.procs.len() && !self.procs[leader.index()].crashed =>
+            {
+                Some(Stabilization { leader, at })
+            }
+            _ => None,
+        };
+        SimReport {
+            final_time: self.now,
+            counters: self.trace.counters,
+            leader_history: self.trace.leader_history.clone(),
+            stabilization,
+            final_snapshots: self
+                .procs
+                .iter()
+                .map(|s| if s.crashed { None } else { Some(s.proto.snapshot()) })
+                .collect(),
+            crashed: self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.crashed)
+                .map(|(i, _)| ProcessId::new(i as u32))
+                .collect(),
+            adversary: self.adversary.describe(),
+        }
+    }
+
+    fn after_callback(&mut self, pid: ProcessId, out: Actions<P::Msg>) {
+        self.apply_actions(pid, out);
+        let new_leader = self.procs[pid.index()].proto.leader();
+        if new_leader != self.procs[pid.index()].last_leader {
+            self.procs[pid.index()].last_leader = new_leader;
+            self.refresh_agreement();
+        }
+    }
+
+    fn refresh_agreement(&mut self) {
+        let mut live = self.procs.iter().filter(|s| !s.crashed);
+        let agreed = match live.next() {
+            None => None,
+            Some(first) => {
+                let candidate = first.last_leader;
+                if live.all(|s| s.last_leader == candidate) {
+                    Some(candidate)
+                } else {
+                    None
+                }
+            }
+        };
+        self.trace.record_agreement(self.now, agreed);
+    }
+
+    fn apply_actions(&mut self, pid: ProcessId, actions: Actions<P::Msg>) {
+        let n = self.procs.len();
+        let (sends, timers, cancels) = actions.into_parts();
+        for outbound in sends {
+            match outbound.dest {
+                Destination::To(q) => self.send_one(pid, q, outbound.msg),
+                Destination::AllOthers => {
+                    for q in (0..n).map(|i| ProcessId::new(i as u32)).filter(|q| *q != pid) {
+                        self.send_one(pid, q, outbound.msg.clone());
+                    }
+                }
+                Destination::All => {
+                    for q in (0..n).map(|i| ProcessId::new(i as u32)) {
+                        self.send_one(pid, q, outbound.msg.clone());
+                    }
+                }
+            }
+        }
+        for request in timers {
+            self.arm_timer(pid, request);
+        }
+        for id in cancels {
+            let slot = &mut self.procs[pid.index()];
+            *slot.timer_gen.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    fn arm_timer(&mut self, pid: ProcessId, request: TimerRequest) {
+        let slot = &mut self.procs[pid.index()];
+        let gen = slot.timer_gen.entry(request.id).or_insert(0);
+        *gen += 1;
+        let generation = *gen;
+        self.trace.counters.timers_set += 1;
+        self.queue.push(
+            self.now + request.after,
+            Event::TimerFire { pid, timer: request.id, generation },
+        );
+    }
+
+    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        debug_assert!(to.index() < self.procs.len(), "send to unknown process {to}");
+        self.trace.counters.messages_sent += 1;
+        self.trace.counters.bytes_sent += msg.estimated_size() as u64;
+        if msg.constrained_round().is_some() {
+            self.trace.counters.constrained_sent += 1;
+        } else {
+            self.trace.counters.other_sent += 1;
+        }
+        let decision = self.adversary.delivery(self.now, from, to, &msg, &mut self.rng);
+        match decision {
+            Delivery::After(delay) => {
+                self.queue.push(self.now + delay, Event::Deliver { from, to, msg });
+            }
+            Delivery::StarAfter(delay) => {
+                let key: HoldKey = (to, msg.constrained_round().unwrap_or(RoundNum::ZERO));
+                let star_at = self.now + delay;
+                let entry = self.star_time.entry(key).or_insert(star_at);
+                if star_at < *entry {
+                    *entry = star_at;
+                }
+                // Open the gate: schedule every message currently held on
+                // this key strictly after the star message.
+                if let Some(held) = self.held.remove(&key) {
+                    for h in held {
+                        self.queue.push(
+                            star_at + h.slack,
+                            Event::Deliver { from: h.from, to, msg: h.msg },
+                        );
+                    }
+                }
+                self.queue.push(star_at, Event::Deliver { from, to, msg });
+                self.maybe_prune_star_times();
+            }
+            Delivery::AfterStar { slack, deadline } => {
+                let key: HoldKey = (to, msg.constrained_round().unwrap_or(RoundNum::ZERO));
+                if let Some(&star_at) = self.star_time.get(&key) {
+                    let at = if star_at > self.now { star_at + slack } else { self.now + slack };
+                    self.queue.push(at, Event::Deliver { from, to, msg });
+                } else {
+                    self.trace.counters.messages_held += 1;
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.held.entry(key).or_default().push(HeldMsg { token, from, msg, slack });
+                    self.queue.push(self.now + deadline, Event::ReleaseHeld { key, token });
+                }
+            }
+        }
+    }
+
+    /// Keeps the star-time map from growing without bound over very long
+    /// runs: old entries are only useful for extremely late messages of old
+    /// rounds, for which missing the gate is harmless (the round is closed).
+    fn maybe_prune_star_times(&mut self) {
+        const LIMIT: usize = 8192;
+        if self.star_time.len() > LIMIT {
+            let now = self.now;
+            self.star_time
+                .retain(|_, &mut at| now.saturating_since(at) < Duration::from_ticks(100_000));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::basic::FixedDelay;
+    use crate::adversary::DelayDist;
+    use irs_types::LeaderOracle;
+
+    /// A tiny test protocol: every process periodically broadcasts a beacon
+    /// carrying its id; each process elects the smallest id it has heard from
+    /// (including itself) within the last few beacons. It is *not* a correct
+    /// Ω implementation — it exists to exercise the engine mechanics
+    /// (timers, broadcasts, crashes, agreement tracking) with something
+    /// simple and predictable under a synchronous network.
+    #[derive(Debug)]
+    struct Beacon {
+        id: ProcessId,
+        n: usize,
+        heard: Vec<u64>,
+        ticks: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct BeaconMsg {
+        round: RoundNum,
+    }
+
+    impl RoundTagged for BeaconMsg {
+        fn constrained_round(&self) -> Option<RoundNum> {
+            Some(self.round)
+        }
+    }
+
+    const TICK: TimerId = TimerId::new(0);
+
+    impl Beacon {
+        fn new(id: ProcessId, n: usize) -> Self {
+            Beacon { id, n, heard: vec![0; n], ticks: 0 }
+        }
+    }
+
+    impl Protocol for Beacon {
+        type Msg = BeaconMsg;
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+
+        fn on_start(&mut self, out: &mut Actions<BeaconMsg>) {
+            out.set_timer(TICK, Duration::from_ticks(10));
+        }
+
+        fn on_message(&mut self, from: ProcessId, _msg: BeaconMsg, _out: &mut Actions<BeaconMsg>) {
+            self.heard[from.index()] = self.ticks.max(1);
+        }
+
+        fn on_timer(&mut self, _timer: TimerId, out: &mut Actions<BeaconMsg>) {
+            self.ticks += 1;
+            self.heard[self.id.index()] = self.ticks;
+            out.broadcast_others(BeaconMsg { round: RoundNum::new(self.ticks) });
+            out.set_timer(TICK, Duration::from_ticks(10));
+        }
+    }
+
+    impl LeaderOracle for Beacon {
+        fn leader(&self) -> ProcessId {
+            // Smallest id heard from within the last 3 beacons.
+            let cutoff = self.ticks.saturating_sub(3);
+            (0..self.n)
+                .map(|i| ProcessId::new(i as u32))
+                .find(|p| self.heard[p.index()] > cutoff)
+                .unwrap_or(self.id)
+        }
+    }
+
+    impl Introspect for Beacon {
+        fn snapshot(&self) -> Snapshot {
+            Snapshot {
+                leader: self.leader(),
+                sending_round: self.ticks,
+                receiving_round: self.ticks,
+                timer_value: 10,
+                susp_levels: Vec::new(),
+                extra: vec![("ticks", self.ticks)],
+            }
+        }
+    }
+
+    fn build(n: usize, horizon: u64, crashes: CrashPlan) -> Simulation<Beacon, FixedDelay> {
+        let procs = (0..n).map(|i| Beacon::new(ProcessId::new(i as u32), n)).collect();
+        Simulation::new(
+            SimConfig::new(7, Time::from_ticks(horizon)),
+            procs,
+            FixedDelay::new(Duration::from_ticks(2)),
+            crashes,
+        )
+    }
+
+    #[test]
+    fn beacons_agree_on_smallest_id() {
+        let mut sim = build(4, 2000, CrashPlan::new());
+        let report = sim.run();
+        assert!(report.is_stable(), "history: {:?}", report.leader_history);
+        assert_eq!(report.stabilization.unwrap().leader, ProcessId::new(0));
+        assert!(report.counters.messages_sent > 100);
+        assert_eq!(report.counters.crashes, 0);
+        assert!(report.final_snapshots.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn crash_of_leader_moves_agreement() {
+        let plan = CrashPlan::new().crash(ProcessId::new(0), Time::from_ticks(500));
+        let mut sim = build(4, 3000, plan);
+        let report = sim.run();
+        assert_eq!(report.crashed, vec![ProcessId::new(0)]);
+        assert!(report.is_stable());
+        assert_eq!(report.stabilization.unwrap().leader, ProcessId::new(1));
+        assert!(report.final_snapshots[0].is_none());
+        assert!(report.counters.dropped_to_crashed > 0);
+    }
+
+    #[test]
+    fn run_until_stable_stops_early() {
+        let mut sim = build(3, 1_000_000, CrashPlan::new());
+        let report = sim.run_until_stable_for(Duration::from_ticks(200));
+        assert!(report.is_stable());
+        assert!(report.final_time < Time::from_ticks(10_000));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = |seed| {
+            let procs = (0..5).map(|i| Beacon::new(ProcessId::new(i as u32), 5)).collect();
+            let mut sim = Simulation::new(
+                SimConfig::new(seed, Time::from_ticks(3000)),
+                procs,
+                crate::adversary::basic::RandomDelay::new(DelayDist::uniform(
+                    Duration::from_ticks(1),
+                    Duration::from_ticks(9),
+                )),
+                CrashPlan::new().crash(ProcessId::new(1), Time::from_ticks(700)),
+            );
+            let r = sim.run();
+            (r.counters, r.leader_history.len(), r.stabilization)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0.messages_delivered, 0);
+    }
+
+    #[test]
+    fn timer_superseding_prevents_stale_fires() {
+        /// A protocol that re-arms the same timer twice in a row; only the
+        /// second arming may fire.
+        #[derive(Debug)]
+        struct Rearm {
+            id: ProcessId,
+            fires: u64,
+        }
+        #[derive(Clone, Debug)]
+        struct NoMsg;
+        impl RoundTagged for NoMsg {
+            fn constrained_round(&self) -> Option<RoundNum> {
+                None
+            }
+        }
+        impl Protocol for Rearm {
+            type Msg = NoMsg;
+            fn id(&self) -> ProcessId {
+                self.id
+            }
+            fn on_start(&mut self, out: &mut Actions<NoMsg>) {
+                out.set_timer(TimerId::new(0), Duration::from_ticks(5));
+                out.set_timer(TimerId::new(0), Duration::from_ticks(50));
+            }
+            fn on_message(&mut self, _: ProcessId, _: NoMsg, _: &mut Actions<NoMsg>) {}
+            fn on_timer(&mut self, _: TimerId, _: &mut Actions<NoMsg>) {
+                self.fires += 1;
+            }
+        }
+        impl LeaderOracle for Rearm {
+            fn leader(&self) -> ProcessId {
+                ProcessId::new(0)
+            }
+        }
+        impl Introspect for Rearm {
+            fn snapshot(&self) -> Snapshot {
+                Snapshot::default()
+            }
+        }
+        let procs = vec![Rearm { id: ProcessId::new(0), fires: 0 }, Rearm { id: ProcessId::new(1), fires: 0 }];
+        let mut sim = Simulation::new(
+            SimConfig::new(1, Time::from_ticks(1000)),
+            procs,
+            FixedDelay::new(Duration::from_ticks(1)),
+            CrashPlan::new(),
+        );
+        let report = sim.run();
+        assert_eq!(sim.process(ProcessId::new(0)).fires, 1);
+        assert_eq!(report.counters.timer_fires, 2);
+        assert_eq!(report.counters.timers_set, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "reports id")]
+    fn mismatched_ids_panic() {
+        let procs = vec![Beacon::new(ProcessId::new(1), 2), Beacon::new(ProcessId::new(0), 2)];
+        let _ = Simulation::new(
+            SimConfig::default(),
+            procs,
+            FixedDelay::new(Duration::from_ticks(1)),
+            CrashPlan::new(),
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The discrete-event queue.
+
+use irs_types::{ProcessId, RoundNum, Time, TimerId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Key identifying the gate of the "winning message" enforcement: the held
+/// messages destined to a process for a given constrained round.
+pub(crate) type HoldKey = (ProcessId, RoundNum);
+
+/// Something that will happen at a point of simulated time.
+#[derive(Clone, Debug)]
+pub enum Event<M> {
+    /// A message reaches its destination process.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer armed by a protocol instance fires.
+    TimerFire {
+        /// Owner of the timer.
+        pid: ProcessId,
+        /// Which timer.
+        timer: TimerId,
+        /// Generation at arming time; stale generations are ignored, which
+        /// implements the "re-arming replaces the pending timer" semantics.
+        generation: u64,
+    },
+    /// A process crashes (stops taking steps forever).
+    Crash {
+        /// The crashing process.
+        pid: ProcessId,
+    },
+    /// Fallback release of a message held by the winning-message gate.
+    ReleaseHeld {
+        /// Gate key (receiver, constrained round).
+        key: HoldKey,
+        /// Token of the held message to release.
+        token: u64,
+    },
+}
+
+/// An event scheduled at a time, ordered by `(time, insertion sequence)` so
+/// that simultaneous events are processed in insertion order (deterministic).
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of [`Event`]s.
+///
+/// # Example
+///
+/// ```
+/// use irs_sim::{Event, EventQueue};
+/// use irs_types::{ProcessId, Time};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.push(Time::from_ticks(20), Event::Crash { pid: ProcessId::new(0) });
+/// q.push(Time::from_ticks(10), Event::Crash { pid: ProcessId::new(1) });
+/// let (t, _) = q.pop().unwrap();
+/// assert_eq!(t, Time::from_ticks(10));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: Time, event: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, Event<M>)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(pid: u32) -> Event<u8> {
+        Event::Crash {
+            pid: ProcessId::new(pid),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::from_ticks(30), crash(3));
+        q.push(Time::from_ticks(10), crash(1));
+        q.push(Time::from_ticks(20), crash(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.ticks()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.push(Time::from_ticks(5), crash(0));
+        q.push(Time::from_ticks(5), crash(1));
+        q.push(Time::from_ticks(5), crash(2));
+        let pids: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Crash { pid } => pid.as_u32(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_len_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ticks(7), crash(0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Time::from_ticks(7)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        // Insert pseudo-random times and confirm the pop order is sorted.
+        let mut t = 12345u64;
+        for _ in 0..5000 {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push(Time::from_ticks(t % 100_000), crash(0));
+        }
+        let mut last = 0;
+        while let Some((at, _)) = q.pop() {
+            assert!(at.ticks() >= last);
+            last = at.ticks();
+        }
+    }
+}

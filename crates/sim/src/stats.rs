@@ -1,0 +1,181 @@
+//! Small statistics helpers for experiment reporting.
+
+use core::fmt;
+
+/// Summary statistics over a sample of `u64` measurements (times, rounds,
+/// message counts, suspicion levels, …).
+///
+/// # Example
+///
+/// ```
+/// use irs_sim::Summary;
+///
+/// let s = Summary::from_samples(&[10, 20, 30, 40, 50]);
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.min, 10);
+/// assert_eq!(s.max, 50);
+/// assert_eq!(s.mean(), 30.0);
+/// assert_eq!(s.percentile(50.0), 30);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (zero when empty).
+    pub min: u64,
+    /// Largest sample (zero when empty).
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    sorted: Vec<u64>,
+}
+
+impl Summary {
+    /// Builds a summary from a slice of samples.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Summary {
+            count: sorted.len(),
+            min: sorted.first().copied().unwrap_or(0),
+            max: sorted.last().copied().unwrap_or(0),
+            sum: sorted.iter().sum(),
+            sorted,
+        }
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (zero when empty).
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - m;
+                d * d
+            })
+            .sum::<f64>()
+            / self.count as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.count as f64 - 1.0)).round() as usize;
+        self.sorted[rank.min(self.count - 1)]
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p95={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.median(),
+            self.percentile(95.0),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Fraction of `hits` over `total`, rendered as a percentage string.
+pub fn percentage(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.median(), 0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_samples(&[4, 8, 6, 2]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 8);
+        assert_eq!(s.sum, 20);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std_dev() - 2.2360679).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Summary::from_samples(&(1..=100u64).collect::<Vec<_>>());
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.percentile(50.0), 51); // nearest-rank on 0-based index
+        assert_eq!(s.percentile(95.0), 95);
+        assert_eq!(s.percentile(200.0), 100); // clamped
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = Summary::from_samples(&[1, 2, 3]);
+        let d = s.to_string();
+        assert!(d.contains("n=3"));
+        assert!(d.contains("mean=2.0"));
+    }
+
+    #[test]
+    fn percentage_formatting() {
+        assert_eq!(percentage(3, 4), "75%");
+        assert_eq!(percentage(0, 0), "n/a");
+        assert_eq!(percentage(5, 5), "100%");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_percentile_bounded_by_min_max(samples in proptest::collection::vec(0u64..1_000_000, 1..200), p in 0.0f64..100.0) {
+            let s = Summary::from_samples(&samples);
+            let v = s.percentile(p);
+            prop_assert!(v >= s.min && v <= s.max);
+        }
+
+        #[test]
+        fn prop_mean_between_min_and_max(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let s = Summary::from_samples(&samples);
+            prop_assert!(s.mean() >= s.min as f64 - 1e-9);
+            prop_assert!(s.mean() <= s.max as f64 + 1e-9);
+        }
+    }
+}

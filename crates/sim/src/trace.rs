@@ -1,0 +1,129 @@
+//! Run tracing: counters and leader-agreement history.
+
+use irs_types::{ProcessId, Time};
+
+/// Aggregate counters of one simulation run.
+///
+/// "Constrained" messages are those the behavioural assumption talks about
+/// (the `ALIVE(rn)` messages); "other" covers everything else (`SUSPICION`,
+/// consensus messages, …). The distinction feeds the communication-cost
+/// experiment (E9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to a live process.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination had crashed.
+    pub dropped_to_crashed: u64,
+    /// Assumption-constrained (`ALIVE`) messages sent.
+    pub constrained_sent: u64,
+    /// Unconstrained (everything else) messages sent.
+    pub other_sent: u64,
+    /// Estimated bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Timer arm requests.
+    pub timers_set: u64,
+    /// Timer expirations delivered to protocols.
+    pub timer_fires: u64,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Messages held by the winning-message gate at some point.
+    pub messages_held: u64,
+    /// Held messages released because their deadline passed before the
+    /// star-centre message arrived (the guarantee was not enforced for them).
+    pub gate_deadline_releases: u64,
+}
+
+/// One transition of the system-wide leader agreement.
+///
+/// `agreed` is `Some(p)` when every *live* process's `leader()` returned `p`
+/// at that instant, and `None` when live processes disagreed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderChange {
+    /// When the transition happened.
+    pub at: Time,
+    /// The new agreement state.
+    pub agreed: Option<ProcessId>,
+}
+
+/// The trace of one run: counters plus the leader-agreement history.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Aggregate counters.
+    pub counters: TraceCounters,
+    /// Every change of the system-wide agreement state, in time order.
+    pub leader_history: Vec<LeaderChange>,
+}
+
+impl Trace {
+    /// Records an agreement transition (deduplicating consecutive identical
+    /// states).
+    pub fn record_agreement(&mut self, at: Time, agreed: Option<ProcessId>) {
+        if self.leader_history.last().map(|c| c.agreed) == Some(agreed) {
+            return;
+        }
+        self.leader_history.push(LeaderChange { at, agreed });
+    }
+
+    /// The current agreement state (as of the last recorded transition).
+    pub fn current_agreement(&self) -> Option<ProcessId> {
+        self.leader_history.last().and_then(|c| c.agreed)
+    }
+
+    /// The time of the last agreement transition, if any.
+    pub fn last_change_at(&self) -> Option<Time> {
+        self.leader_history.last().map(|c| c.at)
+    }
+
+    /// Number of times the agreed leader changed (transitions into a `Some`
+    /// state that differs from the previous `Some` state).
+    pub fn distinct_leaders(&self) -> usize {
+        let mut leaders: Vec<ProcessId> = Vec::new();
+        for c in &self.leader_history {
+            if let Some(l) = c.agreed {
+                if leaders.last() != Some(&l) {
+                    leaders.push(l);
+                }
+            }
+        }
+        leaders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_deduplicates_consecutive_states() {
+        let mut t = Trace::default();
+        t.record_agreement(Time::from_ticks(1), None);
+        t.record_agreement(Time::from_ticks(2), None);
+        t.record_agreement(Time::from_ticks(3), Some(ProcessId::new(1)));
+        t.record_agreement(Time::from_ticks(4), Some(ProcessId::new(1)));
+        t.record_agreement(Time::from_ticks(5), Some(ProcessId::new(2)));
+        assert_eq!(t.leader_history.len(), 3);
+        assert_eq!(t.current_agreement(), Some(ProcessId::new(2)));
+        assert_eq!(t.last_change_at(), Some(Time::from_ticks(5)));
+    }
+
+    #[test]
+    fn distinct_leaders_counts_actual_leader_switches() {
+        let mut t = Trace::default();
+        t.record_agreement(Time::from_ticks(1), Some(ProcessId::new(0)));
+        t.record_agreement(Time::from_ticks(2), None);
+        t.record_agreement(Time::from_ticks(3), Some(ProcessId::new(0)));
+        t.record_agreement(Time::from_ticks(4), Some(ProcessId::new(3)));
+        assert_eq!(t.distinct_leaders(), 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert_eq!(t.current_agreement(), None);
+        assert_eq!(t.last_change_at(), None);
+        assert_eq!(t.distinct_leaders(), 0);
+        assert_eq!(t.counters, TraceCounters::default());
+    }
+}

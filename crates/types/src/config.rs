@@ -1,0 +1,178 @@
+//! System configuration `AS_{n,t}`.
+
+use crate::{ConfigError, ProcessId, ProcessSet};
+
+/// The static parameters of the asynchronous system `AS_{n,t}`: the number of
+/// processes `n` and the maximum number of crashes `t`.
+///
+/// The derived quantity the algorithms actually use is the *quorum size*
+/// `n − t` (the number of `ALIVE(rn)` messages a process waits for before
+/// closing a receiving round, and the number of `SUSPICION` votes needed to
+/// raise a suspicion level). The paper notes (footnote 5) that `t` itself is
+/// never used directly — only `n − t` is — so `quorum()` is the method most
+/// call sites want.
+///
+/// Consensus on top of Ω (Theorem 5) additionally requires a majority of
+/// correct processes, i.e. `t < n/2`; [`SystemConfig::supports_consensus`]
+/// checks that.
+///
+/// # Example
+///
+/// ```
+/// use irs_types::SystemConfig;
+///
+/// # fn main() -> Result<(), irs_types::ConfigError> {
+/// let cfg = SystemConfig::new(7, 3)?;
+/// assert_eq!(cfg.quorum(), 4);
+/// assert!(cfg.supports_consensus());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SystemConfig {
+    n: usize,
+    t: usize,
+}
+
+impl SystemConfig {
+    /// Creates a configuration for `n` processes of which up to `t` may crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewProcesses`] if `n < 2`, and
+    /// [`ConfigError::TooManyFaults`] if `t >= n` (the paper requires
+    /// `0 ≤ t < n`).
+    pub fn new(n: usize, t: usize) -> Result<Self, ConfigError> {
+        if n < 2 {
+            return Err(ConfigError::TooFewProcesses { n });
+        }
+        if t >= n {
+            return Err(ConfigError::TooManyFaults { n, t });
+        }
+        Ok(SystemConfig { n, t })
+    }
+
+    /// Creates the configuration with the largest `t` that still allows
+    /// consensus (`t = ⌈n/2⌉ − 1`, i.e. a strict majority of correct
+    /// processes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n < 2`.
+    pub fn majority(n: usize) -> Result<Self, ConfigError> {
+        Self::new(n, n.div_ceil(2).saturating_sub(1))
+    }
+
+    /// Number of processes.
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of processes that may crash.
+    pub const fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Quorum size `n − t`.
+    pub const fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Returns `true` if a strict majority of processes is guaranteed correct
+    /// (`t < n/2`), the prerequisite of Theorem 5 (Ω-based consensus).
+    pub const fn supports_consensus(&self) -> bool {
+        2 * self.t < self.n
+    }
+
+    /// All process ids of the system.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+
+    /// The full set `Π`.
+    pub fn all_set(&self) -> ProcessSet {
+        ProcessSet::full(self.n)
+    }
+
+    /// Returns `true` if `id` is a valid process of this system.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        id.index() < self.n
+    }
+
+    /// Returns `true` if `points` is a valid point set for a t-star:
+    /// at least `t` processes (Definition of an x-star, Section 1/3).
+    ///
+    /// The star centre must not be counted among the points; callers are
+    /// expected to have removed it already.
+    pub fn is_t_star_point_set(&self, points: &ProcessSet) -> bool {
+        points.len() >= self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_configs() {
+        let c = SystemConfig::new(4, 1).unwrap();
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.t(), 1);
+        assert_eq!(c.quorum(), 3);
+        assert!(c.supports_consensus());
+
+        let c = SystemConfig::new(5, 4).unwrap();
+        assert_eq!(c.quorum(), 1);
+        assert!(!c.supports_consensus());
+    }
+
+    #[test]
+    fn t_zero_is_allowed() {
+        let c = SystemConfig::new(3, 0).unwrap();
+        assert_eq!(c.quorum(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            SystemConfig::new(1, 0),
+            Err(ConfigError::TooFewProcesses { n: 1 })
+        ));
+        assert!(matches!(
+            SystemConfig::new(3, 3),
+            Err(ConfigError::TooManyFaults { n: 3, t: 3 })
+        ));
+        assert!(SystemConfig::new(3, 7).is_err());
+    }
+
+    #[test]
+    fn majority_picks_largest_consensus_compatible_t() {
+        for n in 2..40 {
+            let c = SystemConfig::majority(n).unwrap();
+            assert!(c.supports_consensus(), "n={n} t={}", c.t());
+            // t + 1 would break the majority requirement (when t+1 < n).
+            if c.t() + 1 < n {
+                let worse = SystemConfig::new(n, c.t() + 1).unwrap();
+                assert!(!worse.supports_consensus(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn processes_and_all_set() {
+        let c = SystemConfig::new(6, 2).unwrap();
+        assert_eq!(c.processes().count(), 6);
+        assert_eq!(c.all_set().len(), 6);
+        assert!(c.contains(ProcessId::new(5)));
+        assert!(!c.contains(ProcessId::new(6)));
+    }
+
+    #[test]
+    fn t_star_point_set_needs_at_least_t_points() {
+        let c = SystemConfig::new(7, 3).unwrap();
+        let two = ProcessSet::from_ids(7, ProcessId::all(2));
+        let three = ProcessSet::from_ids(7, ProcessId::all(3));
+        assert!(!c.is_t_star_point_set(&two));
+        assert!(c.is_t_star_point_set(&three));
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types.
+
+use core::fmt;
+
+/// Errors produced when validating system or protocol configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// The system must contain at least two processes.
+    TooFewProcesses {
+        /// The offending process count.
+        n: usize,
+    },
+    /// The fault bound must satisfy `t < n`.
+    TooManyFaults {
+        /// The process count.
+        n: usize,
+        /// The offending fault bound.
+        t: usize,
+    },
+    /// A parameter that must be strictly positive was zero.
+    ZeroParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// Consensus requires a majority of correct processes (`t < n/2`).
+    MajorityRequired {
+        /// The process count.
+        n: usize,
+        /// The offending fault bound.
+        t: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TooFewProcesses { n } => {
+                write!(f, "system needs at least 2 processes, got n = {n}")
+            }
+            ConfigError::TooManyFaults { n, t } => {
+                write!(f, "fault bound must satisfy t < n, got t = {t}, n = {n}")
+            }
+            ConfigError::ZeroParameter { name } => {
+                write!(f, "parameter `{name}` must be strictly positive")
+            }
+            ConfigError::MajorityRequired { n, t } => {
+                write!(
+                    f,
+                    "consensus requires a majority of correct processes (t < n/2), got t = {t}, n = {n}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            ConfigError::TooFewProcesses { n: 1 }.to_string(),
+            ConfigError::TooManyFaults { n: 3, t: 5 }.to_string(),
+            ConfigError::ZeroParameter { name: "send_period" }.to_string(),
+            ConfigError::MajorityRequired { n: 4, t: 2 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

@@ -1,0 +1,158 @@
+//! Round-indexed growth functions `f` and `g` of Section 7.
+//!
+//! The `A_{f,g}` assumption weakens `A` by letting both the gap between
+//! consecutive star rounds and the timeliness bound grow with the round
+//! number: the gap constraint becomes `s_{k+1} − s_k ≤ D + f(s_k)` and a
+//! message is *(Δ,g)-timely* if received within `Δ + g(rn)` of its sending.
+//! Unlike `D` and `Δ`, the functions `f` and `g` are **known to the
+//! processes** and appear explicitly in the algorithm (the timer gets
+//! `+ g(next round)`, the look-back window gets `− f(rn)`).
+
+use core::fmt;
+
+use crate::RoundNum;
+
+/// A non-decreasing function from round numbers to non-negative integers,
+/// used both for `f` (extra gap slack, in rounds) and `g` (extra timeliness
+/// slack, in ticks).
+///
+/// `GrowthFn::Zero` recovers the plain assumption `A` (the paper notes that
+/// `f ≡ 0`, `g ≡ 0` gives back `A`).
+///
+/// # Example
+///
+/// ```
+/// use irs_types::{GrowthFn, RoundNum};
+///
+/// let f = GrowthFn::Linear { per_round: 1, divisor: 100 };
+/// assert_eq!(f.eval(RoundNum::new(50)), 0);
+/// assert_eq!(f.eval(RoundNum::new(250)), 2);
+/// assert!(GrowthFn::Zero.eval(RoundNum::new(1_000_000)) == 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum GrowthFn {
+    /// `f(rn) = 0` for every round — recovers assumption `A`.
+    #[default]
+    Zero,
+    /// `f(rn) = c`.
+    Constant(u64),
+    /// `f(rn) = (per_round · rn) / divisor` (integer division).
+    Linear {
+        /// Numerator applied to the round number.
+        per_round: u64,
+        /// Divisor (must be non-zero; a zero divisor is treated as 1).
+        divisor: u64,
+    },
+    /// `f(rn) = ⌊√rn⌋`.
+    Sqrt,
+    /// `f(rn) = ⌊log₂(rn + 1)⌋`.
+    Log2,
+}
+
+impl GrowthFn {
+    /// Evaluates the function at round `rn`.
+    pub fn eval(self, rn: RoundNum) -> u64 {
+        let r = rn.value();
+        match self {
+            GrowthFn::Zero => 0,
+            GrowthFn::Constant(c) => c,
+            GrowthFn::Linear { per_round, divisor } => {
+                per_round.saturating_mul(r) / divisor.max(1)
+            }
+            GrowthFn::Sqrt => (r as f64).sqrt() as u64,
+            GrowthFn::Log2 => 63 - (r + 1).leading_zeros() as u64,
+        }
+    }
+
+    /// Returns `true` if the function is identically zero.
+    pub fn is_zero(self) -> bool {
+        matches!(self, GrowthFn::Zero) || matches!(self, GrowthFn::Constant(0))
+    }
+}
+
+impl fmt::Display for GrowthFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrowthFn::Zero => write!(f, "0"),
+            GrowthFn::Constant(c) => write!(f, "{c}"),
+            GrowthFn::Linear { per_round, divisor } => write!(f, "{per_round}*rn/{divisor}"),
+            GrowthFn::Sqrt => write!(f, "sqrt(rn)"),
+            GrowthFn::Log2 => write!(f, "log2(rn)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_constant() {
+        assert_eq!(GrowthFn::Zero.eval(RoundNum::new(1_000_000)), 0);
+        assert_eq!(GrowthFn::Constant(7).eval(RoundNum::new(3)), 7);
+        assert!(GrowthFn::Zero.is_zero());
+        assert!(GrowthFn::Constant(0).is_zero());
+        assert!(!GrowthFn::Constant(1).is_zero());
+    }
+
+    #[test]
+    fn linear_uses_integer_division() {
+        let f = GrowthFn::Linear { per_round: 3, divisor: 10 };
+        assert_eq!(f.eval(RoundNum::new(0)), 0);
+        assert_eq!(f.eval(RoundNum::new(3)), 0);
+        assert_eq!(f.eval(RoundNum::new(4)), 1);
+        assert_eq!(f.eval(RoundNum::new(100)), 30);
+    }
+
+    #[test]
+    fn linear_zero_divisor_treated_as_one() {
+        let f = GrowthFn::Linear { per_round: 2, divisor: 0 };
+        assert_eq!(f.eval(RoundNum::new(5)), 10);
+    }
+
+    #[test]
+    fn sqrt_and_log() {
+        assert_eq!(GrowthFn::Sqrt.eval(RoundNum::new(0)), 0);
+        assert_eq!(GrowthFn::Sqrt.eval(RoundNum::new(16)), 4);
+        assert_eq!(GrowthFn::Sqrt.eval(RoundNum::new(99)), 9);
+        assert_eq!(GrowthFn::Log2.eval(RoundNum::new(0)), 0);
+        assert_eq!(GrowthFn::Log2.eval(RoundNum::new(1)), 1);
+        assert_eq!(GrowthFn::Log2.eval(RoundNum::new(1023)), 10);
+    }
+
+    #[test]
+    fn functions_are_non_decreasing() {
+        let fns = [
+            GrowthFn::Zero,
+            GrowthFn::Constant(5),
+            GrowthFn::Linear { per_round: 1, divisor: 7 },
+            GrowthFn::Sqrt,
+            GrowthFn::Log2,
+        ];
+        for f in fns {
+            let mut prev = 0;
+            for rn in 0..2000u64 {
+                let v = f.eval(RoundNum::new(rn));
+                assert!(v >= prev, "{f} decreased at rn={rn}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GrowthFn::Zero.to_string(), "0");
+        assert_eq!(GrowthFn::Constant(3).to_string(), "3");
+        assert_eq!(
+            GrowthFn::Linear { per_round: 1, divisor: 2 }.to_string(),
+            "1*rn/2"
+        );
+        assert_eq!(GrowthFn::Sqrt.to_string(), "sqrt(rn)");
+        assert_eq!(GrowthFn::Log2.to_string(), "log2(rn)");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(GrowthFn::default(), GrowthFn::Zero);
+    }
+}

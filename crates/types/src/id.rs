@@ -1,0 +1,145 @@
+//! Process identities.
+
+use core::fmt;
+
+/// The identity of one process of the system `Π = {p_0, …, p_{n−1}}`.
+///
+/// The paper numbers processes `p_1 … p_n`; we use zero-based indices
+/// internally because they double as array indices everywhere (suspicion
+/// vectors, `rec_from` sets, simulator mailboxes). [`ProcessId::display_index`]
+/// recovers the paper's one-based numbering for human-readable output.
+///
+/// `ProcessId` is `Copy`, ordered, and hashable; the total order over ids is
+/// what the algorithms use to break ties between equally-suspected candidates
+/// when electing a leader (line 20 of Figure 1).
+///
+/// # Example
+///
+/// ```
+/// use irs_types::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.display_index(), 4);
+/// assert_eq!(p.to_string(), "p4");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from a zero-based index.
+    pub const fn new(index: u32) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value (zero-based).
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the one-based index used by the paper (`p_1 … p_n`).
+    pub const fn display_index(self) -> u32 {
+        self.0 + 1
+    }
+
+    /// Iterates over all process ids of a system of `n` processes.
+    ///
+    /// ```
+    /// use irs_types::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..n as u32).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_index())
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_index())
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(value: u32) -> Self {
+        ProcessId(value)
+    }
+}
+
+impl From<ProcessId> for u32 {
+    fn from(value: ProcessId) -> Self {
+        value.0
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(value: ProcessId) -> Self {
+        value.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0u32, 1, 7, 100, u32::MAX - 1] {
+            let p = ProcessId::new(i);
+            assert_eq!(p.index(), i as usize);
+            assert_eq!(p.as_u32(), i);
+            assert_eq!(p.display_index(), i.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(0) < ProcessId::new(1));
+        assert!(ProcessId::new(5) > ProcessId::new(4));
+        assert_eq!(ProcessId::new(3), ProcessId::new(3));
+    }
+
+    #[test]
+    fn display_uses_one_based_paper_numbering() {
+        assert_eq!(ProcessId::new(0).to_string(), "p1");
+        assert_eq!(format!("{:?}", ProcessId::new(2)), "p3");
+    }
+
+    #[test]
+    fn all_enumerates_exactly_n_ids() {
+        let ids: BTreeSet<_> = ProcessId::all(7).collect();
+        assert_eq!(ids.len(), 7);
+        assert!(ids.contains(&ProcessId::new(0)));
+        assert!(ids.contains(&ProcessId::new(6)));
+        assert!(!ids.contains(&ProcessId::new(7)));
+    }
+
+    #[test]
+    fn all_with_zero_is_empty() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: ProcessId = 9u32.into();
+        assert_eq!(u32::from(p), 9);
+        assert_eq!(usize::from(p), 9);
+    }
+
+    #[test]
+    fn default_is_process_zero() {
+        assert_eq!(ProcessId::default(), ProcessId::new(0));
+    }
+}

@@ -1,0 +1,98 @@
+//! Observing a running protocol instance.
+
+use crate::ProcessId;
+
+/// The `leader()` primitive of the Ω failure-detector class.
+///
+/// Ω guarantees *eventual leadership*: there is a time after which every
+/// invocation of `leader()` at every correct process returns the identity of
+/// the same correct process. Before that (unknown) time the outputs may be
+/// arbitrary process identities and may differ across processes.
+pub trait LeaderOracle {
+    /// Returns this process's current leader estimate.
+    fn leader(&self) -> ProcessId;
+}
+
+/// A point-in-time view of a protocol instance's observable state, used by the
+/// simulator's trace recorder, the invariant checkers, and the experiment
+/// harness.
+///
+/// Not every field is meaningful for every protocol: the baseline Ω
+/// implementations, for instance, report their own counters through
+/// [`Snapshot::extra`] and leave `susp_levels` empty.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Current leader estimate.
+    pub leader: ProcessId,
+    /// Current sending round (`s_rn_i`), zero if not applicable.
+    pub sending_round: u64,
+    /// Current receiving round (`r_rn_i`), zero if not applicable.
+    pub receiving_round: u64,
+    /// The value most recently loaded into the receiving-round timer, in
+    /// ticks. The paper's bounded-variable claim (Section 6) is about this
+    /// quantity.
+    pub timer_value: u64,
+    /// The `susp_level_i[1..n]` vector, empty if not applicable.
+    pub susp_levels: Vec<u64>,
+    /// Additional protocol-specific gauges, as `(name, value)` pairs.
+    pub extra: Vec<(&'static str, u64)>,
+}
+
+impl Snapshot {
+    /// Looks up a gauge from [`Snapshot::extra`] by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.extra.iter().find(|(k, _)| *k == name).map(|(_, v)| *v)
+    }
+
+    /// The largest suspicion level in the snapshot, zero if none.
+    pub fn max_susp_level(&self) -> u64 {
+        self.susp_levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The smallest suspicion level in the snapshot, zero if none.
+    pub fn min_susp_level(&self) -> u64 {
+        self.susp_levels.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// A protocol whose internal state can be observed for tracing, invariant
+/// checking, and experiment measurements.
+pub trait Introspect: LeaderOracle {
+    /// Captures the current observable state.
+    fn snapshot(&self) -> Snapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_gauge_lookup() {
+        let s = Snapshot {
+            extra: vec![("epoch", 4), ("accusations", 9)],
+            ..Snapshot::default()
+        };
+        assert_eq!(s.gauge("epoch"), Some(4));
+        assert_eq!(s.gauge("accusations"), Some(9));
+        assert_eq!(s.gauge("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_susp_extremes() {
+        let s = Snapshot {
+            susp_levels: vec![3, 1, 7, 1],
+            ..Snapshot::default()
+        };
+        assert_eq!(s.max_susp_level(), 7);
+        assert_eq!(s.min_susp_level(), 1);
+        let empty = Snapshot::default();
+        assert_eq!(empty.max_susp_level(), 0);
+        assert_eq!(empty.min_susp_level(), 0);
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        fn _takes_oracle(_: &dyn LeaderOracle) {}
+        fn _takes_introspect(_: &dyn Introspect) {}
+    }
+}

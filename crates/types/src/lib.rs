@@ -1,0 +1,61 @@
+//! Shared vocabulary for the *intermittent rotating star* workspace.
+//!
+//! This crate defines the small, dependency-free types that every other crate
+//! in the workspace speaks:
+//!
+//! * [`ProcessId`] — the identity of one of the `n` processes of the system.
+//! * [`ProcessSet`] — a compact bit-set of process identities (quorums, star
+//!   point sets, `rec_from` sets, suspect sets).
+//! * [`Time`] and [`Duration`] — the logical clock of the discrete-event
+//!   simulator (and, via a fixed scale, of the real-time runtime).
+//! * [`RoundNum`] — the round numbers carried by `ALIVE`/`SUSPICION` messages;
+//!   the *only* unbounded quantity of the paper's algorithms.
+//! * [`SystemConfig`] — the pair `(n, t)` of the asynchronous system
+//!   `AS_{n,t}` together with the derived quorum size `n − t`.
+//! * [`Protocol`], [`Actions`], [`TimerId`] — the sans-IO state-machine
+//!   interface that the algorithms implement and that both the simulator
+//!   (`irs-sim`) and the real-time runtime (`irs-runtime`) drive.
+//! * [`LeaderOracle`] and [`Introspect`] — how an embedding observes a running
+//!   protocol instance (who is the leader, what are the suspicion levels,
+//!   what value does the timer hold).
+//!
+//! # Example
+//!
+//! ```
+//! use irs_types::{ProcessId, ProcessSet, SystemConfig};
+//!
+//! # fn main() -> Result<(), irs_types::ConfigError> {
+//! let cfg = SystemConfig::new(5, 2)?;
+//! assert_eq!(cfg.quorum(), 3); // n - t
+//!
+//! let mut star_points = ProcessSet::empty(cfg.n());
+//! star_points.insert(ProcessId::new(1));
+//! star_points.insert(ProcessId::new(3));
+//! assert!(cfg.is_t_star_point_set(&star_points));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+mod growth;
+mod id;
+mod introspect;
+mod protocol;
+mod round;
+mod set;
+mod time;
+
+pub use config::SystemConfig;
+pub use error::ConfigError;
+pub use growth::GrowthFn;
+pub use id::ProcessId;
+pub use introspect::{Introspect, LeaderOracle, Snapshot};
+pub use protocol::{Actions, Destination, Outbound, Protocol, RoundTagged, TimerId, TimerRequest};
+pub use round::RoundNum;
+pub use set::ProcessSet;
+pub use time::{Duration, Time};

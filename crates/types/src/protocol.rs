@@ -1,0 +1,322 @@
+//! The sans-IO protocol interface.
+//!
+//! Every algorithm in this workspace — the paper's Figures 1/2/3 and the
+//! `A_{f,g}` variant (`irs-omega`), the baseline Ω implementations
+//! (`irs-baselines`), and the Ω-based consensus (`irs-consensus`) — is written
+//! as a pure state machine implementing [`Protocol`]. A state machine never
+//! performs I/O: it is handed events (start, message reception, timer expiry)
+//! and records the actions it wants performed (sends, timer resets) into an
+//! [`Actions`] buffer. The embedding then executes those actions:
+//!
+//! * `irs-sim` executes them inside a deterministic discrete-event simulation
+//!   whose adversary realises the paper's behavioural assumptions, and
+//! * `irs-runtime` executes them on real threads, channels and wall-clock
+//!   timers.
+//!
+//! Writing the algorithms this way means the *same* code is exercised by unit
+//! tests, property tests, the experiment harness, and the real-time runtime.
+
+use crate::{Duration, ProcessId, RoundNum};
+use core::fmt;
+
+/// Identifier of a logical timer owned by a protocol instance.
+///
+/// Each protocol may own several timers (e.g. the paper's algorithms use one
+/// timer for the periodic `ALIVE` broadcast of task `T1` and one for the
+/// receiving-round timeout of task `T2`). Setting a timer that is already
+/// pending *replaces* it — exactly the semantics of the paper's
+/// "`set timer_i to …`" statement.
+///
+/// Protocols that embed other protocols (the consensus crate embeds an Ω
+/// instance) partition the id space between themselves; see
+/// [`TimerId::offset`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u16);
+
+impl TimerId {
+    /// Creates a timer id.
+    pub const fn new(raw: u16) -> Self {
+        TimerId(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns this id shifted by `base`, used by composite protocols to give
+    /// each embedded protocol a disjoint id range.
+    pub const fn offset(self, base: u16) -> TimerId {
+        TimerId(self.0 + base)
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// Where an outbound message should be delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Destination {
+    /// A single process.
+    To(ProcessId),
+    /// Every process except the sender ("for each j ≠ i do send …").
+    AllOthers,
+    /// Every process including the sender ("for each j do send …", line 10).
+    All,
+}
+
+/// One outbound message recorded by a protocol.
+#[derive(Clone, Debug)]
+pub struct Outbound<M> {
+    /// Where to deliver the message.
+    pub dest: Destination,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// One timer (re)arm request recorded by a protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerRequest {
+    /// Which timer to arm.
+    pub id: TimerId,
+    /// How far in the future it should fire.
+    pub after: Duration,
+}
+
+/// The buffer into which a protocol records the effects of handling one event.
+///
+/// # Example
+///
+/// ```
+/// use irs_types::{Actions, Destination, Duration, ProcessId, TimerId};
+///
+/// let mut out: Actions<&'static str> = Actions::new();
+/// out.send(ProcessId::new(2), "hello");
+/// out.broadcast_all("alive");
+/// out.set_timer(TimerId::new(0), Duration::from_ticks(10));
+/// assert_eq!(out.sends().len(), 2);
+/// assert!(matches!(out.sends()[1].dest, Destination::All));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Actions<M> {
+    sends: Vec<Outbound<M>>,
+    timers: Vec<TimerRequest>,
+    cancels: Vec<TimerId>,
+}
+
+impl<M> Default for Actions<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Actions<M> {
+    /// Creates an empty action buffer.
+    pub fn new() -> Self {
+        Actions {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            cancels: Vec::new(),
+        }
+    }
+
+    /// Records a point-to-point send.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push(Outbound {
+            dest: Destination::To(to),
+            msg,
+        });
+    }
+
+    /// Records a broadcast to every *other* process.
+    pub fn broadcast_others(&mut self, msg: M) {
+        self.sends.push(Outbound {
+            dest: Destination::AllOthers,
+            msg,
+        });
+    }
+
+    /// Records a broadcast to every process, the sender included.
+    pub fn broadcast_all(&mut self, msg: M) {
+        self.sends.push(Outbound {
+            dest: Destination::All,
+            msg,
+        });
+    }
+
+    /// Arms (or re-arms, replacing any pending instance) the given timer.
+    pub fn set_timer(&mut self, id: TimerId, after: Duration) {
+        self.timers.push(TimerRequest { id, after });
+    }
+
+    /// Cancels the given timer if pending.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancels.push(id);
+    }
+
+    /// The sends recorded so far.
+    pub fn sends(&self) -> &[Outbound<M>] {
+        &self.sends
+    }
+
+    /// The timer arm requests recorded so far.
+    pub fn timers(&self) -> &[TimerRequest] {
+        &self.timers
+    }
+
+    /// The timer cancellations recorded so far.
+    pub fn cancels(&self) -> &[TimerId] {
+        &self.cancels
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.cancels.is_empty()
+    }
+
+    /// Consumes the buffer, returning `(sends, timer requests, cancellations)`.
+    pub fn into_parts(self) -> (Vec<Outbound<M>>, Vec<TimerRequest>, Vec<TimerId>) {
+        (self.sends, self.timers, self.cancels)
+    }
+
+    /// Clears the buffer for reuse.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.timers.clear();
+        self.cancels.clear();
+    }
+
+    /// Maps the message type, preserving destinations and timers.
+    ///
+    /// Used by composite protocols to lift an embedded protocol's actions into
+    /// the composite's message enum.
+    pub fn map_msg<N>(self, f: impl Fn(M) -> N) -> Actions<N> {
+        Actions {
+            sends: self
+                .sends
+                .into_iter()
+                .map(|o| Outbound {
+                    dest: o.dest,
+                    msg: f(o.msg),
+                })
+                .collect(),
+            timers: self.timers,
+            cancels: self.cancels,
+        }
+    }
+}
+
+/// A distributed algorithm written as an I/O-free state machine.
+///
+/// The driver guarantees:
+///
+/// * [`on_start`](Protocol::on_start) is called exactly once, before any other
+///   callback;
+/// * callbacks are never invoked concurrently for the same instance (the
+///   paper's atomic-statement-block assumption);
+/// * after a process crashes the driver never invokes its callbacks again.
+pub trait Protocol {
+    /// The message type exchanged by instances of this protocol.
+    type Msg: Clone + fmt::Debug + Send + 'static;
+
+    /// The identity of this process.
+    fn id(&self) -> ProcessId;
+
+    /// Invoked once at time zero, before any message or timer is delivered.
+    fn on_start(&mut self, out: &mut Actions<Self::Msg>);
+
+    /// Invoked when a message from `from` is delivered to this process.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Actions<Self::Msg>);
+
+    /// Invoked when timer `timer` expires (and was not superseded or
+    /// cancelled in the meantime).
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Self::Msg>);
+}
+
+/// Metadata the adversary models need about a message in flight.
+///
+/// The assumptions of the paper constrain only messages tagged `ALIVE(rn)`
+/// ("it is important to notice that the assumption A places constraints only
+/// on the messages tagged ALIVE"); every other message may be delayed
+/// arbitrarily. Adversary models therefore ask the message which round, if
+/// any, it is constrained by.
+pub trait RoundTagged {
+    /// Returns `Some(rn)` if this is a message the behavioural assumption
+    /// constrains (an `ALIVE(rn)` message), `None` otherwise.
+    fn constrained_round(&self) -> Option<RoundNum>;
+
+    /// An estimate of the serialized size of this message in bytes, used for
+    /// communication-cost accounting (experiment E9). The default is the
+    /// in-memory size.
+    fn estimated_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        core::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn actions_record_in_order() {
+        let mut a: Actions<u32> = Actions::new();
+        assert!(a.is_empty());
+        a.send(ProcessId::new(1), 10);
+        a.broadcast_others(20);
+        a.broadcast_all(30);
+        a.set_timer(TimerId::new(3), Duration::from_ticks(7));
+        a.cancel_timer(TimerId::new(4));
+        assert!(!a.is_empty());
+        assert_eq!(a.sends().len(), 3);
+        assert_eq!(a.sends()[0].msg, 10);
+        assert!(matches!(a.sends()[0].dest, Destination::To(p) if p == ProcessId::new(1)));
+        assert!(matches!(a.sends()[1].dest, Destination::AllOthers));
+        assert!(matches!(a.sends()[2].dest, Destination::All));
+        assert_eq!(a.timers(), &[TimerRequest { id: TimerId::new(3), after: Duration::from_ticks(7) }]);
+        assert_eq!(a.cancels(), &[TimerId::new(4)]);
+    }
+
+    #[test]
+    fn into_parts_and_clear() {
+        let mut a: Actions<u8> = Actions::new();
+        a.send(ProcessId::new(0), 1);
+        a.set_timer(TimerId::new(0), Duration::ZERO);
+        let (s, t, c) = a.clone().into_parts();
+        assert_eq!(s.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert!(c.is_empty());
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn map_msg_preserves_everything_else() {
+        let mut a: Actions<u8> = Actions::new();
+        a.send(ProcessId::new(2), 5);
+        a.set_timer(TimerId::new(1), Duration::from_ticks(3));
+        let b: Actions<String> = a.map_msg(|m| format!("v{m}"));
+        assert_eq!(b.sends()[0].msg, "v5");
+        assert!(matches!(b.sends()[0].dest, Destination::To(p) if p == ProcessId::new(2)));
+        assert_eq!(b.timers().len(), 1);
+    }
+
+    #[test]
+    fn timer_id_offset() {
+        assert_eq!(TimerId::new(2).offset(100), TimerId::new(102));
+        assert_eq!(TimerId::new(7).raw(), 7);
+        assert_eq!(TimerId::new(7).to_string(), "timer#7");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let a: Actions<()> = Actions::default();
+        assert!(a.is_empty());
+    }
+}

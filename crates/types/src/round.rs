@@ -1,0 +1,164 @@
+//! Round numbers.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A round number, the tag carried by `ALIVE(rn)` and `SUSPICION(rn, …)`
+/// messages.
+///
+/// Round numbers are the *only* quantity of the paper's algorithms that grows
+/// without bound (Section 6): every other local variable and message field has
+/// a finite domain once Figure 3's line `**` is in place. They start at `1`
+/// (`s_rn_i` and `r_rn_i` are initialised to `0` and pre-incremented before
+/// first use).
+///
+/// # Example
+///
+/// ```
+/// use irs_types::RoundNum;
+///
+/// let rn = RoundNum::new(5);
+/// assert_eq!(rn.next(), RoundNum::new(6));
+/// assert_eq!(rn.saturating_back(7), RoundNum::ZERO);
+/// assert_eq!(rn - RoundNum::new(2), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RoundNum(u64);
+
+impl RoundNum {
+    /// Round zero — the "not started yet" value of `s_rn_i` / `r_rn_i`.
+    pub const ZERO: RoundNum = RoundNum(0);
+    /// The first real round.
+    pub const FIRST: RoundNum = RoundNum(1);
+
+    /// Creates a round number from a raw value.
+    pub const fn new(value: u64) -> Self {
+        RoundNum(value)
+    }
+
+    /// Returns the raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next round number.
+    pub const fn next(self) -> RoundNum {
+        RoundNum(self.0 + 1)
+    }
+
+    /// Returns the round number `k` rounds earlier, clamped at zero.
+    ///
+    /// Used for the look-back window of line `*` of Figure 2:
+    /// `rn − susp_level_i[k]`.
+    pub const fn saturating_back(self, k: u64) -> RoundNum {
+        RoundNum(self.0.saturating_sub(k))
+    }
+
+    /// Iterates over the inclusive range `[self, end]`.
+    ///
+    /// Returns an empty iterator when `end < self`.
+    pub fn through(self, end: RoundNum) -> impl Iterator<Item = RoundNum> + Clone {
+        (self.0..=end.0).map(RoundNum)
+    }
+}
+
+impl Add<u64> for RoundNum {
+    type Output = RoundNum;
+    fn add(self, rhs: u64) -> RoundNum {
+        RoundNum(self.0.checked_add(rhs).expect("round number overflow"))
+    }
+}
+
+impl AddAssign<u64> for RoundNum {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<RoundNum> for RoundNum {
+    /// Distance between two round numbers.
+    type Output = u64;
+    fn sub(self, rhs: RoundNum) -> u64 {
+        self.0.checked_sub(rhs.0).expect("round numbers out of order")
+    }
+}
+
+impl fmt::Debug for RoundNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rn{}", self.0)
+    }
+}
+
+impl fmt::Display for RoundNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for RoundNum {
+    fn from(value: u64) -> Self {
+        RoundNum(value)
+    }
+}
+
+impl From<RoundNum> for u64 {
+    fn from(value: RoundNum) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(RoundNum::ZERO.next(), RoundNum::FIRST);
+        assert_eq!(RoundNum::new(41).next(), RoundNum::new(42));
+    }
+
+    #[test]
+    fn saturating_back_clamps_at_zero() {
+        assert_eq!(RoundNum::new(10).saturating_back(3), RoundNum::new(7));
+        assert_eq!(RoundNum::new(2).saturating_back(5), RoundNum::ZERO);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(RoundNum::new(10) - RoundNum::new(4), 6);
+        assert_eq!(RoundNum::new(4) - RoundNum::new(4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn negative_distance_panics() {
+        let _ = RoundNum::new(3) - RoundNum::new(4);
+    }
+
+    #[test]
+    fn through_is_inclusive() {
+        let v: Vec<_> = RoundNum::new(3).through(RoundNum::new(5)).collect();
+        assert_eq!(v, vec![RoundNum::new(3), RoundNum::new(4), RoundNum::new(5)]);
+        assert_eq!(RoundNum::new(5).through(RoundNum::new(3)).count(), 0);
+        assert_eq!(RoundNum::new(5).through(RoundNum::new(5)).count(), 1);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(RoundNum::new(9).to_string(), "9");
+        assert_eq!(format!("{:?}", RoundNum::new(9)), "rn9");
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut rn = RoundNum::new(1);
+        rn += 3;
+        assert_eq!(rn, RoundNum::new(4));
+    }
+
+    #[test]
+    fn conversions() {
+        let rn: RoundNum = 8u64.into();
+        assert_eq!(u64::from(rn), 8);
+    }
+}

@@ -1,0 +1,374 @@
+//! Compact sets of process identities.
+
+use crate::ProcessId;
+use core::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity bit-set of [`ProcessId`]s.
+///
+/// The algorithms of the paper manipulate many small sets of processes:
+/// the points `Q(rn)` of a rotating star, the `rec_from_i[rn]` sets of
+/// processes heard from in a receiving round, the `suspects` field of
+/// `SUSPICION` messages, and quorums of size `n − t`. `ProcessSet` stores
+/// such a set as a bit vector sized for the system's `n`, giving `O(1)`
+/// membership tests and cheap unions.
+///
+/// The capacity (`n`) is fixed at construction; inserting an id `≥ n` panics,
+/// which catches configuration mix-ups early.
+///
+/// # Example
+///
+/// ```
+/// use irs_types::{ProcessId, ProcessSet};
+///
+/// let mut q = ProcessSet::empty(5);
+/// q.insert(ProcessId::new(1));
+/// q.insert(ProcessId::new(3));
+/// assert_eq!(q.len(), 2);
+/// assert!(q.contains(ProcessId::new(3)));
+///
+/// let all = ProcessSet::full(5);
+/// let suspects = all.difference(&q);
+/// assert_eq!(suspects.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ProcessSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl ProcessSet {
+    /// Creates an empty set with capacity for `n` processes.
+    pub fn empty(n: usize) -> Self {
+        ProcessSet {
+            n,
+            words: vec![0; n.div_ceil(WORD_BITS).max(1)],
+        }
+    }
+
+    /// Creates the full set `Π = {p_0, …, p_{n−1}}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(ProcessId::new(i as u32));
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of ids, with capacity `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `≥ n`.
+    pub fn from_ids<I: IntoIterator<Item = ProcessId>>(n: usize, ids: I) -> Self {
+        let mut s = Self::empty(n);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// Creates the singleton set `{id}` with capacity `n`.
+    pub fn singleton(n: usize, id: ProcessId) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(id);
+        s
+    }
+
+    /// The capacity (system size `n`) this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts an id; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= capacity()`.
+    pub fn insert(&mut self, id: ProcessId) -> bool {
+        let i = id.index();
+        assert!(i < self.n, "process id {id} out of range for n = {}", self.n);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes an id; returns `true` if it was present.
+    pub fn remove(&mut self, id: ProcessId) -> bool {
+        let i = id.index();
+        if i >= self.n {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: ProcessId) -> bool {
+        let i = id.index();
+        if i >= self.n {
+            return false;
+        }
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Set union, in place.
+    pub fn union_with(&mut self, other: &ProcessSet) {
+        assert_eq!(self.n, other.n, "union of sets with different capacities");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Returns `self ∖ other` as a new set.
+    pub fn difference(&self, other: &ProcessSet) -> ProcessSet {
+        assert_eq!(self.n, other.n, "difference of sets with different capacities");
+        ProcessSet {
+            n: self.n,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
+        assert_eq!(self.n, other.n, "intersection of sets with different capacities");
+        ProcessSet {
+            n: self.n,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if every member of `self` is a member of `other`.
+    pub fn is_subset_of(&self, other: &ProcessSet) -> bool {
+        assert_eq!(self.n, other.n, "subset test on sets with different capacities");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n as u32)
+            .map(ProcessId::new)
+            .filter(move |id| self.contains(*id))
+    }
+
+    /// Collects the members into a `Vec`, in increasing id order.
+    pub fn to_vec(&self) -> Vec<ProcessId> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for ProcessSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<ProcessId> for ProcessSet {
+    /// Builds a set whose capacity is just large enough for the largest id.
+    ///
+    /// Prefer [`ProcessSet::from_ids`] when the system size is known, so that
+    /// set operations against other sets of the system do not panic on a
+    /// capacity mismatch.
+    fn from_iter<I: IntoIterator<Item = ProcessId>>(iter: I) -> Self {
+        let ids: Vec<ProcessId> = iter.into_iter().collect();
+        let n = ids.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        Self::from_ids(n, ids)
+    }
+}
+
+impl Extend<ProcessId> for ProcessSet {
+    fn extend<I: IntoIterator<Item = ProcessId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = ProcessSet::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = ProcessSet::full(10);
+        assert_eq!(f.len(), 10);
+        assert!(!f.is_empty());
+        for id in ProcessId::all(10) {
+            assert!(f.contains(id));
+            assert!(!e.contains(id));
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcessSet::empty(6);
+        assert!(s.insert(ProcessId::new(2)));
+        assert!(!s.insert(ProcessId::new(2)));
+        assert!(s.contains(ProcessId::new(2)));
+        assert!(s.remove(ProcessId::new(2)));
+        assert!(!s.remove(ProcessId::new(2)));
+        assert!(!s.contains(ProcessId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        ProcessSet::empty(3).insert(ProcessId::new(3));
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!ProcessSet::full(3).contains(ProcessId::new(99)));
+    }
+
+    #[test]
+    fn difference_gives_suspects() {
+        // suspects = Π ∖ rec_from (line 9 of Figure 1)
+        let all = ProcessSet::full(5);
+        let rec_from = ProcessSet::from_ids(5, [ProcessId::new(0), ProcessId::new(2), ProcessId::new(4)]);
+        let suspects = all.difference(&rec_from);
+        assert_eq!(suspects.to_vec(), vec![ProcessId::new(1), ProcessId::new(3)]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = ProcessSet::from_ids(6, [ProcessId::new(0), ProcessId::new(1)]);
+        let b = ProcessSet::from_ids(6, [ProcessId::new(1), ProcessId::new(4)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 3);
+        let i = a.intersection(&b);
+        assert_eq!(i.to_vec(), vec![ProcessId::new(1)]);
+    }
+
+    #[test]
+    fn subset() {
+        let small = ProcessSet::from_ids(6, [ProcessId::new(1)]);
+        let big = ProcessSet::from_ids(6, [ProcessId::new(1), ProcessId::new(2)]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(ProcessSet::empty(6).is_subset_of(&small));
+    }
+
+    #[test]
+    fn works_beyond_one_word() {
+        let mut s = ProcessSet::empty(130);
+        s.insert(ProcessId::new(0));
+        s.insert(ProcessId::new(64));
+        s.insert(ProcessId::new(129));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(ProcessId::new(64)));
+        assert!(s.contains(ProcessId::new(129)));
+        assert!(!s.contains(ProcessId::new(128)));
+        assert_eq!(
+            s.to_vec(),
+            vec![ProcessId::new(0), ProcessId::new(64), ProcessId::new(129)]
+        );
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = ProcessSet::full(8);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ProcessSet::from_ids(4, [ProcessId::new(0), ProcessId::new(2)]);
+        assert_eq!(s.to_string(), "{p1,p3}");
+        assert_eq!(ProcessSet::empty(4).to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let s: ProcessSet = [ProcessId::new(1), ProcessId::new(5)].into_iter().collect();
+        assert_eq!(s.capacity(), 6);
+        assert_eq!(s.len(), 2);
+        let mut t = ProcessSet::empty(8);
+        t.extend([ProcessId::new(7)]);
+        assert!(t.contains(ProcessId::new(7)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_insert_then_contains(ids in proptest::collection::vec(0u32..64, 0..32)) {
+            let mut s = ProcessSet::empty(64);
+            for &i in &ids {
+                s.insert(ProcessId::new(i));
+            }
+            for &i in &ids {
+                prop_assert!(s.contains(ProcessId::new(i)));
+            }
+            let distinct: std::collections::BTreeSet<_> = ids.iter().collect();
+            prop_assert_eq!(s.len(), distinct.len());
+        }
+
+        #[test]
+        fn prop_difference_union_partition(
+            a in proptest::collection::btree_set(0u32..48, 0..48),
+            b in proptest::collection::btree_set(0u32..48, 0..48),
+        ) {
+            let sa = ProcessSet::from_ids(48, a.iter().map(|&i| ProcessId::new(i)));
+            let sb = ProcessSet::from_ids(48, b.iter().map(|&i| ProcessId::new(i)));
+            // (a ∖ b) ∪ (a ∩ b) == a
+            let mut rebuilt = sa.difference(&sb);
+            rebuilt.union_with(&sa.intersection(&sb));
+            prop_assert_eq!(rebuilt, sa);
+        }
+
+        #[test]
+        fn prop_iteration_sorted_and_unique(ids in proptest::collection::btree_set(0u32..96, 0..96)) {
+            let s = ProcessSet::from_ids(96, ids.iter().map(|&i| ProcessId::new(i)));
+            let v = s.to_vec();
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(v.len(), ids.len());
+        }
+    }
+}

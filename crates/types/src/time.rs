@@ -1,0 +1,273 @@
+//! Logical time.
+//!
+//! The paper assumes a global discrete clock that is *not* accessible to the
+//! processes; it only exists to state assumptions ("a message sent at time τ
+//! is received by τ + Δ") and to prove properties. [`Time`] is exactly that
+//! clock: the simulator advances it, adversary models consult it, and the
+//! real-time runtime maps it onto wall-clock microseconds.
+//!
+//! [`Duration`] is the associated length type used for message delays, timer
+//! values, and the broadcast period β.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point on the global (fictional) discrete clock, in ticks.
+///
+/// One tick has no intrinsic unit; by convention the workspace treats a tick
+/// as one microsecond when mapping onto wall-clock time in `irs-runtime`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of logical time, in ticks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The origin of the clock.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant (used as "never" sentinel).
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration.
+    pub const fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub const fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference between two instants.
+    pub fn checked_since(self, earlier: Time) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration (used as "infinite" sentinel).
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    pub const fn saturating_mul(self, k: u64) -> Duration {
+        Duration(self.0.saturating_mul(k))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("negative duration"))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_plus_duration() {
+        let t = Time::from_ticks(100);
+        assert_eq!(t + Duration::from_ticks(5), Time::from_ticks(105));
+    }
+
+    #[test]
+    fn time_difference_is_duration() {
+        let a = Time::from_ticks(50);
+        let b = Time::from_ticks(80);
+        assert_eq!(b - a, Duration::from_ticks(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_time_difference_panics() {
+        let _ = Time::from_ticks(10) - Time::from_ticks(20);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        assert_eq!(
+            Time::from_ticks(10).saturating_since(Time::from_ticks(20)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Time::from_ticks(25).saturating_since(Time::from_ticks(20)),
+            Duration::from_ticks(5)
+        );
+    }
+
+    #[test]
+    fn checked_since() {
+        assert_eq!(Time::from_ticks(5).checked_since(Time::from_ticks(9)), None);
+        assert_eq!(
+            Time::from_ticks(9).checked_since(Time::from_ticks(5)),
+            Some(Duration::from_ticks(4))
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_ticks(7);
+        assert_eq!(d + Duration::from_ticks(3), Duration::from_ticks(10));
+        assert_eq!(d - Duration::from_ticks(2), Duration::from_ticks(5));
+        assert_eq!(d * 3, Duration::from_ticks(21));
+        assert_eq!(d / 2, Duration::from_ticks(3));
+        assert_eq!(d.max(Duration::from_ticks(9)), Duration::from_ticks(9));
+        assert_eq!(d.min(Duration::from_ticks(9)), d);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        assert_eq!(Time::MAX.saturating_add(Duration::from_ticks(1)), Time::MAX);
+        assert_eq!(Duration::MAX.saturating_add(Duration::from_ticks(1)), Duration::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Time::ZERO < Time::from_ticks(1));
+        assert!(Duration::ZERO < Duration::from_ticks(1));
+        assert_eq!(Time::from_ticks(42).to_string(), "42");
+        assert_eq!(Duration::from_ticks(42).to_string(), "42");
+        assert_eq!(format!("{:?}", Duration::from_ticks(3)), "3t");
+    }
+
+    #[test]
+    fn is_zero() {
+        assert!(Duration::ZERO.is_zero());
+        assert!(!Duration::from_ticks(1).is_zero());
+    }
+}

@@ -1,0 +1,52 @@
+//! Assumption showdown: run the paper's algorithm and the three baselines
+//! under several published assumptions and print who stabilises where.
+//!
+//! This is a command-line rendition of experiment E6 (the assumption
+//! matrix). Background delays *grow without bound*, so only the messages the
+//! assumption explicitly protects remain usable forever — that is what
+//! separates the algorithms.
+//!
+//! Run with: `cargo run --release --example assumption_showdown`
+
+use intermittent_rotating_star::experiments::{Aggregate, Algorithm, Assumption, Background, Scenario};
+
+fn main() {
+    let algorithms = [
+        Algorithm::Fig3,
+        Algorithm::TimeoutAll,
+        Algorithm::TSourceCounter,
+        Algorithm::MessagePatternMMR,
+    ];
+    let assumptions = [
+        Assumption::EventuallySynchronous,
+        Assumption::TSource,
+        Assumption::MessagePattern,
+        Assumption::RotatingStar,
+        Assumption::Intermittent { d: 4 },
+    ];
+
+    println!("{:<18}", "algorithm");
+    for algorithm in algorithms {
+        print!("{:<18}", algorithm.label());
+        for assumption in assumptions {
+            let scenario = Scenario::new("showdown", 4, 1, algorithm, assumption)
+                .with_background(Background::Growing)
+                .with_horizon(120_000, 15_000)
+                .with_seeds(&[1, 2]);
+            let agg = Aggregate::from_outcomes(&scenario.run());
+            let cell = if agg.stabilized == agg.runs {
+                "elects"
+            } else if agg.stabilized == 0 {
+                "fails"
+            } else {
+                "mixed"
+            };
+            print!("{:<22}", format!("{}: {}", assumption.label(), cell));
+        }
+        println!();
+    }
+    println!();
+    println!("`fig3` is the paper's algorithm (Figure 3): it is the only one that");
+    println!("stabilises under every assumption column, because each column is a");
+    println!("special case of the intermittent rotating t-star.");
+}

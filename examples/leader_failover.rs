@@ -1,0 +1,53 @@
+//! Leader failover: the elected leader crashes and the system re-elects.
+//!
+//! This is the scenario the Ω abstraction exists for: an application (e.g. a
+//! replicated service using consensus) needs *some* correct process to be
+//! eventually recognised as the single coordinator, even as coordinators
+//! crash. The example crashes the lowest-id process (the initial leader) and
+//! then the next one, and prints the agreement timeline.
+//!
+//! Run with: `cargo run --release --example leader_failover`
+
+use intermittent_rotating_star::omega::OmegaProcess;
+use intermittent_rotating_star::sim::adversary::star::{StarAdversary, StarConfig};
+use intermittent_rotating_star::sim::{CrashPlan, SimConfig, Simulation};
+use intermittent_rotating_star::types::{ProcessId, SystemConfig, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = SystemConfig::new(5, 2)?;
+    let center = ProcessId::new(4);
+
+    let processes: Vec<OmegaProcess> = system
+        .processes()
+        .map(|id| OmegaProcess::fig3(id, system))
+        .collect();
+    let adversary = StarAdversary::new(StarConfig::a_prime(system, center), 11);
+    let crashes = CrashPlan::new()
+        .crash(ProcessId::new(0), Time::from_ticks(60_000))
+        .crash(ProcessId::new(1), Time::from_ticks(140_000));
+
+    let mut sim = Simulation::new(
+        SimConfig::new(7, Time::from_ticks(300_000)),
+        processes,
+        adversary,
+        crashes,
+    );
+    let report = sim.run();
+
+    println!("agreement timeline (time, agreed leader):");
+    for change in &report.leader_history {
+        match change.agreed {
+            Some(leader) => println!("  t = {:>7}  leader = {}", change.at, leader),
+            None => println!("  t = {:>7}  (disagreement)", change.at),
+        }
+    }
+    println!("crashed processes: {:?}", report.crashed);
+    match report.stabilization {
+        Some(stab) => println!(
+            "final leader {} elected at t = {} and never contested again",
+            stab.leader, stab.at
+        ),
+        None => println!("no stable leader at the end of the horizon"),
+    }
+    Ok(())
+}

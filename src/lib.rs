@@ -1,0 +1,29 @@
+//! Umbrella crate for the *intermittent rotating star* workspace.
+//!
+//! This crate re-exports the workspace's public surface so that examples,
+//! integration tests and downstream users can depend on a single name:
+//!
+//! * [`omega`] — the paper's Ω algorithms (Figures 1–3 and `A_{f,g}`);
+//! * [`sim`] — the deterministic discrete-event simulator and the adversary
+//!   models realising the paper's assumptions;
+//! * [`baselines`] — earlier Ω algorithms used as comparison points;
+//! * [`consensus`] — Ω-based indulgent consensus and the replicated log
+//!   (Theorem 5);
+//! * [`runtime`] — the thread-per-process real-time runtime;
+//! * [`experiments`] — the experiment harness behind `EXPERIMENTS.md`;
+//! * [`types`] — the shared vocabulary (ids, time, rounds, the sans-IO
+//!   [`types::Protocol`] trait).
+//!
+//! See the `examples/` directory for runnable entry points, starting with
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use irs_baselines as baselines;
+pub use irs_consensus as consensus;
+pub use irs_experiments as experiments;
+pub use irs_omega as omega;
+pub use irs_runtime as runtime;
+pub use irs_sim as sim;
+pub use irs_types as types;

@@ -1,0 +1,168 @@
+//! Property-based tests over randomly drawn adversary configurations, crash
+//! schedules and tuning parameters.
+//!
+//! Every case runs a full (small) simulation, so the number of cases per
+//! property is deliberately modest; the properties themselves are the
+//! paper's: eventual leadership under the assumption, safety of consensus
+//! regardless of the oracle, and the bounded-variable invariants of Figure 3.
+
+use intermittent_rotating_star::consensus::{ConsensusProcess, Value};
+use intermittent_rotating_star::omega::{invariants, OmegaConfig, OmegaProcess, Variant};
+use intermittent_rotating_star::sim::adversary::star::{
+    Activation, PointGuarantee, Rotation, StarAdversary, StarConfig,
+};
+use intermittent_rotating_star::sim::adversary::DelayDist;
+use intermittent_rotating_star::sim::{CrashPlan, SimConfig, Simulation};
+use intermittent_rotating_star::types::{Duration, ProcessId, SystemConfig, Time};
+use proptest::prelude::*;
+
+fn star_config(
+    system: SystemConfig,
+    center: ProcessId,
+    guarantee: PointGuarantee,
+    gap: u64,
+    delta: u64,
+    max_delay: u64,
+) -> StarConfig {
+    StarConfig {
+        guarantee,
+        activation: if gap <= 1 { Activation::EveryRound } else { Activation::RandomGap { max_gap: gap } },
+        rotation: Rotation::PerRound,
+        delta: Duration::from_ticks(delta),
+        unconstrained: DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(max_delay)),
+        ..StarConfig::a_prime(system, center)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Eventual leadership: for random star parameters (centre, guarantee
+    /// mix, gap bound, delta, background spread) and a random crash of one
+    /// non-centre process, Figure 3 ends the run with all live processes
+    /// agreeing on a live leader.
+    #[test]
+    fn prop_fig3_elects_under_random_intermittent_stars(
+        seed in 0u64..1_000,
+        center_idx in 0u32..4,
+        guarantee_pick in 0u8..3,
+        gap in 1u64..6,
+        delta in 4u64..16,
+        max_delay in 30u64..90,
+        crash_idx in 0u32..4,
+        crash_at in 10_000u64..40_000,
+    ) {
+        let system = SystemConfig::new(4, 1).unwrap();
+        let center = ProcessId::new(center_idx);
+        let guarantee = match guarantee_pick {
+            0 => PointGuarantee::Timely,
+            1 => PointGuarantee::Winning,
+            _ => PointGuarantee::Mixed,
+        };
+        let adversary = StarAdversary::new(
+            star_config(system, center, guarantee, gap, delta, max_delay),
+            seed.wrapping_mul(31) + 7,
+        );
+        // Never crash the star centre (the assumption requires it correct).
+        let crashes = if ProcessId::new(crash_idx) == center {
+            CrashPlan::new()
+        } else {
+            CrashPlan::new().crash(ProcessId::new(crash_idx), Time::from_ticks(crash_at))
+        };
+        let processes: Vec<OmegaProcess> =
+            system.processes().map(|id| OmegaProcess::fig3(id, system)).collect();
+        let mut sim = Simulation::new(
+            SimConfig::new(seed, Time::from_ticks(300_000)),
+            processes,
+            adversary,
+            crashes,
+        );
+        sim.start();
+        while sim.now() < Time::from_ticks(crash_at) && sim.step() {}
+        let report = sim.run_until_stable_for(Duration::from_ticks(20_000));
+        prop_assert!(report.is_stable(), "no stable leader (seed {seed})");
+        let leader = report.stabilization.unwrap().leader;
+        prop_assert!(!report.crashed.contains(&leader));
+        // Theorem 4 and Lemma 8 hold at the end of every run of Figure 3.
+        let (_, bound_holds) = invariants::theorem4_bound(&report.final_snapshots);
+        prop_assert!(bound_holds);
+        for snapshot in report.final_snapshots.iter().flatten() {
+            prop_assert!(snapshot.susp_levels.iter().max().unwrap() - snapshot.susp_levels.iter().min().unwrap() <= 1);
+        }
+    }
+
+    /// Consensus safety is indulgent: even under a purely adversarial star
+    /// configuration (no guarantee at all — activation far in the future),
+    /// processes may fail to decide, but any decisions reached are unique and
+    /// valid.
+    #[test]
+    fn prop_consensus_never_disagrees_even_without_the_assumption(
+        seed in 0u64..1_000,
+        horizon in 30_000u64..90_000,
+        max_delay in 20u64..200,
+    ) {
+        let system = SystemConfig::new(5, 2).unwrap();
+        let mut cfg = star_config(system, ProcessId::new(4), PointGuarantee::Mixed, 1, 8, max_delay);
+        cfg.start_round = u64::MAX / 2; // the star effectively never materialises
+        let adversary = StarAdversary::new(cfg, seed);
+        let processes: Vec<ConsensusProcess<OmegaProcess>> = system
+            .processes()
+            .map(|id| {
+                let mut p = ConsensusProcess::over_omega(id, system);
+                p.propose(Value(500 + id.as_u32() as u64));
+                p
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            SimConfig::new(seed, Time::from_ticks(horizon)),
+            processes,
+            adversary,
+            CrashPlan::new(),
+        );
+        let _ = sim.run();
+        let decisions: Vec<Value> = system
+            .processes()
+            .filter_map(|p| sim.process(p).decision())
+            .collect();
+        for d in &decisions {
+            prop_assert_eq!(*d, decisions[0], "agreement violated");
+            prop_assert!((500..505).contains(&d.0), "validity violated: {}", d);
+        }
+    }
+
+    /// The leader elected by Figure 1 under a per-round star with random
+    /// timely/winning mixes is always a live process, and the simulation is
+    /// deterministic in its seed.
+    #[test]
+    fn prop_fig1_deterministic_and_live_leader(
+        seed in 0u64..500,
+        center_idx in 0u32..5,
+        delta in 4u64..20,
+    ) {
+        let system = SystemConfig::new(5, 2).unwrap();
+        let center = ProcessId::new(center_idx);
+        let build = || {
+            let adversary = StarAdversary::new(
+                star_config(system, center, PointGuarantee::Mixed, 1, delta, 50),
+                seed,
+            );
+            let processes: Vec<OmegaProcess> = system
+                .processes()
+                .map(|id| OmegaProcess::new(id, OmegaConfig::new(system, Variant::Fig1)))
+                .collect();
+            Simulation::new(
+                SimConfig::new(seed, Time::from_ticks(120_000)),
+                processes,
+                adversary,
+                CrashPlan::new().crash(ProcessId::new((center_idx + 1) % 5), Time::from_ticks(20_000)),
+            )
+        };
+        let report_a = build().run_until_stable_for(Duration::from_ticks(15_000));
+        let report_b = build().run_until_stable_for(Duration::from_ticks(15_000));
+        prop_assert_eq!(report_a.counters, report_b.counters);
+        prop_assert_eq!(report_a.stabilization, report_b.stabilization);
+        if let Some(stab) = report_a.stabilization {
+            prop_assert!(!report_a.crashed.contains(&stab.leader));
+        }
+    }
+}
