@@ -95,7 +95,10 @@ pub struct MessagePatternConfig {
 impl MessagePatternConfig {
     /// Default tuning: query period 10 ticks.
     pub fn new(system: SystemConfig) -> Self {
-        MessagePatternConfig { system, period: Duration::from_ticks(10) }
+        MessagePatternConfig {
+            system,
+            period: Duration::from_ticks(10),
+        }
     }
 }
 
@@ -171,7 +174,10 @@ impl OmegaMessagePattern {
         let losers = all.difference(&self.responders);
         self.closed = true;
         self.loser_reports_sent += 1;
-        out.broadcast_all(QueryMsg::Losers { sn: self.sn, losers });
+        out.broadcast_all(QueryMsg::Losers {
+            sn: self.sn,
+            losers,
+        });
     }
 
     fn record_loser_report(&mut self, sn: u64, losers: &ProcessSet) {
@@ -204,17 +210,23 @@ impl Protocol for OmegaMessagePattern {
         self.issue_query(out);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: QueryMsg, out: &mut Actions<QueryMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &QueryMsg, out: &mut Actions<QueryMsg>) {
         match msg {
             QueryMsg::Query { sn } => {
                 self.responses_sent += 1;
-                out.send(from, QueryMsg::Response { sn, counters: self.counters.clone() });
+                out.send(
+                    from,
+                    QueryMsg::Response {
+                        sn: *sn,
+                        counters: self.counters.clone(),
+                    },
+                );
             }
             QueryMsg::Response { sn, counters } => {
-                for (mine, theirs) in self.counters.iter_mut().zip(&counters) {
+                for (mine, theirs) in self.counters.iter_mut().zip(counters) {
                     *mine = (*mine).max(*theirs);
                 }
-                if sn != self.sn || self.closed {
+                if *sn != self.sn || self.closed {
                     return; // response to an old query, or query already closed
                 }
                 self.responders.insert(from);
@@ -224,7 +236,7 @@ impl Protocol for OmegaMessagePattern {
                 }
             }
             QueryMsg::Losers { sn, losers } => {
-                self.record_loser_report(sn, &losers);
+                self.record_loser_report(*sn, losers);
             }
         }
     }
@@ -289,7 +301,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(from),
-            QueryMsg::Response { sn, counters: vec![0; 4] },
+            &QueryMsg::Response {
+                sn,
+                counters: vec![0; 4],
+            },
             &mut out,
         );
         out
@@ -310,7 +325,7 @@ mod tests {
         let mut out = Actions::new();
         p.on_start(&mut out);
         let mut out = Actions::new();
-        p.on_message(ProcessId::new(0), QueryMsg::Query { sn: 4 }, &mut out);
+        p.on_message(ProcessId::new(0), &QueryMsg::Query { sn: 4 }, &mut out);
         assert_eq!(out.sends().len(), 1);
         match &out.sends()[0].msg {
             QueryMsg::Response { sn, .. } => assert_eq!(*sn, 4),
@@ -349,14 +364,20 @@ mod tests {
         respond(&mut p, 1, 1);
         let mut out = Actions::new();
         p.on_timer(TIMER_QUERY, &mut out);
-        assert!(!out.sends().iter().any(|o| matches!(o.msg, QueryMsg::Query { .. })));
+        assert!(!out
+            .sends()
+            .iter()
+            .any(|o| matches!(o.msg, QueryMsg::Query { .. })));
         assert_eq!(p.sn, 1);
         // Once the quorum arrives the query closes, and the next timer tick
         // issues query 2.
         respond(&mut p, 2, 1);
         let mut out = Actions::new();
         p.on_timer(TIMER_QUERY, &mut out);
-        assert!(out.sends().iter().any(|o| matches!(o.msg, QueryMsg::Query { sn: 2 })));
+        assert!(out
+            .sends()
+            .iter()
+            .any(|o| matches!(o.msg, QueryMsg::Query { sn: 2 })));
     }
 
     #[test]
@@ -369,16 +390,33 @@ mod tests {
         for reporter in [0u32, 1] {
             p.on_message(
                 ProcessId::new(reporter),
-                QueryMsg::Losers { sn: 1, losers: loser.clone() },
+                &QueryMsg::Losers {
+                    sn: 1,
+                    losers: loser.clone(),
+                },
                 &mut Actions::new(),
             );
         }
         assert_eq!(p.counters(), &[0, 0, 0, 0]);
         // Third distinct report reaches the quorum: one charge, exactly once.
-        p.on_message(ProcessId::new(2), QueryMsg::Losers { sn: 1, losers: loser.clone() }, &mut Actions::new());
+        p.on_message(
+            ProcessId::new(2),
+            &QueryMsg::Losers {
+                sn: 1,
+                losers: loser.clone(),
+            },
+            &mut Actions::new(),
+        );
         assert_eq!(p.counters(), &[0, 0, 0, 1]);
         // A fourth report for the same sn does not double-charge.
-        p.on_message(ProcessId::new(3), QueryMsg::Losers { sn: 1, losers: loser }, &mut Actions::new());
+        p.on_message(
+            ProcessId::new(3),
+            &QueryMsg::Losers {
+                sn: 1,
+                losers: loser,
+            },
+            &mut Actions::new(),
+        );
         assert_eq!(p.counters(), &[0, 0, 0, 1]);
     }
 
@@ -389,7 +427,10 @@ mod tests {
         p.on_start(&mut out);
         p.on_message(
             ProcessId::new(1),
-            QueryMsg::Response { sn: 1, counters: vec![5, 2, 9, 4] },
+            &QueryMsg::Response {
+                sn: 1,
+                counters: vec![5, 2, 9, 4],
+            },
             &mut Actions::new(),
         );
         assert_eq!(p.counters(), &[5, 2, 9, 4]);
@@ -400,11 +441,19 @@ mod tests {
     fn responses_are_constrained_other_messages_are_not() {
         assert_eq!(QueryMsg::Query { sn: 3 }.constrained_round(), None);
         assert_eq!(
-            QueryMsg::Response { sn: 3, counters: vec![] }.constrained_round(),
+            QueryMsg::Response {
+                sn: 3,
+                counters: vec![]
+            }
+            .constrained_round(),
             Some(RoundNum::new(3))
         );
         assert_eq!(
-            QueryMsg::Losers { sn: 3, losers: ProcessSet::empty(4) }.constrained_round(),
+            QueryMsg::Losers {
+                sn: 3,
+                losers: ProcessSet::empty(4)
+            }
+            .constrained_round(),
             None
         );
     }
@@ -417,7 +466,14 @@ mod tests {
         p.sn = 10_000;
         let loser = ProcessSet::from_ids(4, [ProcessId::new(3)]);
         for sn in 1..=2_000u64 {
-            p.on_message(ProcessId::new(1), QueryMsg::Losers { sn, losers: loser.clone() }, &mut Actions::new());
+            p.on_message(
+                ProcessId::new(1),
+                &QueryMsg::Losers {
+                    sn,
+                    losers: loser.clone(),
+                },
+                &mut Actions::new(),
+            );
         }
         assert!(p.snapshot().gauge("vote_rounds_retained").unwrap() <= VOTE_RETENTION + 1);
     }

@@ -138,7 +138,10 @@ impl OmegaTimeoutAll {
 
     fn broadcast(&mut self, out: &mut Actions<Heartbeat>) {
         self.seq += 1;
-        out.broadcast_others(Heartbeat { seq: self.seq, counters: self.counters.clone() });
+        out.broadcast_others(Heartbeat {
+            seq: self.seq,
+            counters: self.counters.clone(),
+        });
         out.set_timer(TIMER_HEARTBEAT, self.cfg.period);
     }
 }
@@ -157,7 +160,7 @@ impl Protocol for OmegaTimeoutAll {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Heartbeat, out: &mut Actions<Heartbeat>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Heartbeat, out: &mut Actions<Heartbeat>) {
         for (mine, theirs) in self.counters.iter_mut().zip(&msg.counters) {
             *mine = (*mine).max(*theirs);
         }
@@ -210,7 +213,10 @@ impl Introspect for OmegaTimeoutAll {
             susp_levels: self.counters.clone(),
             extra: vec![
                 ("false_suspicions", self.false_suspicions),
-                ("suspected_now", self.suspected.iter().filter(|s| **s).count() as u64),
+                (
+                    "suspected_now",
+                    self.suspected.iter().filter(|s| **s).count() as u64,
+                ),
             ],
         }
     }
@@ -255,7 +261,14 @@ mod tests {
         let mut out = Actions::new();
         p.on_timer(TimerId::new(TIMER_WATCH_BASE + 1), &mut out);
         let mut out = Actions::new();
-        p.on_message(ProcessId::new(1), Heartbeat { seq: 1, counters: vec![0; 4] }, &mut out);
+        p.on_message(
+            ProcessId::new(1),
+            &Heartbeat {
+                seq: 1,
+                counters: vec![0; 4],
+            },
+            &mut out,
+        );
         assert!(p.timeouts[1] > before);
         assert_eq!(p.snapshot().gauge("false_suspicions"), Some(1));
     }
@@ -267,7 +280,10 @@ mod tests {
         p.on_start(&mut out);
         p.on_message(
             ProcessId::new(1),
-            Heartbeat { seq: 1, counters: vec![7, 0, 3, 2] },
+            &Heartbeat {
+                seq: 1,
+                counters: vec![7, 0, 3, 2],
+            },
             &mut Actions::new(),
         );
         assert_eq!(p.counters(), &[7, 0, 3, 2]);
@@ -276,7 +292,10 @@ mod tests {
 
     #[test]
     fn heartbeats_are_round_tagged_by_sequence() {
-        let hb = Heartbeat { seq: 9, counters: vec![0; 4] };
+        let hb = Heartbeat {
+            seq: 9,
+            counters: vec![0; 4],
+        };
         assert_eq!(hb.constrained_round(), Some(RoundNum::new(9)));
         assert!(hb.estimated_size() > 32);
     }

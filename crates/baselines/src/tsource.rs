@@ -173,7 +173,10 @@ impl OmegaTSource {
     fn broadcast_alive(&mut self, out: &mut Actions<TSourceMsg>) {
         self.seq += 1;
         self.counters[self.id.index()] = self.my_counter;
-        out.broadcast_others(TSourceMsg::Alive { seq: self.seq, counter: self.my_counter });
+        out.broadcast_others(TSourceMsg::Alive {
+            seq: self.seq,
+            counter: self.my_counter,
+        });
         out.set_timer(TIMER_ALIVE, self.cfg.period);
     }
 
@@ -219,19 +222,21 @@ impl Protocol for OmegaTSource {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: TSourceMsg, out: &mut Actions<TSourceMsg>) {
-        match msg {
+    fn on_message(&mut self, from: ProcessId, msg: &TSourceMsg, out: &mut Actions<TSourceMsg>) {
+        match *msg {
             TSourceMsg::Alive { counter, .. } => {
                 self.counters[from.index()] = self.counters[from.index()].max(counter);
                 if self.is_long_silent(from) {
                     // We wrongly considered this process dead: be more patient.
-                    self.silence_limit[from.index()] = self.silence_limit[from.index()].saturating_mul(2);
+                    self.silence_limit[from.index()] =
+                        self.silence_limit[from.index()].saturating_mul(2);
                 }
                 self.last_heard_tick[from.index()] = self.seq;
                 if self.accused[from.index()] {
                     // The accusation was premature: enlarge the timeout.
                     self.accused[from.index()] = false;
-                    self.timeouts[from.index()] = self.timeouts[from.index()] + self.cfg.timeout_step;
+                    self.timeouts[from.index()] =
+                        self.timeouts[from.index()] + self.cfg.timeout_step;
                 }
                 out.set_timer(self.watch_timer(from), self.timeouts[from.index()]);
             }
@@ -307,7 +312,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_start(&mut out);
         assert_eq!(out.sends().len(), 1);
-        assert!(matches!(out.sends()[0].msg, TSourceMsg::Alive { seq: 1, .. }));
+        assert!(matches!(
+            out.sends()[0].msg,
+            TSourceMsg::Alive { seq: 1, .. }
+        ));
         assert_eq!(out.timers().len(), 4);
     }
 
@@ -319,7 +327,9 @@ mod tests {
         let mut out = Actions::new();
         p.on_timer(TimerId::new(TIMER_WATCH_BASE + 2), &mut out);
         assert_eq!(out.sends().len(), 1);
-        assert!(matches!(out.sends()[0].dest, irs_types::Destination::To(q) if q == ProcessId::new(2)));
+        assert!(
+            matches!(out.sends()[0].dest, irs_types::Destination::To(q) if q == ProcessId::new(2))
+        );
         assert!(matches!(out.sends()[0].msg, TSourceMsg::Accuse { .. }));
     }
 
@@ -329,15 +339,27 @@ mod tests {
         let mut out = Actions::new();
         p.on_start(&mut out);
         for accuser in [1u32, 2, 3] {
-            p.on_message(ProcessId::new(accuser), TSourceMsg::Accuse { seq: 5 }, &mut Actions::new());
+            p.on_message(
+                ProcessId::new(accuser),
+                &TSourceMsg::Accuse { seq: 5 },
+                &mut Actions::new(),
+            );
         }
         assert_eq!(p.counters()[0], 1);
         // Duplicate accusations for the same seq do not double-charge.
-        p.on_message(ProcessId::new(1), TSourceMsg::Accuse { seq: 5 }, &mut Actions::new());
+        p.on_message(
+            ProcessId::new(1),
+            &TSourceMsg::Accuse { seq: 5 },
+            &mut Actions::new(),
+        );
         assert_eq!(p.counters()[0], 1);
         // Fewer than a quorum for another seq does not charge.
         for accuser in [1u32, 2] {
-            p.on_message(ProcessId::new(accuser), TSourceMsg::Accuse { seq: 6 }, &mut Actions::new());
+            p.on_message(
+                ProcessId::new(accuser),
+                &TSourceMsg::Accuse { seq: 6 },
+                &mut Actions::new(),
+            );
         }
         assert_eq!(p.counters()[0], 1);
     }
@@ -349,7 +371,11 @@ mod tests {
         p.on_start(&mut out);
         let before = p.timeouts[1];
         p.on_timer(TimerId::new(TIMER_WATCH_BASE + 1), &mut Actions::new());
-        p.on_message(ProcessId::new(1), TSourceMsg::Alive { seq: 1, counter: 0 }, &mut Actions::new());
+        p.on_message(
+            ProcessId::new(1),
+            &TSourceMsg::Alive { seq: 1, counter: 0 },
+            &mut Actions::new(),
+        );
         assert!(p.timeouts[1] > before);
     }
 
@@ -363,7 +389,14 @@ mod tests {
         // silent, leaving p3 (ourselves) as leader.
         for _ in 0..40 {
             p.on_timer(TIMER_ALIVE, &mut Actions::new());
-            p.on_message(ProcessId::new(3), TSourceMsg::Alive { seq: p.seq, counter: 0 }, &mut Actions::new());
+            p.on_message(
+                ProcessId::new(3),
+                &TSourceMsg::Alive {
+                    seq: p.seq,
+                    counter: 0,
+                },
+                &mut Actions::new(),
+            );
         }
         assert!(p.is_long_silent(ProcessId::new(0)));
         assert!(p.is_long_silent(ProcessId::new(1)));
@@ -376,7 +409,11 @@ mod tests {
         let mut p = OmegaTSource::new(ProcessId::new(0), system());
         let mut out = Actions::new();
         p.on_start(&mut out);
-        p.on_message(ProcessId::new(2), TSourceMsg::Alive { seq: 1, counter: 7 }, &mut Actions::new());
+        p.on_message(
+            ProcessId::new(2),
+            &TSourceMsg::Alive { seq: 1, counter: 7 },
+            &mut Actions::new(),
+        );
         assert_eq!(p.counters()[2], 7);
     }
 

@@ -19,14 +19,20 @@ fn background() -> DelayDist {
 /// cannot stabilise against it, order-based guarantees are unaffected.
 fn growing_background() -> DelayDist {
     DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(40)).with_growth(
-        GrowthFn::Linear { per_round: 1, divisor: 20 },
+        GrowthFn::Linear {
+            per_round: 1,
+            divisor: 20,
+        },
         Duration::from_ticks(100),
     )
 }
 
 #[test]
 fn timeout_all_elects_under_eventual_synchrony() {
-    let procs = system().processes().map(|id| OmegaTimeoutAll::new(id, system())).collect();
+    let procs = system()
+        .processes()
+        .map(|id| OmegaTimeoutAll::new(id, system()))
+        .collect();
     let adversary = EventuallySynchronous::new(
         Time::from_ticks(5_000),
         Duration::from_ticks(5),
@@ -46,7 +52,10 @@ fn timeout_all_elects_under_eventual_synchrony() {
 #[test]
 fn tsource_elects_under_eventual_t_source() {
     let center = ProcessId::new(2);
-    let procs = system().processes().map(|id| OmegaTSource::new(id, system())).collect();
+    let procs = system()
+        .processes()
+        .map(|id| OmegaTSource::new(id, system()))
+        .collect();
     let adversary =
         presets::eventual_t_source(system(), center, Duration::from_ticks(8), background(), 5);
     let mut sim = Simulation::new(
@@ -56,7 +65,11 @@ fn tsource_elects_under_eventual_t_source() {
         CrashPlan::new(),
     );
     let report = sim.run_until_stable_for(Duration::from_ticks(20_000));
-    assert!(report.is_stable(), "history length {}", report.leader_history.len());
+    assert!(
+        report.is_stable(),
+        "history length {}",
+        report.leader_history.len()
+    );
     let leader = report.stabilization.unwrap().leader;
     assert!(!report.crashed.contains(&leader));
 }
@@ -64,7 +77,10 @@ fn tsource_elects_under_eventual_t_source() {
 #[test]
 fn message_pattern_elects_under_message_pattern() {
     let center = ProcessId::new(1);
-    let procs = system().processes().map(|id| OmegaMessagePattern::new(id, system())).collect();
+    let procs = system()
+        .processes()
+        .map(|id| OmegaMessagePattern::new(id, system()))
+        .collect();
     let adversary = presets::message_pattern(system(), center, growing_background(), 9);
     let mut sim = Simulation::new(
         SimConfig::new(13, Time::from_ticks(300_000)),
@@ -84,7 +100,10 @@ fn timeout_all_does_not_stabilise_under_growing_delays() {
     // Purely asynchronous, unboundedly growing delays: the timeout-based
     // baseline keeps suspecting everyone. (This is a negative control; it is
     // checked over a bounded horizon.)
-    let procs = system().processes().map(|id| OmegaTimeoutAll::new(id, system())).collect();
+    let procs = system()
+        .processes()
+        .map(|id| OmegaTimeoutAll::new(id, system()))
+        .collect();
     let adversary = RandomDelay::new(growing_background());
     let mut sim = Simulation::new(
         SimConfig::new(17, Time::from_ticks(150_000)),
@@ -116,7 +135,10 @@ fn timeout_all_does_not_stabilise_under_growing_delays() {
 #[test]
 fn baselines_are_deterministic() {
     let go = || {
-        let procs = system().processes().map(|id| OmegaTSource::new(id, system())).collect();
+        let procs = system()
+            .processes()
+            .map(|id| OmegaTSource::new(id, system()))
+            .collect();
         let adversary = presets::eventual_t_source(
             system(),
             ProcessId::new(3),

@@ -8,11 +8,22 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e6_assumption_matrix(true));
     let mut group = c.benchmark_group("e6_assumption_matrix");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     // One representative positive cell and one representative negative cell.
     let cells = [
-        ("fig3_under_message_pattern", Algorithm::Fig3, Assumption::MessagePattern),
-        ("timeout_all_under_message_pattern", Algorithm::TimeoutAll, Assumption::MessagePattern),
+        (
+            "fig3_under_message_pattern",
+            Algorithm::Fig3,
+            Assumption::MessagePattern,
+        ),
+        (
+            "timeout_all_under_message_pattern",
+            Algorithm::TimeoutAll,
+            Assumption::MessagePattern,
+        ),
     ];
     for (label, algorithm, assumption) in cells {
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {

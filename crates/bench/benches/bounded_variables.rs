@@ -7,18 +7,30 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e5_bounded_variables(true));
     let mut group = c.benchmark_group("e5_bounded_variables");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(4));
     for (label, algorithm) in [("fig1", Algorithm::Fig1), ("fig3", Algorithm::Fig3)] {
-        group.bench_with_input(BenchmarkId::new("crashed_process_run", label), &algorithm, |b, &algorithm| {
-            b.iter(|| {
-                let scenario = Scenario::new("bench-e5", 5, 2, algorithm, Assumption::RotatingStar)
-                    .with_crash(1, 10_000)
-                    .with_horizon(100_000, 0)
-                    .with_seeds(&[1]);
-                let outcome = &scenario.run()[0];
-                (outcome.max_susp_level, outcome.max_timer_ticks, outcome.theorem4_holds)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("crashed_process_run", label),
+            &algorithm,
+            |b, &algorithm| {
+                b.iter(|| {
+                    let scenario =
+                        Scenario::new("bench-e5", 5, 2, algorithm, Assumption::RotatingStar)
+                            .with_crash(1, 10_000)
+                            .with_horizon(100_000, 0)
+                            .with_seeds(&[1]);
+                    let outcome = &scenario.run()[0];
+                    (
+                        outcome.max_susp_level,
+                        outcome.max_timer_ticks,
+                        outcome.theorem4_holds,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -7,7 +7,10 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e8_consensus(true));
     let mut group = c.benchmark_group("e8_consensus_latency");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for (label, crash) in [("no_crash", false), ("leader_crash", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &crash, |b, &crash| {
             b.iter(|| {

@@ -7,13 +7,17 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e3_crash_suspicion_growth(true));
     let mut group = c.benchmark_group("e3_crash_suspicion_growth");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("fig3_reelection_after_crash", |b| {
         b.iter(|| {
-            let scenario = Scenario::new("bench-e3", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
-                .with_crash(0, 30_000)
-                .with_horizon(160_000, 15_000)
-                .with_seeds(&[2]);
+            let scenario =
+                Scenario::new("bench-e3", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+                    .with_crash(0, 30_000)
+                    .with_horizon(160_000, 15_000)
+                    .with_seeds(&[2]);
             let outcome = &scenario.run()[0];
             (outcome.stabilized, outcome.max_susp_level)
         })

@@ -7,14 +7,23 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e2_election_under_a(true));
     let mut group = c.benchmark_group("e2_election_under_a");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     for d in [2u64, 8] {
         group.bench_with_input(BenchmarkId::new("fig3_until_stable_D", d), &d, |b, &d| {
             b.iter(|| {
-                let scenario = Scenario::new("bench-e2", 5, 2, Algorithm::Fig3, Assumption::Intermittent { d })
-                    .with_background(Background::Growing)
-                    .with_horizon(150_000, 15_000)
-                    .with_seeds(&[1]);
+                let scenario = Scenario::new(
+                    "bench-e2",
+                    5,
+                    2,
+                    Algorithm::Fig3,
+                    Assumption::Intermittent { d },
+                )
+                .with_background(Background::Growing)
+                .with_horizon(150_000, 15_000)
+                .with_seeds(&[1]);
                 scenario.run()[0].stabilization_ticks
             })
         });

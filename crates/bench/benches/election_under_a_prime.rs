@@ -10,12 +10,16 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e1_election_under_a_prime(true));
     let mut group = c.benchmark_group("e1_election_under_a_prime");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("fig3_n5_until_stable", |b| {
         b.iter(|| {
-            let scenario = Scenario::new("bench-e1", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
-                .with_horizon(120_000, 15_000)
-                .with_seeds(&[1]);
+            let scenario =
+                Scenario::new("bench-e1", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+                    .with_horizon(120_000, 15_000)
+                    .with_seeds(&[1]);
             let outcome = &scenario.run()[0];
             assert!(outcome.stabilized);
             outcome.stabilization_ticks

@@ -1,0 +1,89 @@
+//! Engine throughput: raw discrete-event rate of the simulation hot path.
+//!
+//! Unlike the E1–E10 benches (which measure whole experiments), this target
+//! isolates the engine itself: a fixed-horizon Figure 3 run under the
+//! rotating star at n ∈ {8, 32, 64}, reported as processed events per second
+//! (message deliveries + timer fires). The measured medians are also written
+//! to `BENCH_engine.json` at the workspace root so the performance trajectory
+//! is tracked across PRs — see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irs_bench::experiments::{Algorithm, Assumption, Scenario};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The (n, t) system sizes whose event throughput is tracked.
+const SIZES: &[(usize, usize)] = &[(8, 3), (32, 15), (64, 31)];
+/// Fixed horizon in ticks; long enough to dominate set-up costs.
+const HORIZON: u64 = 30_000;
+
+fn run_once(n: usize, t: usize) -> u64 {
+    let scenario = Scenario::new(
+        "engine-throughput",
+        n,
+        t,
+        Algorithm::Fig3,
+        Assumption::RotatingStar,
+    )
+    .with_horizon(HORIZON, 0)
+    .with_seeds(&[1]);
+    let outcome = &scenario.run()[0];
+    // Every sent message is eventually delivered (or dropped on a crashed
+    // process — there are no crashes here), and every closed round fires a
+    // timer: sent messages + closed rounds approximate the event count well
+    // enough for a throughput trend line.
+    outcome.messages_sent + outcome.rounds_closed
+}
+
+fn events_processed(n: usize, t: usize) -> u64 {
+    run_once(n, t)
+}
+
+fn bench(c: &mut Criterion) {
+    {
+        let mut group = c.benchmark_group("engine_throughput");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_secs(1))
+            .measurement_time(Duration::from_secs(5));
+        for &(n, t) in SIZES {
+            group.bench_with_input(
+                BenchmarkId::new("fig3_fixed_horizon_n", n),
+                &(n, t),
+                |b, &(n, t)| b.iter(|| run_once(n, t)),
+            );
+        }
+        group.finish();
+    }
+
+    // Convert the measured medians into events/sec and persist them for the
+    // cross-PR trajectory.
+    let results = c.take_results();
+    let mut entries = Vec::new();
+    for (&(n, t), result) in SIZES.iter().zip(&results) {
+        let events = events_processed(n, t);
+        let secs = result.median.as_secs_f64().max(1e-9);
+        entries.push(format!(
+            "    {{ \"n\": {n}, \"events\": {events}, \"median_seconds\": {secs:.6}, \"events_per_second\": {:.0} }}",
+            events as f64 / secs
+        ));
+        println!(
+            "engine_throughput n={n}: {events} events in {secs:.4}s median -> {:.0} events/s",
+            events as f64 / secs
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"horizon_ticks\": {HORIZON},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]
+        .iter()
+        .collect();
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -8,7 +8,10 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e7_fg_extension(true));
     let mut group = c.benchmark_group("e7_fg_extension");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(4));
     let f = GrowthFn::Log2;
     let g = GrowthFn::Log2;
     group.bench_function("fg_variant_until_stable", |b| {

@@ -7,17 +7,25 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e9_message_cost(true));
     let mut group = c.benchmark_group("e9_message_cost");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(4));
     for (n, t) in [(4usize, 1usize), (8, 3)] {
-        group.bench_with_input(BenchmarkId::new("fig3_fixed_horizon", n), &(n, t), |b, &(n, t)| {
-            b.iter(|| {
-                let scenario = Scenario::new("bench-e9", n, t, Algorithm::Fig3, Assumption::RotatingStar)
-                    .with_horizon(60_000, 0)
-                    .with_seeds(&[1]);
-                let outcome = &scenario.run()[0];
-                (outcome.messages_sent, outcome.bytes_sent)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fig3_fixed_horizon", n),
+            &(n, t),
+            |b, &(n, t)| {
+                b.iter(|| {
+                    let scenario =
+                        Scenario::new("bench-e9", n, t, Algorithm::Fig3, Assumption::RotatingStar)
+                            .with_horizon(60_000, 0)
+                            .with_seeds(&[1]);
+                    let outcome = &scenario.run()[0];
+                    (outcome.messages_sent, outcome.bytes_sent)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -7,14 +7,18 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e10_sensitivity(true));
     let mut group = c.benchmark_group("e10_sensitivity_sweeps");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("fig3_two_crashes_until_stable", |b| {
         b.iter(|| {
-            let scenario = Scenario::new("bench-e10", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
-                .with_crash(0, 20_000)
-                .with_crash(1, 30_000)
-                .with_horizon(160_000, 15_000)
-                .with_seeds(&[1]);
+            let scenario =
+                Scenario::new("bench-e10", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
+                    .with_crash(0, 20_000)
+                    .with_crash(1, 30_000)
+                    .with_horizon(160_000, 15_000)
+                    .with_seeds(&[1]);
             scenario.run()[0].stabilization_ticks
         })
     });

@@ -7,12 +7,21 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     println!("{}", suite::e4_suspicion_stabilisation(true));
     let mut group = c.benchmark_group("e4_suspicion_stabilisation");
-    group.sample_size(10).warm_up_time(Duration::from_secs(1)).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("fig3_full_horizon_100k", |b| {
         b.iter(|| {
-            let scenario = Scenario::new("bench-e4", 5, 2, Algorithm::Fig3, Assumption::Intermittent { d: 4 })
-                .with_horizon(100_000, 0)
-                .with_seeds(&[1]);
+            let scenario = Scenario::new(
+                "bench-e4",
+                5,
+                2,
+                Algorithm::Fig3,
+                Assumption::Intermittent { d: 4 },
+            )
+            .with_horizon(100_000, 0)
+            .with_seeds(&[1]);
             let outcome = &scenario.run()[0];
             (outcome.distinct_leaders, outcome.stabilization_ticks)
         })

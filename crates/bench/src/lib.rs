@@ -1,10 +1,13 @@
 //! Criterion benchmark harness.
 //!
 //! This crate has no library code of its own; every benchmark target under
-//! `benches/` corresponds to one experiment family of `EXPERIMENTS.md` and
-//! drives the same [`irs_experiments`] scenarios in `quick` mode, so that
-//! `cargo bench --workspace` regenerates a (reduced) version of every table
-//! while also measuring how long each scenario takes to simulate.
+//! `benches/` corresponds to one experiment family of the workspace-root
+//! `EXPERIMENTS.md` (which maps each target to the paper table it
+//! reproduces) and drives the same [`irs_experiments`] scenarios in `quick`
+//! mode, so that `cargo bench --workspace` regenerates a (reduced) version
+//! of every table while also measuring how long each scenario takes to
+//! simulate. The extra `engine_throughput` target tracks the raw event rate
+//! of the simulation engine across PRs via `BENCH_engine.json`.
 
 #![forbid(unsafe_code)]
 

@@ -18,7 +18,10 @@ pub struct Ballot {
 
 impl Ballot {
     /// The "no ballot seen yet" sentinel, smaller than every real ballot.
-    pub const ZERO: Ballot = Ballot { attempt: 0, proposer: ProcessId::new(0) };
+    pub const ZERO: Ballot = Ballot {
+        attempt: 0,
+        proposer: ProcessId::new(0),
+    };
 
     /// Creates a ballot.
     pub fn new(attempt: u64, proposer: ProcessId) -> Self {
@@ -28,7 +31,10 @@ impl Ballot {
     /// The next ballot owned by `proposer` that is strictly greater than
     /// `self` (regardless of who owns `self`).
     pub fn next_for(self, proposer: ProcessId) -> Ballot {
-        Ballot { attempt: self.attempt + 1, proposer }
+        Ballot {
+            attempt: self.attempt + 1,
+            proposer,
+        }
     }
 
     /// Returns `true` for real ballots (attempt ≥ 1).

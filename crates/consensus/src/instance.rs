@@ -166,7 +166,10 @@ impl PaxosInstance {
             self.promised = b;
             out.push((
                 Destination::To(from),
-                PaxosMsg::Promise { b, accepted: self.accepted },
+                PaxosMsg::Promise {
+                    b,
+                    accepted: self.accepted,
+                },
             ));
         }
     }
@@ -223,7 +226,11 @@ impl PaxosInstance {
         // Bound the learner bookkeeping: ballots below the highest with a
         // quorum-in-progress can be dropped once we have many of them.
         if self.accepted_votes.len() > 64 {
-            let keep_from = *self.accepted_votes.keys().nth(self.accepted_votes.len() - 32).expect("len > 32");
+            let keep_from = *self
+                .accepted_votes
+                .keys()
+                .nth(self.accepted_votes.len() - 32)
+                .expect("len > 32");
             self.accepted_votes.retain(|k, _| *k >= keep_from);
         }
     }
@@ -282,7 +289,10 @@ mod tests {
         let mut insts = instances();
         let mut out = Vec::new();
         insts[2].start_ballot(&mut out);
-        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(2), s)).collect());
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(2), s)).collect(),
+        );
         for inst in &insts {
             assert_eq!(inst.decided(), Some(Value(102)));
         }
@@ -316,13 +326,19 @@ mod tests {
         // First, p1 gets its value accepted by a quorum (full run).
         let mut out = Vec::new();
         insts[0].start_ballot(&mut out);
-        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(0), s)).collect(),
+        );
         assert_eq!(insts[3].decided(), Some(Value(100)));
         // A later ballot by p5 must re-decide the same value (it is inherited
         // from the promises), not propose its own.
         let mut out = Vec::new();
         insts[4].start_ballot(&mut out);
-        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(4), s)).collect());
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(4), s)).collect(),
+        );
         for inst in &insts {
             assert_eq!(inst.decided(), Some(Value(100)));
         }
@@ -341,7 +357,14 @@ mod tests {
         acceptor.handle(ProcessId::new(0), PaxosMsg::Prepare { b: low }, &mut out);
         assert!(out.is_empty(), "stale prepare must not be promised");
         let mut out = Vec::new();
-        acceptor.handle(ProcessId::new(0), PaxosMsg::Accept { b: low, v: Value(7) }, &mut out);
+        acceptor.handle(
+            ProcessId::new(0),
+            PaxosMsg::Accept {
+                b: low,
+                v: Value(7),
+            },
+            &mut out,
+        );
         assert!(out.is_empty(), "stale accept must not be accepted");
     }
 
@@ -359,7 +382,10 @@ mod tests {
         let mut insts = instances();
         let mut out = Vec::new();
         insts[0].start_ballot(&mut out);
-        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(0), s)).collect(),
+        );
         let started_before = insts[0].ballots_started();
         let mut out = Vec::new();
         insts[0].start_ballot(&mut out);
@@ -373,7 +399,10 @@ mod tests {
         let before = insts[0].progress_counter();
         let mut out = Vec::new();
         insts[0].start_ballot(&mut out);
-        route(&mut insts, out.into_iter().map(|s| (ProcessId::new(0), s)).collect());
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(0), s)).collect(),
+        );
         assert!(insts[0].progress_counter() > before);
     }
 
@@ -383,10 +412,22 @@ mod tests {
         let mut learner = PaxosInstance::new(ProcessId::new(0), sys);
         let b = Ballot::new(1, ProcessId::new(1));
         let mut out = Vec::new();
-        learner.handle(ProcessId::new(1), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
-        learner.handle(ProcessId::new(2), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
+        learner.handle(
+            ProcessId::new(1),
+            PaxosMsg::Accepted { b, v: Value(9) },
+            &mut out,
+        );
+        learner.handle(
+            ProcessId::new(2),
+            PaxosMsg::Accepted { b, v: Value(9) },
+            &mut out,
+        );
         assert_eq!(learner.decided(), None);
-        learner.handle(ProcessId::new(3), PaxosMsg::Accepted { b, v: Value(9) }, &mut out);
+        learner.handle(
+            ProcessId::new(3),
+            PaxosMsg::Accepted { b, v: Value(9) },
+            &mut out,
+        );
         assert_eq!(learner.decided(), Some(Value(9)));
     }
 }

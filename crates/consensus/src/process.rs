@@ -62,7 +62,10 @@ pub struct ConsensusConfig {
 impl ConsensusConfig {
     /// Default tuning: check every 80 ticks.
     pub fn new(system: SystemConfig) -> Self {
-        ConsensusConfig { system, ballot_check_period: Duration::from_ticks(80) }
+        ConsensusConfig {
+            system,
+            ballot_check_period: Duration::from_ticks(80),
+        }
     }
 }
 
@@ -110,7 +113,11 @@ impl ConsensusProcess<irs_omega::OmegaProcess> {
             system.n(),
             system.t()
         );
-        Self::new(id, ConsensusConfig::new(system), irs_omega::OmegaProcess::fig3(id, system))
+        Self::new(
+            id,
+            ConsensusConfig::new(system),
+            irs_omega::OmegaProcess::fig3(id, system),
+        )
     }
 }
 
@@ -227,7 +234,7 @@ where
         out.set_timer(TIMER_BALLOT_CHECK, self.cfg.ballot_check_period);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Actions<Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Actions<Self::Msg>) {
         match msg {
             ConsensusMsg::Omega(m) => {
                 let mut inner = Actions::new();
@@ -236,7 +243,7 @@ where
             }
             ConsensusMsg::Paxos(m) => {
                 let mut sends = Vec::new();
-                self.instance.handle(from, m, &mut sends);
+                self.instance.handle(from, *m, &mut sends);
                 self.emit_paxos(sends, out);
             }
         }
@@ -266,9 +273,14 @@ where
 {
     fn snapshot(&self) -> Snapshot {
         let mut snap = self.oracle.snapshot();
-        snap.extra.push(("decided", u64::from(self.instance.decided().is_some())));
-        snap.extra.push(("decided_value", self.instance.decided().map(|v| v.0).unwrap_or(0)));
-        snap.extra.push(("ballots_started", self.instance.ballots_started()));
+        snap.extra
+            .push(("decided", u64::from(self.instance.decided().is_some())));
+        snap.extra.push((
+            "decided_value",
+            self.instance.decided().map(|v| v.0).unwrap_or(0),
+        ));
+        snap.extra
+            .push(("ballots_started", self.instance.ballots_started()));
         snap
     }
 }
@@ -331,7 +343,10 @@ mod tests {
         p.on_start(&mut out);
         let mut out = Actions::new();
         p.on_timer(TIMER_BALLOT_CHECK, &mut out);
-        assert!(!out.sends().iter().any(|s| matches!(s.msg, ConsensusMsg::Paxos(_))));
+        assert!(!out
+            .sends()
+            .iter()
+            .any(|s| matches!(s.msg, ConsensusMsg::Paxos(_))));
         assert_eq!(p.ballots_started(), 0);
     }
 
@@ -366,8 +381,7 @@ mod tests {
             susp: SuspVector::new(5),
         });
         assert_eq!(omega.constrained_round(), Some(irs_types::RoundNum::new(4)));
-        let paxos: ConsensusMsg<OmegaMsg> =
-            ConsensusMsg::Paxos(PaxosMsg::Decide { v: Value(1) });
+        let paxos: ConsensusMsg<OmegaMsg> = ConsensusMsg::Paxos(PaxosMsg::Decide { v: Value(1) });
         assert_eq!(paxos.constrained_round(), None);
     }
 }

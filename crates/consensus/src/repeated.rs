@@ -92,7 +92,11 @@ impl ReplicatedLog<irs_omega::OmegaProcess> {
             system.n(),
             system.t()
         );
-        Self::new(id, ConsensusConfig::new(system), irs_omega::OmegaProcess::fig3(id, system))
+        Self::new(
+            id,
+            ConsensusConfig::new(system),
+            irs_omega::OmegaProcess::fig3(id, system),
+        )
     }
 }
 
@@ -197,7 +201,9 @@ where
     fn instance(&mut self, slot: u64) -> &mut PaxosInstance {
         let id = self.id;
         let system = self.cfg.system;
-        self.instances.entry(slot).or_insert_with(|| PaxosInstance::new(id, system))
+        self.instances
+            .entry(slot)
+            .or_insert_with(|| PaxosInstance::new(id, system))
     }
 
     /// Records a fresh decision, removes the pending value it satisfies, and
@@ -264,7 +270,7 @@ where
         out.set_timer(TIMER_LOG_CHECK, self.cfg.ballot_check_period);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Actions<Self::Msg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Actions<Self::Msg>) {
         match msg {
             LogMsg::Omega(m) => {
                 let mut inner = Actions::new();
@@ -272,15 +278,22 @@ where
                 self.lift_oracle(inner, out);
             }
             LogMsg::Forward { v } => {
-                if !self.decided_values.contains(&v) && !self.pending.contains(&v) {
-                    self.pending.push_back(v);
+                if !self.decided_values.contains(v) && !self.pending.contains(v) {
+                    self.pending.push_back(*v);
                 }
             }
             LogMsg::Slot { slot, msg } => {
+                let (slot, msg) = (*slot, *msg);
                 if let Some(v) = self.decisions.get(&slot).copied() {
                     // Help a lagging peer: the slot is already decided here.
                     if !matches!(msg, PaxosMsg::Decide { .. }) {
-                        out.send(from, LogMsg::Slot { slot, msg: PaxosMsg::Decide { v } });
+                        out.send(
+                            from,
+                            LogMsg::Slot {
+                                slot,
+                                msg: PaxosMsg::Decide { v },
+                            },
+                        );
                     }
                     return;
                 }
@@ -356,7 +369,10 @@ mod tests {
             .sends()
             .iter()
             .filter_map(|s| match &s.msg {
-                LogMsg::Slot { slot, msg: PaxosMsg::Prepare { .. } } => Some(*slot),
+                LogMsg::Slot {
+                    slot,
+                    msg: PaxosMsg::Prepare { .. },
+                } => Some(*slot),
                 _ => None,
             })
             .collect();
@@ -371,7 +387,10 @@ mod tests {
         log.on_start(&mut out);
         let mut out = Actions::new();
         log.on_timer(TIMER_LOG_CHECK, &mut out);
-        assert!(!out.sends().iter().any(|s| matches!(s.msg, LogMsg::Slot { .. })));
+        assert!(!out
+            .sends()
+            .iter()
+            .any(|s| matches!(s.msg, LogMsg::Slot { .. })));
     }
 
     #[test]
@@ -381,7 +400,12 @@ mod tests {
         let mut out = Actions::new();
         log.on_message(
             ProcessId::new(2),
-            LogMsg::Slot { slot: 0, msg: PaxosMsg::Prepare { b: crate::Ballot::new(1, ProcessId::new(2)) } },
+            &LogMsg::Slot {
+                slot: 0,
+                msg: PaxosMsg::Prepare {
+                    b: crate::Ballot::new(1, ProcessId::new(2)),
+                },
+            },
             &mut out,
         );
         assert_eq!(out.sends().len(), 1);
@@ -422,20 +446,34 @@ mod tests {
             .filter(|s| matches!(s.msg, LogMsg::Forward { v } if v == Value(77)))
             .collect();
         assert_eq!(forwarded.len(), 1);
-        assert!(matches!(forwarded[0].dest, irs_types::Destination::To(p) if p == ProcessId::new(0)));
+        assert!(
+            matches!(forwarded[0].dest, irs_types::Destination::To(p) if p == ProcessId::new(0))
+        );
     }
 
     #[test]
     fn forwarded_values_are_queued_once_and_not_after_decision() {
         let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
         let mut out = Actions::new();
-        log.on_message(ProcessId::new(2), LogMsg::Forward { v: Value(5) }, &mut out);
-        log.on_message(ProcessId::new(3), LogMsg::Forward { v: Value(5) }, &mut out);
+        log.on_message(
+            ProcessId::new(2),
+            &LogMsg::Forward { v: Value(5) },
+            &mut out,
+        );
+        log.on_message(
+            ProcessId::new(3),
+            &LogMsg::Forward { v: Value(5) },
+            &mut out,
+        );
         assert_eq!(log.pending_len(), 1);
         log.note_decision(0, Value(5));
         assert_eq!(log.pending_len(), 0);
         // A stale forward of an already decided value is ignored.
-        log.on_message(ProcessId::new(2), LogMsg::Forward { v: Value(5) }, &mut out);
+        log.on_message(
+            ProcessId::new(2),
+            &LogMsg::Forward { v: Value(5) },
+            &mut out,
+        );
         assert_eq!(log.pending_len(), 0);
     }
 

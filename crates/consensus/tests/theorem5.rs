@@ -48,7 +48,10 @@ fn assert_consensus_properties(
         assert_eq!(d.unwrap(), first, "{p} decided differently");
     }
     // Validity: the decision is one of the proposed values.
-    assert!((1000..1000 + system().n() as u64).contains(&first.0), "decided {first}");
+    assert!(
+        (1000..1000 + system().n() as u64).contains(&first.0),
+        "decided {first}"
+    );
 }
 
 #[test]
@@ -63,7 +66,10 @@ fn consensus_under_a_prime_without_crashes() {
     );
     sim.start();
     while sim.step() {
-        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+        if sys
+            .processes()
+            .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some())
+        {
             break;
         }
     }
@@ -85,7 +91,10 @@ fn consensus_survives_crash_of_initial_leader() {
     );
     sim.start();
     while sim.step() {
-        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+        if sys
+            .processes()
+            .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some())
+        {
             break;
         }
     }
@@ -111,7 +120,10 @@ fn consensus_under_intermittent_star() {
     );
     sim.start();
     while sim.step() {
-        if sys.processes().all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some()) {
+        if sys
+            .processes()
+            .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some())
+        {
             break;
         }
     }
@@ -153,7 +165,11 @@ fn replicated_log_converges_to_identical_prefixes() {
     assert!(min_len >= 3, "logs too short: {logs:?}");
     // Total order: every pair of logs agrees on the common prefix.
     for log in &logs {
-        assert_eq!(&log[..min_len], &logs[0][..min_len], "logs diverged: {logs:?}");
+        assert_eq!(
+            &log[..min_len],
+            &logs[0][..min_len],
+            "logs diverged: {logs:?}"
+        );
     }
     // No duplicates within the common prefix.
     let mut seen = std::collections::BTreeSet::new();

@@ -150,7 +150,9 @@ impl OmegaConfig {
     /// Returns an error if the send period is zero.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.send_period.is_zero() {
-            return Err(ConfigError::ZeroParameter { name: "send_period" });
+            return Err(ConfigError::ZeroParameter {
+                name: "send_period",
+            });
         }
         Ok(())
     }
@@ -187,7 +189,10 @@ mod tests {
         assert!(!Variant::Fig2.uses_min_bound());
         assert!(Variant::Fig3.uses_window());
         assert!(Variant::Fig3.uses_min_bound());
-        let fg = Variant::Fg { f: GrowthFn::Sqrt, g: GrowthFn::Constant(2) };
+        let fg = Variant::Fg {
+            f: GrowthFn::Sqrt,
+            g: GrowthFn::Constant(2),
+        };
         assert!(fg.uses_window());
         assert!(fg.uses_min_bound());
         assert_eq!(fg.f(), GrowthFn::Sqrt);
@@ -219,13 +224,26 @@ mod tests {
 
     #[test]
     fn timer_ticks_scale_with_susp_and_g() {
-        let cfg = OmegaConfig::new(system(), Variant::Fig3).with_timeout_unit(Duration::from_ticks(4));
+        let cfg =
+            OmegaConfig::new(system(), Variant::Fig3).with_timeout_unit(Duration::from_ticks(4));
         assert_eq!(cfg.timer_ticks(0, RoundNum::new(1)), Duration::ZERO);
-        assert_eq!(cfg.timer_ticks(3, RoundNum::new(1)), Duration::from_ticks(12));
+        assert_eq!(
+            cfg.timer_ticks(3, RoundNum::new(1)),
+            Duration::from_ticks(12)
+        );
 
-        let fg = OmegaConfig::new(system(), Variant::Fg { f: GrowthFn::Zero, g: GrowthFn::Constant(7) })
-            .with_timeout_unit(Duration::from_ticks(4));
-        assert_eq!(fg.timer_ticks(3, RoundNum::new(10)), Duration::from_ticks(19));
+        let fg = OmegaConfig::new(
+            system(),
+            Variant::Fg {
+                f: GrowthFn::Zero,
+                g: GrowthFn::Constant(7),
+            },
+        )
+        .with_timeout_unit(Duration::from_ticks(4));
+        assert_eq!(
+            fg.timer_ticks(3, RoundNum::new(10)),
+            Duration::from_ticks(19)
+        );
     }
 
     #[test]
@@ -234,7 +252,10 @@ mod tests {
         assert_eq!(plain.window_lookback(5, RoundNum::new(100)), 5);
         let fg = OmegaConfig::new(
             system(),
-            Variant::Fg { f: GrowthFn::Constant(3), g: GrowthFn::Zero },
+            Variant::Fg {
+                f: GrowthFn::Constant(3),
+                g: GrowthFn::Zero,
+            },
         );
         assert_eq!(fg.window_lookback(5, RoundNum::new(100)), 8);
     }

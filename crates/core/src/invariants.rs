@@ -89,10 +89,11 @@ impl MonotonicityChecker {
     pub fn observe(&mut self, pid: ProcessId, levels: &[u64]) {
         self.observations += 1;
         let prev = &mut self.last[pid.index()];
-        if !prev.is_empty() && prev.len() == levels.len() {
-            if prev.iter().zip(levels).any(|(old, new)| new < old) {
-                self.violations += 1;
-            }
+        if !prev.is_empty()
+            && prev.len() == levels.len()
+            && prev.iter().zip(levels).any(|(old, new)| new < old)
+        {
+            self.violations += 1;
         }
         *prev = levels.to_vec();
     }

@@ -77,8 +77,14 @@ mod tests {
 
     #[test]
     fn alive_is_constrained_suspicion_is_not() {
-        let alive = OmegaMsg::Alive { rn: RoundNum::new(7), susp: SuspVector::new(4) };
-        let susp = OmegaMsg::Suspicion { rn: RoundNum::new(7), suspects: ProcessSet::empty(4) };
+        let alive = OmegaMsg::Alive {
+            rn: RoundNum::new(7),
+            susp: SuspVector::new(4),
+        };
+        let susp = OmegaMsg::Suspicion {
+            rn: RoundNum::new(7),
+            suspects: ProcessSet::empty(4),
+        };
         assert_eq!(alive.constrained_round(), Some(RoundNum::new(7)));
         assert_eq!(susp.constrained_round(), None);
         assert!(alive.is_alive());
@@ -89,12 +95,21 @@ mod tests {
 
     #[test]
     fn size_estimates_scale_with_n() {
-        let small = OmegaMsg::Alive { rn: RoundNum::new(1), susp: SuspVector::new(4) };
-        let large = OmegaMsg::Alive { rn: RoundNum::new(1), susp: SuspVector::new(64) };
+        let small = OmegaMsg::Alive {
+            rn: RoundNum::new(1),
+            susp: SuspVector::new(4),
+        };
+        let large = OmegaMsg::Alive {
+            rn: RoundNum::new(1),
+            susp: SuspVector::new(64),
+        };
         assert!(large.estimated_size() > small.estimated_size());
         assert_eq!(small.estimated_size(), 1 + 8 + 32);
 
-        let s4 = OmegaMsg::Suspicion { rn: RoundNum::new(1), suspects: ProcessSet::empty(4) };
+        let s4 = OmegaMsg::Suspicion {
+            rn: RoundNum::new(1),
+            suspects: ProcessSet::empty(4),
+        };
         let s64 = OmegaMsg::Suspicion {
             rn: RoundNum::new(1),
             suspects: ProcessSet::from_ids(64, ProcessId::all(64)),

@@ -2,8 +2,8 @@
 
 use crate::{OmegaConfig, OmegaMsg, RoundBook, SuspVector, Variant};
 use irs_types::{
-    Actions, Duration, GrowthFn, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum,
-    Snapshot, SystemConfig, TimerId,
+    Actions, Duration, GrowthFn, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, Snapshot,
+    SystemConfig, TimerId,
 };
 
 /// Timer of task `T1`: the periodic `ALIVE` broadcast ("repeat regularly").
@@ -160,7 +160,10 @@ impl OmegaProcess {
     fn broadcast_alive(&mut self, out: &mut Actions<OmegaMsg>) {
         self.s_rn += 1;
         self.metrics.alive_broadcasts += 1;
-        out.broadcast_others(OmegaMsg::Alive { rn: self.s_rn, susp: self.susp.clone() });
+        out.broadcast_others(OmegaMsg::Alive {
+            rn: self.s_rn,
+            susp: self.susp.clone(),
+        });
         out.set_timer(TIMER_BROADCAST, self.cfg.send_period);
     }
 
@@ -230,14 +233,16 @@ impl Protocol for OmegaProcess {
         out.set_timer(TIMER_ROUND, Duration::ZERO);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: OmegaMsg, out: &mut Actions<OmegaMsg>) {
+    fn on_message(&mut self, from: ProcessId, msg: &OmegaMsg, out: &mut Actions<OmegaMsg>) {
         match msg {
             OmegaMsg::Alive { rn, susp } => {
-                // Line 5: entry-wise max merge of the gossiped vector.
-                self.susp.merge_max(&susp);
+                // Line 5: entry-wise max merge of the gossiped vector. The
+                // borrowed payload is only read — a broadcast costs no
+                // per-receiver copy of the vector.
+                self.susp.merge_max(susp);
                 // Line 6: record the sender if the message is not late.
-                if rn >= self.r_rn {
-                    self.book.record_alive(rn, from);
+                if *rn >= self.r_rn {
+                    self.book.record_alive(*rn, from);
                     self.metrics.alives_recorded += 1;
                 } else {
                     self.metrics.alives_late += 1;
@@ -245,7 +250,7 @@ impl Protocol for OmegaProcess {
                 self.try_close_round(out);
             }
             OmegaMsg::Suspicion { rn, suspects } => {
-                self.handle_suspicion(rn, &suspects);
+                self.handle_suspicion(*rn, suspects);
             }
         }
     }
@@ -283,8 +288,14 @@ impl Introspect for OmegaProcess {
                 ("rounds_closed", self.metrics.rounds_closed),
                 ("susp_increments", self.metrics.susp_increments),
                 ("max_timer_ticks", self.metrics.max_timer_ticks),
-                ("retained_suspicion_rounds", self.book.retained_suspicion_rounds() as u64),
-                ("retained_rec_from_rounds", self.book.retained_rec_from_rounds() as u64),
+                (
+                    "retained_suspicion_rounds",
+                    self.book.retained_suspicion_rounds() as u64,
+                ),
+                (
+                    "retained_rec_from_rounds",
+                    self.book.retained_rec_from_rounds() as u64,
+                ),
             ],
         }
     }
@@ -299,8 +310,11 @@ mod tests {
         SystemConfig::new(4, 1).unwrap()
     }
 
-    fn drain_sends(out: &Actions<OmegaMsg>) -> Vec<(Destination, OmegaMsg)> {
-        out.sends().iter().map(|o| (o.dest, o.msg.clone())).collect()
+    /// Consumes the action buffer, returning the recorded sends without
+    /// cloning any payload.
+    fn drain_sends(out: Actions<OmegaMsg>) -> Vec<(Destination, OmegaMsg)> {
+        let (sends, _timers, _cancels) = out.into_parts();
+        sends.into_iter().map(|o| (o.dest, o.msg)).collect()
     }
 
     /// Feed a SUSPICION(rn, {k}) from `quorum` distinct senders.
@@ -309,7 +323,7 @@ mod tests {
             let mut out = Actions::new();
             p.on_message(
                 ProcessId::new(sender as u32),
-                OmegaMsg::Suspicion {
+                &OmegaMsg::Suspicion {
                     rn: RoundNum::new(rn),
                     suspects: ProcessSet::from_ids(4, [ProcessId::new(k)]),
                 },
@@ -323,11 +337,11 @@ mod tests {
         let mut p = OmegaProcess::fig3(ProcessId::new(2), system());
         let mut out = Actions::new();
         p.on_start(&mut out);
-        let sends = drain_sends(&out);
+        assert_eq!(out.timers().len(), 2);
+        let sends = drain_sends(out);
         assert_eq!(sends.len(), 1);
         assert!(matches!(&sends[0].1, OmegaMsg::Alive { rn, .. } if *rn == RoundNum::FIRST));
         assert!(matches!(sends[0].0, Destination::AllOthers));
-        assert_eq!(out.timers().len(), 2);
         assert_eq!(p.sending_round(), RoundNum::FIRST);
         assert_eq!(p.receiving_round(), RoundNum::FIRST);
     }
@@ -341,7 +355,7 @@ mod tests {
             let mut out = Actions::new();
             p.on_timer(TIMER_BROADCAST, &mut out);
             assert_eq!(p.sending_round(), RoundNum::new(expected));
-            let sends = drain_sends(&out);
+            let sends = drain_sends(out);
             assert!(matches!(&sends[0].1, OmegaMsg::Alive { rn, .. } if rn.value() == expected));
         }
         assert_eq!(p.metrics().alive_broadcasts, 5);
@@ -359,7 +373,10 @@ mod tests {
             let mut out = Actions::new();
             p.on_message(
                 ProcessId::new(sender),
-                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &OmegaMsg::Alive {
+                    rn: RoundNum::FIRST,
+                    susp: SuspVector::new(4),
+                },
                 &mut out,
             );
             assert!(out.sends().is_empty());
@@ -369,7 +386,7 @@ mod tests {
         // Timer expiry closes the round and suspects the silent process p4.
         let mut out = Actions::new();
         p.on_timer(TIMER_ROUND, &mut out);
-        let sends = drain_sends(&out);
+        let sends = drain_sends(out);
         assert_eq!(sends.len(), 1);
         match &sends[0] {
             (Destination::All, OmegaMsg::Suspicion { rn, suspects }) => {
@@ -396,7 +413,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(1),
-            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+            &OmegaMsg::Alive {
+                rn: RoundNum::FIRST,
+                susp: SuspVector::new(4),
+            },
             &mut out,
         );
         assert!(out.sends().is_empty());
@@ -404,7 +424,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(2),
-            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+            &OmegaMsg::Alive {
+                rn: RoundNum::FIRST,
+                susp: SuspVector::new(4),
+            },
             &mut out,
         );
         assert_eq!(out.sends().len(), 1);
@@ -420,7 +443,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(1),
-            OmegaMsg::Alive { rn: RoundNum::new(5), susp: SuspVector::new(4) },
+            &OmegaMsg::Alive {
+                rn: RoundNum::new(5),
+                susp: SuspVector::new(4),
+            },
             &mut out,
         );
         assert_eq!(p.metrics().alives_recorded, 1);
@@ -428,7 +454,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(1),
-            OmegaMsg::Alive { rn: RoundNum::ZERO, susp: SuspVector::from_levels(vec![0, 0, 9, 0]) },
+            &OmegaMsg::Alive {
+                rn: RoundNum::ZERO,
+                susp: SuspVector::from_levels(vec![0, 0, 9, 0]),
+            },
             &mut out,
         );
         assert_eq!(p.metrics().alives_late, 1);
@@ -444,7 +473,10 @@ mod tests {
         let mut out = Actions::new();
         p.on_message(
             ProcessId::new(1),
-            OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::from_levels(vec![4, 2, 3, 3]) },
+            &OmegaMsg::Alive {
+                rn: RoundNum::FIRST,
+                susp: SuspVector::from_levels(vec![4, 2, 3, 3]),
+            },
             &mut out,
         );
         // Now p2 (index 1) has the smallest level.
@@ -524,7 +556,10 @@ mod tests {
             let mut out = Actions::new();
             p.on_message(
                 ProcessId::new(sender),
-                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &OmegaMsg::Alive {
+                    rn: RoundNum::FIRST,
+                    susp: SuspVector::new(4),
+                },
                 &mut out,
             );
         }
@@ -549,7 +584,10 @@ mod tests {
             let mut out = Actions::new();
             p.on_message(
                 ProcessId::new(sender),
-                OmegaMsg::Alive { rn: RoundNum::FIRST, susp: SuspVector::new(4) },
+                &OmegaMsg::Alive {
+                    rn: RoundNum::FIRST,
+                    susp: SuspVector::new(4),
+                },
                 &mut out,
             );
         }
@@ -600,9 +638,15 @@ mod tests {
 
     #[test]
     fn messages_are_round_tagged_correctly() {
-        let alive = OmegaMsg::Alive { rn: RoundNum::new(3), susp: SuspVector::new(4) };
+        let alive = OmegaMsg::Alive {
+            rn: RoundNum::new(3),
+            susp: SuspVector::new(4),
+        };
         assert_eq!(alive.constrained_round(), Some(RoundNum::new(3)));
-        let susp = OmegaMsg::Suspicion { rn: RoundNum::new(3), suspects: ProcessSet::empty(4) };
+        let susp = OmegaMsg::Suspicion {
+            rn: RoundNum::new(3),
+            suspects: ProcessSet::empty(4),
+        };
         assert_eq!(susp.constrained_round(), None);
     }
 }

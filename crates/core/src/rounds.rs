@@ -3,6 +3,11 @@
 use irs_types::{ProcessId, ProcessSet, RoundNum};
 use std::collections::BTreeMap;
 
+/// Associativity of the in-[`RoundBook`] round cache. Must exceed the spread
+/// of rounds that concurrently receive suspicion votes (delay spread divided
+/// by the broadcast period); evictions beyond it are correct, just slower.
+const WAYS: usize = 64;
+
 /// The per-round state of one Ω process: which processes it has heard an
 /// `ALIVE(rn)` from, and how many `SUSPICION(rn, …)` votes it has counted
 /// against each process.
@@ -27,7 +32,22 @@ pub struct RoundBook {
     owner: ProcessId,
     n: usize,
     rec_from: BTreeMap<RoundNum, ProcessSet>,
+    /// Direct-mapped cache over `rec_from`, same discipline as the suspicion
+    /// cache below: a round's heard-set lives in exactly one of its cache way
+    /// or the map. `ALIVE` recording and the round-close predicate then stay
+    /// off the map entirely in the common case.
+    rec_rn: Vec<RoundNum>,
+    rec_cache: Vec<ProcessSet>,
+    /// Rounds strictly below this have been pruned from `rec_from`.
+    rec_floor: RoundNum,
     suspicions: BTreeMap<RoundNum, Vec<u32>>,
+    /// Direct-mapped cache of vote counts for recent rounds (way = `rn mod
+    /// WAYS`). Suspicion votes cluster on a sliding window of rounds whose
+    /// width is the message-delay spread; with the window in cache, counting
+    /// a vote is an array access instead of a `BTreeMap` operation. A round's
+    /// counts live in exactly one place: its cache way or the map.
+    cache_rn: Vec<RoundNum>,
+    cache: Vec<Vec<u32>>,
     /// Rounds strictly below this have been pruned.
     floor: RoundNum,
     /// Extra rounds of suspicion history to retain beyond the largest window
@@ -46,7 +66,12 @@ impl RoundBook {
             owner,
             n,
             rec_from: BTreeMap::new(),
+            rec_rn: vec![RoundNum::ZERO; WAYS],
+            rec_cache: (0..WAYS).map(|_| ProcessSet::empty(n)).collect(),
+            rec_floor: RoundNum::FIRST,
             suspicions: BTreeMap::new(),
+            cache_rn: vec![RoundNum::ZERO; WAYS],
+            cache: (0..WAYS).map(|_| vec![0; n]).collect(),
             floor: RoundNum::FIRST,
             retention,
             max_lookback_seen: 0,
@@ -55,24 +80,45 @@ impl RoundBook {
 
     /// Records the reception of `ALIVE(rn)` from `from` (line 6).
     pub fn record_alive(&mut self, rn: RoundNum, from: ProcessId) {
-        let owner = self.owner;
-        let n = self.n;
-        self.rec_from
-            .entry(rn)
-            .or_insert_with(|| ProcessSet::singleton(n, owner))
-            .insert(from);
+        if rn < self.rec_floor {
+            return; // the round was pruned; it is never read again
+        }
+        let way = (rn.value() % WAYS as u64) as usize;
+        if self.rec_rn[way] != rn {
+            let occupant = self.rec_rn[way];
+            let owner = self.owner;
+            let incoming = self
+                .rec_from
+                .remove(&rn)
+                .unwrap_or_else(|| ProcessSet::singleton(self.rec_cache[way].capacity(), owner));
+            let spilled = std::mem::replace(&mut self.rec_cache[way], incoming);
+            if occupant != RoundNum::ZERO && occupant >= self.rec_floor {
+                self.rec_from.insert(occupant, spilled);
+            }
+            self.rec_rn[way] = rn;
+        }
+        self.rec_cache[way].insert(from);
+    }
+
+    /// Looks up the heard-set of `rn`, wherever it currently lives.
+    fn rec_set(&self, rn: RoundNum) -> Option<&ProcessSet> {
+        let way = (rn.value() % WAYS as u64) as usize;
+        if self.rec_rn[way] == rn {
+            return Some(&self.rec_cache[way]);
+        }
+        self.rec_from.get(&rn)
     }
 
     /// The number of processes heard from in round `rn` (the owner always
     /// counts, per the paper's initialisation `rec_from_i[rn] = {i}`).
     pub fn heard_count(&self, rn: RoundNum) -> usize {
-        self.rec_from.get(&rn).map_or(1, |s| s.len())
+        self.rec_set(rn).map_or(1, |s| s.len())
     }
 
     /// The set `Π ∖ rec_from_i[rn]` (line 9).
     pub fn suspects(&self, rn: RoundNum) -> ProcessSet {
         let all = ProcessSet::full(self.n);
-        match self.rec_from.get(&rn) {
+        match self.rec_set(rn) {
             Some(heard) => all.difference(heard),
             None => all.difference(&ProcessSet::singleton(self.n, self.owner)),
         }
@@ -87,14 +133,43 @@ impl RoundBook {
             // unsatisfied), so drop it.
             return 0;
         }
-        let n = self.n;
-        let counts = self.suspicions.entry(rn).or_insert_with(|| vec![0; n]);
+        let counts = self.cached_counts(rn);
         counts[k.index()] += 1;
         counts[k.index()]
     }
 
+    /// Loads `rn`'s vote counts into its cache way and returns them.
+    fn cached_counts(&mut self, rn: RoundNum) -> &mut [u32] {
+        let way = (rn.value() % WAYS as u64) as usize;
+        if self.cache_rn[way] != rn {
+            let occupant = self.cache_rn[way];
+            if occupant != RoundNum::ZERO && occupant >= self.floor {
+                // Spill the live occupant to the map and bring in `rn`'s
+                // counts (or a zeroed buffer for a fresh round).
+                let incoming = self
+                    .suspicions
+                    .remove(&rn)
+                    .unwrap_or_else(|| vec![0; self.n]);
+                let spilled = std::mem::replace(&mut self.cache[way], incoming);
+                self.suspicions.insert(occupant, spilled);
+            } else {
+                // Vacant (or pruned) way: reuse its buffer.
+                match self.suspicions.remove(&rn) {
+                    Some(incoming) => self.cache[way] = incoming,
+                    None => self.cache[way].fill(0),
+                }
+            }
+            self.cache_rn[way] = rn;
+        }
+        &mut self.cache[way]
+    }
+
     /// The number of `SUSPICION(rn, …)` votes counted against `k`.
     pub fn suspicion_count(&self, rn: RoundNum, k: ProcessId) -> u32 {
+        let way = (rn.value() % WAYS as u64) as usize;
+        if self.cache_rn[way] == rn {
+            return self.cache[way][k.index()];
+        }
         self.suspicions.get(&rn).map_or(0, |c| c[k.index()])
     }
 
@@ -104,7 +179,13 @@ impl RoundBook {
     ///
     /// Rounds that were pruned (below the retention floor) count as *not*
     /// satisfying the condition.
-    pub fn window_suspected(&mut self, k: ProcessId, rn: RoundNum, lookback: u64, quorum: u32) -> bool {
+    pub fn window_suspected(
+        &mut self,
+        k: ProcessId,
+        rn: RoundNum,
+        lookback: u64,
+        quorum: u32,
+    ) -> bool {
         self.max_lookback_seen = self.max_lookback_seen.max(lookback);
         let low = rn.saturating_back(lookback).max(RoundNum::FIRST);
         if low < self.floor {
@@ -118,23 +199,63 @@ impl RoundBook {
         true
     }
 
+    /// Clears the cache ways owned by rounds in `[old_floor, new_floor)`.
+    ///
+    /// The floor advances by one round per close, so the incremental loop is
+    /// O(1); if it ever jumps past the cache size, one full sweep evicting
+    /// everything below the new floor is cheaper.
+    fn evict_ways(ways: &mut [RoundNum], old_floor: RoundNum, new_floor: RoundNum) {
+        if new_floor - old_floor >= WAYS as u64 {
+            for rn in ways {
+                if *rn < new_floor {
+                    *rn = RoundNum::ZERO;
+                }
+            }
+        } else {
+            let mut r = old_floor;
+            while r < new_floor {
+                let way = (r.value() % WAYS as u64) as usize;
+                if ways[way] == r {
+                    ways[way] = RoundNum::ZERO;
+                }
+                r = r.next();
+            }
+        }
+    }
+
     /// Drops bookkeeping that can no longer influence the algorithm, given
     /// that the receiving round has advanced to `r_rn`.
     pub fn prune(&mut self, r_rn: RoundNum) {
-        // rec_from is only read at r_rn and written at rn ≥ r_rn.
-        self.rec_from.retain(|rn, _| *rn >= r_rn);
+        // rec_from is only read at r_rn and written at rn ≥ r_rn. Pop from
+        // the front instead of `retain`: this runs once per closed round, and
+        // scanning the whole map would make closing a round O(retained
+        // rounds) instead of O(rounds actually dropped).
+        if r_rn > self.rec_floor {
+            Self::evict_ways(&mut self.rec_rn, self.rec_floor, r_rn);
+            self.rec_floor = r_rn;
+        }
+        while let Some(entry) = self.rec_from.first_entry() {
+            if *entry.key() >= r_rn {
+                break;
+            }
+            entry.remove();
+        }
         if self.retention == 0 {
             return;
         }
         // Keep at least the largest window ever requested, plus slack, plus
         // the configured retention.
-        let keep = self
-            .retention
-            .max(self.max_lookback_seen.saturating_add(2));
+        let keep = self.retention.max(self.max_lookback_seen.saturating_add(2));
         let new_floor = r_rn.saturating_back(keep);
         if new_floor > self.floor {
+            Self::evict_ways(&mut self.cache_rn, self.floor, new_floor);
             self.floor = new_floor;
-            self.suspicions.retain(|rn, _| *rn >= new_floor);
+            while let Some(entry) = self.suspicions.first_entry() {
+                if *entry.key() >= new_floor {
+                    break;
+                }
+                entry.remove();
+            }
         }
     }
 
@@ -142,11 +263,21 @@ impl RoundBook {
     /// for the memory-boundedness experiment).
     pub fn retained_suspicion_rounds(&self) -> usize {
         self.suspicions.len()
+            + self
+                .cache_rn
+                .iter()
+                .filter(|&&rn| rn != RoundNum::ZERO && rn >= self.floor)
+                .count()
     }
 
     /// Number of rounds currently retained in the `rec_from` table.
     pub fn retained_rec_from_rounds(&self) -> usize {
         self.rec_from.len()
+            + self
+                .rec_rn
+                .iter()
+                .filter(|&&rn| rn != RoundNum::ZERO && rn >= self.rec_floor)
+                .count()
     }
 }
 
@@ -175,7 +306,10 @@ mod tests {
         b.record_alive(RoundNum::new(2), ProcessId::new(3)); // duplicate is idempotent
         assert_eq!(b.heard_count(RoundNum::new(2)), 3);
         let suspects = b.suspects(RoundNum::new(2));
-        assert_eq!(suspects.to_vec(), vec![ProcessId::new(2), ProcessId::new(4)]);
+        assert_eq!(
+            suspects.to_vec(),
+            vec![ProcessId::new(2), ProcessId::new(4)]
+        );
     }
 
     #[test]
@@ -262,6 +396,10 @@ mod tests {
         // A window of 30 has been requested: pruning must keep at least 32.
         assert!(b.window_suspected(k, RoundNum::new(60), 30, 1));
         b.prune(RoundNum::new(60));
-        assert!(b.retained_suspicion_rounds() >= 32, "{}", b.retained_suspicion_rounds());
+        assert!(
+            b.retained_suspicion_rounds() >= 32,
+            "{}",
+            b.retained_suspicion_rounds()
+        );
     }
 }

@@ -30,17 +30,42 @@ use irs_types::ProcessId;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SuspVector {
     levels: Vec<u64>,
+    /// Cached index of the lexicographically least-suspected process.
+    ///
+    /// `leader()` is consulted by the simulation driver after *every*
+    /// delivered event; entries only ever increase, so the argmin can only
+    /// change when the current leader's own entry grows — the mutators below
+    /// recompute it exactly then. The cache is a pure function of `levels`,
+    /// so derived equality stays consistent.
+    leader: u32,
 }
 
 impl SuspVector {
     /// Creates an all-zero vector for `n` processes.
     pub fn new(n: usize) -> Self {
-        SuspVector { levels: vec![0; n] }
+        SuspVector {
+            levels: vec![0; n],
+            leader: 0,
+        }
     }
 
     /// Creates a vector from raw levels (mainly for tests).
     pub fn from_levels(levels: Vec<u64>) -> Self {
-        SuspVector { levels }
+        let mut v = SuspVector { levels, leader: 0 };
+        v.recompute_leader();
+        v
+    }
+
+    fn recompute_leader(&mut self) {
+        let mut best = 0u32;
+        let mut best_level = self.levels.first().copied().unwrap_or(0);
+        for (i, &level) in self.levels.iter().enumerate().skip(1) {
+            if level < best_level {
+                best = i as u32;
+                best_level = level;
+            }
+        }
+        self.leader = best;
     }
 
     /// Number of entries (the system size `n`).
@@ -65,6 +90,9 @@ impl SuspVector {
     /// Increments the suspicion level of `p` (line 17).
     pub fn increment(&mut self, p: ProcessId) {
         self.levels[p.index()] += 1;
+        if p.index() as u32 == self.leader {
+            self.recompute_leader();
+        }
     }
 
     /// Entry-wise maximum with another vector (line 5, the gossip merge).
@@ -73,9 +101,19 @@ impl SuspVector {
     ///
     /// Panics if the two vectors have different lengths.
     pub fn merge_max(&mut self, other: &SuspVector) {
-        assert_eq!(self.levels.len(), other.levels.len(), "merging vectors of different systems");
+        assert_eq!(
+            self.levels.len(),
+            other.levels.len(),
+            "merging vectors of different systems"
+        );
+        let leader_level_before = self.levels.get(self.leader as usize).copied();
         for (a, b) in self.levels.iter_mut().zip(&other.levels) {
             *a = (*a).max(*b);
+        }
+        // Entries never decrease, so only a raise of the current leader's own
+        // entry can move the argmin.
+        if self.levels.get(self.leader as usize).copied() != leader_level_before {
+            self.recompute_leader();
         }
     }
 
@@ -90,17 +128,10 @@ impl SuspVector {
     }
 
     /// The process with the lexicographically smallest `(level, id)` pair —
-    /// the leader (lines 19–21 of Figure 1).
+    /// the leader (lines 19–21 of Figure 1). O(1): the argmin is maintained
+    /// by the mutators.
     pub fn least_suspected(&self) -> ProcessId {
-        let mut best = ProcessId::new(0);
-        let mut best_level = self.levels.first().copied().unwrap_or(0);
-        for (i, &level) in self.levels.iter().enumerate().skip(1) {
-            if level < best_level {
-                best = ProcessId::new(i as u32);
-                best_level = level;
-            }
-        }
-        best
+        ProcessId::new(self.leader)
     }
 
     /// A read-only view of the raw levels, indexed by process index.
@@ -196,8 +227,8 @@ mod tests {
             let min = levels.iter().copied().min().unwrap();
             prop_assert_eq!(v.get(leader), min);
             // And no smaller id has the same level.
-            for i in 0..leader.index() {
-                prop_assert!(levels[i] > min);
+            for &level in &levels[..leader.index()] {
+                prop_assert!(level > min);
             }
         }
     }

@@ -48,9 +48,23 @@ fn fig1_elects_leader_under_a_prime() {
     let system = SystemConfig::new(5, 2).unwrap();
     let center = ProcessId::new(3);
     let adversary = StarAdversary::new(StarConfig::a_prime(system, center), 11);
-    let report = run(system, Variant::Fig1, adversary, CrashPlan::new(), 1, 400_000);
-    assert!(report.is_stable(), "history: {:?}", report.leader_history.len());
-    assert!(invariants::leadership_holds(&report.final_snapshots, &report.crashed));
+    let report = run(
+        system,
+        Variant::Fig1,
+        adversary,
+        CrashPlan::new(),
+        1,
+        400_000,
+    );
+    assert!(
+        report.is_stable(),
+        "history: {:?}",
+        report.leader_history.len()
+    );
+    assert!(invariants::leadership_holds(
+        &report.final_snapshots,
+        &report.crashed
+    ));
 }
 
 /// Theorem 3: Figure 3 implements Ω under A (intermittent rotating star).
@@ -66,12 +80,20 @@ fn fig3_elects_leader_under_intermittent_star() {
         background(),
         13,
     );
-    let report = run(system, Variant::Fig3, adversary, CrashPlan::new(), 2, 400_000);
+    let report = run(
+        system,
+        Variant::Fig3,
+        adversary,
+        CrashPlan::new(),
+        2,
+        400_000,
+    );
     assert!(report.is_stable());
     let (_, bounded) = invariants::theorem4_bound(&report.final_snapshots);
     assert!(bounded, "Theorem 4 bound violated");
     for snap in report.final_snapshots.iter().flatten() {
-        let spread = snap.susp_levels.iter().max().unwrap() - snap.susp_levels.iter().min().unwrap();
+        let spread =
+            snap.susp_levels.iter().max().unwrap() - snap.susp_levels.iter().min().unwrap();
         assert!(spread <= 1, "Lemma 8 violated: {:?}", snap.susp_levels);
     }
 }
@@ -89,7 +111,11 @@ fn leader_crash_triggers_reelection() {
     let report = run(system, Variant::Fig3, adversary, crashes, 3, 600_000);
     assert!(report.is_stable());
     let leader = report.stabilization.unwrap().leader;
-    assert_ne!(leader, ProcessId::new(0), "crashed process must not stay leader");
+    assert_ne!(
+        leader,
+        ProcessId::new(0),
+        "crashed process must not stay leader"
+    );
     assert!(!report.crashed.contains(&leader));
     // The crashed process is (among) the most suspected at every live process.
     for snap in report.final_snapshots.iter().flatten() {
@@ -108,14 +134,36 @@ fn fig3_works_under_all_special_case_assumptions() {
     let center = ProcessId::new(2);
     let delta = Duration::from_ticks(8);
     let cases: Vec<(&str, StarAdversary)> = vec![
-        ("t-source", presets::eventual_t_source(system, center, delta, background(), 5)),
-        ("moving", presets::eventual_t_moving_source(system, center, delta, background(), 5)),
-        ("pattern", presets::message_pattern(system, center, background(), 5)),
-        ("combined", presets::combined_fixed(system, center, delta, background(), 5)),
+        (
+            "t-source",
+            presets::eventual_t_source(system, center, delta, background(), 5),
+        ),
+        (
+            "moving",
+            presets::eventual_t_moving_source(system, center, delta, background(), 5),
+        ),
+        (
+            "pattern",
+            presets::message_pattern(system, center, background(), 5),
+        ),
+        (
+            "combined",
+            presets::combined_fixed(system, center, delta, background(), 5),
+        ),
     ];
     for (name, adversary) in cases {
-        let report = run(system, Variant::Fig3, adversary, CrashPlan::new(), 7, 400_000);
-        assert!(report.is_stable(), "assumption {name} failed to elect a leader");
+        let report = run(
+            system,
+            Variant::Fig3,
+            adversary,
+            CrashPlan::new(),
+            7,
+            400_000,
+        );
+        assert!(
+            report.is_stable(),
+            "assumption {name} failed to elect a leader"
+        );
     }
 }
 

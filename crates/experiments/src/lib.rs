@@ -27,5 +27,5 @@ pub mod suite;
 mod table;
 
 pub use outcome::{Aggregate, RunOutcome};
-pub use scenario::{Algorithm, Assumption, Background, Scenario};
+pub use scenario::{run_batch, Algorithm, Assumption, Background, Scenario};
 pub use table::Table;

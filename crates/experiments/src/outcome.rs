@@ -5,7 +5,7 @@ use irs_types::ProcessId;
 
 /// What one simulated run produced, reduced to the quantities the
 /// experiment tables report.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunOutcome {
     /// Did the run end with all live processes agreeing on a live leader?
     pub stabilized: bool,
@@ -147,22 +147,37 @@ pub struct Aggregate {
 impl Aggregate {
     /// Aggregates a batch of outcomes.
     pub fn from_outcomes(outcomes: &[RunOutcome]) -> Self {
-        let stab_times: Vec<u64> = outcomes.iter().filter_map(|o| o.stabilization_ticks).collect();
+        let stab_times: Vec<u64> = outcomes
+            .iter()
+            .filter_map(|o| o.stabilization_ticks)
+            .collect();
         Aggregate {
             runs: outcomes.len(),
             stabilized: outcomes.iter().filter(|o| o.stabilized).count(),
             stab_time: Summary::from_samples(&stab_times),
-            messages: Summary::from_samples(&outcomes.iter().map(|o| o.messages_sent).collect::<Vec<_>>()),
-            bytes: Summary::from_samples(&outcomes.iter().map(|o| o.bytes_sent).collect::<Vec<_>>()),
+            messages: Summary::from_samples(
+                &outcomes.iter().map(|o| o.messages_sent).collect::<Vec<_>>(),
+            ),
+            bytes: Summary::from_samples(
+                &outcomes.iter().map(|o| o.bytes_sent).collect::<Vec<_>>(),
+            ),
             max_susp_level: outcomes.iter().map(|o| o.max_susp_level).max().unwrap_or(0),
-            max_timer_ticks: outcomes.iter().map(|o| o.max_timer_ticks).max().unwrap_or(0),
+            max_timer_ticks: outcomes
+                .iter()
+                .map(|o| o.max_timer_ticks)
+                .max()
+                .unwrap_or(0),
             max_spread: outcomes.iter().map(|o| o.susp_spread).max().unwrap_or(0),
             theorem4_all_hold: outcomes.iter().all(|o| o.theorem4_holds),
             leader_was_center: outcomes.iter().filter(|o| o.leader_is_center).count(),
             mean_distinct_leaders: if outcomes.is_empty() {
                 0.0
             } else {
-                outcomes.iter().map(|o| o.distinct_leaders as f64).sum::<f64>() / outcomes.len() as f64
+                outcomes
+                    .iter()
+                    .map(|o| o.distinct_leaders as f64)
+                    .sum::<f64>()
+                    / outcomes.len() as f64
             },
         }
     }
@@ -197,9 +212,21 @@ mod tests {
         };
         SimReport {
             final_time: Time::from_ticks(5_000),
-            counters: TraceCounters { messages_sent: 100, constrained_sent: 60, other_sent: 40, bytes_sent: 9_000, ..TraceCounters::default() },
-            leader_history: vec![LeaderChange { at: Time::from_ticks(1_000), agreed: Some(ProcessId::new(1)) }],
-            stabilization: stable.then_some(irs_sim::Stabilization { leader: ProcessId::new(1), at: Time::from_ticks(1_000) }),
+            counters: TraceCounters {
+                messages_sent: 100,
+                constrained_sent: 60,
+                other_sent: 40,
+                bytes_sent: 9_000,
+                ..TraceCounters::default()
+            },
+            leader_history: vec![LeaderChange {
+                at: Time::from_ticks(1_000),
+                agreed: Some(ProcessId::new(1)),
+            }],
+            stabilization: stable.then_some(irs_sim::Stabilization {
+                leader: ProcessId::new(1),
+                at: Time::from_ticks(1_000),
+            }),
             final_snapshots: vec![Some(snapshot.clone()), Some(snapshot), None],
             crashed: vec![ProcessId::new(2)],
             adversary: "test".into(),

@@ -37,7 +37,10 @@ impl Background {
             }
             Background::Growing => {
                 DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(40)).with_growth(
-                    GrowthFn::Linear { per_round: 1, divisor: 4 },
+                    GrowthFn::Linear {
+                        per_round: 1,
+                        divisor: 4,
+                    },
                     Duration::from_ticks(100),
                 )
             }
@@ -181,7 +184,13 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if `(n, t)` is not a valid system.
-    pub fn new(name: &str, n: usize, t: usize, algorithm: Algorithm, assumption: Assumption) -> Self {
+    pub fn new(
+        name: &str,
+        n: usize,
+        t: usize,
+        algorithm: Algorithm,
+        assumption: Assumption,
+    ) -> Self {
         let system = SystemConfig::new(n, t).expect("invalid system parameters");
         Scenario {
             name: name.to_string(),
@@ -234,8 +243,19 @@ impl Scenario {
         self
     }
 
-    /// Runs the scenario once per seed.
+    /// Runs the scenario once per seed, concurrently.
+    ///
+    /// Each `(scenario, seed)` simulation is fully independent (its own
+    /// processes, adversary and RNG), so the seeds are fanned out over the
+    /// machine's cores; the outcomes come back in seed order, identical to
+    /// [`Scenario::run_serial`] — the determinism regression test asserts
+    /// this equivalence.
     pub fn run(&self) -> Vec<RunOutcome> {
+        ordered_parallel(self.seeds.len(), |i| self.run_seed(self.seeds[i]))
+    }
+
+    /// Runs the scenario once per seed on the calling thread, in seed order.
+    pub fn run_serial(&self) -> Vec<RunOutcome> {
         self.seeds.iter().map(|&seed| self.run_seed(seed)).collect()
     }
 
@@ -246,15 +266,9 @@ impl Scenario {
             Algorithm::Fig2 => self.run_omega(seed, Variant::Fig2),
             Algorithm::Fig3 => self.run_omega(seed, Variant::Fig3),
             Algorithm::Fg { f, g } => self.run_omega(seed, Variant::Fg { f, g }),
-            Algorithm::TimeoutAll => {
-                self.run_protocol(seed, |id, sys| OmegaTimeoutAll::new(id, sys))
-            }
-            Algorithm::TSourceCounter => {
-                self.run_protocol(seed, |id, sys| OmegaTSource::new(id, sys))
-            }
-            Algorithm::MessagePatternMMR => {
-                self.run_protocol(seed, |id, sys| OmegaMessagePattern::new(id, sys))
-            }
+            Algorithm::TimeoutAll => self.run_protocol(seed, OmegaTimeoutAll::new),
+            Algorithm::TSourceCounter => self.run_protocol(seed, OmegaTSource::new),
+            Algorithm::MessagePatternMMR => self.run_protocol(seed, OmegaMessagePattern::new),
         }
     }
 
@@ -272,7 +286,11 @@ impl Scenario {
         P::Msg: RoundTagged,
         F: Fn(ProcessId, SystemConfig) -> P,
     {
-        let processes: Vec<P> = self.system.processes().map(|id| make(id, self.system)).collect();
+        let processes: Vec<P> = self
+            .system
+            .processes()
+            .map(|id| make(id, self.system))
+            .collect();
         let dist = self.background.dist();
         let sys = self.system;
         let center = self.center;
@@ -283,23 +301,31 @@ impl Scenario {
                 processes,
                 EventuallySynchronous::new(Time::from_ticks(self.horizon / 20), delta, dist),
             ),
-            Assumption::TSource => {
-                self.finish(seed, processes, presets::eventual_t_source(sys, center, delta, dist, seed))
-            }
+            Assumption::TSource => self.finish(
+                seed,
+                processes,
+                presets::eventual_t_source(sys, center, delta, dist, seed),
+            ),
             Assumption::MovingSource => self.finish(
                 seed,
                 processes,
                 presets::eventual_t_moving_source(sys, center, delta, dist, seed),
             ),
-            Assumption::MessagePattern => {
-                self.finish(seed, processes, presets::message_pattern(sys, center, dist, seed))
-            }
-            Assumption::Combined => {
-                self.finish(seed, processes, presets::combined_fixed(sys, center, delta, dist, seed))
-            }
-            Assumption::RotatingStar => {
-                self.finish(seed, processes, presets::rotating_star_a_prime(sys, center, delta, dist, seed))
-            }
+            Assumption::MessagePattern => self.finish(
+                seed,
+                processes,
+                presets::message_pattern(sys, center, dist, seed),
+            ),
+            Assumption::Combined => self.finish(
+                seed,
+                processes,
+                presets::combined_fixed(sys, center, delta, dist, seed),
+            ),
+            Assumption::RotatingStar => self.finish(
+                seed,
+                processes,
+                presets::rotating_star_a_prime(sys, center, delta, dist, seed),
+            ),
             Assumption::Intermittent { d } => self.finish(
                 seed,
                 processes,
@@ -344,6 +370,71 @@ impl Scenario {
     }
 }
 
+/// Runs a batch of scenarios, fanning *every* `(scenario, seed)` pair out
+/// over the machine's cores at once (better load balancing than
+/// per-scenario parallelism when cells have different sizes). Returns one
+/// `Vec<RunOutcome>` per scenario, in input order, with outcomes in seed
+/// order — byte-identical to running each scenario serially.
+pub fn run_batch(scenarios: &[Scenario]) -> Vec<Vec<RunOutcome>> {
+    let jobs: Vec<(usize, u64)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.seeds.iter().map(move |&seed| (i, seed)))
+        .collect();
+    let outcomes = ordered_parallel(jobs.len(), |j| {
+        let (i, seed) = jobs[j];
+        scenarios[i].run_seed(seed)
+    });
+    let mut grouped: Vec<Vec<RunOutcome>> = scenarios
+        .iter()
+        .map(|s| Vec::with_capacity(s.seeds.len()))
+        .collect();
+    for ((i, _), outcome) in jobs.into_iter().zip(outcomes) {
+        grouped[i].push(outcome);
+    }
+    grouped
+}
+
+/// Evaluates `f(0..jobs)` on a bounded pool of scoped threads and returns
+/// the results in job order. Work is handed out through an atomic counter,
+/// so long jobs do not starve the pool.
+fn ordered_parallel<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..jobs).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let outcome = f(i);
+                *results[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker finished every claimed job")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,7 +466,8 @@ mod tests {
             Algorithm::TSourceCounter,
             Algorithm::MessagePatternMMR,
         ];
-        let labels: std::collections::BTreeSet<&str> = algorithms.iter().map(|a| a.label()).collect();
+        let labels: std::collections::BTreeSet<&str> =
+            algorithms.iter().map(|a| a.label()).collect();
         assert_eq!(labels.len(), algorithms.len());
         assert!(Assumption::Intermittent { d: 4 }.label().contains("D=4"));
     }
@@ -393,9 +485,15 @@ mod tests {
 
     #[test]
     fn baseline_scenario_runs_end_to_end() {
-        let s = Scenario::new("smoke-baseline", 4, 1, Algorithm::TimeoutAll, Assumption::EventuallySynchronous)
-            .with_horizon(100_000, 10_000)
-            .with_seeds(&[3]);
+        let s = Scenario::new(
+            "smoke-baseline",
+            4,
+            1,
+            Algorithm::TimeoutAll,
+            Assumption::EventuallySynchronous,
+        )
+        .with_horizon(100_000, 10_000)
+        .with_seeds(&[3]);
         let outcomes = s.run();
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].stabilized);

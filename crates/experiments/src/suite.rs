@@ -6,7 +6,7 @@
 //! EXPERIMENTS.md records.
 
 use crate::outcome::Aggregate;
-use crate::scenario::{Algorithm, Assumption, Background, Scenario};
+use crate::scenario::{run_batch, Algorithm, Assumption, Background, Scenario};
 use crate::table::Table;
 use irs_consensus::{ConsensusProcess, Value};
 use irs_omega::OmegaProcess;
@@ -28,25 +28,45 @@ pub fn e1_election_under_a_prime(quick: bool) -> Table {
     let mut table = Table::new(
         "E1",
         "Eventual election under A' (rotating t-star, every round)",
-        &["n", "t", "algorithm", "stabilised", "median stab time", "median msgs", "leader=center"],
+        &[
+            "n",
+            "t",
+            "algorithm",
+            "stabilised",
+            "median stab time",
+            "median msgs",
+            "leader=center",
+        ],
     );
-    let sizes: &[(usize, usize)] = if quick { &[(4, 1), (8, 3)] } else { &[(4, 1), (8, 3), (16, 7), (32, 15)] };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(4, 1), (8, 3)]
+    } else {
+        &[(4, 1), (8, 3), (16, 7), (32, 15)]
+    };
+    // Build every cell first, then fan all (scenario, seed) runs out at once.
+    let mut cells = Vec::new();
+    let mut scenarios = Vec::new();
     for &(n, t) in sizes {
         for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
-            let scenario = Scenario::new("e1", n, t, algorithm, Assumption::RotatingStar)
-                .with_horizon(if quick { 120_000 } else { 250_000 }, 15_000)
-                .with_seeds(&seeds(quick));
-            let agg = Aggregate::from_outcomes(&scenario.run());
-            table.push_row(vec![
-                n.to_string(),
-                t.to_string(),
-                algorithm.label().to_string(),
-                agg.stab_cell(),
-                agg.stab_time_cell(),
-                format!("{}", agg.messages.median()),
-                format!("{}/{}", agg.leader_was_center, agg.runs),
-            ]);
+            cells.push((n, t, algorithm));
+            scenarios.push(
+                Scenario::new("e1", n, t, algorithm, Assumption::RotatingStar)
+                    .with_horizon(if quick { 120_000 } else { 250_000 }, 15_000)
+                    .with_seeds(&seeds(quick)),
+            );
         }
+    }
+    for ((n, t, algorithm), outcomes) in cells.into_iter().zip(run_batch(&scenarios)) {
+        let agg = Aggregate::from_outcomes(&outcomes);
+        table.push_row(vec![
+            n.to_string(),
+            t.to_string(),
+            algorithm.label().to_string(),
+            agg.stab_cell(),
+            agg.stab_time_cell(),
+            format!("{}", agg.messages.median()),
+            format!("{}/{}", agg.leader_was_center, agg.runs),
+        ]);
     }
     table
 }
@@ -57,24 +77,37 @@ pub fn e2_election_under_a(quick: bool) -> Table {
     let mut table = Table::new(
         "E2",
         "Eventual election under A (intermittent rotating t-star), varying D",
-        &["D", "algorithm", "stabilised", "median stab time", "distinct leaders"],
+        &[
+            "D",
+            "algorithm",
+            "stabilised",
+            "median stab time",
+            "distinct leaders",
+        ],
     );
     let ds: &[u64] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    let mut cells = Vec::new();
+    let mut scenarios = Vec::new();
     for &d in ds {
         for algorithm in [Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3] {
-            let scenario = Scenario::new("e2", 5, 2, algorithm, Assumption::Intermittent { d })
-                .with_background(Background::Growing)
-                .with_horizon(if quick { 150_000 } else { 300_000 }, 20_000)
-                .with_seeds(&seeds(quick));
-            let agg = Aggregate::from_outcomes(&scenario.run());
-            table.push_row(vec![
-                d.to_string(),
-                algorithm.label().to_string(),
-                agg.stab_cell(),
-                agg.stab_time_cell(),
-                format!("{:.1}", agg.mean_distinct_leaders),
-            ]);
+            cells.push((d, algorithm));
+            scenarios.push(
+                Scenario::new("e2", 5, 2, algorithm, Assumption::Intermittent { d })
+                    .with_background(Background::Growing)
+                    .with_horizon(if quick { 150_000 } else { 300_000 }, 20_000)
+                    .with_seeds(&seeds(quick)),
+            );
         }
+    }
+    for ((d, algorithm), outcomes) in cells.into_iter().zip(run_batch(&scenarios)) {
+        let agg = Aggregate::from_outcomes(&outcomes);
+        table.push_row(vec![
+            d.to_string(),
+            algorithm.label().to_string(),
+            agg.stab_cell(),
+            agg.stab_time_cell(),
+            format!("{:.1}", agg.mean_distinct_leaders),
+        ]);
     }
     table
 }
@@ -85,7 +118,14 @@ pub fn e3_crash_suspicion_growth(quick: bool) -> Table {
     let mut table = Table::new(
         "E3",
         "Crash of the elected leader: suspicion growth and re-election",
-        &["variant", "crashed proc", "stabilised", "final leader != crashed", "max susp of crashed", "max susp of leader"],
+        &[
+            "variant",
+            "crashed proc",
+            "stabilised",
+            "final leader != crashed",
+            "max susp of crashed",
+            "max susp of leader",
+        ],
     );
     for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
         let scenario = Scenario::new("e3", 5, 2, algorithm, Assumption::RotatingStar)
@@ -94,7 +134,10 @@ pub fn e3_crash_suspicion_growth(quick: bool) -> Table {
             .with_seeds(&seeds(quick));
         let outcomes = scenario.run();
         let agg = Aggregate::from_outcomes(&outcomes);
-        let moved = outcomes.iter().filter(|o| o.leader.is_some() && o.leader != Some(ProcessId::new(0))).count();
+        let moved = outcomes
+            .iter()
+            .filter(|o| o.leader.is_some() && o.leader != Some(ProcessId::new(0)))
+            .count();
         table.push_row(vec![
             algorithm.label().to_string(),
             "p1".to_string(),
@@ -114,7 +157,14 @@ pub fn e4_suspicion_stabilisation(quick: bool) -> Table {
     let mut table = Table::new(
         "E4",
         "Suspicion stabilisation: leadership changes over a long run",
-        &["assumption", "algorithm", "stabilised", "distinct leaders", "last change (ticks)", "horizon"],
+        &[
+            "assumption",
+            "algorithm",
+            "stabilised",
+            "distinct leaders",
+            "last change (ticks)",
+            "horizon",
+        ],
     );
     let horizon = if quick { 200_000 } else { 500_000 };
     for assumption in [Assumption::RotatingStar, Assumption::Intermittent { d: 4 }] {
@@ -141,7 +191,14 @@ pub fn e5_bounded_variables(quick: bool) -> Table {
     let mut table = Table::new(
         "E5",
         "Bounded variables (crashed process in the system, identical schedules)",
-        &["variant", "max susp level", "max timer (ticks)", "max spread", "B", "all <= B+1"],
+        &[
+            "variant",
+            "max susp level",
+            "max timer (ticks)",
+            "max spread",
+            "B",
+            "all <= B+1",
+        ],
     );
     for algorithm in [Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3] {
         let scenario = Scenario::new("e5", 5, 2, algorithm, Assumption::RotatingStar)
@@ -157,7 +214,11 @@ pub fn e5_bounded_variables(quick: bool) -> Table {
             agg.max_timer_ticks.to_string(),
             agg.max_spread.to_string(),
             b.to_string(),
-            if agg.theorem4_all_hold { "yes".into() } else { "no".into() },
+            if agg.theorem4_all_hold {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table
@@ -190,18 +251,27 @@ pub fn e6_assumption_matrix(quick: bool) -> Table {
         "Assumption matrix: runs stabilised / final min suspicion counter (growing background delays)",
         &headers,
     );
+    // Full-horizon runs (no early stop): "stabilised" then means the
+    // agreement reached was never disturbed again, which is the criterion
+    // that separates the algorithms once the background delays have grown
+    // large. The whole matrix is one batch: every (algorithm, assumption,
+    // seed) simulation runs concurrently.
+    let mut scenarios = Vec::new();
+    for algorithm in algorithms {
+        for assumption in assumptions {
+            scenarios.push(
+                Scenario::new("e6", 4, 1, algorithm, assumption)
+                    .with_background(Background::Growing)
+                    .with_horizon(if quick { 150_000 } else { 300_000 }, 0)
+                    .with_seeds(if quick { &[1, 2] } else { &[1, 2, 3] }),
+            );
+        }
+    }
+    let mut results = run_batch(&scenarios).into_iter();
     for algorithm in algorithms {
         let mut row = vec![algorithm.label().to_string()];
-        for assumption in assumptions {
-            // Full-horizon runs (no early stop): "stabilised" then means the
-            // agreement reached was never disturbed again, which is the
-            // criterion that separates the algorithms once the background
-            // delays have grown large.
-            let scenario = Scenario::new("e6", 4, 1, algorithm, assumption)
-                .with_background(Background::Growing)
-                .with_horizon(if quick { 150_000 } else { 300_000 }, 0)
-                .with_seeds(if quick { &[1, 2] } else { &[1, 2, 3] });
-            let outcomes = scenario.run();
+        for _assumption in assumptions {
+            let outcomes = results.next().expect("one result batch per cell");
             let agg = Aggregate::from_outcomes(&outcomes);
             // An algorithm genuinely covered by the assumption not only keeps
             // a stable leader, its suspicions of that leader *stop*: the
@@ -288,10 +358,22 @@ pub fn run_consensus_once(
         CrashPlan::new()
     };
     let adversary = match d {
-        Some(d) => presets::intermittent_rotating_star(system, center, Duration::from_ticks(8), d, dist, seed),
+        Some(d) => presets::intermittent_rotating_star(
+            system,
+            center,
+            Duration::from_ticks(8),
+            d,
+            dist,
+            seed,
+        ),
         None => presets::rotating_star_a_prime(system, center, Duration::from_ticks(8), dist, seed),
     };
-    let mut sim = Simulation::new(SimConfig::new(seed, Time::from_ticks(horizon)), processes, adversary, crashes);
+    let mut sim = Simulation::new(
+        SimConfig::new(seed, Time::from_ticks(horizon)),
+        processes,
+        adversary,
+        crashes,
+    );
     sim.start();
     while sim.step() {
         let all = system
@@ -304,7 +386,10 @@ pub fn run_consensus_once(
     let all_decided = system
         .processes()
         .all(|p| sim.is_crashed(p) || sim.process(p).decision().is_some());
-    let ballots = system.processes().map(|p| sim.process(p).ballots_started()).sum();
+    let ballots = system
+        .processes()
+        .map(|p| sim.process(p).ballots_started())
+        .sum();
     ConsensusOutcome {
         all_decided,
         decision_ticks: sim.now().ticks(),
@@ -319,7 +404,14 @@ pub fn e8_consensus(quick: bool) -> Table {
     let mut table = Table::new(
         "E8",
         "Theorem 5: Omega-based consensus (n = 5, t = 2)",
-        &["assumption", "leader crash", "decided", "median decision time", "median msgs", "median ballots"],
+        &[
+            "assumption",
+            "leader crash",
+            "decided",
+            "median decision time",
+            "median msgs",
+            "median ballots",
+        ],
     );
     let horizon = if quick { 200_000 } else { 400_000 };
     let cases = [(None, false), (None, true), (Some(4u64), false)];
@@ -353,9 +445,20 @@ pub fn e9_message_cost(quick: bool) -> Table {
     let mut table = Table::new(
         "E9",
         "Communication cost per receiving round and timer growth",
-        &["n", "variant", "msgs/round", "ALIVE share", "bytes/round", "max timer (ticks)"],
+        &[
+            "n",
+            "variant",
+            "msgs/round",
+            "ALIVE share",
+            "bytes/round",
+            "max timer (ticks)",
+        ],
     );
-    let sizes: &[(usize, usize)] = if quick { &[(4, 1), (8, 3)] } else { &[(4, 1), (8, 3), (16, 7)] };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(4, 1), (8, 3)]
+    } else {
+        &[(4, 1), (8, 3), (16, 7)]
+    };
     for &(n, t) in sizes {
         for algorithm in [Algorithm::Fig1, Algorithm::Fig3] {
             let scenario = Scenario::new("e9", n, t, algorithm, Assumption::RotatingStar)
@@ -369,7 +472,10 @@ pub fn e9_message_cost(quick: bool) -> Table {
                 n.to_string(),
                 algorithm.label().to_string(),
                 format!("{:.1}", o.messages_sent as f64 / rounds as f64),
-                format!("{:.0}%", 100.0 * o.constrained_sent as f64 / o.messages_sent.max(1) as f64),
+                format!(
+                    "{:.0}%",
+                    100.0 * o.constrained_sent as f64 / o.messages_sent.max(1) as f64
+                ),
                 format!("{:.0}", o.bytes_sent as f64 / rounds as f64),
                 o.max_timer_ticks.to_string(),
             ]);
@@ -386,41 +492,72 @@ pub fn e10_sensitivity(quick: bool) -> Table {
         &["parameter", "value", "stabilised", "median stab time"],
     );
     let horizon = if quick { 150_000 } else { 300_000 };
+    let mut cells: Vec<(&str, String)> = Vec::new();
+    let mut scenarios = Vec::new();
     // Gap bound D of the intermittent star.
     let ds: &[u64] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
     for &d in ds {
-        let s = Scenario::new("e10-d", 5, 2, Algorithm::Fig3, Assumption::Intermittent { d })
+        cells.push(("D", d.to_string()));
+        scenarios.push(
+            Scenario::new(
+                "e10-d",
+                5,
+                2,
+                Algorithm::Fig3,
+                Assumption::Intermittent { d },
+            )
             .with_horizon(horizon, 20_000)
-            .with_seeds(&seeds(quick));
-        let agg = Aggregate::from_outcomes(&s.run());
-        table.push_row(vec!["D".into(), d.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+            .with_seeds(&seeds(quick)),
+        );
     }
     // Number of crashes (up to t).
     for crashes in 0..=2u32 {
-        let mut s = Scenario::new("e10-crashes", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
-            .with_horizon(horizon, 20_000)
-            .with_seeds(&seeds(quick));
+        let mut s = Scenario::new(
+            "e10-crashes",
+            5,
+            2,
+            Algorithm::Fig3,
+            Assumption::RotatingStar,
+        )
+        .with_horizon(horizon, 20_000)
+        .with_seeds(&seeds(quick));
         for c in 0..crashes {
             s = s.with_crash(c, 20_000 + 10_000 * c as u64);
         }
-        let agg = Aggregate::from_outcomes(&s.run());
-        table.push_row(vec!["crashes".into(), crashes.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+        cells.push(("crashes", crashes.to_string()));
+        scenarios.push(s);
     }
     // Timeliness bound delta of the star.
-    let deltas: &[u64] = if quick { &[4, 32] } else { &[2, 4, 8, 16, 32, 64] };
+    let deltas: &[u64] = if quick {
+        &[4, 32]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     for &delta in deltas {
         let mut s = Scenario::new("e10-delta", 5, 2, Algorithm::Fig3, Assumption::RotatingStar)
             .with_horizon(horizon, 20_000)
             .with_seeds(&seeds(quick));
         s.delta = Duration::from_ticks(delta);
-        let agg = Aggregate::from_outcomes(&s.run());
-        table.push_row(vec!["delta".into(), delta.to_string(), agg.stab_cell(), agg.stab_time_cell()]);
+        cells.push(("delta", delta.to_string()));
+        scenarios.push(s);
+    }
+    for ((parameter, value), outcomes) in cells.into_iter().zip(run_batch(&scenarios)) {
+        let agg = Aggregate::from_outcomes(&outcomes);
+        table.push_row(vec![
+            parameter.into(),
+            value,
+            agg.stab_cell(),
+            agg.stab_time_cell(),
+        ]);
     }
     table
 }
 
+/// One experiment entry point: takes the `quick` flag, returns its table.
+pub type ExperimentFn = fn(bool) -> Table;
+
 /// Every experiment, in order, as `(id, function)` pairs.
-pub fn all() -> Vec<(&'static str, fn(bool) -> Table)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
         ("e1", e1_election_under_a_prime),
         ("e2", e2_election_under_a),

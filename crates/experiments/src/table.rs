@@ -33,7 +33,12 @@ impl Table {
     ///
     /// Panics if the row width does not match the headers.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in table {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -57,7 +62,13 @@ impl Table {
         };
         out.push_str(&render_row(&self.headers));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));
@@ -76,7 +87,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -1,0 +1,126 @@
+//! Determinism regression tests.
+//!
+//! The whole experiment methodology rests on two properties:
+//!
+//! 1. a fixed `(seed, config)` pair replays the *same* run, byte for byte
+//!    (same `TraceCounters`, same leader-agreement history), and
+//! 2. the parallel sweep paths (`Scenario::run`, `run_batch`) produce
+//!    exactly what the serial path produces, in the same order.
+//!
+//! These tests pin both, so an engine refactor that silently perturbs event
+//! order (or a sweep refactor that races) fails loudly here.
+
+use irs_experiments::{run_batch, Algorithm, Assumption, Background, Scenario};
+use irs_omega::OmegaProcess;
+use irs_sim::adversary::presets;
+use irs_sim::{CrashPlan, SimConfig, SimReport, Simulation};
+use irs_types::{Duration, ProcessId, SystemConfig, Time};
+
+fn run_preset(seed: u64) -> SimReport {
+    let system = SystemConfig::new(5, 2).unwrap();
+    let center = ProcessId::new(4);
+    let adversary = presets::intermittent_rotating_star(
+        system,
+        center,
+        Duration::from_ticks(8),
+        4,
+        irs_sim::adversary::DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(60)),
+        seed,
+    );
+    let processes: Vec<OmegaProcess> = system
+        .processes()
+        .map(|id| OmegaProcess::fig3(id, system))
+        .collect();
+    let mut sim = Simulation::new(
+        SimConfig::new(seed, Time::from_ticks(120_000)),
+        processes,
+        adversary,
+        CrashPlan::new().crash(ProcessId::new(0), Time::from_ticks(20_000)),
+    );
+    sim.run()
+}
+
+/// One adversary preset, run twice with the same `(seed, config)`: the
+/// counters and the full leader history must be identical.
+#[test]
+fn same_seed_replays_identical_counters_and_history() {
+    for seed in [1u64, 7, 42] {
+        let a = run_preset(seed);
+        let b = run_preset(seed);
+        assert_eq!(a.counters, b.counters, "counters diverged for seed {seed}");
+        assert_eq!(
+            a.leader_history, b.leader_history,
+            "leader history diverged for seed {seed}"
+        );
+        assert_eq!(a.stabilization, b.stabilization);
+        assert_eq!(a.final_time, b.final_time);
+    }
+}
+
+/// Different seeds must actually produce different runs (otherwise the test
+/// above is vacuous).
+#[test]
+fn different_seeds_differ() {
+    let a = run_preset(1);
+    let b = run_preset(2);
+    assert_ne!(a.counters, b.counters);
+}
+
+fn sweep_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(
+            "det-a",
+            5,
+            2,
+            Algorithm::Fig3,
+            Assumption::Intermittent { d: 4 },
+        )
+        .with_background(Background::Growing)
+        .with_crash(1, 25_000)
+        .with_horizon(80_000, 0)
+        .with_seeds(&[1, 2, 3, 4]),
+        Scenario::new("det-b", 4, 1, Algorithm::Fig1, Assumption::RotatingStar)
+            .with_horizon(60_000, 10_000)
+            .with_seeds(&[5, 6]),
+        Scenario::new(
+            "det-c",
+            4,
+            1,
+            Algorithm::TimeoutAll,
+            Assumption::EventuallySynchronous,
+        )
+        .with_horizon(60_000, 10_000)
+        .with_seeds(&[7]),
+    ]
+}
+
+/// The parallel per-seed path returns exactly the serial results, in seed
+/// order.
+#[test]
+fn parallel_run_matches_serial_run() {
+    for scenario in sweep_scenarios() {
+        assert_eq!(
+            scenario.run(),
+            scenario.run_serial(),
+            "parallel/serial divergence in {}",
+            scenario.name
+        );
+    }
+}
+
+/// The batch fan-out over whole scenario sets also matches the serial path,
+/// scenario by scenario and seed by seed.
+#[test]
+fn run_batch_matches_serial_runs() {
+    let scenarios = sweep_scenarios();
+    let batched = run_batch(&scenarios);
+    assert_eq!(batched.len(), scenarios.len());
+    for (scenario, outcomes) in scenarios.iter().zip(batched) {
+        assert_eq!(
+            outcomes,
+            scenario.run_serial(),
+            "batch divergence in {}",
+            scenario.name
+        );
+    }
+}

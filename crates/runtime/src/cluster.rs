@@ -1,12 +1,11 @@
 //! Thread-per-process cluster runtime.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot, TimerId};
-use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -21,7 +20,9 @@ pub struct RealtimeConfig {
 
 impl Default for RealtimeConfig {
     fn default() -> Self {
-        RealtimeConfig { tick: StdDuration::from_micros(100) }
+        RealtimeConfig {
+            tick: StdDuration::from_micros(100),
+        }
     }
 }
 
@@ -63,13 +64,22 @@ impl LinkDelay {
 }
 
 enum ProcInput<M> {
-    Deliver { from: ProcessId, msg: M },
+    /// A delivery; the payload is shared with every other receiver of the
+    /// same broadcast (the protocol only sees `&M`).
+    Deliver {
+        from: ProcessId,
+        msg: Arc<M>,
+    },
     Crash,
     Shutdown,
 }
 
 enum RouterInput<M> {
-    Send { from: ProcessId, dest: Destination, msg: M },
+    Send {
+        from: ProcessId,
+        dest: Destination,
+        msg: M,
+    },
     Shutdown,
 }
 
@@ -78,7 +88,7 @@ struct Delayed<M> {
     seq: u64,
     from: ProcessId,
     to: ProcessId,
-    msg: M,
+    msg: Arc<M>,
 }
 
 impl<M> PartialEq for Delayed<M> {
@@ -128,19 +138,28 @@ where
     /// Panics if the instances' ids are not `0..n` in order.
     pub fn spawn(processes: Vec<P>, config: RealtimeConfig, link: LinkDelay) -> Self {
         for (i, p) in processes.iter().enumerate() {
-            assert_eq!(p.id(), ProcessId::new(i as u32), "process at index {i} reports id {}", p.id());
+            assert_eq!(
+                p.id(),
+                ProcessId::new(i as u32),
+                "process at index {i} reports id {}",
+                p.id()
+            );
         }
         let n = processes.len();
-        let (router_tx, router_rx) = unbounded::<RouterInput<P::Msg>>();
+        let (router_tx, router_rx) = channel::<RouterInput<P::Msg>>();
         let mut proc_txs = Vec::with_capacity(n);
         let mut proc_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<ProcInput<P::Msg>>();
+            let (tx, rx) = channel::<ProcInput<P::Msg>>();
             proc_txs.push(tx);
             proc_rxs.push(rx);
         }
-        let snapshots: Vec<Arc<Mutex<Snapshot>>> = processes.iter().map(|p| Arc::new(Mutex::new(p.snapshot()))).collect();
-        let crashed: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let snapshots: Vec<Arc<Mutex<Snapshot>>> = processes
+            .iter()
+            .map(|p| Arc::new(Mutex::new(p.snapshot())))
+            .collect();
+        let crashed: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
         let messages_routed = Arc::new(AtomicU64::new(0));
 
         // Router thread.
@@ -184,7 +203,10 @@ where
 
     /// The latest published snapshot of a process.
     pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
-        self.snapshots[pid.index()].lock().clone()
+        self.snapshots[pid.index()]
+            .lock()
+            .expect("snapshot lock poisoned")
+            .clone()
     }
 
     /// The current `leader()` output of a process.
@@ -194,7 +216,9 @@ where
 
     /// The current `leader()` output of every process, in id order.
     pub fn leaders(&self) -> Vec<ProcessId> {
-        (0..self.n()).map(|i| self.leader_of(ProcessId::new(i as u32))).collect()
+        (0..self.n())
+            .map(|i| self.leader_of(ProcessId::new(i as u32)))
+            .collect()
     }
 
     /// Returns `Some(p)` when every non-crashed process currently outputs the
@@ -270,11 +294,18 @@ where
                  router_tx: &Sender<RouterInput<P::Msg>>| {
         let (sends, timer_reqs, cancels) = out.into_parts();
         for send in sends {
-            let _ = router_tx.send(RouterInput::Send { from: proto.id(), dest: send.dest, msg: send.msg });
+            let _ = router_tx.send(RouterInput::Send {
+                from: proto.id(),
+                dest: send.dest,
+                msg: send.msg,
+            });
         }
         let now = Instant::now();
         for req in timer_reqs {
-            timers.insert(req.id, now + tick * (req.after.ticks().min(u32::MAX as u64) as u32));
+            timers.insert(
+                req.id,
+                now + tick * (req.after.ticks().min(u32::MAX as u64) as u32),
+            );
         }
         for cancel in cancels {
             timers.remove(&cancel);
@@ -284,7 +315,7 @@ where
     let mut out = Actions::new();
     proto.on_start(&mut out);
     apply(&proto, out, &mut timers, &router_tx);
-    *snapshot.lock() = proto.snapshot();
+    *snapshot.lock().expect("snapshot lock poisoned") = proto.snapshot();
     let _ = id;
 
     loop {
@@ -310,9 +341,9 @@ where
             Ok(ProcInput::Deliver { from, msg }) => {
                 if !crashed {
                     let mut out = Actions::new();
-                    proto.on_message(from, msg, &mut out);
+                    proto.on_message(from, &msg, &mut out);
                     apply(&proto, out, &mut timers, &router_tx);
-                    *snapshot.lock() = proto.snapshot();
+                    *snapshot.lock().expect("snapshot lock poisoned") = proto.snapshot();
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -320,29 +351,30 @@ where
                     continue;
                 }
                 let now = Instant::now();
-                let due: Vec<TimerId> =
-                    timers.iter().filter(|(_, at)| **at <= now).map(|(t, _)| *t).collect();
+                let due: Vec<TimerId> = timers
+                    .iter()
+                    .filter(|(_, at)| **at <= now)
+                    .map(|(t, _)| *t)
+                    .collect();
                 for timer in due {
                     timers.remove(&timer);
                     let mut out = Actions::new();
                     proto.on_timer(timer, &mut out);
                     apply(&proto, out, &mut timers, &router_tx);
                 }
-                *snapshot.lock() = proto.snapshot();
+                *snapshot.lock().expect("snapshot lock poisoned") = proto.snapshot();
             }
         }
     }
     proto
 }
 
-fn run_router<M: Send + 'static>(
+fn run_router<M: Send + Sync + 'static>(
     rx: Receiver<RouterInput<M>>,
     proc_txs: Vec<Sender<ProcInput<M>>>,
     link: LinkDelay,
     counter: Arc<AtomicU64>,
-) where
-    M: Clone,
-{
+) {
     let n = proc_txs.len();
     let mut heap: BinaryHeap<Reverse<Delayed<M>>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -354,7 +386,10 @@ fn run_router<M: Send + 'static>(
         while heap.peek().is_some_and(|Reverse(d)| d.at <= now) {
             let Reverse(d) = heap.pop().expect("peeked");
             counter.fetch_add(1, Ordering::Relaxed);
-            let _ = proc_txs[d.to.index()].send(ProcInput::Deliver { from: d.from, msg: d.msg });
+            let _ = proc_txs[d.to.index()].send(ProcInput::Deliver {
+                from: d.from,
+                msg: d.msg,
+            });
         }
         let timeout = heap
             .peek()
@@ -364,11 +399,14 @@ fn run_router<M: Send + 'static>(
             Ok(RouterInput::Send { from, dest, msg }) => {
                 let targets: Vec<ProcessId> = match dest {
                     Destination::To(q) => vec![q],
-                    Destination::AllOthers => {
-                        (0..n as u32).map(ProcessId::new).filter(|q| *q != from).collect()
-                    }
+                    Destination::AllOthers => (0..n as u32)
+                        .map(ProcessId::new)
+                        .filter(|q| *q != from)
+                        .collect(),
                     Destination::All => (0..n as u32).map(ProcessId::new).collect(),
                 };
+                // One allocation per send; the fan-out shares it.
+                let payload = Arc::new(msg);
                 for to in targets {
                     if to.index() >= n {
                         continue;
@@ -376,10 +414,19 @@ fn run_router<M: Send + 'static>(
                     let delay = link.sample(&mut rng_state);
                     if delay.is_zero() {
                         counter.fetch_add(1, Ordering::Relaxed);
-                        let _ = proc_txs[to.index()].send(ProcInput::Deliver { from, msg: msg.clone() });
+                        let _ = proc_txs[to.index()].send(ProcInput::Deliver {
+                            from,
+                            msg: Arc::clone(&payload),
+                        });
                     } else {
                         seq += 1;
-                        heap.push(Reverse(Delayed { at: Instant::now() + delay, seq, from, to, msg: msg.clone() }));
+                        heap.push(Reverse(Delayed {
+                            at: Instant::now() + delay,
+                            seq,
+                            from,
+                            to,
+                            msg: Arc::clone(&payload),
+                        }));
                     }
                 }
             }
@@ -422,8 +469,13 @@ mod tests {
             .collect();
         Cluster::spawn(
             processes,
-            RealtimeConfig { tick: StdDuration::from_micros(100) },
-            LinkDelay::Jitter { min: StdDuration::from_micros(50), max: StdDuration::from_micros(800) },
+            RealtimeConfig {
+                tick: StdDuration::from_micros(100),
+            },
+            LinkDelay::Jitter {
+                min: StdDuration::from_micros(50),
+                max: StdDuration::from_micros(800),
+            },
         )
     }
 
@@ -436,7 +488,11 @@ mod tests {
             let progressed = (0..4).all(|i| cluster.snapshot(ProcessId::new(i)).sending_round > 10);
             progressed && cluster.agreed_leader().is_some()
         });
-        assert!(stable, "no agreement within 20s: leaders {:?}", cluster.leaders());
+        assert!(
+            stable,
+            "no agreement within 20s: leaders {:?}",
+            cluster.leaders()
+        );
         assert!(cluster.messages_routed() > 0);
         let finals = cluster.shutdown();
         assert_eq!(finals.len(), 4);
@@ -445,7 +501,9 @@ mod tests {
     #[test]
     fn crashed_leader_is_replaced_in_real_time() {
         let cluster = omega_cluster(4, 1);
-        assert!(wait_for(StdDuration::from_secs(10), || cluster.agreed_leader().is_some()));
+        assert!(wait_for(StdDuration::from_secs(10), || cluster
+            .agreed_leader()
+            .is_some()));
         let first = cluster.agreed_leader().unwrap();
         cluster.crash(first);
         assert!(cluster.is_crashed(first));

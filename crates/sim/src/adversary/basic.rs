@@ -120,7 +120,10 @@ impl<M: RoundTagged> Adversary<M> for EventuallySynchronous {
     }
 
     fn describe(&self) -> String {
-        format!("eventually-synchronous(gst={}, delta={})", self.gst, self.delta)
+        format!(
+            "eventually-synchronous(gst={}, delta={})",
+            self.gst, self.delta
+        )
     }
 }
 
@@ -170,7 +173,9 @@ mod tests {
                 &TestMsg(Some(RoundNum::new(3))),
                 &mut rng,
             ) {
-                Delivery::After(d) => assert!(d >= Duration::from_ticks(2) && d <= Duration::from_ticks(6)),
+                Delivery::After(d) => {
+                    assert!(d >= Duration::from_ticks(2) && d <= Duration::from_ticks(6))
+                }
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -180,7 +185,10 @@ mod tests {
     fn random_delay_with_growth_reaches_unbounded_tail() {
         let mut adv = RandomDelay::new(
             DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(3)).with_growth(
-                GrowthFn::Linear { per_round: 1, divisor: 1 },
+                GrowthFn::Linear {
+                    per_round: 1,
+                    divisor: 1,
+                },
                 Duration::from_ticks(10),
             ),
         );
@@ -199,7 +207,10 @@ mod tests {
             max_seen = max_seen.max(d);
         }
         // The support at t = 100 000 is [1, 3 + 10 000]; the tail must be hit.
-        assert!(max_seen >= Duration::from_ticks(5_000), "max seen {max_seen}");
+        assert!(
+            max_seen >= Duration::from_ticks(5_000),
+            "max seen {max_seen}"
+        );
     }
 
     #[test]

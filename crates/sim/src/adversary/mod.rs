@@ -89,19 +89,26 @@ impl DelayDist {
     /// Adds growth over simulated time to the distribution.
     pub fn with_growth(mut self, growth: GrowthFn, per: Duration) -> Self {
         self.growth = growth;
-        self.growth_unit = if per.is_zero() { Duration::from_ticks(1) } else { per };
+        self.growth_unit = if per.is_zero() {
+            Duration::from_ticks(1)
+        } else {
+            per
+        };
         self
     }
 
     /// Samples a delay at simulated time `now`.
     pub fn sample(&self, now: Time, rng: &mut SimRng) -> Duration {
-        let upper = self.max.saturating_add(Duration::from_ticks(self.growth_extra(now)));
+        let upper = self
+            .max
+            .saturating_add(Duration::from_ticks(self.growth_extra(now)));
         rng.duration_between(self.min, upper)
     }
 
     /// The largest delay the distribution can currently produce.
     pub fn current_max(&self, now: Time) -> Duration {
-        self.max.saturating_add(Duration::from_ticks(self.growth_extra(now)))
+        self.max
+            .saturating_add(Duration::from_ticks(self.growth_extra(now)))
     }
 
     fn growth_extra(&self, now: Time) -> u64 {
@@ -158,13 +165,19 @@ mod tests {
     fn delay_dist_fixed() {
         let d = DelayDist::fixed(Duration::from_ticks(5));
         let mut rng = SimRng::from_seed(2);
-        assert_eq!(d.sample(Time::from_ticks(123), &mut rng), Duration::from_ticks(5));
+        assert_eq!(
+            d.sample(Time::from_ticks(123), &mut rng),
+            Duration::from_ticks(5)
+        );
     }
 
     #[test]
     fn delay_dist_growth_widens_the_spread_over_time() {
         let d = DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(2)).with_growth(
-            GrowthFn::Linear { per_round: 10, divisor: 1 },
+            GrowthFn::Linear {
+                per_round: 10,
+                divisor: 1,
+            },
             Duration::from_ticks(100),
         );
         let mut rng = SimRng::from_seed(3);
@@ -173,7 +186,9 @@ mod tests {
             assert!(d.sample(Time::from_ticks(0), &mut rng) <= Duration::from_ticks(2));
         }
         // Much later the support is [1, 2 + 1000]: the tail is reachable…
-        let late: Vec<Duration> = (0..200).map(|_| d.sample(Time::from_ticks(10_000), &mut rng)).collect();
+        let late: Vec<Duration> = (0..200)
+            .map(|_| d.sample(Time::from_ticks(10_000), &mut rng))
+            .collect();
         assert!(late.iter().any(|&x| x > Duration::from_ticks(500)));
         // …and the spread, not just the shift, has grown (small delays remain possible).
         assert!(late.iter().any(|&x| x < Duration::from_ticks(100)));

@@ -18,7 +18,12 @@ pub fn default_fixed_points(system: SystemConfig, center: ProcessId) -> ProcessS
     )
 }
 
-fn base(system: SystemConfig, center: ProcessId, delta: Duration, unconstrained: DelayDist) -> StarConfig {
+fn base(
+    system: SystemConfig,
+    center: ProcessId,
+    delta: Duration,
+    unconstrained: DelayDist,
+) -> StarConfig {
     StarConfig {
         delta,
         unconstrained,
@@ -138,6 +143,7 @@ pub fn intermittent_rotating_star(
 
 /// The `A_{f,g}` assumption of Section 7: gaps bounded by `D + f(s_k)` and
 /// timeliness bound `Δ + g(rn)`, both possibly growing without bound.
+#[allow(clippy::too_many_arguments)]
 pub fn fg_rotating_star(
     system: SystemConfig,
     center: ProcessId,
@@ -189,7 +195,13 @@ mod tests {
 
     #[test]
     fn t_source_points_are_fixed_across_rounds() {
-        let adv = eventual_t_source(system(), ProcessId::new(1), Duration::from_ticks(5), dist(), 7);
+        let adv = eventual_t_source(
+            system(),
+            ProcessId::new(1),
+            Duration::from_ticks(5),
+            dist(),
+            7,
+        );
         let p1 = adv.points(RoundNum::new(1));
         let p99 = adv.points(RoundNum::new(99));
         assert_eq!(p1, p99);
@@ -197,9 +209,16 @@ mod tests {
 
     #[test]
     fn moving_source_points_rotate() {
-        let adv = eventual_t_moving_source(system(), ProcessId::new(1), Duration::from_ticks(5), dist(), 7);
-        let sets: std::collections::BTreeSet<Vec<ProcessId>> =
-            (1..60u64).map(|rn| adv.points(RoundNum::new(rn)).to_vec()).collect();
+        let adv = eventual_t_moving_source(
+            system(),
+            ProcessId::new(1),
+            Duration::from_ticks(5),
+            dist(),
+            7,
+        );
+        let sets: std::collections::BTreeSet<Vec<ProcessId>> = (1..60u64)
+            .map(|rn| adv.points(RoundNum::new(rn)).to_vec())
+            .collect();
         assert!(sets.len() > 3);
     }
 
@@ -225,9 +244,21 @@ mod tests {
 
     #[test]
     fn intermittent_star_is_sometimes_inactive() {
-        let mut adv = intermittent_rotating_star(system(), ProcessId::new(0), Duration::from_ticks(5), 5, dist(), 11);
-        let active = (1..500u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).count();
+        let mut adv = intermittent_rotating_star(
+            system(),
+            ProcessId::new(0),
+            Duration::from_ticks(5),
+            5,
+            dist(),
+            11,
+        );
+        let active = (1..500u64)
+            .filter(|&rn| adv.is_active(RoundNum::new(rn)))
+            .count();
         assert!(active > 90, "active rounds: {active}");
-        assert!(active < 450, "star should be intermittent, active rounds: {active}");
+        assert!(
+            active < 450,
+            "star should be intermittent, active rounds: {active}"
+        );
     }
 }

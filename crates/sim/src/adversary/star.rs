@@ -139,6 +139,14 @@ pub struct StarAdversary {
     active: BTreeSet<u64>,
     /// Highest active round generated so far.
     generated_up_to: u64,
+    /// Memoised point set of the round most recently asked about. `points`
+    /// is deterministic in `(seed, rn)` and the engine asks once per
+    /// constrained message — all `n²` sends of a round share one instant —
+    /// so a single-round cache removes the per-message subset shuffle from
+    /// the hot path.
+    points_cache: Option<(RoundNum, ProcessSet)>,
+    /// Memoised activation verdict of the round most recently asked about.
+    active_cache: Option<(RoundNum, bool)>,
 }
 
 fn mix(mut x: u64) -> u64 {
@@ -164,6 +172,8 @@ impl StarAdversary {
             seed,
             active: BTreeSet::from([start]),
             generated_up_to: start,
+            points_cache: None,
+            active_cache: None,
         }
     }
 
@@ -213,13 +223,26 @@ impl StarAdversary {
 
     /// Returns `true` if round `rn` belongs to the active sequence `S`.
     pub fn is_active(&mut self, rn: RoundNum) -> bool {
+        if let Some((cached_rn, active)) = self.active_cache {
+            if cached_rn == rn {
+                return active;
+            }
+        }
+        let active = self.compute_active(rn);
+        self.active_cache = Some((rn, active));
+        active
+    }
+
+    fn compute_active(&mut self, rn: RoundNum) -> bool {
         let r = rn.value();
         if r < self.cfg.start_round.max(1) {
             return false;
         }
         match self.cfg.activation {
             Activation::EveryRound => true,
-            Activation::Periodic { gap } => (r - self.cfg.start_round.max(1)) % gap.max(1) == 0,
+            Activation::Periodic { gap } => {
+                (r - self.cfg.start_round.max(1)).is_multiple_of(gap.max(1))
+            }
             Activation::RandomGap { .. } | Activation::GrowingGap { .. } => {
                 self.extend_active_to(r);
                 self.active.contains(&r)
@@ -257,6 +280,19 @@ impl StarAdversary {
         }
     }
 
+    /// Returns `true` if `q` is a point of `Q(rn)`, via the per-round memo.
+    fn is_point(&mut self, rn: RoundNum, q: ProcessId) -> bool {
+        match &self.points_cache {
+            Some((cached_rn, set)) if *cached_rn == rn => set.contains(q),
+            _ => {
+                let set = self.points(rn);
+                let hit = set.contains(q);
+                self.points_cache = Some((rn, set));
+                hit
+            }
+        }
+    }
+
     /// The effective timeliness bound for round `rn`: `Δ + g(rn)`.
     fn effective_delta(&self, rn: RoundNum) -> Duration {
         self.cfg
@@ -280,8 +316,7 @@ impl<M: RoundTagged> Adversary<M> for StarAdversary {
         if !self.is_active(rn) {
             return Delivery::After(self.cfg.unconstrained.sample(now, rng));
         }
-        let points = self.points(rn);
-        if !points.contains(to) {
+        if !self.is_point(rn, to) {
             return Delivery::After(self.cfg.unconstrained.sample(now, rng));
         }
         let mode = self.point_guarantee(rn, to);
@@ -311,7 +346,10 @@ impl<M: RoundTagged> Adversary<M> for StarAdversary {
                 .saturating_add(self.effective_delta(rn).saturating_mul(4))
                 .saturating_add(Duration::from_ticks(64));
             Delivery::AfterStar {
-                slack: rng.duration_between(Duration::from_ticks(1), self.cfg.winning_slack.max(Duration::from_ticks(1))),
+                slack: rng.duration_between(
+                    Duration::from_ticks(1),
+                    self.cfg.winning_slack.max(Duration::from_ticks(1)),
+                ),
                 deadline,
             }
         } else {
@@ -382,12 +420,17 @@ mod tests {
         let distinct: std::collections::BTreeSet<Vec<ProcessId>> = (1..100u64)
             .map(|rn| adv.points(RoundNum::new(rn)).to_vec())
             .collect();
-        assert!(distinct.len() > 5, "point sets should rotate, got {}", distinct.len());
+        assert!(
+            distinct.len() > 5,
+            "point sets should rotate, got {}",
+            distinct.len()
+        );
     }
 
     #[test]
     fn fixed_rotation_never_changes() {
-        let fixed = ProcessSet::from_ids(7, [ProcessId::new(2), ProcessId::new(4), ProcessId::new(5)]);
+        let fixed =
+            ProcessSet::from_ids(7, [ProcessId::new(2), ProcessId::new(4), ProcessId::new(5)]);
         let cfg = StarConfig {
             rotation: Rotation::Fixed(fixed.clone()),
             ..base_cfg(PointGuarantee::Timely, Activation::EveryRound)
@@ -420,7 +463,8 @@ mod tests {
 
     #[test]
     fn every_round_activation() {
-        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 5);
+        let mut adv =
+            StarAdversary::new(base_cfg(PointGuarantee::Mixed, Activation::EveryRound), 5);
         assert!(!adv.is_active(RoundNum::ZERO));
         for rn in 1..100u64 {
             assert!(adv.is_active(RoundNum::new(rn)));
@@ -444,7 +488,9 @@ mod tests {
             base_cfg(PointGuarantee::Mixed, Activation::Periodic { gap: 4 }),
             7,
         );
-        let actives: Vec<u64> = (1..40u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        let actives: Vec<u64> = (1..40u64)
+            .filter(|&rn| adv.is_active(RoundNum::new(rn)))
+            .collect();
         assert_eq!(actives, vec![1, 5, 9, 13, 17, 21, 25, 29, 33, 37]);
     }
 
@@ -454,25 +500,41 @@ mod tests {
             base_cfg(PointGuarantee::Mixed, Activation::RandomGap { max_gap: 6 }),
             8,
         );
-        let actives: Vec<u64> = (1..2000u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        let actives: Vec<u64> = (1..2000u64)
+            .filter(|&rn| adv.is_active(RoundNum::new(rn)))
+            .collect();
         assert!(actives.len() > 300);
         for w in actives.windows(2) {
-            assert!(w[1] - w[0] >= 1 && w[1] - w[0] <= 6, "gap {} out of bounds", w[1] - w[0]);
+            assert!(
+                w[1] - w[0] >= 1 && w[1] - w[0] <= 6,
+                "gap {} out of bounds",
+                w[1] - w[0]
+            );
         }
         assert!(adv.max_generated_gap() <= 6);
     }
 
     #[test]
     fn growing_gap_activation_gaps_grow_but_respect_base_plus_f() {
-        let f = GrowthFn::Linear { per_round: 1, divisor: 100 };
+        let f = GrowthFn::Linear {
+            per_round: 1,
+            divisor: 100,
+        };
         let mut adv = StarAdversary::new(
             base_cfg(PointGuarantee::Mixed, Activation::GrowingGap { base: 3, f }),
             9,
         );
-        let actives: Vec<u64> = (1..3000u64).filter(|&rn| adv.is_active(RoundNum::new(rn))).collect();
+        let actives: Vec<u64> = (1..3000u64)
+            .filter(|&rn| adv.is_active(RoundNum::new(rn)))
+            .collect();
         for w in actives.windows(2) {
             let bound = 3 + f.eval(RoundNum::new(w[0]));
-            assert!(w[1] - w[0] <= bound, "gap {} exceeds D + f = {}", w[1] - w[0], bound);
+            assert!(
+                w[1] - w[0] <= bound,
+                "gap {} exceeds D + f = {}",
+                w[1] - w[0],
+                bound
+            );
         }
     }
 
@@ -501,11 +563,20 @@ mod tests {
 
     #[test]
     fn center_to_winning_point_is_marked_star_and_others_held() {
-        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Winning, Activation::EveryRound), 11);
+        let mut adv = StarAdversary::new(
+            base_cfg(PointGuarantee::Winning, Activation::EveryRound),
+            11,
+        );
         let mut rng = SimRng::from_seed(1);
         let rn = RoundNum::new(5);
         let q = adv.points(rn).iter().next().unwrap();
-        let center_delivery = adv.delivery(Time::ZERO, ProcessId::new(0), q, &TestMsg(Some(rn)), &mut rng);
+        let center_delivery = adv.delivery(
+            Time::ZERO,
+            ProcessId::new(0),
+            q,
+            &TestMsg(Some(rn)),
+            &mut rng,
+        );
         assert!(matches!(center_delivery, Delivery::StarAfter(_)));
         let other = ProcessId::new(6);
         assert_ne!(other, q);
@@ -515,7 +586,8 @@ mod tests {
 
     #[test]
     fn unconstrained_messages_are_unconstrained() {
-        let mut adv = StarAdversary::new(base_cfg(PointGuarantee::Timely, Activation::EveryRound), 12);
+        let mut adv =
+            StarAdversary::new(base_cfg(PointGuarantee::Timely, Activation::EveryRound), 12);
         let mut rng = SimRng::from_seed(2);
         // A non-ALIVE message from the centre to a point: no guarantee applies.
         let q = adv.points(RoundNum::new(1)).iter().next().unwrap();
@@ -549,9 +621,13 @@ mod tests {
         let q = adv.points(rn).iter().next().unwrap();
         let mut saw_large = false;
         for _ in 0..200 {
-            if let Delivery::After(d) =
-                adv.delivery(Time::ZERO, ProcessId::new(0), q, &TestMsg(Some(rn)), &mut rng)
-            {
+            if let Delivery::After(d) = adv.delivery(
+                Time::ZERO,
+                ProcessId::new(0),
+                q,
+                &TestMsg(Some(rn)),
+                &mut rng,
+            ) {
                 if d > delta {
                     saw_large = true;
                 }

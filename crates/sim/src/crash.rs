@@ -77,7 +77,10 @@ impl CrashPlan {
 
     /// The scheduled crash time of `pid`, if any.
     pub fn crash_time(&self, pid: ProcessId) -> Option<Time> {
-        self.crashes.iter().find(|(p, _)| *p == pid).map(|(_, t)| *t)
+        self.crashes
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, t)| *t)
     }
 
     /// Iterates over the `(process, time)` pairs.
@@ -88,7 +91,13 @@ impl CrashPlan {
     /// The set of processes that will have crashed by the end of the run,
     /// i.e. the *faulty* processes.
     pub fn faulty_set(&self, n: usize) -> ProcessSet {
-        ProcessSet::from_ids(n, self.crashes.iter().map(|(p, _)| *p).filter(|p| p.index() < n))
+        ProcessSet::from_ids(
+            n,
+            self.crashes
+                .iter()
+                .map(|(p, _)| *p)
+                .filter(|p| p.index() < n),
+        )
     }
 
     /// Validates the plan against a fault bound: at most `t` crashes, all of

@@ -11,17 +11,42 @@
 //! the engine holds it until the star-centre message of the same
 //! `(receiver, round)` key has been delivered, guaranteeing the centre's
 //! `ALIVE(rn)` is received first (and hence among the first `n − t`).
+//!
+//! # Hot-path layout
+//!
+//! The protocols are broadcast-heavy — every receiving round each process
+//! sends `ALIVE(rn, susp)` to all `n − 1` peers — so the engine is organised
+//! to make the per-message cost independent of the payload and of `n`:
+//!
+//! * **Shared payloads.** [`Event::Deliver`] and the gate's hold buffer carry
+//!   `Arc<P::Msg>`. A broadcast allocates the payload once in
+//!   [`apply_actions`](Simulation) and fans out pointer clones; receivers get
+//!   the payload by reference ([`Protocol::on_message`] takes `&Msg`), so a
+//!   round of `n` broadcasts costs `n` allocations instead of `n²` deep
+//!   `SuspVector` clones.
+//! * **Dense per-process state.** Timer generations live in a plain
+//!   `Vec<u64>` indexed by the (small, enumerable) raw [`TimerId`], not a
+//!   `HashMap`. The winning-message gate keys `(receiver, round)` live in a
+//!   per-receiver ring of [`GATE_WINDOW`] recent rounds (all gate activity
+//!   for a round happens at that round's send instant, so a short window is
+//!   exact in practice), and held messages live in a token-checked slab whose
+//!   deadline-release events keep links reliable even if a ring slot is
+//!   recycled.
+//! * **O(1) event queue.** The queue is a hierarchical timing wheel (see
+//!   [`EventQueue`]): pushes and pops are constant-time slot operations and
+//!   the `O(n²)` same-instant broadcast bursts share FIFO buckets, where a
+//!   binary heap would pay `O(log len)` element moves per message.
 
 use crate::adversary::{Adversary, Delivery};
 use crate::crash::CrashPlan;
-use crate::event::{Event, EventQueue, HoldKey};
+use crate::event::{Event, EventQueue};
 use crate::rng::SimRng;
 use crate::trace::{LeaderChange, Trace, TraceCounters};
 use irs_types::{
     Actions, Destination, Duration, Introspect, ProcessId, Protocol, RoundNum, RoundTagged,
     Snapshot, Time, TimerId, TimerRequest,
 };
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Static parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -112,18 +137,65 @@ impl SimReport {
     }
 }
 
+/// How many recent rounds of gate state are kept per receiver.
+///
+/// Every send of a round-`rn` `ALIVE` happens at that round's broadcast
+/// instant (the periodic timers of all processes fire in lockstep), so the
+/// gate state of a key `(receiver, rn)` is only ever *consulted* at that one
+/// instant; 64 rounds of slack is far beyond anything the adversaries
+/// produce. Held messages whose slot is recycled are still delivered by
+/// their deadline-release event — the window bounds memory, not reliability.
+const GATE_WINDOW: usize = 64;
+
+/// A message held by the winning-message gate, waiting in the hold slab.
 struct HeldMsg<M> {
     token: u64,
     from: ProcessId,
-    msg: M,
+    to: ProcessId,
+    msg: Arc<M>,
     slack: Duration,
+}
+
+/// Gate state of one `(receiver, round)` key: the scheduled star-centre
+/// delivery time and the slab indices of messages held behind it.
+struct GateSlot {
+    rn: RoundNum,
+    star_at: Option<Time>,
+    held: Vec<u32>,
+}
+
+impl GateSlot {
+    fn vacant() -> Self {
+        GateSlot {
+            rn: RoundNum::ZERO,
+            star_at: None,
+            held: Vec::new(),
+        }
+    }
 }
 
 struct ProcSlot<P> {
     proto: P,
     crashed: bool,
-    timer_gen: HashMap<TimerId, u64>,
+    /// Timer generations, densely indexed by the raw `TimerId` (grown on
+    /// demand; protocols use a handful of small ids).
+    timer_gen: Vec<u64>,
     last_leader: ProcessId,
+}
+
+impl<P> ProcSlot<P> {
+    fn bump_timer_gen(&mut self, id: TimerId) -> u64 {
+        let i = id.raw() as usize;
+        if i >= self.timer_gen.len() {
+            self.timer_gen.resize(i + 1, 0);
+        }
+        self.timer_gen[i] += 1;
+        self.timer_gen[i]
+    }
+
+    fn timer_gen(&self, id: TimerId) -> u64 {
+        self.timer_gen.get(id.raw() as usize).copied().unwrap_or(0)
+    }
 }
 
 /// A deterministic discrete-event simulation of `n` protocol instances under
@@ -147,13 +219,20 @@ where
     adversary: A,
     rng: SimRng,
     trace: Trace,
-    /// Scheduled delivery time of the star-centre message per gate key.
-    star_time: HashMap<HoldKey, Time>,
-    /// Messages held by the winning-message gate, per gate key.
-    held: HashMap<HoldKey, Vec<HeldMsg<P::Msg>>>,
+    /// Winning-message gate state: per receiver, a ring of the
+    /// [`GATE_WINDOW`] most recent rounds.
+    gates: Vec<Vec<GateSlot>>,
+    /// Slab of held messages, indexed by the `slot` of
+    /// [`Event::ReleaseHeld`]; `None` entries are free.
+    held_slab: Vec<Option<HeldMsg<P::Msg>>>,
+    /// Free slots of `held_slab`.
+    held_free: Vec<u32>,
     next_token: u64,
     crash_plan: CrashPlan,
     started: bool,
+    /// Reusable action buffer: one per engine, so the per-event callback
+    /// costs no allocation once its capacity has warmed up.
+    scratch: Actions<P::Msg>,
 }
 
 impl<P, A> core::fmt::Debug for Simulation<P, A>
@@ -194,14 +273,15 @@ where
                 p.id()
             );
         }
-        let procs = processes
+        let n = processes.len();
+        let procs: Vec<ProcSlot<P>> = processes
             .into_iter()
             .map(|p| {
                 let last_leader = p.leader();
                 ProcSlot {
                     proto: p,
                     crashed: false,
-                    timer_gen: HashMap::new(),
+                    timer_gen: Vec::new(),
                     last_leader,
                 }
             })
@@ -214,11 +294,15 @@ where
             adversary,
             rng: SimRng::from_seed(config.seed),
             trace: Trace::default(),
-            star_time: HashMap::new(),
-            held: HashMap::new(),
+            gates: (0..n)
+                .map(|_| (0..GATE_WINDOW).map(|_| GateSlot::vacant()).collect())
+                .collect(),
+            held_slab: Vec::new(),
+            held_free: Vec::new(),
             next_token: 0,
             crash_plan: crashes,
             started: false,
+            scratch: Actions::new(),
         }
     }
 
@@ -268,9 +352,10 @@ where
         }
         for i in 0..self.procs.len() {
             let pid = ProcessId::new(i as u32);
-            let mut out = Actions::new();
+            let mut out = std::mem::take(&mut self.scratch);
             self.procs[i].proto.on_start(&mut out);
-            self.after_callback(pid, out);
+            self.after_callback(pid, &mut out);
+            self.scratch = out;
         }
         self.refresh_agreement();
     }
@@ -293,23 +378,31 @@ where
                     self.trace.counters.dropped_to_crashed += 1;
                 } else {
                     self.trace.counters.messages_delivered += 1;
-                    let mut out = Actions::new();
-                    self.procs[to.index()].proto.on_message(from, msg, &mut out);
-                    self.after_callback(to, out);
+                    let mut out = std::mem::take(&mut self.scratch);
+                    self.procs[to.index()]
+                        .proto
+                        .on_message(from, &msg, &mut out);
+                    self.after_callback(to, &mut out);
+                    self.scratch = out;
                 }
             }
-            Event::TimerFire { pid, timer, generation } => {
+            Event::TimerFire {
+                pid,
+                timer,
+                generation,
+            } => {
                 let slot = &mut self.procs[pid.index()];
                 if slot.crashed {
                     return true;
                 }
-                if slot.timer_gen.get(&timer).copied().unwrap_or(0) != generation {
+                if slot.timer_gen(timer) != generation {
                     return true; // superseded or cancelled
                 }
                 self.trace.counters.timer_fires += 1;
-                let mut out = Actions::new();
+                let mut out = std::mem::take(&mut self.scratch);
                 slot.proto.on_timer(timer, &mut out);
-                self.after_callback(pid, out);
+                self.after_callback(pid, &mut out);
+                self.scratch = out;
             }
             Event::Crash { pid } => {
                 if !self.procs[pid.index()].crashed {
@@ -318,19 +411,22 @@ where
                     self.refresh_agreement();
                 }
             }
-            Event::ReleaseHeld { key, token } => {
-                if let Some(list) = self.held.get_mut(&key) {
-                    if let Some(pos) = list.iter().position(|h| h.token == token) {
-                        let h = list.remove(pos);
-                        if list.is_empty() {
-                            self.held.remove(&key);
-                        }
-                        self.trace.counters.gate_deadline_releases += 1;
-                        self.queue.push(
-                            self.now,
-                            Event::Deliver { from: h.from, to: key.0, msg: h.msg },
-                        );
-                    }
+            Event::ReleaseHeld { slot, token } => {
+                let matches = self
+                    .held_slab
+                    .get(slot as usize)
+                    .is_some_and(|e| e.as_ref().is_some_and(|h| h.token == token));
+                if matches {
+                    let h = self.free_held(slot);
+                    self.trace.counters.gate_deadline_releases += 1;
+                    self.queue.push(
+                        self.now,
+                        Event::Deliver {
+                            from: h.from,
+                            to: h.to,
+                            msg: h.msg,
+                        },
+                    );
                 }
             }
         }
@@ -383,7 +479,13 @@ where
             final_snapshots: self
                 .procs
                 .iter()
-                .map(|s| if s.crashed { None } else { Some(s.proto.snapshot()) })
+                .map(|s| {
+                    if s.crashed {
+                        None
+                    } else {
+                        Some(s.proto.snapshot())
+                    }
+                })
                 .collect(),
             crashed: self
                 .procs
@@ -396,7 +498,7 @@ where
         }
     }
 
-    fn after_callback(&mut self, pid: ProcessId, out: Actions<P::Msg>) {
+    fn after_callback(&mut self, pid: ProcessId, out: &mut Actions<P::Msg>) {
         self.apply_actions(pid, out);
         let new_leader = self.procs[pid.index()].proto.leader();
         if new_leader != self.procs[pid.index()].last_leader {
@@ -421,47 +523,97 @@ where
         self.trace.record_agreement(self.now, agreed);
     }
 
-    fn apply_actions(&mut self, pid: ProcessId, actions: Actions<P::Msg>) {
+    fn apply_actions(&mut self, pid: ProcessId, actions: &mut Actions<P::Msg>) {
         let n = self.procs.len();
-        let (sends, timers, cancels) = actions.into_parts();
-        for outbound in sends {
+        for outbound in actions.drain_sends() {
+            // One allocation per send action: the broadcast fan-out below
+            // clones the pointer, not the payload.
+            let payload = Arc::new(outbound.msg);
             match outbound.dest {
-                Destination::To(q) => self.send_one(pid, q, outbound.msg),
+                Destination::To(q) => self.send_one(pid, q, payload),
                 Destination::AllOthers => {
-                    for q in (0..n).map(|i| ProcessId::new(i as u32)).filter(|q| *q != pid) {
-                        self.send_one(pid, q, outbound.msg.clone());
+                    for q in (0..n)
+                        .map(|i| ProcessId::new(i as u32))
+                        .filter(|q| *q != pid)
+                    {
+                        self.send_one(pid, q, Arc::clone(&payload));
                     }
                 }
                 Destination::All => {
                     for q in (0..n).map(|i| ProcessId::new(i as u32)) {
-                        self.send_one(pid, q, outbound.msg.clone());
+                        self.send_one(pid, q, Arc::clone(&payload));
                     }
                 }
             }
         }
-        for request in timers {
+        for request in actions.drain_timers() {
             self.arm_timer(pid, request);
         }
-        for id in cancels {
-            let slot = &mut self.procs[pid.index()];
-            *slot.timer_gen.entry(id).or_insert(0) += 1;
+        for id in actions.drain_cancels() {
+            self.procs[pid.index()].bump_timer_gen(id);
         }
     }
 
     fn arm_timer(&mut self, pid: ProcessId, request: TimerRequest) {
-        let slot = &mut self.procs[pid.index()];
-        let gen = slot.timer_gen.entry(request.id).or_insert(0);
-        *gen += 1;
-        let generation = *gen;
+        let generation = self.procs[pid.index()].bump_timer_gen(request.id);
         self.trace.counters.timers_set += 1;
         self.queue.push(
             self.now + request.after,
-            Event::TimerFire { pid, timer: request.id, generation },
+            Event::TimerFire {
+                pid,
+                timer: request.id,
+                generation,
+            },
         );
     }
 
-    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
-        debug_assert!(to.index() < self.procs.len(), "send to unknown process {to}");
+    /// The gate ring slot currently associated with `(to, rn)`, claiming it
+    /// from an older round if necessary. Returns `None` for a stale round
+    /// (older than the slot's current owner), which callers treat as "no
+    /// gate state".
+    fn gate_slot(&mut self, to: ProcessId, rn: RoundNum) -> Option<&mut GateSlot> {
+        let slot = &mut self.gates[to.index()][(rn.value() % GATE_WINDOW as u64) as usize];
+        if slot.rn == rn {
+            return Some(slot);
+        }
+        if rn > slot.rn {
+            // Recycle the slot for the newer round. Held messages of the
+            // displaced round stay in the slab; their deadline releases
+            // deliver them.
+            slot.rn = rn;
+            slot.star_at = None;
+            slot.held.clear();
+            return Some(slot);
+        }
+        None
+    }
+
+    fn hold_msg(&mut self, held: HeldMsg<P::Msg>) -> u32 {
+        match self.held_free.pop() {
+            Some(slot) => {
+                self.held_slab[slot as usize] = Some(held);
+                slot
+            }
+            None => {
+                self.held_slab.push(Some(held));
+                (self.held_slab.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_held(&mut self, slot: u32) -> HeldMsg<P::Msg> {
+        let h = self.held_slab[slot as usize]
+            .take()
+            .expect("freeing a vacant hold slot");
+        self.held_free.push(slot);
+        h
+    }
+
+    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: Arc<P::Msg>) {
+        debug_assert!(
+            to.index() < self.procs.len(),
+            "send to unknown process {to}"
+        );
         self.trace.counters.messages_sent += 1;
         self.trace.counters.bytes_sent += msg.estimated_size() as u64;
         if msg.constrained_round().is_some() {
@@ -469,56 +621,72 @@ where
         } else {
             self.trace.counters.other_sent += 1;
         }
-        let decision = self.adversary.delivery(self.now, from, to, &msg, &mut self.rng);
+        let decision = self
+            .adversary
+            .delivery(self.now, from, to, &msg, &mut self.rng);
         match decision {
             Delivery::After(delay) => {
-                self.queue.push(self.now + delay, Event::Deliver { from, to, msg });
+                self.queue
+                    .push(self.now + delay, Event::Deliver { from, to, msg });
             }
             Delivery::StarAfter(delay) => {
-                let key: HoldKey = (to, msg.constrained_round().unwrap_or(RoundNum::ZERO));
+                let rn = msg.constrained_round().unwrap_or(RoundNum::ZERO);
                 let star_at = self.now + delay;
-                let entry = self.star_time.entry(key).or_insert(star_at);
-                if star_at < *entry {
-                    *entry = star_at;
+                let mut released: Vec<u32> = Vec::new();
+                if let Some(slot) = self.gate_slot(to, rn) {
+                    slot.star_at = Some(match slot.star_at {
+                        Some(existing) => existing.min(star_at),
+                        None => star_at,
+                    });
+                    // Open the gate: every message currently held on this key
+                    // is scheduled strictly after the star message.
+                    released = std::mem::take(&mut slot.held);
                 }
-                // Open the gate: schedule every message currently held on
-                // this key strictly after the star message.
-                if let Some(held) = self.held.remove(&key) {
-                    for h in held {
-                        self.queue.push(
-                            star_at + h.slack,
-                            Event::Deliver { from: h.from, to, msg: h.msg },
-                        );
-                    }
+                for idx in released {
+                    let h = self.free_held(idx);
+                    self.queue.push(
+                        star_at + h.slack,
+                        Event::Deliver {
+                            from: h.from,
+                            to,
+                            msg: h.msg,
+                        },
+                    );
                 }
                 self.queue.push(star_at, Event::Deliver { from, to, msg });
-                self.maybe_prune_star_times();
             }
             Delivery::AfterStar { slack, deadline } => {
-                let key: HoldKey = (to, msg.constrained_round().unwrap_or(RoundNum::ZERO));
-                if let Some(&star_at) = self.star_time.get(&key) {
-                    let at = if star_at > self.now { star_at + slack } else { self.now + slack };
-                    self.queue.push(at, Event::Deliver { from, to, msg });
-                } else {
-                    self.trace.counters.messages_held += 1;
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    self.held.entry(key).or_default().push(HeldMsg { token, from, msg, slack });
-                    self.queue.push(self.now + deadline, Event::ReleaseHeld { key, token });
+                let rn = msg.constrained_round().unwrap_or(RoundNum::ZERO);
+                let now = self.now;
+                let star_at = self.gate_slot(to, rn).and_then(|slot| slot.star_at);
+                match star_at {
+                    Some(star_at) => {
+                        let at = if star_at > now {
+                            star_at + slack
+                        } else {
+                            now + slack
+                        };
+                        self.queue.push(at, Event::Deliver { from, to, msg });
+                    }
+                    None => {
+                        self.trace.counters.messages_held += 1;
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        let idx = self.hold_msg(HeldMsg {
+                            token,
+                            from,
+                            to,
+                            msg,
+                            slack,
+                        });
+                        if let Some(slot) = self.gate_slot(to, rn) {
+                            slot.held.push(idx);
+                        }
+                        self.queue
+                            .push(now + deadline, Event::ReleaseHeld { slot: idx, token });
+                    }
                 }
             }
-        }
-    }
-
-    /// Keeps the star-time map from growing without bound over very long
-    /// runs: old entries are only useful for extremely late messages of old
-    /// rounds, for which missing the gate is harmless (the round is closed).
-    fn maybe_prune_star_times(&mut self) {
-        const LIMIT: usize = 8192;
-        if self.star_time.len() > LIMIT {
-            let now = self.now;
-            self.star_time
-                .retain(|_, &mut at| now.saturating_since(at) < Duration::from_ticks(100_000));
         }
     }
 }
@@ -559,7 +727,12 @@ mod tests {
 
     impl Beacon {
         fn new(id: ProcessId, n: usize) -> Self {
-            Beacon { id, n, heard: vec![0; n], ticks: 0 }
+            Beacon {
+                id,
+                n,
+                heard: vec![0; n],
+                ticks: 0,
+            }
         }
     }
 
@@ -574,14 +747,16 @@ mod tests {
             out.set_timer(TICK, Duration::from_ticks(10));
         }
 
-        fn on_message(&mut self, from: ProcessId, _msg: BeaconMsg, _out: &mut Actions<BeaconMsg>) {
+        fn on_message(&mut self, from: ProcessId, _msg: &BeaconMsg, _out: &mut Actions<BeaconMsg>) {
             self.heard[from.index()] = self.ticks.max(1);
         }
 
         fn on_timer(&mut self, _timer: TimerId, out: &mut Actions<BeaconMsg>) {
             self.ticks += 1;
             self.heard[self.id.index()] = self.ticks;
-            out.broadcast_others(BeaconMsg { round: RoundNum::new(self.ticks) });
+            out.broadcast_others(BeaconMsg {
+                round: RoundNum::new(self.ticks),
+            });
             out.set_timer(TICK, Duration::from_ticks(10));
         }
     }
@@ -611,7 +786,9 @@ mod tests {
     }
 
     fn build(n: usize, horizon: u64, crashes: CrashPlan) -> Simulation<Beacon, FixedDelay> {
-        let procs = (0..n).map(|i| Beacon::new(ProcessId::new(i as u32), n)).collect();
+        let procs = (0..n)
+            .map(|i| Beacon::new(ProcessId::new(i as u32), n))
+            .collect();
         Simulation::new(
             SimConfig::new(7, Time::from_ticks(horizon)),
             procs,
@@ -654,7 +831,9 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_report() {
         let run = |seed| {
-            let procs = (0..5).map(|i| Beacon::new(ProcessId::new(i as u32), 5)).collect();
+            let procs = (0..5)
+                .map(|i| Beacon::new(ProcessId::new(i as u32), 5))
+                .collect();
             let mut sim = Simulation::new(
                 SimConfig::new(seed, Time::from_ticks(3000)),
                 procs,
@@ -696,7 +875,7 @@ mod tests {
                 out.set_timer(TimerId::new(0), Duration::from_ticks(5));
                 out.set_timer(TimerId::new(0), Duration::from_ticks(50));
             }
-            fn on_message(&mut self, _: ProcessId, _: NoMsg, _: &mut Actions<NoMsg>) {}
+            fn on_message(&mut self, _: ProcessId, _: &NoMsg, _: &mut Actions<NoMsg>) {}
             fn on_timer(&mut self, _: TimerId, _: &mut Actions<NoMsg>) {
                 self.fires += 1;
             }
@@ -711,7 +890,16 @@ mod tests {
                 Snapshot::default()
             }
         }
-        let procs = vec![Rearm { id: ProcessId::new(0), fires: 0 }, Rearm { id: ProcessId::new(1), fires: 0 }];
+        let procs = vec![
+            Rearm {
+                id: ProcessId::new(0),
+                fires: 0,
+            },
+            Rearm {
+                id: ProcessId::new(1),
+                fires: 0,
+            },
+        ];
         let mut sim = Simulation::new(
             SimConfig::new(1, Time::from_ticks(1000)),
             procs,
@@ -727,7 +915,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "reports id")]
     fn mismatched_ids_panic() {
-        let procs = vec![Beacon::new(ProcessId::new(1), 2), Beacon::new(ProcessId::new(0), 2)];
+        let procs = vec![
+            Beacon::new(ProcessId::new(1), 2),
+            Beacon::new(ProcessId::new(0), 2),
+        ];
         let _ = Simulation::new(
             SimConfig::default(),
             procs,

@@ -1,24 +1,24 @@
 //! The discrete-event queue.
 
-use irs_types::{ProcessId, RoundNum, Time, TimerId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Key identifying the gate of the "winning message" enforcement: the held
-/// messages destined to a process for a given constrained round.
-pub(crate) type HoldKey = (ProcessId, RoundNum);
+use irs_types::{ProcessId, Time, TimerId};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Something that will happen at a point of simulated time.
 #[derive(Clone, Debug)]
 pub enum Event<M> {
     /// A message reaches its destination process.
+    ///
+    /// The payload is reference-counted: a broadcast to `n − 1` receivers
+    /// schedules `n − 1` `Deliver` events sharing one allocation, so the
+    /// fan-out clones a pointer, not the message.
     Deliver {
         /// Sender.
         from: ProcessId,
         /// Receiver.
         to: ProcessId,
-        /// Payload.
-        msg: M,
+        /// Shared payload.
+        msg: Arc<M>,
     },
     /// A timer armed by a protocol instance fires.
     TimerFire {
@@ -37,44 +37,89 @@ pub enum Event<M> {
     },
     /// Fallback release of a message held by the winning-message gate.
     ReleaseHeld {
-        /// Gate key (receiver, constrained round).
-        key: HoldKey,
-        /// Token of the held message to release.
+        /// Index of the held message in the engine's hold buffer.
+        slot: u32,
+        /// Token stamped when the message was held; a mismatch means the slot
+        /// was already released (by its gate opening) and reused.
         token: u64,
     },
 }
 
-/// An event scheduled at a time, ordered by `(time, insertion sequence)` so
-/// that simultaneous events are processed in insertion order (deterministic).
+/// Slots per wheel level (one 10-bit digit of the tick value per level).
+/// 1024-tick level-0 windows cover the typical message-delay spread, so most
+/// events are filed exactly once.
+const SLOT_BITS: u32 = 10;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+/// Seven levels of 1024 slots cover the full `u64` tick range (7 × 10 bits
+/// plus the sign-free top bits that no simulation horizon reaches).
+const LEVELS: usize = 7;
+
+/// One wheel level: `SLOTS` FIFO deques plus an occupancy bitmap so the
+/// next occupied slot is found with a handful of word operations.
 #[derive(Debug)]
-struct Scheduled<M> {
-    at: Time,
-    seq: u64,
-    event: Event<M>,
+struct WheelLevel<M> {
+    slots: Vec<VecDeque<(u64, Event<M>)>>,
+    occupied: [u64; SLOTS / 64],
 }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<M> WheelLevel<M> {
+    fn new() -> Self {
+        WheelLevel {
+            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; SLOTS / 64],
+        }
     }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
     }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the BinaryHeap (a max-heap) pops the earliest event.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+    fn unmark(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// The first occupied slot with index ≥ `from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= SLOTS / 64 {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
     }
 }
 
 /// A time-ordered queue of [`Event`]s.
+///
+/// Events that share a timestamp are popped in insertion order
+/// (deterministic FIFO), exactly the `(time, sequence)` order a binary heap
+/// with an insertion counter would produce — the property test in this module
+/// checks the two against each other.
+///
+/// # Representation
+///
+/// The engine pushes and pops one event per simulated step, and a binary
+/// heap pays `O(log len)` element moves on both ends. The queue is instead a
+/// classic *hierarchical timing wheel*: `LEVELS` levels of `SLOTS` FIFO
+/// slots, one `SLOT_BITS`-bit digit of the tick value per level. A push
+/// indexes the level of the highest digit in which the timestamp differs
+/// from the current cursor — O(1), no element moves. A pop drains the
+/// level-0 slot of the earliest occupied tick; when a level-0 window is
+/// exhausted, the next occupied coarse slot is promoted one level down,
+/// which re-bins each event once per level at most. Same-tick bursts (the
+/// lockstep broadcasts of the protocols) land in one slot and keep their
+/// FIFO order through every promotion.
+///
+/// Events pushed at or before an already-popped timestamp (the engine never
+/// does this, but the API allows it) go to a small ordered side table that is
+/// always drained first.
 ///
 /// # Example
 ///
@@ -90,8 +135,14 @@ impl<M> Ord for Scheduled<M> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Scheduled<M>>,
-    next_seq: u64,
+    /// Lower bound on every timestamp stored in the wheel; only ever moves
+    /// forward. Equal to the timestamp of the most recent wheel pop.
+    cursor: u64,
+    levels: Vec<WheelLevel<M>>,
+    /// Events pushed strictly before `cursor`: globally earliest, popped
+    /// first, ordered by `(time, insertion)`.
+    overdue: BTreeMap<Time, VecDeque<Event<M>>>,
+    len: usize,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -104,36 +155,147 @@ impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            cursor: 0,
+            levels: (0..LEVELS).map(|_| WheelLevel::new()).collect(),
+            overdue: BTreeMap::new(),
+            len: 0,
         }
+    }
+
+    /// The wheel level an event at tick `at ≥ cursor` belongs to: the level
+    /// of the highest `SLOT_BITS`-bit digit in which `at` differs from the
+    /// cursor.
+    fn level_of(&self, at: u64) -> usize {
+        let diff = at ^ self.cursor;
+        if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros() as usize) / SLOT_BITS as usize
+        }
+    }
+
+    fn wheel_insert(&mut self, at: u64, event: Event<M>) {
+        let level = self.level_of(at);
+        let slot = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.levels[level].slots[slot].push_back((at, event));
+        self.levels[level].mark(slot);
     }
 
     /// Schedules `event` at time `at`.
     pub fn push(&mut self, at: Time, event: Event<M>) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.len += 1;
+        let t = at.ticks();
+        if t < self.cursor {
+            self.overdue.entry(at).or_default().push_back(event);
+        } else {
+            self.wheel_insert(t, event);
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, Event<M>)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        // Overdue events are strictly earlier than everything in the wheel.
+        if let Some(mut entry) = self.overdue.first_entry() {
+            let at = *entry.key();
+            let event = entry
+                .get_mut()
+                .pop_front()
+                .expect("overdue bucket never left empty");
+            if entry.get().is_empty() {
+                entry.remove();
+            }
+            self.len -= 1;
+            return Some((at, event));
+        }
+        loop {
+            // Fast path: the earliest occupied level-0 slot of the current
+            // `SLOTS`-tick window holds the next event.
+            let from = (self.cursor & SLOT_MASK) as usize;
+            if let Some(slot) = self.levels[0].next_occupied(from) {
+                let deque = &mut self.levels[0].slots[slot];
+                let (t, event) = deque.pop_front().expect("occupied slot is non-empty");
+                if deque.is_empty() {
+                    self.levels[0].unmark(slot);
+                }
+                self.cursor = t;
+                self.len -= 1;
+                return Some((Time::from_ticks(t), event));
+            }
+            // The window is exhausted: promote the next occupied coarse slot.
+            let mut promoted = false;
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let from = ((self.cursor >> shift) & SLOT_MASK) as usize + 1;
+                if from >= SLOTS {
+                    continue; // this level's window is exhausted too
+                }
+                let Some(slot) = self.levels[level].next_occupied(from) else {
+                    continue;
+                };
+                // Advance the cursor to the base of the promoted window; every
+                // remaining event is at or after it. The top level's digit
+                // reaches past bit 63, so the mask of the bits above it is
+                // computed with a checked shift (empty mask at the top).
+                let high_mask = (!0u64).checked_shl(shift + SLOT_BITS).unwrap_or(0);
+                self.cursor = (self.cursor & high_mask) | ((slot as u64) << shift);
+                let mut drained = std::mem::take(&mut self.levels[level].slots[slot]);
+                self.levels[level].unmark(slot);
+                for (t, event) in drained.drain(..) {
+                    self.wheel_insert(t, event);
+                }
+                // Re-binning targets strictly lower levels, so the slot is
+                // still empty: hand its buffer back to avoid reallocating.
+                self.levels[level].slots[slot] = drained;
+                promoted = true;
+                break;
+            }
+            if !promoted {
+                debug_assert_eq!(self.len, 0, "events lost by the wheel");
+                return None;
+            }
+        }
     }
 
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.at)
+        if let Some((&at, _)) = self.overdue.first_key_value() {
+            return Some(at);
+        }
+        // Scan outward from the cursor; the first occupied slot of the
+        // finest occupied level bounds the answer, but coarse slots are not
+        // time-ordered internally, so take the minimum over their contents.
+        let from = (self.cursor & SLOT_MASK) as usize;
+        if let Some(slot) = self.levels[0].next_occupied(from) {
+            return self.levels[0].slots[slot]
+                .front()
+                .map(|&(t, _)| Time::from_ticks(t));
+        }
+        for level in 1..LEVELS {
+            let shift = SLOT_BITS * level as u32;
+            let from = ((self.cursor >> shift) & SLOT_MASK) as usize + 1;
+            if from >= SLOTS {
+                continue;
+            }
+            let Some(slot) = self.levels[level].next_occupied(from) else {
+                continue;
+            };
+            return self.levels[level].slots[slot]
+                .iter()
+                .map(|&(t, _)| t)
+                .min()
+                .map(Time::from_ticks);
+        }
+        None
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -153,7 +315,9 @@ mod tests {
         q.push(Time::from_ticks(30), crash(3));
         q.push(Time::from_ticks(10), crash(1));
         q.push(Time::from_ticks(20), crash(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.ticks()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.ticks())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 
@@ -182,6 +346,110 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_ticks(7)));
         assert!(!q.is_empty());
         q.pop();
+        assert!(q.is_empty());
+    }
+
+    /// Reference model: a binary heap over `(time, insertion sequence)` —
+    /// the representation the queue replaced. The calendar queue must be
+    /// observationally identical under any push/pop interleaving, including
+    /// insertion-order ties at equal times.
+    mod model_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        #[derive(Default)]
+        struct HeapModel {
+            heap: BinaryHeap<Reverse<(u64, u64)>>,
+            payloads: std::collections::HashMap<(u64, u64), u32>,
+            next_seq: u64,
+        }
+
+        impl HeapModel {
+            fn push(&mut self, at: u64, id: u32) {
+                let key = (at, self.next_seq);
+                self.next_seq += 1;
+                self.heap.push(Reverse(key));
+                self.payloads.insert(key, id);
+            }
+
+            fn pop(&mut self) -> Option<(u64, u32)> {
+                let Reverse(key) = self.heap.pop()?;
+                Some((key.0, self.payloads.remove(&key).expect("payload")))
+            }
+        }
+
+        fn id_of(event: Event<u8>) -> u32 {
+            match event {
+                Event::Crash { pid } => pid.as_u32(),
+                _ => unreachable!("model only schedules crashes"),
+            }
+        }
+
+        /// Spreads the small drawn time over the wheel's levels so the
+        /// interleavings exercise promotion, multi-level peeks, and the
+        /// top-level (bit ≥ 60) digit, while keeping same-time ties frequent
+        /// within each scale.
+        const SCALES: [u64; 5] = [1, 1_000, 1_000_000, 1_000_000_000_000, 1 << 60];
+
+        proptest! {
+            /// Interleaving: each op is either a push (time drawn from a
+            /// deliberately small domain so ties are frequent, then scaled
+            /// across wheel levels) or a pop.
+            #[test]
+            fn prop_matches_binary_heap_model(
+                ops in proptest::collection::vec((0u8..4, 0u64..16, 0u32..5), 1..400),
+            ) {
+                let mut queue: EventQueue<u8> = EventQueue::new();
+                let mut model = HeapModel::default();
+                let mut id = 0u32;
+                for (op, small, scale) in ops {
+                    let at = small * SCALES[scale as usize];
+                    if op == 0 {
+                        // 1-in-4 ops is a pop.
+                        let got = queue.pop();
+                        let want = model.pop();
+                        prop_assert_eq!(got.as_ref().map(|(t, _)| t.ticks()), want.map(|(t, _)| t));
+                        prop_assert_eq!(got.map(|(_, e)| id_of(e)), want.map(|(_, i)| i));
+                    } else {
+                        queue.push(Time::from_ticks(at), crash(id));
+                        model.push(at, id);
+                        id += 1;
+                    }
+                    prop_assert_eq!(queue.len(), model.heap.len());
+                    prop_assert_eq!(queue.peek_time().map(|t| t.ticks()), model.heap.peek().map(|Reverse((t, _))| *t));
+                }
+                // Drain both completely: the full pop sequence must match,
+                // including FIFO order among equal times.
+                loop {
+                    let got = queue.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got.as_ref().map(|(t, _)| t.ticks()), want.map(|(t, _)| t));
+                    prop_assert_eq!(got.map(|(_, e)| id_of(e)), want.map(|(_, i)| i));
+                    if want.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The top wheel level's digit reaches past bit 63; promotion there must
+    /// not overflow the high-bits mask computation.
+    #[test]
+    fn top_level_ticks_round_trip() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let times = [1u64 << 60, (1 << 60) + 5, 3, 1 << 62, u64::MAX];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ticks(t), crash(i as u32));
+        }
+        let mut sorted = times;
+        sorted.sort();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.ticks())
+            .collect();
+        assert_eq!(popped, sorted.to_vec());
         assert!(q.is_empty());
     }
 

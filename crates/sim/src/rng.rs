@@ -245,8 +245,9 @@ mod tests {
     fn choose_subset_varies() {
         let mut r = SimRng::from_seed(17);
         let candidates: Vec<ProcessId> = ProcessId::all(12).collect();
-        let subsets: std::collections::BTreeSet<Vec<ProcessId>> =
-            (0..50).map(|_| r.choose_subset(12, &candidates, 4).to_vec()).collect();
+        let subsets: std::collections::BTreeSet<Vec<ProcessId>> = (0..50)
+            .map(|_| r.choose_subset(12, &candidates, 4).to_vec())
+            .collect();
         assert!(subsets.len() > 10);
     }
 

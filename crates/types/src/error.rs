@@ -64,7 +64,10 @@ mod tests {
         let msgs = [
             ConfigError::TooFewProcesses { n: 1 }.to_string(),
             ConfigError::TooManyFaults { n: 3, t: 5 }.to_string(),
-            ConfigError::ZeroParameter { name: "send_period" }.to_string(),
+            ConfigError::ZeroParameter {
+                name: "send_period",
+            }
+            .to_string(),
             ConfigError::MajorityRequired { n: 4, t: 2 }.to_string(),
         ];
         for m in msgs {

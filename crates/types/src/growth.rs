@@ -56,9 +56,7 @@ impl GrowthFn {
         match self {
             GrowthFn::Zero => 0,
             GrowthFn::Constant(c) => c,
-            GrowthFn::Linear { per_round, divisor } => {
-                per_round.saturating_mul(r) / divisor.max(1)
-            }
+            GrowthFn::Linear { per_round, divisor } => per_round.saturating_mul(r) / divisor.max(1),
             GrowthFn::Sqrt => (r as f64).sqrt() as u64,
             GrowthFn::Log2 => 63 - (r + 1).leading_zeros() as u64,
         }
@@ -97,7 +95,10 @@ mod tests {
 
     #[test]
     fn linear_uses_integer_division() {
-        let f = GrowthFn::Linear { per_round: 3, divisor: 10 };
+        let f = GrowthFn::Linear {
+            per_round: 3,
+            divisor: 10,
+        };
         assert_eq!(f.eval(RoundNum::new(0)), 0);
         assert_eq!(f.eval(RoundNum::new(3)), 0);
         assert_eq!(f.eval(RoundNum::new(4)), 1);
@@ -106,7 +107,10 @@ mod tests {
 
     #[test]
     fn linear_zero_divisor_treated_as_one() {
-        let f = GrowthFn::Linear { per_round: 2, divisor: 0 };
+        let f = GrowthFn::Linear {
+            per_round: 2,
+            divisor: 0,
+        };
         assert_eq!(f.eval(RoundNum::new(5)), 10);
     }
 
@@ -125,7 +129,10 @@ mod tests {
         let fns = [
             GrowthFn::Zero,
             GrowthFn::Constant(5),
-            GrowthFn::Linear { per_round: 1, divisor: 7 },
+            GrowthFn::Linear {
+                per_round: 1,
+                divisor: 7,
+            },
             GrowthFn::Sqrt,
             GrowthFn::Log2,
         ];
@@ -144,7 +151,11 @@ mod tests {
         assert_eq!(GrowthFn::Zero.to_string(), "0");
         assert_eq!(GrowthFn::Constant(3).to_string(), "3");
         assert_eq!(
-            GrowthFn::Linear { per_round: 1, divisor: 2 }.to_string(),
+            GrowthFn::Linear {
+                per_round: 1,
+                divisor: 2
+            }
+            .to_string(),
             "1*rn/2"
         );
         assert_eq!(GrowthFn::Sqrt.to_string(), "sqrt(rn)");

@@ -182,6 +182,25 @@ impl<M> Actions<M> {
         (self.sends, self.timers, self.cancels)
     }
 
+    /// Drains the recorded sends, leaving the buffer's capacity in place.
+    ///
+    /// Together with [`Actions::drain_timers`] and [`Actions::drain_cancels`]
+    /// this lets a driver keep one reusable buffer per event loop instead of
+    /// allocating a fresh `Actions` per callback.
+    pub fn drain_sends(&mut self) -> impl Iterator<Item = Outbound<M>> + '_ {
+        self.sends.drain(..)
+    }
+
+    /// Drains the recorded timer arm requests.
+    pub fn drain_timers(&mut self) -> impl Iterator<Item = TimerRequest> + '_ {
+        self.timers.drain(..)
+    }
+
+    /// Drains the recorded timer cancellations.
+    pub fn drain_cancels(&mut self) -> impl Iterator<Item = TimerId> + '_ {
+        self.cancels.drain(..)
+    }
+
     /// Clears the buffer for reuse.
     pub fn clear(&mut self) {
         self.sends.clear();
@@ -218,9 +237,19 @@ impl<M> Actions<M> {
 /// * callbacks are never invoked concurrently for the same instance (the
 ///   paper's atomic-statement-block assumption);
 /// * after a process crashes the driver never invokes its callbacks again.
+///
+/// # Zero-copy delivery
+///
+/// [`on_message`](Protocol::on_message) receives the payload *by reference*:
+/// the driver owns the (possibly shared) message buffer, and a broadcast to
+/// `n − 1` receivers hands every receiver the same allocation. The paper's
+/// algorithms only ever read the payload (the gossip merge of line 5 and the
+/// suspicion counting of lines 13–18 are pure reads), so this makes the
+/// simulator's per-receiver fan-out allocation-free. A protocol that needs an
+/// owned copy of (part of) a message clones exactly what it keeps.
 pub trait Protocol {
     /// The message type exchanged by instances of this protocol.
-    type Msg: Clone + fmt::Debug + Send + 'static;
+    type Msg: Clone + fmt::Debug + Send + Sync + 'static;
 
     /// The identity of this process.
     fn id(&self) -> ProcessId;
@@ -229,7 +258,10 @@ pub trait Protocol {
     fn on_start(&mut self, out: &mut Actions<Self::Msg>);
 
     /// Invoked when a message from `from` is delivered to this process.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Actions<Self::Msg>);
+    ///
+    /// The payload is borrowed from the driver's (shared) delivery buffer;
+    /// clone what must be retained.
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Actions<Self::Msg>);
 
     /// Invoked when timer `timer` expires (and was not superseded or
     /// cancelled in the meantime).
@@ -279,7 +311,13 @@ mod tests {
         assert!(matches!(a.sends()[0].dest, Destination::To(p) if p == ProcessId::new(1)));
         assert!(matches!(a.sends()[1].dest, Destination::AllOthers));
         assert!(matches!(a.sends()[2].dest, Destination::All));
-        assert_eq!(a.timers(), &[TimerRequest { id: TimerId::new(3), after: Duration::from_ticks(7) }]);
+        assert_eq!(
+            a.timers(),
+            &[TimerRequest {
+                id: TimerId::new(3),
+                after: Duration::from_ticks(7)
+            }]
+        );
         assert_eq!(a.cancels(), &[TimerId::new(4)]);
     }
 

@@ -79,7 +79,9 @@ impl Sub<RoundNum> for RoundNum {
     /// Distance between two round numbers.
     type Output = u64;
     fn sub(self, rhs: RoundNum) -> u64 {
-        self.0.checked_sub(rhs.0).expect("round numbers out of order")
+        self.0
+            .checked_sub(rhs.0)
+            .expect("round numbers out of order")
     }
 }
 
@@ -138,7 +140,10 @@ mod tests {
     #[test]
     fn through_is_inclusive() {
         let v: Vec<_> = RoundNum::new(3).through(RoundNum::new(5)).collect();
-        assert_eq!(v, vec![RoundNum::new(3), RoundNum::new(4), RoundNum::new(5)]);
+        assert_eq!(
+            v,
+            vec![RoundNum::new(3), RoundNum::new(4), RoundNum::new(5)]
+        );
         assert_eq!(RoundNum::new(5).through(RoundNum::new(3)).count(), 0);
         assert_eq!(RoundNum::new(5).through(RoundNum::new(5)).count(), 1);
     }

@@ -17,6 +17,14 @@ const WORD_BITS: usize = 64;
 /// The capacity (`n`) is fixed at construction; inserting an id `≥ n` panics,
 /// which catches configuration mix-ups early.
 ///
+/// # Representation
+///
+/// Systems with `n ≤ 64` — every configuration the paper's experiments use —
+/// store their members inline in a single machine word, so building, cloning
+/// and dropping the many small sets the algorithms create per round costs no
+/// heap allocation at all. Larger systems transparently fall back to a word
+/// vector.
+///
 /// # Example
 ///
 /// ```
@@ -35,15 +43,43 @@ const WORD_BITS: usize = 64;
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct ProcessSet {
     n: usize,
-    words: Vec<u64>,
+    words: Words,
+}
+
+/// Storage for the membership bits: one inline word for `n ≤ 64`, a heap
+/// vector beyond. The variant is a function of `n` alone, so derived
+/// equality/hashing over `(n, words)` is consistent.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Words {
+    Inline(u64),
+    Heap(Vec<u64>),
 }
 
 impl ProcessSet {
     /// Creates an empty set with capacity for `n` processes.
     pub fn empty(n: usize) -> Self {
-        ProcessSet {
-            n,
-            words: vec![0; n.div_ceil(WORD_BITS).max(1)],
+        let words = if n <= WORD_BITS {
+            Words::Inline(0)
+        } else {
+            Words::Heap(vec![0; n.div_ceil(WORD_BITS)])
+        };
+        ProcessSet { n, words }
+    }
+
+    /// The membership bits as a word slice (least-significant bit of word 0
+    /// is `p_0`).
+    fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline(w) => core::slice::from_ref(w),
+            Words::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the membership bits.
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.words {
+            Words::Inline(w) => core::slice::from_mut(w),
+            Words::Heap(v) => v,
         }
     }
 
@@ -88,10 +124,15 @@ impl ProcessSet {
     /// Panics if `id.index() >= capacity()`.
     pub fn insert(&mut self, id: ProcessId) -> bool {
         let i = id.index();
-        assert!(i < self.n, "process id {id} out of range for n = {}", self.n);
+        assert!(
+            i < self.n,
+            "process id {id} out of range for n = {}",
+            self.n
+        );
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
+        let word = &mut self.words_mut()[w];
+        let was = *word & (1 << b) != 0;
+        *word |= 1 << b;
         !was
     }
 
@@ -102,8 +143,9 @@ impl ProcessSet {
             return false;
         }
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        let was = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let word = &mut self.words_mut()[w];
+        let was = *word & (1 << b) != 0;
+        *word &= !(1 << b);
         was
     }
 
@@ -113,71 +155,90 @@ impl ProcessSet {
         if i >= self.n {
             return false;
         }
-        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+        self.words()[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
     }
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Returns `true` if the set has no members.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.words().iter().all(|&w| w == 0)
     }
 
     /// Removes all members.
     pub fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
+        self.words_mut().iter_mut().for_each(|w| *w = 0);
     }
 
     /// Set union, in place.
     pub fn union_with(&mut self, other: &ProcessSet) {
         assert_eq!(self.n, other.n, "union of sets with different capacities");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
+        for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
     }
 
     /// Returns `self ∖ other` as a new set.
     pub fn difference(&self, other: &ProcessSet) -> ProcessSet {
-        assert_eq!(self.n, other.n, "difference of sets with different capacities");
-        ProcessSet {
-            n: self.n,
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & !b)
-                .collect(),
-        }
+        assert_eq!(
+            self.n, other.n,
+            "difference of sets with different capacities"
+        );
+        self.zip_words(other, |a, b| a & !b)
     }
 
     /// Returns `self ∩ other` as a new set.
     pub fn intersection(&self, other: &ProcessSet) -> ProcessSet {
-        assert_eq!(self.n, other.n, "intersection of sets with different capacities");
-        ProcessSet {
-            n: self.n,
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a & b)
-                .collect(),
+        assert_eq!(
+            self.n, other.n,
+            "intersection of sets with different capacities"
+        );
+        self.zip_words(other, |a, b| a & b)
+    }
+
+    /// Builds a same-capacity set by combining the two word arrays.
+    fn zip_words(&self, other: &ProcessSet, f: impl Fn(u64, u64) -> u64) -> ProcessSet {
+        let mut out = ProcessSet::empty(self.n);
+        for ((o, a), b) in out
+            .words_mut()
+            .iter_mut()
+            .zip(self.words())
+            .zip(other.words())
+        {
+            *o = f(*a, *b);
         }
+        out
     }
 
     /// Returns `true` if every member of `self` is a member of `other`.
     pub fn is_subset_of(&self, other: &ProcessSet) -> bool {
-        assert_eq!(self.n, other.n, "subset test on sets with different capacities");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        assert_eq!(
+            self.n, other.n,
+            "subset test on sets with different capacities"
+        );
+        self.words()
+            .iter()
+            .zip(other.words())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the members in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        (0..self.n as u32)
-            .map(ProcessId::new)
-            .filter(move |id| self.contains(*id))
+        self.words().iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(ProcessId::new((wi * WORD_BITS + b) as u32))
+                }
+            })
+        })
     }
 
     /// Collects the members into a `Vec`, in increasing id order.
@@ -271,9 +332,13 @@ mod tests {
     fn difference_gives_suspects() {
         // suspects = Π ∖ rec_from (line 9 of Figure 1)
         let all = ProcessSet::full(5);
-        let rec_from = ProcessSet::from_ids(5, [ProcessId::new(0), ProcessId::new(2), ProcessId::new(4)]);
+        let rec_from =
+            ProcessSet::from_ids(5, [ProcessId::new(0), ProcessId::new(2), ProcessId::new(4)]);
         let suspects = all.difference(&rec_from);
-        assert_eq!(suspects.to_vec(), vec![ProcessId::new(1), ProcessId::new(3)]);
+        assert_eq!(
+            suspects.to_vec(),
+            vec![ProcessId::new(1), ProcessId::new(3)]
+        );
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
     #[test]
     fn saturating_ops_do_not_overflow() {
         assert_eq!(Time::MAX.saturating_add(Duration::from_ticks(1)), Time::MAX);
-        assert_eq!(Duration::MAX.saturating_add(Duration::from_ticks(1)), Duration::MAX);
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_ticks(1)),
+            Duration::MAX
+        );
         assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
     }
 

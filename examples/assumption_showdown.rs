@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example assumption_showdown`
 
-use intermittent_rotating_star::experiments::{Aggregate, Algorithm, Assumption, Background, Scenario};
+use intermittent_rotating_star::experiments::{
+    Aggregate, Algorithm, Assumption, Background, Scenario,
+};
 
 fn main() {
     let algorithms = [

@@ -32,7 +32,11 @@ fn main() {
             outcome.max_susp_level,
             outcome.max_timer_ticks,
             outcome.susp_spread,
-            if outcome.theorem4_holds { "holds" } else { "violated" },
+            if outcome.theorem4_holds {
+                "holds"
+            } else {
+                "violated"
+            },
         );
     }
     println!();

@@ -70,7 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = sim.process(ProcessId::new(0)).log();
     let identical = system.processes().all(|p| {
         let log = sim.process(p).log();
-        log.len() >= reference.len().min(6) && log[..6.min(log.len())] == reference[..6.min(reference.len())]
+        log.len() >= reference.len().min(6)
+            && log[..6.min(log.len())] == reference[..6.min(reference.len())]
     });
     println!(
         "replicas agree on the common prefix: {}",

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("messages sent  : {}", report.counters.messages_sent);
     match report.stabilization {
         Some(stab) => {
-            println!("leader elected : {} (stable since t = {})", stab.leader, stab.at);
+            println!(
+                "leader elected : {} (stable since t = {})",
+                stab.leader, stab.at
+            );
             for (i, snap) in report.final_snapshots.iter().enumerate() {
                 if let Some(snap) = snap {
                     println!(

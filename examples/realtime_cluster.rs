@@ -32,10 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = Cluster::spawn(
         processes,
         RealtimeConfig::default(),
-        LinkDelay::Jitter { min: Duration::from_micros(50), max: Duration::from_millis(2) },
+        LinkDelay::Jitter {
+            min: Duration::from_micros(50),
+            max: Duration::from_millis(2),
+        },
     );
 
-    let elected = wait_for(Duration::from_secs(15), || cluster.agreed_leader().is_some());
+    let elected = wait_for(Duration::from_secs(15), || {
+        cluster.agreed_leader().is_some()
+    });
     let leader = cluster.agreed_leader();
     println!("initial election: agreed = {elected}, leader = {leader:?}");
     println!("messages routed so far: {}", cluster.messages_routed());
@@ -46,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let replaced = wait_for(Duration::from_secs(30), || {
             cluster.agreed_leader().is_some_and(|l| l != leader)
         });
-        println!("re-election: agreed on a new leader = {replaced}, leaders = {:?}", cluster.leaders());
+        println!(
+            "re-election: agreed on a new leader = {replaced}, leaders = {:?}",
+            cluster.leaders()
+        );
     }
 
     let finals = cluster.shutdown();

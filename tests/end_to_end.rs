@@ -2,7 +2,9 @@
 //! the umbrella crate, across every layer (types → sim → omega → baselines →
 //! consensus → experiments).
 
-use intermittent_rotating_star::experiments::{Aggregate, Algorithm, Assumption, Background, Scenario};
+use intermittent_rotating_star::experiments::{
+    Aggregate, Algorithm, Assumption, Background, Scenario,
+};
 use intermittent_rotating_star::omega::{invariants, OmegaProcess, Variant};
 use intermittent_rotating_star::sim::adversary::presets;
 use intermittent_rotating_star::sim::adversary::star::{StarAdversary, StarConfig};
@@ -21,7 +23,11 @@ fn fig3_elects_under_every_assumption_family() {
         Assumption::Combined,
         Assumption::RotatingStar,
         Assumption::Intermittent { d: 4 },
-        Assumption::FgStar { d: 3, f: GrowthFn::Log2, g: GrowthFn::Log2 },
+        Assumption::FgStar {
+            d: 3,
+            f: GrowthFn::Log2,
+            g: GrowthFn::Log2,
+        },
     ];
     for assumption in assumptions {
         let algorithm = match assumption {
@@ -32,7 +38,11 @@ fn fig3_elects_under_every_assumption_family() {
             .with_horizon(200_000, 15_000)
             .with_seeds(&[1]);
         let outcome = &scenario.run()[0];
-        assert!(outcome.stabilized, "no stable leader under {}", assumption.label());
+        assert!(
+            outcome.stabilized,
+            "no stable leader under {}",
+            assumption.label()
+        );
     }
 }
 
@@ -54,7 +64,10 @@ fn separation_between_fig3_and_timeout_baseline() {
     };
     let fig3_outcomes = make(Algorithm::Fig3).run();
     let fig3 = Aggregate::from_outcomes(&fig3_outcomes);
-    assert_eq!(fig3.stabilized, 2, "fig3 must stabilise under the message pattern");
+    assert_eq!(
+        fig3.stabilized, 2,
+        "fig3 must stabilise under the message pattern"
+    );
     for outcome in &fig3_outcomes {
         assert!(outcome.theorem4_holds);
         assert!(
@@ -97,7 +110,7 @@ fn bounded_variable_invariants_hold_throughout_a_run() {
     let mut checked = 0u64;
     while sim.step() {
         checked += 1;
-        if checked % 64 != 0 {
+        if !checked.is_multiple_of(64) {
             continue; // sample the state periodically, not at every event
         }
         for id in system.processes() {
@@ -117,7 +130,10 @@ fn bounded_variable_invariants_hold_throughout_a_run() {
     let report = sim.report();
     let (_, holds) = invariants::theorem4_bound(&report.final_snapshots);
     assert!(holds, "Theorem 4 bound violated at the end of the run");
-    assert!(invariants::leadership_holds(&report.final_snapshots, &report.crashed));
+    assert!(invariants::leadership_holds(
+        &report.final_snapshots,
+        &report.crashed
+    ));
 }
 
 /// Figure 2 (window condition, unbounded variables) also elects under the
@@ -140,7 +156,12 @@ fn fig2_elects_under_intermittent_star_with_crashes() {
     );
     let processes: Vec<OmegaProcess> = system
         .processes()
-        .map(|id| OmegaProcess::new(id, intermittent_rotating_star::omega::OmegaConfig::new(system, Variant::Fig2)))
+        .map(|id| {
+            OmegaProcess::new(
+                id,
+                intermittent_rotating_star::omega::OmegaConfig::new(system, Variant::Fig2),
+            )
+        })
         .collect();
     let mut sim = Simulation::new(
         SimConfig::new(23, Time::from_ticks(400_000)),
@@ -178,10 +199,16 @@ fn experiment_tables_are_well_formed() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = || {
-        let scenario = Scenario::new("determinism", 5, 2, Algorithm::Fig3, Assumption::Intermittent { d: 4 })
-            .with_crash(0, 20_000)
-            .with_horizon(150_000, 15_000)
-            .with_seeds(&[99]);
+        let scenario = Scenario::new(
+            "determinism",
+            5,
+            2,
+            Algorithm::Fig3,
+            Assumption::Intermittent { d: 4 },
+        )
+        .with_crash(0, 20_000)
+        .with_horizon(150_000, 15_000)
+        .with_seeds(&[99]);
         let o = &scenario.run()[0];
         (
             o.stabilized,

@@ -26,7 +26,11 @@ fn star_config(
 ) -> StarConfig {
     StarConfig {
         guarantee,
-        activation: if gap <= 1 { Activation::EveryRound } else { Activation::RandomGap { max_gap: gap } },
+        activation: if gap <= 1 {
+            Activation::EveryRound
+        } else {
+            Activation::RandomGap { max_gap: gap }
+        },
         rotation: Rotation::PerRound,
         delta: Duration::from_ticks(delta),
         unconstrained: DelayDist::uniform(Duration::from_ticks(1), Duration::from_ticks(max_delay)),

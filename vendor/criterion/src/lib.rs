@@ -1,0 +1,281 @@
+//! A vendored, dependency-free stand-in for the parts of the `criterion` API
+//! the bench targets use.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real `criterion` cannot be pulled in. This crate implements the same
+//! builder surface (`benchmark_group`, `sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! `criterion_group!`/`criterion_main!`) with a simple but honest measurement
+//! loop:
+//!
+//! * one untimed warm-up call per benchmark,
+//! * `sample_size` timed samples (bounded by `measurement_time`),
+//! * median / min / max per-iteration wall-clock times printed in a
+//!   machine-greppable single line per benchmark:
+//!   `bench: <group>/<id> median <t> min <t> max <t> (<k> samples)`.
+//!
+//! Measured results can also be collected programmatically through
+//! [`Criterion::take_results`], which the `engine_throughput` harness uses to
+//! write `BENCH_engine.json`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(value: &str) -> Self {
+        BenchmarkId {
+            id: value.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(value: String) -> Self {
+        BenchmarkId { id: value }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full name, `<group>/<id>`.
+    pub name: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time.
+    pub min: Duration,
+    /// Slowest per-iteration time.
+    pub max: Duration,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let result = run_benchmark(id.to_string(), 10, Duration::from_secs(3), &mut f);
+        self.results.push(result);
+        self
+    }
+
+    /// Drains the results measured so far (used by custom harnesses that
+    /// post-process timings, e.g. to write a JSON trajectory file).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks sharing tuning.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the warm-up here is always exactly one
+    /// untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Upper bound on the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into());
+        let result = run_benchmark(name, self.sample_size, self.measurement_time, &mut f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The timing handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_iteration: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `f` (the routine under measurement).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let started = Instant::now();
+        let out = f();
+        self.last_iteration = Some(started.elapsed());
+        let _ = black_box(out);
+    }
+}
+
+/// An identity function that hides a value from the optimiser.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_benchmark<F>(
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    // One untimed warm-up iteration.
+    f(&mut bencher);
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        samples.push(bencher.last_iteration.unwrap_or_default());
+        if started.elapsed() > measurement_time {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let result = BenchResult {
+        name,
+        median,
+        min: samples[0],
+        max: *samples.last().expect("at least one sample"),
+        samples: samples.len(),
+    };
+    println!(
+        "bench: {} median {:?} min {:?} max {:?} ({} samples)",
+        result.name, result.median, result.min, result.max, result.samples
+    );
+    result
+}
+
+/// Declares a benchmark group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(200));
+            group.bench_function("busy", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+            group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &k| {
+                b.iter(|| (0..k).product::<u64>())
+            });
+            group.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "g/busy");
+        assert_eq!(results[1].name, "g/param/4");
+        assert!(results
+            .iter()
+            .all(|r| r.samples >= 1 && r.min <= r.median && r.median <= r.max));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
