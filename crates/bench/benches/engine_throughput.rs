@@ -2,41 +2,88 @@
 //!
 //! Unlike the E1–E10 benches (which measure whole experiments), this target
 //! isolates the engine itself: a fixed-horizon Figure 3 run under the
-//! rotating star at n ∈ {8, 32, 64}, reported as processed events per second
-//! (message deliveries + timer fires). The measured medians are also written
-//! to `BENCH_engine.json` at the workspace root so the performance trajectory
+//! rotating star, reported as processed events per second (message
+//! deliveries + timer fires). The measured medians are also written to
+//! `BENCH_engine.json` at the workspace root so the performance trajectory
 //! is tracked across PRs — see EXPERIMENTS.md.
+//!
+//! Two regimes are tracked:
+//!
+//! * `n ∈ {8, 32, 64}` run the paper's full-vector gossip at the same
+//!   30 000-tick horizon as PR 1, so those cells stay comparable across the
+//!   whole trajectory;
+//! * `n ∈ {128, 256}` are the large-n cells introduced in PR 2. They run the
+//!   large-n configuration — delta-encoded gossip with a full refresh every
+//!   8 broadcasts, proven trace-equivalent in leader history by the
+//!   `delta_gossip` tests — at shorter horizons (events per tick grows with
+//!   n², so a shorter horizon keeps the wall-clock budget flat).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irs_bench::experiments::{Algorithm, Assumption, Scenario};
 use std::path::PathBuf;
 use std::time::Duration;
 
-/// The (n, t) system sizes whose event throughput is tracked.
-const SIZES: &[(usize, usize)] = &[(8, 3), (32, 15), (64, 31)];
-/// Fixed horizon in ticks; long enough to dominate set-up costs.
-const HORIZON: u64 = 30_000;
+/// One tracked cell: system size, horizon, and the gossip configuration
+/// (`None` = the paper's full vectors, `Some(r)` = delta with refresh `r`).
+struct Cell {
+    n: usize,
+    t: usize,
+    horizon: u64,
+    delta_gossip: Option<u64>,
+}
 
-fn run_once(n: usize, t: usize) -> u64 {
-    let scenario = Scenario::new(
+const CELLS: &[Cell] = &[
+    Cell {
+        n: 8,
+        t: 3,
+        horizon: 30_000,
+        delta_gossip: None,
+    },
+    Cell {
+        n: 32,
+        t: 15,
+        horizon: 30_000,
+        delta_gossip: None,
+    },
+    Cell {
+        n: 64,
+        t: 31,
+        horizon: 30_000,
+        delta_gossip: None,
+    },
+    Cell {
+        n: 128,
+        t: 63,
+        horizon: 3_000,
+        delta_gossip: Some(8),
+    },
+    Cell {
+        n: 256,
+        t: 127,
+        horizon: 1_000,
+        delta_gossip: Some(8),
+    },
+];
+
+fn run_once(cell: &Cell) -> u64 {
+    let mut scenario = Scenario::new(
         "engine-throughput",
-        n,
-        t,
+        cell.n,
+        cell.t,
         Algorithm::Fig3,
         Assumption::RotatingStar,
     )
-    .with_horizon(HORIZON, 0)
+    .with_horizon(cell.horizon, 0)
     .with_seeds(&[1]);
+    if let Some(refresh_every) = cell.delta_gossip {
+        scenario = scenario.with_delta_gossip(refresh_every);
+    }
     let outcome = &scenario.run()[0];
     // Every sent message is eventually delivered (or dropped on a crashed
     // process — there are no crashes here), and every closed round fires a
     // timer: sent messages + closed rounds approximate the event count well
     // enough for a throughput trend line.
     outcome.messages_sent + outcome.rounds_closed
-}
-
-fn events_processed(n: usize, t: usize) -> u64 {
-    run_once(n, t)
 }
 
 fn bench(c: &mut Criterion) {
@@ -46,11 +93,11 @@ fn bench(c: &mut Criterion) {
             .sample_size(10)
             .warm_up_time(Duration::from_secs(1))
             .measurement_time(Duration::from_secs(5));
-        for &(n, t) in SIZES {
+        for cell in CELLS {
             group.bench_with_input(
-                BenchmarkId::new("fig3_fixed_horizon_n", n),
-                &(n, t),
-                |b, &(n, t)| b.iter(|| run_once(n, t)),
+                BenchmarkId::new("fig3_fixed_horizon_n", cell.n),
+                cell,
+                |b, cell| b.iter(|| run_once(cell)),
             );
         }
         group.finish();
@@ -60,20 +107,27 @@ fn bench(c: &mut Criterion) {
     // cross-PR trajectory.
     let results = c.take_results();
     let mut entries = Vec::new();
-    for (&(n, t), result) in SIZES.iter().zip(&results) {
-        let events = events_processed(n, t);
+    for (cell, result) in CELLS.iter().zip(&results) {
+        let events = run_once(cell);
         let secs = result.median.as_secs_f64().max(1e-9);
+        let gossip = match cell.delta_gossip {
+            None => "full".to_string(),
+            Some(r) => format!("delta/{r}"),
+        };
         entries.push(format!(
-            "    {{ \"n\": {n}, \"events\": {events}, \"median_seconds\": {secs:.6}, \"events_per_second\": {:.0} }}",
+            "    {{ \"n\": {}, \"horizon_ticks\": {}, \"gossip\": \"{gossip}\", \"events\": {events}, \"median_seconds\": {secs:.6}, \"events_per_second\": {:.0} }}",
+            cell.n,
+            cell.horizon,
             events as f64 / secs
         ));
         println!(
-            "engine_throughput n={n}: {events} events in {secs:.4}s median -> {:.0} events/s",
+            "engine_throughput n={} ({gossip}): {events} events in {secs:.4}s median -> {:.0} events/s",
+            cell.n,
             events as f64 / secs
         );
     }
     let json = format!(
-        "{{\n  \"bench\": \"engine_throughput\",\n  \"horizon_ticks\": {HORIZON},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "BENCH_engine.json"]

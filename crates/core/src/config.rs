@@ -102,6 +102,19 @@ pub struct OmegaConfig {
     /// (`rec_from`, `suspicions`) to retain, beyond what the line-`*` window
     /// needs. `0` means unbounded retention.
     pub retention_rounds: u64,
+    /// Delta-encoded gossip: `Some(r)` makes task `T1` send, between two full
+    /// `ALIVE(rn, susp_level)` broadcasts, `r − 1` delta-encoded `ALIVE`s
+    /// carrying only the suspicion entries that changed since the last full
+    /// broadcast (every `r`-th broadcast is a full refresh). `None` (the
+    /// default) sends the paper's full vector every time.
+    ///
+    /// Deltas shrink the dominant `O(n)`-sized payload of the protocol to the
+    /// handful of entries that actually moved, which is what makes `n ≥ 128`
+    /// systems affordable; the periodic refresh preserves the convergence
+    /// argument of line 5 (every pair of processes exchanges complete vectors
+    /// infinitely often), so the Figure 1 semantics — in particular the
+    /// leader history — are preserved.
+    pub delta_gossip: Option<u64>,
 }
 
 impl OmegaConfig {
@@ -114,6 +127,7 @@ impl OmegaConfig {
             send_period: Duration::from_ticks(10),
             timeout_unit: Duration::from_ticks(4),
             retention_rounds: 4096,
+            delta_gossip: None,
         }
     }
 
@@ -135,6 +149,15 @@ impl OmegaConfig {
     #[must_use]
     pub fn with_retention(mut self, rounds: u64) -> Self {
         self.retention_rounds = rounds;
+        self
+    }
+
+    /// Enables delta-encoded gossip with a full-vector refresh every
+    /// `refresh_every` broadcasts (clamped to at least 1; `1` degenerates to
+    /// full vectors every time). See [`OmegaConfig::delta_gossip`].
+    #[must_use]
+    pub fn with_delta_gossip(mut self, refresh_every: u64) -> Self {
+        self.delta_gossip = Some(refresh_every.max(1));
         self
     }
 

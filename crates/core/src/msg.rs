@@ -5,7 +5,7 @@ use irs_types::{ProcessSet, RoundNum, RoundTagged};
 
 /// A message of the Ω algorithms of Figures 1–3 (and the `A_{f,g}` variant).
 ///
-/// Only two kinds of messages exist:
+/// Only two kinds of messages exist in the paper:
 ///
 /// * `ALIVE(rn, susp_level)` — broadcast regularly by task `T1`. Carries the
 ///   sender's whole suspicion-level vector so that bounded entries converge
@@ -14,6 +14,15 @@ use irs_types::{ProcessSet, RoundNum, RoundTagged};
 /// * `SUSPICION(rn, suspects)` — broadcast when a process closes its
 ///   receiving round `rn`, naming the processes it did not hear from in that
 ///   round.
+///
+/// When delta gossip is enabled (see
+/// [`OmegaConfig::with_delta_gossip`](crate::OmegaConfig::with_delta_gossip)),
+/// most `ALIVE`s are sent as [`OmegaMsg::AliveDelta`]: the same logical
+/// message, but carrying only the suspicion entries that changed since the
+/// sender's last full broadcast. An `AliveDelta` *is* an `ALIVE` for the
+/// behavioural assumptions (it is round-constrained) and for line 6 (the
+/// sender is recorded as heard); only the line-5 merge is restricted to the
+/// carried entries. Periodic full `Alive` refreshes keep convergence intact.
 ///
 /// Apart from the round numbers, every field has a finite domain (Section 6's
 /// bounded-variable claim extends to message fields).
@@ -25,6 +34,15 @@ pub enum OmegaMsg {
         rn: RoundNum,
         /// The sender's current suspicion-level vector.
         susp: SuspVector,
+    },
+    /// A delta-encoded `ALIVE(rn, …)`: only the suspicion entries that
+    /// changed since the sender's last full broadcast.
+    AliveDelta {
+        /// The sending round number.
+        rn: RoundNum,
+        /// `(process index, new level)` pairs; levels only ever increase, so
+        /// merging a delta is a sparse entry-wise max.
+        entries: Vec<(u32, u64)>,
     },
     /// `SUSPICION(rn, suspects)` (line 10 of Figure 1).
     Suspicion {
@@ -39,23 +57,25 @@ impl OmegaMsg {
     /// The round number carried by the message.
     pub fn round(&self) -> RoundNum {
         match self {
-            OmegaMsg::Alive { rn, .. } | OmegaMsg::Suspicion { rn, .. } => *rn,
+            OmegaMsg::Alive { rn, .. }
+            | OmegaMsg::AliveDelta { rn, .. }
+            | OmegaMsg::Suspicion { rn, .. } => *rn,
         }
     }
 
-    /// Returns `true` for `ALIVE` messages.
+    /// Returns `true` for `ALIVE` messages (full or delta-encoded).
     pub fn is_alive(&self) -> bool {
-        matches!(self, OmegaMsg::Alive { .. })
+        matches!(self, OmegaMsg::Alive { .. } | OmegaMsg::AliveDelta { .. })
     }
 }
 
 impl RoundTagged for OmegaMsg {
     /// Only `ALIVE(rn)` messages are constrained by the assumptions
     /// (Section 3: "the assumption places constraints only on the messages
-    /// tagged ALIVE").
+    /// tagged ALIVE"). A delta-encoded `ALIVE` is still an `ALIVE`.
     fn constrained_round(&self) -> Option<RoundNum> {
         match self {
-            OmegaMsg::Alive { rn, .. } => Some(*rn),
+            OmegaMsg::Alive { rn, .. } | OmegaMsg::AliveDelta { rn, .. } => Some(*rn),
             OmegaMsg::Suspicion { .. } => None,
         }
     }
@@ -64,6 +84,8 @@ impl RoundTagged for OmegaMsg {
         match self {
             // tag + round number + n 64-bit suspicion levels
             OmegaMsg::Alive { susp, .. } => 1 + 8 + 8 * susp.len(),
+            // tag + round number + entry count + (index, level) pairs
+            OmegaMsg::AliveDelta { entries, .. } => 1 + 8 + 2 + 10 * entries.len(),
             // tag + round number + n-bit set
             OmegaMsg::Suspicion { suspects, .. } => 1 + 8 + suspects.capacity().div_ceil(8),
         }

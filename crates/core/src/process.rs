@@ -27,6 +27,9 @@ pub struct OmegaMetrics {
     /// `ALIVE` messages received too late (`rn < r_rn`) and therefore only
     /// used for the gossip merge.
     pub alives_late: u64,
+    /// `ALIVE` broadcasts sent delta-encoded (a subset of
+    /// `alive_broadcasts`; zero unless delta gossip is enabled).
+    pub alive_deltas_sent: u64,
 }
 
 /// One process `p_i` running the paper's eventual-leader algorithm.
@@ -71,6 +74,22 @@ pub struct OmegaProcess {
     timer_expired: bool,
     /// The value (in ticks) most recently loaded into `timer_i`.
     current_timer_ticks: u64,
+    /// Delta gossip only: snapshot of `susp` at the *second-to-last* full
+    /// `ALIVE` broadcast — the base deltas are encoded against. Encoding
+    /// against the older of the two retained snapshots means a receiver can
+    /// only miss information if a full broadcast is overtaken by more than a
+    /// whole refresh period of later traffic, which keeps the leader history
+    /// identical to full gossip under bounded reordering (pinned by the
+    /// `delta_gossip` integration tests). Zero until two fulls were sent.
+    delta_base: Vec<u64>,
+    /// Delta gossip only: snapshot of `susp` at the last full broadcast; it
+    /// becomes `delta_base` at the next full.
+    last_full_gossip: Vec<u64>,
+    /// Delta gossip only: broadcasts remaining until the next full refresh.
+    until_full_refresh: u64,
+    /// Scratch buffer for the quorum-reaching suspects of one `SUSPICION`
+    /// message (usually empty; reused across messages).
+    quorum_scratch: Vec<ProcessId>,
     metrics: OmegaMetrics,
 }
 
@@ -98,6 +117,10 @@ impl OmegaProcess {
             book: RoundBook::new(id, n, cfg.retention_rounds),
             timer_expired: false,
             current_timer_ticks: 0,
+            delta_base: vec![0; n],
+            last_full_gossip: vec![0; n],
+            until_full_refresh: 0,
+            quorum_scratch: Vec::new(),
             metrics: OmegaMetrics::default(),
         }
     }
@@ -157,13 +180,37 @@ impl OmegaProcess {
 
     /// Task `T1`, one iteration: advance the sending round and broadcast
     /// `ALIVE(s_rn, susp_level)` to every other process (lines 2–3).
+    ///
+    /// With delta gossip enabled, every `refresh_every`-th broadcast (and the
+    /// very first one) carries the full vector; the broadcasts in between
+    /// carry only the entries that changed since the last full one.
     fn broadcast_alive(&mut self, out: &mut Actions<OmegaMsg>) {
         self.s_rn += 1;
         self.metrics.alive_broadcasts += 1;
-        out.broadcast_others(OmegaMsg::Alive {
-            rn: self.s_rn,
-            susp: self.susp.clone(),
-        });
+        match self.cfg.delta_gossip {
+            Some(refresh_every) if self.until_full_refresh > 0 => {
+                debug_assert!(refresh_every >= 1);
+                self.until_full_refresh -= 1;
+                self.metrics.alive_deltas_sent += 1;
+                out.broadcast_others(OmegaMsg::AliveDelta {
+                    rn: self.s_rn,
+                    entries: self.susp.changed_since(&self.delta_base),
+                });
+            }
+            gossip => {
+                if let Some(refresh_every) = gossip {
+                    std::mem::swap(&mut self.delta_base, &mut self.last_full_gossip);
+                    self.last_full_gossip.clear();
+                    self.last_full_gossip
+                        .extend_from_slice(self.susp.as_slice());
+                    self.until_full_refresh = refresh_every - 1;
+                }
+                out.broadcast_others(OmegaMsg::Alive {
+                    rn: self.s_rn,
+                    susp: self.susp.clone(),
+                });
+            }
+        }
         out.set_timer(TIMER_BROADCAST, self.cfg.send_period);
     }
 
@@ -192,13 +239,23 @@ impl OmegaProcess {
 
     /// Lines 13–18: count a suspicion vote and raise `susp_level[k]` when the
     /// variant's guards allow it.
+    ///
+    /// The vote counting is batched: the round's count array is resolved once
+    /// and every suspect's vote lands with one array increment
+    /// ([`RoundBook::record_suspicions_collect`]), then only the (rare)
+    /// suspects whose count reached the quorum go through the per-candidate
+    /// guards — in the same increasing-id order the entry-at-a-time loop
+    /// used, so the guard evaluations observe identical intermediate `susp`
+    /// states.
     fn handle_suspicion(&mut self, rn: RoundNum, suspects: &irs_types::ProcessSet) {
         let quorum = self.cfg.quorum() as u32;
-        for k in suspects.iter() {
-            let count = self.book.record_suspicion(rn, k);
-            if count < quorum {
-                continue;
-            }
+        // Collect the quorum-reaching candidates before touching `susp`
+        // (the guards below read and mutate it). Reuses a scratch buffer;
+        // in steady state this finds nothing and allocates nothing.
+        let mut candidates = std::mem::take(&mut self.quorum_scratch);
+        self.book
+            .record_suspicions_collect(rn, suspects, quorum, &mut candidates);
+        for &k in &candidates {
             // Line `*` (Figure 2): k must have been suspected by a quorum in
             // every round of the look-back window.
             if self.cfg.variant.uses_window() {
@@ -216,6 +273,7 @@ impl OmegaProcess {
             self.susp.increment(k);
             self.metrics.susp_increments += 1;
         }
+        self.quorum_scratch = candidates;
     }
 }
 
@@ -241,6 +299,19 @@ impl Protocol for OmegaProcess {
                 // per-receiver copy of the vector.
                 self.susp.merge_max(susp);
                 // Line 6: record the sender if the message is not late.
+                if *rn >= self.r_rn {
+                    self.book.record_alive(*rn, from);
+                    self.metrics.alives_recorded += 1;
+                } else {
+                    self.metrics.alives_late += 1;
+                }
+                self.try_close_round(out);
+            }
+            OmegaMsg::AliveDelta { rn, entries } => {
+                // The delta form of the line-5 merge: a sparse entry-wise
+                // max over just the entries the sender reported as changed.
+                self.susp.apply_delta(entries);
+                // Line 6 applies unchanged: a delta ALIVE proves liveness.
                 if *rn >= self.r_rn {
                     self.book.record_alive(*rn, from);
                     self.metrics.alives_recorded += 1;
@@ -634,6 +705,68 @@ mod tests {
         feed_quorum_suspicions(&mut p, 5, 2, 2); // quorum is 3
         assert_eq!(p.susp_levels().get(ProcessId::new(2)), 0);
         assert_eq!(p.metrics().susp_increments, 0);
+    }
+
+    #[test]
+    fn delta_gossip_interleaves_fulls_and_deltas() {
+        let cfg = OmegaConfig::new(system(), Variant::Fig1).with_delta_gossip(3);
+        let mut p = OmegaProcess::new(ProcessId::new(0), cfg);
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        // First broadcast is always a full vector.
+        let sends = drain_sends(out);
+        assert!(matches!(&sends[0].1, OmegaMsg::Alive { .. }));
+        // Raise one entry, then broadcast twice: both are deltas carrying
+        // exactly the changed entry.
+        feed_quorum_suspicions(&mut p, 1, 3, 3);
+        for _ in 0..2 {
+            let mut out = Actions::new();
+            p.on_timer(TIMER_BROADCAST, &mut out);
+            let sends = drain_sends(out);
+            match &sends[0].1 {
+                OmegaMsg::AliveDelta { entries, .. } => {
+                    assert_eq!(entries, &vec![(3u32, 1u64)]);
+                }
+                other => panic!("expected a delta, got {other:?}"),
+            }
+        }
+        // The third broadcast after the full is the refresh.
+        let mut out = Actions::new();
+        p.on_timer(TIMER_BROADCAST, &mut out);
+        let sends = drain_sends(out);
+        assert!(matches!(&sends[0].1, OmegaMsg::Alive { .. }));
+        assert_eq!(p.metrics().alive_deltas_sent, 2);
+        assert_eq!(p.metrics().alive_broadcasts, 4);
+    }
+
+    #[test]
+    fn delta_alive_merges_and_counts_as_heard() {
+        let mut p = OmegaProcess::fig3(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        p.on_start(&mut out);
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(2),
+            &OmegaMsg::AliveDelta {
+                rn: RoundNum::FIRST,
+                entries: vec![(1, 5)],
+            },
+            &mut out,
+        );
+        assert_eq!(p.susp_levels().get(ProcessId::new(1)), 5);
+        assert_eq!(p.metrics().alives_recorded, 1);
+        // A stale delta still merges but is not recorded.
+        let mut out = Actions::new();
+        p.on_message(
+            ProcessId::new(2),
+            &OmegaMsg::AliveDelta {
+                rn: RoundNum::ZERO,
+                entries: vec![(2, 7)],
+            },
+            &mut out,
+        );
+        assert_eq!(p.susp_levels().get(ProcessId::new(2)), 7);
+        assert_eq!(p.metrics().alives_late, 1);
     }
 
     #[test]

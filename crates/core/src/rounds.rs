@@ -8,6 +8,108 @@ use std::collections::BTreeMap;
 /// by the broadcast period); evictions beyond it are correct, just slower.
 const WAYS: usize = 64;
 
+/// Bits per vote-count lane (see [`VoteLanes`]).
+const LANE_BITS: usize = 16;
+/// Lanes per 64-bit word.
+const LANES: usize = 4;
+/// Mask of one lane.
+const LANE_MASK: u64 = (1 << LANE_BITS) - 1;
+/// The per-lane sign bit used by the SWAR quorum comparison.
+const LANE_TOP: u64 = 1 << (LANE_BITS - 1);
+/// `LANE_TOP` replicated into every lane.
+const TOP_REP: u64 =
+    LANE_TOP | LANE_TOP << LANE_BITS | LANE_TOP << (2 * LANE_BITS) | LANE_TOP << (3 * LANE_BITS);
+
+/// `NIBBLE_LUT[m]` spreads the 4 bits of `m` into the 4 packed lanes as 0/1,
+/// so adding it to a lane word counts one vote for each process whose
+/// membership bit is set.
+const NIBBLE_LUT: [u64; 16] = {
+    let mut lut = [0u64; 16];
+    let mut m = 0;
+    while m < 16 {
+        let mut v = 0u64;
+        let mut l = 0;
+        while l < LANES {
+            if (m >> l) & 1 == 1 {
+                v |= 1 << (l * LANE_BITS);
+            }
+            l += 1;
+        }
+        lut[m] = v;
+        m += 1;
+    }
+    lut
+};
+
+/// The suspicion-vote counts of one round, as 16-bit lanes packed four per
+/// `u64` word, plus the monotone ≥-quorum bitmask derived from them.
+///
+/// The packing is what makes counting a whole `SUSPICION(rn, suspects)`
+/// message cheap at large `n`: each 4-bit nibble of the suspect set indexes
+/// [`NIBBLE_LUT`] and one 64-bit add counts four votes, so an `n = 256`
+/// message is 64 table-lookup adds instead of 256 read-modify-writes — and
+/// the same pass piggybacks a SWAR "any lane ≥ quorum" test (counts stay
+/// below `2^15`, so a per-lane carry can never cross lanes).
+#[derive(Clone, Debug, Default)]
+struct VoteLanes {
+    /// `n.div_ceil(4)` words of 4 lanes each; lane `k % 4` of word `k / 4`
+    /// is the vote count against process `k`.
+    words: Vec<u64>,
+    /// Bitmask (one bit per process, `n.div_ceil(64)` words) of the lanes
+    /// whose count has reached `ge_quorum`. Counts only grow within a round,
+    /// so the mask is monotone; it turns per-message candidate collection
+    /// into one AND per suspect word.
+    ge: Vec<u64>,
+    /// The quorum `ge` is tracked against (0 = not yet tracked; the mask is
+    /// rebuilt by [`VoteLanes::ensure_quorum`] when it changes).
+    ge_quorum: u32,
+}
+
+impl VoteLanes {
+    fn new(n: usize) -> Self {
+        VoteLanes {
+            words: vec![0; n.div_ceil(LANES)],
+            ge: vec![0; n.div_ceil(64)],
+            ge_quorum: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ge.iter_mut().for_each(|w| *w = 0);
+        self.ge_quorum = 0;
+    }
+
+    fn get(&self, k: usize) -> u32 {
+        let w = self.words[k / LANES];
+        ((w >> ((k % LANES) * LANE_BITS)) & LANE_MASK) as u32
+    }
+
+    fn add_one(&mut self, k: usize) -> u32 {
+        self.words[k / LANES] += 1 << ((k % LANES) * LANE_BITS);
+        let v = self.get(k);
+        if self.ge_quorum != 0 && v >= self.ge_quorum {
+            self.ge[k / 64] |= 1 << (k % 64);
+        }
+        v
+    }
+
+    /// Points `ge` at the given quorum, rebuilding the mask if the tracked
+    /// quorum changes (at most once per round in practice: 0 → quorum).
+    fn ensure_quorum(&mut self, quorum: u32) {
+        if self.ge_quorum == quorum {
+            return;
+        }
+        self.ge_quorum = quorum;
+        self.ge.iter_mut().for_each(|w| *w = 0);
+        for k in 0..self.words.len() * LANES {
+            if self.get(k) >= quorum {
+                self.ge[k / 64] |= 1 << (k % 64);
+            }
+        }
+    }
+}
+
 /// The per-round state of one Ω process: which processes it has heard an
 /// `ALIVE(rn)` from, and how many `SUSPICION(rn, …)` votes it has counted
 /// against each process.
@@ -40,14 +142,14 @@ pub struct RoundBook {
     rec_cache: Vec<ProcessSet>,
     /// Rounds strictly below this have been pruned from `rec_from`.
     rec_floor: RoundNum,
-    suspicions: BTreeMap<RoundNum, Vec<u32>>,
+    suspicions: BTreeMap<RoundNum, VoteLanes>,
     /// Direct-mapped cache of vote counts for recent rounds (way = `rn mod
     /// WAYS`). Suspicion votes cluster on a sliding window of rounds whose
     /// width is the message-delay spread; with the window in cache, counting
     /// a vote is an array access instead of a `BTreeMap` operation. A round's
     /// counts live in exactly one place: its cache way or the map.
     cache_rn: Vec<RoundNum>,
-    cache: Vec<Vec<u32>>,
+    cache: Vec<VoteLanes>,
     /// Rounds strictly below this have been pruned.
     floor: RoundNum,
     /// Extra rounds of suspicion history to retain beyond the largest window
@@ -62,6 +164,10 @@ impl RoundBook {
     /// Creates the bookkeeping for a process `owner` of a system of `n`
     /// processes.
     pub fn new(owner: ProcessId, n: usize, retention: u64) -> Self {
+        assert!(
+            n < (LANE_TOP as usize),
+            "suspicion-vote lanes are {LANE_BITS}-bit; n = {n} is out of range"
+        );
         RoundBook {
             owner,
             n,
@@ -71,7 +177,7 @@ impl RoundBook {
             rec_floor: RoundNum::FIRST,
             suspicions: BTreeMap::new(),
             cache_rn: vec![RoundNum::ZERO; WAYS],
-            cache: (0..WAYS).map(|_| vec![0; n]).collect(),
+            cache: (0..WAYS).map(|_| VoteLanes::new(n)).collect(),
             floor: RoundNum::FIRST,
             retention,
             max_lookback_seen: 0,
@@ -133,13 +239,96 @@ impl RoundBook {
             // unsatisfied), so drop it.
             return 0;
         }
+        self.cached_counts(rn).add_one(k.index())
+    }
+
+    /// Records one `SUSPICION(rn, suspects)` message — one vote against
+    /// every member of `suspects` — and appends the members whose count has
+    /// reached `quorum` to `out` (cleared first), in increasing id order.
+    ///
+    /// Equivalent to calling [`RoundBook::record_suspicion`] for each member
+    /// and checking each returned count against the quorum, but structured as
+    /// the large-`n` inner loop it is (a `SUSPICION` names ~`n − quorum`
+    /// processes at `n = 128`):
+    ///
+    /// * the round's cache way is resolved once per message, not per suspect;
+    /// * votes land four at a time: each 4-bit nibble of the suspect set is
+    ///   spread through [`NIBBLE_LUT`] and added onto a packed lane word;
+    /// * the same adds piggyback a SWAR "did a lane just reach the quorum"
+    ///   equality test that maintains the round's monotone ≥-quorum bitmask,
+    ///   so collecting the candidates is one AND per suspect word.
+    ///
+    /// A pruned round records nothing, matching the single-vote path.
+    pub fn record_suspicions_collect(
+        &mut self,
+        rn: RoundNum,
+        suspects: &ProcessSet,
+        quorum: u32,
+        out: &mut Vec<ProcessId>,
+    ) {
+        out.clear();
+        if rn < self.floor {
+            return;
+        }
+        // A zero quorum behaves like quorum 1: every suspect of the message
+        // has a count of at least one after its own vote, so the candidate
+        // sets coincide — and the crossing detector needs a nonzero target.
+        let quorum = quorum.max(1);
         let counts = self.cached_counts(rn);
-        counts[k.index()] += 1;
-        counts[k.index()]
+        counts.ensure_quorum(quorum);
+        // Every add here is +1, so a lane reaches the quorum exactly when it
+        // *becomes equal* to it — detected with a SWAR equality test (counts
+        // stay below 2^15, asserted in `new`, so per-lane arithmetic cannot
+        // carry across lanes) and accumulated into the monotone `ge` mask.
+        let one_rep = 1 | 1 << LANE_BITS | 1 << (2 * LANE_BITS) | 1 << (3 * LANE_BITS);
+        let q_rep = u64::from(quorum) * one_rep;
+        // 16 nibbles (of 4 membership bits each) per 64-bit set word; lane
+        // word `wi * 16 + nib_idx` holds the counts of those 4 processes.
+        for (wi, &word) in suspects.as_words().iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let mut w = word;
+            let mut nib_idx = 0usize;
+            while w != 0 {
+                let nib = (w & 0xF) as usize;
+                w >>= 4;
+                if nib != 0 {
+                    let lw = &mut counts.words[wi * 16 + nib_idx];
+                    *lw += NIBBLE_LUT[nib];
+                    // Zero-lane detector over `lw ^ q_rep`: flags lanes whose
+                    // count just became exactly `quorum`. Setting every
+                    // lane's (always-clear) top bit before subtracting one
+                    // per lane makes the test exact — no borrow can cross a
+                    // lane boundary, so a lane is flagged iff it is zero.
+                    let y = *lw ^ q_rep;
+                    let crossed = !((y | TOP_REP) - one_rep) & TOP_REP;
+                    if crossed != 0 {
+                        let base_k = wi * 64 + nib_idx * LANES;
+                        for l in 0..LANES {
+                            if crossed & (LANE_TOP << (l * LANE_BITS)) != 0 {
+                                counts.ge[(base_k + l) / 64] |= 1 << ((base_k + l) % 64);
+                            }
+                        }
+                    }
+                }
+                nib_idx += 1;
+            }
+        }
+        // Candidates: the suspects of this message whose count is at (or
+        // past) the quorum — one AND per word against the monotone mask.
+        for (wi, &word) in suspects.as_words().iter().enumerate() {
+            let mut m = word & counts.ge[wi];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                out.push(ProcessId::new((wi * 64 + b) as u32));
+            }
+        }
     }
 
     /// Loads `rn`'s vote counts into its cache way and returns them.
-    fn cached_counts(&mut self, rn: RoundNum) -> &mut [u32] {
+    fn cached_counts(&mut self, rn: RoundNum) -> &mut VoteLanes {
         let way = (rn.value() % WAYS as u64) as usize;
         if self.cache_rn[way] != rn {
             let occupant = self.cache_rn[way];
@@ -149,14 +338,14 @@ impl RoundBook {
                 let incoming = self
                     .suspicions
                     .remove(&rn)
-                    .unwrap_or_else(|| vec![0; self.n]);
+                    .unwrap_or_else(|| VoteLanes::new(self.n));
                 let spilled = std::mem::replace(&mut self.cache[way], incoming);
                 self.suspicions.insert(occupant, spilled);
             } else {
                 // Vacant (or pruned) way: reuse its buffer.
                 match self.suspicions.remove(&rn) {
                     Some(incoming) => self.cache[way] = incoming,
-                    None => self.cache[way].fill(0),
+                    None => self.cache[way].clear(),
                 }
             }
             self.cache_rn[way] = rn;
@@ -168,9 +357,9 @@ impl RoundBook {
     pub fn suspicion_count(&self, rn: RoundNum, k: ProcessId) -> u32 {
         let way = (rn.value() % WAYS as u64) as usize;
         if self.cache_rn[way] == rn {
-            return self.cache[way][k.index()];
+            return self.cache[way].get(k.index());
         }
-        self.suspicions.get(&rn).map_or(0, |c| c[k.index()])
+        self.suspicions.get(&rn).map_or(0, |c| c.get(k.index()))
     }
 
     /// The line-`*` window condition: `true` iff every round
@@ -384,6 +573,56 @@ mod tests {
         b.prune(RoundNum::new(50));
         assert_eq!(b.retained_suspicion_rounds(), 50);
         assert!(b.window_suspected(k, RoundNum::new(50), 49, 1));
+    }
+
+    /// The packed-lane batch kernel against the single-vote reference: for
+    /// any message sequence, `record_suspicions_collect` must count exactly
+    /// like per-suspect `record_suspicion` calls and collect exactly the
+    /// suspects whose updated count reached the quorum, in increasing id
+    /// order. Sizes straddle the 64-bit set-word and 4-lane word boundaries.
+    mod batch_kernel {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_batch_record_matches_single_vote_reference(
+                which in 0usize..6,
+                msgs in proptest::collection::vec(
+                    (1u64..5, proptest::collection::btree_set(0u32..131, 0..50)),
+                    1..40,
+                ),
+            ) {
+                let n = [5usize, 63, 64, 65, 128, 130][which];
+                let quorum = (n as u32) / 2 + 1;
+                let mut batch = RoundBook::new(ProcessId::new(0), n, 0);
+                let mut single = RoundBook::new(ProcessId::new(0), n, 0);
+                let mut out = Vec::new();
+                for (rn, set) in msgs {
+                    let rn = RoundNum::new(rn);
+                    let suspects = ProcessSet::from_ids(
+                        n,
+                        set.iter()
+                            .filter(|&&k| (k as usize) < n)
+                            .map(|&k| ProcessId::new(k)),
+                    );
+                    batch.record_suspicions_collect(rn, &suspects, quorum, &mut out);
+                    let mut expected = Vec::new();
+                    for k in suspects.iter() {
+                        if single.record_suspicion(rn, k) >= quorum {
+                            expected.push(k);
+                        }
+                    }
+                    prop_assert_eq!(&out, &expected);
+                    for k in ProcessId::all(n) {
+                        prop_assert_eq!(
+                            batch.suspicion_count(rn, k),
+                            single.suspicion_count(rn, k)
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

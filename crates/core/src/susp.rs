@@ -97,6 +97,13 @@ impl SuspVector {
 
     /// Entry-wise maximum with another vector (line 5, the gossip merge).
     ///
+    /// The merge runs word-at-a-time in chunks of eight `u64`s (a shape the
+    /// compiler auto-vectorises), with no per-entry leader bookkeeping inside
+    /// the loop: entries never decrease, so the cached argmin can only move
+    /// when the current leader's *own* entry grows, which is checked once
+    /// after the bulk pass. A full merge over `n = 256` is therefore 32
+    /// branch-free chunk iterations plus one comparison.
+    ///
     /// # Panics
     ///
     /// Panics if the two vectors have different lengths.
@@ -107,19 +114,77 @@ impl SuspVector {
             "merging vectors of different systems"
         );
         let leader_level_before = self.levels.get(self.leader as usize).copied();
-        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+        let mut chunks = self.levels.chunks_exact_mut(8);
+        let mut other_chunks = other.levels.chunks_exact(8);
+        for (a, b) in (&mut chunks).zip(&mut other_chunks) {
+            for i in 0..8 {
+                a[i] = a[i].max(b[i]);
+            }
+        }
+        for (a, b) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(other_chunks.remainder())
+        {
             *a = (*a).max(*b);
         }
         // Entries never decrease, so only a raise of the current leader's own
-        // entry can move the argmin.
+        // entry can move the argmin — the incremental argmin survives the
+        // bulk merge without per-entry checks.
         if self.levels.get(self.leader as usize).copied() != leader_level_before {
             self.recompute_leader();
         }
     }
 
-    /// The smallest entry.
+    /// Merges a sparse delta: for each `(index, level)` entry, raises
+    /// `susp_level[index]` to at least `level`. The delta-gossip reception
+    /// path — semantically the line-5 merge restricted to the entries the
+    /// sender reported as changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's index is not a process of this system.
+    pub fn apply_delta(&mut self, entries: &[(u32, u64)]) {
+        let mut leader_raised = false;
+        for &(i, level) in entries {
+            let slot = &mut self.levels[i as usize];
+            if level > *slot {
+                *slot = level;
+                leader_raised |= i == self.leader;
+            }
+        }
+        if leader_raised {
+            self.recompute_leader();
+        }
+    }
+
+    /// The entries of `self` that exceed the `base` snapshot, as
+    /// `(index, level)` pairs — what a delta-encoded `ALIVE` carries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` has a different length.
+    pub fn changed_since(&self, base: &[u64]) -> Vec<(u32, u64)> {
+        assert_eq!(
+            self.levels.len(),
+            base.len(),
+            "delta base of a different system"
+        );
+        self.levels
+            .iter()
+            .zip(base)
+            .enumerate()
+            .filter(|(_, (now, before))| now > before)
+            .map(|(i, (now, _))| (i as u32, *now))
+            .collect()
+    }
+
+    /// The smallest entry. O(1): the smallest entry is the cached argmin's
+    /// level (this sits inside the line-`**` guard, which runs per quorum
+    /// candidate per `SUSPICION` message — a scan here would be O(n²) per
+    /// message at large n).
     pub fn min(&self) -> u64 {
-        self.levels.iter().copied().min().unwrap_or(0)
+        self.levels.get(self.leader as usize).copied().unwrap_or(0)
     }
 
     /// The largest entry.
@@ -218,6 +283,67 @@ mod tests {
             let mut twice = ab.clone();
             twice.merge_max(&ab);
             prop_assert_eq!(twice, ab);
+        }
+
+        /// The chunked `merge_max` against an entry-at-a-time scalar
+        /// reference, including the cached argmin, on lengths that cover the
+        /// full chunks, the remainder, and both (1..40 spans 0–4 chunks of 8
+        /// plus every remainder width).
+        #[test]
+        fn prop_chunked_merge_matches_scalar_reference(
+            a in proptest::collection::vec(0u64..100, 1..40),
+            b_seed in proptest::collection::vec(0u64..100, 1..40),
+        ) {
+            let n = a.len();
+            let b: Vec<u64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+            // Scalar reference: entry-wise max, argmin recomputed from scratch.
+            let reference: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+            let ref_leader = reference
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i as u32)
+                .unwrap();
+            let mut merged = SuspVector::from_levels(a.clone());
+            merged.merge_max(&SuspVector::from_levels(b.clone()));
+            prop_assert_eq!(merged.as_slice(), &reference[..]);
+            prop_assert_eq!(merged.least_suspected(), ProcessId::new(ref_leader));
+            // The sparse-delta path must land on the same state and argmin.
+            let mut by_delta = SuspVector::from_levels(a.clone());
+            let delta = SuspVector::from_levels(b).changed_since(&vec![0; n]);
+            by_delta.apply_delta(&delta);
+            prop_assert_eq!(by_delta.as_slice(), &reference[..]);
+            prop_assert_eq!(by_delta.least_suspected(), ProcessId::new(ref_leader));
+        }
+
+        /// The cached argmin survives any interleaving of increments, bulk
+        /// merges and sparse deltas.
+        #[test]
+        fn prop_argmin_survives_mixed_mutations(
+            n in 1usize..24,
+            ops in proptest::collection::vec((0u8..3, 0u32..24, 0u64..30), 1..40),
+        ) {
+            let mut v = SuspVector::new(n);
+            for (op, idx, level) in ops {
+                let idx = idx % n as u32;
+                match op {
+                    0 => v.increment(ProcessId::new(idx)),
+                    1 => {
+                        let mut other = vec![0u64; n];
+                        other[idx as usize] = level;
+                        v.merge_max(&SuspVector::from_levels(other));
+                    }
+                    _ => v.apply_delta(&[(idx, level)]),
+                }
+                let scan = v
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &l)| (l, i))
+                    .map(|(i, _)| i as u32)
+                    .unwrap();
+                prop_assert_eq!(v.least_suspected(), ProcessId::new(scan));
+            }
         }
 
         #[test]

@@ -174,6 +174,11 @@ pub struct Scenario {
     pub quiet: u64,
     /// Seeds; one run per seed.
     pub seeds: Vec<u64>,
+    /// Delta-encoded gossip for the Ω algorithms: `Some(refresh_every)`
+    /// enables it (see `OmegaConfig::with_delta_gossip`), `None` — the
+    /// default — runs the paper's full-vector gossip. Ignored by the
+    /// baseline algorithms.
+    pub delta_gossip: Option<u64>,
 }
 
 impl Scenario {
@@ -204,6 +209,7 @@ impl Scenario {
             horizon: 250_000,
             quiet: 20_000,
             seeds: vec![1, 2, 3],
+            delta_gossip: None,
         }
     }
 
@@ -243,6 +249,14 @@ impl Scenario {
         self
     }
 
+    /// Enables delta-encoded gossip (full refresh every `refresh_every`
+    /// broadcasts) for the Ω algorithm variants.
+    #[must_use]
+    pub fn with_delta_gossip(mut self, refresh_every: u64) -> Self {
+        self.delta_gossip = Some(refresh_every);
+        self
+    }
+
     /// Runs the scenario once per seed, concurrently.
     ///
     /// Each `(scenario, seed)` simulation is fully independent (its own
@@ -273,8 +287,13 @@ impl Scenario {
     }
 
     fn run_omega(&self, seed: u64, variant: Variant) -> RunOutcome {
+        let delta = self.delta_gossip;
         self.run_protocol(seed, move |id, sys| {
-            OmegaProcess::new(id, OmegaConfig::new(sys, variant))
+            let mut cfg = OmegaConfig::new(sys, variant);
+            if let Some(refresh_every) = delta {
+                cfg = cfg.with_delta_gossip(refresh_every);
+            }
+            OmegaProcess::new(id, cfg)
         })
     }
 
@@ -439,6 +458,46 @@ where
 mod tests {
     use super::*;
     use crate::outcome::Aggregate;
+
+    /// A sweep of many more jobs than cores must never spawn one thread per
+    /// job: the pool is capped at the machine's available parallelism, and
+    /// work is handed out through the shared counter. Tracked via the peak
+    /// number of concurrently running jobs over a 1000-job batch.
+    #[test]
+    fn ordered_parallel_bounds_worker_count() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let results = ordered_parallel(1000, |i| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::yield_now();
+            active.fetch_sub(1, Ordering::SeqCst);
+            i * 2
+        });
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert!(
+            peak.load(Ordering::SeqCst) <= cores,
+            "peak concurrency {} exceeds available parallelism {}",
+            peak.load(Ordering::SeqCst),
+            cores
+        );
+        // Results come back complete and in job order.
+        assert_eq!(results.len(), 1000);
+        assert!(results.iter().enumerate().all(|(i, &r)| r == i * 2));
+    }
+
+    #[test]
+    fn delta_gossip_builder_sets_flag() {
+        let s = Scenario::new("d", 4, 1, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_delta_gossip(8);
+        assert_eq!(s.delta_gossip, Some(8));
+        // A delta-gossip scenario still stabilises end-to-end.
+        let s = s.with_horizon(120_000, 15_000).with_seeds(&[1]);
+        assert!(s.run()[0].stabilized);
+    }
 
     #[test]
     fn scenario_builders_compose() {

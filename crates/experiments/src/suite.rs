@@ -74,9 +74,23 @@ pub fn e1_election_under_a_prime(quick: bool) -> Table {
 /// E2 — Theorems 2/3: election under the intermittent star `A`, as a
 /// function of the gap bound `D`, contrasting Figure 1 with Figures 2/3.
 pub fn e2_election_under_a(quick: bool) -> Table {
+    e2_election_under_a_sized(quick, None)
+}
+
+/// [`e2_election_under_a`] at an explicit system size (`--n` on the command
+/// line). The default (`None`) runs the paper-scale `n = 5, t = 2` grid; an
+/// override runs a reduced large-`n` smoke grid — one gap bound, Figure 3
+/// only, a shorter horizon sized so `n = 128` stays a few seconds of wall
+/// clock — which is what the CI large-n job executes.
+pub fn e2_election_under_a_sized(quick: bool, n_override: Option<usize>) -> Table {
+    let (n, t) = match n_override {
+        Some(n) => (n, (n - 1) / 2),
+        None => (5, 2),
+    };
+    let large = n_override.is_some_and(|n| n > 16);
     let mut table = Table::new(
         "E2",
-        "Eventual election under A (intermittent rotating t-star), varying D",
+        &format!("Eventual election under A (intermittent rotating t-star), varying D (n = {n})"),
         &[
             "D",
             "algorithm",
@@ -85,18 +99,43 @@ pub fn e2_election_under_a(quick: bool) -> Table {
             "distinct leaders",
         ],
     );
-    let ds: &[u64] = if quick { &[2, 8] } else { &[1, 2, 4, 8, 16] };
+    let ds: &[u64] = if large {
+        &[4]
+    } else if quick {
+        &[2, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let algorithms: &[Algorithm] = if large {
+        &[Algorithm::Fig3]
+    } else {
+        &[Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3]
+    };
+    let horizon = if large {
+        12_000
+    } else if quick {
+        150_000
+    } else {
+        300_000
+    };
+    let quiet = if large { 3_000 } else { 20_000 };
+    let seed_list = if large { vec![1] } else { seeds(quick) };
     let mut cells = Vec::new();
     let mut scenarios = Vec::new();
     for &d in ds {
-        for algorithm in [Algorithm::Fig1, Algorithm::Fig2, Algorithm::Fig3] {
+        for &algorithm in algorithms {
             cells.push((d, algorithm));
-            scenarios.push(
-                Scenario::new("e2", 5, 2, algorithm, Assumption::Intermittent { d })
-                    .with_background(Background::Growing)
-                    .with_horizon(if quick { 150_000 } else { 300_000 }, 20_000)
-                    .with_seeds(&seeds(quick)),
-            );
+            let mut s = Scenario::new("e2", n, t, algorithm, Assumption::Intermittent { d })
+                .with_background(Background::Growing)
+                .with_horizon(horizon, quiet)
+                .with_seeds(&seed_list);
+            if large {
+                // The large-n configuration: delta-encoded gossip with a
+                // periodic full refresh (trace-equivalent in leader history;
+                // see the delta_gossip tests).
+                s = s.with_delta_gossip(8);
+            }
+            scenarios.push(s);
         }
     }
     for ((d, algorithm), outcomes) in cells.into_iter().zip(run_batch(&scenarios)) {

@@ -1,13 +1,17 @@
-//! Real-time execution of the sans-IO protocols: threads, channels and
-//! wall-clock timers.
+//! Real-time execution of the sans-IO protocols: sharded event loops,
+//! per-shard timer wheels, and wall-clock timers.
 //!
 //! The discrete-event simulator (`irs-sim`) is where the assumptions of the
 //! paper are reproduced faithfully and deterministically; this crate answers
 //! the other question a user of the library has — *can I actually run this?*
-//! A [`Cluster`] spawns one OS thread per process, routes messages through an
-//! in-memory router that can inject per-link delay jitter, drives timers off
-//! the wall clock, and exposes each process's [`irs_types::Snapshot`] (and
-//! therefore its `leader()` output) to the embedding application.
+//! A [`Cluster`] spawns `W` worker shards (default: the machine's available
+//! parallelism), each owning `n / W` processes and running one event loop
+//! over a hierarchical timing wheel; shards exchange message batches through
+//! per-shard MPSC inboxes, inject deterministic per-link delay jitter, drive
+//! timers off the wall clock, and expose each process's
+//! [`irs_types::Snapshot`] (and therefore its `leader()` output) to the
+//! embedding application. Clusters of 256+ processes run on a handful of OS
+//! threads; see `cluster.rs` for the shard architecture.
 //!
 //! The protocols themselves are byte-for-byte the same state machines that
 //! run under the simulator: [`irs_omega::OmegaProcess`], the baselines and

@@ -19,7 +19,7 @@
 //! to make the per-message cost independent of the payload and of `n`:
 //!
 //! * **Shared payloads.** [`Event::Deliver`] and the gate's hold buffer carry
-//!   `Arc<P::Msg>`. A broadcast allocates the payload once in
+//!   `Rc<P::Msg>`. A broadcast allocates the payload once in
 //!   [`apply_actions`](Simulation) and fans out pointer clones; receivers get
 //!   the payload by reference ([`Protocol::on_message`] takes `&Msg`), so a
 //!   round of `n` broadcasts costs `n` allocations instead of `n²` deep
@@ -27,11 +27,18 @@
 //! * **Dense per-process state.** Timer generations live in a plain
 //!   `Vec<u64>` indexed by the (small, enumerable) raw [`TimerId`], not a
 //!   `HashMap`. The winning-message gate keys `(receiver, round)` live in a
-//!   per-receiver ring of [`GATE_WINDOW`] recent rounds (all gate activity
-//!   for a round happens at that round's send instant, so a short window is
-//!   exact in practice), and held messages live in a token-checked slab whose
-//!   deadline-release events keep links reliable even if a ring slot is
-//!   recycled.
+//!   per-receiver ring of recent rounds — sized by
+//!   [`SimConfig::gate_window`] and allocated lazily the first time the
+//!   adversary gates a message to that receiver, so an ungated receiver (or
+//!   a whole ungated run) costs no gate memory even at `n = 256` — and held
+//!   messages live in a token-checked slab whose deadline-release events
+//!   keep links reliable even if a ring slot is recycled.
+//! * **O(1) agreement tracking.** The system-wide leader agreement is
+//!   maintained as per-candidate live vote counts: a process changing its
+//!   `leader()` output moves one vote and compares one count against the
+//!   live-process total, instead of rescanning all `n` processes on every
+//!   change (the full scan survives only at start-up and on the ≤ `t`
+//!   crashes of a run).
 //! * **O(1) event queue.** The queue is a hierarchical timing wheel (see
 //!   [`EventQueue`]): pushes and pops are constant-time slot operations and
 //!   the `O(n²)` same-instant broadcast bursts share FIFO buckets, where a
@@ -46,8 +53,7 @@ use irs_types::{
     Actions, Destination, Duration, Introspect, ProcessId, Protocol, RoundNum, RoundTagged,
     Snapshot, Time, TimerId, TimerRequest,
 };
-use std::sync::Arc;
-
+use std::rc::Rc;
 /// Static parameters of one simulation run.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
@@ -55,6 +61,12 @@ pub struct SimConfig {
     pub seed: u64,
     /// The run stops when simulated time would exceed this horizon.
     pub horizon: Time,
+    /// How many recent rounds of winning-message-gate state are kept per
+    /// receiver (the ring size of [`GATE_WINDOW`]-style slots). The default
+    /// is ample for every adversary in this workspace; larger values only
+    /// matter if an adversary spreads a round's sends across more rounds of
+    /// simultaneous gate activity than this.
+    pub gate_window: usize,
 }
 
 impl Default for SimConfig {
@@ -62,6 +74,7 @@ impl Default for SimConfig {
         SimConfig {
             seed: 1,
             horizon: Time::from_ticks(1_000_000),
+            gate_window: GATE_WINDOW,
         }
     }
 }
@@ -69,7 +82,18 @@ impl Default for SimConfig {
 impl SimConfig {
     /// Creates a configuration with the given seed and horizon.
     pub fn new(seed: u64, horizon: Time) -> Self {
-        SimConfig { seed, horizon }
+        SimConfig {
+            seed,
+            horizon,
+            gate_window: GATE_WINDOW,
+        }
+    }
+
+    /// Overrides the per-receiver gate-ring size (clamped to at least 1).
+    #[must_use]
+    pub fn with_gate_window(mut self, slots: usize) -> Self {
+        self.gate_window = slots.max(1);
+        self
     }
 }
 
@@ -137,7 +161,8 @@ impl SimReport {
     }
 }
 
-/// How many recent rounds of gate state are kept per receiver.
+/// Default number of recent rounds of gate state kept per receiver
+/// (overridable through [`SimConfig::with_gate_window`]).
 ///
 /// Every send of a round-`rn` `ALIVE` happens at that round's broadcast
 /// instant (the periodic timers of all processes fire in lockstep), so the
@@ -152,8 +177,10 @@ struct HeldMsg<M> {
     token: u64,
     from: ProcessId,
     to: ProcessId,
-    msg: Arc<M>,
+    msg: Rc<M>,
     slack: Duration,
+    /// When the message must be delivered even if the gate never opens.
+    deadline_at: Time,
 }
 
 /// Gate state of one `(receiver, round)` key: the scheduled star-centre
@@ -162,6 +189,15 @@ struct GateSlot {
     rn: RoundNum,
     star_at: Option<Time>,
     held: Vec<u32>,
+    /// The earliest pending [`Event::ReleaseGate`] sweep for this slot's
+    /// current round (`None` = no sweep pending). One sweep covers every
+    /// message the slot holds, so a round that holds thousands of messages
+    /// (every non-centre sender at a winning point, at large `n`) schedules
+    /// one deadline event, not thousands. A message held later with an
+    /// *earlier* deadline arms an additional, earlier sweep, so every
+    /// message is still released no later than its own deadline even when an
+    /// adversary hands out heterogeneous deadlines on one slot.
+    sweep_at: Option<Time>,
 }
 
 impl GateSlot {
@@ -170,6 +206,7 @@ impl GateSlot {
             rn: RoundNum::ZERO,
             star_at: None,
             held: Vec::new(),
+            sweep_at: None,
         }
     }
 }
@@ -214,14 +251,25 @@ where
 {
     horizon: Time,
     now: Time,
-    queue: EventQueue<P::Msg>,
+    queue: EventQueue<Rc<P::Msg>>,
     procs: Vec<ProcSlot<P>>,
     adversary: A,
     rng: SimRng,
     trace: Trace,
     /// Winning-message gate state: per receiver, a ring of the
-    /// [`GATE_WINDOW`] most recent rounds.
-    gates: Vec<Vec<GateSlot>>,
+    /// `gate_window` most recent rounds. Rings are allocated lazily, the
+    /// first time the adversary gates a message to that receiver — an
+    /// ungated run (or receiver) costs no gate memory at all, which matters
+    /// once `n` reaches the hundreds.
+    gates: Vec<Option<Box<[GateSlot]>>>,
+    gate_window: usize,
+    /// `live_votes[l]` = number of live processes whose `leader()` output is
+    /// currently `l`. Together with `live_count` this makes the system-wide
+    /// agreement check O(1) per leader change (a full O(n) rescan happens
+    /// only on a crash), where the seed engine rescanned all `n` processes
+    /// on every change.
+    live_votes: Vec<u32>,
+    live_count: u32,
     /// Slab of held messages, indexed by the `slot` of
     /// [`Event::ReleaseHeld`]; `None` entries are free.
     held_slab: Vec<Option<HeldMsg<P::Msg>>>,
@@ -286,6 +334,12 @@ where
                 }
             })
             .collect();
+        let mut live_votes = vec![0u32; n];
+        for slot in &procs {
+            if let Some(v) = live_votes.get_mut(slot.last_leader.index()) {
+                *v += 1;
+            }
+        }
         Simulation {
             horizon: config.horizon,
             now: Time::ZERO,
@@ -294,9 +348,10 @@ where
             adversary,
             rng: SimRng::from_seed(config.seed),
             trace: Trace::default(),
-            gates: (0..n)
-                .map(|_| (0..GATE_WINDOW).map(|_| GateSlot::vacant()).collect())
-                .collect(),
+            gates: (0..n).map(|_| None).collect(),
+            gate_window: config.gate_window.max(1),
+            live_votes,
+            live_count: n as u32,
             held_slab: Vec::new(),
             held_free: Vec::new(),
             next_token: 0,
@@ -408,6 +463,13 @@ where
                 if !self.procs[pid.index()].crashed {
                     self.procs[pid.index()].crashed = true;
                     self.trace.counters.crashes += 1;
+                    // Retire the crashed process's vote; agreement may now
+                    // form among the remaining live processes.
+                    let voted = self.procs[pid.index()].last_leader;
+                    if let Some(v) = self.live_votes.get_mut(voted.index()) {
+                        *v -= 1;
+                    }
+                    self.live_count -= 1;
                     self.refresh_agreement();
                 }
             }
@@ -427,6 +489,67 @@ where
                             msg: h.msg,
                         },
                     );
+                }
+            }
+            Event::ReleaseGate { to, rn } => {
+                // Sweep the slot if it still tracks `rn` (a recycled slot's
+                // displaced messages carry their own release events). In the
+                // common case — the star message opened the gate within the
+                // same instant — the slot holds nothing and this is the only
+                // residual cost of the whole round's held messages.
+                let window = self.gate_window;
+                let held = match self.gates[to.index()].as_mut() {
+                    Some(ring) => {
+                        let slot = &mut ring[(rn.value() % window as u64) as usize];
+                        if slot.rn == rn && !slot.held.is_empty() {
+                            std::mem::take(&mut slot.held)
+                        } else {
+                            if slot.rn == rn {
+                                slot.sweep_at = None;
+                            }
+                            Vec::new()
+                        }
+                    }
+                    None => Vec::new(),
+                };
+                if held.is_empty() {
+                    return true;
+                }
+                // Release what is due; keep the rest and re-arm the sweep at
+                // the earliest remaining deadline, so every message is still
+                // delivered at exactly its own deadline tick.
+                let mut remaining: Vec<u32> = Vec::new();
+                let mut next_deadline: Option<Time> = None;
+                for idx in held {
+                    let due = self.held_slab[idx as usize]
+                        .as_ref()
+                        .map(|h| h.deadline_at)
+                        .expect("held list entries are live");
+                    if due <= self.now {
+                        let h = self.free_held(idx);
+                        self.trace.counters.gate_deadline_releases += 1;
+                        self.queue.push(
+                            self.now,
+                            Event::Deliver {
+                                from: h.from,
+                                to: h.to,
+                                msg: h.msg,
+                            },
+                        );
+                    } else {
+                        next_deadline = Some(next_deadline.map_or(due, |d| d.min(due)));
+                        remaining.push(idx);
+                    }
+                }
+                if let Some(ring) = self.gates[to.index()].as_mut() {
+                    let slot = &mut ring[(rn.value() % window as u64) as usize];
+                    if slot.rn == rn {
+                        slot.held = remaining;
+                        slot.sweep_at = next_deadline;
+                        if let Some(at) = next_deadline {
+                            self.queue.push(at, Event::ReleaseGate { to, rn });
+                        }
+                    }
                 }
             }
         }
@@ -499,26 +622,50 @@ where
     }
 
     fn after_callback(&mut self, pid: ProcessId, out: &mut Actions<P::Msg>) {
-        self.apply_actions(pid, out);
+        // Most deliveries record no actions (the paper's processes only act
+        // on round boundaries); skip the drain machinery for them.
+        if !out.is_empty() {
+            self.apply_actions(pid, out);
+        }
         let new_leader = self.procs[pid.index()].proto.leader();
-        if new_leader != self.procs[pid.index()].last_leader {
+        let old_leader = self.procs[pid.index()].last_leader;
+        if new_leader != old_leader {
             self.procs[pid.index()].last_leader = new_leader;
-            self.refresh_agreement();
+            // O(1) agreement update: move this process's vote. Only the
+            // bucket that gained a vote can now hold every live vote, so no
+            // rescan is needed. Votes for out-of-range leader ids (no
+            // protocol in the workspace emits one, but `leader()` does not
+            // forbid it) are simply not bucketed, which can only prevent a
+            // count from reaching `live_count` — the conservative direction.
+            if let Some(v) = self.live_votes.get_mut(old_leader.index()) {
+                *v -= 1;
+            }
+            let agreed = match self.live_votes.get_mut(new_leader.index()) {
+                Some(v) => {
+                    *v += 1;
+                    (*v == self.live_count).then_some(new_leader)
+                }
+                None => None,
+            };
+            self.trace.record_agreement(self.now, agreed);
         }
     }
 
+    /// Recomputes the agreement from the maintained vote counts; O(1) apart
+    /// from finding one live process. Used at start-up and after a crash —
+    /// per-delivery leader changes take the incremental path in
+    /// [`Simulation::after_callback`].
     fn refresh_agreement(&mut self) {
-        let mut live = self.procs.iter().filter(|s| !s.crashed);
-        let agreed = match live.next() {
-            None => None,
-            Some(first) => {
-                let candidate = first.last_leader;
-                if live.all(|s| s.last_leader == candidate) {
-                    Some(candidate)
-                } else {
-                    None
-                }
-            }
+        let agreed = if self.live_count == 0 {
+            None
+        } else {
+            // All live processes agree iff the candidate named by any one of
+            // them holds every live vote.
+            self.procs
+                .iter()
+                .find(|s| !s.crashed)
+                .map(|s| s.last_leader)
+                .filter(|c| self.live_votes.get(c.index()).copied() == Some(self.live_count))
         };
         self.trace.record_agreement(self.now, agreed);
     }
@@ -527,21 +674,39 @@ where
         let n = self.procs.len();
         for outbound in actions.drain_sends() {
             // One allocation per send action: the broadcast fan-out below
-            // clones the pointer, not the payload.
-            let payload = Arc::new(outbound.msg);
+            // clones the pointer, not the payload. Payload metadata (size,
+            // constrained round) is computed once per action too — at
+            // n = 256 a broadcast otherwise re-derives it 255 times.
+            let size = outbound.msg.estimated_size() as u64;
+            let round = outbound.msg.constrained_round();
+            let payload = Rc::new(outbound.msg);
+            // Counters are bumped once per action with the fan-out count —
+            // not once per receiver.
+            let targets = match outbound.dest {
+                Destination::To(_) => 1,
+                Destination::AllOthers => (n - 1) as u64,
+                Destination::All => n as u64,
+            };
+            self.trace.counters.messages_sent += targets;
+            self.trace.counters.bytes_sent += size * targets;
+            if round.is_some() {
+                self.trace.counters.constrained_sent += targets;
+            } else {
+                self.trace.counters.other_sent += targets;
+            }
             match outbound.dest {
-                Destination::To(q) => self.send_one(pid, q, payload),
+                Destination::To(q) => self.send_one(pid, q, payload, round),
                 Destination::AllOthers => {
                     for q in (0..n)
                         .map(|i| ProcessId::new(i as u32))
                         .filter(|q| *q != pid)
                     {
-                        self.send_one(pid, q, Arc::clone(&payload));
+                        self.send_one(pid, q, Rc::clone(&payload), round);
                     }
                 }
                 Destination::All => {
                     for q in (0..n).map(|i| ProcessId::new(i as u32)) {
-                        self.send_one(pid, q, Arc::clone(&payload));
+                        self.send_one(pid, q, Rc::clone(&payload), round);
                     }
                 }
             }
@@ -568,21 +733,50 @@ where
     }
 
     /// The gate ring slot currently associated with `(to, rn)`, claiming it
-    /// from an older round if necessary. Returns `None` for a stale round
-    /// (older than the slot's current owner), which callers treat as "no
-    /// gate state".
-    fn gate_slot(&mut self, to: ProcessId, rn: RoundNum) -> Option<&mut GateSlot> {
-        let slot = &mut self.gates[to.index()][(rn.value() % GATE_WINDOW as u64) as usize];
+    /// from an older round if necessary. The receiver's ring is allocated on
+    /// first use. Returns `None` for a stale round (older than the slot's
+    /// current owner), which callers treat as "no gate state".
+    ///
+    /// A free function over split fields (not `&mut self`) so callers can
+    /// keep using the queue and the hold slab while the returned slot borrow
+    /// is live.
+    fn gate_slot<'a>(
+        gates: &'a mut [Option<Box<[GateSlot]>>],
+        window: usize,
+        queue: &mut EventQueue<Rc<P::Msg>>,
+        held_slab: &[Option<HeldMsg<P::Msg>>],
+        to: ProcessId,
+        rn: RoundNum,
+    ) -> Option<&'a mut GateSlot> {
+        let ring = gates[to.index()].get_or_insert_with(|| {
+            (0..window)
+                .map(|_| GateSlot::vacant())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        let slot = &mut ring[(rn.value() % window as u64) as usize];
         if slot.rn == rn {
             return Some(slot);
         }
         if rn > slot.rn {
             // Recycle the slot for the newer round. Held messages of the
-            // displaced round stay in the slab; their deadline releases
-            // deliver them.
+            // displaced round stay in the slab; each gets an individual
+            // deadline-release event (the displaced round's sweep no longer
+            // matches the slot), so links stay reliable.
+            for idx in slot.held.drain(..) {
+                if let Some(h) = held_slab.get(idx as usize).and_then(|e| e.as_ref()) {
+                    queue.push(
+                        h.deadline_at,
+                        Event::ReleaseHeld {
+                            slot: idx,
+                            token: h.token,
+                        },
+                    );
+                }
+            }
             slot.rn = rn;
             slot.star_at = None;
-            slot.held.clear();
+            slot.sweep_at = None;
             return Some(slot);
         }
         None
@@ -609,18 +803,17 @@ where
         h
     }
 
-    fn send_one(&mut self, from: ProcessId, to: ProcessId, msg: Arc<P::Msg>) {
+    fn send_one(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: Rc<P::Msg>,
+        round: Option<RoundNum>,
+    ) {
         debug_assert!(
             to.index() < self.procs.len(),
             "send to unknown process {to}"
         );
-        self.trace.counters.messages_sent += 1;
-        self.trace.counters.bytes_sent += msg.estimated_size() as u64;
-        if msg.constrained_round().is_some() {
-            self.trace.counters.constrained_sent += 1;
-        } else {
-            self.trace.counters.other_sent += 1;
-        }
         let decision = self
             .adversary
             .delivery(self.now, from, to, &msg, &mut self.rng);
@@ -630,10 +823,17 @@ where
                     .push(self.now + delay, Event::Deliver { from, to, msg });
             }
             Delivery::StarAfter(delay) => {
-                let rn = msg.constrained_round().unwrap_or(RoundNum::ZERO);
+                let rn = round.unwrap_or(RoundNum::ZERO);
                 let star_at = self.now + delay;
                 let mut released: Vec<u32> = Vec::new();
-                if let Some(slot) = self.gate_slot(to, rn) {
+                if let Some(slot) = Self::gate_slot(
+                    &mut self.gates,
+                    self.gate_window,
+                    &mut self.queue,
+                    &self.held_slab,
+                    to,
+                    rn,
+                ) {
                     slot.star_at = Some(match slot.star_at {
                         Some(existing) => existing.min(star_at),
                         None => star_at,
@@ -656,9 +856,17 @@ where
                 self.queue.push(star_at, Event::Deliver { from, to, msg });
             }
             Delivery::AfterStar { slack, deadline } => {
-                let rn = msg.constrained_round().unwrap_or(RoundNum::ZERO);
+                let rn = round.unwrap_or(RoundNum::ZERO);
                 let now = self.now;
-                let star_at = self.gate_slot(to, rn).and_then(|slot| slot.star_at);
+                let star_at = Self::gate_slot(
+                    &mut self.gates,
+                    self.gate_window,
+                    &mut self.queue,
+                    &self.held_slab,
+                    to,
+                    rn,
+                )
+                .and_then(|slot| slot.star_at);
                 match star_at {
                     Some(star_at) => {
                         let at = if star_at > now {
@@ -672,18 +880,39 @@ where
                         self.trace.counters.messages_held += 1;
                         let token = self.next_token;
                         self.next_token += 1;
+                        let deadline_at = now + deadline;
                         let idx = self.hold_msg(HeldMsg {
                             token,
                             from,
                             to,
                             msg,
                             slack,
+                            deadline_at,
                         });
-                        if let Some(slot) = self.gate_slot(to, rn) {
-                            slot.held.push(idx);
+                        match Self::gate_slot(
+                            &mut self.gates,
+                            self.gate_window,
+                            &mut self.queue,
+                            &self.held_slab,
+                            to,
+                            rn,
+                        ) {
+                            Some(slot) => {
+                                slot.held.push(idx);
+                                // Arm (or advance) the sweep so one is always
+                                // pending at or before the earliest held
+                                // deadline of the slot.
+                                if slot.sweep_at.is_none_or(|at| deadline_at < at) {
+                                    slot.sweep_at = Some(deadline_at);
+                                    self.queue.push(deadline_at, Event::ReleaseGate { to, rn });
+                                }
+                            }
+                            // Stale round: no slot tracks the message, so it
+                            // keeps an individual deadline release.
+                            None => self
+                                .queue
+                                .push(deadline_at, Event::ReleaseHeld { slot: idx, token }),
                         }
-                        self.queue
-                            .push(now + deadline, Event::ReleaseHeld { slot: idx, token });
                     }
                 }
             }

@@ -1,24 +1,28 @@
 //! The discrete-event queue.
 
-use irs_types::{ProcessId, Time, TimerId};
+use irs_types::{ProcessId, RoundNum, Time, TimerId};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Arc;
 
 /// Something that will happen at a point of simulated time.
+///
+/// Generic over the *payload handle* `H`: the deterministic engine
+/// instantiates it with `Rc<Msg>` (single-threaded, so the broadcast
+/// fan-out's reference counting needs no atomics), while the real-time
+/// runtime uses `Arc<Msg>` for its cross-shard deliveries.
 #[derive(Clone, Debug)]
-pub enum Event<M> {
+pub enum Event<H> {
     /// A message reaches its destination process.
     ///
-    /// The payload is reference-counted: a broadcast to `n − 1` receivers
-    /// schedules `n − 1` `Deliver` events sharing one allocation, so the
-    /// fan-out clones a pointer, not the message.
+    /// The payload handle is reference-counted: a broadcast to `n − 1`
+    /// receivers schedules `n − 1` `Deliver` events sharing one allocation,
+    /// so the fan-out clones a pointer, not the message.
     Deliver {
         /// Sender.
         from: ProcessId,
         /// Receiver.
         to: ProcessId,
-        /// Shared payload.
-        msg: Arc<M>,
+        /// Shared payload handle.
+        msg: H,
     },
     /// A timer armed by a protocol instance fires.
     TimerFire {
@@ -35,13 +39,28 @@ pub enum Event<M> {
         /// The crashing process.
         pid: ProcessId,
     },
-    /// Fallback release of a message held by the winning-message gate.
+    /// Fallback release of a single message held by the winning-message gate
+    /// (used for messages displaced from a recycled gate slot).
     ReleaseHeld {
         /// Index of the held message in the engine's hold buffer.
         slot: u32,
         /// Token stamped when the message was held; a mismatch means the slot
         /// was already released (by its gate opening) and reused.
         token: u64,
+    },
+    /// Fallback deadline sweep of one winning-message gate slot: releases
+    /// every message still held on `(to, rn)` whose deadline has passed, and
+    /// re-arms itself for the earliest remaining deadline. One sweep event
+    /// per `(receiver, round)` replaces one [`Event::ReleaseHeld`] per held
+    /// message — at large `n` a single round can hold thousands of messages,
+    /// and in the overwhelmingly common case (the star-centre message opens
+    /// the gate in the same instant) every one of those deadline events
+    /// would pop as a stale no-op.
+    ReleaseGate {
+        /// The receiver whose gate ring is swept.
+        to: ProcessId,
+        /// The round whose gate slot armed the sweep.
+        rn: RoundNum,
     },
 }
 
@@ -194,7 +213,16 @@ impl<M> EventQueue<M> {
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, Event<M>)> {
-        // Overdue events are strictly earlier than everything in the wheel.
+        // Overdue events are strictly earlier than everything in the wheel
+        // (the emptiness check keeps the common path free of map traversal).
+        if !self.overdue.is_empty() {
+            return self.pop_overdue();
+        }
+        self.pop_wheel()
+    }
+
+    #[cold]
+    fn pop_overdue(&mut self) -> Option<(Time, Event<M>)> {
         if let Some(mut entry) = self.overdue.first_entry() {
             let at = *entry.key();
             let event = entry
@@ -207,6 +235,10 @@ impl<M> EventQueue<M> {
             self.len -= 1;
             return Some((at, event));
         }
+        self.pop_wheel()
+    }
+
+    fn pop_wheel(&mut self) -> Option<(Time, Event<M>)> {
         loop {
             // Fast path: the earliest occupied level-0 slot of the current
             // `SLOTS`-tick window holds the next event.

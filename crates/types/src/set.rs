@@ -5,6 +5,12 @@ use core::fmt;
 
 const WORD_BITS: usize = 64;
 
+/// How many 64-bit words are stored inline before falling back to the heap.
+/// Four words cover `n ≤ 256` — every system size the large-`n` experiments
+/// use — with no allocation.
+const INLINE_WORDS: usize = 4;
+const INLINE_BITS: usize = INLINE_WORDS * WORD_BITS;
+
 /// A fixed-capacity bit-set of [`ProcessId`]s.
 ///
 /// The algorithms of the paper manipulate many small sets of processes:
@@ -19,11 +25,19 @@ const WORD_BITS: usize = 64;
 ///
 /// # Representation
 ///
-/// Systems with `n ≤ 64` — every configuration the paper's experiments use —
-/// store their members inline in a single machine word, so building, cloning
-/// and dropping the many small sets the algorithms create per round costs no
-/// heap allocation at all. Larger systems transparently fall back to a word
-/// vector.
+/// Systems with `n ≤ 256` store their members inline in a small array of
+/// four machine words (a set is 40 bytes, no pointer chasing), so building,
+/// cloning and dropping the many small sets the algorithms create per round
+/// costs no heap allocation at all — including the `n ∈ {128, 256}` cells of
+/// the large-`n` experiments. Larger systems transparently fall back to a
+/// word vector.
+///
+/// All set operations run word-at-a-time over the word slice (never
+/// bit-at-a-time), so unions, differences and popcounts over an `n = 256`
+/// system touch four words. The counting kernels
+/// ([`difference_count`](ProcessSet::difference_count),
+/// [`intersection_count`](ProcessSet::intersection_count)) combine and count
+/// in one pass without materialising the intermediate set.
 ///
 /// # Example
 ///
@@ -46,20 +60,21 @@ pub struct ProcessSet {
     words: Words,
 }
 
-/// Storage for the membership bits: one inline word for `n ≤ 64`, a heap
-/// vector beyond. The variant is a function of `n` alone, so derived
-/// equality/hashing over `(n, words)` is consistent.
+/// Storage for the membership bits: a small inline word array for
+/// `n ≤ 256`, a heap vector beyond. The variant is a function of `n` alone,
+/// and bits at positions `≥ n` (including entire unused inline words) are
+/// always zero, so derived equality/hashing over `(n, words)` is consistent.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Words {
-    Inline(u64),
+    Inline([u64; INLINE_WORDS]),
     Heap(Vec<u64>),
 }
 
 impl ProcessSet {
     /// Creates an empty set with capacity for `n` processes.
     pub fn empty(n: usize) -> Self {
-        let words = if n <= WORD_BITS {
-            Words::Inline(0)
+        let words = if n <= INLINE_BITS {
+            Words::Inline([0; INLINE_WORDS])
         } else {
             Words::Heap(vec![0; n.div_ceil(WORD_BITS)])
         };
@@ -67,27 +82,36 @@ impl ProcessSet {
     }
 
     /// The membership bits as a word slice (least-significant bit of word 0
-    /// is `p_0`).
+    /// is `p_0`). Inline storage is trimmed to the words the capacity uses,
+    /// so kernels never scan the unused tail of the array.
     fn words(&self) -> &[u64] {
         match &self.words {
-            Words::Inline(w) => core::slice::from_ref(w),
+            Words::Inline(w) => &w[..self.n.div_ceil(WORD_BITS)],
             Words::Heap(v) => v,
         }
     }
 
     /// Mutable view of the membership bits.
     fn words_mut(&mut self) -> &mut [u64] {
+        let used = self.n.div_ceil(WORD_BITS);
         match &mut self.words {
-            Words::Inline(w) => core::slice::from_mut(w),
+            Words::Inline(w) => &mut w[..used],
             Words::Heap(v) => v,
         }
     }
 
-    /// Creates the full set `Π = {p_0, …, p_{n−1}}`.
+    /// Creates the full set `Π = {p_0, …, p_{n−1}}`, word-at-a-time.
     pub fn full(n: usize) -> Self {
         let mut s = Self::empty(n);
-        for i in 0..n {
-            s.insert(ProcessId::new(i as u32));
+        let words = s.words_mut();
+        for w in words.iter_mut() {
+            *w = !0;
+        }
+        let tail = n % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
         }
         s
     }
@@ -173,12 +197,39 @@ impl ProcessSet {
         self.words_mut().iter_mut().for_each(|w| *w = 0);
     }
 
-    /// Set union, in place.
-    pub fn union_with(&mut self, other: &ProcessSet) {
+    /// Set union, in place — the word-chunked union kernel.
+    pub fn union_in_place(&mut self, other: &ProcessSet) {
         assert_eq!(self.n, other.n, "union of sets with different capacities");
         for (a, b) in self.words_mut().iter_mut().zip(other.words()) {
             *a |= b;
         }
+    }
+
+    /// `|self ∖ other|` without materialising the difference: one combined
+    /// mask-and-popcount pass over the word slices.
+    pub fn difference_count(&self, other: &ProcessSet) -> usize {
+        assert_eq!(
+            self.n, other.n,
+            "difference of sets with different capacities"
+        );
+        self.words()
+            .iter()
+            .zip(other.words())
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn intersection_count(&self, other: &ProcessSet) -> usize {
+        assert_eq!(
+            self.n, other.n,
+            "intersection of sets with different capacities"
+        );
+        self.words()
+            .iter()
+            .zip(other.words())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
     }
 
     /// Returns `self ∖ other` as a new set.
@@ -223,6 +274,15 @@ impl ProcessSet {
             .iter()
             .zip(other.words())
             .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The raw membership words (least-significant bit of word 0 is `p_0`;
+    /// bits at positions `≥ capacity` are always zero). The word-chunked
+    /// iteration kernel for callers that process members in bulk — e.g.
+    /// counting one vote per member into a dense array — where per-member
+    /// bit extraction would dominate.
+    pub fn as_words(&self) -> &[u64] {
+        self.words()
     }
 
     /// Iterates over the members in increasing id order.
@@ -346,7 +406,7 @@ mod tests {
         let a = ProcessSet::from_ids(6, [ProcessId::new(0), ProcessId::new(1)]);
         let b = ProcessSet::from_ids(6, [ProcessId::new(1), ProcessId::new(4)]);
         let mut u = a.clone();
-        u.union_with(&b);
+        u.union_in_place(&b);
         assert_eq!(u.len(), 3);
         let i = a.intersection(&b);
         assert_eq!(i.to_vec(), vec![ProcessId::new(1)]);
@@ -424,7 +484,7 @@ mod tests {
             let sb = ProcessSet::from_ids(48, b.iter().map(|&i| ProcessId::new(i)));
             // (a ∖ b) ∪ (a ∩ b) == a
             let mut rebuilt = sa.difference(&sb);
-            rebuilt.union_with(&sa.intersection(&sb));
+            rebuilt.union_in_place(&sa.intersection(&sb));
             prop_assert_eq!(rebuilt, sa);
         }
 
@@ -434,6 +494,62 @@ mod tests {
             let v = s.to_vec();
             prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
             prop_assert_eq!(v.len(), ids.len());
+        }
+
+        /// The small-array / heap representations against a naive `BTreeSet`
+        /// model, at every capacity around the representation boundaries:
+        /// one word (63, 64), two words (65, 128), and the first heap size
+        /// (257). Every kernel must agree with the model.
+        #[test]
+        fn prop_matches_btreeset_model(
+            which in 0usize..5,
+            a_bits in proptest::collection::btree_set(0u32..257, 0..64),
+            b_bits in proptest::collection::btree_set(0u32..257, 0..64),
+            removals in proptest::collection::vec(0u32..257, 0..16),
+        ) {
+            use std::collections::BTreeSet;
+            let n = [63usize, 64, 65, 128, 257][which];
+            let clip = |bits: &BTreeSet<u32>| -> BTreeSet<u32> {
+                bits.iter().copied().filter(|&i| (i as usize) < n).collect()
+            };
+            let (mut ma, mb) = (clip(&a_bits), clip(&b_bits));
+            let mut sa = ProcessSet::from_ids(n, ma.iter().map(|&i| ProcessId::new(i)));
+            let sb = ProcessSet::from_ids(n, mb.iter().map(|&i| ProcessId::new(i)));
+            for &r in removals.iter().filter(|&&r| (r as usize) < n) {
+                prop_assert_eq!(sa.remove(ProcessId::new(r)), ma.remove(&r));
+            }
+            // Membership, size, iteration order.
+            prop_assert_eq!(sa.len(), ma.len());
+            prop_assert_eq!(sa.is_empty(), ma.is_empty());
+            for i in 0..n as u32 {
+                prop_assert_eq!(sa.contains(ProcessId::new(i)), ma.contains(&i));
+            }
+            let iterated: Vec<u32> = sa.iter().map(|p| p.as_u32()).collect();
+            prop_assert_eq!(&iterated, &ma.iter().copied().collect::<Vec<_>>());
+            // Union / difference / intersection kernels and their counting
+            // shortcuts.
+            let mut union = sa.clone();
+            union.union_in_place(&sb);
+            let m_union: BTreeSet<u32> = ma.union(&mb).copied().collect();
+            prop_assert_eq!(
+                union.to_vec(),
+                m_union.iter().map(|&i| ProcessId::new(i)).collect::<Vec<_>>()
+            );
+            let diff = sa.difference(&sb);
+            let m_diff: BTreeSet<u32> = ma.difference(&mb).copied().collect();
+            prop_assert_eq!(diff.len(), m_diff.len());
+            prop_assert_eq!(sa.difference_count(&sb), m_diff.len());
+            let inter = sa.intersection(&sb);
+            let m_inter: BTreeSet<u32> = ma.intersection(&mb).copied().collect();
+            prop_assert_eq!(inter.len(), m_inter.len());
+            prop_assert_eq!(sa.intersection_count(&sb), m_inter.len());
+            // Subset agrees with the model.
+            prop_assert_eq!(sa.is_subset_of(&union), true);
+            prop_assert_eq!(sa.is_subset_of(&sb), ma.is_subset(&mb));
+            // Full sets are exact at every capacity (tail-word masking).
+            let full = ProcessSet::full(n);
+            prop_assert_eq!(full.len(), n);
+            prop_assert_eq!(full.difference_count(&sa), n - ma.len());
         }
     }
 }

@@ -1,0 +1,39 @@
+//! Wall-clock probe of one fixed-horizon large-`n` engine run.
+//!
+//! Used to compare builds (e.g. pre/post a representation change) on the same
+//! container: `cargo run --release --example large_n_probe [n] [horizon] [deltaR]`.
+
+use intermittent_rotating_star::experiments::{Algorithm, Assumption, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let horizon: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(6_000);
+    let delta: Option<u64> = args
+        .next()
+        .and_then(|a| a.strip_prefix("delta").map(|r| r.parse().unwrap_or(8)));
+    assert!(n >= 2, "n must be at least 2");
+    let t = (n - 1) / 2;
+    let mut scenario = Scenario::new(
+        "large-n-probe",
+        n,
+        t,
+        Algorithm::Fig3,
+        Assumption::RotatingStar,
+    )
+    .with_horizon(horizon, 0)
+    .with_seeds(&[1]);
+    if let Some(refresh_every) = delta {
+        scenario = scenario.with_delta_gossip(refresh_every);
+    }
+    let started = std::time::Instant::now();
+    let outcome = &scenario.run()[0];
+    let elapsed = started.elapsed();
+    let events = outcome.messages_sent + outcome.rounds_closed;
+    println!(
+        "n={n} horizon={horizon}: {events} events in {:.3}s -> {:.0} events/s (stab={})",
+        elapsed.as_secs_f64(),
+        events as f64 / elapsed.as_secs_f64(),
+        outcome.stabilized,
+    );
+}
