@@ -7,7 +7,9 @@
 //! `BENCH_engine.json` at the workspace root so the performance trajectory
 //! is tracked across PRs — see EXPERIMENTS.md.
 //!
-//! Two regimes are tracked:
+//! Two regimes are tracked, both following the `Scenario` gossip default
+//! (delta-encoded ALIVE gossip from `n = 128` up, full vectors below — see
+//! `Scenario::delta_gossip`):
 //!
 //! * `n ∈ {8, 32, 64}` run the paper's full-vector gossip at the same
 //!   30 000-tick horizon as PR 1, so those cells stay comparable across the
@@ -23,13 +25,13 @@ use irs_bench::experiments::{Algorithm, Assumption, Scenario};
 use std::path::PathBuf;
 use std::time::Duration;
 
-/// One tracked cell: system size, horizon, and the gossip configuration
-/// (`None` = the paper's full vectors, `Some(r)` = delta with refresh `r`).
+/// One tracked cell: system size and horizon. The gossip configuration is
+/// the `Scenario` default for that size, resolved by [`cell_scenario`] and
+/// reported per cell in `BENCH_engine.json`.
 struct Cell {
     n: usize,
     t: usize,
     horizon: u64,
-    delta_gossip: Option<u64>,
 }
 
 const CELLS: &[Cell] = &[
@@ -37,36 +39,31 @@ const CELLS: &[Cell] = &[
         n: 8,
         t: 3,
         horizon: 30_000,
-        delta_gossip: None,
     },
     Cell {
         n: 32,
         t: 15,
         horizon: 30_000,
-        delta_gossip: None,
     },
     Cell {
         n: 64,
         t: 31,
         horizon: 30_000,
-        delta_gossip: None,
     },
     Cell {
         n: 128,
         t: 63,
         horizon: 3_000,
-        delta_gossip: Some(8),
     },
     Cell {
         n: 256,
         t: 127,
         horizon: 1_000,
-        delta_gossip: Some(8),
     },
 ];
 
-fn run_once(cell: &Cell) -> u64 {
-    let mut scenario = Scenario::new(
+fn cell_scenario(cell: &Cell) -> Scenario {
+    Scenario::new(
         "engine-throughput",
         cell.n,
         cell.t,
@@ -74,10 +71,11 @@ fn run_once(cell: &Cell) -> u64 {
         Assumption::RotatingStar,
     )
     .with_horizon(cell.horizon, 0)
-    .with_seeds(&[1]);
-    if let Some(refresh_every) = cell.delta_gossip {
-        scenario = scenario.with_delta_gossip(refresh_every);
-    }
+    .with_seeds(&[1])
+}
+
+fn run_once(cell: &Cell) -> u64 {
+    let scenario = cell_scenario(cell);
     let outcome = &scenario.run()[0];
     // Every sent message is eventually delivered (or dropped on a crashed
     // process — there are no crashes here), and every closed round fires a
@@ -110,7 +108,7 @@ fn bench(c: &mut Criterion) {
     for (cell, result) in CELLS.iter().zip(&results) {
         let events = run_once(cell);
         let secs = result.median.as_secs_f64().max(1e-9);
-        let gossip = match cell.delta_gossip {
+        let gossip = match cell_scenario(cell).delta_gossip {
             None => "full".to_string(),
             Some(r) => format!("delta/{r}"),
         };

@@ -175,16 +175,31 @@ pub struct Scenario {
     /// Seeds; one run per seed.
     pub seeds: Vec<u64>,
     /// Delta-encoded gossip for the Ω algorithms: `Some(refresh_every)`
-    /// enables it (see `OmegaConfig::with_delta_gossip`), `None` — the
-    /// default — runs the paper's full-vector gossip. Ignored by the
-    /// baseline algorithms.
+    /// enables it (see `OmegaConfig::with_delta_gossip`), `None` runs the
+    /// paper's full-vector gossip. Ignored by the baseline algorithms.
+    ///
+    /// **Default:** `Some(8)` for systems with `n ≥ 128` (the large-n
+    /// configuration, pinned trace-equivalent in leader history by
+    /// `crates/core/tests/delta_gossip.rs`), `None` below that — so the
+    /// paper-scale scenarios and the pinned `trace_digest` for `n ≤ 64`
+    /// are untouched. Force the full-vector path at any size with
+    /// [`Scenario::with_full_gossip`].
     pub delta_gossip: Option<u64>,
 }
 
 impl Scenario {
+    /// System size at and above which delta-encoded gossip becomes the
+    /// default (see [`Scenario::delta_gossip`]).
+    pub const DELTA_GOSSIP_DEFAULT_N: usize = 128;
+    /// The default full-refresh interval of the large-n delta-gossip
+    /// configuration.
+    pub const DELTA_GOSSIP_DEFAULT_REFRESH: u64 = 8;
+
     /// Creates a scenario with default tuning: `Δ = 8` ticks, centre = the
     /// highest-id process, static background, no crashes, horizon 250 000
-    /// ticks, early stop after 20 000 quiet ticks, seeds `1..=3`.
+    /// ticks, early stop after 20 000 quiet ticks, seeds `1..=3`, and —
+    /// for `n ≥ 128` — delta-encoded gossip with a full refresh every 8
+    /// broadcasts.
     ///
     /// # Panics
     ///
@@ -209,7 +224,8 @@ impl Scenario {
             horizon: 250_000,
             quiet: 20_000,
             seeds: vec![1, 2, 3],
-            delta_gossip: None,
+            delta_gossip: (n >= Self::DELTA_GOSSIP_DEFAULT_N)
+                .then_some(Self::DELTA_GOSSIP_DEFAULT_REFRESH),
         }
     }
 
@@ -254,6 +270,14 @@ impl Scenario {
     #[must_use]
     pub fn with_delta_gossip(mut self, refresh_every: u64) -> Self {
         self.delta_gossip = Some(refresh_every);
+        self
+    }
+
+    /// Forces the paper's full-vector gossip at any system size, overriding
+    /// the `n ≥ 128` delta-gossip default.
+    #[must_use]
+    pub fn with_full_gossip(mut self) -> Self {
+        self.delta_gossip = None;
         self
     }
 
@@ -497,6 +521,33 @@ mod tests {
         // A delta-gossip scenario still stabilises end-to-end.
         let s = s.with_horizon(120_000, 15_000).with_seeds(&[1]);
         assert!(s.run()[0].stabilized);
+    }
+
+    /// Delta gossip is the default exactly from `n = 128` up; below that the
+    /// paper's full vectors stay the default (so the pinned `trace_digest`
+    /// for `n ≤ 64` is untouched), and `with_full_gossip` opts back out at
+    /// any size.
+    #[test]
+    fn delta_gossip_defaults_on_for_large_n_only() {
+        for (n, expected) in [
+            (4, None),
+            (64, None),
+            (127, None),
+            (128, Some(8)),
+            (256, Some(8)),
+        ] {
+            let s = Scenario::new(
+                "d",
+                n,
+                (n - 1) / 2,
+                Algorithm::Fig3,
+                Assumption::RotatingStar,
+            );
+            assert_eq!(s.delta_gossip, expected, "n = {n}");
+        }
+        let forced = Scenario::new("d", 128, 63, Algorithm::Fig3, Assumption::RotatingStar)
+            .with_full_gossip();
+        assert_eq!(forced.delta_gossip, None);
     }
 
     #[test]

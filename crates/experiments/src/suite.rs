@@ -125,16 +125,14 @@ pub fn e2_election_under_a_sized(quick: bool, n_override: Option<usize>) -> Tabl
     for &d in ds {
         for &algorithm in algorithms {
             cells.push((d, algorithm));
-            let mut s = Scenario::new("e2", n, t, algorithm, Assumption::Intermittent { d })
+            // At n ≥ 128 the scenario defaults into the large-n
+            // configuration: delta-encoded gossip with a periodic full
+            // refresh (trace-equivalent in leader history; see the
+            // delta_gossip tests).
+            let s = Scenario::new("e2", n, t, algorithm, Assumption::Intermittent { d })
                 .with_background(Background::Growing)
                 .with_horizon(horizon, quiet)
                 .with_seeds(&seed_list);
-            if large {
-                // The large-n configuration: delta-encoded gossip with a
-                // periodic full refresh (trace-equivalent in leader history;
-                // see the delta_gossip tests).
-                s = s.with_delta_gossip(8);
-            }
             scenarios.push(s);
         }
     }
@@ -592,6 +590,241 @@ pub fn e10_sensitivity(quick: bool) -> Table {
     table
 }
 
+/// Builds the Figure 3 instances of an `n`-process deployment
+/// (`t = ⌊(n−1)/2⌋`, the largest consensus-compatible resilience).
+fn deployment_omega(n: usize) -> Vec<irs_omega::OmegaProcess> {
+    let system = SystemConfig::new(n, (n - 1) / 2).expect("valid deployment system");
+    system
+        .processes()
+        .map(|id| OmegaProcess::fig3(id, system))
+        .collect()
+}
+
+/// Polls a deployment until every node has made real protocol progress
+/// (several ALIVE rounds) *and* all live nodes agree on a live leader;
+/// returns the wall-clock latency, or `None` on timeout. Without the
+/// progress gate the all-zero initial state counts as a trivial agreement
+/// at t = 0.
+fn await_agreement(
+    cluster: &irs_runtime::NetCluster<OmegaProcess>,
+    limit: std::time::Duration,
+) -> Option<std::time::Duration> {
+    let start = std::time::Instant::now();
+    loop {
+        let progressed = (0..cluster.n() as u32)
+            .all(|i| cluster.snapshot(irs_types::ProcessId::new(i)).sending_round >= 5);
+        if progressed && cluster.agreed_leader().is_some() {
+            return Some(start.elapsed());
+        }
+        if start.elapsed() >= limit {
+            return None;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+fn ms_cell(d: Option<std::time::Duration>) -> String {
+    match d {
+        Some(d) => format!("{}", d.as_millis()),
+        None => "timeout".to_string(),
+    }
+}
+
+/// E11 — deployment: the same Figure 3 state machines leave the simulator
+/// and run over real transports (`irs-net` + `irs-runtime`), realising the
+/// paper's Section 3 assumption families over real links. Four link
+/// regimes: the in-memory mesh, real UDP sockets on localhost, a lossy
+/// link model, and a B1931+24-style duty-cycle intermittency schedule that
+/// darkens the current leader — forcing one re-election per off-window.
+///
+/// Wall-clock latencies vary with the host; compare regimes, not absolute
+/// numbers. The UDP rows here run all sockets in one OS process; the
+/// separate-OS-process deployment is `examples/socket_cluster.rs` and the
+/// `socket_cluster` integration test.
+pub fn e11_deployment(quick: bool) -> Table {
+    use irs_net::{DutyCycle, FaultyLink, LinkModel, UdpTransport};
+    use irs_runtime::{NetCluster, NodeConfig};
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E11",
+        "Deployment: election and re-election over real transports and faulty links",
+        &[
+            "backend",
+            "link model",
+            "n",
+            "elected",
+            "election ms",
+            "re-election",
+        ],
+    );
+    let n = 8;
+    let limit = StdDuration::from_secs(if quick { 20 } else { 40 });
+
+    // Row 1/2: fault-free election + crashed-leader re-election over the
+    // in-memory mesh and over real UDP sockets.
+    for backend in ["mem", "udp"] {
+        let config = NodeConfig::new(n);
+        let cluster = match backend {
+            "mem" => NetCluster::in_memory(deployment_omega(n), config),
+            _ => {
+                let sockets = UdpTransport::localhost_mesh(n).expect("bind localhost sockets");
+                NetCluster::spawn(deployment_omega(n), sockets, config)
+            }
+        };
+        let elected = await_agreement(&cluster, limit);
+        let reelect = elected.and_then(|_| {
+            let first = cluster.agreed_leader().expect("agreed");
+            cluster.crash(first);
+            let start = std::time::Instant::now();
+            loop {
+                if cluster.agreed_leader().is_some_and(|l| l != first) {
+                    return Some(start.elapsed());
+                }
+                if start.elapsed() >= limit {
+                    return None;
+                }
+                std::thread::sleep(StdDuration::from_millis(10));
+            }
+        });
+        table.push_row(vec![
+            backend.to_string(),
+            "none".to_string(),
+            n.to_string(),
+            if elected.is_some() { "yes" } else { "no" }.to_string(),
+            ms_cell(elected),
+            format!("crash -> {} ms", ms_cell(reelect)),
+        ]);
+        cluster.shutdown();
+    }
+
+    // Row 3: seeded receiver-side loss. The algorithm needs only quorums of
+    // per-round ALIVEs, so 20% uniform loss merely slows the election.
+    {
+        let drop_p = 0.2;
+        let cluster = NetCluster::with_link_models(deployment_omega(n), NodeConfig::new(n), |p| {
+            LinkModel::new(0x0E11_D20B ^ u64::from(p.as_u32())).with_drop_prob(drop_p)
+        });
+        let elected = await_agreement(&cluster, limit);
+        table.push_row(vec![
+            "mem".to_string(),
+            format!("drop p={drop_p}"),
+            n.to_string(),
+            if elected.is_some() { "yes" } else { "no" }.to_string(),
+            ms_cell(elected),
+            "-".to_string(),
+        ]);
+        cluster.shutdown();
+    }
+
+    // Row 4: duty-cycle intermittency (the B1931+24 trace shape). Every
+    // node has its own dark region on the model clock; each "off-window"
+    // parks the clock inside the *current leader's* region until the
+    // connected majority re-elects, then heals. One re-election per
+    // off-window is the expected count.
+    {
+        use irs_net::ManualClock;
+        let windows = if quick { 2 } else { 3 };
+        let region = 10_000u64;
+        let neutral = 900_000u64;
+        let clock = ManualClock::new();
+        clock.set(neutral);
+        let cluster = NetCluster::with_link_models(deployment_omega(n), NodeConfig::new(n), |_| {
+            let mut model = LinkModel::new(0x000E_11DC).with_manual_clock(clock.clone());
+            for node in 0..n as u32 {
+                let (period, width) = (1_000_000, 3_000);
+                let start = u64::from(node) * region + 1_000;
+                model = model.with_duty_cycle(DutyCycle {
+                    node,
+                    period,
+                    on: period - width,
+                    phase: period - width - start,
+                });
+            }
+            model
+        });
+        let mut history: Vec<irs_types::ProcessId> = Vec::new();
+        let mut reelections = 0usize;
+        // Like `await_agreement`, gate on real round progress: the
+        // all-default initial state trivially agrees at t = 0, and an
+        // off-window parked before any actual election would measure
+        // nothing.
+        let settle = |exclude: Option<irs_types::ProcessId>| {
+            let deadline = std::time::Instant::now() + limit;
+            loop {
+                let progressed = (0..cluster.n() as u32)
+                    .all(|i| cluster.snapshot(irs_types::ProcessId::new(i)).sending_round > 5);
+                if progressed {
+                    if let Some(l) = cluster.agreed_leader() {
+                        if Some(l) != exclude {
+                            return Some(l);
+                        }
+                    }
+                }
+                if std::time::Instant::now() >= deadline {
+                    return None;
+                }
+                std::thread::sleep(StdDuration::from_millis(10));
+            }
+        };
+        if let Some(mut leader) = settle(None) {
+            history.push(leader);
+            for _ in 0..windows {
+                clock.set(u64::from(leader.as_u32()) * region + 2_000); // dark
+                std::thread::sleep(StdDuration::from_millis(300));
+                clock.set(neutral); // healed
+                match settle(Some(leader)) {
+                    Some(next) => {
+                        history.push(next);
+                        reelections += 1;
+                        leader = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+        table.push_row(vec![
+            "mem".to_string(),
+            format!("duty-cycle, {windows} off-windows"),
+            n.to_string(),
+            if history.is_empty() { "no" } else { "yes" }.to_string(),
+            "-".to_string(),
+            format!("{reelections}/{windows} windows re-elected; leaders {history:?}"),
+        ]);
+        cluster.shutdown();
+    }
+
+    // Row 5 (full mode): loss injected over the *socket* backend — the two
+    // new subsystems composed.
+    if !quick {
+        let drop_p = 0.15;
+        let sockets: Vec<_> = UdpTransport::localhost_mesh(n)
+            .expect("bind localhost sockets")
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                FaultyLink::new(
+                    t,
+                    LinkModel::new(0x000E_1105 ^ i as u64).with_drop_prob(drop_p),
+                )
+            })
+            .collect();
+        let cluster = NetCluster::spawn(deployment_omega(n), sockets, NodeConfig::new(n));
+        let elected = await_agreement(&cluster, limit);
+        table.push_row(vec![
+            "udp".to_string(),
+            format!("drop p={drop_p}"),
+            n.to_string(),
+            if elected.is_some() { "yes" } else { "no" }.to_string(),
+            ms_cell(elected),
+            "-".to_string(),
+        ]);
+        cluster.shutdown();
+    }
+
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -608,6 +841,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e8", e8_consensus),
         ("e9", e9_message_cost),
         ("e10", e10_sensitivity),
+        ("e11", e11_deployment),
     ]
 }
 
@@ -618,9 +852,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 10);
+        assert_eq!(ids.len(), 11);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 10);
+        assert_eq!(unique.len(), 11);
     }
 
     #[test]

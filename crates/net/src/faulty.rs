@@ -1,0 +1,476 @@
+//! Receiver-driven fault injection: the [`FaultyLink`] decorator.
+//!
+//! The simulator's adversaries shape *when* a message arrives; this module
+//! shapes *whether* it arrives at all, on top of any real transport. All
+//! decisions are made on the receive path ([`Transport::recv`]), which makes
+//! the model composable with backends that cannot be instrumented on the
+//! send side (a kernel UDP stack) and matches how an observer experiences an
+//! intermittent source: the sender keeps emitting, the link is simply dark.
+//!
+//! Three fault families compose, all seeded and deterministic:
+//!
+//! * **per-link drop probability** — each arriving frame is kept or dropped
+//!   by a pure function of `(seed, from, to, per-link arrival index)`;
+//! * **partitions** — directed or symmetric cuts between two process groups
+//!   over a clock interval;
+//! * **duty-cycle intermittency** — per-process on/off windows
+//!   (`period`, `on`, `phase`): while a process is "off", frames from it
+//!   (and to it) are dropped. This is the B1931+24-style trace: the pulsar
+//!   keeps rotating, but emission switches off for long quasi-periodic
+//!   windows (Young et al. 2012; Mottez et al. 2013 attribute the switching
+//!   to an orbital companion) — exactly the intermittency the paper's
+//!   eventual-star assumption abstracts over rounds.
+//!
+//! Time comes from a [`FaultClock`]: wall-clock ticks for deployments, a
+//! [`ManualClock`] for deterministic tests (identical `(seed, schedule)`
+//! then yields an identical delivered-frame trace; the conformance suite
+//! pins this).
+
+use crate::{Frame, NetError, Transport};
+use irs_types::ProcessId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A test-controlled clock: all [`FaultyLink`]s holding a clone observe the
+/// same manually advanced tick counter.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// Creates a clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `ticks`.
+    pub fn advance(&self, ticks: u64) {
+        self.0.fetch_add(ticks, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute tick.
+    pub fn set(&self, tick: u64) {
+        self.0.store(tick, Ordering::SeqCst);
+    }
+}
+
+/// Where a link model reads its notion of "now" (in model ticks).
+#[derive(Clone, Debug)]
+pub enum FaultClock {
+    /// Wall-clock ticks of the given length since the model was built.
+    Wall {
+        /// The tick origin.
+        epoch: Instant,
+        /// The wall-clock length of one model tick.
+        tick: Duration,
+    },
+    /// A shared, manually advanced counter (deterministic tests).
+    Manual(ManualClock),
+}
+
+impl FaultClock {
+    /// A wall clock with the given tick length, starting now.
+    pub fn wall(tick: Duration) -> Self {
+        FaultClock::Wall {
+            epoch: Instant::now(),
+            tick: tick.max(Duration::from_nanos(1)),
+        }
+    }
+
+    fn now_ticks(&self) -> u64 {
+        match self {
+            FaultClock::Wall { epoch, tick } => {
+                (epoch.elapsed().as_nanos() / tick.as_nanos()) as u64
+            }
+            FaultClock::Manual(clock) => clock.now(),
+        }
+    }
+}
+
+/// A partition between two process groups over a clock interval.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: Vec<u32>,
+    /// The other side.
+    pub b: Vec<u32>,
+    /// First tick (inclusive) at which the cut is active.
+    pub from_tick: u64,
+    /// First tick at which the cut has healed.
+    pub until_tick: u64,
+    /// `true` blocks both directions; `false` blocks only `a → b`.
+    pub symmetric: bool,
+}
+
+impl Partition {
+    fn blocks(&self, from: u32, to: u32, now: u64) -> bool {
+        if now < self.from_tick || now >= self.until_tick {
+            return false;
+        }
+        let a_to_b = self.a.contains(&from) && self.b.contains(&to);
+        let b_to_a = self.b.contains(&from) && self.a.contains(&to);
+        a_to_b || (self.symmetric && b_to_a)
+    }
+}
+
+/// A per-process duty-cycle schedule: within every window of `period` ticks,
+/// the process is connected for the first `on` ticks and dark for the rest.
+#[derive(Clone, Copy, Debug)]
+pub struct DutyCycle {
+    /// The process the schedule applies to.
+    pub node: u32,
+    /// Window length in ticks.
+    pub period: u64,
+    /// Connected prefix of each window, in ticks (`on < period` gives real
+    /// off-windows; `on >= period` means always connected).
+    pub on: u64,
+    /// Phase offset in ticks (shifts where the windows fall).
+    pub phase: u64,
+}
+
+impl DutyCycle {
+    fn is_on(&self, now: u64) -> bool {
+        if self.period == 0 {
+            return true;
+        }
+        (now + self.phase) % self.period < self.on
+    }
+}
+
+/// The configuration and state of one endpoint's receive-side link model.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    seed: u64,
+    drop_prob: f64,
+    partitions: Vec<Partition>,
+    duty: Vec<DutyCycle>,
+    clock: FaultClock,
+    /// Arrival counter per `(from, to)` link, feeding the drop hash.
+    arrivals: HashMap<(u32, u32), u64>,
+    dropped: u64,
+    delivered: u64,
+}
+
+impl LinkModel {
+    /// A fault-free model under `seed` with a 1 ms wall tick.
+    pub fn new(seed: u64) -> Self {
+        LinkModel {
+            seed,
+            drop_prob: 0.0,
+            partitions: Vec::new(),
+            duty: Vec::new(),
+            clock: FaultClock::wall(Duration::from_millis(1)),
+            arrivals: HashMap::new(),
+            dropped: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Drops each arriving frame independently with probability `p`.
+    #[must_use]
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds a partition.
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Adds a duty-cycle schedule.
+    #[must_use]
+    pub fn with_duty_cycle(mut self, duty: DutyCycle) -> Self {
+        self.duty.push(duty);
+        self
+    }
+
+    /// Replaces the clock (wall ticks of `tick` length).
+    #[must_use]
+    pub fn with_wall_clock(mut self, tick: Duration) -> Self {
+        self.clock = FaultClock::wall(tick);
+        self
+    }
+
+    /// Replaces the clock with a shared manual clock.
+    #[must_use]
+    pub fn with_manual_clock(mut self, clock: ManualClock) -> Self {
+        self.clock = FaultClock::Manual(clock);
+        self
+    }
+
+    /// Frames dropped by this model so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames passed through so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Returns `true` if `node` is inside an off-window at the model's
+    /// current time (false when it has no schedule).
+    pub fn is_dark(&self, node: ProcessId) -> bool {
+        let now = self.clock.now_ticks();
+        self.duty
+            .iter()
+            .any(|d| d.node == node.as_u32() && !d.is_on(now))
+    }
+
+    /// Decides one arrival. Pure in `(seed, schedule, link arrival index,
+    /// clock)`; mutates only the counters.
+    pub fn admits(&mut self, from: ProcessId, to: ProcessId) -> bool {
+        let (f, t) = (from.as_u32(), to.as_u32());
+        let k = self.arrivals.entry((f, t)).or_insert(0);
+        let index = *k;
+        *k += 1;
+
+        let now = self.clock.now_ticks();
+        let mut keep = true;
+        if self.drop_prob > 0.0 {
+            let unit = mix(self.seed, f, t, index) as f64 / (u64::MAX as f64 + 1.0);
+            keep &= unit >= self.drop_prob;
+        }
+        keep &= !self.partitions.iter().any(|p| p.blocks(f, t, now));
+        keep &= self
+            .duty
+            .iter()
+            .all(|d| (d.node != f && d.node != t) || d.is_on(now));
+
+        if keep {
+            self.delivered += 1;
+        } else {
+            self.dropped += 1;
+        }
+        keep
+    }
+}
+
+/// SplitMix64-style hash of `(seed, from, to, arrival index)` onto a uniform
+/// 64-bit value; distinct links and arrivals land on uncorrelated values.
+fn mix(seed: u64, from: u32, to: u32, index: u64) -> u64 {
+    let mut x = seed
+        ^ (u64::from(from) << 32 | u64::from(to)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A [`Transport`] decorator that applies a [`LinkModel`] to every arriving
+/// frame. Sends pass through untouched — the faults are the *receiver's*
+/// experience of the link.
+#[derive(Debug)]
+pub struct FaultyLink<T> {
+    inner: T,
+    model: LinkModel,
+}
+
+impl<T: Transport> FaultyLink<T> {
+    /// Wraps a transport with a link model.
+    pub fn new(inner: T, model: LinkModel) -> Self {
+        FaultyLink { inner, model }
+    }
+
+    /// The model's counters and schedule.
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyLink<T> {
+    fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError> {
+        self.inner.send(from, to, payload)
+    }
+
+    fn send_many(
+        &mut self,
+        from: ProcessId,
+        targets: &[ProcessId],
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        self.inner.send_many(from, targets, payload)
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let frame = match self.inner.recv(remaining)? {
+                Some(frame) => frame,
+                None => return Ok(None),
+            };
+            if self.model.admits(frame.from, frame.to) {
+                return Ok(Some(frame));
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemNetwork;
+
+    fn send_burst(net: &mut [impl Transport], from: usize, to: usize, count: u8) {
+        for i in 0..count {
+            net[from]
+                .send(ProcessId::new(from as u32), ProcessId::new(to as u32), &[i])
+                .unwrap();
+        }
+    }
+
+    fn drain(t: &mut impl Transport) -> Vec<u8> {
+        let mut seen = Vec::new();
+        while let Some(f) = t.recv(Duration::from_millis(10)).unwrap() {
+            seen.push(f.payload[0]);
+        }
+        seen
+    }
+
+    #[test]
+    fn zero_faults_pass_everything_through_in_order() {
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| FaultyLink::new(t, LinkModel::new(1)))
+            .collect();
+        send_burst(&mut net, 0, 1, 20);
+        assert_eq!(drain(&mut net[1]), (0..20).collect::<Vec<u8>>());
+        assert_eq!(net[1].model().dropped(), 0);
+        assert_eq!(net[1].model().delivered(), 20);
+    }
+
+    #[test]
+    fn drop_probability_drops_roughly_that_share() {
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| FaultyLink::new(t, LinkModel::new(7).with_drop_prob(0.5)))
+            .collect();
+        for _ in 0..4 {
+            send_burst(&mut net, 0, 1, 250);
+        }
+        let got = drain(&mut net[1]).len();
+        assert!(
+            (300..700).contains(&got),
+            "p=0.5 over 1000 sends delivered {got}"
+        );
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_both_directions_until_heal() {
+        let clock = ManualClock::new();
+        let model = || {
+            LinkModel::new(3)
+                .with_manual_clock(clock.clone())
+                .with_partition(Partition {
+                    a: vec![0],
+                    b: vec![1],
+                    from_tick: 0,
+                    until_tick: 100,
+                    symmetric: true,
+                })
+        };
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| FaultyLink::new(t, model()))
+            .collect();
+        send_burst(&mut net, 0, 1, 3);
+        send_burst(&mut net, 1, 0, 3);
+        assert!(drain(&mut net[1]).is_empty());
+        assert!(drain(&mut net[0]).is_empty());
+        clock.set(100); // healed
+        send_burst(&mut net, 0, 1, 3);
+        send_burst(&mut net, 1, 0, 3);
+        assert_eq!(drain(&mut net[1]).len(), 3);
+        assert_eq!(drain(&mut net[0]).len(), 3);
+    }
+
+    #[test]
+    fn asymmetric_partition_blocks_one_direction() {
+        let clock = ManualClock::new();
+        let model = || {
+            LinkModel::new(3)
+                .with_manual_clock(clock.clone())
+                .with_partition(Partition {
+                    a: vec![0],
+                    b: vec![1],
+                    from_tick: 0,
+                    until_tick: u64::MAX,
+                    symmetric: false,
+                })
+        };
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| FaultyLink::new(t, model()))
+            .collect();
+        send_burst(&mut net, 0, 1, 3);
+        send_burst(&mut net, 1, 0, 3);
+        assert!(drain(&mut net[1]).is_empty(), "0 -> 1 is cut");
+        assert_eq!(drain(&mut net[0]).len(), 3, "1 -> 0 is open");
+    }
+
+    #[test]
+    fn duty_cycle_gates_frames_by_window() {
+        let clock = ManualClock::new();
+        let duty = DutyCycle {
+            node: 0,
+            period: 100,
+            on: 60,
+            phase: 0,
+        };
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| {
+                FaultyLink::new(
+                    t,
+                    LinkModel::new(5)
+                        .with_manual_clock(clock.clone())
+                        .with_duty_cycle(duty),
+                )
+            })
+            .collect();
+        // On-window: tick 10.
+        clock.set(10);
+        assert!(!net[1].model().is_dark(ProcessId::new(0)));
+        send_burst(&mut net, 0, 1, 2);
+        assert_eq!(drain(&mut net[1]).len(), 2);
+        // Off-window: tick 75 (60 <= 75 < 100).
+        clock.set(75);
+        assert!(net[1].model().is_dark(ProcessId::new(0)));
+        send_burst(&mut net, 0, 1, 2);
+        // Inbound to the dark node is also gated.
+        send_burst(&mut net, 1, 0, 2);
+        assert!(drain(&mut net[1]).is_empty());
+        assert!(drain(&mut net[0]).is_empty());
+        // Next window: tick 110.
+        clock.set(110);
+        send_burst(&mut net, 0, 1, 2);
+        assert_eq!(drain(&mut net[1]).len(), 2);
+    }
+
+    #[test]
+    fn mix_is_link_and_index_sensitive() {
+        let a = mix(1, 0, 1, 0);
+        assert_eq!(a, mix(1, 0, 1, 0));
+        assert_ne!(a, mix(1, 1, 0, 0));
+        assert_ne!(a, mix(1, 0, 1, 1));
+        assert_ne!(a, mix(2, 0, 1, 0));
+    }
+}

@@ -1,0 +1,59 @@
+//! `irs-net` — the pluggable transport subsystem.
+//!
+//! Everything above this crate is a sans-IO state machine; everything below
+//! it is a link. This crate is the boundary: a [`Transport`] trait
+//! (send/receive of framed message bytes, addressed per link by
+//! [`irs_types::ProcessId`]), a hand-rolled [`wire`] codec, and three
+//! backends:
+//!
+//! * [`MemTransport`] — the in-process MPSC mesh the runtimes always had,
+//!   now just one backend among others (shared-payload broadcast fan-out,
+//!   per-link FIFO);
+//! * [`UdpTransport`] — one real UDP socket per endpoint, so a cluster runs
+//!   as genuinely separate OS processes on localhost (see
+//!   `examples/socket_cluster.rs`);
+//! * [`FaultyLink`] — a decorator over any transport injecting seeded,
+//!   receiver-driven faults: per-link drop probability, symmetric and
+//!   asymmetric [`Partition`]s, and [`DutyCycle`] intermittency windows —
+//!   the B1931+24-style on/off connectivity trace that motivates the
+//!   paper's intermittent-star assumption.
+//!
+//! # Wire format
+//!
+//! The [`wire`] module frames messages bincode-style, with no external
+//! dependencies: little-endian fixed-width integers, `u32`-length-prefixed
+//! sequences, one tag byte per enum variant. A frame is
+//!
+//! ```text
+//! magic "IR" (2) | version (1) | from u32 | to u32 | len u32 | payload
+//! ```
+//!
+//! and the payload is a [`Wire`]-encoded protocol message
+//! ([`irs_omega::OmegaMsg`] ships an implementation). Decoders are total:
+//! arbitrary bytes decode or fail with a [`WireError`], never panic.
+//!
+//! # Transport contract
+//!
+//! See [`Transport`] for the full contract. In short: addressing is by
+//! hosted process (an endpoint may host several), delivery is best-effort
+//! (the protocols tolerate loss by assumption), per-link FIFO is promised
+//! only by the in-memory backend, and `recv` blocks with a timeout. The
+//! [`conformance`] suite checks every backend against the contract and
+//! pins the determinism of [`FaultyLink`] under a fixed `(seed, schedule)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conformance;
+mod faulty;
+mod mem;
+mod transport;
+mod udp;
+pub mod wire;
+
+pub use faulty::{DutyCycle, FaultClock, FaultyLink, LinkModel, ManualClock, Partition};
+pub use mem::{MemNetwork, MemTransport};
+pub use transport::{Frame, NetError, Transport};
+pub use udp::UdpTransport;
+pub use wire::{Wire, WireError};

@@ -1,0 +1,121 @@
+//! The in-memory transport backend: an MPSC channel mesh.
+
+use crate::{Frame, NetError, Transport};
+use irs_types::ProcessId;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builds the endpoints of an in-process network.
+///
+/// The mesh is the transport the runtimes used implicitly before the
+/// subsystem existed: every endpoint owns one MPSC receiver, and every
+/// endpoint holds a sender to every other. [`MemNetwork::mesh`] gives each
+/// process its own endpoint; [`MemNetwork::grouped`] gives one endpoint per
+/// *group* of processes (the sharded cluster runs one endpoint per worker
+/// shard).
+#[derive(Debug)]
+pub struct MemNetwork {}
+
+impl MemNetwork {
+    /// One endpoint per process: endpoint `i` hosts exactly `ProcessId(i)`.
+    pub fn mesh(n: usize) -> Vec<MemTransport> {
+        Self::grouped((0..n).collect::<Vec<_>>().as_slice())
+    }
+
+    /// One endpoint per group: `owner_of[p]` names the endpoint hosting
+    /// process `p`. Endpoints are numbered `0..=max(owner_of)` and returned
+    /// in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner_of` is empty.
+    pub fn grouped(owner_of: &[usize]) -> Vec<MemTransport> {
+        assert!(!owner_of.is_empty(), "a network needs at least one process");
+        let endpoints = owner_of.iter().max().expect("non-empty") + 1;
+        let mut txs = Vec::with_capacity(endpoints);
+        let mut rxs = Vec::with_capacity(endpoints);
+        for _ in 0..endpoints {
+            let (tx, rx) = channel::<Frame>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let owner_of: Arc<[usize]> = owner_of.into();
+        rxs.into_iter()
+            .map(|rx| MemTransport {
+                txs: txs.clone(),
+                owner_of: Arc::clone(&owner_of),
+                rx,
+            })
+            .collect()
+    }
+}
+
+/// One endpoint of a [`MemNetwork`].
+///
+/// `send` routes by looking up the receiver's owning endpoint; a broadcast
+/// through [`Transport::send_many`] shares a single payload allocation
+/// across every receiver — the zero-copy fan-out the runtimes rely on.
+#[derive(Debug)]
+pub struct MemTransport {
+    txs: Vec<Sender<Frame>>,
+    owner_of: Arc<[usize]>,
+    rx: Receiver<Frame>,
+}
+
+impl MemTransport {
+    fn route(&self, to: ProcessId) -> Result<&Sender<Frame>, NetError> {
+        let owner = *self
+            .owner_of
+            .get(to.index())
+            .ok_or(NetError::UnknownPeer(to))?;
+        Ok(&self.txs[owner])
+    }
+
+    fn push(&self, to: ProcessId, frame: Frame) -> Result<(), NetError> {
+        self.route(to)?.send(frame).map_err(|_| NetError::Closed)
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError> {
+        self.push(
+            to,
+            Frame {
+                from,
+                to,
+                payload: payload.into(),
+            },
+        )
+    }
+
+    fn send_many(
+        &mut self,
+        from: ProcessId,
+        targets: &[ProcessId],
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        // One allocation for the whole fan-out: every receiver shares the
+        // same reference-counted payload.
+        let shared: Arc<[u8]> = payload.into();
+        for &to in targets {
+            self.push(
+                to,
+                Frame {
+                    from,
+                    to,
+                    payload: Arc::clone(&shared),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The [`Transport`] contract.
+
+use irs_types::ProcessId;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A transport-layer failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// The peer set or channel backing the endpoint is gone.
+    Closed,
+    /// An addressing error: no route to the given process.
+    UnknownPeer(ProcessId),
+    /// An I/O error from a socket-backed transport.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Closed => write!(f, "transport closed"),
+            NetError::UnknownPeer(p) => write!(f, "no route to {p}"),
+            NetError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One received frame: sender, addressee, and the encoded message payload.
+///
+/// The payload is reference-counted so an in-memory broadcast can hand the
+/// same allocation to every receiver; socket transports allocate per
+/// datagram.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// The sending process.
+    pub from: ProcessId,
+    /// The addressed process. An endpoint hosting several processes (a
+    /// runtime shard) uses this to route the frame to the right instance.
+    pub to: ProcessId,
+    /// The encoded message bytes.
+    pub payload: Arc<[u8]>,
+}
+
+/// A bidirectional, per-link-addressed frame transport.
+///
+/// This is the boundary between the protocol runtimes and the network: one
+/// endpoint per deployment unit (a process of the algorithm, or a runtime
+/// shard hosting several), sending and receiving *encoded* message frames
+/// addressed by [`ProcessId`].
+///
+/// # Contract
+///
+/// * **Addressing** — `send(to, …)` routes to whichever endpoint hosts `to`;
+///   an endpoint may host many processes and receives every frame addressed
+///   to any of them. Sending to the local process is legal and loops back.
+/// * **Best effort** — delivery is not guaranteed (UDP drops under pressure,
+///   [`FaultyLink`](crate::FaultyLink) drops on purpose) and `send` succeeding
+///   only means the frame was handed to the layer below. The protocols
+///   tolerate loss by assumption, so the transport does not retransmit.
+/// * **Ordering** — no cross-link ordering is promised. The in-memory
+///   backend preserves per-link FIFO; sockets usually do on localhost. The
+///   conformance suite pins per-link FIFO only for the backends that promise
+///   it.
+/// * **Blocking** — `recv` blocks up to `timeout` and returns `Ok(None)` on
+///   expiry. `send` never blocks indefinitely.
+///
+/// Implementations: [`MemTransport`](crate::MemTransport) (channel mesh,
+/// shared-payload fan-out), [`UdpTransport`](crate::UdpTransport) (one
+/// socket per endpoint, framed datagrams), and the
+/// [`FaultyLink`](crate::FaultyLink) decorator (receiver-driven fault
+/// injection over any of them).
+pub trait Transport: Send {
+    /// Sends one encoded message from `from` to the endpoint hosting `to`.
+    ///
+    /// The transport adds its own framing (the wire header on sockets);
+    /// `payload` is the [`Wire`](crate::Wire)-encoded message alone, so a
+    /// broadcast encodes the message once and hands the same bytes to every
+    /// send.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] if `to` has no route or the layer below fails;
+    /// silent loss is *not* an error.
+    fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError>;
+
+    /// Sends the same message to several receivers.
+    ///
+    /// The default loops over [`Transport::send`]; backends with a cheaper
+    /// fan-out (the in-memory mesh shares one payload allocation) override
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first routing or I/O error; earlier sends may have gone
+    /// out.
+    fn send_many(
+        &mut self,
+        from: ProcessId,
+        targets: &[ProcessId],
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        for &to in targets {
+            self.send(from, to, payload)?;
+        }
+        Ok(())
+    }
+
+    /// Receives the next frame, waiting at most `timeout`.
+    ///
+    /// Returns `Ok(None)` when the timeout expires with nothing to deliver.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] if the endpoint can no longer receive at all.
+    /// Malformed input from the wire is dropped, not surfaced.
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError>;
+}

@@ -1,0 +1,228 @@
+//! The UDP socket transport backend.
+//!
+//! One `std::net::UdpSocket` per endpoint; each message travels as one
+//! datagram carrying the wire frame header (`magic, version, from, to, len`)
+//! followed by the encoded payload. Datagram boundaries give framing for
+//! free; the length field guards against truncated reads and the magic
+//! bytes reject stray traffic on the port. Malformed datagrams are counted
+//! and dropped — a socket is an untrusted input, and the protocols tolerate
+//! loss by design.
+
+use crate::wire::{self, FRAME_HEADER_LEN, MAX_PAYLOAD};
+use crate::{Frame, NetError, Transport};
+use irs_types::ProcessId;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// A [`Transport`] backed by one UDP socket.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    /// `peers[p]` is the socket address of the endpoint hosting `ProcessId(p)`.
+    peers: Vec<SocketAddr>,
+    /// Reusable receive buffer (one datagram).
+    buf: Vec<u8>,
+    /// Reusable send buffer (header + payload).
+    out: Vec<u8>,
+    /// Datagrams dropped because they failed frame validation.
+    malformed: u64,
+}
+
+impl UdpTransport {
+    /// Binds a socket on `addr` (use port 0 for an ephemeral port).
+    ///
+    /// The peer table starts empty; fill it with [`UdpTransport::set_peers`]
+    /// once every endpoint's address is known.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let socket = UdpSocket::bind(addr)?;
+        Ok(UdpTransport {
+            socket,
+            peers: Vec::new(),
+            buf: vec![0; FRAME_HEADER_LEN + MAX_PAYLOAD],
+            out: Vec::with_capacity(1500),
+            malformed: 0,
+        })
+    }
+
+    /// The local socket address (to advertise to peers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying socket error if the address cannot be read.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Installs the peer table: `peers[p]` hosts `ProcessId(p)`.
+    pub fn set_peers(&mut self, peers: Vec<SocketAddr>) {
+        self.peers = peers;
+    }
+
+    /// Datagrams dropped so far because they were not valid frames.
+    pub fn malformed_dropped(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Decodes one received datagram, counting (and swallowing) malformed
+    /// ones.
+    fn parse_datagram(&mut self, len: usize) -> Option<Frame> {
+        match wire::decode_frame(&self.buf[..len]) {
+            Ok((from, to, payload)) => Some(Frame {
+                from,
+                to,
+                payload: payload.into(),
+            }),
+            Err(_) => {
+                self.malformed += 1;
+                None
+            }
+        }
+    }
+
+    /// Binds `n` endpoints on ephemeral localhost ports, fully meshed.
+    ///
+    /// This is the one-address-space deployment used by tests and the E11
+    /// experiment: real sockets and real framing, one OS process. For a
+    /// multi-process deployment, bind each endpoint in its own process and
+    /// exchange addresses out of band (see `examples/socket_cluster.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn localhost_mesh(n: usize) -> std::io::Result<Vec<UdpTransport>> {
+        let mut endpoints = Vec::with_capacity(n);
+        for _ in 0..n {
+            endpoints.push(UdpTransport::bind(("127.0.0.1", 0))?);
+        }
+        let peers: Vec<SocketAddr> = endpoints
+            .iter()
+            .map(|e| e.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        for endpoint in &mut endpoints {
+            endpoint.set_peers(peers.clone());
+        }
+        Ok(endpoints)
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError> {
+        let addr = *self
+            .peers
+            .get(to.index())
+            .ok_or(NetError::UnknownPeer(to))?;
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        wire::encode_frame(&mut out, from, to, payload);
+        let result = self.socket.send_to(&out, addr);
+        self.out = out;
+        match result {
+            Ok(_) => Ok(()),
+            // A full socket buffer is packet loss, which the contract allows.
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(NetError::Io(e)),
+        }
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        // A zero timeout is a non-blocking poll (the shard loop uses it to
+        // batch already-arrived datagrams), not a guaranteed miss.
+        if timeout.is_zero() {
+            self.socket.set_nonblocking(true)?;
+            let result = self.socket.recv_from(&mut self.buf);
+            self.socket.set_nonblocking(false)?;
+            return match result {
+                Ok((len, _)) => Ok(self.parse_datagram(len)),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    Ok(None)
+                }
+                Err(e) => Err(NetError::Io(e)),
+            };
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            // set_read_timeout(Some(ZERO)) is rejected by the std API, so the
+            // zero case is handled by the early return above.
+            self.socket.set_read_timeout(Some(remaining))?;
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((len, _)) => match self.parse_datagram(len) {
+                    Some(frame) => return Ok(Some(frame)),
+                    None => continue,
+                },
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                // A signal (profiler, debugger, SIGCHLD in the embedder)
+                // interrupting the blocking read is not a dead link.
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datagrams_carry_frames_between_sockets() {
+        let mut mesh = UdpTransport::localhost_mesh(2).unwrap();
+        let (a, b) = {
+            let mut it = mesh.drain(..);
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let (mut a, mut b) = (a, b);
+        a.send(ProcessId::new(0), ProcessId::new(1), b"ping")
+            .unwrap();
+        let frame = b
+            .recv(Duration::from_secs(2))
+            .unwrap()
+            .expect("datagram arrives on loopback");
+        assert_eq!(frame.from, ProcessId::new(0));
+        assert_eq!(frame.to, ProcessId::new(1));
+        assert_eq!(&frame.payload[..], b"ping");
+    }
+
+    #[test]
+    fn malformed_datagrams_are_dropped_not_delivered() {
+        let mut mesh = UdpTransport::localhost_mesh(2).unwrap();
+        let target = mesh[1].local_addr().unwrap();
+        let stray = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        stray.send_to(b"not a frame", target).unwrap();
+        let mut b = mesh.remove(1);
+        assert!(b.recv(Duration::from_millis(300)).unwrap().is_none());
+        assert_eq!(b.malformed_dropped(), 1);
+    }
+
+    #[test]
+    fn recv_times_out_cleanly() {
+        let mut mesh = UdpTransport::localhost_mesh(1).unwrap();
+        let started = Instant::now();
+        assert!(mesh[0].recv(Duration::from_millis(50)).unwrap().is_none());
+        assert!(started.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let mut mesh = UdpTransport::localhost_mesh(1).unwrap();
+        let err = mesh[0]
+            .send(ProcessId::new(0), ProcessId::new(9), b"x")
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(p) if p == ProcessId::new(9)));
+    }
+}

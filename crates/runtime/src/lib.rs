@@ -1,17 +1,28 @@
 //! Real-time execution of the sans-IO protocols: sharded event loops,
-//! per-shard timer wheels, and wall-clock timers.
+//! per-shard timer wheels, wall-clock timers — all over the pluggable
+//! [`irs_net::Transport`] subsystem.
 //!
 //! The discrete-event simulator (`irs-sim`) is where the assumptions of the
 //! paper are reproduced faithfully and deterministically; this crate answers
 //! the other question a user of the library has — *can I actually run this?*
-//! A [`Cluster`] spawns `W` worker shards (default: the machine's available
-//! parallelism), each owning `n / W` processes and running one event loop
-//! over a hierarchical timing wheel; shards exchange message batches through
-//! per-shard MPSC inboxes, inject deterministic per-link delay jitter, drive
-//! timers off the wall clock, and expose each process's
-//! [`irs_types::Snapshot`] (and therefore its `leader()` output) to the
-//! embedding application. Clusters of 256+ processes run on a handful of OS
-//! threads; see `cluster.rs` for the shard architecture.
+//! Three deployment shapes share the same state machines:
+//!
+//! * [`Cluster`] — the shared-memory scale runtime: `W` worker shards
+//!   (default: the machine's available parallelism), each owning `n / W`
+//!   processes and running one event loop over a hierarchical timing wheel.
+//!   Shards exchange wire-encoded frames through one transport endpoint per
+//!   shard (the in-memory mesh by default; any backend via
+//!   [`Cluster::spawn_on`]), sample deterministic per-link jitter on the
+//!   *receive* side, drive timers off the wall clock, and expose each
+//!   process's [`irs_types::Snapshot`] (and therefore its `leader()`
+//!   output) to the embedding application. Clusters of 256+ processes run
+//!   on a handful of OS threads; see `cluster.rs` for the shard
+//!   architecture.
+//! * [`NetCluster`] — one node thread per process, each over its own
+//!   transport endpoint: in-memory, UDP-socket, or fault-injected links.
+//! * [`run_node`] — the single-node event loop itself, for deployments
+//!   where every process is its own OS process (see
+//!   `examples/socket_cluster.rs`).
 //!
 //! The protocols themselves are byte-for-byte the same state machines that
 //! run under the simulator: [`irs_omega::OmegaProcess`], the baselines and
@@ -43,5 +54,9 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod netcluster;
+mod node;
 
 pub use cluster::{Cluster, LinkDelay, RealtimeConfig};
+pub use netcluster::NetCluster;
+pub use node::{run_node, NodeConfig, NodeHandle};

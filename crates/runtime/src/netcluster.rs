@@ -1,0 +1,338 @@
+//! An in-process deployment over arbitrary [`Transport`] endpoints.
+//!
+//! Where [`Cluster`](crate::Cluster) multiplexes many processes per worker
+//! shard for shared-memory scale, a [`NetCluster`] runs *one node thread per
+//! process over its own transport endpoint* — the same event loop a
+//! separate-OS-process deployment runs ([`run_node`]), just hosted in one
+//! address space. That makes it the harness for exercising transports:
+//! hand it [`MemTransport`](irs_net::MemTransport) endpoints for the
+//! in-memory backend, [`UdpTransport`](irs_net::UdpTransport) endpoints for
+//! real localhost sockets, or [`FaultyLink`](irs_net::FaultyLink)-wrapped
+//! endpoints for fault-injection experiments (experiment family E11).
+
+use crate::node::{run_node, NodeConfig, NodeHandle};
+use irs_net::{FaultyLink, LinkModel, MemNetwork, MemTransport, Transport, Wire};
+use irs_types::{Introspect, ProcessId, Protocol, Snapshot};
+use std::sync::atomic::Ordering;
+use std::thread::JoinHandle;
+
+/// A running deployment: one node thread per process, each on its own
+/// transport endpoint.
+///
+/// The observation surface mirrors [`Cluster`](crate::Cluster): snapshots,
+/// leader outputs, crash injection, and a state-returning shutdown.
+#[derive(Debug)]
+pub struct NetCluster<P: Protocol> {
+    n: usize,
+    handles: Vec<NodeHandle>,
+    threads: Vec<JoinHandle<P>>,
+}
+
+impl<P> NetCluster<P>
+where
+    P: Protocol + Introspect + Send + 'static,
+    P::Msg: Wire,
+{
+    /// Spawns one node thread per process; `transports[i]` is the endpoint
+    /// of `processes[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order, or if the
+    /// endpoint count or `config.n` disagrees with the process count.
+    pub fn spawn<T>(processes: Vec<P>, transports: Vec<T>, config: NodeConfig) -> Self
+    where
+        T: Transport + 'static,
+    {
+        assert_eq!(
+            processes.len(),
+            transports.len(),
+            "one transport endpoint per process"
+        );
+        assert_eq!(
+            processes.len(),
+            config.n,
+            "NodeConfig::n must equal the number of processes (broadcast fan-out)"
+        );
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(
+                p.id(),
+                ProcessId::new(i as u32),
+                "process at index {i} reports id {}",
+                p.id()
+            );
+        }
+        let n = processes.len();
+        let handles: Vec<NodeHandle> = (0..n).map(|_| NodeHandle::new()).collect();
+        let threads = processes
+            .into_iter()
+            .zip(transports)
+            .zip(&handles)
+            .map(|((proto, transport), handle)| {
+                let handle = handle.clone();
+                let id = proto.id();
+                std::thread::Builder::new()
+                    .name(format!("irs-node-{id}"))
+                    .spawn(move || run_node(proto, transport, config, handle))
+                    .expect("spawn node thread")
+            })
+            .collect();
+        NetCluster {
+            n,
+            handles,
+            threads,
+        }
+    }
+
+    /// Spawns the deployment over the in-memory mesh backend.
+    pub fn in_memory(processes: Vec<P>, config: NodeConfig) -> Self {
+        let mesh = MemNetwork::mesh(processes.len());
+        Self::spawn(processes, mesh, config)
+    }
+
+    /// Spawns the deployment over the in-memory mesh with a fault-injecting
+    /// link model per endpoint: `model(p)` builds the model applied to what
+    /// process `p` *receives*.
+    pub fn with_link_models(
+        processes: Vec<P>,
+        config: NodeConfig,
+        mut model: impl FnMut(ProcessId) -> LinkModel,
+    ) -> NetCluster<P> {
+        let faulty: Vec<FaultyLink<MemTransport>> = MemNetwork::mesh(processes.len())
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| FaultyLink::new(t, model(ProcessId::new(i as u32))))
+            .collect();
+        Self::spawn(processes, faulty, config)
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The latest published snapshot of a process.
+    pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
+        self.handles[pid.index()]
+            .snapshot
+            .lock()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The current `leader()` output of a process.
+    pub fn leader_of(&self, pid: ProcessId) -> ProcessId {
+        self.snapshot(pid).leader
+    }
+
+    /// The current `leader()` output of every process, in id order.
+    pub fn leaders(&self) -> Vec<ProcessId> {
+        (0..self.n as u32)
+            .map(|i| self.leader_of(ProcessId::new(i)))
+            .collect()
+    }
+
+    /// Returns `Some(p)` when every non-crashed process currently outputs
+    /// the same non-crashed leader `p`.
+    pub fn agreed_leader(&self) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for i in 0..self.n {
+            if self.handles[i].crashed.load(Ordering::SeqCst) {
+                continue;
+            }
+            let leader = self.leader_of(ProcessId::new(i as u32));
+            match agreed {
+                None => agreed = Some(leader),
+                Some(l) if l == leader => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.filter(|l| !self.handles[l.index()].crashed.load(Ordering::SeqCst))
+    }
+
+    /// Crash-stops a process: it stops reacting to messages and timers.
+    pub fn crash(&self, pid: ProcessId) {
+        self.handles[pid.index()]
+            .crashed
+            .store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the process has been crashed through
+    /// [`NetCluster::crash`].
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.handles[pid.index()].crashed.load(Ordering::SeqCst)
+    }
+
+    /// Stops every node and returns the final protocol states in id order.
+    pub fn shutdown(mut self) -> Vec<P> {
+        for handle in &self.handles {
+            handle.stop.store(true, Ordering::SeqCst);
+        }
+        self.threads
+            .drain(..)
+            .map(|t| t.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_omega::OmegaProcess;
+    use irs_types::SystemConfig;
+    use std::time::{Duration as StdDuration, Instant};
+
+    fn wait_for<F: Fn() -> bool>(limit: StdDuration, check: F) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < limit {
+            if check() {
+                return true;
+            }
+            std::thread::sleep(StdDuration::from_millis(10));
+        }
+        check()
+    }
+
+    fn omega_processes(n: usize, t: usize) -> Vec<OmegaProcess> {
+        let system = SystemConfig::new(n, t).unwrap();
+        system
+            .processes()
+            .map(|id| OmegaProcess::fig3(id, system))
+            .collect()
+    }
+
+    /// Agreement alone is trivially true of the all-default initial state
+    /// (every fresh Figure 3 process outputs `p1`, and snapshots publish
+    /// right after `on_start`), so deployment tests additionally require
+    /// every node to have progressed through real ALIVE rounds.
+    fn agreed_after_progress(cluster: &NetCluster<OmegaProcess>, rounds: u64) -> bool {
+        (0..cluster.n() as u32).all(|i| cluster.snapshot(ProcessId::new(i)).sending_round > rounds)
+            && cluster.agreed_leader().is_some()
+    }
+
+    #[test]
+    fn in_memory_deployment_elects_a_leader() {
+        let cluster = NetCluster::in_memory(omega_processes(4, 1), NodeConfig::new(4));
+        assert!(
+            wait_for(StdDuration::from_secs(20), || agreed_after_progress(
+                &cluster, 10
+            )),
+            "no agreement: {:?}",
+            cluster.leaders()
+        );
+        let finals = cluster.shutdown();
+        assert_eq!(finals.len(), 4);
+    }
+
+    #[test]
+    fn udp_socket_deployment_elects_and_survives_a_crash() {
+        let transports = irs_net::UdpTransport::localhost_mesh(4).expect("bind sockets");
+        let cluster = NetCluster::spawn(omega_processes(4, 1), transports, NodeConfig::new(4));
+        assert!(
+            wait_for(StdDuration::from_secs(30), || agreed_after_progress(
+                &cluster, 10
+            )),
+            "no agreement over UDP: {:?}",
+            cluster.leaders()
+        );
+        let first = cluster.agreed_leader().unwrap();
+        cluster.crash(first);
+        assert!(cluster.is_crashed(first));
+        assert!(
+            wait_for(StdDuration::from_secs(30), || cluster
+                .agreed_leader()
+                .is_some_and(|l| l != first)),
+            "no re-election over UDP: {:?}",
+            cluster.leaders()
+        );
+        cluster.shutdown();
+    }
+
+    /// A socket is an untrusted input: well-formed frames with out-of-range
+    /// ids or messages sized for a different deployment must be dropped as
+    /// link noise, not panic the node thread.
+    #[test]
+    fn stray_datagrams_do_not_kill_a_udp_node() {
+        use irs_net::wire::{encode_frame, Wire};
+        let transports = irs_net::UdpTransport::localhost_mesh(4).expect("bind sockets");
+        let victim_addr = transports[0].local_addr().unwrap();
+        let cluster = NetCluster::spawn(omega_processes(4, 1), transports, NodeConfig::new(4));
+
+        let stray = std::net::UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        // Out-of-range sender; misrouted receiver; ALIVE sized for n = 256;
+        // delta entry indexing process 200.
+        let mut wrong_size = Vec::new();
+        irs_omega::OmegaMsg::Alive {
+            rn: irs_types::RoundNum::new(3),
+            susp: irs_omega::SuspVector::new(256),
+        }
+        .encode(&mut wrong_size);
+        let mut bad_delta = Vec::new();
+        irs_omega::OmegaMsg::AliveDelta {
+            rn: irs_types::RoundNum::new(3),
+            entries: vec![(200, 7)],
+        }
+        .encode(&mut bad_delta);
+        let strays: [(u32, u32, &[u8]); 4] = [
+            (99, 0, &wrong_size),
+            (1, 77, b"not a message"),
+            (1, 0, &wrong_size),
+            (2, 0, &bad_delta),
+        ];
+        for (from, to, payload) in strays {
+            let mut frame = Vec::new();
+            encode_frame(
+                &mut frame,
+                ProcessId::new(from),
+                ProcessId::new(to),
+                payload,
+            );
+            stray.send_to(&frame, victim_addr).unwrap();
+        }
+
+        // The bombarded node keeps running and the cluster still elects
+        // (with every node, the victim included, progressing through real
+        // rounds).
+        assert!(
+            wait_for(StdDuration::from_secs(30), || agreed_after_progress(
+                &cluster, 10
+            )),
+            "no agreement after stray datagrams: {:?}",
+            cluster.leaders()
+        );
+        let finals = cluster.shutdown();
+        assert_eq!(finals.len(), 4, "a node thread died on stray input");
+    }
+
+    #[test]
+    fn faulty_links_with_random_drops_still_elect() {
+        // 20% receiver-side loss on every link: the algorithm only needs
+        // quorums of ALIVEs per round, so elections go through regardless.
+        let cluster =
+            NetCluster::with_link_models(omega_processes(5, 2), NodeConfig::new(5), |p| {
+                LinkModel::new(0x00D0_5EED ^ u64::from(p.as_u32())).with_drop_prob(0.2)
+            });
+        assert!(
+            wait_for(StdDuration::from_secs(30), || agreed_after_progress(
+                &cluster, 10
+            )),
+            "no agreement under 20% loss: {:?}",
+            cluster.leaders()
+        );
+        // Discriminate a dead transport: without delivered ALIVEs every
+        // receiving round closes by its (initially zero-valued) timeout and
+        // `r_rn` races orders of magnitude past `s_rn`; with 80% of frames
+        // arriving, rounds close mostly by quorum and the two stay in step.
+        for i in 0..cluster.n() as u32 {
+            let snap = cluster.snapshot(ProcessId::new(i));
+            assert!(
+                snap.receiving_round < 50 * snap.sending_round + 200,
+                "p{}: receiving rounds racing ahead of sends ({} vs {}) — links are dead",
+                i + 1,
+                snap.receiving_round,
+                snap.sending_round
+            );
+        }
+        cluster.shutdown();
+    }
+}

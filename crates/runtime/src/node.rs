@@ -1,0 +1,216 @@
+//! One protocol instance driven over one [`Transport`] endpoint.
+//!
+//! This is the deployment unit of a distributed run: the event loop that a
+//! real node — its own OS process, its own socket — executes. Messages are
+//! delivered the moment the transport hands them over (on a real link the
+//! arrival time *is* the delivery time; shaping belongs to the link model,
+//! not the node), timers are driven off the wall clock, and outbound
+//! messages are wire-encoded once per broadcast and fanned out through the
+//! transport.
+//!
+//! [`run_node`] blocks the calling thread; [`NetCluster`](crate::NetCluster)
+//! spawns one thread per node for in-process deployments, and
+//! `examples/socket_cluster.rs` calls it directly from `main` in each
+//! spawned OS process.
+
+use irs_net::{Transport, Wire};
+use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration as StdDuration, Instant};
+
+/// How a node maps protocol ticks onto the wall clock.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Number of processes in the deployment (the fan-out of a broadcast).
+    pub n: usize,
+    /// The wall-clock length of one logical tick.
+    pub tick: StdDuration,
+}
+
+impl NodeConfig {
+    /// A configuration for an `n`-process deployment with the default
+    /// 100 µs tick.
+    pub fn new(n: usize) -> Self {
+        NodeConfig {
+            n,
+            tick: StdDuration::from_micros(100),
+        }
+    }
+
+    /// Sets the tick length.
+    #[must_use]
+    pub fn with_tick(mut self, tick: StdDuration) -> Self {
+        self.tick = tick.max(StdDuration::from_nanos(1));
+        self
+    }
+}
+
+/// The shared handles through which an embedder observes and stops a node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeHandle {
+    /// The node's latest published [`Snapshot`].
+    pub snapshot: Arc<Mutex<Snapshot>>,
+    /// Set to crash-stop the process: it stops reacting to messages and
+    /// timers but keeps draining its transport until stopped.
+    pub crashed: Arc<AtomicBool>,
+    /// Set to stop the event loop and return the protocol state.
+    pub stop: Arc<AtomicBool>,
+}
+
+impl NodeHandle {
+    /// Fresh handles (not crashed, not stopped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Longest the loop sleeps before re-checking the control flags.
+const POLL_BUDGET: StdDuration = StdDuration::from_millis(20);
+
+/// Validates and decodes one received frame for an `n`-process deployment
+/// hosted at `me`. A socket is an untrusted input: a misrouted frame, an
+/// out-of-range sender, an undecodable payload, or a message sized for a
+/// different deployment is dropped as link noise — it must never take the
+/// node down. Used by both the live loop and the shutdown drain so the two
+/// can never diverge on what counts as stray.
+fn accept_frame<M: Wire>(frame: &irs_net::Frame, me: ProcessId, n: usize) -> Option<M> {
+    if frame.to != me || frame.from.index() >= n {
+        return None;
+    }
+    let msg = irs_net::wire::decode_payload::<M>(&frame.payload).ok()?;
+    msg.valid_for(n).then_some(msg)
+}
+
+/// Drives `proto` over `transport` until [`NodeHandle::stop`] is set, then
+/// returns the final protocol state.
+///
+/// On stop, frames already queued in the transport are drained and
+/// delivered (so no in-flight message is silently dropped), but sends and
+/// timers they generate are discarded — the node is quiescing.
+pub fn run_node<P, T>(mut proto: P, mut transport: T, config: NodeConfig, handle: NodeHandle) -> P
+where
+    P: Protocol + Introspect,
+    P::Msg: Wire,
+    T: Transport,
+{
+    let me = proto.id();
+    let n = config.n;
+    let all: Vec<ProcessId> = (0..n as u32).map(ProcessId::new).collect();
+    let others: Vec<ProcessId> = all.iter().copied().filter(|&q| q != me).collect();
+    let epoch = Instant::now();
+    let now_tick =
+        |at: Instant| (at.duration_since(epoch).as_nanos() / config.tick.as_nanos()) as u64;
+
+    // Deadlines (in ticks) per timer id; arming replaces, which is the
+    // paper's "set timer to …" semantics. Protocols own a handful of timers,
+    // so a dense slot vector beats a queue here.
+    let mut timers: Vec<Option<u64>> = Vec::new();
+    let mut scratch = Vec::new();
+    let mut out = Actions::new();
+
+    let apply = |proto_id: ProcessId,
+                 out: &mut Actions<P::Msg>,
+                 timers: &mut Vec<Option<u64>>,
+                 transport: &mut T,
+                 scratch: &mut Vec<u8>,
+                 now: u64| {
+        for outbound in out.drain_sends() {
+            scratch.clear();
+            outbound.msg.encode(scratch);
+            // Transport errors on the way down are link loss, which the
+            // protocols tolerate; a closed transport is caught by recv.
+            let _ = match outbound.dest {
+                Destination::To(q) => transport.send(proto_id, q, scratch),
+                Destination::AllOthers => transport.send_many(proto_id, &others, scratch),
+                Destination::All => transport.send_many(proto_id, &all, scratch),
+            };
+        }
+        for req in out.drain_timers() {
+            let slot = req.id.raw() as usize;
+            if slot >= timers.len() {
+                timers.resize(slot + 1, None);
+            }
+            timers[slot] = Some(now + req.after.ticks());
+        }
+        for id in out.drain_cancels() {
+            if let Some(slot) = timers.get_mut(id.raw() as usize) {
+                *slot = None;
+            }
+        }
+    };
+
+    let publish = |proto: &P, handle: &NodeHandle| {
+        *handle.snapshot.lock().expect("snapshot lock poisoned") = proto.snapshot();
+    };
+
+    proto.on_start(&mut out);
+    apply(me, &mut out, &mut timers, &mut transport, &mut scratch, 0);
+    publish(&proto, &handle);
+
+    while !handle.stop.load(Ordering::SeqCst) {
+        let crashed = handle.crashed.load(Ordering::SeqCst);
+        let now = now_tick(Instant::now());
+        let mut dirty = false;
+
+        // Fire everything due. A fired timer may re-arm itself for a
+        // deadline that is already due; loop until quiescent.
+        loop {
+            let due = timers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| slot.map(|at| (i, at)))
+                .filter(|&(_, at)| at <= now)
+                .min_by_key(|&(_, at)| at);
+            let Some((slot, _)) = due else { break };
+            timers[slot] = None;
+            if !crashed {
+                proto.on_timer(irs_types::TimerId::new(slot as u16), &mut out);
+                apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
+                dirty = true;
+            }
+        }
+
+        // Sleep until the next deadline or the next frame.
+        let next = timers.iter().flatten().copied().min();
+        let timeout = match next {
+            Some(at) if at <= now => StdDuration::ZERO,
+            Some(at) => {
+                let nanos = config.tick.as_nanos().saturating_mul(u128::from(at - now));
+                StdDuration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64).min(POLL_BUDGET)
+            }
+            None => POLL_BUDGET,
+        };
+        match transport.recv(timeout) {
+            Ok(Some(frame)) => {
+                if !crashed {
+                    if let Some(msg) = accept_frame::<P::Msg>(&frame, me, n) {
+                        let now = now_tick(Instant::now());
+                        proto.on_message(frame.from, &msg, &mut out);
+                        apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
+                        dirty = true;
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(_) => break, // every peer endpoint is gone
+        }
+        if dirty {
+            publish(&proto, &handle);
+        }
+    }
+
+    // Final drain: deliver what the transport already holds, discarding the
+    // reactions — the deployment is quiescing, not running.
+    let mut sink = Actions::new();
+    while let Ok(Some(frame)) = transport.recv(StdDuration::from_millis(1)) {
+        if !handle.crashed.load(Ordering::SeqCst) {
+            if let Some(msg) = accept_frame::<P::Msg>(&frame, me, n) {
+                proto.on_message(frame.from, &msg, &mut sink);
+                sink.clear();
+            }
+        }
+    }
+    publish(&proto, &handle);
+    proto
+}

@@ -1,0 +1,188 @@
+//! An n = 8 election over the UDP socket backend with every node in its own
+//! OS process (acceptance criterion of the `irs-net` subsystem).
+//!
+//! The test re-executes its own binary: the parent run spawns `N` children
+//! with `IRS_UDP_CHILD=<id>` set, each of which takes the child branch of
+//! the same test function — bind a UDP socket, advertise the port on
+//! stdout, learn the full peer table from stdin, run one Ω node over the
+//! socket until its leader output is stable, report it, exit. The parent
+//! collects every child's report and asserts that all eight OS processes
+//! agreed on the same leader.
+//!
+//! Line protocol on the child's stdio (libtest chatter is filtered by
+//! prefix): child → `PORT <port>`, `LEADER <index>`; parent → `PEERS
+//! <port0> <port1> …`.
+
+use irs_net::UdpTransport;
+use irs_omega::OmegaProcess;
+use irs_runtime::{run_node, NodeConfig, NodeHandle};
+use irs_types::{ProcessId, SystemConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const N: usize = 8;
+const T: usize = 3;
+/// Logical tick of the deployment: 500 µs keeps the ALIVE period at 5 ms —
+/// gentle enough for eight unsynchronised OS processes on loopback.
+const TICK: Duration = Duration::from_micros(500);
+
+fn child_main(id: u32) {
+    let mut transport = UdpTransport::bind(("127.0.0.1", 0)).expect("bind child socket");
+    let port = transport.local_addr().expect("local addr").port();
+    println!("PORT {port}");
+    std::io::stdout().flush().expect("flush port line");
+
+    let mut peers_line = String::new();
+    std::io::stdin()
+        .lock()
+        .read_line(&mut peers_line)
+        .expect("read peer table");
+    let ports: Vec<u16> = peers_line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("peer line")
+        .split_whitespace()
+        .map(|p| p.parse().expect("peer port"))
+        .collect();
+    assert_eq!(ports.len(), N, "child got a short peer table");
+    transport.set_peers(
+        ports
+            .iter()
+            .map(|&p| (std::net::Ipv4Addr::LOCALHOST, p).into())
+            .collect(),
+    );
+
+    let system = SystemConfig::new(N, T).expect("system config");
+    let proto = OmegaProcess::fig3(ProcessId::new(id), system);
+    let handle = NodeHandle::new();
+    let observer = handle.clone();
+    let node = std::thread::spawn(move || {
+        run_node(proto, transport, NodeConfig::new(N).with_tick(TICK), handle)
+    });
+
+    // Report once our own leader output has been stable for 2 s of real
+    // progress; give up (and report whatever we see) after 40 s.
+    let started = Instant::now();
+    let mut last_leader = None;
+    let mut stable_since = Instant::now();
+    let leader = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let snap = observer.snapshot.lock().expect("snapshot").clone();
+        let leader = snap.leader;
+        if Some(leader) != last_leader {
+            last_leader = Some(leader);
+            stable_since = Instant::now();
+        }
+        let progressed = snap.sending_round > 20;
+        if progressed && stable_since.elapsed() > Duration::from_secs(2) {
+            break leader;
+        }
+        if started.elapsed() > Duration::from_secs(40) {
+            break leader;
+        }
+    };
+    println!("LEADER {}", leader.index());
+    std::io::stdout().flush().expect("flush leader line");
+    observer.stop.store(true, Ordering::SeqCst);
+    node.join().expect("node thread");
+}
+
+fn read_tagged_line(reader: &mut impl BufRead, tag: &str, who: usize) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for `{tag}` from child {who}"
+        );
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read child stdout");
+        assert!(n > 0, "child {who} closed stdout before sending `{tag}`");
+        // The tag may share its line with libtest chatter ("test … ..."),
+        // so search for it anywhere in the line.
+        if let Some(at) = line.find(tag) {
+            let rest: String = line[at + tag.len()..]
+                .chars()
+                .take_while(|c| !c.is_whitespace())
+                .collect();
+            return rest;
+        }
+        // Anything else is libtest harness output; skip it.
+    }
+}
+
+struct ChildGuard(Vec<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn udp_cluster_across_os_processes_elects_one_leader() {
+    if let Ok(id) = std::env::var("IRS_UDP_CHILD") {
+        child_main(id.parse().expect("child id"));
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("own test binary");
+    let mut children = ChildGuard(Vec::new());
+    for id in 0..N {
+        let child = Command::new(&exe)
+            .args([
+                "--exact",
+                "udp_cluster_across_os_processes_elects_one_leader",
+                "--nocapture",
+            ])
+            .env("IRS_UDP_CHILD", id.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn child process");
+        children.0.push(child);
+    }
+
+    let mut readers: Vec<BufReader<std::process::ChildStdout>> = children
+        .0
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("child stdout piped")))
+        .collect();
+
+    let ports: Vec<String> = readers
+        .iter_mut()
+        .enumerate()
+        .map(|(who, r)| read_tagged_line(r, "PORT ", who))
+        .collect();
+    let peer_line = format!("PEERS {}\n", ports.join(" "));
+    for child in &mut children.0 {
+        child
+            .stdin
+            .as_mut()
+            .expect("child stdin piped")
+            .write_all(peer_line.as_bytes())
+            .expect("send peer table");
+    }
+
+    let leaders: Vec<String> = readers
+        .iter_mut()
+        .enumerate()
+        .map(|(who, r)| read_tagged_line(r, "LEADER ", who))
+        .collect();
+    for child in &mut children.0 {
+        let status = child.wait().expect("child exit status");
+        assert!(status.success(), "a child node failed: {status}");
+    }
+    children.0.clear();
+
+    assert!(
+        leaders.iter().all(|l| l == &leaders[0]),
+        "the {N} OS processes disagree on the leader: {leaders:?}"
+    );
+    let elected: usize = leaders[0].parse().expect("leader index");
+    assert!(elected < N, "reported leader {elected} is not a process");
+}

@@ -1,0 +1,150 @@
+//! An Ω deployment as genuinely separate OS processes over UDP.
+//!
+//! The parent run spawns `n` copies of itself (`--child <id>`), each of
+//! which binds its own UDP socket on localhost, learns the peer table from
+//! the parent, and drives one Figure 3 process with `irs-runtime`'s node
+//! event loop over `irs-net`'s socket transport — the same state machine the
+//! simulator runs, crossing a real kernel network stack between address
+//! spaces. Each child reports its leader output once it has been stable for
+//! two seconds; the parent checks that all `n` OS processes agreed.
+//!
+//! Run with: `cargo run --release --example socket_cluster -- --n 8`
+//!
+//! Wire protocol on the children's stdio: child → `PORT <port>`,
+//! `LEADER <index>`; parent → `PEERS <port0> <port1> …`.
+
+use intermittent_rotating_star::net::UdpTransport;
+use intermittent_rotating_star::omega::OmegaProcess;
+use intermittent_rotating_star::runtime::{run_node, NodeConfig, NodeHandle};
+use intermittent_rotating_star::types::{ProcessId, SystemConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// 500 µs per logical tick → one ALIVE broadcast every 5 ms per process.
+const TICK: Duration = Duration::from_micros(500);
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn child(id: u32, n: usize) {
+    let mut transport = UdpTransport::bind(("127.0.0.1", 0)).expect("bind socket");
+    println!("PORT {}", transport.local_addr().expect("addr").port());
+    std::io::stdout().flush().expect("flush");
+
+    let mut line = String::new();
+    std::io::stdin().lock().read_line(&mut line).expect("stdin");
+    let ports: Vec<u16> = line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("PEERS line")
+        .split_whitespace()
+        .map(|p| p.parse().expect("port"))
+        .collect();
+    assert_eq!(ports.len(), n);
+    transport.set_peers(
+        ports
+            .iter()
+            .map(|&p| (std::net::Ipv4Addr::LOCALHOST, p).into())
+            .collect(),
+    );
+
+    let system = SystemConfig::new(n, (n - 1) / 2).expect("system");
+    let proto = OmegaProcess::fig3(ProcessId::new(id), system);
+    let handle = NodeHandle::new();
+    let observer = handle.clone();
+    let node = std::thread::spawn(move || {
+        run_node(proto, transport, NodeConfig::new(n).with_tick(TICK), handle)
+    });
+
+    // Report once our leader output has been stable for 2 s (cap 40 s).
+    let started = Instant::now();
+    let (mut last, mut since) = (None, Instant::now());
+    let leader = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let snap = observer.snapshot.lock().expect("snapshot").clone();
+        if Some(snap.leader) != last {
+            last = Some(snap.leader);
+            since = Instant::now();
+        }
+        let stable = snap.sending_round > 20 && since.elapsed() > Duration::from_secs(2);
+        if stable || started.elapsed() > Duration::from_secs(40) {
+            break snap.leader;
+        }
+    };
+    println!("LEADER {}", leader.index());
+    std::io::stdout().flush().expect("flush");
+    observer.stop.store(true, Ordering::SeqCst);
+    node.join().expect("node thread");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = arg_value(&args, "--n").map_or(8, |v| v.parse().expect("--n"));
+    assert!(n >= 2, "--n must be at least 2");
+    if let Some(id) = arg_value(&args, "--child") {
+        child(id.parse().expect("child id"), n);
+        return;
+    }
+
+    let exe = std::env::current_exe().expect("own binary");
+    println!("spawning {n} node processes over localhost UDP …");
+    let mut children: Vec<_> = (0..n)
+        .map(|id| {
+            Command::new(&exe)
+                .args(["--child", &id.to_string(), "--n", &n.to_string()])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn child")
+        })
+        .collect();
+    let mut readers: Vec<_> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("stdout")))
+        .collect();
+
+    let read_tag = |reader: &mut BufReader<std::process::ChildStdout>, tag: &str| -> String {
+        loop {
+            let mut line = String::new();
+            assert!(
+                reader.read_line(&mut line).expect("child stdout") > 0,
+                "child exited before sending {tag}"
+            );
+            if let Some(rest) = line.trim().strip_prefix(tag) {
+                return rest.trim().to_string();
+            }
+        }
+    };
+
+    let ports: Vec<String> = readers.iter_mut().map(|r| read_tag(r, "PORT ")).collect();
+    println!("peer table: {}", ports.join(" "));
+    let peers = format!("PEERS {}\n", ports.join(" "));
+    for c in &mut children {
+        c.stdin
+            .as_mut()
+            .expect("stdin")
+            .write_all(peers.as_bytes())
+            .expect("send peers");
+    }
+
+    let leaders: Vec<String> = readers.iter_mut().map(|r| read_tag(r, "LEADER ")).collect();
+    for c in &mut children {
+        let status = c.wait().expect("child status");
+        assert!(status.success(), "child failed: {status}");
+    }
+    println!("per-process leader outputs: {leaders:?}");
+    if leaders.iter().all(|l| l == &leaders[0]) {
+        println!(
+            "all {n} OS processes agree: leader is p{}",
+            leaders[0].parse::<usize>().expect("index") + 1
+        );
+    } else {
+        eprintln!("processes disagree on the leader!");
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`baselines`] — earlier Ω algorithms used as comparison points;
 //! * [`consensus`] — Ω-based indulgent consensus and the replicated log
 //!   (Theorem 5);
-//! * [`runtime`] — the thread-per-process real-time runtime;
+//! * [`net`] — the pluggable transport subsystem: wire codec, in-memory /
+//!   UDP-socket backends, fault-injecting link models;
+//! * [`runtime`] — the real-time runtimes (sharded cluster, per-node
+//!   deployments) over those transports;
 //! * [`experiments`] — the experiment harness behind `EXPERIMENTS.md`;
 //! * [`types`] — the shared vocabulary (ids, time, rounds, the sans-IO
 //!   [`types::Protocol`] trait).
@@ -23,6 +26,7 @@
 pub use irs_baselines as baselines;
 pub use irs_consensus as consensus;
 pub use irs_experiments as experiments;
+pub use irs_net as net;
 pub use irs_omega as omega;
 pub use irs_runtime as runtime;
 pub use irs_sim as sim;
