@@ -2,6 +2,7 @@
 
 use core::fmt;
 use irs_types::ProcessId;
+use std::sync::Arc;
 
 /// A totally ordered ballot (round) identifier for the consensus protocol.
 ///
@@ -65,6 +66,104 @@ impl fmt::Display for Value {
     }
 }
 
+/// The contract a type must satisfy to be replicated by the consensus
+/// machinery.
+///
+/// Nothing here is protocol-specific: the ballot algorithm only ever clones
+/// values, compares them for equality, and (for duplicate suppression in the
+/// log) orders them. [`Value`] and [`Command`] both implement it; an
+/// application with its own value domain implements the two methods below.
+pub trait LogValue: Clone + Eq + Ord + fmt::Debug + Send + Sync + 'static {
+    /// A 64-bit digest of the value, published through snapshot gauges
+    /// (`decided_value`) so traces and experiments can identify decisions
+    /// without knowing the value domain.
+    fn gauge(&self) -> u64;
+
+    /// An estimate of the wire size of the value in bytes, feeding the
+    /// communication-cost accounting of the message enums that carry it.
+    fn estimated_size(&self) -> usize;
+}
+
+impl LogValue for Value {
+    fn gauge(&self) -> u64 {
+        self.0
+    }
+
+    fn estimated_size(&self) -> usize {
+        8
+    }
+}
+
+impl LogValue for Command {
+    /// FNV-1a over the command bytes: stable across processes, so identical
+    /// decisions show identical gauges in every replica's snapshot.
+    fn gauge(&self) -> u64 {
+        irs_types::Fnv64::digest_of(self.bytes())
+    }
+
+    fn estimated_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+/// Largest command a log entry may carry, in bytes.
+///
+/// Commands travel inside consensus messages inside wire frames; a bound far
+/// below [`irs-net`'s] datagram payload limit keeps every `Accept`/`Promise`
+/// (which may carry a previously accepted command) well inside one frame.
+pub const MAX_COMMAND_LEN: usize = 1024;
+
+/// A small, opaque byte command — the value domain of a replicated *state
+/// machine* (as opposed to the bare 64-bit [`Value`] domain the Theorem 5
+/// experiments use).
+///
+/// The consensus layer never interprets the bytes; the replicated service
+/// above it (e.g. `irs-svc`'s key-value machine) defines the command
+/// encoding. Cloning is cheap (`Arc`), because the ballot machinery clones
+/// values freely.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Command(Arc<[u8]>);
+
+impl Command {
+    /// Wraps raw command bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds [`MAX_COMMAND_LEN`] — the caller encodes
+    /// the command; an oversized command must be rejected at the service
+    /// boundary, not truncated silently here.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        let bytes = bytes.into();
+        assert!(
+            bytes.len() <= MAX_COMMAND_LEN,
+            "command of {} bytes exceeds MAX_COMMAND_LEN",
+            bytes.len()
+        );
+        Command(bytes)
+    }
+
+    /// The command bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the command in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` for the empty command.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cmd[{}B]", self.0.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +201,25 @@ mod tests {
     fn display() {
         assert_eq!(Ballot::new(2, ProcessId::new(0)).to_string(), "b2.p1");
         assert_eq!(Value(9).to_string(), "v9");
+        assert_eq!(Command::new(vec![1u8, 2, 3]).to_string(), "cmd[3B]");
+    }
+
+    #[test]
+    fn commands_compare_by_bytes() {
+        let a = Command::new(vec![1u8, 2]);
+        let b = Command::new(vec![1u8, 2]);
+        let c = Command::new(vec![1u8, 3]);
+        assert_eq!(a, b);
+        assert!(a < c);
+        assert_eq!(a.bytes(), &[1, 2]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(Command::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_COMMAND_LEN")]
+    fn oversized_commands_are_rejected() {
+        let _ = Command::new(vec![0u8; MAX_COMMAND_LEN + 1]);
     }
 }

@@ -9,14 +9,20 @@
 //!
 //! Quorums have size `n − t`; with `t < n/2` any two quorums intersect, which
 //! is exactly the premise of Theorem 5.
+//!
+//! The machinery is generic over the value domain `V` ([`LogValue`]): the
+//! Theorem 5 experiments decide bare 64-bit [`Value`]s, the replicated
+//! key-value service (`irs-svc`) decides byte [`Command`](crate::Command)s.
+//! `V` defaults to [`Value`], so single-decree callers never see the
+//! parameter.
 
-use crate::{Ballot, Value};
+use crate::{Ballot, LogValue, Value};
 use irs_types::{Destination, ProcessId, SystemConfig};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages exchanged by a consensus instance.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum PaxosMsg {
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PaxosMsg<V = Value> {
     /// Phase-1a: the ballot owner asks acceptors to promise.
     Prepare {
         /// The ballot being prepared.
@@ -28,57 +34,79 @@ pub enum PaxosMsg {
         /// The ballot being promised.
         b: Ballot,
         /// The acceptor's highest accepted (ballot, value), if any.
-        accepted: Option<(Ballot, Value)>,
+        accepted: Option<(Ballot, V)>,
     },
     /// Phase-2a: the ballot owner asks acceptors to accept a value.
     Accept {
         /// The ballot.
         b: Ballot,
         /// The value, chosen according to the phase-1 rule.
-        v: Value,
+        v: V,
     },
     /// Phase-2b: an acceptor announces it accepted `(b, v)`.
     Accepted {
         /// The ballot.
         b: Ballot,
         /// The accepted value.
-        v: Value,
+        v: V,
     },
     /// A decided value, re-broadcast once by each decider as a catch-up aid.
     Decide {
         /// The decided value.
-        v: Value,
+        v: V,
     },
 }
 
+impl<V: LogValue> PaxosMsg<V> {
+    /// An estimate of the serialized size in bytes (tag + ballot fields +
+    /// the value's own estimate), feeding communication-cost accounting.
+    pub fn estimated_size(&self) -> usize {
+        const BALLOT: usize = 12; // attempt u64 + proposer u32
+        match self {
+            PaxosMsg::Prepare { .. } => 1 + BALLOT,
+            PaxosMsg::Promise { accepted, .. } => {
+                1 + BALLOT
+                    + 1
+                    + accepted
+                        .as_ref()
+                        .map_or(0, |(_, v)| BALLOT + v.estimated_size())
+            }
+            PaxosMsg::Accept { v, .. } | PaxosMsg::Accepted { v, .. } => {
+                1 + BALLOT + v.estimated_size()
+            }
+            PaxosMsg::Decide { v } => 1 + v.estimated_size(),
+        }
+    }
+}
+
 /// An outbound consensus message together with its destination.
-pub type PaxosSend = (Destination, PaxosMsg);
+pub type PaxosSend<V = Value> = (Destination, PaxosMsg<V>);
 
 /// The state of one consensus instance at one process (every process plays
 /// proposer, acceptor and learner).
 #[derive(Clone, Debug)]
-pub struct PaxosInstance {
+pub struct PaxosInstance<V = Value> {
     id: ProcessId,
     system: SystemConfig,
     /// My input value, if any.
-    proposal: Option<Value>,
+    proposal: Option<V>,
     // --- acceptor state ---
     promised: Ballot,
-    accepted: Option<(Ballot, Value)>,
+    accepted: Option<(Ballot, V)>,
     // --- proposer state (only meaningful while I lead a ballot) ---
     current: Ballot,
-    promises: BTreeMap<ProcessId, Option<(Ballot, Value)>>,
+    promises: BTreeMap<ProcessId, Option<(Ballot, V)>>,
     phase2_started: bool,
     // --- learner state ---
-    accepted_votes: BTreeMap<Ballot, (Value, BTreeSet<ProcessId>)>,
-    decided: Option<Value>,
+    accepted_votes: BTreeMap<Ballot, (V, BTreeSet<ProcessId>)>,
+    decided: Option<V>,
     decide_rebroadcast: bool,
     // --- statistics ---
     ballots_started: u64,
     progress: u64,
 }
 
-impl PaxosInstance {
+impl<V: LogValue> PaxosInstance<V> {
     /// Creates an instance for process `id` in the given system.
     pub fn new(id: ProcessId, system: SystemConfig) -> Self {
         PaxosInstance {
@@ -99,20 +127,20 @@ impl PaxosInstance {
     }
 
     /// Sets this process's input value (first call wins).
-    pub fn set_proposal(&mut self, v: Value) {
+    pub fn set_proposal(&mut self, v: V) {
         if self.proposal.is_none() {
             self.proposal = Some(v);
         }
     }
 
     /// This process's input value, if any.
-    pub fn proposal(&self) -> Option<Value> {
-        self.proposal
+    pub fn proposal(&self) -> Option<&V> {
+        self.proposal.as_ref()
     }
 
     /// The decided value, once known.
-    pub fn decided(&self) -> Option<Value> {
-        self.decided
+    pub fn decided(&self) -> Option<&V> {
+        self.decided.as_ref()
     }
 
     /// Number of ballots this process has started as a proposer.
@@ -138,7 +166,7 @@ impl PaxosInstance {
     ///
     /// No-op once a value has been decided or if this process has no
     /// proposal yet.
-    pub fn start_ballot(&mut self, out: &mut Vec<PaxosSend>) {
+    pub fn start_ballot(&mut self, out: &mut Vec<PaxosSend<V>>) {
         if self.decided.is_some() || self.proposal.is_none() {
             return;
         }
@@ -151,7 +179,7 @@ impl PaxosInstance {
     }
 
     /// Handles one incoming consensus message.
-    pub fn handle(&mut self, from: ProcessId, msg: PaxosMsg, out: &mut Vec<PaxosSend>) {
+    pub fn handle(&mut self, from: ProcessId, msg: PaxosMsg<V>, out: &mut Vec<PaxosSend<V>>) {
         match msg {
             PaxosMsg::Prepare { b } => self.on_prepare(from, b, out),
             PaxosMsg::Promise { b, accepted } => self.on_promise(from, b, accepted, out),
@@ -161,14 +189,14 @@ impl PaxosInstance {
         }
     }
 
-    fn on_prepare(&mut self, from: ProcessId, b: Ballot, out: &mut Vec<PaxosSend>) {
+    fn on_prepare(&mut self, from: ProcessId, b: Ballot, out: &mut Vec<PaxosSend<V>>) {
         if b >= self.promised {
             self.promised = b;
             out.push((
                 Destination::To(from),
                 PaxosMsg::Promise {
                     b,
-                    accepted: self.accepted,
+                    accepted: self.accepted.clone(),
                 },
             ));
         }
@@ -178,8 +206,8 @@ impl PaxosInstance {
         &mut self,
         from: ProcessId,
         b: Ballot,
-        accepted: Option<(Ballot, Value)>,
-        out: &mut Vec<PaxosSend>,
+        accepted: Option<(Ballot, V)>,
+        out: &mut Vec<PaxosSend<V>>,
     ) {
         if b != self.current || self.phase2_started || self.decided.is_some() {
             return;
@@ -196,28 +224,28 @@ impl PaxosInstance {
             .values()
             .flatten()
             .max_by_key(|(ballot, _)| *ballot)
-            .map(|(_, v)| *v);
+            .map(|(_, v)| v.clone());
         let value = inherited
-            .or(self.proposal)
+            .or_else(|| self.proposal.clone())
             .expect("start_ballot requires a proposal");
         self.phase2_started = true;
         out.push((Destination::All, PaxosMsg::Accept { b, v: value }));
     }
 
-    fn on_accept(&mut self, b: Ballot, v: Value, out: &mut Vec<PaxosSend>) {
+    fn on_accept(&mut self, b: Ballot, v: V, out: &mut Vec<PaxosSend<V>>) {
         if b >= self.promised {
             self.promised = b;
-            self.accepted = Some((b, v));
+            self.accepted = Some((b, v.clone()));
             out.push((Destination::All, PaxosMsg::Accepted { b, v }));
         }
     }
 
-    fn on_accepted(&mut self, from: ProcessId, b: Ballot, v: Value, out: &mut Vec<PaxosSend>) {
+    fn on_accepted(&mut self, from: ProcessId, b: Ballot, v: V, out: &mut Vec<PaxosSend<V>>) {
         self.progress += 1;
         let entry = self
             .accepted_votes
             .entry(b)
-            .or_insert_with(|| (v, BTreeSet::new()));
+            .or_insert_with(|| (v.clone(), BTreeSet::new()));
         debug_assert_eq!(entry.0, v, "two values accepted under the same ballot");
         entry.1.insert(from);
         if entry.1.len() >= self.quorum() {
@@ -235,9 +263,9 @@ impl PaxosInstance {
         }
     }
 
-    fn decide(&mut self, v: Value, out: &mut Vec<PaxosSend>) {
+    fn decide(&mut self, v: V, out: &mut Vec<PaxosSend<V>>) {
         if self.decided.is_none() {
-            self.decided = Some(v);
+            self.decided = Some(v.clone());
             self.progress += 1;
         }
         if !self.decide_rebroadcast {
@@ -250,6 +278,7 @@ impl PaxosInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Command;
 
     fn system() -> SystemConfig {
         SystemConfig::new(5, 2).unwrap() // quorum 3, majority-compatible
@@ -267,7 +296,10 @@ mod tests {
     }
 
     /// Synchronously routes every outbound message until quiescence.
-    fn route(instances: &mut [PaxosInstance], mut pending: Vec<(ProcessId, PaxosSend)>) {
+    fn route<V: LogValue>(
+        instances: &mut [PaxosInstance<V>],
+        mut pending: Vec<(ProcessId, PaxosSend<V>)>,
+    ) {
         let n = instances.len();
         while let Some((from, (dest, msg))) = pending.pop() {
             let targets: Vec<usize> = match dest {
@@ -277,7 +309,7 @@ mod tests {
             };
             for target in targets {
                 let mut out = Vec::new();
-                instances[target].handle(from, msg, &mut out);
+                instances[target].handle(from, msg.clone(), &mut out);
                 let sender = ProcessId::new(target as u32);
                 pending.extend(out.into_iter().map(|send| (sender, send)));
             }
@@ -294,7 +326,7 @@ mod tests {
             out.into_iter().map(|s| (ProcessId::new(2), s)).collect(),
         );
         for inst in &insts {
-            assert_eq!(inst.decided(), Some(Value(102)));
+            assert_eq!(inst.decided(), Some(&Value(102)));
         }
     }
 
@@ -310,7 +342,7 @@ mod tests {
             out0.into_iter().map(|s| (ProcessId::new(0), s)).collect();
         pending.extend(out4.into_iter().map(|s| (ProcessId::new(4), s)));
         route(&mut insts, pending);
-        let decisions: Vec<Option<Value>> = insts.iter().map(|i| i.decided()).collect();
+        let decisions: Vec<Option<Value>> = insts.iter().map(|i| i.decided().copied()).collect();
         let first = decisions.iter().flatten().next().copied();
         assert!(first.is_some(), "at least one ballot should have completed");
         for d in decisions.iter().flatten() {
@@ -330,7 +362,7 @@ mod tests {
             &mut insts,
             out.into_iter().map(|s| (ProcessId::new(0), s)).collect(),
         );
-        assert_eq!(insts[3].decided(), Some(Value(100)));
+        assert_eq!(insts[3].decided(), Some(&Value(100)));
         // A later ballot by p5 must re-decide the same value (it is inherited
         // from the promises), not propose its own.
         let mut out = Vec::new();
@@ -340,14 +372,14 @@ mod tests {
             out.into_iter().map(|s| (ProcessId::new(4), s)).collect(),
         );
         for inst in &insts {
-            assert_eq!(inst.decided(), Some(Value(100)));
+            assert_eq!(inst.decided(), Some(&Value(100)));
         }
     }
 
     #[test]
     fn acceptor_ignores_stale_prepare() {
         let sys = system();
-        let mut acceptor = PaxosInstance::new(ProcessId::new(1), sys);
+        let mut acceptor: PaxosInstance = PaxosInstance::new(ProcessId::new(1), sys);
         let high = Ballot::new(5, ProcessId::new(4));
         let low = Ballot::new(2, ProcessId::new(0));
         let mut out = Vec::new();
@@ -370,7 +402,7 @@ mod tests {
 
     #[test]
     fn no_ballot_without_a_proposal() {
-        let mut inst = PaxosInstance::new(ProcessId::new(0), system());
+        let mut inst: PaxosInstance = PaxosInstance::new(ProcessId::new(0), system());
         let mut out = Vec::new();
         inst.start_ballot(&mut out);
         assert!(out.is_empty());
@@ -409,7 +441,7 @@ mod tests {
     #[test]
     fn quorum_of_accepted_is_required_to_decide() {
         let sys = system();
-        let mut learner = PaxosInstance::new(ProcessId::new(0), sys);
+        let mut learner: PaxosInstance = PaxosInstance::new(ProcessId::new(0), sys);
         let b = Ballot::new(1, ProcessId::new(1));
         let mut out = Vec::new();
         learner.handle(
@@ -428,6 +460,30 @@ mod tests {
             PaxosMsg::Accepted { b, v: Value(9) },
             &mut out,
         );
-        assert_eq!(learner.decided(), Some(Value(9)));
+        assert_eq!(learner.decided(), Some(&Value(9)));
+    }
+
+    /// The same ballot flow decides byte commands: the machinery is
+    /// value-agnostic end to end.
+    #[test]
+    fn commands_are_decided_like_values() {
+        let mut insts: Vec<PaxosInstance<Command>> = system()
+            .processes()
+            .map(|id| {
+                let mut inst = PaxosInstance::new(id, system());
+                inst.set_proposal(Command::new(vec![id.as_u32() as u8; 4]));
+                inst
+            })
+            .collect();
+        let mut out = Vec::new();
+        insts[1].start_ballot(&mut out);
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(1), s)).collect(),
+        );
+        let expected = Command::new(vec![1u8; 4]);
+        for inst in &insts {
+            assert_eq!(inst.decided(), Some(&expected));
+        }
     }
 }

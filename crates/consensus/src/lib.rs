@@ -34,7 +34,7 @@ mod instance;
 mod process;
 mod repeated;
 
-pub use ballot::{Ballot, Value};
+pub use ballot::{Ballot, Command, LogValue, Value, MAX_COMMAND_LEN};
 pub use instance::{PaxosInstance, PaxosMsg, PaxosSend};
 pub use process::{ConsensusConfig, ConsensusMsg, ConsensusProcess, TIMER_BALLOT_CHECK};
-pub use repeated::{LogMsg, ReplicatedLog, TIMER_LOG_CHECK};
+pub use repeated::{LogMsg, ReplicatedLog, CATCHUP_BATCH, TIMER_LOG_CHECK};

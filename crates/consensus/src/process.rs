@@ -10,7 +10,7 @@
 //! being interrupted and every correct process decides — Theorem 5:
 //! consensus is solvable with `t < n/2` and an intermittent rotating t-star.
 
-use crate::{PaxosInstance, PaxosMsg, Value};
+use crate::{LogValue, PaxosInstance, PaxosMsg, Value};
 use irs_types::{
     Actions, Destination, Duration, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum,
     RoundTagged, Snapshot, SystemConfig, TimerId,
@@ -22,16 +22,17 @@ use irs_types::{
 pub const TIMER_BALLOT_CHECK: TimerId = TimerId::new(200);
 
 /// Message of the composite protocol: either a message of the embedded
-/// leader oracle or a consensus message.
-#[derive(Clone, Debug)]
-pub enum ConsensusMsg<M> {
+/// leader oracle or a consensus message. `V` is the value domain of the
+/// ballots (default [`Value`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsensusMsg<M, V = Value> {
     /// A message of the embedded Ω implementation.
     Omega(M),
     /// A consensus (ballot) message.
-    Paxos(PaxosMsg),
+    Paxos(PaxosMsg<V>),
 }
 
-impl<M: RoundTagged> RoundTagged for ConsensusMsg<M> {
+impl<M: RoundTagged, V: LogValue> RoundTagged for ConsensusMsg<M, V> {
     fn constrained_round(&self) -> Option<RoundNum> {
         match self {
             // The behavioural assumptions constrain only the oracle's ALIVE
@@ -44,7 +45,7 @@ impl<M: RoundTagged> RoundTagged for ConsensusMsg<M> {
     fn estimated_size(&self) -> usize {
         match self {
             ConsensusMsg::Omega(m) => 1 + m.estimated_size(),
-            ConsensusMsg::Paxos(_) => 1 + 24,
+            ConsensusMsg::Paxos(m) => 1 + m.estimated_size(),
         }
     }
 }
@@ -89,11 +90,11 @@ impl ConsensusConfig {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct ConsensusProcess<O> {
+pub struct ConsensusProcess<O, V = Value> {
     id: ProcessId,
     cfg: ConsensusConfig,
     oracle: O,
-    instance: PaxosInstance,
+    instance: PaxosInstance<V>,
     /// Progress counter value at the previous ballot check, used to avoid
     /// restarting ballots that are still advancing.
     last_progress: u64,
@@ -121,10 +122,11 @@ impl ConsensusProcess<irs_omega::OmegaProcess> {
     }
 }
 
-impl<O> ConsensusProcess<O>
+impl<O, V> ConsensusProcess<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
     /// Builds a consensus process over an explicit oracle instance.
     ///
@@ -144,13 +146,13 @@ where
 
     /// Proposes a value (first call wins). Proposing after a decision has no
     /// effect.
-    pub fn propose(&mut self, v: Value) {
+    pub fn propose(&mut self, v: V) {
         self.instance.set_proposal(v);
     }
 
     /// The decided value, once the instance has decided.
-    pub fn decision(&self) -> Option<Value> {
-        self.instance.decided()
+    pub fn decision(&self) -> Option<V> {
+        self.instance.decided().cloned()
     }
 
     /// Read access to the embedded oracle.
@@ -163,7 +165,7 @@ where
         self.instance.ballots_started()
     }
 
-    fn lift_oracle(&self, inner: Actions<O::Msg>, out: &mut Actions<ConsensusMsg<O::Msg>>) {
+    fn lift_oracle(&self, inner: Actions<O::Msg>, out: &mut Actions<ConsensusMsg<O::Msg, V>>) {
         let (sends, timers, cancels) = inner.into_parts();
         for send in sends {
             match send.dest {
@@ -182,8 +184,8 @@ where
 
     fn emit_paxos(
         &self,
-        sends: Vec<(Destination, PaxosMsg)>,
-        out: &mut Actions<ConsensusMsg<O::Msg>>,
+        sends: Vec<(Destination, PaxosMsg<V>)>,
+        out: &mut Actions<ConsensusMsg<O::Msg, V>>,
     ) {
         for (dest, msg) in sends {
             match dest {
@@ -194,7 +196,7 @@ where
         }
     }
 
-    fn ballot_check(&mut self, out: &mut Actions<ConsensusMsg<O::Msg>>) {
+    fn ballot_check(&mut self, out: &mut Actions<ConsensusMsg<O::Msg, V>>) {
         out.set_timer(TIMER_BALLOT_CHECK, self.cfg.ballot_check_period);
         if self.instance.decided().is_some() {
             return;
@@ -216,12 +218,13 @@ where
     }
 }
 
-impl<O> Protocol for ConsensusProcess<O>
+impl<O, V> Protocol for ConsensusProcess<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
-    type Msg = ConsensusMsg<O::Msg>;
+    type Msg = ConsensusMsg<O::Msg, V>;
 
     fn id(&self) -> ProcessId {
         self.id
@@ -243,7 +246,7 @@ where
             }
             ConsensusMsg::Paxos(m) => {
                 let mut sends = Vec::new();
-                self.instance.handle(from, *m, &mut sends);
+                self.instance.handle(from, m.clone(), &mut sends);
                 self.emit_paxos(sends, out);
             }
         }
@@ -260,16 +263,17 @@ where
     }
 }
 
-impl<O: LeaderOracle> LeaderOracle for ConsensusProcess<O> {
+impl<O: LeaderOracle, V> LeaderOracle for ConsensusProcess<O, V> {
     fn leader(&self) -> ProcessId {
         self.oracle.leader()
     }
 }
 
-impl<O> Introspect for ConsensusProcess<O>
+impl<O, V> Introspect for ConsensusProcess<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
     fn snapshot(&self) -> Snapshot {
         let mut snap = self.oracle.snapshot();
@@ -277,7 +281,7 @@ where
             .push(("decided", u64::from(self.instance.decided().is_some())));
         snap.extra.push((
             "decided_value",
-            self.instance.decided().map(|v| v.0).unwrap_or(0),
+            self.instance.decided().map(LogValue::gauge).unwrap_or(0),
         ));
         snap.extra
             .push(("ballots_started", self.instance.ballots_started()));
@@ -301,7 +305,7 @@ mod tests {
         assert_eq!(p.decision(), None);
         p.propose(Value(5));
         p.propose(Value(9)); // first proposal wins
-        assert_eq!(p.instance.proposal(), Some(Value(5)));
+        assert_eq!(p.instance.proposal(), Some(&Value(5)));
     }
 
     #[test]
@@ -315,7 +319,8 @@ mod tests {
     #[should_panic(expected = "identity mismatch")]
     fn rejects_mismatched_oracle() {
         let oracle = OmegaProcess::fig3(ProcessId::new(1), system());
-        let _ = ConsensusProcess::new(ProcessId::new(0), ConsensusConfig::new(system()), oracle);
+        let _: ConsensusProcess<_, Value> =
+            ConsensusProcess::new(ProcessId::new(0), ConsensusConfig::new(system()), oracle);
     }
 
     #[test]

@@ -7,23 +7,42 @@
 //! decided independently of slot `k + 1`, the current Ω leader drives the
 //! lowest undecided slot, and every process observes the same prefix of
 //! decided values.
+//!
+//! The log is generic over the value domain `V` ([`LogValue`], default
+//! [`Value`]): the Theorem 5 experiments replicate bare 64-bit values, the
+//! key-value service (`irs-svc`) replicates byte [`Command`](crate::Command)s.
+//!
+//! # Catch-up
+//!
+//! Under a lossy link a replica can miss every `Decide` for a slot while its
+//! peers move on (each process re-broadcasts a decision only once). A
+//! replica that observes traffic for a slot at or above its own frontier
+//! therefore knows it is behind and, at every check tick, broadcasts
+//! [`LogMsg::Catchup`] naming its frontier; any peer answers with the
+//! decided values it holds from that slot upward (bounded per request).
+//! This is what lets every surviving replica converge to the same applied
+//! prefix after a leader crash under loss — the E12 consistency experiments
+//! pin it.
 
-use crate::{ConsensusConfig, PaxosInstance, PaxosMsg, Value};
+use crate::{ConsensusConfig, LogValue, PaxosInstance, PaxosMsg, Value};
 use irs_types::{
     Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, RoundTagged,
     Snapshot, SystemConfig, TimerId,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Timer used to periodically re-evaluate leadership and drive the lowest
 /// undecided slot. The embedded oracle must not use timer ids at or above
 /// this value.
 pub const TIMER_LOG_CHECK: TimerId = TimerId::new(201);
 
+/// Most decided slots a single [`LogMsg::Catchup`] answer replays.
+pub const CATCHUP_BATCH: u64 = 16;
+
 /// Message of the replicated log: either an oracle message or a consensus
 /// message tagged with its log slot.
-#[derive(Clone, Debug)]
-pub enum LogMsg<M> {
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogMsg<M, V = Value> {
     /// A message of the embedded Ω implementation.
     Omega(M),
     /// A consensus message for one log slot.
@@ -31,55 +50,78 @@ pub enum LogMsg<M> {
         /// The slot index (0-based).
         slot: u64,
         /// The consensus message.
-        msg: PaxosMsg,
+        msg: PaxosMsg<V>,
     },
     /// A value submitted at a non-leader replica, forwarded to the process it
     /// currently believes to be the leader.
     Forward {
         /// The forwarded value.
-        v: Value,
+        v: V,
+    },
+    /// A lagging replica's request for the decided values from slot `from`
+    /// upward. Answered with `Slot { …, Decide }` messages (at most
+    /// [`CATCHUP_BATCH`] per request).
+    Catchup {
+        /// The requester's lowest undecided slot.
+        from: u64,
     },
 }
 
-impl<M: RoundTagged> RoundTagged for LogMsg<M> {
+impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
     fn constrained_round(&self) -> Option<RoundNum> {
         match self {
             LogMsg::Omega(m) => m.constrained_round(),
-            LogMsg::Slot { .. } | LogMsg::Forward { .. } => None,
+            LogMsg::Slot { .. } | LogMsg::Forward { .. } | LogMsg::Catchup { .. } => None,
         }
     }
 
     fn estimated_size(&self) -> usize {
         match self {
             LogMsg::Omega(m) => 1 + m.estimated_size(),
-            LogMsg::Slot { .. } => 1 + 8 + 24,
-            LogMsg::Forward { .. } => 1 + 8,
+            LogMsg::Slot { msg, .. } => 1 + 8 + msg.estimated_size(),
+            LogMsg::Forward { v } => 1 + v.estimated_size(),
+            LogMsg::Catchup { .. } => 1 + 8,
         }
     }
 }
 
 /// One replica of the totally ordered log. `O` is the embedded eventual
-/// leader oracle (normally [`irs_omega::OmegaProcess`]).
+/// leader oracle (normally [`irs_omega::OmegaProcess`]); `V` the value
+/// domain.
 #[derive(Debug)]
-pub struct ReplicatedLog<O> {
+pub struct ReplicatedLog<O, V = Value> {
     id: ProcessId,
     cfg: ConsensusConfig,
     oracle: O,
     /// Open consensus instances by slot.
-    instances: BTreeMap<u64, PaxosInstance>,
+    instances: BTreeMap<u64, PaxosInstance<V>>,
     /// Decided values by slot (kept even after the instance is pruned).
-    decisions: BTreeMap<u64, Value>,
+    decisions: BTreeMap<u64, V>,
     /// The set of values known to be decided (for duplicate suppression of
     /// forwarded submissions).
-    decided_values: std::collections::BTreeSet<Value>,
+    decided_values: BTreeSet<V>,
     /// Values submitted locally or forwarded to us and not yet decided.
-    pending: VecDeque<Value>,
+    pending: VecDeque<V>,
+    /// Highest slot for which this replica has seen any activity (a
+    /// consensus message or a decision) — the signal that slots up to it
+    /// exist and are worth catching up on.
+    max_seen_slot: Option<u64>,
+    /// Cached lowest slot without a known decision (advanced by
+    /// [`note_decision`](Self::note_decision); `decisions` only ever gains
+    /// entries there, so the cache cannot go stale). Keeps the hot
+    /// request/apply paths O(1) instead of rescanning the decision map.
+    frontier: u64,
+    /// The frontier as of the previous check tick; a frontier that did not
+    /// move across a whole check period is the stall signal that arms the
+    /// ambiguous (`max_seen == frontier`) catch-up case.
+    last_check_frontier: u64,
     /// Progress counter of the slot being driven, as of the previous check.
     last_progress: (u64, u64),
     slots_driven: u64,
+    catchups_sent: u64,
 }
 
-impl ReplicatedLog<irs_omega::OmegaProcess> {
+impl<V: LogValue> ReplicatedLog<irs_omega::OmegaProcess, V> {
     /// Builds a log replica over the paper's Figure 3 Ω algorithm.
     ///
     /// # Panics
@@ -100,10 +142,11 @@ impl ReplicatedLog<irs_omega::OmegaProcess> {
     }
 }
 
-impl<O> ReplicatedLog<O>
+impl<O, V> ReplicatedLog<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
     /// Builds a log replica over an explicit oracle instance.
     ///
@@ -118,24 +161,28 @@ where
             oracle,
             instances: BTreeMap::new(),
             decisions: BTreeMap::new(),
-            decided_values: std::collections::BTreeSet::new(),
+            decided_values: BTreeSet::new(),
             pending: VecDeque::new(),
+            max_seen_slot: None,
+            frontier: 0,
+            last_check_frontier: u64::MAX,
             last_progress: (0, 0),
             slots_driven: 0,
+            catchups_sent: 0,
         }
     }
 
     /// Submits a value for eventual inclusion in the log.
-    pub fn submit(&mut self, v: Value) {
+    pub fn submit(&mut self, v: V) {
         self.pending.push_back(v);
     }
 
     /// The contiguous decided prefix of the log.
-    pub fn log(&self) -> Vec<Value> {
+    pub fn log(&self) -> Vec<V> {
         let mut prefix = Vec::new();
         for slot in 0.. {
             match self.decisions.get(&slot) {
-                Some(v) => prefix.push(*v),
+                Some(v) => prefix.push(v.clone()),
                 None => break,
             }
         }
@@ -143,8 +190,8 @@ where
     }
 
     /// The decision for a specific slot, if known.
-    pub fn decision(&self, slot: u64) -> Option<Value> {
-        self.decisions.get(&slot).copied()
+    pub fn decision(&self, slot: u64) -> Option<&V> {
+        self.decisions.get(&slot)
     }
 
     /// Number of values submitted locally and not yet decided anywhere.
@@ -152,21 +199,40 @@ where
         self.pending.len()
     }
 
+    /// Returns `true` if `v` is known to be decided in some slot.
+    pub fn is_decided_value(&self, v: &V) -> bool {
+        self.decided_values.contains(v)
+    }
+
+    /// Returns `true` if `v` is queued (locally or by forwarding) and not
+    /// yet decided.
+    pub fn contains_pending(&self, v: &V) -> bool {
+        self.pending.contains(v)
+    }
+
+    /// The lowest slot without a known decision (public view of the
+    /// frontier, which is also the length of the contiguous prefix).
+    pub fn frontier_slot(&self) -> u64 {
+        self.frontier()
+    }
+
     /// Read access to the embedded oracle.
     pub fn oracle(&self) -> &O {
         &self.oracle
     }
 
-    /// The lowest slot without a known decision.
+    /// The lowest slot without a known decision (cached; see the field).
     fn frontier(&self) -> u64 {
-        let mut slot = 0;
-        while self.decisions.contains_key(&slot) {
-            slot += 1;
-        }
-        slot
+        self.frontier
     }
 
-    fn lift_oracle(&self, inner: Actions<O::Msg>, out: &mut Actions<LogMsg<O::Msg>>) {
+    fn note_seen_slot(&mut self, slot: u64) {
+        if self.max_seen_slot.is_none_or(|m| slot > m) {
+            self.max_seen_slot = Some(slot);
+        }
+    }
+
+    fn lift_oracle(&self, inner: Actions<O::Msg>, out: &mut Actions<LogMsg<O::Msg, V>>) {
         let (sends, timers, cancels) = inner.into_parts();
         for send in sends {
             match send.dest {
@@ -186,8 +252,8 @@ where
     fn emit_slot(
         &self,
         slot: u64,
-        sends: Vec<(Destination, PaxosMsg)>,
-        out: &mut Actions<LogMsg<O::Msg>>,
+        sends: Vec<(Destination, PaxosMsg<V>)>,
+        out: &mut Actions<LogMsg<O::Msg, V>>,
     ) {
         for (dest, msg) in sends {
             match dest {
@@ -198,7 +264,7 @@ where
         }
     }
 
-    fn instance(&mut self, slot: u64) -> &mut PaxosInstance {
+    fn instance(&mut self, slot: u64) -> &mut PaxosInstance<V> {
         let id = self.id;
         let system = self.cfg.system;
         self.instances
@@ -208,33 +274,124 @@ where
 
     /// Records a fresh decision, removes the pending value it satisfies, and
     /// prunes the instance bookkeeping below the contiguous frontier.
-    fn note_decision(&mut self, slot: u64, v: Value) {
-        self.decisions.entry(slot).or_insert(v);
-        self.decided_values.insert(v);
+    fn note_decision(&mut self, slot: u64, v: V) {
+        self.note_seen_slot(slot);
+        self.decisions.entry(slot).or_insert_with(|| v.clone());
+        self.decided_values.insert(v.clone());
         if let Some(pos) = self.pending.iter().position(|p| *p == v) {
             self.pending.remove(pos);
         }
-        let frontier = self.frontier();
+        while self.decisions.contains_key(&self.frontier) {
+            self.frontier += 1;
+        }
+        let frontier = self.frontier;
         // Keep the frontier instance and everything above it; decided slots
         // below the frontier only need their decision.
         self.instances.retain(|s, _| *s >= frontier);
     }
 
-    fn check(&mut self, out: &mut Actions<LogMsg<O::Msg>>) {
+    /// Picks who to ask for a replay: the presumed leader on even attempts
+    /// (it is the most likely to hold every decision), a rotating other
+    /// peer on odd ones (so a dead or equally lagging leader cannot wedge
+    /// recovery).
+    fn catchup_target(&self) -> ProcessId {
+        let me = u64::from(self.id.as_u32());
+        let n = self.cfg.system.n() as u64;
+        let leader = self.oracle.leader();
+        if self.catchups_sent.is_multiple_of(2) && leader != self.id {
+            return leader;
+        }
+        let mut idx = (me + 1 + self.catchups_sent) % n;
+        if idx == me {
+            idx = (idx + 1) % n;
+        }
+        ProcessId::new(idx as u32)
+    }
+
+    /// Answers a catch-up request with the decided values we hold from
+    /// `from` upward (bounded by [`CATCHUP_BATCH`]).
+    fn answer_catchup(&self, from: ProcessId, first: u64, out: &mut Actions<LogMsg<O::Msg, V>>) {
+        for (&slot, v) in self.decisions.range(first..).take(CATCHUP_BATCH as usize) {
+            out.send(
+                from,
+                LogMsg::Slot {
+                    slot,
+                    msg: PaxosMsg::Decide { v: v.clone() },
+                },
+            );
+        }
+    }
+
+    /// Event-driven fast path: if this process believes it leads, has a
+    /// pending value, and has not yet started a ballot for the lowest
+    /// undecided slot, start one *now* instead of waiting for the next
+    /// check tick.
+    ///
+    /// The timer-driven [`check`](Self::check) remains the recovery path
+    /// (it restarts stalled ballots); this method only ever opens a slot's
+    /// *first* ballot, so calling it after every event is cheap and cannot
+    /// thrash — once the ballot is in flight it is a no-op until the slot
+    /// decides and the frontier moves. The service layer calls it on
+    /// request arrival and after each applied decision, which makes ack
+    /// latency round-trip-bound instead of check-period-bound.
+    pub fn drive(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
+        if self.oracle.leader() != self.id {
+            return;
+        }
+        let Some(next_value) = self.pending.front().cloned() else {
+            return;
+        };
+        let slot = self.frontier();
+        let instance = self.instance(slot);
+        instance.set_proposal(next_value);
+        if instance.ballots_started() > 0 || instance.decided().is_some() {
+            return;
+        }
+        let mut sends = Vec::new();
+        instance.start_ballot(&mut sends);
+        self.last_progress = (slot, self.instance(slot).progress_counter());
+        if !sends.is_empty() {
+            self.slots_driven += 1;
+        }
+        self.emit_slot(slot, sends, out);
+    }
+
+    fn check(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
         out.set_timer(TIMER_LOG_CHECK, self.cfg.ballot_check_period);
+        // Catch-up. Traffic for a slot *strictly above* our frontier proves
+        // decisions exist that we lack (leaders drive the lowest undecided
+        // slot), so ask for a replay right away. Traffic *at* the frontier
+        // is ambiguous — usually it is just the slot in flight — so that
+        // case only asks once the frontier failed to move for a whole check
+        // period (a missed final Decide); otherwise every healthy replica
+        // would spam O(n) catch-ups per tick during normal load.
+        let frontier = self.frontier();
+        let gap_above = self.max_seen_slot.is_some_and(|m| m > frontier);
+        let stalled_at_seen = self.max_seen_slot.is_some_and(|m| m == frontier)
+            && frontier == self.last_check_frontier;
+        if gap_above || stalled_at_seen {
+            // One peer per request, not a broadcast: every answer carries up
+            // to CATCHUP_BATCH Decides, so asking all n−1 peers would make
+            // the recovery path (n−1)-fold redundant exactly when the
+            // cluster is already stressed.
+            let target = self.catchup_target();
+            out.send(target, LogMsg::Catchup { from: frontier });
+            self.catchups_sent += 1;
+        }
+        self.last_check_frontier = frontier;
         let leader = self.oracle.leader();
         if leader != self.id {
             // Not the leader: forward our oldest pending submission to the
             // process we currently believe leads, and let it sequence it.
-            if let Some(v) = self.pending.front().copied() {
+            if let Some(v) = self.pending.front().cloned() {
                 out.send(leader, LogMsg::Forward { v });
             }
             return;
         }
-        let Some(next_value) = self.pending.front().copied() else {
+        let Some(next_value) = self.pending.front().cloned() else {
             return;
         };
-        let slot = self.frontier();
+        let slot = frontier;
         let last_progress = self.last_progress;
         let instance = self.instance(slot);
         instance.set_proposal(next_value);
@@ -252,12 +409,13 @@ where
     }
 }
 
-impl<O> Protocol for ReplicatedLog<O>
+impl<O, V> Protocol for ReplicatedLog<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
-    type Msg = LogMsg<O::Msg>;
+    type Msg = LogMsg<O::Msg, V>;
 
     fn id(&self) -> ProcessId {
         self.id
@@ -279,12 +437,16 @@ where
             }
             LogMsg::Forward { v } => {
                 if !self.decided_values.contains(v) && !self.pending.contains(v) {
-                    self.pending.push_back(*v);
+                    self.pending.push_back(v.clone());
                 }
             }
+            LogMsg::Catchup { from: first } => {
+                self.answer_catchup(from, *first, out);
+            }
             LogMsg::Slot { slot, msg } => {
-                let (slot, msg) = (*slot, *msg);
-                if let Some(v) = self.decisions.get(&slot).copied() {
+                let (slot, msg) = (*slot, msg.clone());
+                self.note_seen_slot(slot);
+                if let Some(v) = self.decisions.get(&slot).cloned() {
                     // Help a lagging peer: the slot is already decided here.
                     if !matches!(msg, PaxosMsg::Decide { .. }) {
                         out.send(
@@ -299,7 +461,7 @@ where
                 }
                 let mut sends = Vec::new();
                 self.instance(slot).handle(from, msg, &mut sends);
-                let decided = self.instances.get(&slot).and_then(|i| i.decided());
+                let decided = self.instances.get(&slot).and_then(|i| i.decided().cloned());
                 self.emit_slot(slot, sends, out);
                 if let Some(v) = decided {
                     self.note_decision(slot, v);
@@ -319,22 +481,24 @@ where
     }
 }
 
-impl<O: LeaderOracle> LeaderOracle for ReplicatedLog<O> {
+impl<O: LeaderOracle, V> LeaderOracle for ReplicatedLog<O, V> {
     fn leader(&self) -> ProcessId {
         self.oracle.leader()
     }
 }
 
-impl<O> Introspect for ReplicatedLog<O>
+impl<O, V> Introspect for ReplicatedLog<O, V>
 where
     O: Protocol + LeaderOracle + Introspect,
     O::Msg: RoundTagged,
+    V: LogValue,
 {
     fn snapshot(&self) -> Snapshot {
         let mut snap = self.oracle.snapshot();
-        snap.extra.push(("log_len", self.log().len() as u64));
+        snap.extra.push(("log_len", self.frontier()));
         snap.extra.push(("pending", self.pending.len() as u64));
         snap.extra.push(("slots_driven", self.slots_driven));
+        snap.extra.push(("catchups_sent", self.catchups_sent));
         snap
     }
 }
@@ -426,10 +590,14 @@ mod tests {
         assert_eq!(log.log(), vec![Value(4)]);
         assert_eq!(log.pending_len(), 1);
         assert!(log.instances.is_empty(), "decided slot should be pruned");
+        assert!(log.is_decided_value(&Value(4)));
+        assert!(!log.is_decided_value(&Value(5)));
+        assert!(log.contains_pending(&Value(5)));
         // A decision for a value we did not submit leaves pending untouched.
         log.note_decision(1, Value(99));
         assert_eq!(log.pending_len(), 1);
         assert_eq!(log.log(), vec![Value(4), Value(99)]);
+        assert_eq!(log.frontier_slot(), 2);
     }
 
     #[test]
@@ -485,5 +653,120 @@ mod tests {
         assert_eq!(log.log(), vec![Value(1)]);
         log.decisions.insert(1, Value(2));
         assert_eq!(log.log(), vec![Value(1), Value(2), Value(3)]);
+    }
+
+    /// A replica that has seen traffic for a slot it has not decided asks
+    /// the cluster for a replay at the next check tick; a peer holding the
+    /// decisions answers with `Decide`s, which close the gap.
+    #[test]
+    fn lagging_replica_catches_up_via_catchup_replay() {
+        let mut lagging: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(3), system());
+        // Traffic for slot 2 arrives (e.g. the leader is already driving
+        // it); slots 0..=2 are undecided here.
+        let mut out = Actions::new();
+        lagging.on_message(
+            ProcessId::new(0),
+            &LogMsg::Slot {
+                slot: 2,
+                msg: PaxosMsg::Prepare {
+                    b: crate::Ballot::new(1, ProcessId::new(0)),
+                },
+            },
+            &mut out,
+        );
+        let mut out = Actions::new();
+        lagging.on_timer(TIMER_LOG_CHECK, &mut out);
+        let catchups: Vec<u64> = out
+            .sends()
+            .iter()
+            .filter_map(|s| match s.msg {
+                LogMsg::Catchup { from } => Some(from),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(catchups, vec![0], "behind replica must request slot 0 up");
+
+        // A peer with decisions 0..=2 answers the request…
+        let mut peer = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        for slot in 0..3u64 {
+            peer.note_decision(slot, Value(10 + slot));
+        }
+        let mut answer = Actions::new();
+        peer.on_message(ProcessId::new(3), &LogMsg::Catchup { from: 0 }, &mut answer);
+        assert_eq!(answer.sends().len(), 3);
+
+        // …and replaying the answer closes the gap at the lagging replica.
+        for send in answer.sends() {
+            lagging.on_message(ProcessId::new(0), &send.msg, &mut Actions::new());
+        }
+        assert_eq!(
+            lagging.log(),
+            vec![Value(10), Value(11), Value(12)],
+            "replayed decisions close the gap"
+        );
+        // Once caught up (frontier above everything seen), the next check
+        // sends no further catch-up request.
+        let mut out = Actions::new();
+        lagging.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert!(!out
+            .sends()
+            .iter()
+            .any(|s| matches!(s.msg, LogMsg::Catchup { .. })));
+    }
+
+    /// Traffic *at* the frontier is the normal in-flight case, not a lag
+    /// signal: the first check after it stays silent, and only a frontier
+    /// that fails to move across a whole check period asks for a replay
+    /// (the missed-final-Decide case).
+    #[test]
+    fn in_flight_frontier_traffic_does_not_spam_catchups() {
+        let mut log: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(3), system());
+        log.on_message(
+            ProcessId::new(0),
+            &LogMsg::Slot {
+                slot: 0,
+                msg: PaxosMsg::Prepare {
+                    b: crate::Ballot::new(1, ProcessId::new(0)),
+                },
+            },
+            &mut Actions::new(),
+        );
+        let catchups = |out: &Actions<_>| {
+            out.sends()
+                .iter()
+                .filter(|s| matches!(s.msg, LogMsg::Catchup { .. }))
+                .count()
+        };
+        // First check: slot 0 is simply in flight — no catch-up chatter.
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert_eq!(catchups(&out), 0, "in-flight slot must not trigger");
+        // Second check with the frontier still stuck at 0: now it looks
+        // like the Decides were missed, so the replay request goes out.
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert_eq!(catchups(&out), 1, "stalled frontier must trigger");
+        // The decision arrives: silence returns.
+        log.note_decision(0, Value(5));
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert_eq!(catchups(&out), 0, "caught up means quiet");
+    }
+
+    /// A fresh replica with no observed traffic never spams catch-ups.
+    #[test]
+    fn quiet_replica_sends_no_catchup() {
+        let mut log: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(1), system());
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert!(!out
+            .sends()
+            .iter()
+            .any(|s| matches!(s.msg, LogMsg::Catchup { .. })));
     }
 }

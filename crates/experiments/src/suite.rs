@@ -825,6 +825,155 @@ pub fn e11_deployment(quick: bool) -> Table {
     table
 }
 
+/// E12 — the service layer: the replicated KV store (Theorem 5's log with
+/// a state machine on top) under client load, per transport backend.
+///
+/// Ops/s and latency percentiles come from the `irs-svc` load generator
+/// (closed-loop clients saturate; the open-loop row fires on a fixed
+/// interval). The leader-crash row kills the elected leader mid-load over
+/// a seeded lossy link model and then *verifies* the service's contract:
+/// every surviving replica holds identical applied state, and no
+/// acked command was lost or reordered (`loadgen::check_consistency`).
+///
+/// Wall-clock numbers vary with the host; compare backends and regimes,
+/// not absolute values.
+pub fn e12_kv_service(quick: bool) -> Table {
+    use irs_net::LinkModel;
+    use irs_svc::loadgen::{
+        check_consistency, closed_loop, open_loop, ClosedLoopOptions, OpenLoopOptions,
+    };
+    use irs_svc::{SvcCluster, SvcConfig, SvcReplica};
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E12",
+        "Replicated KV service under load: ops/s and latency per backend",
+        &[
+            "backend", "regime", "n", "clients", "ops/s", "p50 us", "p99 us", "outcome",
+        ],
+    );
+    let n = 5;
+    let clients = if quick { 3 } else { 4 };
+    let opts = ClosedLoopOptions {
+        duration: StdDuration::from_secs(if quick { 2 } else { 5 }),
+        op_deadline: StdDuration::from_secs(8),
+        ..ClosedLoopOptions::default()
+    };
+    let mut push_row = |backend: &str,
+                        regime: &str,
+                        c: usize,
+                        report: &irs_svc::loadgen::LoadReport,
+                        outcome: String| {
+        table.push_row(vec![
+            backend.to_string(),
+            regime.to_string(),
+            n.to_string(),
+            c.to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            report.latency.percentile(50.0).to_string(),
+            report.latency.percentile(99.0).to_string(),
+            outcome,
+        ]);
+    };
+
+    // One closed-loop run to completion, generic over the backend's
+    // transport type: drive the load, freeze the cluster, verify the
+    // consistency contract against everything the clients were acked.
+    fn closed_run<T: irs_net::Transport>(
+        cluster: SvcCluster,
+        cl: &mut [irs_svc::SvcClient<T>],
+        opts: ClosedLoopOptions,
+    ) -> (irs_svc::loadgen::LoadReport, String) {
+        let (report, acked) = closed_loop(cl, opts);
+        let finals = cluster.shutdown();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let outcome = match check_consistency(&refs, &acked) {
+            Ok(()) => format!("{} acked, replicas identical", report.ops),
+            Err(e) => format!("INCONSISTENT: {e}"),
+        };
+        (report, outcome)
+    }
+
+    // Rows 1/2: closed-loop saturation over the in-memory mesh and over
+    // real UDP sockets on localhost.
+    for backend in ["mem", "udp"] {
+        let (report, outcome) = if backend == "mem" {
+            let (cluster, mut cl) = SvcCluster::in_memory(n, clients, SvcConfig::new(n, clients));
+            closed_run(cluster, &mut cl, opts)
+        } else {
+            let (cluster, mut cl) =
+                SvcCluster::udp(n, clients, SvcConfig::new(n, clients)).expect("bind sockets");
+            closed_run(cluster, &mut cl, opts)
+        };
+        push_row(backend, "closed-loop", clients, &report, outcome);
+    }
+
+    // Row 3: open-loop arrival-rate load (one client, fixed fire interval).
+    {
+        let (cluster, mut cl) = SvcCluster::in_memory(n, 1, SvcConfig::new(n, 1));
+        let report = open_loop(
+            &mut cl[0],
+            OpenLoopOptions {
+                duration: opts.duration,
+                interval: StdDuration::from_millis(if quick { 5 } else { 2 }),
+                ..OpenLoopOptions::default()
+            },
+        );
+        cluster.shutdown();
+        let outcome = format!("{} unacked at drain", report.failures);
+        push_row("mem", "open-loop", 1, &report, outcome);
+    }
+
+    // Row 4: closed-loop under a seeded 10% receiver-side drop on every
+    // replica link (clients see clean links; consensus rides the loss).
+    {
+        let (cluster, mut cl) =
+            SvcCluster::with_link_models(n, clients, SvcConfig::new(n, clients), |p| {
+                LinkModel::new(0x0E12_D20B ^ u64::from(p.as_u32())).with_drop_prob(0.1)
+            });
+        let (report, outcome) = closed_run(cluster, &mut cl, opts);
+        push_row("mem+drop0.1", "closed-loop", clients, &report, outcome);
+    }
+
+    // Row 5: the leader goes dark mid-load (crash-stop under a lossy link
+    // model). The cluster must re-elect, the load must keep completing,
+    // and the survivors must agree with the client-acked prefix.
+    {
+        let (cluster, mut cl) =
+            SvcCluster::with_link_models(n, clients, SvcConfig::new(n, clients), |p| {
+                LinkModel::new(0x0E12_C4A5 ^ u64::from(p.as_u32())).with_drop_prob(0.05)
+            });
+        let crash_opts = ClosedLoopOptions {
+            duration: StdDuration::from_secs(if quick { 4 } else { 8 }),
+            op_deadline: StdDuration::from_secs(8),
+            ..ClosedLoopOptions::default()
+        };
+        let (report, acked, crashed) = irs_svc::loadgen::closed_loop_with_leader_crash(
+            &cluster,
+            &mut cl,
+            crash_opts,
+            crash_opts.duration / 3,
+        );
+        // Idle settle so catch-up converges the survivors before freezing.
+        irs_svc::loadgen::await_survivor_convergence(&cluster, crashed, StdDuration::from_secs(30));
+        let finals = cluster.shutdown();
+        let survivors: Vec<&SvcReplica> = finals
+            .iter()
+            .filter(|r| irs_types::Protocol::id(*r) != crashed)
+            .collect();
+        let outcome = match check_consistency(&survivors, &acked) {
+            Ok(()) => format!(
+                "leader {crashed} crashed; {} survivors identical, no acked op lost/reordered",
+                survivors.len()
+            ),
+            Err(e) => format!("INCONSISTENT: {e}"),
+        };
+        push_row("mem+drop0.05", "leader-crash", clients, &report, outcome);
+    }
+
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -842,6 +991,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e9", e9_message_cost),
         ("e10", e10_sensitivity),
         ("e11", e11_deployment),
+        ("e12", e12_kv_service),
     ]
 }
 
@@ -852,9 +1002,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 11);
+        assert_eq!(ids.len(), 12);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 11);
+        assert_eq!(unique.len(), 12);
     }
 
     #[test]

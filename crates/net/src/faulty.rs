@@ -151,6 +151,7 @@ pub struct LinkModel {
     partitions: Vec<Partition>,
     duty: Vec<DutyCycle>,
     clock: FaultClock,
+    delay: Duration,
     /// Arrival counter per `(from, to)` link, feeding the drop hash.
     arrivals: HashMap<(u32, u32), u64>,
     dropped: u64,
@@ -166,6 +167,7 @@ impl LinkModel {
             partitions: Vec::new(),
             duty: Vec::new(),
             clock: FaultClock::wall(Duration::from_millis(1)),
+            delay: Duration::ZERO,
             arrivals: HashMap::new(),
             dropped: 0,
             delivered: 0,
@@ -205,6 +207,20 @@ impl LinkModel {
     pub fn with_manual_clock(mut self, clock: ManualClock) -> Self {
         self.clock = FaultClock::Manual(clock);
         self
+    }
+
+    /// Delays every admitted frame by a fixed wall-clock duration before
+    /// the receiver sees it — the transport-level analogue of the sharded
+    /// runtime's `LinkDelay::Fixed` (a slow but lossless link).
+    #[must_use]
+    pub fn with_fixed_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// The fixed receive delay (zero when the link is not delaying).
+    pub fn delay(&self) -> Duration {
+        self.delay
     }
 
     /// Frames dropped by this model so far.
@@ -269,16 +285,32 @@ fn mix(seed: u64, from: u32, to: u32, index: u64) -> u64 {
 /// A [`Transport`] decorator that applies a [`LinkModel`] to every arriving
 /// frame. Sends pass through untouched — the faults are the *receiver's*
 /// experience of the link.
+///
+/// With a fixed delay configured, admitted frames are pulled off the inner
+/// transport eagerly and *held* until their delivery time; the held count is
+/// visible through [`Transport::pending_held`], which is what lets a
+/// shutdown drain wait for frames still in flight behind the delay.
 #[derive(Debug)]
 pub struct FaultyLink<T> {
     inner: T,
     model: LinkModel,
+    /// Admitted frames waiting out the fixed delay, in arrival (= due)
+    /// order.
+    held: std::collections::VecDeque<(Instant, Frame)>,
+    /// The inner transport reported `Closed`; held frames are still
+    /// delivered before the error is surfaced.
+    inner_closed: bool,
 }
 
 impl<T: Transport> FaultyLink<T> {
     /// Wraps a transport with a link model.
     pub fn new(inner: T, model: LinkModel) -> Self {
-        FaultyLink { inner, model }
+        FaultyLink {
+            inner,
+            model,
+            held: std::collections::VecDeque::new(),
+            inner_closed: false,
+        }
     }
 
     /// The model's counters and schedule.
@@ -308,19 +340,74 @@ impl<T: Transport> Transport for FaultyLink<T> {
 
     fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
         let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            let frame = match self.inner.recv(remaining)? {
-                Some(frame) => frame,
-                None => return Ok(None),
-            };
-            if self.model.admits(frame.from, frame.to) {
-                return Ok(Some(frame));
-            }
-            if Instant::now() >= deadline {
-                return Ok(None);
+        // Fast path: no delay configured and nothing held — the original
+        // filter-as-you-receive loop.
+        if self.model.delay.is_zero() && self.held.is_empty() {
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let frame = match self.inner.recv(remaining)? {
+                    Some(frame) => frame,
+                    None => return Ok(None),
+                };
+                if self.model.admits(frame.from, frame.to) {
+                    return Ok(Some(frame));
+                }
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
             }
         }
+        // Delaying path: keep pulling arrivals into the held queue (their
+        // arrival stamps the delivery time), hand out the front once due.
+        loop {
+            let now = Instant::now();
+            if self.held.front().is_some_and(|(due, _)| *due <= now) {
+                return Ok(self.held.pop_front().map(|(_, frame)| frame));
+            }
+            // Wake at the earliest of: caller's deadline, front frame due.
+            let wake = self
+                .held
+                .front()
+                .map_or(deadline, |(due, _)| deadline.min(*due));
+            if self.inner_closed {
+                if self.held.is_empty() {
+                    return Err(NetError::Closed);
+                }
+                if wake <= now {
+                    return Ok(None); // deadline hit before the front is due
+                }
+                std::thread::sleep(wake - now);
+                continue;
+            }
+            match self.inner.recv(wake.saturating_duration_since(now)) {
+                Ok(Some(frame)) => {
+                    if self.model.admits(frame.from, frame.to) {
+                        self.held
+                            .push_back((Instant::now() + self.model.delay, frame));
+                    }
+                }
+                Ok(None) => {
+                    let now = Instant::now();
+                    if self.held.front().is_some_and(|(due, _)| *due <= now) {
+                        return Ok(self.held.pop_front().map(|(_, frame)| frame));
+                    }
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                }
+                // Held frames outlive the inner endpoint: deliver them
+                // before surfacing the close.
+                Err(_) => self.inner_closed = true,
+            }
+        }
+    }
+
+    fn malformed_dropped(&self) -> u64 {
+        self.inner.malformed_dropped()
+    }
+
+    fn pending_held(&self) -> usize {
+        self.held.len() + self.inner.pending_held()
     }
 }
 
@@ -463,6 +550,48 @@ mod tests {
         clock.set(110);
         send_burst(&mut net, 0, 1, 2);
         assert_eq!(drain(&mut net[1]).len(), 2);
+    }
+
+    #[test]
+    fn fixed_delay_holds_frames_until_due_and_reports_them() {
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| {
+                FaultyLink::new(
+                    t,
+                    LinkModel::new(2).with_fixed_delay(Duration::from_millis(80)),
+                )
+            })
+            .collect();
+        send_burst(&mut net, 0, 1, 3);
+        // Immediately: the frames are in flight behind the delay, not
+        // deliverable, but visible through pending_held after one poll.
+        assert!(net[1].recv(Duration::from_millis(5)).unwrap().is_none());
+        assert_eq!(net[1].pending_held(), 3);
+        // After the delay: all three arrive, in order.
+        std::thread::sleep(Duration::from_millis(90));
+        assert_eq!(drain(&mut net[1]), vec![0, 1, 2]);
+        assert_eq!(net[1].pending_held(), 0);
+    }
+
+    #[test]
+    fn delayed_frames_survive_inner_close() {
+        let mut net: Vec<_> = MemNetwork::mesh(2)
+            .into_iter()
+            .map(|t| {
+                FaultyLink::new(
+                    t,
+                    LinkModel::new(2).with_fixed_delay(Duration::from_millis(50)),
+                )
+            })
+            .collect();
+        send_burst(&mut net, 0, 1, 2);
+        let mut receiver = net.pop().unwrap();
+        assert!(receiver.recv(Duration::from_millis(5)).unwrap().is_none());
+        drop(net); // the sending endpoint is gone
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(drain(&mut receiver), vec![0, 1], "held frames delivered");
+        assert_eq!(receiver.pending_held(), 0);
     }
 
     #[test]

@@ -28,9 +28,12 @@
 //! magic "IR" (2) | version (1) | from u32 | to u32 | len u32 | payload
 //! ```
 //!
-//! and the payload is a [`Wire`]-encoded protocol message
-//! ([`irs_omega::OmegaMsg`] ships an implementation). Decoders are total:
-//! arbitrary bytes decode or fail with a [`WireError`], never panic.
+//! and the payload is a [`Wire`]-encoded protocol message. [`wire`] ships
+//! the [`irs_omega::OmegaMsg`] codec; [`wire_consensus`] extends the same
+//! format to the consensus layer (`PaxosMsg`, `ConsensusMsg`, `LogMsg`,
+//! ballots, values and byte commands) under disjoint message-kind tags, so
+//! [`irs_consensus::ReplicatedLog`] deploys over sockets too. Decoders are
+//! total: arbitrary bytes decode or fail with a [`WireError`], never panic.
 //!
 //! # Transport contract
 //!
@@ -48,9 +51,11 @@
 pub mod conformance;
 mod faulty;
 mod mem;
+pub mod reexec;
 mod transport;
 mod udp;
 pub mod wire;
+pub mod wire_consensus;
 
 pub use faulty::{DutyCycle, FaultClock, FaultyLink, LinkModel, ManualClock, Partition};
 pub use mem::{MemNetwork, MemTransport};

@@ -123,4 +123,23 @@ pub trait Transport: Send {
     /// Returns a [`NetError`] if the endpoint can no longer receive at all.
     /// Malformed input from the wire is dropped, not surfaced.
     fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError>;
+
+    /// Inputs this endpoint has dropped because they were not valid frames
+    /// (the UDP backend's malformed-datagram counter; decorators delegate).
+    ///
+    /// Node event loops publish this through their stats surface, so a
+    /// deployment bombarded by stray traffic is observable rather than
+    /// silently lossy. Backends that cannot receive malformed input (the
+    /// in-memory mesh) report zero.
+    fn malformed_dropped(&self) -> u64 {
+        0
+    }
+
+    /// Frames this endpoint itself is holding for later delivery (a
+    /// delaying [`FaultyLink`](crate::FaultyLink) keeps frames until their
+    /// arrival time). A shutdown drain keeps polling while this is nonzero
+    /// so in-flight frames behind a link delay are delivered, not dropped.
+    fn pending_held(&self) -> usize {
+        0
+    }
 }

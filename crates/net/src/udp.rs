@@ -63,11 +63,6 @@ impl UdpTransport {
         self.peers = peers;
     }
 
-    /// Datagrams dropped so far because they were not valid frames.
-    pub fn malformed_dropped(&self) -> u64 {
-        self.malformed
-    }
-
     /// Decodes one received datagram, counting (and swallowing) malformed
     /// ones.
     fn parse_datagram(&mut self, len: usize) -> Option<Frame> {
@@ -82,6 +77,30 @@ impl UdpTransport {
                 None
             }
         }
+    }
+
+    /// Binds on an ephemeral localhost port, retrying transient
+    /// `AddrInUse` collisions — under parallel test/CI load the port the
+    /// OS reserves can race another process's bind between reservation and
+    /// use. The peer table starts empty, as with [`UdpTransport::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error once the retries are exhausted, or any
+    /// non-`AddrInUse` error immediately.
+    pub fn bind_localhost_retry() -> std::io::Result<Self> {
+        let mut last_err = None;
+        for _ in 0..5 {
+            match Self::bind(("127.0.0.1", 0)) {
+                Ok(t) => return Ok(t),
+                Err(e) if e.kind() == ErrorKind::AddrInUse => {
+                    last_err = Some(e);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("retries imply an error"))
     }
 
     /// Binds `n` endpoints on ephemeral localhost ports, fully meshed.
@@ -172,6 +191,10 @@ impl Transport for UdpTransport {
                 Err(e) => return Err(NetError::Io(e)),
             }
         }
+    }
+
+    fn malformed_dropped(&self) -> u64 {
+        self.malformed
     }
 }
 

@@ -59,4 +59,4 @@ mod node;
 
 pub use cluster::{Cluster, LinkDelay, RealtimeConfig};
 pub use netcluster::NetCluster;
-pub use node::{run_node, NodeConfig, NodeHandle};
+pub use node::{accept_frame, run_node, run_node_with, NodeConfig, NodeHandle};

@@ -304,6 +304,52 @@ mod tests {
         assert_eq!(finals.len(), 4, "a node thread died on stray input");
     }
 
+    /// The NetCluster analogue of the sharded cluster's
+    /// `shutdown_drains_in_flight_messages`: behind a 2 s fixed link delay
+    /// nothing is delivered while the cluster runs for 300 ms, so every
+    /// frame sent is still in flight at shutdown — the drain must deliver
+    /// them (visible through the `frames_delivered` runtime gauge) instead
+    /// of dropping them at join.
+    #[test]
+    fn shutdown_drains_in_flight_frames_behind_a_fixed_delay() {
+        let cluster =
+            NetCluster::with_link_models(omega_processes(4, 1), NodeConfig::new(4), |_| {
+                LinkModel::new(11).with_fixed_delay(StdDuration::from_secs(2))
+            });
+        std::thread::sleep(StdDuration::from_millis(300));
+        let delivered_now: u64 = (0..4)
+            .map(|i| {
+                cluster
+                    .snapshot(ProcessId::new(i))
+                    .gauge("frames_delivered")
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(
+            delivered_now, 0,
+            "nothing may be delivered before the 2s link delay"
+        );
+        let handles: Vec<_> = cluster.handles.clone();
+        let finals = cluster.shutdown();
+        assert_eq!(finals.len(), 4);
+        let delivered_after: u64 = handles
+            .iter()
+            .map(|h| {
+                h.snapshot
+                    .lock()
+                    .unwrap()
+                    .gauge("frames_delivered")
+                    .unwrap_or(0)
+            })
+            .sum();
+        // At minimum the on-start ALIVE broadcast (4 receivers each, the
+        // sender included) must have been delivered during the drain.
+        assert!(
+            delivered_after >= 16,
+            "in-flight frames were dropped on shutdown: delivered = {delivered_after}"
+        );
+    }
+
     #[test]
     fn faulty_links_with_random_drops_still_elect() {
         // 20% receiver-side loss on every link: the algorithm only needs

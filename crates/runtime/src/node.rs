@@ -11,9 +11,18 @@
 //! [`run_node`] blocks the calling thread; [`NetCluster`](crate::NetCluster)
 //! spawns one thread per node for in-process deployments, and
 //! `examples/socket_cluster.rs` calls it directly from `main` in each
-//! spawned OS process.
+//! spawned OS process. [`run_node_with`] exposes the same loop with a
+//! caller-supplied frame-acceptance policy — the replicated KV service
+//! (`irs-svc`) uses it to admit client frames from endpoints outside the
+//! replica group, which the default policy treats as link noise.
+//!
+//! The loop appends two runtime gauges to every published snapshot:
+//! `malformed_dropped` (the transport's malformed-input counter — nonzero
+//! on a UDP endpoint receiving stray traffic) and `frames_delivered`
+//! (frames accepted and handed to the protocol, the shutdown drain
+//! included).
 
-use irs_net::{Transport, Wire};
+use irs_net::{Frame, Transport, Wire};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +76,15 @@ impl NodeHandle {
 
 /// Longest the loop sleeps before re-checking the control flags.
 const POLL_BUDGET: StdDuration = StdDuration::from_millis(20);
+/// Quiet window that ends the shutdown drain: one full window with no frame
+/// arriving and nothing held by the transport. Longer than [`POLL_BUDGET`],
+/// so every peer node has observed its own stop flag (and stopped sending)
+/// before a drain concludes — mirroring the sharded
+/// [`Cluster`](crate::Cluster) drain.
+const DRAIN_QUIET: StdDuration = StdDuration::from_millis(50);
+/// Hard cap on the shutdown drain, so a transport that holds frames behind
+/// a pathological delay cannot wedge shutdown forever.
+const DRAIN_CAP: StdDuration = StdDuration::from_secs(10);
 
 /// Validates and decodes one received frame for an `n`-process deployment
 /// hosted at `me`. A socket is an untrusted input: a misrouted frame, an
@@ -74,7 +92,7 @@ const POLL_BUDGET: StdDuration = StdDuration::from_millis(20);
 /// different deployment is dropped as link noise — it must never take the
 /// node down. Used by both the live loop and the shutdown drain so the two
 /// can never diverge on what counts as stray.
-fn accept_frame<M: Wire>(frame: &irs_net::Frame, me: ProcessId, n: usize) -> Option<M> {
+pub fn accept_frame<M: Wire>(frame: &Frame, me: ProcessId, n: usize) -> Option<M> {
     if frame.to != me || frame.from.index() >= n {
         return None;
     }
@@ -83,16 +101,43 @@ fn accept_frame<M: Wire>(frame: &irs_net::Frame, me: ProcessId, n: usize) -> Opt
 }
 
 /// Drives `proto` over `transport` until [`NodeHandle::stop`] is set, then
-/// returns the final protocol state.
+/// returns the final protocol state. Frames are admitted by the default
+/// policy ([`accept_frame`]): addressed to this node, sender inside the
+/// deployment, payload decodable and sized for it.
 ///
-/// On stop, frames already queued in the transport are drained and
-/// delivered (so no in-flight message is silently dropped), but sends and
-/// timers they generate are discarded — the node is quiescing.
-pub fn run_node<P, T>(mut proto: P, mut transport: T, config: NodeConfig, handle: NodeHandle) -> P
+/// On stop, frames already queued (or held) in the transport are drained
+/// and delivered until a full quiet window passes (so no in-flight message
+/// is silently dropped), but sends and timers they generate are discarded —
+/// the node is quiescing.
+pub fn run_node<P, T>(proto: P, transport: T, config: NodeConfig, handle: NodeHandle) -> P
 where
     P: Protocol + Introspect,
     P::Msg: Wire,
     T: Transport,
+{
+    let me = proto.id();
+    let n = config.n;
+    run_node_with(proto, transport, config, handle, move |frame| {
+        accept_frame::<P::Msg>(frame, me, n)
+    })
+}
+
+/// [`run_node`] with a caller-supplied acceptance policy: `accept` turns a
+/// received [`Frame`] into a protocol message, or `None` to drop it as link
+/// noise. The policy is applied identically in the live loop and the
+/// shutdown drain.
+pub fn run_node_with<P, T, F>(
+    mut proto: P,
+    mut transport: T,
+    config: NodeConfig,
+    handle: NodeHandle,
+    mut accept: F,
+) -> P
+where
+    P: Protocol + Introspect,
+    P::Msg: Wire,
+    T: Transport,
+    F: FnMut(&Frame) -> Option<P::Msg>,
 {
     let me = proto.id();
     let n = config.n;
@@ -108,6 +153,7 @@ where
     let mut timers: Vec<Option<u64>> = Vec::new();
     let mut scratch = Vec::new();
     let mut out = Actions::new();
+    let mut frames_delivered: u64 = 0;
 
     let apply = |proto_id: ProcessId,
                  out: &mut Actions<P::Msg>,
@@ -140,13 +186,17 @@ where
         }
     };
 
-    let publish = |proto: &P, handle: &NodeHandle| {
-        *handle.snapshot.lock().expect("snapshot lock poisoned") = proto.snapshot();
+    let publish = |proto: &P, transport: &T, delivered: u64, handle: &NodeHandle| {
+        let mut snap = proto.snapshot();
+        snap.extra
+            .push(("malformed_dropped", transport.malformed_dropped()));
+        snap.extra.push(("frames_delivered", delivered));
+        *handle.snapshot.lock().expect("snapshot lock poisoned") = snap;
     };
 
     proto.on_start(&mut out);
     apply(me, &mut out, &mut timers, &mut transport, &mut scratch, 0);
-    publish(&proto, &handle);
+    publish(&proto, &transport, frames_delivered, &handle);
 
     while !handle.stop.load(Ordering::SeqCst) {
         let crashed = handle.crashed.load(Ordering::SeqCst);
@@ -184,7 +234,8 @@ where
         match transport.recv(timeout) {
             Ok(Some(frame)) => {
                 if !crashed {
-                    if let Some(msg) = accept_frame::<P::Msg>(&frame, me, n) {
+                    if let Some(msg) = accept(&frame) {
+                        frames_delivered += 1;
                         let now = now_tick(Instant::now());
                         proto.on_message(frame.from, &msg, &mut out);
                         apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
@@ -196,21 +247,37 @@ where
             Err(_) => break, // every peer endpoint is gone
         }
         if dirty {
-            publish(&proto, &handle);
+            publish(&proto, &transport, frames_delivered, &handle);
         }
     }
 
     // Final drain: deliver what the transport already holds, discarding the
-    // reactions — the deployment is quiescing, not running.
+    // reactions — the deployment is quiescing, not running. The drain ends
+    // only after a full quiet window with nothing arriving *and* nothing
+    // held inside the transport (a delaying link keeps frames in flight
+    // past the stop flag), so peers that saw their stop flag later — or
+    // links that deliver late — do not lose in-flight messages.
+    let drain_started = Instant::now();
     let mut sink = Actions::new();
-    while let Ok(Some(frame)) = transport.recv(StdDuration::from_millis(1)) {
-        if !handle.crashed.load(Ordering::SeqCst) {
-            if let Some(msg) = accept_frame::<P::Msg>(&frame, me, n) {
-                proto.on_message(frame.from, &msg, &mut sink);
-                sink.clear();
+    loop {
+        match transport.recv(DRAIN_QUIET) {
+            Ok(Some(frame)) => {
+                if !handle.crashed.load(Ordering::SeqCst) {
+                    if let Some(msg) = accept(&frame) {
+                        frames_delivered += 1;
+                        proto.on_message(frame.from, &msg, &mut sink);
+                        sink.clear();
+                    }
+                }
             }
+            Ok(None) if transport.pending_held() > 0 => {} // still in flight
+            Ok(None) => break,
+            Err(_) => break,
+        }
+        if drain_started.elapsed() >= DRAIN_CAP {
+            break;
         }
     }
-    publish(&proto, &handle);
+    publish(&proto, &transport, frames_delivered, &handle);
     proto
 }

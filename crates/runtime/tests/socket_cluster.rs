@@ -2,23 +2,17 @@
 //! OS process (acceptance criterion of the `irs-net` subsystem).
 //!
 //! The test re-executes its own binary: the parent run spawns `N` children
-//! with `IRS_UDP_CHILD=<id>` set, each of which takes the child branch of
-//! the same test function — bind a UDP socket, advertise the port on
-//! stdout, learn the full peer table from stdin, run one Ω node over the
-//! socket until its leader output is stable, report it, exit. The parent
-//! collects every child's report and asserts that all eight OS processes
-//! agreed on the same leader.
-//!
-//! Line protocol on the child's stdio (libtest chatter is filtered by
-//! prefix): child → `PORT <port>`, `LEADER <index>`; parent → `PEERS
-//! <port0> <port1> …`.
+//! with `IRS_UDP_CHILD=<id>` set, each of which joins the UDP mesh through
+//! the shared re-exec handshake (`irs_net::reexec`), runs one Ω node over
+//! the socket until its leader output is stable, reports it (`LEADER <i>`),
+//! and exits. The parent collects every child's report and asserts that all
+//! eight OS processes agreed on the same leader.
 
-use irs_net::UdpTransport;
+use irs_net::reexec;
 use irs_omega::OmegaProcess;
 use irs_runtime::{run_node, NodeConfig, NodeHandle};
 use irs_types::{ProcessId, SystemConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::process::{Child, Command, Stdio};
+use std::io::BufRead;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -29,30 +23,9 @@ const T: usize = 3;
 const TICK: Duration = Duration::from_micros(500);
 
 fn child_main(id: u32) {
-    let mut transport = UdpTransport::bind(("127.0.0.1", 0)).expect("bind child socket");
-    let port = transport.local_addr().expect("local addr").port();
-    println!("PORT {port}");
-    std::io::stdout().flush().expect("flush port line");
-
-    let mut peers_line = String::new();
-    std::io::stdin()
-        .lock()
-        .read_line(&mut peers_line)
-        .expect("read peer table");
-    let ports: Vec<u16> = peers_line
-        .trim()
-        .strip_prefix("PEERS ")
-        .expect("peer line")
-        .split_whitespace()
-        .map(|p| p.parse().expect("peer port"))
-        .collect();
-    assert_eq!(ports.len(), N, "child got a short peer table");
-    transport.set_peers(
-        ports
-            .iter()
-            .map(|&p| (std::net::Ipv4Addr::LOCALHOST, p).into())
-            .collect(),
-    );
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let transport = reexec::child_join_mesh(&mut lines, N);
 
     let system = SystemConfig::new(N, T).expect("system config");
     let proto = OmegaProcess::fig3(ProcessId::new(id), system);
@@ -84,43 +57,8 @@ fn child_main(id: u32) {
         }
     };
     println!("LEADER {}", leader.index());
-    std::io::stdout().flush().expect("flush leader line");
     observer.stop.store(true, Ordering::SeqCst);
     node.join().expect("node thread");
-}
-
-fn read_tagged_line(reader: &mut impl BufRead, tag: &str, who: usize) -> String {
-    let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
-        assert!(
-            Instant::now() < deadline,
-            "timed out waiting for `{tag}` from child {who}"
-        );
-        let mut line = String::new();
-        let n = reader.read_line(&mut line).expect("read child stdout");
-        assert!(n > 0, "child {who} closed stdout before sending `{tag}`");
-        // The tag may share its line with libtest chatter ("test … ..."),
-        // so search for it anywhere in the line.
-        if let Some(at) = line.find(tag) {
-            let rest: String = line[at + tag.len()..]
-                .chars()
-                .take_while(|c| !c.is_whitespace())
-                .collect();
-            return rest;
-        }
-        // Anything else is libtest harness output; skip it.
-    }
-}
-
-struct ChildGuard(Vec<Child>);
-
-impl Drop for ChildGuard {
-    fn drop(&mut self) {
-        for child in &mut self.0 {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
-    }
 }
 
 #[test]
@@ -130,54 +68,22 @@ fn udp_cluster_across_os_processes_elects_one_leader() {
         return;
     }
 
-    let exe = std::env::current_exe().expect("own test binary");
-    let mut children = ChildGuard(Vec::new());
-    for id in 0..N {
-        let child = Command::new(&exe)
-            .args([
-                "--exact",
-                "udp_cluster_across_os_processes_elects_one_leader",
-                "--nocapture",
-            ])
-            .env("IRS_UDP_CHILD", id.to_string())
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()
-            .expect("spawn child process");
-        children.0.push(child);
-    }
-
-    let mut readers: Vec<BufReader<std::process::ChildStdout>> = children
-        .0
-        .iter_mut()
-        .map(|c| BufReader::new(c.stdout.take().expect("child stdout piped")))
-        .collect();
-
-    let ports: Vec<String> = readers
-        .iter_mut()
-        .enumerate()
-        .map(|(who, r)| read_tagged_line(r, "PORT ", who))
-        .collect();
-    let peer_line = format!("PEERS {}\n", ports.join(" "));
-    for child in &mut children.0 {
-        child
-            .stdin
-            .as_mut()
-            .expect("child stdin piped")
-            .write_all(peer_line.as_bytes())
-            .expect("send peer table");
-    }
+    let (mut children, mut readers) = reexec::spawn_self_children(N, |id, cmd| {
+        cmd.args([
+            "--exact",
+            "udp_cluster_across_os_processes_elects_one_leader",
+            "--nocapture",
+        ])
+        .env("IRS_UDP_CHILD", id.to_string());
+    });
+    reexec::exchange_peer_table(&mut children, &mut readers, &[]);
 
     let leaders: Vec<String> = readers
         .iter_mut()
         .enumerate()
-        .map(|(who, r)| read_tagged_line(r, "LEADER ", who))
+        .map(|(who, r)| reexec::read_tagged_line(r, "LEADER ", who))
         .collect();
-    for child in &mut children.0 {
-        let status = child.wait().expect("child exit status");
-        assert!(status.success(), "a child node failed: {status}");
-    }
-    children.0.clear();
+    children.join_all();
 
     assert!(
         leaders.iter().all(|l| l == &leaders[0]),

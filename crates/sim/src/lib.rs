@@ -49,5 +49,5 @@ pub use crash::CrashPlan;
 pub use engine::{SimConfig, SimReport, Simulation, Stabilization};
 pub use event::{Event, EventQueue};
 pub use rng::SimRng;
-pub use stats::{percentage, Summary};
+pub use stats::{percentage, Histogram, Summary};
 pub use trace::{LeaderChange, Trace, TraceCounters};

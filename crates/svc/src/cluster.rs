@@ -1,0 +1,241 @@
+//! In-process service deployments: `n` replica node threads over any
+//! transport backend, plus connected clients.
+//!
+//! Mirrors [`irs_runtime::NetCluster`] (thread-per-node, one endpoint per
+//! node, snapshots / crash injection / state-returning shutdown), extended
+//! with the client plane: the transport mesh is built with `n + c`
+//! endpoints, the first `n` host replicas and the rest become
+//! [`SvcClient`]s. For the process-per-node deployment over UDP see
+//! `examples/kv_cluster.rs`.
+
+use crate::client::SvcClient;
+use crate::node::{run_svc_node, SvcConfig};
+use crate::replica::SvcReplica;
+use irs_net::{FaultyLink, LinkModel, MemNetwork, MemTransport, Transport, UdpTransport};
+use irs_runtime::NodeHandle;
+use irs_types::{ProcessId, Snapshot, SystemConfig};
+use std::sync::atomic::Ordering;
+use std::thread::JoinHandle;
+
+/// Seed base for the deterministic per-client retry jitter.
+const CLIENT_SEED: u64 = 0x5EED_C11E;
+
+/// A running KV-service deployment: one node thread per replica.
+#[derive(Debug)]
+pub struct SvcCluster {
+    n: usize,
+    handles: Vec<NodeHandle>,
+    threads: Vec<JoinHandle<SvcReplica>>,
+}
+
+impl SvcCluster {
+    /// Spawns `config.n` replicas, one thread each, over the given
+    /// endpoints (`transports[i]` hosts replica `i`). Resilience is the
+    /// largest consensus-compatible `t = ⌊(n−1)/2⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint count disagrees with `config.n`, or `n < 3`
+    /// (a majority-based service needs to survive at least one crash).
+    pub fn spawn<T>(transports: Vec<T>, config: SvcConfig) -> Self
+    where
+        T: Transport + 'static,
+    {
+        let n = config.n;
+        assert!(n >= 3, "a replicated service needs n >= 3");
+        assert_eq!(transports.len(), n, "one endpoint per replica");
+        let system = SystemConfig::new(n, (n - 1) / 2).expect("valid replica system");
+        let handles: Vec<NodeHandle> = (0..n).map(|_| NodeHandle::new()).collect();
+        let threads = transports
+            .into_iter()
+            .enumerate()
+            .zip(&handles)
+            .map(|((i, transport), handle)| {
+                let replica = SvcReplica::new(ProcessId::new(i as u32), system);
+                let handle = handle.clone();
+                std::thread::Builder::new()
+                    .name(format!("irs-svc-{i}"))
+                    .spawn(move || run_svc_node(replica, transport, config, handle))
+                    .expect("spawn replica thread")
+            })
+            .collect();
+        SvcCluster {
+            n,
+            handles,
+            threads,
+        }
+    }
+
+    /// An `n`-replica deployment over the in-memory mesh, with `clients`
+    /// connected client endpoints.
+    pub fn in_memory(
+        n: usize,
+        clients: usize,
+        config: SvcConfig,
+    ) -> (Self, Vec<SvcClient<MemTransport>>) {
+        let mut mesh = MemNetwork::mesh(n + clients);
+        let client_eps = mesh.split_off(n);
+        let cluster = Self::spawn(mesh, config);
+        (cluster, Self::wrap_clients(n, client_eps))
+    }
+
+    /// Like [`SvcCluster::in_memory`], with a fault-injecting link model on
+    /// every *replica* endpoint (`model(p)` shapes what replica `p`
+    /// receives; clients see clean links, which isolates the consensus
+    /// plane as the thing under stress).
+    pub fn with_link_models(
+        n: usize,
+        clients: usize,
+        config: SvcConfig,
+        mut model: impl FnMut(ProcessId) -> LinkModel,
+    ) -> (Self, Vec<SvcClient<MemTransport>>) {
+        let mut mesh = MemNetwork::mesh(n + clients);
+        let client_eps = mesh.split_off(n);
+        let faulty: Vec<FaultyLink<MemTransport>> = mesh
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| FaultyLink::new(t, model(ProcessId::new(i as u32))))
+            .collect();
+        let cluster = Self::spawn(faulty, config);
+        (cluster, Self::wrap_clients(n, client_eps))
+    }
+
+    /// An `n`-replica deployment over real UDP sockets on localhost, with
+    /// `clients` connected client sockets.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn udp(
+        n: usize,
+        clients: usize,
+        config: SvcConfig,
+    ) -> std::io::Result<(Self, Vec<SvcClient<UdpTransport>>)> {
+        let mut mesh = UdpTransport::localhost_mesh(n + clients)?;
+        let client_eps = mesh.split_off(n);
+        let cluster = Self::spawn(mesh, config);
+        Ok((cluster, Self::wrap_clients(n, client_eps)))
+    }
+
+    fn wrap_clients<T: Transport>(n: usize, endpoints: Vec<T>) -> Vec<SvcClient<T>> {
+        endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let id = ProcessId::new((n + i) as u32);
+                SvcClient::new(id, n, t, CLIENT_SEED ^ (i as u64 + 1))
+            })
+            .collect()
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The latest published snapshot of a replica.
+    pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
+        self.handles[pid.index()]
+            .snapshot
+            .lock()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The current leader output of a replica.
+    pub fn leader_of(&self, pid: ProcessId) -> ProcessId {
+        self.snapshot(pid).leader
+    }
+
+    /// Returns `Some(p)` when every non-crashed replica currently outputs
+    /// the same non-crashed leader `p`.
+    pub fn agreed_leader(&self) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for i in 0..self.n {
+            if self.handles[i].crashed.load(Ordering::SeqCst) {
+                continue;
+            }
+            let leader = self.leader_of(ProcessId::new(i as u32));
+            match agreed {
+                None => agreed = Some(leader),
+                Some(l) if l == leader => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.filter(|l| !self.handles[l.index()].crashed.load(Ordering::SeqCst))
+    }
+
+    /// Crash-stops a replica: it stops reacting to messages and timers.
+    pub fn crash(&self, pid: ProcessId) {
+        self.handles[pid.index()]
+            .crashed
+            .store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the replica was crashed via [`SvcCluster::crash`].
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.handles[pid.index()].crashed.load(Ordering::SeqCst)
+    }
+
+    /// Stops every replica and returns the final states (stores included)
+    /// in id order.
+    pub fn shutdown(mut self) -> Vec<SvcReplica> {
+        for handle in &self.handles {
+            handle.stop.store(true, Ordering::SeqCst);
+        }
+        self.threads
+            .drain(..)
+            .map(|t| t.join().expect("replica thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration as StdDuration;
+
+    #[test]
+    fn in_memory_service_applies_and_acks_puts() {
+        let (cluster, mut clients) = SvcCluster::in_memory(3, 1, SvcConfig::new(3, 1));
+        let client = &mut clients[0];
+        let deadline = StdDuration::from_secs(20);
+        let slot_a = client.put(b"a", b"1", deadline).expect("put a");
+        let slot_b = client.put(b"b", b"2", deadline).expect("put b");
+        assert!(slot_b > slot_a, "log slots grow: {slot_a} then {slot_b}");
+        client.delete(b"a", deadline).expect("del a");
+        let finals = cluster.shutdown();
+        // The shutdown drain flushes in-flight Decides, so every replica
+        // should have converged on the same state.
+        for r in &finals {
+            assert_eq!(r.store().get(b"b"), Some(b"2".as_slice()));
+            assert_eq!(r.store().get(b"a"), None);
+        }
+        let digests: Vec<u64> = finals.iter().map(|r| r.store().digest()).collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "replicas diverged: {digests:x?}"
+        );
+        assert_eq!(client.stats.acked, 3);
+    }
+
+    #[test]
+    fn udp_service_applies_a_put_end_to_end() {
+        let (cluster, mut clients) =
+            SvcCluster::udp(3, 1, SvcConfig::new(3, 1)).expect("bind sockets");
+        let slot = clients[0]
+            .put(b"k", b"v", StdDuration::from_secs(30))
+            .expect("put over UDP");
+        let finals = cluster.shutdown();
+        assert!(finals
+            .iter()
+            .any(|r| r.store().get(b"k") == Some(b"v".as_slice())));
+        assert!(finals[0].log().decision(slot).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn tiny_clusters_are_rejected() {
+        let _ = SvcCluster::in_memory(2, 0, SvcConfig::new(2, 0));
+    }
+}

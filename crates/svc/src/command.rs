@@ -1,0 +1,204 @@
+//! The key-value command encoding: what a log entry's [`Command`] bytes
+//! mean to the service.
+//!
+//! A [`KvWrite`] is a `(client, seq)` header plus a [`KvOp`]. The header is
+//! the exactly-once handle: replicas apply entries in log order and skip an
+//! entry whose `seq` is not greater than the client's last applied one, so
+//! a client retry that lands in the log twice mutates the store once. The
+//! encoding is the same hand-rolled style as the wire layer (LE ints,
+//! length-prefixed bytes) and the decoder is total — a command is untrusted
+//! input the moment it crosses a socket.
+
+use irs_consensus::{Command, MAX_COMMAND_LEN};
+
+const TAG_PUT: u8 = 0;
+const TAG_DEL: u8 = 1;
+/// Header (client u64 + seq u64) plus op tag.
+const HEADER_LEN: usize = 8 + 8 + 1;
+
+/// Longest key the service accepts.
+pub const MAX_KEY_LEN: usize = 128;
+/// Longest value the service accepts (bounded so a whole encoded write fits
+/// [`MAX_COMMAND_LEN`] with room to spare).
+pub const MAX_VALUE_LEN: usize = MAX_COMMAND_LEN - HEADER_LEN - MAX_KEY_LEN - 8;
+
+/// One key-value operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KvOp {
+    /// Bind `key` to `value`.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Del {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+impl KvOp {
+    /// The key the operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            KvOp::Put { key, .. } | KvOp::Del { key } => key,
+        }
+    }
+}
+
+/// A client write: the unit the replicated log orders and the store applies.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KvWrite {
+    /// The issuing client's id (its transport endpoint id).
+    pub client: u64,
+    /// The client's sequence number (strictly increasing per client).
+    pub seq: u64,
+    /// The operation.
+    pub op: KvOp,
+}
+
+impl KvWrite {
+    /// Encodes the write into a log [`Command`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key or value exceeds [`MAX_KEY_LEN`] /
+    /// [`MAX_VALUE_LEN`] — the client library checks at the API boundary.
+    pub fn encode(&self) -> Command {
+        let mut buf = Vec::with_capacity(HEADER_LEN + 8 + self.op.key().len());
+        buf.extend_from_slice(&self.client.to_le_bytes());
+        buf.extend_from_slice(&self.seq.to_le_bytes());
+        let put_bytes = |buf: &mut Vec<u8>, bytes: &[u8]| {
+            buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            buf.extend_from_slice(bytes);
+        };
+        match &self.op {
+            KvOp::Put { key, value } => {
+                assert!(key.len() <= MAX_KEY_LEN, "key too long");
+                assert!(value.len() <= MAX_VALUE_LEN, "value too long");
+                buf.push(TAG_PUT);
+                put_bytes(&mut buf, key);
+                put_bytes(&mut buf, value);
+            }
+            KvOp::Del { key } => {
+                assert!(key.len() <= MAX_KEY_LEN, "key too long");
+                buf.push(TAG_DEL);
+                put_bytes(&mut buf, key);
+            }
+        }
+        Command::new(buf)
+    }
+
+    /// Decodes a log command back into a write. Returns `None` on any
+    /// malformed input (never panics).
+    pub fn decode(cmd: &Command) -> Option<KvWrite> {
+        let bytes = cmd.bytes();
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let slice = bytes.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(slice)
+        };
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let len_bytes = |pos: &mut usize, cap: usize| -> Option<Vec<u8>> {
+            let len = u32::from_le_bytes(take(pos, 4)?.try_into().ok()?) as usize;
+            if len > cap {
+                return None;
+            }
+            Some(take(pos, len)?.to_vec())
+        };
+        let client = u64_at(&mut pos)?;
+        let seq = u64_at(&mut pos)?;
+        let tag = *take(&mut pos, 1)?.first()?;
+        let op = match tag {
+            TAG_PUT => KvOp::Put {
+                key: len_bytes(&mut pos, MAX_KEY_LEN)?,
+                value: len_bytes(&mut pos, MAX_VALUE_LEN)?,
+            },
+            TAG_DEL => KvOp::Del {
+                key: len_bytes(&mut pos, MAX_KEY_LEN)?,
+            },
+            _ => return None,
+        };
+        if pos != bytes.len() {
+            return None; // trailing bytes: not one of ours
+        }
+        Some(KvWrite { client, seq, op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn writes_roundtrip() {
+        let put = KvWrite {
+            client: 9,
+            seq: 4,
+            op: KvOp::Put {
+                key: b"k1".to_vec(),
+                value: vec![0, 1, 2, 255],
+            },
+        };
+        assert_eq!(KvWrite::decode(&put.encode()), Some(put.clone()));
+        let del = KvWrite {
+            client: 1,
+            seq: u64::MAX,
+            op: KvOp::Del { key: vec![] },
+        };
+        assert_eq!(KvWrite::decode(&del.encode()), Some(del));
+        assert_eq!(put.op.key(), b"k1");
+    }
+
+    #[test]
+    fn garbage_commands_decode_to_none() {
+        assert_eq!(KvWrite::decode(&Command::default()), None);
+        assert_eq!(KvWrite::decode(&Command::new(vec![1u8; 10])), None);
+        // A valid write with trailing junk is rejected.
+        let w = KvWrite {
+            client: 0,
+            seq: 0,
+            op: KvOp::Del { key: b"k".to_vec() },
+        };
+        let mut bytes = w.encode().bytes().to_vec();
+        bytes.push(0);
+        assert_eq!(KvWrite::decode(&Command::new(bytes)), None);
+        // An impossible embedded length is rejected.
+        let mut bad = w.encode().bytes().to_vec();
+        let key_len_at = 8 + 8 + 1;
+        bad[key_len_at..key_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(KvWrite::decode(&Command::new(bad)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn random_writes_roundtrip(
+            client in 0u64..1_000,
+            seq in 0u64..1_000_000,
+            key in proptest::collection::vec(0u8..255, 0..64),
+            value in proptest::collection::vec(0u8..255, 0..128),
+            del in 0u8..2,
+        ) {
+            let op = if del == 1 {
+                KvOp::Del { key: key.clone() }
+            } else {
+                KvOp::Put { key: key.clone(), value: value.clone() }
+            };
+            let w = KvWrite { client, seq, op };
+            prop_assert_eq!(KvWrite::decode(&w.encode()), Some(w));
+        }
+
+        #[test]
+        fn random_bytes_never_panic_the_decoder(
+            bytes in proptest::collection::vec(0u8..255, 0..80),
+        ) {
+            let _ = KvWrite::decode(&Command::new(bytes));
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The load-generator harness: closed-loop and open-loop clients with
+//! log2-bucket latency histograms, plus the replica-consistency checker the
+//! E12 experiments and the crash tests share.
+//!
+//! * [`closed_loop`] — every client keeps exactly one request outstanding
+//!   (classic saturation load: ops/s is limited by latency × clients).
+//! * [`open_loop`] — one client fires at a fixed interval regardless of
+//!   acks (arrival-rate load: latency reflects queueing, unacked requests
+//!   at the end count as failures).
+//!
+//! Latencies are recorded in microseconds into [`irs_sim::Histogram`]
+//! (log2 buckets, so p50/p99 reads are factor-of-two accurate at O(1)
+//! memory per client).
+
+use crate::client::{ClientError, ReplyOutcome, SvcClient};
+use crate::command::{KvOp, KvWrite};
+use crate::replica::SvcReplica;
+use irs_net::Transport;
+use irs_sim::Histogram;
+use irs_types::Protocol;
+use std::collections::BTreeMap;
+use std::time::{Duration as StdDuration, Instant};
+
+/// What one load run produced.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Acknowledged operations.
+    pub ops: u64,
+    /// Operations that exhausted their deadline (closed loop) or were never
+    /// acked (open loop).
+    pub failures: u64,
+    /// Redirects followed across all clients.
+    pub redirects: u64,
+    /// Timed-out attempts that were retried.
+    pub retries: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: StdDuration,
+    /// Ack latencies in microseconds.
+    pub latency: Histogram,
+}
+
+impl LoadReport {
+    /// Acknowledged operations per second of wall clock.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.ops as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// One acknowledged write, as the issuing client saw it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckedWrite {
+    /// The client's sequence number.
+    pub seq: u64,
+    /// The key written.
+    pub key: Vec<u8>,
+    /// The log slot the ack named.
+    pub slot: u64,
+}
+
+/// Everything one client got acknowledged during a run.
+#[derive(Clone, Debug, Default)]
+pub struct ClientAcks {
+    /// The logical client id.
+    pub client: u64,
+    /// Acked writes in issue order.
+    pub acked: Vec<AckedWrite>,
+}
+
+/// Tuning of a closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoopOptions {
+    /// Wall-clock length of the run.
+    pub duration: StdDuration,
+    /// Per-operation deadline (retries included).
+    pub op_deadline: StdDuration,
+    /// Keys each client cycles through (its own key space).
+    pub keys_per_client: u64,
+    /// Value payload length in bytes (the first 8 carry the seq).
+    pub value_len: usize,
+}
+
+impl Default for ClosedLoopOptions {
+    fn default() -> Self {
+        ClosedLoopOptions {
+            duration: StdDuration::from_secs(2),
+            op_deadline: StdDuration::from_secs(3),
+            keys_per_client: 8,
+            value_len: 16,
+        }
+    }
+}
+
+/// The key client `client` uses for its `k`-th slot of the key space.
+pub fn key_for(client: u64, k: u64) -> Vec<u8> {
+    format!("c{client}-k{k}").into_bytes()
+}
+
+/// The value carrying `seq` (LE in the first 8 bytes, zero padded).
+pub fn value_for(seq: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len.max(8)];
+    v[..8].copy_from_slice(&seq.to_le_bytes());
+    v
+}
+
+/// The seq a value carries (written by [`value_for`]).
+pub fn seq_of_value(value: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(value.get(..8)?.try_into().ok()?))
+}
+
+/// Runs every client closed-loop (one outstanding request each) for the
+/// configured duration, one OS thread per client. Returns the merged
+/// report and each client's acked writes.
+pub fn closed_loop<T: Transport>(
+    clients: &mut [SvcClient<T>],
+    opts: ClosedLoopOptions,
+) -> (LoadReport, Vec<ClientAcks>) {
+    let started = Instant::now();
+    let per_client: Vec<(Histogram, ClientAcks, u64, crate::ClientStats)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = clients
+                .iter_mut()
+                .map(|client| {
+                    scope.spawn(move || {
+                        let stats_before = client.stats;
+                        let mut hist = Histogram::new();
+                        let mut acks = ClientAcks {
+                            client: client.client_id(),
+                            acked: Vec::new(),
+                        };
+                        let mut failures = 0u64;
+                        let deadline = Instant::now() + opts.duration;
+                        let mut k = 0u64;
+                        while Instant::now() < deadline {
+                            let key = key_for(acks.client, k % opts.keys_per_client);
+                            k += 1;
+                            let seq = client.next_seq();
+                            let value = value_for(seq, opts.value_len);
+                            let op_started = Instant::now();
+                            match client.put(&key, &value, opts.op_deadline) {
+                                Ok(slot) => {
+                                    hist.record(op_started.elapsed().as_micros() as u64);
+                                    acks.acked.push(AckedWrite { seq, key, slot });
+                                }
+                                Err(ClientError::Closed) => break,
+                                Err(ClientError::TimedOut) => failures += 1,
+                            }
+                        }
+                        let stats = client.stats;
+                        (
+                            hist,
+                            acks,
+                            failures,
+                            crate::ClientStats {
+                                acked: stats.acked - stats_before.acked,
+                                redirects: stats.redirects - stats_before.redirects,
+                                retries: stats.retries - stats_before.retries,
+                                failures: stats.failures - stats_before.failures,
+                            },
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        });
+    let mut report = LoadReport {
+        elapsed: started.elapsed(),
+        ..LoadReport::default()
+    };
+    let mut acked = Vec::new();
+    for (hist, acks, failures, stats) in per_client {
+        report.ops += acks.acked.len() as u64;
+        report.failures += failures;
+        report.redirects += stats.redirects;
+        report.retries += stats.retries;
+        report.latency.merge(&hist);
+        acked.push(acks);
+    }
+    (report, acked)
+}
+
+/// Tuning of an open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopOptions {
+    /// Wall-clock length of the sending phase.
+    pub duration: StdDuration,
+    /// Interval between fires (1 / target rate).
+    pub interval: StdDuration,
+    /// Keys the client cycles through.
+    pub keys: u64,
+    /// Value payload length in bytes.
+    pub value_len: usize,
+    /// Extra window after the last fire to collect stragglers.
+    pub drain: StdDuration,
+}
+
+impl Default for OpenLoopOptions {
+    fn default() -> Self {
+        OpenLoopOptions {
+            duration: StdDuration::from_secs(2),
+            interval: StdDuration::from_millis(5),
+            keys: 8,
+            value_len: 16,
+            drain: StdDuration::from_secs(2),
+        }
+    }
+}
+
+/// Runs one client open-loop: writes are fired on a fixed interval whether
+/// or not earlier ones were acked; redirects resend in place. Anything
+/// still unacked after the drain window counts as a failure.
+pub fn open_loop<T: Transport>(client: &mut SvcClient<T>, opts: OpenLoopOptions) -> LoadReport {
+    let started = Instant::now();
+    let stats_before = client.stats;
+    let send_deadline = started + opts.duration;
+    let mut next_fire = started;
+    let mut pending: BTreeMap<u64, (Instant, KvWrite)> = BTreeMap::new();
+    let mut report = LoadReport::default();
+    let mut k = 0u64;
+    let client_id = client.client_id();
+
+    loop {
+        let now = Instant::now();
+        if now >= send_deadline {
+            break;
+        }
+        if now >= next_fire {
+            let seq = client.alloc_seq();
+            let w = KvWrite {
+                client: client_id,
+                seq,
+                op: KvOp::Put {
+                    key: key_for(client_id, k % opts.keys),
+                    value: value_for(seq, opts.value_len),
+                },
+            };
+            k += 1;
+            if client.send_write(&w).is_err() {
+                break;
+            }
+            pending.insert(seq, (Instant::now(), w));
+            next_fire += opts.interval;
+            continue;
+        }
+        let wait = next_fire.min(send_deadline).saturating_duration_since(now);
+        match client.poll_event(wait) {
+            Ok(Some((seq, ReplyOutcome::Applied { .. }))) => {
+                if let Some((fired_at, _)) = pending.remove(&seq) {
+                    report.ops += 1;
+                    report.latency.record(fired_at.elapsed().as_micros() as u64);
+                }
+            }
+            Ok(Some((seq, ReplyOutcome::Redirected))) => {
+                if let Some((_, w)) = pending.get(&seq).cloned() {
+                    let _ = client.send_write(&w);
+                }
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+
+    // Straggler window: collect what is still in flight.
+    let drain_deadline = Instant::now() + opts.drain;
+    while !pending.is_empty() && Instant::now() < drain_deadline {
+        let wait = drain_deadline.saturating_duration_since(Instant::now());
+        match client.poll_event(wait.min(StdDuration::from_millis(50))) {
+            Ok(Some((seq, ReplyOutcome::Applied { .. }))) => {
+                if let Some((fired_at, _)) = pending.remove(&seq) {
+                    report.ops += 1;
+                    report.latency.record(fired_at.elapsed().as_micros() as u64);
+                }
+            }
+            Ok(Some((seq, ReplyOutcome::Redirected))) => {
+                if let Some((_, w)) = pending.get(&seq).cloned() {
+                    let _ = client.send_write(&w);
+                }
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+    }
+    report.failures = pending.len() as u64;
+    report.redirects = client.stats.redirects - stats_before.redirects;
+    report.retries = client.stats.retries - stats_before.retries;
+    report.elapsed = started.elapsed();
+    report
+}
+
+/// Drives `clients` closed-loop while a side thread crash-stops whichever
+/// replica leads `crash_after` into the run (falling back to `p1` when no
+/// agreement is visible yet). Returns the merged report, the acked writes,
+/// and the crashed replica — the shared harness behind the E12
+/// leader-crash row and the `crash_consistency` acceptance test.
+pub fn closed_loop_with_leader_crash<T: Transport>(
+    cluster: &crate::SvcCluster,
+    clients: &mut [SvcClient<T>],
+    opts: ClosedLoopOptions,
+    crash_after: StdDuration,
+) -> (LoadReport, Vec<ClientAcks>, irs_types::ProcessId) {
+    std::thread::scope(|scope| {
+        let crasher = scope.spawn(move || {
+            std::thread::sleep(crash_after);
+            let victim = cluster
+                .agreed_leader()
+                .unwrap_or(irs_types::ProcessId::new(0));
+            cluster.crash(victim);
+            victim
+        });
+        let (report, acked) = closed_loop(clients, opts);
+        (report, acked, crasher.join().expect("crasher thread"))
+    })
+}
+
+/// Polls the survivors' snapshots until their `kv_digest` and `applied`
+/// gauges all agree (the catch-up protocol has converged them) or `limit`
+/// expires; returns whether they converged. Call after the load stops and
+/// before freezing the cluster for a consistency check.
+pub fn await_survivor_convergence(
+    cluster: &crate::SvcCluster,
+    crashed: irs_types::ProcessId,
+    limit: StdDuration,
+) -> bool {
+    let deadline = Instant::now() + limit;
+    loop {
+        let snaps: Vec<_> = (0..cluster.n() as u32)
+            .map(irs_types::ProcessId::new)
+            .filter(|&p| p != crashed)
+            .map(|p| cluster.snapshot(p))
+            .collect();
+        let converged = snaps.windows(2).all(|w| {
+            w[0].gauge("kv_digest") == w[1].gauge("kv_digest")
+                && w[0].gauge("applied") == w[1].gauge("applied")
+        });
+        if converged {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(StdDuration::from_millis(25));
+    }
+}
+
+/// Checks that the given (surviving) replicas hold identical applied state
+/// and that no acked write was lost or reordered:
+///
+/// 1. every replica's store digest and full map equal the first's;
+/// 2. per client, applied sequence numbers are monotone by construction
+///    (the store skips non-increasing seqs) and the last applied seq is at
+///    least the largest acked one — an acked write can never disappear;
+/// 3. for every key a client got acks on, the surviving value carries a
+///    seq no older than the newest acked write of that key.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_consistency(replicas: &[&SvcReplica], acked: &[ClientAcks]) -> Result<(), String> {
+    let Some(first) = replicas.first() else {
+        return Err("no surviving replicas to compare".into());
+    };
+    for r in &replicas[1..] {
+        if r.store().digest() != first.store().digest() || r.store().map() != first.store().map() {
+            return Err(format!(
+                "replica {} diverged from replica {}: digests {:#x} vs {:#x}",
+                r.id(),
+                first.id(),
+                r.store().digest(),
+                first.store().digest()
+            ));
+        }
+    }
+    for client in acked {
+        let Some(last) = client.acked.iter().map(|a| a.seq).max() else {
+            continue;
+        };
+        match first.store().last_applied(client.client) {
+            None => {
+                return Err(format!(
+                    "client {} had acks but no applied writes survive",
+                    client.client
+                ))
+            }
+            Some((applied_seq, _)) if applied_seq < last => {
+                return Err(format!(
+                    "client {}: acked seq {last} but replicas applied only up to {applied_seq}",
+                    client.client
+                ))
+            }
+            Some(_) => {}
+        }
+        // Per key: the surviving value is at least as new as the newest ack.
+        let mut newest_per_key: BTreeMap<&[u8], u64> = BTreeMap::new();
+        for a in &client.acked {
+            let e = newest_per_key.entry(a.key.as_slice()).or_insert(a.seq);
+            *e = (*e).max(a.seq);
+        }
+        for (key, newest) in newest_per_key {
+            let Some(value) = first.store().get(key) else {
+                return Err(format!(
+                    "client {}: acked key {:?} missing from surviving state",
+                    client.client, key
+                ));
+            };
+            match seq_of_value(value) {
+                Some(seq) if seq >= newest => {}
+                other => {
+                    return Err(format!(
+                        "client {}: key {:?} holds {:?}, older than acked seq {newest}",
+                        client.client, key, other
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}

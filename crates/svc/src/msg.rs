@@ -1,0 +1,190 @@
+//! The service's wire messages: replica-to-replica log traffic plus the
+//! client request/reply protocol, all in one [`Wire`]-encodable enum so a
+//! single transport endpoint carries both planes.
+//!
+//! Tags live in the `0x20..` range — disjoint from the Ω (`0x00..`) and
+//! consensus (`0x10..`/`0x18..`) ranges, so cross-kind frames die in the
+//! decoder as link noise (see `irs_net::wire_consensus`).
+
+use irs_consensus::{Command, LogMsg};
+use irs_net::wire::{put_u32, put_u64, Wire, WireError, WireReader};
+use irs_omega::OmegaMsg;
+use irs_types::ProcessId;
+
+/// The log-message type replicas exchange: `Command`-valued slots over the
+/// Figure 3 oracle.
+pub type ReplicaLogMsg = LogMsg<OmegaMsg, Command>;
+
+const TAG_SVC_LOG: u8 = 0x20;
+const TAG_SVC_REQUEST: u8 = 0x21;
+const TAG_SVC_REPLY_APPLIED: u8 = 0x22;
+const TAG_SVC_REPLY_REDIRECT: u8 = 0x23;
+
+/// A reply from a replica to a client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SvcReply {
+    /// The write is decided and applied at the answering replica.
+    Applied {
+        /// The client the write belongs to.
+        client: u64,
+        /// The client's sequence number.
+        seq: u64,
+        /// The log slot the write was decided in.
+        slot: u64,
+    },
+    /// The answering replica is not the leader; try `leader`.
+    Redirect {
+        /// The client the request belonged to.
+        client: u64,
+        /// The client's sequence number.
+        seq: u64,
+        /// The replica's current Ω leader output.
+        leader: ProcessId,
+    },
+}
+
+/// One frame payload of the service plane.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SvcMsg {
+    /// Replica-to-replica traffic of the replicated log (oracle gossip,
+    /// ballots, forwards, catch-up).
+    Log(ReplicaLogMsg),
+    /// A client's write request (an encoded [`crate::KvWrite`]).
+    Request {
+        /// The encoded command.
+        cmd: Command,
+    },
+    /// A replica's reply to a client.
+    Reply(SvcReply),
+}
+
+impl Wire for SvcMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            SvcMsg::Log(m) => {
+                buf.push(TAG_SVC_LOG);
+                m.encode(buf);
+            }
+            SvcMsg::Request { cmd } => {
+                buf.push(TAG_SVC_REQUEST);
+                cmd.encode(buf);
+            }
+            SvcMsg::Reply(SvcReply::Applied { client, seq, slot }) => {
+                buf.push(TAG_SVC_REPLY_APPLIED);
+                put_u64(buf, *client);
+                put_u64(buf, *seq);
+                put_u64(buf, *slot);
+            }
+            SvcMsg::Reply(SvcReply::Redirect {
+                client,
+                seq,
+                leader,
+            }) => {
+                buf.push(TAG_SVC_REPLY_REDIRECT);
+                put_u64(buf, *client);
+                put_u64(buf, *seq);
+                put_u32(buf, leader.as_u32());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_SVC_LOG => Ok(SvcMsg::Log(ReplicaLogMsg::decode(r)?)),
+            TAG_SVC_REQUEST => Ok(SvcMsg::Request {
+                cmd: Command::decode(r)?,
+            }),
+            TAG_SVC_REPLY_APPLIED => Ok(SvcMsg::Reply(SvcReply::Applied {
+                client: r.u64()?,
+                seq: r.u64()?,
+                slot: r.u64()?,
+            })),
+            TAG_SVC_REPLY_REDIRECT => Ok(SvcMsg::Reply(SvcReply::Redirect {
+                client: r.u64()?,
+                seq: r.u64()?,
+                leader: ProcessId::new(r.u32()?),
+            })),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    fn valid_for(&self, n: usize) -> bool {
+        match self {
+            SvcMsg::Log(m) => m.valid_for(n),
+            // A request's command is validated (parsed) by the replica; a
+            // redirect must name a replica of this deployment.
+            SvcMsg::Request { .. } => true,
+            SvcMsg::Reply(SvcReply::Redirect { leader, .. }) => leader.index() < n,
+            SvcMsg::Reply(SvcReply::Applied { .. }) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{KvOp, KvWrite};
+    use irs_net::wire::decode_payload;
+
+    fn roundtrip(msg: &SvcMsg) -> SvcMsg {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        decode_payload(&buf).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let cmd = KvWrite {
+            client: 8,
+            seq: 3,
+            op: KvOp::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+        }
+        .encode();
+        for msg in [
+            SvcMsg::Log(LogMsg::Catchup { from: 7 }),
+            SvcMsg::Log(LogMsg::Forward { v: cmd.clone() }),
+            SvcMsg::Request { cmd },
+            SvcMsg::Reply(SvcReply::Applied {
+                client: 8,
+                seq: 3,
+                slot: 11,
+            }),
+            SvcMsg::Reply(SvcReply::Redirect {
+                client: 8,
+                seq: 3,
+                leader: ProcessId::new(2),
+            }),
+        ] {
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn cross_kind_frames_are_rejected() {
+        let mut omega = Vec::new();
+        OmegaMsg::Alive {
+            rn: irs_types::RoundNum::new(1),
+            susp: irs_omega::SuspVector::new(4),
+        }
+        .encode(&mut omega);
+        assert!(decode_payload::<SvcMsg>(&omega).is_err());
+        let mut svc = Vec::new();
+        SvcMsg::Log(LogMsg::Catchup { from: 0 }).encode(&mut svc);
+        assert!(decode_payload::<OmegaMsg>(&svc).is_err());
+        assert!(decode_payload::<ReplicaLogMsg>(&svc).is_err());
+    }
+
+    #[test]
+    fn valid_for_checks_embedded_ids() {
+        let redirect = SvcMsg::Reply(SvcReply::Redirect {
+            client: 1,
+            seq: 1,
+            leader: ProcessId::new(7),
+        });
+        assert!(redirect.valid_for(8));
+        assert!(!redirect.valid_for(4));
+    }
+}

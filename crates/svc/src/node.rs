@@ -1,0 +1,146 @@
+//! Driving one [`SvcReplica`] over a [`Transport`] endpoint.
+//!
+//! [`run_svc_node`] is [`irs_runtime::run_node`] with a different
+//! frame-acceptance policy: the default policy drops frames from senders
+//! outside the replica group as link noise, but a service must accept
+//! *client* frames from endpoints beyond `n`. The policy here admits
+//! log traffic from replicas only, requests from any known endpoint, and
+//! drops replies (a reply arriving at a replica is stray traffic) — applied
+//! identically in the live loop and the shutdown drain.
+
+use crate::msg::SvcMsg;
+use crate::replica::SvcReplica;
+use irs_net::{wire::decode_payload, Frame, Transport, Wire};
+use irs_runtime::{run_node_with, NodeConfig, NodeHandle};
+use irs_types::{ProcessId, Protocol};
+use std::time::Duration as StdDuration;
+
+/// Deployment shape of one service node.
+#[derive(Clone, Copy, Debug)]
+pub struct SvcConfig {
+    /// Number of replicas (the consensus group; broadcast fan-out).
+    pub n: usize,
+    /// Total transport endpoints: replicas plus client endpoints. Frames
+    /// from senders at or beyond this have no reply route and are dropped.
+    pub peers: usize,
+    /// The wall-clock length of one logical tick.
+    pub tick: StdDuration,
+}
+
+impl SvcConfig {
+    /// `n` replicas plus `clients` client endpoints, 100 µs tick.
+    pub fn new(n: usize, clients: usize) -> Self {
+        SvcConfig {
+            n,
+            peers: n + clients,
+            tick: StdDuration::from_micros(100),
+        }
+    }
+
+    /// Sets the tick length.
+    #[must_use]
+    pub fn with_tick(mut self, tick: StdDuration) -> Self {
+        self.tick = tick.max(StdDuration::from_nanos(1));
+        self
+    }
+}
+
+/// The service's frame-acceptance policy (see module docs). Public so the
+/// process-per-node deployments (`examples/kv_cluster.rs`) share the exact
+/// policy with [`run_svc_node`].
+pub fn accept_svc_frame(frame: &Frame, me: ProcessId, n: usize, peers: usize) -> Option<SvcMsg> {
+    if frame.to != me {
+        return None;
+    }
+    let msg = decode_payload::<SvcMsg>(&frame.payload).ok()?;
+    if !msg.valid_for(n) {
+        return None;
+    }
+    match msg {
+        // The consensus plane is replicas-only.
+        SvcMsg::Log(_) => (frame.from.index() < n).then_some(msg),
+        // Requests may come from any endpoint we can route a reply to.
+        SvcMsg::Request { .. } => (frame.from.index() < peers).then_some(msg),
+        // Replies belong on the client side of the link.
+        SvcMsg::Reply(_) => None,
+    }
+}
+
+/// Drives `replica` over `transport` until [`NodeHandle::stop`] is set,
+/// then returns the final replica state (its store included). Semantics
+/// match [`irs_runtime::run_node`]: wall-clock timers, crash flag, and the
+/// quiet-window shutdown drain.
+pub fn run_svc_node<T: Transport>(
+    replica: SvcReplica,
+    transport: T,
+    config: SvcConfig,
+    handle: NodeHandle,
+) -> SvcReplica {
+    let me = replica.id();
+    let (n, peers) = (config.n, config.peers);
+    run_node_with(
+        replica,
+        transport,
+        NodeConfig::new(n).with_tick(config.tick),
+        handle,
+        move |frame| accept_svc_frame(frame, me, n, peers),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{KvOp, KvWrite};
+    use crate::msg::SvcReply;
+    use irs_net::wire::encode_frame;
+    use irs_net::Wire;
+    use std::sync::Arc;
+
+    fn frame(from: u32, to: u32, msg: &SvcMsg) -> Frame {
+        let mut payload = Vec::new();
+        msg.encode(&mut payload);
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            ProcessId::new(from),
+            ProcessId::new(to),
+            &payload,
+        );
+        let (f, t, p) = irs_net::wire::decode_frame(&bytes).unwrap();
+        Frame {
+            from: f,
+            to: t,
+            payload: Arc::from(p),
+        }
+    }
+
+    #[test]
+    fn policy_admits_clients_but_not_stray_planes() {
+        let me = ProcessId::new(0);
+        let (n, peers) = (5, 8);
+        let request = SvcMsg::Request {
+            cmd: KvWrite {
+                client: 6,
+                seq: 1,
+                op: KvOp::Del { key: b"k".to_vec() },
+            }
+            .encode(),
+        };
+        let log = SvcMsg::Log(irs_consensus::LogMsg::Catchup { from: 0 });
+        let reply = SvcMsg::Reply(SvcReply::Applied {
+            client: 6,
+            seq: 1,
+            slot: 0,
+        });
+        // A client (endpoint 6) may send requests but not log traffic.
+        assert!(accept_svc_frame(&frame(6, 0, &request), me, n, peers).is_some());
+        assert!(accept_svc_frame(&frame(6, 0, &log), me, n, peers).is_none());
+        // A replica may send log traffic.
+        assert!(accept_svc_frame(&frame(2, 0, &log), me, n, peers).is_some());
+        // Senders beyond the peer table have no reply route.
+        assert!(accept_svc_frame(&frame(9, 0, &request), me, n, peers).is_none());
+        // Replies never enter a replica; misrouted frames die too.
+        assert!(accept_svc_frame(&frame(2, 0, &reply), me, n, peers).is_none());
+        assert!(accept_svc_frame(&frame(2, 3, &log), me, n, peers).is_none());
+    }
+}

@@ -1,0 +1,467 @@
+//! One service replica: the replicated log plus the KV apply loop plus the
+//! client request handling, as a single sans-IO [`Protocol`].
+
+use crate::command::KvWrite;
+use crate::msg::{ReplicaLogMsg, SvcMsg, SvcReply};
+use crate::store::KvStore;
+use irs_consensus::{Command, ReplicatedLog};
+use irs_omega::OmegaProcess;
+use irs_types::{
+    Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, Snapshot, SystemConfig,
+    TimerId,
+};
+use std::collections::BTreeMap;
+
+/// One replica of the key-value service.
+///
+/// Wraps a [`ReplicatedLog`] with `Command`-valued entries, applies its
+/// decided prefix to a [`KvStore`], and speaks the client protocol:
+/// requests are sequenced by the leader, acknowledged once applied, and
+/// redirected when this replica does not consider itself the leader.
+#[derive(Debug)]
+pub struct SvcReplica {
+    log: ReplicatedLog<OmegaProcess, Command>,
+    store: KvStore,
+    /// The next log slot to apply (everything below is in the store).
+    cursor: u64,
+    /// Clients awaiting an ack, by `(client, seq)` → their endpoint id.
+    awaiting: BTreeMap<(u64, u64), ProcessId>,
+    requests: u64,
+    redirects: u64,
+}
+
+impl SvcReplica {
+    /// Builds a replica over the paper's Figure 3 Ω algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not have a correct majority (`t ≥ n/2`).
+    pub fn new(id: ProcessId, system: SystemConfig) -> Self {
+        SvcReplica {
+            log: ReplicatedLog::over_omega(id, system),
+            store: KvStore::new(),
+            cursor: 0,
+            awaiting: BTreeMap::new(),
+            requests: 0,
+            redirects: 0,
+        }
+    }
+
+    /// The applied key-value state.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+
+    /// The underlying replicated log.
+    pub fn log(&self) -> &ReplicatedLog<OmegaProcess, Command> {
+        &self.log
+    }
+
+    /// Client requests received.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests answered with a redirect.
+    pub fn redirects(&self) -> u64 {
+        self.redirects
+    }
+
+    /// Lifts the inner log's actions into the service message plane.
+    fn lift(&self, inner: Actions<ReplicaLogMsg>, out: &mut Actions<SvcMsg>) {
+        let (sends, timers, cancels) = inner.into_parts();
+        for send in sends {
+            match send.dest {
+                Destination::To(q) => out.send(q, SvcMsg::Log(send.msg)),
+                Destination::AllOthers => out.broadcast_others(SvcMsg::Log(send.msg)),
+                Destination::All => out.broadcast_all(SvcMsg::Log(send.msg)),
+            }
+        }
+        for t in timers {
+            out.set_timer(t.id, t.after);
+        }
+        for c in cancels {
+            out.cancel_timer(c);
+        }
+    }
+
+    fn on_request(&mut self, from: ProcessId, cmd: &Command, out: &mut Actions<SvcMsg>) {
+        self.requests += 1;
+        // A command that does not parse as a KvWrite can never be applied;
+        // drop it at the door (the codec's equivalent of link noise).
+        let Some(w) = KvWrite::decode(cmd) else {
+            return;
+        };
+        // `Applied` must mean "this write's effect is in the store". The
+        // session filter applies per-client seqs in increasing order, so
+        // only a retry of the *latest* applied write can be re-acked; a
+        // request below that seq was (or will be) rejected as stale — drop
+        // it silently and let the client's deadline surface the failure
+        // instead of lying about success.
+        if let Some((seq, slot)) = self.store.last_applied(w.client) {
+            if w.seq == seq {
+                out.send(
+                    from,
+                    SvcMsg::Reply(SvcReply::Applied {
+                        client: w.client,
+                        seq: w.seq,
+                        slot,
+                    }),
+                );
+                return;
+            }
+            if w.seq < seq {
+                return;
+            }
+        }
+        let me = self.log.id();
+        let leader = self.log.leader();
+        if leader != me {
+            self.redirects += 1;
+            out.send(
+                from,
+                SvcMsg::Reply(SvcReply::Redirect {
+                    client: w.client,
+                    seq: w.seq,
+                    leader,
+                }),
+            );
+            return;
+        }
+        // We lead: remember who to ack, sequence the command (once), and
+        // drive the frontier slot immediately — ack latency should be
+        // bounded by round trips, not by the periodic log check.
+        self.awaiting.insert((w.client, w.seq), from);
+        if !self.log.is_decided_value(cmd) && !self.log.contains_pending(cmd) {
+            self.log.submit(cmd.clone());
+        }
+        let mut inner = Actions::new();
+        self.log.drive(&mut inner);
+        self.lift(inner, out);
+    }
+
+    /// Applies every newly decided contiguous slot and acks the clients
+    /// whose writes became durable. If more commands are queued, the next
+    /// slot is driven immediately (pipelining across the check period).
+    fn apply_ready(&mut self, out: &mut Actions<SvcMsg>) {
+        let cursor_before = self.cursor;
+        while let Some(cmd) = self.log.decision(self.cursor).cloned() {
+            let slot = self.cursor;
+            self.cursor += 1;
+            let Some(w) = KvWrite::decode(&cmd) else {
+                continue; // an unparseable command is a no-op slot
+            };
+            let fresh = self.store.apply(slot, &w);
+            match self.awaiting.remove(&(w.client, w.seq)) {
+                // Ack only writes whose effect actually landed. A decided
+                // entry the session filter skipped (a stale seq overtaken
+                // by a pipelined later write, or a retry's second copy) was
+                // rejected — staying silent lets the client's deadline
+                // report it honestly instead of acking a lost write.
+                Some(client_ep) if fresh => {
+                    out.send(
+                        client_ep,
+                        SvcMsg::Reply(SvcReply::Applied {
+                            client: w.client,
+                            seq: w.seq,
+                            slot,
+                        }),
+                    );
+                }
+                _ => {}
+            }
+        }
+        if self.cursor > cursor_before {
+            let mut inner = Actions::new();
+            self.log.drive(&mut inner);
+            self.lift(inner, out);
+        }
+    }
+}
+
+impl Protocol for SvcReplica {
+    type Msg = SvcMsg;
+
+    fn id(&self) -> ProcessId {
+        self.log.id()
+    }
+
+    fn on_start(&mut self, out: &mut Actions<Self::Msg>) {
+        let mut inner = Actions::new();
+        self.log.on_start(&mut inner);
+        self.lift(inner, out);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Actions<Self::Msg>) {
+        match msg {
+            SvcMsg::Log(m) => {
+                let mut inner = Actions::new();
+                self.log.on_message(from, m, &mut inner);
+                self.lift(inner, out);
+            }
+            SvcMsg::Request { cmd } => self.on_request(from, cmd, out),
+            // Replies are client-plane messages; at a replica they are
+            // stray traffic.
+            SvcMsg::Reply(_) => {}
+        }
+        self.apply_ready(out);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Self::Msg>) {
+        let mut inner = Actions::new();
+        self.log.on_timer(timer, &mut inner);
+        self.lift(inner, out);
+        self.apply_ready(out);
+    }
+}
+
+impl LeaderOracle for SvcReplica {
+    fn leader(&self) -> ProcessId {
+        self.log.leader()
+    }
+}
+
+impl Introspect for SvcReplica {
+    fn snapshot(&self) -> Snapshot {
+        let mut snap = self.log.snapshot();
+        snap.extra.push(("applied", self.store.applied()));
+        snap.extra.push(("kv_entries", self.store.len() as u64));
+        snap.extra.push(("kv_digest", self.store.digest()));
+        snap.extra.push(("dup_skips", self.store.dup_skips()));
+        snap.extra.push(("awaiting", self.awaiting.len() as u64));
+        snap.extra.push(("requests", self.requests));
+        snap.extra.push(("redirects", self.redirects));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::KvOp;
+    use irs_consensus::LogMsg;
+
+    fn system() -> SystemConfig {
+        SystemConfig::new(5, 2).unwrap()
+    }
+
+    fn write(client: u64, seq: u64) -> KvWrite {
+        KvWrite {
+            client,
+            seq,
+            op: KvOp::Put {
+                key: format!("k{client}").into_bytes(),
+                value: seq.to_le_bytes().to_vec(),
+            },
+        }
+    }
+
+    /// Routes service messages among replicas until quiescence (timers are
+    /// not modelled; the caller fires them explicitly). Sends addressed to
+    /// endpoints outside the replica group — client acks — are returned.
+    fn route(
+        replicas: &mut [SvcReplica],
+        mut pending: Vec<(ProcessId, Actions<SvcMsg>)>,
+    ) -> Vec<(ProcessId, SvcMsg)> {
+        let n = replicas.len();
+        let mut to_clients = Vec::new();
+        while let Some((from, actions)) = pending.pop() {
+            let (sends, _, _) = actions.into_parts();
+            for send in sends {
+                let targets: Vec<usize> = match send.dest {
+                    Destination::To(q) if q.index() < n => vec![q.index()],
+                    Destination::To(q) => {
+                        to_clients.push((q, send.msg));
+                        continue;
+                    }
+                    Destination::AllOthers => (0..n).filter(|i| *i != from.index()).collect(),
+                    Destination::All => (0..n).collect(),
+                };
+                for t in targets {
+                    let mut out = Actions::new();
+                    replicas[t].on_message(from, &send.msg, &mut out);
+                    pending.push((ProcessId::new(t as u32), out));
+                }
+            }
+        }
+        to_clients
+    }
+
+    #[test]
+    fn leader_sequences_applies_and_acks_a_request() {
+        let mut replicas: Vec<SvcReplica> = (0..5)
+            .map(|i| SvcReplica::new(ProcessId::new(i), system()))
+            .collect();
+        // p1 is the initial Ω leader. A client at endpoint 7 asks it to put.
+        let client_ep = ProcessId::new(7);
+        let cmd = write(7, 1).encode();
+        let mut out = Actions::new();
+        replicas[0].on_message(client_ep, &SvcMsg::Request { cmd }, &mut out);
+        // The event-driven fast path opens slot 0's first ballot right on
+        // request arrival — no waiting for the periodic log check.
+        assert!(
+            out.sends()
+                .iter()
+                .any(|s| matches!(s.msg, SvcMsg::Log(LogMsg::Slot { slot: 0, .. }))),
+            "request arrival must drive the frontier slot: {:?}",
+            out.sends().len()
+        );
+        assert_eq!(replicas[0].log.pending_len(), 1);
+        // Message routing then decides and applies everywhere and acks the
+        // client.
+        let acks = route(&mut replicas, vec![(ProcessId::new(0), out)]);
+        for r in &replicas {
+            assert_eq!(r.store().applied(), 1, "replica {} lags", r.id());
+            assert_eq!(r.store().get(b"k7"), Some(1u64.to_le_bytes().as_slice()));
+        }
+        let applied_acks: Vec<_> = acks
+            .iter()
+            .filter(|(to, msg)| {
+                *to == client_ep
+                    && matches!(
+                        msg,
+                        SvcMsg::Reply(SvcReply::Applied {
+                            client: 7,
+                            seq: 1,
+                            slot: 0
+                        })
+                    )
+            })
+            .collect();
+        assert_eq!(applied_acks.len(), 1, "exactly one ack: {acks:?}");
+    }
+
+    #[test]
+    fn non_leader_redirects_to_its_oracle_output() {
+        let mut replica = SvcReplica::new(ProcessId::new(3), system());
+        let mut out = Actions::new();
+        replica.on_message(
+            ProcessId::new(9),
+            &SvcMsg::Request {
+                cmd: write(9, 1).encode(),
+            },
+            &mut out,
+        );
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(
+            out.sends()[0].msg,
+            SvcMsg::Reply(SvcReply::Redirect { client: 9, seq: 1, leader }) if leader == ProcessId::new(0)
+        ));
+        assert_eq!(replica.redirects(), 1);
+        assert_eq!(replica.log.pending_len(), 0);
+    }
+
+    #[test]
+    fn applied_retry_is_acked_immediately_without_resequencing() {
+        let mut replica = SvcReplica::new(ProcessId::new(0), system());
+        let w = write(4, 1);
+        // Pretend the write is already decided and applied.
+        replica.store.apply(0, &w);
+        let mut out = Actions::new();
+        replica.on_message(
+            ProcessId::new(9),
+            &SvcMsg::Request { cmd: w.encode() },
+            &mut out,
+        );
+        assert_eq!(out.sends().len(), 1);
+        assert!(matches!(
+            out.sends()[0].msg,
+            SvcMsg::Reply(SvcReply::Applied {
+                client: 4,
+                seq: 1,
+                slot: 0
+            })
+        ));
+        assert_eq!(replica.log.pending_len(), 0, "no duplicate sequencing");
+    }
+
+    /// `Applied` must never be sent for a write whose effect did not land:
+    /// a request below the client's last applied seq is a write the session
+    /// filter rejected (or will reject) — it gets silence, not a false ack,
+    /// and a decided-but-skipped entry is likewise never acked.
+    #[test]
+    fn stale_writes_are_never_acked_as_applied() {
+        let mut replica = SvcReplica::new(ProcessId::new(0), system());
+        replica.store.apply(0, &write(4, 1));
+        replica.store.apply(1, &write(4, 2));
+        // Request for seq 1 < last applied 2: dropped, not acked.
+        let mut out = Actions::new();
+        replica.on_message(
+            ProcessId::new(9),
+            &SvcMsg::Request {
+                cmd: write(4, 1).encode(),
+            },
+            &mut out,
+        );
+        assert!(out.sends().is_empty(), "stale request must get silence");
+        // A decided entry the store skips as stale is not acked either,
+        // even with a client awaiting it.
+        replica.awaiting.insert((4, 1), ProcessId::new(9));
+        let mut out = Actions::new();
+        // Force the decision through the log's own path: decide slot 0 of
+        // a fresh instance view via note-decision-equivalent message flow
+        // is heavy here, so emulate apply_ready directly.
+        replica.cursor = 2;
+        replica.log.on_message(
+            ProcessId::new(1),
+            &irs_consensus::LogMsg::Slot {
+                slot: 2,
+                msg: irs_consensus::PaxosMsg::Decide {
+                    v: write(4, 1).encode(),
+                },
+            },
+            &mut Actions::new(),
+        );
+        replica.apply_ready(&mut out);
+        assert!(
+            out.sends().is_empty(),
+            "skipped stale decision must not be acked: {:?}",
+            out.sends().len()
+        );
+        assert_eq!(replica.store.dup_skips(), 1);
+        assert!(replica.awaiting.is_empty(), "awaiting entry is retired");
+    }
+
+    #[test]
+    fn unparseable_commands_are_dropped_at_the_door() {
+        let mut replica = SvcReplica::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        replica.on_message(
+            ProcessId::new(9),
+            &SvcMsg::Request {
+                cmd: Command::new(vec![0xFF; 7]),
+            },
+            &mut out,
+        );
+        assert!(out.sends().is_empty());
+        assert_eq!(replica.log.pending_len(), 0);
+        // A stray Reply at a replica is ignored too.
+        replica.on_message(
+            ProcessId::new(1),
+            &SvcMsg::Reply(SvcReply::Applied {
+                client: 0,
+                seq: 0,
+                slot: 0,
+            }),
+            &mut out,
+        );
+        assert!(out.sends().is_empty());
+    }
+
+    #[test]
+    fn snapshot_exposes_service_gauges() {
+        let replica = SvcReplica::new(ProcessId::new(2), system());
+        let snap = replica.snapshot();
+        for gauge in [
+            "applied",
+            "kv_entries",
+            "kv_digest",
+            "dup_skips",
+            "awaiting",
+            "requests",
+            "redirects",
+        ] {
+            assert!(snap.gauge(gauge).is_some(), "missing gauge {gauge}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The KV service as genuinely separate OS processes over localhost UDP
+//! (the service analogue of `runtime`'s `socket_cluster` re-exec test).
+//!
+//! The parent run spawns `N` children with `IRS_KV_CHILD=<id>` set; each
+//! child joins the UDP mesh through the shared re-exec handshake
+//! (`irs_net::reexec`) and drives one [`irs_svc::SvcReplica`] with
+//! [`irs_svc::run_svc_node`]. The parent connects an [`irs_svc::SvcClient`]
+//! over its own socket, performs writes across the kernel network stack,
+//! then stops the children (`STOP` on stdin) and asserts every replica
+//! reports the same store digest (`DIGEST <hex> <applied>`) with every
+//! acked write applied.
+
+use irs_net::{reexec, UdpTransport};
+use irs_svc::{run_svc_node, SvcClient, SvcConfig, SvcReplica};
+use irs_types::{ProcessId, SystemConfig};
+use std::io::BufRead;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const N: usize = 5;
+/// 500 µs ticks keep the consensus timers gentle across OS processes.
+const TICK: Duration = Duration::from_micros(500);
+
+fn child_main(id: u32) {
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let transport = reexec::child_join_mesh(&mut lines, N + 1);
+
+    let system = SystemConfig::new(N, (N - 1) / 2).expect("system config");
+    let replica = SvcReplica::new(ProcessId::new(id), system);
+    let handle = irs_runtime::NodeHandle::new();
+    let observer = handle.clone();
+    let config = SvcConfig::new(N, 1).with_tick(TICK);
+    let node = std::thread::spawn(move || run_svc_node(replica, transport, config, handle));
+
+    // Run until the parent says stop.
+    for line in lines {
+        if line.expect("stdin line").trim() == "STOP" {
+            break;
+        }
+    }
+    observer.stop.store(true, Ordering::SeqCst);
+    let replica = node.join().expect("node thread");
+    println!(
+        "DIGEST {:x} {}",
+        replica.store().digest(),
+        replica.store().applied()
+    );
+}
+
+#[test]
+fn udp_kv_cluster_across_os_processes_applies_acked_writes_identically() {
+    if let Ok(id) = std::env::var("IRS_KV_CHILD") {
+        child_main(id.parse().expect("child id"));
+        return;
+    }
+
+    let (mut children, mut readers) = reexec::spawn_self_children(N, |id, cmd| {
+        cmd.args([
+            "--exact",
+            "udp_kv_cluster_across_os_processes_applies_acked_writes_identically",
+            "--nocapture",
+        ])
+        .env("IRS_KV_CHILD", id.to_string());
+    });
+
+    // The parent's client socket is endpoint N.
+    let mut client_transport = UdpTransport::bind_localhost_retry().expect("bind client socket");
+    let client_port = client_transport.local_addr().expect("client addr").port();
+    let replica_ports = reexec::exchange_peer_table(&mut children, &mut readers, &[client_port]);
+    let mut peer_addrs: Vec<_> = replica_ports
+        .iter()
+        .map(|&p| reexec::localhost(p))
+        .collect();
+    peer_addrs.push(reexec::localhost(client_port));
+    client_transport.set_peers(peer_addrs);
+
+    // Real writes across five OS processes.
+    let mut client = SvcClient::new(ProcessId::new(N as u32), N, client_transport, 0xD15C);
+    let deadline = Duration::from_secs(40);
+    let mut acked = 0u64;
+    for k in 0..6u64 {
+        let key = format!("proc-k{}", k % 3).into_bytes();
+        let value = k.to_le_bytes().to_vec();
+        client.put(&key, &value, deadline).expect("acked put");
+        acked += 1;
+    }
+
+    // Let catch-up settle the stragglers, then freeze and compare.
+    std::thread::sleep(Duration::from_secs(2));
+    reexec::broadcast_line(&mut children, "STOP");
+    let digests: Vec<(String, u64)> = readers
+        .iter_mut()
+        .enumerate()
+        .map(|(who, r)| {
+            let line = reexec::read_tagged_line(r, "DIGEST ", who);
+            let mut parts = line.split_whitespace();
+            let digest = parts.next().expect("digest").to_string();
+            let applied: u64 = parts.next().expect("applied").parse().expect("count");
+            (digest, applied)
+        })
+        .collect();
+    children.join_all();
+
+    assert!(
+        digests.iter().all(|d| d.0 == digests[0].0),
+        "the {N} OS processes hold different stores: {digests:?}"
+    );
+    assert!(
+        digests[0].1 >= acked,
+        "acked {acked} writes but replicas applied only {}",
+        digests[0].1
+    );
+}

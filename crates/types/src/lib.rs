@@ -43,6 +43,7 @@
 mod config;
 mod error;
 mod growth;
+mod hash;
 mod id;
 mod introspect;
 mod protocol;
@@ -53,6 +54,7 @@ mod time;
 pub use config::SystemConfig;
 pub use error::ConfigError;
 pub use growth::GrowthFn;
+pub use hash::Fnv64;
 pub use id::ProcessId;
 pub use introspect::{Introspect, LeaderOracle, Snapshot};
 pub use protocol::{Actions, Destination, Outbound, Protocol, RoundTagged, TimerId, TimerRequest};

@@ -1,0 +1,153 @@
+//! The replicated KV service as separate OS processes over localhost UDP,
+//! under client load.
+//!
+//! The parent spawns `n` replica processes (`--child <id>`), each of which
+//! joins the UDP mesh through the shared re-exec handshake
+//! (`irs_net::reexec`) and drives one `SvcReplica` with `run_svc_node` —
+//! the same state machines the simulator runs, now serving writes across
+//! the kernel network stack. The parent then connects `c` closed-loop
+//! clients over their own sockets, drives load for a couple of seconds,
+//! prints ops/s with p50/p99 latency, and finally checks that every
+//! replica process reports the same store digest (`DIGEST <hex> <applied>`
+//! after `STOP`).
+//!
+//! Run with: `cargo run --release --example kv_cluster -- --n 5 --clients 3`
+
+use intermittent_rotating_star::net::{reexec, UdpTransport};
+use intermittent_rotating_star::runtime::NodeHandle;
+use intermittent_rotating_star::svc::loadgen::{closed_loop, ClosedLoopOptions};
+use intermittent_rotating_star::svc::{run_svc_node, SvcClient, SvcConfig, SvcReplica};
+use intermittent_rotating_star::types::{ProcessId, SystemConfig};
+use std::io::BufRead;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// 500 µs per logical tick → gentle consensus timers across OS processes.
+const TICK: Duration = Duration::from_micros(500);
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn child(id: u32, n: usize, clients: usize) {
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let transport = reexec::child_join_mesh(&mut lines, n + clients);
+
+    let system = SystemConfig::new(n, (n - 1) / 2).expect("system");
+    let replica = SvcReplica::new(ProcessId::new(id), system);
+    let handle = NodeHandle::new();
+    let observer = handle.clone();
+    let config = SvcConfig::new(n, clients).with_tick(TICK);
+    let node = std::thread::spawn(move || run_svc_node(replica, transport, config, handle));
+
+    for line in lines {
+        if line.expect("stdin").trim() == "STOP" {
+            break;
+        }
+    }
+    observer.stop.store(true, Ordering::SeqCst);
+    let replica = node.join().expect("node thread");
+    println!(
+        "DIGEST {:x} {}",
+        replica.store().digest(),
+        replica.store().applied()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = arg_value(&args, "--n").map_or(5, |v| v.parse().expect("--n"));
+    let clients: usize = arg_value(&args, "--clients").map_or(3, |v| v.parse().expect("--clients"));
+    let secs: u64 = arg_value(&args, "--secs").map_or(2, |v| v.parse().expect("--secs"));
+    assert!(n >= 3, "--n must be at least 3");
+    assert!(clients >= 1, "--clients must be at least 1");
+    if let Some(id) = arg_value(&args, "--child") {
+        child(id.parse().expect("child id"), n, clients);
+        return;
+    }
+
+    println!("spawning {n} replica processes over localhost UDP …");
+    let (mut children, mut readers) = reexec::spawn_self_children(n, |id, cmd| {
+        cmd.args([
+            "--child",
+            &id.to_string(),
+            "--n",
+            &n.to_string(),
+            "--clients",
+            &clients.to_string(),
+        ]);
+    });
+
+    // One socket per client, endpoints n..n+clients.
+    let mut client_transports: Vec<UdpTransport> = (0..clients)
+        .map(|_| UdpTransport::bind_localhost_retry().expect("bind client socket"))
+        .collect();
+    let client_ports: Vec<u16> = client_transports
+        .iter()
+        .map(|t| t.local_addr().expect("addr").port())
+        .collect();
+    let replica_ports = reexec::exchange_peer_table(&mut children, &mut readers, &client_ports);
+    let all_addrs: Vec<_> = replica_ports
+        .iter()
+        .chain(client_ports.iter())
+        .map(|&p| reexec::localhost(p))
+        .collect();
+    for t in &mut client_transports {
+        t.set_peers(all_addrs.clone());
+    }
+
+    let mut svc_clients: Vec<SvcClient<UdpTransport>> = client_transports
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            SvcClient::new(
+                ProcessId::new((n + i) as u32),
+                n,
+                t,
+                0xC11E_57AD ^ (i as u64 + 1),
+            )
+        })
+        .collect();
+
+    println!("driving {clients} closed-loop clients for {secs}s …");
+    let (report, _acked) = closed_loop(
+        &mut svc_clients,
+        ClosedLoopOptions {
+            duration: Duration::from_secs(secs),
+            ..ClosedLoopOptions::default()
+        },
+    );
+    println!(
+        "load: {:.0} ops/s, p50 {} µs, p99 {} µs ({} acked, {} failures, {} redirects)",
+        report.ops_per_sec(),
+        report.latency.percentile(50.0),
+        report.latency.percentile(99.0),
+        report.ops,
+        report.failures,
+        report.redirects,
+    );
+
+    // Settle, stop, compare.
+    std::thread::sleep(Duration::from_secs(2));
+    reexec::broadcast_line(&mut children, "STOP");
+    let digests: Vec<String> = readers
+        .iter_mut()
+        .enumerate()
+        .map(|(who, r)| reexec::read_tagged_line(r, "DIGEST ", who))
+        .collect();
+    children.join_all();
+    println!("per-process store digests: {digests:?}");
+    let first = digests[0].split_whitespace().next().expect("digest");
+    if digests
+        .iter()
+        .all(|d| d.split_whitespace().next() == Some(first))
+    {
+        println!("all {n} OS processes hold identical stores (digest {first})");
+    } else {
+        eprintln!("replica processes diverged!");
+        std::process::exit(1);
+    }
+}

@@ -1,24 +1,21 @@
 //! An Ω deployment as genuinely separate OS processes over UDP.
 //!
 //! The parent run spawns `n` copies of itself (`--child <id>`), each of
-//! which binds its own UDP socket on localhost, learns the peer table from
-//! the parent, and drives one Figure 3 process with `irs-runtime`'s node
-//! event loop over `irs-net`'s socket transport — the same state machine the
-//! simulator runs, crossing a real kernel network stack between address
-//! spaces. Each child reports its leader output once it has been stable for
-//! two seconds; the parent checks that all `n` OS processes agreed.
+//! which joins a localhost UDP mesh through the shared re-exec handshake
+//! (`irs_net::reexec`: `PORT`/`PEERS` over the children's stdio) and drives
+//! one Figure 3 process with `irs-runtime`'s node event loop — the same
+//! state machine the simulator runs, crossing a real kernel network stack
+//! between address spaces. Each child reports its leader output once it has
+//! been stable for two seconds; the parent checks that all `n` OS processes
+//! agreed.
 //!
 //! Run with: `cargo run --release --example socket_cluster -- --n 8`
-//!
-//! Wire protocol on the children's stdio: child → `PORT <port>`,
-//! `LEADER <index>`; parent → `PEERS <port0> <port1> …`.
 
-use intermittent_rotating_star::net::UdpTransport;
+use intermittent_rotating_star::net::reexec;
 use intermittent_rotating_star::omega::OmegaProcess;
 use intermittent_rotating_star::runtime::{run_node, NodeConfig, NodeHandle};
 use intermittent_rotating_star::types::{ProcessId, SystemConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::process::{Command, Stdio};
+use std::io::BufRead;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -32,26 +29,9 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn child(id: u32, n: usize) {
-    let mut transport = UdpTransport::bind(("127.0.0.1", 0)).expect("bind socket");
-    println!("PORT {}", transport.local_addr().expect("addr").port());
-    std::io::stdout().flush().expect("flush");
-
-    let mut line = String::new();
-    std::io::stdin().lock().read_line(&mut line).expect("stdin");
-    let ports: Vec<u16> = line
-        .trim()
-        .strip_prefix("PEERS ")
-        .expect("PEERS line")
-        .split_whitespace()
-        .map(|p| p.parse().expect("port"))
-        .collect();
-    assert_eq!(ports.len(), n);
-    transport.set_peers(
-        ports
-            .iter()
-            .map(|&p| (std::net::Ipv4Addr::LOCALHOST, p).into())
-            .collect(),
-    );
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let transport = reexec::child_join_mesh(&mut lines, n);
 
     let system = SystemConfig::new(n, (n - 1) / 2).expect("system");
     let proto = OmegaProcess::fig3(ProcessId::new(id), system);
@@ -77,7 +57,6 @@ fn child(id: u32, n: usize) {
         }
     };
     println!("LEADER {}", leader.index());
-    std::io::stdout().flush().expect("flush");
     observer.stop.store(true, Ordering::SeqCst);
     node.join().expect("node thread");
 }
@@ -91,52 +70,26 @@ fn main() {
         return;
     }
 
-    let exe = std::env::current_exe().expect("own binary");
     println!("spawning {n} node processes over localhost UDP …");
-    let mut children: Vec<_> = (0..n)
-        .map(|id| {
-            Command::new(&exe)
-                .args(["--child", &id.to_string(), "--n", &n.to_string()])
-                .stdin(Stdio::piped())
-                .stdout(Stdio::piped())
-                .spawn()
-                .expect("spawn child")
-        })
-        .collect();
-    let mut readers: Vec<_> = children
+    let (mut children, mut readers) = reexec::spawn_self_children(n, |id, cmd| {
+        cmd.args(["--child", &id.to_string(), "--n", &n.to_string()]);
+    });
+    let ports = reexec::exchange_peer_table(&mut children, &mut readers, &[]);
+    println!(
+        "peer table: {}",
+        ports
+            .iter()
+            .map(u16::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let leaders: Vec<String> = readers
         .iter_mut()
-        .map(|c| BufReader::new(c.stdout.take().expect("stdout")))
+        .enumerate()
+        .map(|(who, r)| reexec::read_tagged_line(r, "LEADER ", who))
         .collect();
-
-    let read_tag = |reader: &mut BufReader<std::process::ChildStdout>, tag: &str| -> String {
-        loop {
-            let mut line = String::new();
-            assert!(
-                reader.read_line(&mut line).expect("child stdout") > 0,
-                "child exited before sending {tag}"
-            );
-            if let Some(rest) = line.trim().strip_prefix(tag) {
-                return rest.trim().to_string();
-            }
-        }
-    };
-
-    let ports: Vec<String> = readers.iter_mut().map(|r| read_tag(r, "PORT ")).collect();
-    println!("peer table: {}", ports.join(" "));
-    let peers = format!("PEERS {}\n", ports.join(" "));
-    for c in &mut children {
-        c.stdin
-            .as_mut()
-            .expect("stdin")
-            .write_all(peers.as_bytes())
-            .expect("send peers");
-    }
-
-    let leaders: Vec<String> = readers.iter_mut().map(|r| read_tag(r, "LEADER ")).collect();
-    for c in &mut children {
-        let status = c.wait().expect("child status");
-        assert!(status.success(), "child failed: {status}");
-    }
+    children.join_all();
     println!("per-process leader outputs: {leaders:?}");
     if leaders.iter().all(|l| l == &leaders[0]) {
         println!(

@@ -13,6 +13,9 @@
 //!   UDP-socket backends, fault-injecting link models;
 //! * [`runtime`] — the real-time runtimes (sharded cluster, per-node
 //!   deployments) over those transports;
+//! * [`svc`] — the replicated key-value service on the Ω-driven log:
+//!   deployable replicas, the redirecting client library, and the
+//!   load-generator harness;
 //! * [`experiments`] — the experiment harness behind `EXPERIMENTS.md`;
 //! * [`types`] — the shared vocabulary (ids, time, rounds, the sans-IO
 //!   [`types::Protocol`] trait).
@@ -30,4 +33,5 @@ pub use irs_net as net;
 pub use irs_omega as omega;
 pub use irs_runtime as runtime;
 pub use irs_sim as sim;
+pub use irs_svc as svc;
 pub use irs_types as types;
