@@ -164,6 +164,127 @@ impl fmt::Display for Command {
     }
 }
 
+/// Most values one log slot may carry.
+///
+/// A count bound alone cannot keep a batch inside one wire frame
+/// (64 × [`MAX_COMMAND_LEN`] already exceeds `irs-net`'s 60 KiB payload
+/// cap), so the leader's drain additionally respects [`MAX_BATCH_BYTES`];
+/// the two together keep every `Accept`/`Promise`/`Decide` well inside a
+/// frame.
+pub const MAX_BATCH_LEN: usize = 64;
+
+/// Byte budget of one slot's batch, measured by the values'
+/// [`LogValue::estimated_size`]. The leader stops draining values into a
+/// slot once the batch would exceed this (the first value is always
+/// admitted — a single value is bounded by its own domain limit, e.g.
+/// [`MAX_COMMAND_LEN`]). Far enough under `irs-net`'s 60 KiB frame cap
+/// that ballot framing and the `Promise` double-carry fit too.
+pub const MAX_BATCH_BYTES: usize = 48 * 1024;
+
+/// The value one log *slot* decides: an ordered, non-empty batch of unit
+/// values.
+///
+/// Batching is how a leader amortises its stable "on" time (the pulsar's
+/// duty cycle): one ballot round trip decides up to [`MAX_BATCH_LEN`]
+/// submitted values at once instead of one. A batch of length 1 is
+/// byte-for-byte the degenerate case, so `batch_max = 1` reproduces the
+/// one-value-per-slot protocol exactly.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Batch<V = Value>(Vec<V>);
+
+/// A batch of byte commands — the slot value of the replicated key-value
+/// service (`irs-svc`).
+pub type CommandBatch = Batch<Command>;
+
+impl<V> Batch<V> {
+    /// Wraps an ordered group of values as one slot value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or longer than [`MAX_BATCH_LEN`] — a
+    /// slot always decides at least one value, and the driving protocol
+    /// never drains more than the bound.
+    pub fn new(values: Vec<V>) -> Self {
+        assert!(
+            !values.is_empty(),
+            "a slot batch carries at least one value"
+        );
+        assert!(
+            values.len() <= MAX_BATCH_LEN,
+            "batch of {} values exceeds MAX_BATCH_LEN",
+            values.len()
+        );
+        Batch(values)
+    }
+
+    /// The single-value batch (the `batch_max = 1` path).
+    pub fn one(v: V) -> Self {
+        Batch(vec![v])
+    }
+
+    /// The values, in decided order.
+    pub fn values(&self) -> &[V] {
+        &self.0
+    }
+
+    /// Iterates the values in decided order.
+    pub fn iter(&self) -> std::slice::Iter<'_, V> {
+        self.0.iter()
+    }
+
+    /// Number of values in the batch (≥ 1).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false`: a batch is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Unwraps the values.
+    pub fn into_vec(self) -> Vec<V> {
+        self.0
+    }
+}
+
+impl<V> From<V> for Batch<V> {
+    fn from(v: V) -> Self {
+        Batch::one(v)
+    }
+}
+
+impl<'a, V> IntoIterator for &'a Batch<V> {
+    type Item = &'a V;
+    type IntoIter = std::slice::Iter<'a, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl<V: LogValue> LogValue for Batch<V> {
+    /// FNV-1a folded over the element gauges: stable across processes, so
+    /// identical batch decisions show identical gauges everywhere.
+    fn gauge(&self) -> u64 {
+        let mut h = irs_types::Fnv64::new();
+        for v in &self.0 {
+            h.write(&v.gauge().to_le_bytes());
+        }
+        h.finish()
+    }
+
+    fn estimated_size(&self) -> usize {
+        4 + self.0.iter().map(LogValue::estimated_size).sum::<usize>()
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Batch<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch[{}]", self.0.len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +342,33 @@ mod tests {
     #[should_panic(expected = "MAX_COMMAND_LEN")]
     fn oversized_commands_are_rejected() {
         let _ = Command::new(vec![0u8; MAX_COMMAND_LEN + 1]);
+    }
+
+    #[test]
+    fn batches_wrap_order_and_compare_by_content() {
+        let b = Batch::new(vec![Value(1), Value(2)]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.values(), &[Value(1), Value(2)]);
+        assert_eq!(b.clone().into_vec(), vec![Value(1), Value(2)]);
+        assert_eq!(Batch::one(Value(1)), Batch::from(Value(1)));
+        assert_ne!(b, Batch::new(vec![Value(2), Value(1)]), "order matters");
+        assert_eq!(b.to_string(), "batch[2]");
+        // The gauge is a pure function of the ordered contents.
+        assert_eq!(b.gauge(), Batch::new(vec![Value(1), Value(2)]).gauge());
+        assert_ne!(b.gauge(), Batch::one(Value(1)).gauge());
+        assert!(b.estimated_size() >= 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_batches_are_rejected() {
+        let _: Batch = Batch::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_BATCH_LEN")]
+    fn oversized_batches_are_rejected() {
+        let _ = Batch::new(vec![Value(0); MAX_BATCH_LEN + 1]);
     }
 }

@@ -12,9 +12,10 @@
 //!
 //! The machinery is generic over the value domain `V` ([`LogValue`]): the
 //! Theorem 5 experiments decide bare 64-bit [`Value`]s, the replicated
-//! key-value service (`irs-svc`) decides byte [`Command`](crate::Command)s.
-//! `V` defaults to [`Value`], so single-decree callers never see the
-//! parameter.
+//! key-value service (`irs-svc`) decides [`Batch`](crate::Batch)es of byte
+//! [`Command`](crate::Command)s (one ballot round trip decides a whole
+//! batch — the lever behind the pipelined log's throughput). `V` defaults
+//! to [`Value`], so single-decree callers never see the parameter.
 
 use crate::{Ballot, LogValue, Value};
 use irs_types::{Destination, ProcessId, SystemConfig};
@@ -461,6 +462,45 @@ mod tests {
             &mut out,
         );
         assert_eq!(learner.decided(), Some(&Value(9)));
+    }
+
+    /// The same ballot flow decides whole command batches: one round trip
+    /// carries a slot's entire batch, with the phase-1 inheritance rule
+    /// preserving it as a unit.
+    #[test]
+    fn command_batches_are_decided_as_a_unit() {
+        use crate::Batch;
+        let batch_of = |id: u32| {
+            Batch::new(vec![
+                Command::new(vec![id as u8; 2]),
+                Command::new(vec![id as u8 + 1; 2]),
+            ])
+        };
+        let mut insts: Vec<PaxosInstance<Batch<Command>>> = system()
+            .processes()
+            .map(|id| {
+                let mut inst = PaxosInstance::new(id, system());
+                inst.set_proposal(batch_of(id.as_u32()));
+                inst
+            })
+            .collect();
+        // p3 gets its batch accepted; a later ballot by p5 must re-decide
+        // the same whole batch via the inheritance rule.
+        let mut out = Vec::new();
+        insts[2].start_ballot(&mut out);
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(2), s)).collect(),
+        );
+        let mut out = Vec::new();
+        insts[4].start_ballot(&mut out);
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(4), s)).collect(),
+        );
+        for inst in &insts {
+            assert_eq!(inst.decided(), Some(&batch_of(2)));
+        }
     }
 
     /// The same ballot flow decides byte commands: the machinery is

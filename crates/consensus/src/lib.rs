@@ -34,7 +34,12 @@ mod instance;
 mod process;
 mod repeated;
 
-pub use ballot::{Ballot, Command, LogValue, Value, MAX_COMMAND_LEN};
+pub use ballot::{
+    Ballot, Batch, Command, CommandBatch, LogValue, Value, MAX_BATCH_BYTES, MAX_BATCH_LEN,
+    MAX_COMMAND_LEN,
+};
 pub use instance::{PaxosInstance, PaxosMsg, PaxosSend};
 pub use process::{ConsensusConfig, ConsensusMsg, ConsensusProcess, TIMER_BALLOT_CHECK};
-pub use repeated::{LogMsg, ReplicatedLog, CATCHUP_BATCH, TIMER_LOG_CHECK};
+pub use repeated::{
+    LogMsg, ReplicatedLog, CATCHUP_BATCH, CATCHUP_BYTES, MAX_SNAPSHOT_LEN, TIMER_LOG_CHECK,
+};

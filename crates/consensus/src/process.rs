@@ -58,15 +58,38 @@ pub struct ConsensusConfig {
     /// How often the process re-evaluates whether it should be driving a
     /// ballot.
     pub ballot_check_period: Duration,
+    /// Most pending values the replicated-log leader drains into one slot's
+    /// batch (clamped to `1..=MAX_BATCH_LEN`). `1` reproduces the
+    /// one-value-per-slot protocol exactly. Single-decree
+    /// [`ConsensusProcess`] ignores it.
+    pub batch_max: usize,
+    /// Number of consecutive frontier slots the replicated-log leader may
+    /// run ballots for concurrently (its in-flight window; ≥ 1). `1`
+    /// reproduces the one-slot-at-a-time protocol exactly. Single-decree
+    /// [`ConsensusProcess`] ignores it.
+    pub pipeline_depth: u64,
 }
 
 impl ConsensusConfig {
-    /// Default tuning: check every 80 ticks.
+    /// Default tuning: check every 80 ticks, one value per slot, one slot
+    /// in flight.
     pub fn new(system: SystemConfig) -> Self {
         ConsensusConfig {
             system,
             ballot_check_period: Duration::from_ticks(80),
+            batch_max: 1,
+            pipeline_depth: 1,
         }
+    }
+
+    /// Sets the per-slot batch bound and the in-flight slot window (both
+    /// clamped to at least 1; `batch_max` additionally to
+    /// [`crate::MAX_BATCH_LEN`]).
+    #[must_use]
+    pub fn with_batching(mut self, batch_max: usize, pipeline_depth: u64) -> Self {
+        self.batch_max = batch_max.clamp(1, crate::MAX_BATCH_LEN);
+        self.pipeline_depth = pipeline_depth.max(1);
+        self
     }
 }
 

@@ -908,6 +908,53 @@ pub fn e12_kv_service(quick: bool) -> Table {
         push_row(backend, "closed-loop", clients, &report, outcome);
     }
 
+    // Batching × pipelining grid over the mem backend (the
+    // decision-latency lever: up to `b` commands per slot, `d` slots in
+    // flight). Compaction stays on, and every row keeps the machine-checked
+    // consistency verdict. Quick mode runs the headline cell only.
+    let grid: &[(usize, u64)] = if quick {
+        &[(8, 4)]
+    } else {
+        &[(8, 1), (1, 4), (8, 4), (16, 8)]
+    };
+    for &(b, d) in grid {
+        let config = SvcConfig::new(n, clients)
+            .with_batching(b, d)
+            .with_snapshot_interval(256);
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, outcome) = closed_run(cluster, &mut cl, opts);
+        push_row(
+            "mem",
+            &format!("closed b{b}xd{d}"),
+            clients,
+            &report,
+            outcome,
+        );
+    }
+
+    // Saturation rows: enough closed-loop clients that the pending queue
+    // actually accumulates and slots carry real batches (with few clients
+    // and a wide window every request gets its own slot, so the per-slot
+    // ballot cost is never amortised). The unbatched row at the same client
+    // count is the control: the gap between the two is what batching buys.
+    {
+        let sat_clients = if quick { 12 } else { 16 };
+        for (b, d) in [(1usize, 1u64), (16, 4)] {
+            let config = SvcConfig::new(n, sat_clients)
+                .with_batching(b, d)
+                .with_snapshot_interval(256);
+            let (cluster, mut cl) = SvcCluster::in_memory(n, sat_clients, config);
+            let (report, outcome) = closed_run(cluster, &mut cl, opts);
+            push_row(
+                "mem",
+                &format!("closed b{b}xd{d}"),
+                sat_clients,
+                &report,
+                outcome,
+            );
+        }
+    }
+
     // Row 3: open-loop arrival-rate load (one client, fixed fire interval).
     {
         let (cluster, mut cl) = SvcCluster::in_memory(n, 1, SvcConfig::new(n, 1));
@@ -936,13 +983,17 @@ pub fn e12_kv_service(quick: bool) -> Table {
     }
 
     // Row 5: the leader goes dark mid-load (crash-stop under a lossy link
-    // model). The cluster must re-elect, the load must keep completing,
-    // and the survivors must agree with the client-acked prefix.
+    // model) with the batched/pipelined path and compaction on. The cluster
+    // must re-elect, the load must keep completing, and the survivors must
+    // agree with the client-acked prefix — batches, pipelined slots and
+    // truncated history included.
     {
-        let (cluster, mut cl) =
-            SvcCluster::with_link_models(n, clients, SvcConfig::new(n, clients), |p| {
-                LinkModel::new(0x0E12_C4A5 ^ u64::from(p.as_u32())).with_drop_prob(0.05)
-            });
+        let crash_config = SvcConfig::new(n, clients)
+            .with_batching(8, 4)
+            .with_snapshot_interval(64);
+        let (cluster, mut cl) = SvcCluster::with_link_models(n, clients, crash_config, |p| {
+            LinkModel::new(0x0E12_C4A5 ^ u64::from(p.as_u32())).with_drop_prob(0.05)
+        });
         let crash_opts = ClosedLoopOptions {
             duration: StdDuration::from_secs(if quick { 4 } else { 8 }),
             op_deadline: StdDuration::from_secs(8),
@@ -968,7 +1019,7 @@ pub fn e12_kv_service(quick: bool) -> Table {
             ),
             Err(e) => format!("INCONSISTENT: {e}"),
         };
-        push_row("mem+drop0.05", "leader-crash", clients, &report, outcome);
+        push_row("mem+drop0.05", "crash b8xd4", clients, &report, outcome);
     }
 
     table

@@ -1,7 +1,10 @@
-//! The in-memory transport backend: an MPSC channel mesh.
+//! The in-memory transport backend: an MPSC channel mesh with batched
+//! multicast delivery.
 
 use crate::{Frame, NetError, Transport};
 use irs_types::ProcessId;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,6 +19,21 @@ use std::time::Duration;
 /// shard).
 #[derive(Debug)]
 pub struct MemNetwork {}
+
+/// What travels through a mesh channel: either one frame, or one payload
+/// multicast to several processes hosted by the receiving endpoint. The
+/// multicast item is what makes a broadcast O(W) channel pushes (one per
+/// endpoint) instead of O(n) (one per process) — the receiving side expands
+/// it back into per-process [`Frame`]s in order.
+#[derive(Debug)]
+enum MemItem {
+    One(Frame),
+    Many {
+        from: ProcessId,
+        targets: Vec<ProcessId>,
+        payload: Arc<[u8]>,
+    },
+}
 
 impl MemNetwork {
     /// One endpoint per process: endpoint `i` hosts exactly `ProcessId(i)`.
@@ -36,16 +54,20 @@ impl MemNetwork {
         let mut txs = Vec::with_capacity(endpoints);
         let mut rxs = Vec::with_capacity(endpoints);
         for _ in 0..endpoints {
-            let (tx, rx) = channel::<Frame>();
+            let (tx, rx) = channel::<MemItem>();
             txs.push(tx);
             rxs.push(rx);
         }
         let owner_of: Arc<[usize]> = owner_of.into();
+        let pushes: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
         rxs.into_iter()
             .map(|rx| MemTransport {
                 txs: txs.clone(),
                 owner_of: Arc::clone(&owner_of),
                 rx,
+                ready: VecDeque::new(),
+                pushes: Arc::clone(&pushes),
+                scratch: Vec::new(),
             })
             .collect()
     }
@@ -55,37 +77,58 @@ impl MemNetwork {
 ///
 /// `send` routes by looking up the receiver's owning endpoint; a broadcast
 /// through [`Transport::send_many`] shares a single payload allocation
-/// across every receiver — the zero-copy fan-out the runtimes rely on.
+/// across every receiver *and* collapses the fan-out to one channel push
+/// per destination endpoint (the PR 2 `O(W)` batching, restored on the
+/// transport boundary).
 #[derive(Debug)]
 pub struct MemTransport {
-    txs: Vec<Sender<Frame>>,
+    txs: Vec<Sender<MemItem>>,
     owner_of: Arc<[usize]>,
-    rx: Receiver<Frame>,
+    rx: Receiver<MemItem>,
+    /// Frames expanded out of a received multicast item, delivered before
+    /// the channel is polled again (preserves per-link FIFO: one channel,
+    /// in-order expansion).
+    ready: VecDeque<Frame>,
+    /// Network-wide count of channel pushes — the observable the batched
+    /// fan-out exists to minimise (one push per endpoint per broadcast).
+    pushes: Arc<AtomicU64>,
+    /// Reused `(owner, target)` scratch for grouping a multicast by
+    /// endpoint without per-call nested allocations (this is the hot
+    /// fan-out path of the sharded runtime).
+    scratch: Vec<(usize, ProcessId)>,
 }
 
 impl MemTransport {
-    fn route(&self, to: ProcessId) -> Result<&Sender<Frame>, NetError> {
-        let owner = *self
-            .owner_of
+    fn owner(&self, to: ProcessId) -> Result<usize, NetError> {
+        self.owner_of
             .get(to.index())
-            .ok_or(NetError::UnknownPeer(to))?;
-        Ok(&self.txs[owner])
+            .copied()
+            .ok_or(NetError::UnknownPeer(to))
     }
 
-    fn push(&self, to: ProcessId, frame: Frame) -> Result<(), NetError> {
-        self.route(to)?.send(frame).map_err(|_| NetError::Closed)
+    fn push(&self, owner: usize, item: MemItem) -> Result<(), NetError> {
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+        self.txs[owner].send(item).map_err(|_| NetError::Closed)
+    }
+
+    /// Total channel pushes across the whole network so far. A broadcast
+    /// through [`Transport::send_many`] costs one push per destination
+    /// *endpoint*, not per process — pinned by a unit test.
+    pub fn channel_pushes(&self) -> u64 {
+        self.pushes.load(Ordering::Relaxed)
     }
 }
 
 impl Transport for MemTransport {
     fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError> {
+        let owner = self.owner(to)?;
         self.push(
-            to,
-            Frame {
+            owner,
+            MemItem::One(Frame {
                 from,
                 to,
                 payload: payload.into(),
-            },
+            }),
         )
     }
 
@@ -95,27 +138,144 @@ impl Transport for MemTransport {
         targets: &[ProcessId],
         payload: &[u8],
     ) -> Result<(), NetError> {
-        // One allocation for the whole fan-out: every receiver shares the
-        // same reference-counted payload.
+        // One payload allocation for the whole fan-out, one channel push
+        // per destination endpoint: receivers hosted by the same endpoint
+        // share a single multicast item. Grouping goes through a reused
+        // scratch sorted by owner (stable, so per-owner target order — and
+        // with it per-link FIFO — is preserved), so the only per-call heap
+        // work besides the payload is the target list of each actual
+        // multi-receiver item, which the channel consumes anyway.
         let shared: Arc<[u8]> = payload.into();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
         for &to in targets {
-            self.push(
-                to,
-                Frame {
-                    from,
-                    to,
-                    payload: Arc::clone(&shared),
-                },
-            )?;
+            match self.owner(to) {
+                Ok(owner) => scratch.push((owner, to)),
+                Err(e) => {
+                    self.scratch = scratch;
+                    return Err(e);
+                }
+            }
         }
-        Ok(())
+        scratch.sort_by_key(|&(owner, _)| owner);
+        let mut i = 0;
+        let mut result = Ok(());
+        while i < scratch.len() {
+            let owner = scratch[i].0;
+            let mut j = i + 1;
+            while j < scratch.len() && scratch[j].0 == owner {
+                j += 1;
+            }
+            let item = if j - i == 1 {
+                MemItem::One(Frame {
+                    from,
+                    to: scratch[i].1,
+                    payload: Arc::clone(&shared),
+                })
+            } else {
+                MemItem::Many {
+                    from,
+                    targets: scratch[i..j].iter().map(|&(_, to)| to).collect(),
+                    payload: Arc::clone(&shared),
+                }
+            };
+            if let Err(e) = self.push(owner, item) {
+                result = Err(e);
+                break;
+            }
+            i = j;
+        }
+        self.scratch = scratch;
+        result
     }
 
     fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        if let Some(frame) = self.ready.pop_front() {
+            return Ok(Some(frame));
+        }
         match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(MemItem::One(frame)) => Ok(Some(frame)),
+            Ok(MemItem::Many {
+                from,
+                targets,
+                payload,
+            }) => {
+                self.ready.extend(targets.into_iter().map(|to| Frame {
+                    from,
+                    to,
+                    payload: Arc::clone(&payload),
+                }));
+                Ok(self.ready.pop_front())
+            }
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A multicast to `k` processes spread over `W` endpoints costs `W`
+    /// channel pushes, not `k` — and still delivers one frame per process,
+    /// in target order, sharing one payload allocation.
+    #[test]
+    fn send_many_batches_one_push_per_endpoint() {
+        // Endpoint 0 hosts p1/p2, endpoint 1 hosts p3/p4.
+        let mut eps = MemNetwork::grouped(&[0, 0, 1, 1]);
+        let all: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
+        let before = eps[0].channel_pushes();
+        eps[0]
+            .send_many(ProcessId::new(0), &all, b"payload")
+            .expect("multicast");
+        assert_eq!(
+            eps[0].channel_pushes() - before,
+            2,
+            "one push per endpoint, not per process"
+        );
+        let mut ep1 = eps.remove(1);
+        let mut ep0 = eps.remove(0);
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let f = ep0.recv(Duration::from_secs(1)).unwrap().expect("frame");
+            assert_eq!(&f.payload[..], b"payload");
+            seen.push(f.to);
+        }
+        for _ in 0..2 {
+            let f = ep1.recv(Duration::from_secs(1)).unwrap().expect("frame");
+            assert_eq!(&f.payload[..], b"payload");
+            seen.push(f.to);
+        }
+        assert_eq!(seen, all, "every target got its frame, in order");
+    }
+
+    /// Per-link FIFO survives the multicast expansion: a unicast sent after
+    /// a multicast to the same receiver arrives after it.
+    #[test]
+    fn multicast_expansion_preserves_per_link_fifo() {
+        let mut eps = MemNetwork::grouped(&[0, 0, 1]);
+        let targets = [ProcessId::new(0), ProcessId::new(1)];
+        eps[1]
+            .send_many(ProcessId::new(2), &targets, b"first")
+            .unwrap();
+        eps[1]
+            .send(ProcessId::new(2), ProcessId::new(1), b"second")
+            .unwrap();
+        let ep0 = &mut eps[0];
+        let order: Vec<(ProcessId, Vec<u8>)> = (0..3)
+            .map(|_| {
+                let f = ep0.recv(Duration::from_secs(1)).unwrap().expect("frame");
+                (f.to, f.payload.to_vec())
+            })
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (ProcessId::new(0), b"first".to_vec()),
+                (ProcessId::new(1), b"first".to_vec()),
+                (ProcessId::new(1), b"second".to_vec()),
+            ]
+        );
     }
 }

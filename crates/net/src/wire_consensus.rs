@@ -16,10 +16,15 @@
 //! ```text
 //! OmegaMsg      0x00..=0x02   (crate::wire)
 //! ConsensusMsg  0x10..=0x11   Omega | Paxos
-//! LogMsg        0x18..=0x1B   Omega | Slot | Forward | Catchup
+//! LogMsg        0x18..=0x1D   Omega | Slot | Forward | Catchup
+//!                             | SnapshotOffer | SnapshotInstall
 //! (irs-svc)     0x20..=0x23   Log | Request | Reply(Applied) | Reply(Redirect)
 //! PaxosMsg      0x00..=0x04   (always nested behind one of the above)
 //! ```
+//!
+//! A `LogMsg::Slot` payload carries a [`PaxosMsg`] over [`Batch`] values
+//! (`u32` count + elements, bounded by [`MAX_BATCH_LEN`]); a snapshot
+//! install carries an opaque host blob bounded by [`MAX_SNAPSHOT_LEN`].
 //!
 //! Decoders are total (arbitrary bytes decode or fail, never panic) and
 //! `valid_for(n)` checks every embedded process id and the embedded Ω
@@ -27,8 +32,12 @@
 //! semantics.
 
 use crate::wire::{put_u32, put_u64, Wire, WireError, WireReader};
-use irs_consensus::{Ballot, Command, ConsensusMsg, LogMsg, PaxosMsg, Value, MAX_COMMAND_LEN};
+use irs_consensus::{
+    Ballot, Batch, Command, ConsensusMsg, LogMsg, PaxosMsg, Value, MAX_BATCH_LEN, MAX_COMMAND_LEN,
+    MAX_SNAPSHOT_LEN,
+};
 use irs_types::ProcessId;
+use std::sync::Arc;
 
 /// First tag of the [`ConsensusMsg`] range.
 pub const TAG_CONSENSUS_BASE: u8 = 0x10;
@@ -42,6 +51,8 @@ const TAG_LOG_OMEGA: u8 = TAG_LOG_BASE;
 const TAG_LOG_SLOT: u8 = TAG_LOG_BASE + 1;
 const TAG_LOG_FORWARD: u8 = TAG_LOG_BASE + 2;
 const TAG_LOG_CATCHUP: u8 = TAG_LOG_BASE + 3;
+const TAG_LOG_SNAPSHOT_OFFER: u8 = TAG_LOG_BASE + 4;
+const TAG_LOG_SNAPSHOT_INSTALL: u8 = TAG_LOG_BASE + 5;
 
 const TAG_PAXOS_PREPARE: u8 = 0;
 const TAG_PAXOS_PROMISE: u8 = 1;
@@ -71,6 +82,31 @@ impl Wire for Command {
             return Err(WireError::BadLength(len));
         }
         Ok(Command::new(r.take(len)?))
+    }
+}
+
+impl<V: Wire> Wire for Batch<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.len() as u32);
+        for v in self.iter() {
+            v.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let count = r.u32()? as usize;
+        if count == 0 || count > MAX_BATCH_LEN {
+            return Err(WireError::BadLength(count));
+        }
+        let mut values = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            values.push(V::decode(r)?);
+        }
+        Ok(Batch::new(values))
+    }
+
+    fn valid_for(&self, n: usize) -> bool {
+        self.iter().all(|v| v.valid_for(n))
     }
 }
 
@@ -223,6 +259,16 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                 buf.push(TAG_LOG_CATCHUP);
                 put_u64(buf, *from);
             }
+            LogMsg::SnapshotOffer { upto } => {
+                buf.push(TAG_LOG_SNAPSHOT_OFFER);
+                put_u64(buf, *upto);
+            }
+            LogMsg::SnapshotInstall { upto, state } => {
+                buf.push(TAG_LOG_SNAPSHOT_INSTALL);
+                put_u64(buf, *upto);
+                put_u32(buf, state.len() as u32);
+                buf.extend_from_slice(state);
+            }
         }
     }
 
@@ -235,6 +281,16 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
             }),
             TAG_LOG_FORWARD => Ok(LogMsg::Forward { v: V::decode(r)? }),
             TAG_LOG_CATCHUP => Ok(LogMsg::Catchup { from: r.u64()? }),
+            TAG_LOG_SNAPSHOT_OFFER => Ok(LogMsg::SnapshotOffer { upto: r.u64()? }),
+            TAG_LOG_SNAPSHOT_INSTALL => {
+                let upto = r.u64()?;
+                let len = r.u32()? as usize;
+                if len > MAX_SNAPSHOT_LEN {
+                    return Err(WireError::BadLength(len));
+                }
+                let state: Arc<[u8]> = r.take(len)?.into();
+                Ok(LogMsg::SnapshotInstall { upto, state })
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -244,7 +300,8 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
             LogMsg::Omega(m) => m.valid_for(n),
             LogMsg::Slot { msg, .. } => msg.valid_for(n),
             LogMsg::Forward { v } => v.valid_for(n),
-            LogMsg::Catchup { .. } => true,
+            LogMsg::Catchup { .. } | LogMsg::SnapshotOffer { .. } => true,
+            LogMsg::SnapshotInstall { state, .. } => state.len() <= MAX_SNAPSHOT_LEN,
         }
     }
 }
@@ -300,19 +357,27 @@ mod tests {
     }
 
     fn log_from(seed: u8, slot: u64, bytes: &[u8]) -> LMsg {
-        match seed % 4 {
+        match seed % 6 {
             0 => LogMsg::Omega(alive(4)),
             1 => LogMsg::Slot {
                 slot,
                 msg: PaxosMsg::Accept {
                     b: Ballot::new(slot + 1, ProcessId::new(seed as u32 % 4)),
-                    v: Command::new(bytes.to_vec()),
+                    v: Batch::new(vec![
+                        Command::new(bytes.to_vec()),
+                        Command::new(vec![seed; 3]),
+                    ]),
                 },
             },
             2 => LogMsg::Forward {
                 v: Command::new(bytes.to_vec()),
             },
-            _ => LogMsg::Catchup { from: slot },
+            3 => LogMsg::Catchup { from: slot },
+            4 => LogMsg::SnapshotOffer { upto: slot },
+            _ => LogMsg::SnapshotInstall {
+                upto: slot,
+                state: bytes.to_vec().into(),
+            },
         }
     }
 
@@ -356,10 +421,81 @@ mod tests {
         assert_eq!(roundtrip(&omega), omega);
         let paxos: CMsg = ConsensusMsg::Paxos(paxos_from(2, 4, 1, 9));
         assert_eq!(roundtrip(&paxos), paxos);
-        for seed in 0..4u8 {
+        for seed in 0..6u8 {
             let msg = log_from(seed, 11, &[1, 2, 3]);
             assert_eq!(roundtrip(&msg), msg, "log variant {seed}");
         }
+    }
+
+    #[test]
+    fn batches_roundtrip_and_reject_bad_counts() {
+        let batch = Batch::new(vec![Value(1), Value(u64::MAX)]);
+        assert_eq!(roundtrip(&batch), batch);
+        let one = Batch::one(Command::new(vec![7u8; 9]));
+        assert_eq!(roundtrip(&one), one);
+        // A zero count is not a batch (slots always decide ≥ 1 value)…
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0);
+        assert_eq!(
+            decode_payload::<Batch<Value>>(&buf),
+            Err(WireError::BadLength(0))
+        );
+        // …and an oversized count is rejected before allocating.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, (MAX_BATCH_LEN + 1) as u32);
+        assert_eq!(
+            decode_payload::<Batch<Value>>(&buf),
+            Err(WireError::BadLength(MAX_BATCH_LEN + 1))
+        );
+    }
+
+    /// The worst batch the leader's byte-budgeted drain can produce —
+    /// `MAX_BATCH_BYTES` of max-length commands — must encode inside one
+    /// wire frame even when double-carried by a `Promise`.
+    #[test]
+    fn a_budget_full_batch_fits_one_wire_frame() {
+        use irs_consensus::{MAX_BATCH_BYTES, MAX_COMMAND_LEN};
+        let per_cmd = 4 + MAX_COMMAND_LEN; // estimated_size of a max command
+        let count = MAX_BATCH_BYTES / per_cmd;
+        let batch = Batch::new(
+            (0..count)
+                .map(|i| Command::new(vec![i as u8; MAX_COMMAND_LEN]))
+                .collect::<Vec<_>>(),
+        );
+        let b = Ballot::new(3, ProcessId::new(1));
+        let promise: LMsg = LogMsg::Slot {
+            slot: 7,
+            msg: PaxosMsg::Promise {
+                b,
+                accepted: Some((b, batch.clone())),
+            },
+        };
+        let mut buf = Vec::new();
+        promise.encode(&mut buf);
+        assert!(
+            buf.len() <= crate::wire::MAX_PAYLOAD,
+            "budget-full batch encodes to {} bytes > frame cap",
+            buf.len()
+        );
+        assert_eq!(roundtrip(&promise), promise);
+    }
+
+    #[test]
+    fn oversized_snapshot_installs_are_rejected_not_allocated() {
+        let mut buf = vec![TAG_LOG_SNAPSHOT_INSTALL];
+        put_u64(&mut buf, 10);
+        put_u32(&mut buf, (MAX_SNAPSHOT_LEN + 1) as u32);
+        assert_eq!(
+            decode_payload::<LMsg>(&buf),
+            Err(WireError::BadLength(MAX_SNAPSHOT_LEN + 1))
+        );
+        // A bound-respecting install is semantically valid for any n.
+        let install: LMsg = LogMsg::SnapshotInstall {
+            upto: 10,
+            state: vec![1u8; 32].into(),
+        };
+        assert!(install.valid_for(4));
+        assert_eq!(roundtrip(&install), install);
     }
 
     /// Cross-kind frames are link noise: a payload of one message kind fed
@@ -406,7 +542,10 @@ mod tests {
             slot: 0,
             msg: PaxosMsg::Promise {
                 b: Ballot::new(2, ProcessId::new(0)),
-                accepted: Some((Ballot::new(1, ProcessId::new(7)), Command::default())),
+                accepted: Some((
+                    Ballot::new(1, ProcessId::new(7)),
+                    Batch::one(Command::default()),
+                )),
             },
         };
         assert!(bad_promise.valid_for(8));
@@ -446,8 +585,10 @@ mod tests {
             let _ = decode_payload::<Value>(&bytes);
             let _ = decode_payload::<Command>(&bytes);
             let _ = decode_payload::<Ballot>(&bytes);
+            let _ = decode_payload::<Batch<Value>>(&bytes);
+            let _ = decode_payload::<Batch<Command>>(&bytes);
             let _ = decode_payload::<PaxosMsg<Value>>(&bytes);
-            let _ = decode_payload::<PaxosMsg<Command>>(&bytes);
+            let _ = decode_payload::<PaxosMsg<Batch<Command>>>(&bytes);
             let _ = decode_payload::<CMsg>(&bytes);
             let _ = decode_payload::<LMsg>(&bytes);
         }

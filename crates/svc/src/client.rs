@@ -342,3 +342,41 @@ pub(crate) enum ReplyOutcome {
     /// The hint changed; resend to the new hint.
     Redirected,
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_net::MemNetwork;
+    use std::time::Instant;
+
+    /// The per-operation deadline is a hard total budget: against a cluster
+    /// that never answers (here: three replica endpoints nobody serves —
+    /// the fully-partitioned limit), `put` returns `TimedOut` shortly after
+    /// the budget instead of hanging a loadgen thread forever, and every
+    /// retry/rotation stays inside it.
+    #[test]
+    fn ops_time_out_against_an_unresponsive_cluster() {
+        let n = 3;
+        let mut mesh = MemNetwork::mesh(n + 1);
+        let ep = mesh.remove(n); // replica endpoints in `mesh` are never read
+        let mut client = SvcClient::new(ProcessId::new(n as u32), n, ep, 0xDEAD);
+        let budget = StdDuration::from_millis(250);
+        let started = Instant::now();
+        let result = client.put(b"k", b"v", budget);
+        let elapsed = started.elapsed();
+        assert_eq!(result, Err(ClientError::TimedOut));
+        assert!(elapsed >= budget, "must not give up early: {elapsed:?}");
+        assert!(
+            elapsed < budget + StdDuration::from_millis(500),
+            "must not overshoot the budget by a backoff cycle: {elapsed:?}"
+        );
+        assert_eq!(client.stats.failures, 1);
+        assert!(
+            client.stats.retries > 0,
+            "silence was retried within budget"
+        );
+        // The sequence number stays consumed, so a later retry of the same
+        // logical write would be a fresh seq (exactly-once is per seq).
+        assert_eq!(client.next_seq(), 2);
+    }
+}

@@ -13,7 +13,7 @@ use crate::node::{run_svc_node, SvcConfig};
 use crate::replica::SvcReplica;
 use irs_net::{FaultyLink, LinkModel, MemNetwork, MemTransport, Transport, UdpTransport};
 use irs_runtime::NodeHandle;
-use irs_types::{ProcessId, Snapshot, SystemConfig};
+use irs_types::{ProcessId, Snapshot};
 use std::sync::atomic::Ordering;
 use std::thread::JoinHandle;
 
@@ -44,14 +44,13 @@ impl SvcCluster {
         let n = config.n;
         assert!(n >= 3, "a replicated service needs n >= 3");
         assert_eq!(transports.len(), n, "one endpoint per replica");
-        let system = SystemConfig::new(n, (n - 1) / 2).expect("valid replica system");
         let handles: Vec<NodeHandle> = (0..n).map(|_| NodeHandle::new()).collect();
         let threads = transports
             .into_iter()
             .enumerate()
             .zip(&handles)
             .map(|((i, transport), handle)| {
-                let replica = SvcReplica::new(ProcessId::new(i as u32), system);
+                let replica = config.replica(ProcessId::new(i as u32));
                 let handle = handle.clone();
                 std::thread::Builder::new()
                     .name(format!("irs-svc-{i}"))

@@ -17,8 +17,15 @@
 //! ```
 //!
 //! * [`SvcReplica`] wraps a [`irs_consensus::ReplicatedLog`] over
-//!   [`irs_omega::OmegaProcess`] with [`Command`]-valued entries, plus the
-//!   [`KvStore`] apply loop. It is an ordinary sans-IO
+//!   [`irs_omega::OmegaProcess`] whose slots decide
+//!   [`irs_consensus::CommandBatch`]es (the leader drains up to
+//!   `batch_max` pending commands per slot, with up to `pipeline_depth`
+//!   slots in flight — `SvcConfig::with_batching`), plus the [`KvStore`]
+//!   apply loop: batches apply atomically in slot order and one decision
+//!   may ack many clients. Every `snapshot_interval` applied slots the
+//!   replica exports its store and truncates the log behind the snapshot,
+//!   so memory stays bounded under sustained load and a lagging replica
+//!   converges via snapshot install. It is an ordinary sans-IO
 //!   [`irs_types::Protocol`], so it runs under any driver.
 //! * [`run_svc_node`] drives one replica over any
 //!   [`irs_net::Transport`] endpoint — the same event loop as

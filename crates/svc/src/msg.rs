@@ -146,6 +146,17 @@ mod tests {
         for msg in [
             SvcMsg::Log(LogMsg::Catchup { from: 7 }),
             SvcMsg::Log(LogMsg::Forward { v: cmd.clone() }),
+            SvcMsg::Log(LogMsg::Slot {
+                slot: 4,
+                msg: irs_consensus::PaxosMsg::Decide {
+                    v: irs_consensus::Batch::new(vec![cmd.clone(), cmd.clone()]),
+                },
+            }),
+            SvcMsg::Log(LogMsg::SnapshotOffer { upto: 9 }),
+            SvcMsg::Log(LogMsg::SnapshotInstall {
+                upto: 9,
+                state: vec![1u8, 2, 3].into(),
+            }),
             SvcMsg::Request { cmd },
             SvcMsg::Reply(SvcReply::Applied {
                 client: 8,

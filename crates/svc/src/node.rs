@@ -12,7 +12,7 @@ use crate::msg::SvcMsg;
 use crate::replica::SvcReplica;
 use irs_net::{wire::decode_payload, Frame, Transport, Wire};
 use irs_runtime::{run_node_with, NodeConfig, NodeHandle};
-use irs_types::{ProcessId, Protocol};
+use irs_types::{ProcessId, Protocol, SystemConfig};
 use std::time::Duration as StdDuration;
 
 /// Deployment shape of one service node.
@@ -25,15 +25,29 @@ pub struct SvcConfig {
     pub peers: usize,
     /// The wall-clock length of one logical tick.
     pub tick: StdDuration,
+    /// Most client commands the leader drains into one log slot's batch
+    /// (1 = unbatched, the historical behaviour).
+    pub batch_max: usize,
+    /// Number of consecutive log slots the leader keeps in flight
+    /// concurrently (1 = one-slot-at-a-time, the historical behaviour).
+    pub pipeline_depth: u64,
+    /// Apply-slot interval at which a replica exports its store and
+    /// truncates the log's decided prefix behind the snapshot (0 disables
+    /// compaction; the log then grows without bound, as before PR 5).
+    pub snapshot_interval: u64,
 }
 
 impl SvcConfig {
-    /// `n` replicas plus `clients` client endpoints, 100 µs tick.
+    /// `n` replicas plus `clients` client endpoints, 100 µs tick, unbatched
+    /// single-slot replication, compaction every 1024 applied slots.
     pub fn new(n: usize, clients: usize) -> Self {
         SvcConfig {
             n,
             peers: n + clients,
             tick: StdDuration::from_micros(100),
+            batch_max: 1,
+            pipeline_depth: 1,
+            snapshot_interval: 1024,
         }
     }
 
@@ -42,6 +56,45 @@ impl SvcConfig {
     pub fn with_tick(mut self, tick: StdDuration) -> Self {
         self.tick = tick.max(StdDuration::from_nanos(1));
         self
+    }
+
+    /// Sets the per-slot command batch bound and the in-flight slot window
+    /// (both clamped to at least 1).
+    #[must_use]
+    pub fn with_batching(mut self, batch_max: usize, pipeline_depth: u64) -> Self {
+        self.batch_max = batch_max.max(1);
+        self.pipeline_depth = pipeline_depth.max(1);
+        self
+    }
+
+    /// Sets the snapshot/compaction interval in applied slots (0 disables).
+    #[must_use]
+    pub fn with_snapshot_interval(mut self, interval: u64) -> Self {
+        self.snapshot_interval = interval;
+        self
+    }
+
+    /// Builds the replica this config describes — the canonical way to
+    /// construct the node passed to [`run_svc_node`]. The batching,
+    /// pipelining and compaction knobs live on the config but act inside
+    /// the replica; building the replica anywhere else risks the two
+    /// silently disagreeing (a replica built with `SvcReplica::new` next
+    /// to a `with_batching(…)` config runs unbatched). Resilience is the
+    /// largest consensus-compatible `t = ⌊(n−1)/2⌋`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (no consensus-compatible resilience).
+    pub fn replica(&self, id: ProcessId) -> SvcReplica {
+        assert!(self.n >= 3, "a replicated service needs n >= 3");
+        let system = SystemConfig::new(self.n, (self.n - 1) / 2).expect("valid replica system");
+        SvcReplica::with_tuning(
+            id,
+            system,
+            self.batch_max,
+            self.pipeline_depth,
+            self.snapshot_interval,
+        )
     }
 }
 

@@ -4,7 +4,7 @@
 use crate::command::KvWrite;
 use crate::msg::{ReplicaLogMsg, SvcMsg, SvcReply};
 use crate::store::KvStore;
-use irs_consensus::{Command, ReplicatedLog};
+use irs_consensus::{Command, ConsensusConfig, ReplicatedLog, MAX_SNAPSHOT_LEN};
 use irs_omega::OmegaProcess;
 use irs_types::{
     Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, Snapshot, SystemConfig,
@@ -14,36 +14,74 @@ use std::collections::BTreeMap;
 
 /// One replica of the key-value service.
 ///
-/// Wraps a [`ReplicatedLog`] with `Command`-valued entries, applies its
-/// decided prefix to a [`KvStore`], and speaks the client protocol:
-/// requests are sequenced by the leader, acknowledged once applied, and
-/// redirected when this replica does not consider itself the leader.
+/// Wraps a [`ReplicatedLog`] whose slots decide *batches* of `Command`s,
+/// applies its decided prefix to a [`KvStore`] (one slot may ack many
+/// clients), and speaks the client protocol: requests are sequenced by the
+/// leader, acknowledged once applied, and redirected when this replica
+/// does not consider itself the leader. Every `snapshot_interval` applied
+/// slots the replica exports its store and truncates the log's decided
+/// prefix behind the snapshot, which bounds memory under sustained load; a
+/// replica lagging past a truncation point converges by installing a
+/// peer's snapshot instead of replaying slots.
 #[derive(Debug)]
 pub struct SvcReplica {
     log: ReplicatedLog<OmegaProcess, Command>,
     store: KvStore,
     /// The next log slot to apply (everything below is in the store).
     cursor: u64,
+    /// Apply-slot interval between snapshots (0 = never truncate).
+    snapshot_interval: u64,
+    /// The cursor at the last truncation (or snapshot install).
+    last_snapshot: u64,
     /// Clients awaiting an ack, by `(client, seq)` → their endpoint id.
     awaiting: BTreeMap<(u64, u64), ProcessId>,
     requests: u64,
     redirects: u64,
+    snapshots_taken: u64,
 }
 
 impl SvcReplica {
-    /// Builds a replica over the paper's Figure 3 Ω algorithm.
+    /// Builds a replica over the paper's Figure 3 Ω algorithm with the
+    /// historical tuning: unbatched, one slot in flight, compaction every
+    /// 1024 applied slots.
     ///
     /// # Panics
     ///
     /// Panics if the system does not have a correct majority (`t ≥ n/2`).
     pub fn new(id: ProcessId, system: SystemConfig) -> Self {
+        Self::with_tuning(id, system, 1, 1, 1024)
+    }
+
+    /// Builds a replica with explicit batching/pipelining/compaction
+    /// tuning (see [`crate::SvcConfig`] for the knobs' meaning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not have a correct majority (`t ≥ n/2`).
+    pub fn with_tuning(
+        id: ProcessId,
+        system: SystemConfig,
+        batch_max: usize,
+        pipeline_depth: u64,
+        snapshot_interval: u64,
+    ) -> Self {
+        assert!(
+            system.supports_consensus(),
+            "replication requires t < n/2 (got n = {}, t = {})",
+            system.n(),
+            system.t()
+        );
+        let cfg = ConsensusConfig::new(system).with_batching(batch_max, pipeline_depth);
         SvcReplica {
-            log: ReplicatedLog::over_omega(id, system),
+            log: ReplicatedLog::new(id, cfg, OmegaProcess::fig3(id, system)),
             store: KvStore::new(),
             cursor: 0,
+            snapshot_interval,
+            last_snapshot: 0,
             awaiting: BTreeMap::new(),
             requests: 0,
             redirects: 0,
+            snapshots_taken: 0,
         }
     }
 
@@ -140,42 +178,93 @@ impl SvcReplica {
         self.lift(inner, out);
     }
 
-    /// Applies every newly decided contiguous slot and acks the clients
-    /// whose writes became durable. If more commands are queued, the next
-    /// slot is driven immediately (pipelining across the check period).
+    /// Applies every newly decided contiguous slot — each slot is a batch,
+    /// applied atomically in order, and may ack many clients — and drives
+    /// the window forward. Snapshots are taken on the interval boundary.
     fn apply_ready(&mut self, out: &mut Actions<SvcMsg>) {
         let cursor_before = self.cursor;
-        while let Some(cmd) = self.log.decision(self.cursor).cloned() {
+        while let Some(batch) = self.log.decision(self.cursor).cloned() {
             let slot = self.cursor;
             self.cursor += 1;
-            let Some(w) = KvWrite::decode(&cmd) else {
-                continue; // an unparseable command is a no-op slot
-            };
-            let fresh = self.store.apply(slot, &w);
-            match self.awaiting.remove(&(w.client, w.seq)) {
-                // Ack only writes whose effect actually landed. A decided
-                // entry the session filter skipped (a stale seq overtaken
-                // by a pipelined later write, or a retry's second copy) was
-                // rejected — staying silent lets the client's deadline
-                // report it honestly instead of acking a lost write.
-                Some(client_ep) if fresh => {
-                    out.send(
-                        client_ep,
-                        SvcMsg::Reply(SvcReply::Applied {
-                            client: w.client,
-                            seq: w.seq,
-                            slot,
-                        }),
-                    );
+            // Unparseable commands are no-op entries; the rest go through
+            // the store's one batch-apply path, with the ack bookkeeping
+            // riding the per-write callback.
+            let writes: Vec<KvWrite> = batch.iter().filter_map(KvWrite::decode).collect();
+            let awaiting = &mut self.awaiting;
+            self.store.apply_batch(slot, &writes, |w, fresh| {
+                match awaiting.remove(&(w.client, w.seq)) {
+                    // Ack only writes whose effect actually landed. A
+                    // decided entry the session filter skipped (a stale seq
+                    // overtaken by a pipelined later write, or a retry's
+                    // second copy) was rejected — staying silent lets the
+                    // client's deadline report it honestly instead of
+                    // acking a lost write.
+                    Some(client_ep) if fresh => {
+                        out.send(
+                            client_ep,
+                            SvcMsg::Reply(SvcReply::Applied {
+                                client: w.client,
+                                seq: w.seq,
+                                slot,
+                            }),
+                        );
+                    }
+                    _ => {}
                 }
-                _ => {}
-            }
+            });
         }
         if self.cursor > cursor_before {
+            self.maybe_snapshot();
             let mut inner = Actions::new();
             self.log.drive(&mut inner);
             self.lift(inner, out);
         }
+    }
+
+    /// Exports the store and truncates the log once enough slots have been
+    /// applied since the last snapshot attempt. Skipped when the exported
+    /// state outgrows one wire frame — the log then keeps its decisions
+    /// (replay still works) rather than serving an uninstallable snapshot;
+    /// the attempt marker advances either way, so the O(store) export
+    /// re-runs once per interval, not once per applied slot, until deletes
+    /// shrink the state back under the bound.
+    fn maybe_snapshot(&mut self) {
+        if self.snapshot_interval == 0 || self.cursor < self.last_snapshot + self.snapshot_interval
+        {
+            return;
+        }
+        self.last_snapshot = self.cursor;
+        let blob = self.store.export();
+        if blob.len() > MAX_SNAPSHOT_LEN {
+            return;
+        }
+        self.log.truncate_below(self.cursor, blob);
+        self.snapshots_taken += 1;
+    }
+
+    /// Adopts a snapshot a peer sent us (we lag past its truncation point):
+    /// validate the blob, replace the store, jump the cursor, and confirm
+    /// the install to the log. A blob that fails validation is dropped —
+    /// the log stays where it was and per-slot catch-up keeps trying.
+    fn maybe_install(&mut self) {
+        let Some((upto, blob)) = self.log.take_pending_install() else {
+            return;
+        };
+        if upto <= self.cursor {
+            return;
+        }
+        let Some(restored) = KvStore::install(&blob) else {
+            return;
+        };
+        self.store = restored;
+        self.cursor = upto;
+        self.last_snapshot = upto;
+        self.log.complete_install(upto, blob);
+        // Anything we still owed an ack for is covered (or superseded) by
+        // the snapshot; falling far enough behind to need an install means
+        // those clients gave up on us long ago. A retry of a client's
+        // latest applied write still re-acks via `last_applied`.
+        self.awaiting.clear();
     }
 }
 
@@ -204,6 +293,7 @@ impl Protocol for SvcReplica {
             // stray traffic.
             SvcMsg::Reply(_) => {}
         }
+        self.maybe_install();
         self.apply_ready(out);
     }
 
@@ -211,6 +301,7 @@ impl Protocol for SvcReplica {
         let mut inner = Actions::new();
         self.log.on_timer(timer, &mut inner);
         self.lift(inner, out);
+        self.maybe_install();
         self.apply_ready(out);
     }
 }
@@ -231,6 +322,7 @@ impl Introspect for SvcReplica {
         snap.extra.push(("awaiting", self.awaiting.len() as u64));
         snap.extra.push(("requests", self.requests));
         snap.extra.push(("redirects", self.redirects));
+        snap.extra.push(("snapshots_taken", self.snapshots_taken));
         snap
     }
 }
@@ -407,7 +499,7 @@ mod tests {
             &irs_consensus::LogMsg::Slot {
                 slot: 2,
                 msg: irs_consensus::PaxosMsg::Decide {
-                    v: write(4, 1).encode(),
+                    v: irs_consensus::Batch::one(write(4, 1).encode()),
                 },
             },
             &mut Actions::new(),
@@ -460,8 +552,97 @@ mod tests {
             "awaiting",
             "requests",
             "redirects",
+            "snapshots_taken",
+            "retained_decisions",
+            "compact_floor",
+            "snapshot_installs",
         ] {
             assert!(snap.gauge(gauge).is_some(), "missing gauge {gauge}");
         }
+    }
+
+    /// One batched slot decision applies every command in order and acks
+    /// every awaiting client — many acks per decision.
+    #[test]
+    fn a_batched_decision_acks_every_client_in_the_slot() {
+        let mut replica = SvcReplica::with_tuning(ProcessId::new(0), system(), 8, 2, 0);
+        let (w1, w2, w3) = (write(7, 1), write(8, 1), write(9, 1));
+        replica.awaiting.insert((7, 1), ProcessId::new(7));
+        replica.awaiting.insert((8, 1), ProcessId::new(8));
+        replica.awaiting.insert((9, 1), ProcessId::new(9));
+        replica.log.on_message(
+            ProcessId::new(1),
+            &irs_consensus::LogMsg::Slot {
+                slot: 0,
+                msg: irs_consensus::PaxosMsg::Decide {
+                    v: irs_consensus::Batch::new(vec![w1.encode(), w2.encode(), w3.encode()]),
+                },
+            },
+            &mut Actions::new(),
+        );
+        let mut out = Actions::new();
+        replica.apply_ready(&mut out);
+        assert_eq!(replica.store.applied(), 3, "whole batch applied in order");
+        let acks: Vec<u64> = out
+            .sends()
+            .iter()
+            .filter_map(|s| match s.msg {
+                SvcMsg::Reply(SvcReply::Applied {
+                    client, slot: 0, ..
+                }) => Some(client),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![7, 8, 9], "one ack per batched write");
+        assert!(replica.awaiting.is_empty());
+    }
+
+    /// The replica-level snapshot flow: an interval-triggered truncation at
+    /// a loaded replica, then a wiped replica adopting the snapshot via the
+    /// host-mediated install path.
+    #[test]
+    fn snapshots_truncate_and_install_across_replicas() {
+        let mut loaded = SvcReplica::with_tuning(ProcessId::new(0), system(), 1, 1, 4);
+        for seq in 1..=10u64 {
+            loaded.log.on_message(
+                ProcessId::new(1),
+                &irs_consensus::LogMsg::Slot {
+                    slot: seq - 1,
+                    msg: irs_consensus::PaxosMsg::Decide {
+                        v: irs_consensus::Batch::one(write(7, seq).encode()),
+                    },
+                },
+                &mut Actions::new(),
+            );
+            loaded.apply_ready(&mut Actions::new());
+        }
+        assert!(loaded.snapshots_taken >= 2, "interval 4 over 10 slots");
+        assert!(
+            loaded.log.retained_decisions() <= 4,
+            "decided prefix truncated behind the snapshot"
+        );
+        // A wiped replica asks to catch up from slot 0 — below the floor —
+        // and converges by install, ending digest-identical.
+        let mut wiped = SvcReplica::with_tuning(ProcessId::new(3), system(), 1, 1, 4);
+        let mut answer = Actions::new();
+        loaded.on_message(
+            ProcessId::new(3),
+            &SvcMsg::Log(irs_consensus::LogMsg::Catchup { from: 0 }),
+            &mut answer,
+        );
+        assert!(
+            answer.sends().iter().any(|s| matches!(
+                s.msg,
+                SvcMsg::Log(irs_consensus::LogMsg::SnapshotInstall { .. })
+            )),
+            "sub-floor catch-up is served as an install"
+        );
+        for send in answer.sends() {
+            wiped.on_message(ProcessId::new(0), &send.msg, &mut Actions::new());
+        }
+        assert_eq!(wiped.store.digest(), loaded.store.digest());
+        assert_eq!(wiped.store.map(), loaded.store.map());
+        assert_eq!(wiped.cursor, loaded.cursor);
+        assert_eq!(wiped.store.last_applied(7), Some((10, 9)));
     }
 }

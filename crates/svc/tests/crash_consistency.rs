@@ -71,3 +71,51 @@ fn leader_crash_under_lossy_load_keeps_surviving_replicas_identical() {
         surviving[0].store().digest()
     );
 }
+
+/// The same contract with the batched/pipelined replication path and
+/// compaction on: the leader is crash-stopped mid-batch (slots carry up to
+/// 8 commands, 4 slots in flight) under seeded loss, and the survivors must
+/// still converge to identical maps holding every acked write — a decided
+/// batch is applied atomically in order or not at all, and truncated
+/// history must not break post-crash catch-up.
+#[test]
+fn leader_crash_mid_batch_keeps_survivors_identical_under_compaction() {
+    let config = SvcConfig::new(N, CLIENTS)
+        .with_batching(8, 4)
+        .with_snapshot_interval(32);
+    let (cluster, mut clients) = SvcCluster::with_link_models(N, CLIENTS, config, |p| {
+        LinkModel::new(0xBA7C_4C4A ^ u64::from(p.as_u32())).with_drop_prob(0.05)
+    });
+    let (report, acked, crashed) = closed_loop_with_leader_crash(
+        &cluster,
+        &mut clients,
+        ClosedLoopOptions {
+            duration: Duration::from_secs(4),
+            op_deadline: Duration::from_secs(8),
+            ..ClosedLoopOptions::default()
+        },
+        Duration::from_millis(1200),
+    );
+    assert!(
+        report.ops > 0,
+        "no operation was ever acknowledged: {report:?}"
+    );
+    assert!(
+        await_survivor_convergence(&cluster, crashed, Duration::from_secs(30)),
+        "survivors never converged on a digest"
+    );
+    let finals = cluster.shutdown();
+    let surviving: Vec<&SvcReplica> = finals.iter().filter(|r| r.id() != crashed).collect();
+    assert_eq!(surviving.len(), N - 1);
+    if let Err(violation) = check_consistency(&surviving, &acked) {
+        panic!("batched crash-consistency violated: {violation}");
+    }
+    println!(
+        "batched crash-consistency: {} ops acked, leader {crashed} crashed mid-batch, \
+         {} survivors identical (digest {:#x}, floor {})",
+        report.ops,
+        surviving.len(),
+        surviving[0].store().digest(),
+        surviving[0].log().compact_floor()
+    );
+}

@@ -11,8 +11,8 @@
 //! acked write applied.
 
 use irs_net::{reexec, UdpTransport};
-use irs_svc::{run_svc_node, SvcClient, SvcConfig, SvcReplica};
-use irs_types::{ProcessId, SystemConfig};
+use irs_svc::{run_svc_node, SvcClient, SvcConfig};
+use irs_types::ProcessId;
 use std::io::BufRead;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -26,11 +26,10 @@ fn child_main(id: u32) {
     let mut lines = stdin.lock().lines();
     let transport = reexec::child_join_mesh(&mut lines, N + 1);
 
-    let system = SystemConfig::new(N, (N - 1) / 2).expect("system config");
-    let replica = SvcReplica::new(ProcessId::new(id), system);
+    let config = SvcConfig::new(N, 1).with_tick(TICK);
+    let replica = config.replica(ProcessId::new(id));
     let handle = irs_runtime::NodeHandle::new();
     let observer = handle.clone();
-    let config = SvcConfig::new(N, 1).with_tick(TICK);
     let node = std::thread::spawn(move || run_svc_node(replica, transport, config, handle));
 
     // Run until the parent says stop.

@@ -16,8 +16,8 @@
 use intermittent_rotating_star::net::{reexec, UdpTransport};
 use intermittent_rotating_star::runtime::NodeHandle;
 use intermittent_rotating_star::svc::loadgen::{closed_loop, ClosedLoopOptions};
-use intermittent_rotating_star::svc::{run_svc_node, SvcClient, SvcConfig, SvcReplica};
-use intermittent_rotating_star::types::{ProcessId, SystemConfig};
+use intermittent_rotating_star::svc::{run_svc_node, SvcClient, SvcConfig};
+use intermittent_rotating_star::types::ProcessId;
 use std::io::BufRead;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -36,11 +36,10 @@ fn child(id: u32, n: usize, clients: usize) {
     let mut lines = stdin.lock().lines();
     let transport = reexec::child_join_mesh(&mut lines, n + clients);
 
-    let system = SystemConfig::new(n, (n - 1) / 2).expect("system");
-    let replica = SvcReplica::new(ProcessId::new(id), system);
+    let config = SvcConfig::new(n, clients).with_tick(TICK);
+    let replica = config.replica(ProcessId::new(id));
     let handle = NodeHandle::new();
     let observer = handle.clone();
-    let config = SvcConfig::new(n, clients).with_tick(TICK);
     let node = std::thread::spawn(move || run_svc_node(replica, transport, config, handle));
 
     for line in lines {
