@@ -144,6 +144,28 @@ impl<V: LogValue> PaxosInstance<V> {
         self.decided.as_ref()
     }
 
+    /// The acceptor's highest accepted `(ballot, value)`, if any. The
+    /// replicated log compares this across a message delivery to detect
+    /// fresh acceptances that must hit the write-ahead log before the
+    /// corresponding vote is released.
+    pub fn accepted(&self) -> Option<&(Ballot, V)> {
+        self.accepted.as_ref()
+    }
+
+    /// Restores acceptor state from a durable record (crash recovery):
+    /// afterwards the instance behaves as if it had promised `b` and
+    /// accepted `(b, v)` before the crash, so a restarted acceptor can
+    /// never un-promise a vote it already released.
+    ///
+    /// Keeps the highest ballot when called repeatedly (WAL replay feeds
+    /// records oldest-first).
+    pub fn restore_accepted(&mut self, b: Ballot, v: V) {
+        if self.accepted.as_ref().is_none_or(|(prev, _)| b >= *prev) {
+            self.promised = self.promised.max(b);
+            self.accepted = Some((b, v));
+        }
+    }
+
     /// Number of ballots this process has started as a proposer.
     pub fn ballots_started(&self) -> u64 {
         self.ballots_started

@@ -41,5 +41,7 @@ pub use ballot::{
 pub use instance::{PaxosInstance, PaxosMsg, PaxosSend};
 pub use process::{ConsensusConfig, ConsensusMsg, ConsensusProcess, TIMER_BALLOT_CHECK};
 pub use repeated::{
-    LogMsg, ReplicatedLog, CATCHUP_BATCH, CATCHUP_BYTES, MAX_SNAPSHOT_LEN, TIMER_LOG_CHECK,
+    snapshot_chunk_count, LogEvent, LogMsg, ReplicatedLog, CATCHUP_BATCH, CATCHUP_BYTES,
+    MAX_SNAPSHOT_CHUNKS, MAX_SNAPSHOT_LEN, SNAPSHOT_CHUNK_LEN, SNAPSHOT_CHUNK_WINDOW,
+    TIMER_LOG_CHECK,
 };

@@ -62,10 +62,12 @@
 //! cannot decode must never advance the log. This bounds retained state to
 //! O(snapshot interval + pipeline window) under sustained load.
 
-use crate::{Batch, ConsensusConfig, LogValue, PaxosInstance, PaxosMsg, Value, MAX_BATCH_LEN};
+use crate::{
+    Ballot, Batch, ConsensusConfig, LogValue, PaxosInstance, PaxosMsg, Value, MAX_BATCH_LEN,
+};
 use irs_types::{
-    Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum, RoundTagged,
-    Snapshot, SystemConfig, TimerId,
+    Actions, Destination, Fnv64, Introspect, LeaderOracle, ProcessId, Protocol, RoundNum,
+    RoundTagged, Snapshot, SystemConfig, TimerId,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -87,11 +89,30 @@ pub const CATCHUP_BATCH: u64 = 16;
 /// progresses even when single slots exceed the budget.
 pub const CATCHUP_BYTES: usize = 64 * 1024;
 
-/// Largest snapshot blob a log accepts or serves, in bytes. Snapshots ride
-/// inside wire frames, so the bound keeps an install message within one
-/// frame ([`irs-net`]'s payload cap is 60 KiB). A host whose exported state
-/// outgrows this must keep its decisions instead of truncating.
+/// Largest snapshot blob served as a *single* [`LogMsg::SnapshotInstall`]
+/// frame ([`irs-net`]'s payload cap is 60 KiB). Blobs beyond this are no
+/// longer a compaction stall: they transfer via the chunk plane
+/// ([`LogMsg::SnapshotChunkRequest`] / [`LogMsg::SnapshotChunk`]) instead.
 pub const MAX_SNAPSHOT_LEN: usize = 48 * 1024;
+
+/// Payload bytes per snapshot chunk — comfortably inside one wire frame
+/// with headers to spare.
+pub const SNAPSHOT_CHUNK_LEN: usize = 32 * 1024;
+
+/// How many chunk requests a pulling replica keeps in flight, and how many
+/// chunks the serving side pushes unprompted to start a transfer.
+pub const SNAPSHOT_CHUNK_WINDOW: u32 = 4;
+
+/// Upper bound on a transfer's chunk count (128 MiB of state), so a
+/// garbage `total` in a [`LogMsg::SnapshotChunk`] cannot trigger an
+/// unbounded assembly-buffer allocation.
+pub const MAX_SNAPSHOT_CHUNKS: u32 = 4096;
+
+/// Number of chunks a snapshot of `len` bytes splits into (at least 1, so
+/// `total` is never 0 on the wire).
+pub fn snapshot_chunk_count(len: usize) -> u32 {
+    len.max(1).div_ceil(SNAPSHOT_CHUNK_LEN) as u32
+}
 
 /// Message of the replicated log: either an oracle message or a consensus
 /// message tagged with its log slot.
@@ -133,12 +154,38 @@ pub enum LogMsg<M, V = Value> {
     /// A state snapshot covering every slot below `upto`, sent to a replica
     /// that asked to catch up from below the sender's compaction floor.
     /// The receiving log parks it for its host to validate and apply
-    /// (see the module docs).
+    /// (see the module docs). Only used for blobs that fit one wire frame
+    /// (≤ [`MAX_SNAPSHOT_LEN`]); larger snapshots ride the chunk plane.
     SnapshotInstall {
         /// First slot *not* covered by the snapshot.
         upto: u64,
         /// The host-defined state blob (opaque to the log).
         state: Arc<[u8]>,
+    },
+    /// A pulling replica's request for one chunk of the snapshot covering
+    /// slots below `upto` (serve-repair style: the receiver drives the
+    /// transfer, so a dropped chunk costs one re-request, not a restart).
+    SnapshotChunkRequest {
+        /// First slot *not* covered by the requested snapshot.
+        upto: u64,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// One chunk of a snapshot, `SNAPSHOT_CHUNK_LEN`-sized except for the
+    /// last. Carries the transfer geometry (`total`) and a per-chunk
+    /// digest so a corrupted chunk is dropped (and later re-requested)
+    /// instead of poisoning the assembled blob.
+    SnapshotChunk {
+        /// First slot *not* covered by the snapshot.
+        upto: u64,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// Total number of chunks in this transfer.
+        total: u32,
+        /// FNV-1a digest of `data`.
+        digest: u64,
+        /// The chunk payload.
+        data: Arc<[u8]>,
     },
 }
 
@@ -150,7 +197,9 @@ impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
             | LogMsg::Forward { .. }
             | LogMsg::Catchup { .. }
             | LogMsg::SnapshotOffer { .. }
-            | LogMsg::SnapshotInstall { .. } => None,
+            | LogMsg::SnapshotInstall { .. }
+            | LogMsg::SnapshotChunkRequest { .. }
+            | LogMsg::SnapshotChunk { .. } => None,
         }
     }
 
@@ -161,8 +210,53 @@ impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
             LogMsg::Forward { v } => 1 + v.estimated_size(),
             LogMsg::Catchup { .. } | LogMsg::SnapshotOffer { .. } => 1 + 8,
             LogMsg::SnapshotInstall { state, .. } => 1 + 8 + 4 + state.len(),
+            LogMsg::SnapshotChunkRequest { .. } => 1 + 8 + 4,
+            LogMsg::SnapshotChunk { data, .. } => 1 + 8 + 4 + 4 + 8 + 4 + data.len(),
         }
     }
+}
+
+/// A durability event: a state transition the host must make durable
+/// *before* releasing the protocol messages of the event round that
+/// produced it (the acceptor's vote, the client's ack). Recorded only
+/// when [`ReplicatedLog::set_durable`] enabled it; drained with
+/// [`ReplicatedLog::take_wal_events`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogEvent<V = Value> {
+    /// This replica, as an acceptor, accepted `(ballot, value)` for `slot`.
+    Accepted {
+        /// The log slot.
+        slot: u64,
+        /// The accepted ballot.
+        ballot: Ballot,
+        /// The accepted batch.
+        value: Batch<V>,
+    },
+    /// `slot` decided `value`.
+    Decided {
+        /// The log slot.
+        slot: u64,
+        /// The decided batch.
+        value: Batch<V>,
+    },
+}
+
+/// In-progress reassembly of a chunked snapshot transfer.
+#[derive(Debug)]
+struct ChunkAssembly {
+    /// First slot not covered by the snapshot being assembled.
+    upto: u64,
+    total: u32,
+    /// The peer serving the transfer; stall re-requests go back to it.
+    source: ProcessId,
+    chunks: Vec<Option<Arc<[u8]>>>,
+    received: u32,
+    /// Next chunk index to pull (the initial window arrives unprompted).
+    next_request: u32,
+    /// `received` as of the previous check tick; a window that made no
+    /// progress across a whole check period re-requests its missing
+    /// chunks — the resume path after a link drop.
+    last_check_received: u32,
 }
 
 /// One replica of the totally ordered log. `O` is the embedded eventual
@@ -214,9 +308,19 @@ pub struct ReplicatedLog<O, V = Value> {
     snapshot: Option<(u64, Arc<[u8]>)>,
     /// A received install waiting for the host to validate and apply.
     pending_install: Option<(u64, Arc<[u8]>)>,
+    /// A chunked snapshot transfer being assembled, if any.
+    chunk_rx: Option<ChunkAssembly>,
+    /// Whether to record [`LogEvent`]s. Off by default: a host that never
+    /// drains must not accumulate an unbounded queue.
+    durable: bool,
+    /// Durability events since the last [`take_wal_events`]
+    /// (ReplicatedLog::take_wal_events) drain.
+    wal_events: Vec<LogEvent<V>>,
     slots_driven: u64,
     catchups_sent: u64,
     snapshot_installs: u64,
+    chunks_served: u64,
+    chunk_rerequests: u64,
 }
 
 impl<V: LogValue> ReplicatedLog<irs_omega::OmegaProcess, V> {
@@ -269,10 +373,100 @@ where
             compact_floor: 0,
             snapshot: None,
             pending_install: None,
+            chunk_rx: None,
+            durable: false,
+            wal_events: Vec::new(),
             slots_driven: 0,
             catchups_sent: 0,
             snapshot_installs: 0,
+            chunks_served: 0,
+            chunk_rerequests: 0,
         }
+    }
+
+    /// Rebuilds a replica from durably recovered state: the latest on-disk
+    /// snapshot (if any), the decided slots replayed from the WAL, and the
+    /// undecided slots' accepted acceptor state. The resulting log is
+    /// exactly what a never-crashed replica holding the same facts would
+    /// be: the snapshot sets the compaction floor, decisions advance the
+    /// frontier, and restored acceptances keep every released vote binding.
+    ///
+    /// Recovery is deterministic: the same inputs (same on-disk bytes)
+    /// always produce the same log state. Call [`set_durable`]
+    /// (ReplicatedLog::set_durable) *after* this, so replaying old
+    /// decisions does not re-record them.
+    pub fn recover(
+        id: ProcessId,
+        cfg: ConsensusConfig,
+        oracle: O,
+        snapshot: Option<(u64, Arc<[u8]>)>,
+        decisions: impl IntoIterator<Item = (u64, Batch<V>)>,
+        accepted: impl IntoIterator<Item = (u64, Ballot, Batch<V>)>,
+    ) -> Self {
+        let mut log = Self::new(id, cfg, oracle);
+        if let Some((upto, state)) = snapshot {
+            log.compact_floor = upto;
+            log.frontier = upto;
+            if upto > 0 {
+                log.max_seen_slot = Some(upto - 1);
+            }
+            log.snapshot = Some((upto, state));
+        }
+        for (slot, batch) in decisions {
+            log.note_decision(slot, batch);
+        }
+        for (slot, ballot, value) in accepted {
+            if slot < log.compact_floor || log.decisions.contains_key(&slot) {
+                continue; // the decision (or the snapshot) supersedes it
+            }
+            log.note_seen_slot(slot);
+            log.instance(slot).restore_accepted(ballot, value);
+        }
+        log
+    }
+
+    /// Turns durability-event recording on or off (off by default). A host
+    /// with a write-ahead log enables it and drains
+    /// [`take_wal_events`](ReplicatedLog::take_wal_events) every round.
+    pub fn set_durable(&mut self, durable: bool) {
+        self.durable = durable;
+    }
+
+    /// Drains the durability events recorded since the last drain. The
+    /// host persists them (and fsyncs, per policy) *before* releasing the
+    /// round's outbound messages — persist-before-send is what makes a
+    /// crash-restarted acceptor keep its promises.
+    pub fn take_wal_events(&mut self) -> Vec<LogEvent<V>> {
+        std::mem::take(&mut self.wal_events)
+    }
+
+    /// The retained decided slots in ascending order — the decision half
+    /// of a rotated WAL's seed.
+    pub fn retained(&self) -> impl Iterator<Item = (u64, &Batch<V>)> + '_ {
+        self.decisions.iter().map(|(s, b)| (*s, b))
+    }
+
+    /// The undecided instances' accepted `(slot, ballot, batch)` acceptor
+    /// state in ascending order — the acceptance half of a rotated WAL's
+    /// seed.
+    pub fn accepted_states(&self) -> impl Iterator<Item = (u64, Ballot, &Batch<V>)> + '_ {
+        self.instances.iter().filter_map(|(s, inst)| {
+            if self.decisions.contains_key(s) {
+                return None;
+            }
+            inst.accepted().map(|(b, v)| (*s, *b, v))
+        })
+    }
+
+    /// Snapshot chunks this replica has served (transfer-plane gauge).
+    pub fn chunks_served(&self) -> u64 {
+        self.chunks_served
+    }
+
+    /// Chunk re-requests this replica has issued after a stalled transfer
+    /// window — each one is a resume after lost chunks.
+    pub fn chunk_rerequests(&self) -> u64 {
+        self.chunk_rerequests
     }
 
     /// Submits a value for eventual inclusion in the log.
@@ -407,6 +601,12 @@ where
                 self.pending.remove(pos);
             }
         }
+        if self.durable && !self.decisions.contains_key(&slot) {
+            self.wal_events.push(LogEvent::Decided {
+                slot,
+                value: batch.clone(),
+            });
+        }
         self.decisions.entry(slot).or_insert(batch);
         // If this slot decided something other than what we assigned to it
         // (a conflicting ballot inherited another leader's batch), our
@@ -481,17 +681,25 @@ where
     /// [`CATCHUP_BYTES`] of replayed values. A request from below our
     /// compaction floor gets the snapshot first — the per-slot history it
     /// asks for no longer exists.
-    fn answer_catchup(&self, from: ProcessId, first: u64, out: &mut Actions<LogMsg<O::Msg, V>>) {
+    fn answer_catchup(
+        &mut self,
+        from: ProcessId,
+        first: u64,
+        out: &mut Actions<LogMsg<O::Msg, V>>,
+    ) {
         let mut first = first;
         if first < self.compact_floor {
-            if let Some((upto, state)) = &self.snapshot {
-                out.send(
-                    from,
-                    LogMsg::SnapshotInstall {
-                        upto: *upto,
-                        state: Arc::clone(state),
-                    },
-                );
+            if let Some((upto, state)) = self.snapshot.clone() {
+                if state.len() <= MAX_SNAPSHOT_LEN {
+                    out.send(from, LogMsg::SnapshotInstall { upto, state });
+                } else {
+                    // Too big for one frame: push the first chunk window to
+                    // start a chunked transfer; the receiver pulls the rest.
+                    let total = snapshot_chunk_count(state.len());
+                    for chunk in 0..total.min(SNAPSHOT_CHUNK_WINDOW) {
+                        self.serve_chunk(from, upto, chunk, out);
+                    }
+                }
             }
             first = self.compact_floor;
         }
@@ -512,24 +720,167 @@ where
         }
     }
 
+    /// Serves one chunk of this replica's snapshot. A request for a
+    /// snapshot our floor has moved past gets a [`LogMsg::SnapshotOffer`]
+    /// pointing at the newer one instead; garbage chunk indices are
+    /// ignored.
+    fn serve_chunk(
+        &mut self,
+        to: ProcessId,
+        upto: u64,
+        chunk: u32,
+        out: &mut Actions<LogMsg<O::Msg, V>>,
+    ) {
+        match &self.snapshot {
+            Some((mine, state)) if *mine == upto => {
+                let total = snapshot_chunk_count(state.len());
+                if chunk >= total {
+                    return;
+                }
+                let start = chunk as usize * SNAPSHOT_CHUNK_LEN;
+                let end = (start + SNAPSHOT_CHUNK_LEN).min(state.len());
+                let data: Arc<[u8]> = state[start..end].to_vec().into();
+                out.send(
+                    to,
+                    LogMsg::SnapshotChunk {
+                        upto,
+                        chunk,
+                        total,
+                        digest: Fnv64::digest_of(&data),
+                        data,
+                    },
+                );
+                self.chunks_served += 1;
+            }
+            Some((mine, _)) if *mine > upto => {
+                // The requested snapshot is gone; restart the straggler on
+                // the one that replaced it.
+                out.send(to, LogMsg::SnapshotOffer { upto: *mine });
+            }
+            _ => {}
+        }
+    }
+
+    /// Accepts one received chunk into the assembly buffer, requests the
+    /// next chunk of the window, and parks the assembled blob for the host
+    /// once the transfer completes (same host-mediated contract as a
+    /// single-frame [`LogMsg::SnapshotInstall`]).
+    #[allow(clippy::too_many_arguments)]
+    fn on_snapshot_chunk(
+        &mut self,
+        from: ProcessId,
+        upto: u64,
+        chunk: u32,
+        total: u32,
+        digest: u64,
+        data: Arc<[u8]>,
+        out: &mut Actions<LogMsg<O::Msg, V>>,
+    ) {
+        if upto <= self.frontier
+            || total == 0
+            || total > MAX_SNAPSHOT_CHUNKS
+            || chunk >= total
+            || data.len() > SNAPSHOT_CHUNK_LEN
+        {
+            return;
+        }
+        if Fnv64::digest_of(&data) != digest {
+            return; // corrupt in transit; the stall re-request recovers it
+        }
+        self.note_seen_slot(upto - 1);
+        if self.chunk_rx.as_ref().is_some_and(|a| a.upto > upto) {
+            return; // stale chunk of an older snapshot than the one in flight
+        }
+        if self
+            .chunk_rx
+            .as_ref()
+            .is_none_or(|a| a.upto < upto || a.total != total)
+        {
+            self.chunk_rx = Some(ChunkAssembly {
+                upto,
+                total,
+                source: from,
+                chunks: vec![None; total as usize],
+                received: 0,
+                next_request: total.min(SNAPSHOT_CHUNK_WINDOW),
+                last_check_received: 0,
+            });
+        }
+        let asm = self.chunk_rx.as_mut().expect("assembly ensured above");
+        asm.source = from;
+        if asm.chunks[chunk as usize].is_none() {
+            asm.chunks[chunk as usize] = Some(data);
+            asm.received += 1;
+        }
+        if asm.received == asm.total {
+            let mut blob = Vec::new();
+            for c in asm.chunks.iter().flatten() {
+                blob.extend_from_slice(c);
+            }
+            let upto = asm.upto;
+            self.chunk_rx = None;
+            // Same parking rule as the single-frame install: keep the
+            // furthest-reaching blob the host has not consumed yet.
+            if self.pending_install.as_ref().is_none_or(|(u, _)| upto > *u) {
+                self.pending_install = Some((upto, blob.into()));
+            }
+            return;
+        }
+        // Slide the pull window.
+        if asm.next_request < asm.total {
+            let next = asm.next_request;
+            asm.next_request += 1;
+            let source = asm.source;
+            out.send(source, LogMsg::SnapshotChunkRequest { upto, chunk: next });
+        }
+    }
+
+    /// The transfer resume path, run at every check tick: an assembly that
+    /// made no progress across a whole check period (dropped chunks, a
+    /// partitioned server) re-requests its lowest missing chunks.
+    fn resume_chunk_transfer(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
+        let frontier = self.frontier;
+        let Some(asm) = self.chunk_rx.as_mut() else {
+            return;
+        };
+        if asm.upto <= frontier {
+            // Superseded: per-slot replay or another install caught us up.
+            self.chunk_rx = None;
+            return;
+        }
+        if asm.received != asm.last_check_received {
+            asm.last_check_received = asm.received;
+            return; // still progressing; no need to re-request
+        }
+        let upto = asm.upto;
+        let source = asm.source;
+        let missing: Vec<u32> = asm
+            .chunks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i as u32))
+            .take(SNAPSHOT_CHUNK_WINDOW as usize)
+            .collect();
+        self.chunk_rerequests += missing.len() as u64;
+        for chunk in missing {
+            out.send(source, LogMsg::SnapshotChunkRequest { upto, chunk });
+        }
+    }
+
     /// Drops every retained decision below `upto`, remembering `state` as
     /// the snapshot that covers them. The host calls this once it has
     /// durably applied all slots below `upto` and exported its state; from
     /// then on a replica lagging past `upto` converges via
-    /// [`LogMsg::SnapshotInstall`] instead of per-slot replay.
+    /// [`LogMsg::SnapshotInstall`] (one frame, small blobs) or the chunk
+    /// plane (large blobs) instead of per-slot replay.
     ///
     /// # Panics
     ///
     /// Panics if `upto` exceeds the frontier (undecided slots cannot be
-    /// covered by a snapshot) or `state` exceeds [`MAX_SNAPSHOT_LEN`].
+    /// covered by a snapshot).
     pub fn truncate_below(&mut self, upto: u64, state: impl Into<Arc<[u8]>>) {
         let state = state.into();
         assert!(upto <= self.frontier, "cannot truncate undecided slots");
-        assert!(
-            state.len() <= MAX_SNAPSHOT_LEN,
-            "snapshot of {} bytes exceeds MAX_SNAPSHOT_LEN",
-            state.len()
-        );
         if upto <= self.compact_floor {
             return;
         }
@@ -654,6 +1005,7 @@ where
 
     fn check(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
         out.set_timer(TIMER_LOG_CHECK, self.cfg.ballot_check_period);
+        self.resume_chunk_transfer(out);
         // Catch-up. Traffic for a slot *beyond the pipeline window* of our
         // frontier proves decisions exist that we lack (leaders only open
         // slots inside the window), so ask for a replay right away. Traffic
@@ -794,6 +1146,18 @@ where
                     self.pending_install = Some((*upto, Arc::clone(state)));
                 }
             }
+            LogMsg::SnapshotChunkRequest { upto, chunk } => {
+                self.serve_chunk(from, *upto, *chunk, out);
+            }
+            LogMsg::SnapshotChunk {
+                upto,
+                chunk,
+                total,
+                digest,
+                data,
+            } => {
+                self.on_snapshot_chunk(from, *upto, *chunk, *total, *digest, Arc::clone(data), out);
+            }
             LogMsg::Slot { slot, msg } => {
                 let (slot, msg) = (*slot, msg.clone());
                 self.note_seen_slot(slot);
@@ -824,7 +1188,26 @@ where
                     return;
                 }
                 let mut sends = Vec::new();
+                let accepted_before = self
+                    .instances
+                    .get(&slot)
+                    .and_then(|i| i.accepted().map(|(b, _)| *b));
                 self.instance(slot).handle(from, msg, &mut sends);
+                if self.durable {
+                    // A fresh acceptance must reach the WAL before the
+                    // Accepted vote (queued in `sends`) leaves this replica;
+                    // the host drains the event and fsyncs before sending.
+                    let inst = self.instances.get(&slot).expect("instance touched above");
+                    if let Some((b, v)) = inst.accepted() {
+                        if accepted_before.is_none_or(|prev| *b > prev) {
+                            self.wal_events.push(LogEvent::Accepted {
+                                slot,
+                                ballot: *b,
+                                value: v.clone(),
+                            });
+                        }
+                    }
+                }
                 let decided = self.instances.get(&slot).and_then(|i| i.decided().cloned());
                 self.emit_slot(slot, sends, out);
                 if let Some(v) = decided {
@@ -1505,5 +1888,292 @@ mod tests {
         }
         assert_eq!(log.compact_floor(), INTERVAL * 12);
         assert_eq!(log.retained_decisions(), 0);
+    }
+
+    /// A snapshot beyond the single-frame cap no longer stalls compaction:
+    /// truncation proceeds, and a sub-floor catch-up is answered with the
+    /// first window of checksummed chunks instead of one oversized install.
+    #[test]
+    fn oversized_snapshot_truncates_and_serves_chunks() {
+        let mut log = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        for slot in 0..4u64 {
+            log.note_decision(slot, Batch::one(Value(slot)));
+        }
+        let blob = vec![0x5A_u8; MAX_SNAPSHOT_LEN + SNAPSHOT_CHUNK_LEN + 7];
+        log.truncate_below(4, blob.clone());
+        assert_eq!(log.compact_floor(), 4, "big blobs must still compact");
+        let mut out = Actions::new();
+        log.on_message(ProcessId::new(3), &LogMsg::Catchup { from: 0 }, &mut out);
+        assert!(
+            !out.sends()
+                .iter()
+                .any(|s| matches!(s.msg, LogMsg::SnapshotInstall { .. })),
+            "oversized blobs must not ride a single frame"
+        );
+        let chunks: Vec<u32> = out
+            .sends()
+            .iter()
+            .filter_map(|s| match &s.msg {
+                LogMsg::SnapshotChunk {
+                    chunk,
+                    total,
+                    digest,
+                    data,
+                    ..
+                } => {
+                    assert_eq!(*total, snapshot_chunk_count(blob.len()));
+                    assert!(data.len() <= SNAPSHOT_CHUNK_LEN);
+                    assert_eq!(*digest, irs_types::Fnv64::digest_of(data));
+                    Some(*chunk)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chunks, vec![0, 1, 2], "first window of a 4-chunk transfer");
+        assert_eq!(log.chunks_served(), 3);
+    }
+
+    /// End-to-end chunked transfer with a seeded drop: the lagging replica
+    /// assembles the pushed window, pulls the rest, loses one chunk in
+    /// transit, re-requests it at the stalled check tick, and finally parks
+    /// a byte-identical blob for its host.
+    #[test]
+    fn chunked_transfer_resumes_after_a_dropped_chunk() {
+        let mut server = ReplicatedLog::over_omega(ProcessId::new(0), system());
+        for slot in 0..4u64 {
+            server.note_decision(slot, Batch::one(Value(slot)));
+        }
+        let blob: Vec<u8> = (0..MAX_SNAPSHOT_LEN + 3 * SNAPSHOT_CHUNK_LEN + 13)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        server.truncate_below(4, blob.clone());
+        let total = snapshot_chunk_count(blob.len());
+        assert!(total > SNAPSHOT_CHUNK_WINDOW, "needs pulls past the window");
+
+        let mut lagging: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(3), system());
+        // The transfer starts with the server answering a catch-up.
+        let mut served = Actions::new();
+        server.on_message(ProcessId::new(3), &LogMsg::Catchup { from: 0 }, &mut served);
+        // Route with a fault: drop the very first chunk frame we see.
+        let mut dropped_one = false;
+        let mut inbox: VecDeque<LogMsg<_, Value>> =
+            served.into_parts().0.into_iter().map(|s| s.msg).collect();
+        while let Some(msg) = inbox.pop_front() {
+            if !dropped_one && matches!(msg, LogMsg::SnapshotChunk { chunk: 1, .. }) {
+                dropped_one = true;
+                continue; // the seeded link drop
+            }
+            let mut out = Actions::new();
+            lagging.on_message(ProcessId::new(0), &msg, &mut out);
+            for send in out.into_parts().0 {
+                // Requests go back to the server; serve them synchronously.
+                let mut reply = Actions::new();
+                server.on_message(ProcessId::new(3), &send.msg, &mut reply);
+                inbox.extend(reply.into_parts().0.into_iter().map(|s| s.msg));
+            }
+        }
+        assert!(dropped_one, "the fault must have fired");
+        assert!(
+            lagging.take_pending_install().is_none(),
+            "a transfer with a lost chunk cannot complete yet"
+        );
+        // Two check ticks: the first observes progress since the window
+        // opened, the second sees the stall and re-requests chunk 1.
+        let mut rerequests = Actions::new();
+        lagging.on_timer(TIMER_LOG_CHECK, &mut rerequests);
+        let mut second = Actions::new();
+        lagging.on_timer(TIMER_LOG_CHECK, &mut second);
+        let asked: Vec<u32> = second
+            .sends()
+            .iter()
+            .filter_map(|s| match s.msg {
+                LogMsg::SnapshotChunkRequest { chunk, .. } => Some(chunk),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(asked, vec![1], "the stalled window re-requests the hole");
+        assert!(lagging.chunk_rerequests() >= 1);
+        // Serve the re-request; the transfer completes and parks the blob.
+        for chunk in asked {
+            let mut reply = Actions::new();
+            server.serve_chunk(ProcessId::new(3), 4, chunk, &mut reply);
+            for send in reply.into_parts().0 {
+                lagging.on_message(ProcessId::new(0), &send.msg, &mut Actions::new());
+            }
+        }
+        let (upto, parked) = lagging.take_pending_install().expect("transfer complete");
+        assert_eq!(upto, 4);
+        assert_eq!(
+            parked.as_ref(),
+            &blob[..],
+            "assembled blob must be byte-identical"
+        );
+        // Host applies and confirms, as with a single-frame install.
+        lagging.complete_install(upto, parked);
+        assert_eq!(lagging.frontier_slot(), 4);
+    }
+
+    /// Corrupt or out-of-range chunks are dropped without poisoning the
+    /// assembly.
+    #[test]
+    fn corrupt_and_bogus_chunks_are_ignored() {
+        let mut log: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(3), system());
+        let data: Arc<[u8]> = vec![1u8; 16].into();
+        let bad_digest = LogMsg::SnapshotChunk {
+            upto: 4,
+            chunk: 0,
+            total: 2,
+            digest: 0xDEAD,
+            data: Arc::clone(&data),
+        };
+        log.on_message(ProcessId::new(0), &bad_digest, &mut Actions::new());
+        assert!(
+            log.chunk_rx.is_none(),
+            "bad digest must not open an assembly"
+        );
+        let bogus_total = LogMsg::SnapshotChunk {
+            upto: 4,
+            chunk: 0,
+            total: MAX_SNAPSHOT_CHUNKS + 1,
+            digest: irs_types::Fnv64::digest_of(&data),
+            data: Arc::clone(&data),
+        };
+        log.on_message(ProcessId::new(0), &bogus_total, &mut Actions::new());
+        assert!(log.chunk_rx.is_none(), "absurd totals must not allocate");
+        let out_of_range = LogMsg::SnapshotChunk {
+            upto: 4,
+            chunk: 7,
+            total: 2,
+            digest: irs_types::Fnv64::digest_of(&data),
+            data,
+        };
+        log.on_message(ProcessId::new(0), &out_of_range, &mut Actions::new());
+        assert!(
+            log.chunk_rx.is_none(),
+            "chunk index beyond total is garbage"
+        );
+    }
+
+    /// With durability enabled, fresh acceptances and decisions are
+    /// recorded as drainable events — acceptances *before* the Accepted
+    /// vote is released (same event round), decisions once per slot.
+    #[test]
+    fn durability_events_record_accepts_and_decides_once() {
+        let mut log: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(1), system());
+        log.set_durable(true);
+        let b = crate::Ballot::new(1, ProcessId::new(0));
+        let batch = Batch::one(Value(42));
+        let accept = LogMsg::Slot {
+            slot: 0,
+            msg: PaxosMsg::Accept {
+                b,
+                v: batch.clone(),
+            },
+        };
+        log.on_message(ProcessId::new(0), &accept, &mut Actions::new());
+        let events = log.take_wal_events();
+        assert_eq!(
+            events,
+            vec![LogEvent::Accepted {
+                slot: 0,
+                ballot: b,
+                value: batch.clone(),
+            }]
+        );
+        assert!(log.take_wal_events().is_empty(), "drained once");
+        // A re-delivered identical Accept must not re-record.
+        log.on_message(ProcessId::new(0), &accept, &mut Actions::new());
+        assert!(
+            log.take_wal_events().is_empty(),
+            "duplicate accept is not a fresh acceptance"
+        );
+        // The decision records once, even if delivered twice.
+        let decide = LogMsg::Slot {
+            slot: 0,
+            msg: PaxosMsg::Decide { v: batch.clone() },
+        };
+        log.on_message(ProcessId::new(2), &decide, &mut Actions::new());
+        log.on_message(ProcessId::new(4), &decide, &mut Actions::new());
+        assert_eq!(
+            log.take_wal_events(),
+            vec![LogEvent::Decided {
+                slot: 0,
+                value: batch,
+            }]
+        );
+        // With durability off (the default), nothing accumulates.
+        let mut plain: ReplicatedLog<_, Value> =
+            ReplicatedLog::over_omega(ProcessId::new(2), system());
+        plain.on_message(ProcessId::new(0), &accept, &mut Actions::new());
+        assert!(plain.take_wal_events().is_empty());
+    }
+
+    /// The recovery constructor rebuilds exactly the state a never-crashed
+    /// replica would hold: floor and frontier from the snapshot, retained
+    /// decisions replayed, undecided acceptances binding again.
+    #[test]
+    fn recover_rebuilds_floor_decisions_and_acceptances() {
+        let system = system();
+        let snapshot: Arc<[u8]> = vec![0xEE; 24].into();
+        let b = crate::Ballot::new(3, ProcessId::new(2));
+        let log: ReplicatedLog<_, Value> = ReplicatedLog::recover(
+            ProcessId::new(1),
+            ConsensusConfig::new(system),
+            irs_omega::OmegaProcess::fig3(ProcessId::new(1), system),
+            Some((10, Arc::clone(&snapshot))),
+            vec![
+                (10, Batch::one(Value(100))),
+                (11, Batch::one(Value(101))),
+                // A WAL record for a slot the snapshot already covers must
+                // be inert.
+                (3, Batch::one(Value(3))),
+            ],
+            vec![
+                (12, b, Batch::one(Value(102))),
+                // An acceptance for an already-decided slot is superseded.
+                (11, b, Batch::one(Value(999))),
+            ],
+        );
+        assert_eq!(log.compact_floor(), 10);
+        assert_eq!(log.frontier_slot(), 12);
+        assert_eq!(log.log(), vec![Value(100), Value(101)]);
+        let restored: Vec<_> = log.accepted_states().collect();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].0, 12);
+        assert_eq!(restored[0].1, b);
+        // The restored acceptance is binding: a lower-ballot Prepare gets
+        // no promise from the recovered acceptor.
+        let mut recovered = log;
+        let mut out = Actions::new();
+        recovered.on_message(
+            ProcessId::new(0),
+            &LogMsg::Slot {
+                slot: 12,
+                msg: PaxosMsg::Prepare {
+                    b: crate::Ballot::new(1, ProcessId::new(0)),
+                },
+            },
+            &mut out,
+        );
+        assert!(
+            !out.sends().iter().any(|s| matches!(
+                &s.msg,
+                LogMsg::Slot {
+                    msg: PaxosMsg::Promise { .. },
+                    ..
+                }
+            )),
+            "a recovered acceptor must not promise below its restored ballot"
+        );
+        // And the snapshot is servable again.
+        let mut out = Actions::new();
+        recovered.on_message(ProcessId::new(4), &LogMsg::Catchup { from: 0 }, &mut out);
+        assert!(matches!(
+            &out.sends()[0].msg,
+            LogMsg::SnapshotInstall { upto: 10, .. }
+        ));
     }
 }

@@ -11,6 +11,16 @@ use irs_experiments::suite;
 use std::io::Write;
 
 fn main() {
+    // E13 kill -9 row: re-exec'd copies of this binary run as durable
+    // replica children, selected by environment before any arg parsing.
+    if let Ok(id) = std::env::var("IRS_E13_CHILD") {
+        let base = std::env::var("IRS_E13_DIR").expect("IRS_E13_DIR set alongside IRS_E13_CHILD");
+        suite::e13_child_main(
+            id.parse().expect("IRS_E13_CHILD is a replica id"),
+            std::path::Path::new(&base),
+        );
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
@@ -42,7 +52,7 @@ fn main() {
     let catalogue = suite::all();
 
     if selections.is_empty() || selections.iter().any(|s| s == "list") {
-        eprintln!("usage: irs-experiments [list | all | e1 .. e12]... [--quick] [--csv]");
+        eprintln!("usage: irs-experiments [list | all | e1 .. e13]... [--quick] [--csv]");
         eprintln!("available experiments:");
         for (id, _) in &catalogue {
             eprintln!("  {id}");

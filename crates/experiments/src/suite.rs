@@ -1025,6 +1025,297 @@ pub fn e12_kv_service(quick: bool) -> Table {
     table
 }
 
+/// Child half of the E13 kill -9 row: one durable KV replica as its own OS
+/// process, joining (or — when `IRS_E13_PORT` is set — *re*-joining with
+/// its predecessor's port) the localhost UDP mesh, then reporting
+/// `DIGEST <hex> <applied>` on `STOP`. Invoked from `main` when the
+/// `IRS_E13_CHILD` environment variable names a replica id.
+pub fn e13_child_main(id: u32, base: &std::path::Path) {
+    use irs_net::reexec;
+    use irs_svc::{run_svc_node, SvcConfig};
+    use std::io::BufRead;
+    use std::sync::atomic::Ordering;
+
+    let n = 3;
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    let transport = match std::env::var("IRS_E13_PORT") {
+        Ok(port) => reexec::child_rejoin_mesh(&mut lines, n + 1, port.parse().expect("port env")),
+        Err(_) => reexec::child_join_mesh(&mut lines, n + 1),
+    };
+
+    let config = SvcConfig::new(n, 1)
+        .with_tick(std::time::Duration::from_micros(500))
+        .with_data_dir(base);
+    let replica = config.replica(ProcessId::new(id));
+    let handle = irs_runtime::NodeHandle::new();
+    let observer = handle.clone();
+    let node = std::thread::spawn(move || run_svc_node(replica, transport, config, handle));
+    for line in lines {
+        if line.expect("stdin line").trim() == "STOP" {
+            break;
+        }
+    }
+    observer.stop.store(true, Ordering::SeqCst);
+    let replica = node.join().expect("node thread");
+    println!(
+        "DIGEST {:x} {}",
+        replica.store().digest(),
+        replica.store().applied()
+    );
+}
+
+/// The E13 kill -9 row: spawns three durable replica processes over real
+/// UDP sockets, writes through a real client, SIGKILLs one replica
+/// mid-service, keeps writing on the surviving majority, respawns the
+/// victim with the same port and data directory, writes again, and then
+/// machine-checks the verdict: identical digests everywhere (restarted
+/// replica included), no acked write lost, and deterministic offline
+/// replay of the victim's directory. Returns the verdict cell.
+fn e13_kill9_verdict(quick: bool, base: &std::path::Path) -> String {
+    use irs_net::{reexec, UdpTransport};
+    use irs_svc::{SvcClient, SvcConfig};
+    use std::time::Duration as StdDuration;
+
+    let n = 3usize;
+    let _ = std::fs::remove_dir_all(base);
+    let (mut children, mut readers) = reexec::spawn_self_children(n, |id, cmd| {
+        cmd.env("IRS_E13_CHILD", id.to_string())
+            .env("IRS_E13_DIR", base);
+    });
+    let mut client_transport = UdpTransport::bind_localhost_retry().expect("bind client socket");
+    let client_port = client_transport.local_addr().expect("client addr").port();
+    let replica_ports = reexec::exchange_peer_table(&mut children, &mut readers, &[client_port]);
+    let mut peers: Vec<_> = replica_ports
+        .iter()
+        .map(|&p| reexec::localhost(p))
+        .collect();
+    peers.push(reexec::localhost(client_port));
+    client_transport.set_peers(peers);
+
+    let mut client = SvcClient::new(ProcessId::new(n as u32), n, client_transport, 0xE13);
+    let deadline = StdDuration::from_secs(40);
+    let per_phase = if quick { 4u64 } else { 8 };
+    let mut acked = 0u64;
+    let put_phase = |client: &mut SvcClient<UdpTransport>, tag: &str, acked: &mut u64| {
+        for k in 0..per_phase {
+            if let Err(e) = client.put(format!("{tag}-{k}").as_bytes(), &k.to_le_bytes(), deadline)
+            {
+                return Err(format!("FAIL: `{tag}` put {k} not acked: {e:?}"));
+            }
+            *acked += 1;
+        }
+        Ok(())
+    };
+
+    if let Err(v) = put_phase(&mut client, "pre", &mut acked) {
+        return v;
+    }
+    // kill -9 the initial leader: no flush, no drain, mid-service.
+    let victim = 0usize;
+    children.0[victim].kill().expect("SIGKILL child");
+    children.0[victim].wait().expect("reap child");
+    if let Err(v) = put_phase(&mut client, "down", &mut acked) {
+        return v;
+    }
+
+    // Respawn with the same identity: same UDP port, same data directory.
+    let (mut respawned, mut respawned_readers) = reexec::spawn_self_children(1, |_, cmd| {
+        cmd.env("IRS_E13_CHILD", victim.to_string())
+            .env("IRS_E13_DIR", base)
+            .env("IRS_E13_PORT", replica_ports[victim].to_string());
+    });
+    let port = reexec::read_tagged_line(&mut respawned_readers[0], "PORT ", victim);
+    if port.parse::<u16>() != Ok(replica_ports[victim]) {
+        return format!(
+            "FAIL: respawn bound port {port}, expected {}",
+            replica_ports[victim]
+        );
+    }
+    let table: Vec<String> = replica_ports
+        .iter()
+        .chain(std::iter::once(&client_port))
+        .map(u16::to_string)
+        .collect();
+    reexec::send_line(&mut respawned.0[0], &format!("PEERS {}", table.join(" ")));
+    children.0[victim] = respawned.0.remove(0);
+    readers[victim] = respawned_readers.remove(0);
+
+    if let Err(v) = put_phase(&mut client, "post", &mut acked) {
+        return v;
+    }
+    // Let catch-up settle the rejoiner before freezing the cluster.
+    std::thread::sleep(StdDuration::from_secs(2));
+    reexec::broadcast_line(&mut children, "STOP");
+    let digests: Vec<(String, u64)> = readers
+        .iter_mut()
+        .enumerate()
+        .map(|(who, r)| {
+            let line = reexec::read_tagged_line(r, "DIGEST ", who);
+            let mut parts = line.split_whitespace();
+            let digest = parts.next().expect("digest").to_string();
+            let applied: u64 = parts.next().expect("applied").parse().expect("count");
+            (digest, applied)
+        })
+        .collect();
+    children.join_all();
+
+    if !digests.iter().all(|d| d.0 == digests[0].0) {
+        return format!("FAIL: replicas diverged after kill -9 + restart: {digests:?}");
+    }
+    if digests[0].1 < acked {
+        return format!(
+            "FAIL: acked {acked} writes but replicas applied only {}",
+            digests[0].1
+        );
+    }
+    // Deterministic replay: the victim's directory recovers to the same
+    // state twice, and that state is what the restarted process reported.
+    let recover = || {
+        let config = SvcConfig::new(n, 1).with_data_dir(base);
+        let replica = config.replica(ProcessId::new(victim as u32));
+        (replica.store().digest(), replica.store().applied())
+    };
+    let (first, second) = (recover(), recover());
+    if first != second {
+        return format!("FAIL: offline recovery not deterministic: {first:?} vs {second:?}");
+    }
+    if format!("{:x}", first.0) != digests[victim].0 {
+        return format!(
+            "FAIL: offline recovery digest {:x} disagrees with restarted replica {}",
+            first.0, digests[victim].0
+        );
+    }
+    format!(
+        "replicas identical, applied {} >= acked {acked}, offline replay deterministic",
+        digests[0].1
+    )
+}
+
+/// E13 — crash-restart durability. Rows 1–4 run the same closed-loop load
+/// with durability dialled from off to fsync-every-commit: the ops/s and
+/// latency spread is the measured price of the WAL (group commit amortises
+/// it under load; `EveryN` trades a bounded suffix for throughput). Row 5
+/// replays the fsync-always run's node-0 directory offline and checks the
+/// recovered store is digest-identical to the live replica it crashed out
+/// of. Row 6 is the full kill -9 + same-identity restart over OS processes
+/// and real UDP sockets ([`e13_kill9_verdict`]).
+///
+/// Wall-clock numbers vary with the host (and with the filesystem under
+/// the data directory — fsync on tmpfs is nearly free); compare regimes,
+/// not absolute values.
+pub fn e13_durability(quick: bool) -> Table {
+    use irs_svc::loadgen::{check_consistency, closed_loop, ClosedLoopOptions};
+    use irs_svc::{FsyncPolicy, SvcCluster, SvcConfig, SvcReplica};
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E13",
+        "Crash-restart durability: WAL fsync policies, recovery replay, kill -9 restart",
+        &[
+            "scenario",
+            "durability",
+            "n",
+            "ops/s",
+            "p50 us",
+            "p99 us",
+            "verdict",
+        ],
+    );
+    let n = 3;
+    let clients = if quick { 2 } else { 4 };
+    let base = std::env::temp_dir().join(format!("irs-e13-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let opts = ClosedLoopOptions {
+        duration: StdDuration::from_secs(if quick { 2 } else { 5 }),
+        op_deadline: StdDuration::from_secs(8),
+        ..ClosedLoopOptions::default()
+    };
+
+    let regimes: [(&str, Option<FsyncPolicy>); 4] = [
+        ("none (baseline)", None),
+        ("wal, fsync always", Some(FsyncPolicy::Always)),
+        ("wal, fsync every 8", Some(FsyncPolicy::EveryN(8))),
+        ("wal, no fsync (OS flush)", Some(FsyncPolicy::Never)),
+    ];
+    // Node-0 of the fsync-always run: its final live state and data
+    // directory seed the recovery-replay row.
+    let mut always_state: Option<((u64, u64), std::path::PathBuf)> = None;
+    for (i, (label, policy)) in regimes.iter().enumerate() {
+        let dir = base.join(format!("bench-{i}"));
+        let mut config = SvcConfig::new(n, clients).with_snapshot_interval(256);
+        if let Some(policy) = policy {
+            config = config.with_data_dir(&dir).with_fsync(*policy);
+        }
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, acked) = closed_loop(&mut cl, opts);
+        let finals = cluster.shutdown();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let verdict = match check_consistency(&refs, &acked) {
+            Ok(()) => format!("{} acked, replicas identical", report.ops),
+            Err(e) => format!("INCONSISTENT: {e}"),
+        };
+        if matches!(policy, Some(FsyncPolicy::Always)) {
+            let store = finals[0].store();
+            always_state = Some(((store.digest(), store.applied()), dir.clone()));
+        }
+        drop(finals); // close the WALs before any offline re-open
+        table.push_row(vec![
+            "closed-loop".to_string(),
+            label.to_string(),
+            n.to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            report.latency.percentile(50.0).to_string(),
+            report.latency.percentile(99.0).to_string(),
+            verdict,
+        ]);
+    }
+
+    // Row 5: offline recovery replay of the fsync-always run's node-0
+    // directory — snapshot install + WAL tail, no networking.
+    {
+        let ((digest, applied), dir) = always_state.expect("fsync-always row ran");
+        let config = SvcConfig::new(n, clients).with_data_dir(&dir);
+        let started = std::time::Instant::now();
+        let recovered = config.replica(ProcessId::new(0));
+        let elapsed = started.elapsed();
+        let store = recovered.store();
+        let verdict = if (store.digest(), store.applied()) == (digest, applied) {
+            format!("recovered {applied} applied writes, digest matches live replica")
+        } else {
+            format!(
+                "FAIL: recovered ({:x}, {}) but live replica was ({digest:x}, {applied})",
+                store.digest(),
+                store.applied()
+            )
+        };
+        table.push_row(vec![
+            "recovery replay".to_string(),
+            "wal, fsync always".to_string(),
+            n.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{}", elapsed.as_micros()),
+            verdict,
+        ]);
+    }
+
+    // Row 6: kill -9 + same-identity restart across OS processes.
+    let verdict = e13_kill9_verdict(quick, &base.join("kill9"));
+    table.push_row(vec![
+        "kill -9 + restart".to_string(),
+        "wal, fsync always".to_string(),
+        n.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        verdict,
+    ]);
+
+    let _ = std::fs::remove_dir_all(&base);
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -1043,6 +1334,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e10", e10_sensitivity),
         ("e11", e11_deployment),
         ("e12", e12_kv_service),
+        ("e13", e13_durability),
     ]
 }
 
@@ -1053,9 +1345,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 12);
+        assert_eq!(unique.len(), 13);
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! send side (a kernel UDP stack) and matches how an observer experiences an
 //! intermittent source: the sender keeps emitting, the link is simply dark.
 //!
-//! Three fault families compose, all seeded and deterministic:
+//! Five fault families compose, all seeded and deterministic:
 //!
 //! * **per-link drop probability** — each arriving frame is kept or dropped
 //!   by a pure function of `(seed, from, to, per-link arrival index)`;
+//! * **frame duplication** — an admitted frame is delivered a second time
+//!   with some probability (a retransmitting or mirrored link);
+//! * **stale replay** — a bounded per-link ring remembers admitted frames,
+//!   and with some probability an *old* frame from the ring is re-injected
+//!   after the current one (Byzantine-lite: the link re-utters things the
+//!   sender said long ago, out of context);
 //! * **partitions** — directed or symmetric cuts between two process groups
 //!   over a clock interval;
 //! * **duty-cycle intermittency** — per-process on/off windows
@@ -143,19 +149,33 @@ impl DutyCycle {
     }
 }
 
+/// Capacity of each link's stale-replay ring.
+const REPLAY_RING: usize = 8;
+/// Domain-separation salts so the duplication, replay and pick decisions
+/// are uncorrelated with each other and with the drop decision.
+const SALT_DUP: u64 = 0xD0_D0_D0_D0_D0_D0_D0_D0;
+const SALT_REPLAY: u64 = 0x5E_5E_5E_5E_5E_5E_5E_5E;
+const SALT_PICK: u64 = 0xA7_A7_A7_A7_A7_A7_A7_A7;
+
 /// The configuration and state of one endpoint's receive-side link model.
 #[derive(Clone, Debug)]
 pub struct LinkModel {
     seed: u64,
     drop_prob: f64,
+    dup_prob: f64,
+    replay_prob: f64,
     partitions: Vec<Partition>,
     duty: Vec<DutyCycle>,
     clock: FaultClock,
     delay: Duration,
     /// Arrival counter per `(from, to)` link, feeding the drop hash.
     arrivals: HashMap<(u32, u32), u64>,
+    /// Per-link ring of recently admitted frames (stale-replay source).
+    ring: HashMap<(u32, u32), std::collections::VecDeque<Frame>>,
     dropped: u64,
     delivered: u64,
+    duplicated: u64,
+    replayed: u64,
 }
 
 impl LinkModel {
@@ -164,13 +184,18 @@ impl LinkModel {
         LinkModel {
             seed,
             drop_prob: 0.0,
+            dup_prob: 0.0,
+            replay_prob: 0.0,
             partitions: Vec::new(),
             duty: Vec::new(),
             clock: FaultClock::wall(Duration::from_millis(1)),
             delay: Duration::ZERO,
             arrivals: HashMap::new(),
+            ring: HashMap::new(),
             dropped: 0,
             delivered: 0,
+            duplicated: 0,
+            replayed: 0,
         }
     }
 
@@ -178,6 +203,24 @@ impl LinkModel {
     #[must_use]
     pub fn with_drop_prob(mut self, p: f64) -> Self {
         self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delivers each admitted frame a *second* time with probability `p`
+    /// (a retransmitting link; the receiver sees back-to-back copies).
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.dup_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// With probability `p` per admitted frame, re-injects one *older*
+    /// frame from this link's bounded ring of past deliveries — the
+    /// Byzantine-lite regime where a link re-utters stale protocol
+    /// messages out of context. Seeded and per-link deterministic.
+    #[must_use]
+    pub fn with_stale_replay(mut self, p: f64) -> Self {
+        self.replay_prob = p.clamp(0.0, 1.0);
         self
     }
 
@@ -233,6 +276,16 @@ impl LinkModel {
         self.delivered
     }
 
+    /// Extra frame copies injected by duplication so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Stale frames re-injected from the replay ring so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
     /// Returns `true` if `node` is inside an off-window at the model's
     /// current time (false when it has no schedule).
     pub fn is_dark(&self, node: ProcessId) -> bool {
@@ -269,6 +322,38 @@ impl LinkModel {
         }
         keep
     }
+
+    /// Extra frames the link also delivers right after an *admitted*
+    /// `frame`: possibly a duplicate of it, possibly a stale replay from
+    /// this link's ring. Pure in `(seed, link, arrival index)` like
+    /// [`LinkModel::admits`]; call once per admitted frame, after `admits`.
+    pub fn echoes(&mut self, frame: &Frame) -> Vec<Frame> {
+        if self.dup_prob == 0.0 && self.replay_prob == 0.0 {
+            return Vec::new();
+        }
+        let (f, t) = (frame.from.as_u32(), frame.to.as_u32());
+        // `admits` has already counted this arrival; its index is count-1.
+        let index = self.arrivals.get(&(f, t)).map_or(0, |k| k - 1);
+        let unit = |salt: u64| mix(self.seed ^ salt, f, t, index) as f64 / (u64::MAX as f64 + 1.0);
+        let mut extra = Vec::new();
+        if self.dup_prob > 0.0 && unit(SALT_DUP) < self.dup_prob {
+            self.duplicated += 1;
+            extra.push(frame.clone());
+        }
+        if self.replay_prob > 0.0 {
+            let ring = self.ring.entry((f, t)).or_default();
+            if !ring.is_empty() && unit(SALT_REPLAY) < self.replay_prob {
+                let pick = mix(self.seed ^ SALT_PICK, f, t, index) as usize % ring.len();
+                self.replayed += 1;
+                extra.push(ring[pick].clone());
+            }
+            ring.push_back(frame.clone());
+            if ring.len() > REPLAY_RING {
+                ring.pop_front();
+            }
+        }
+        extra
+    }
 }
 
 /// SplitMix64-style hash of `(seed, from, to, arrival index)` onto a uniform
@@ -297,6 +382,9 @@ pub struct FaultyLink<T> {
     /// Admitted frames waiting out the fixed delay, in arrival (= due)
     /// order.
     held: std::collections::VecDeque<(Instant, Frame)>,
+    /// Duplicate / stale-replay copies queued behind the frame that
+    /// triggered them (no-delay path).
+    echoes: std::collections::VecDeque<Frame>,
     /// The inner transport reported `Closed`; held frames are still
     /// delivered before the error is surfaced.
     inner_closed: bool,
@@ -309,6 +397,7 @@ impl<T: Transport> FaultyLink<T> {
             inner,
             model,
             held: std::collections::VecDeque::new(),
+            echoes: std::collections::VecDeque::new(),
             inner_closed: false,
         }
     }
@@ -341,8 +430,11 @@ impl<T: Transport> Transport for FaultyLink<T> {
     fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
         let deadline = Instant::now() + timeout;
         // Fast path: no delay configured and nothing held — the original
-        // filter-as-you-receive loop.
+        // filter-as-you-receive loop, fed first from queued echoes.
         if self.model.delay.is_zero() && self.held.is_empty() {
+            if let Some(frame) = self.echoes.pop_front() {
+                return Ok(Some(frame));
+            }
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 let frame = match self.inner.recv(remaining)? {
@@ -350,6 +442,7 @@ impl<T: Transport> Transport for FaultyLink<T> {
                     None => return Ok(None),
                 };
                 if self.model.admits(frame.from, frame.to) {
+                    self.echoes.extend(self.model.echoes(&frame));
                     return Ok(Some(frame));
                 }
                 if Instant::now() >= deadline {
@@ -382,8 +475,12 @@ impl<T: Transport> Transport for FaultyLink<T> {
             match self.inner.recv(wake.saturating_duration_since(now)) {
                 Ok(Some(frame)) => {
                     if self.model.admits(frame.from, frame.to) {
-                        self.held
-                            .push_back((Instant::now() + self.model.delay, frame));
+                        let due = Instant::now() + self.model.delay;
+                        let echoes = self.model.echoes(&frame);
+                        self.held.push_back((due, frame));
+                        for echo in echoes {
+                            self.held.push_back((due, echo));
+                        }
                     }
                 }
                 Ok(None) => {
@@ -407,7 +504,7 @@ impl<T: Transport> Transport for FaultyLink<T> {
     }
 
     fn pending_held(&self) -> usize {
-        self.held.len() + self.inner.pending_held()
+        self.held.len() + self.echoes.len() + self.inner.pending_held()
     }
 }
 
@@ -592,6 +689,67 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(drain(&mut receiver), vec![0, 1], "held frames delivered");
         assert_eq!(receiver.pending_held(), 0);
+    }
+
+    #[test]
+    fn duplication_injects_extra_identical_copies_deterministically() {
+        let build = || {
+            MemNetwork::mesh(2)
+                .into_iter()
+                .map(|t| FaultyLink::new(t, LinkModel::new(11).with_duplication(0.5)))
+                .collect::<Vec<_>>()
+        };
+        let mut net = build();
+        send_burst(&mut net, 0, 1, 100);
+        let got = drain(&mut net[1]);
+        let dups = net[1].model().duplicated();
+        assert!(got.len() == 100 + dups as usize, "every copy is delivered");
+        assert!((20..80).contains(&dups), "p=0.5 over 100 frames: {dups}");
+        // A duplicate is byte-identical and back-to-back with its original.
+        let mut extra = 0;
+        for w in got.windows(2) {
+            if w[0] == w[1] {
+                extra += 1;
+            }
+        }
+        assert!(extra >= dups, "duplicates arrive adjacent to the original");
+        // Same seed, same traffic → the same delivered trace.
+        let mut again = build();
+        send_burst(&mut again, 0, 1, 100);
+        assert_eq!(drain(&mut again[1]), got, "duplication is deterministic");
+    }
+
+    #[test]
+    fn stale_replay_reinjects_old_frames_from_a_bounded_ring() {
+        let build = || {
+            MemNetwork::mesh(2)
+                .into_iter()
+                .map(|t| FaultyLink::new(t, LinkModel::new(13).with_stale_replay(0.5)))
+                .collect::<Vec<_>>()
+        };
+        let mut net = build();
+        send_burst(&mut net, 0, 1, 100);
+        let got = drain(&mut net[1]);
+        let replays = net[1].model().replayed();
+        assert!((20..80).contains(&replays), "p=0.5 over 100: {replays}");
+        assert_eq!(got.len(), 100 + replays as usize);
+        // Every replayed byte is something the sender really sent earlier,
+        // from the bounded ring (the REPLAY_RING frames before the trigger;
+        // the trigger itself is not yet in the ring when the pick happens).
+        let mut fresh_expected = 0u8;
+        for &b in &got {
+            if b == fresh_expected {
+                fresh_expected += 1;
+            } else {
+                assert!(
+                    b < fresh_expected && fresh_expected - b <= REPLAY_RING as u8 + 1,
+                    "replay of {b} at fresh cursor {fresh_expected} is outside the ring"
+                );
+            }
+        }
+        let mut again = build();
+        send_burst(&mut again, 0, 1, 100);
+        assert_eq!(drain(&mut again[1]), got, "replay is deterministic");
     }
 
     #[test]

@@ -65,6 +65,38 @@ pub fn child_join_mesh(
     transport
 }
 
+/// Restart-same-identity half of the handshake: like [`child_join_mesh`]
+/// but binding the *specific* localhost `port` a previous incarnation of
+/// this node held, so the rest of the mesh keeps routing to it unchanged.
+/// Still advertises `PORT <p>` and waits for `PEERS …` — the parent
+/// re-sends the (unchanged) table to the respawned child only.
+///
+/// # Panics
+///
+/// Panics if the port cannot be rebound (the old process must be dead) or
+/// on any malformed handshake.
+pub fn child_rejoin_mesh(
+    lines: &mut impl Iterator<Item = std::io::Result<String>>,
+    expected_peers: usize,
+    port: u16,
+) -> UdpTransport {
+    let mut transport = UdpTransport::bind(localhost(port)).expect("rebind former endpoint");
+    println!("PORT {port}");
+    std::io::stdout().flush().expect("flush port line");
+
+    let peers_line = lines.next().expect("peer table line").expect("read stdin");
+    let ports: Vec<u16> = peers_line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("PEERS line")
+        .split_whitespace()
+        .map(|p| p.parse().expect("peer port"))
+        .collect();
+    assert_eq!(ports.len(), expected_peers, "short peer table");
+    transport.set_peers(ports.iter().map(|&p| localhost(p)).collect());
+    transport
+}
+
 /// Reads the value following `tag` from the child's stdout, skipping any
 /// other output sharing the stream (libtest chatter, progress prints).
 /// The tag may appear anywhere in a line; everything after it (trimmed) is
@@ -185,9 +217,19 @@ pub fn exchange_peer_table(
 /// Panics if a child's stdin is not piped or the write fails.
 pub fn broadcast_line(children: &mut ChildGuard, line: &str) {
     for child in &mut children.0 {
-        let stdin = child.stdin.as_mut().expect("child stdin piped");
-        stdin
-            .write_all(format!("{line}\n").as_bytes())
-            .expect("write to child stdin");
+        send_line(child, line);
     }
+}
+
+/// Writes one line to a single child's stdin (the restart harness talks to
+/// the respawned child alone while the survivors keep running).
+///
+/// # Panics
+///
+/// Panics if the child's stdin is not piped or the write fails.
+pub fn send_line(child: &mut Child, line: &str) {
+    let stdin = child.stdin.as_mut().expect("child stdin piped");
+    stdin
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write to child stdin");
 }

@@ -16,15 +16,18 @@
 //! ```text
 //! OmegaMsg      0x00..=0x02   (crate::wire)
 //! ConsensusMsg  0x10..=0x11   Omega | Paxos
-//! LogMsg        0x18..=0x1D   Omega | Slot | Forward | Catchup
+//! LogMsg        0x18..=0x1F   Omega | Slot | Forward | Catchup
 //!                             | SnapshotOffer | SnapshotInstall
+//!                             | SnapshotChunkRequest | SnapshotChunk
 //! (irs-svc)     0x20..=0x23   Log | Request | Reply(Applied) | Reply(Redirect)
 //! PaxosMsg      0x00..=0x04   (always nested behind one of the above)
 //! ```
 //!
 //! A `LogMsg::Slot` payload carries a [`PaxosMsg`] over [`Batch`] values
 //! (`u32` count + elements, bounded by [`MAX_BATCH_LEN`]); a snapshot
-//! install carries an opaque host blob bounded by [`MAX_SNAPSHOT_LEN`].
+//! install carries an opaque host blob bounded by [`MAX_SNAPSHOT_LEN`],
+//! and larger snapshots ride the chunk plane in
+//! [`SNAPSHOT_CHUNK_LEN`]-bounded pieces.
 //!
 //! Decoders are total (arbitrary bytes decode or fail, never panic) and
 //! `valid_for(n)` checks every embedded process id and the embedded Ω
@@ -34,7 +37,7 @@
 use crate::wire::{put_u32, put_u64, Wire, WireError, WireReader};
 use irs_consensus::{
     Ballot, Batch, Command, ConsensusMsg, LogMsg, PaxosMsg, Value, MAX_BATCH_LEN, MAX_COMMAND_LEN,
-    MAX_SNAPSHOT_LEN,
+    MAX_SNAPSHOT_CHUNKS, MAX_SNAPSHOT_LEN, SNAPSHOT_CHUNK_LEN,
 };
 use irs_types::ProcessId;
 use std::sync::Arc;
@@ -53,6 +56,8 @@ const TAG_LOG_FORWARD: u8 = TAG_LOG_BASE + 2;
 const TAG_LOG_CATCHUP: u8 = TAG_LOG_BASE + 3;
 const TAG_LOG_SNAPSHOT_OFFER: u8 = TAG_LOG_BASE + 4;
 const TAG_LOG_SNAPSHOT_INSTALL: u8 = TAG_LOG_BASE + 5;
+const TAG_LOG_SNAPSHOT_CHUNK_REQUEST: u8 = TAG_LOG_BASE + 6;
+const TAG_LOG_SNAPSHOT_CHUNK: u8 = TAG_LOG_BASE + 7;
 
 const TAG_PAXOS_PREPARE: u8 = 0;
 const TAG_PAXOS_PROMISE: u8 = 1;
@@ -269,6 +274,26 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                 put_u32(buf, state.len() as u32);
                 buf.extend_from_slice(state);
             }
+            LogMsg::SnapshotChunkRequest { upto, chunk } => {
+                buf.push(TAG_LOG_SNAPSHOT_CHUNK_REQUEST);
+                put_u64(buf, *upto);
+                put_u32(buf, *chunk);
+            }
+            LogMsg::SnapshotChunk {
+                upto,
+                chunk,
+                total,
+                digest,
+                data,
+            } => {
+                buf.push(TAG_LOG_SNAPSHOT_CHUNK);
+                put_u64(buf, *upto);
+                put_u32(buf, *chunk);
+                put_u32(buf, *total);
+                put_u64(buf, *digest);
+                put_u32(buf, data.len() as u32);
+                buf.extend_from_slice(data);
+            }
         }
     }
 
@@ -291,6 +316,28 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                 let state: Arc<[u8]> = r.take(len)?.into();
                 Ok(LogMsg::SnapshotInstall { upto, state })
             }
+            TAG_LOG_SNAPSHOT_CHUNK_REQUEST => Ok(LogMsg::SnapshotChunkRequest {
+                upto: r.u64()?,
+                chunk: r.u32()?,
+            }),
+            TAG_LOG_SNAPSHOT_CHUNK => {
+                let upto = r.u64()?;
+                let chunk = r.u32()?;
+                let total = r.u32()?;
+                let digest = r.u64()?;
+                let len = r.u32()? as usize;
+                if len > SNAPSHOT_CHUNK_LEN {
+                    return Err(WireError::BadLength(len));
+                }
+                let data: Arc<[u8]> = r.take(len)?.into();
+                Ok(LogMsg::SnapshotChunk {
+                    upto,
+                    chunk,
+                    total,
+                    digest,
+                    data,
+                })
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -300,8 +347,15 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
             LogMsg::Omega(m) => m.valid_for(n),
             LogMsg::Slot { msg, .. } => msg.valid_for(n),
             LogMsg::Forward { v } => v.valid_for(n),
-            LogMsg::Catchup { .. } | LogMsg::SnapshotOffer { .. } => true,
+            LogMsg::Catchup { .. }
+            | LogMsg::SnapshotOffer { .. }
+            | LogMsg::SnapshotChunkRequest { .. } => true,
             LogMsg::SnapshotInstall { state, .. } => state.len() <= MAX_SNAPSHOT_LEN,
+            LogMsg::SnapshotChunk {
+                chunk, total, data, ..
+            } => {
+                *chunk < *total && *total <= MAX_SNAPSHOT_CHUNKS && data.len() <= SNAPSHOT_CHUNK_LEN
+            }
         }
     }
 }
@@ -357,7 +411,7 @@ mod tests {
     }
 
     fn log_from(seed: u8, slot: u64, bytes: &[u8]) -> LMsg {
-        match seed % 6 {
+        match seed % 8 {
             0 => LogMsg::Omega(alive(4)),
             1 => LogMsg::Slot {
                 slot,
@@ -374,9 +428,20 @@ mod tests {
             },
             3 => LogMsg::Catchup { from: slot },
             4 => LogMsg::SnapshotOffer { upto: slot },
-            _ => LogMsg::SnapshotInstall {
+            5 => LogMsg::SnapshotInstall {
                 upto: slot,
                 state: bytes.to_vec().into(),
+            },
+            6 => LogMsg::SnapshotChunkRequest {
+                upto: slot,
+                chunk: seed as u32,
+            },
+            _ => LogMsg::SnapshotChunk {
+                upto: slot,
+                chunk: seed as u32 % 4,
+                total: 4,
+                digest: irs_types::Fnv64::digest_of(bytes),
+                data: bytes.to_vec().into(),
             },
         }
     }
@@ -421,7 +486,7 @@ mod tests {
         assert_eq!(roundtrip(&omega), omega);
         let paxos: CMsg = ConsensusMsg::Paxos(paxos_from(2, 4, 1, 9));
         assert_eq!(roundtrip(&paxos), paxos);
-        for seed in 0..6u8 {
+        for seed in 0..8u8 {
             let msg = log_from(seed, 11, &[1, 2, 3]);
             assert_eq!(roundtrip(&msg), msg, "log variant {seed}");
         }
@@ -496,6 +561,46 @@ mod tests {
         };
         assert!(install.valid_for(4));
         assert_eq!(roundtrip(&install), install);
+    }
+
+    #[test]
+    fn oversized_snapshot_chunks_are_rejected_not_allocated() {
+        let mut buf = vec![TAG_LOG_SNAPSHOT_CHUNK];
+        put_u64(&mut buf, 10); // upto
+        put_u32(&mut buf, 0); // chunk
+        put_u32(&mut buf, 2); // total
+        put_u64(&mut buf, 0); // digest
+        put_u32(&mut buf, (SNAPSHOT_CHUNK_LEN + 1) as u32);
+        assert_eq!(
+            decode_payload::<LMsg>(&buf),
+            Err(WireError::BadLength(SNAPSHOT_CHUNK_LEN + 1))
+        );
+        // Semantic validity: chunk index must sit below a bounded total.
+        let data: Arc<[u8]> = vec![7u8; 16].into();
+        let chunk: LMsg = LogMsg::SnapshotChunk {
+            upto: 10,
+            chunk: 1,
+            total: 4,
+            digest: irs_types::Fnv64::digest_of(&data),
+            data: data.clone(),
+        };
+        assert!(chunk.valid_for(4));
+        let out_of_range: LMsg = LogMsg::SnapshotChunk {
+            upto: 10,
+            chunk: 4,
+            total: 4,
+            digest: 0,
+            data: data.clone(),
+        };
+        assert!(!out_of_range.valid_for(4));
+        let unbounded_total: LMsg = LogMsg::SnapshotChunk {
+            upto: 10,
+            chunk: 0,
+            total: MAX_SNAPSHOT_CHUNKS + 1,
+            digest: 0,
+            data,
+        };
+        assert!(!unbounded_total.valid_for(4));
     }
 
     /// Cross-kind frames are link noise: a payload of one message kind fed

@@ -52,6 +52,7 @@ impl SvcCluster {
             .map(|((i, transport), handle)| {
                 let replica = config.replica(ProcessId::new(i as u32));
                 let handle = handle.clone();
+                let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("irs-svc-{i}"))
                     .spawn(move || run_svc_node(replica, transport, config, handle))

@@ -62,6 +62,7 @@
 mod client;
 mod cluster;
 mod command;
+mod durability;
 pub mod loadgen;
 mod msg;
 mod node;
@@ -71,7 +72,9 @@ mod store;
 pub use client::{ClientError, ClientStats, SvcClient};
 pub use cluster::SvcCluster;
 pub use command::{KvOp, KvWrite};
+pub use durability::{Durability, Recovered};
 pub use irs_consensus::Command;
+pub use irs_wal::FsyncPolicy;
 pub use msg::{SvcMsg, SvcReply};
 pub use node::{accept_svc_frame, run_svc_node, SvcConfig};
 pub use replica::SvcReplica;

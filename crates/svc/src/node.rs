@@ -13,10 +13,12 @@ use crate::replica::SvcReplica;
 use irs_net::{wire::decode_payload, Frame, Transport, Wire};
 use irs_runtime::{run_node_with, NodeConfig, NodeHandle};
 use irs_types::{ProcessId, Protocol, SystemConfig};
+use irs_wal::FsyncPolicy;
+use std::path::PathBuf;
 use std::time::Duration as StdDuration;
 
 /// Deployment shape of one service node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SvcConfig {
     /// Number of replicas (the consensus group; broadcast fan-out).
     pub n: usize,
@@ -35,6 +37,14 @@ pub struct SvcConfig {
     /// truncates the log's decided prefix behind the snapshot (0 disables
     /// compaction; the log then grows without bound, as before PR 5).
     pub snapshot_interval: u64,
+    /// Base directory for durable state. When set, replica `i` keeps its
+    /// WAL and snapshot under `<data_dir>/node-<i>/` and survives kill-9:
+    /// a restart with the same directory recovers by replay. `None` (the
+    /// default) runs replicas purely in memory, as before this PR.
+    pub data_dir: Option<PathBuf>,
+    /// When a replica syncs its WAL to disk (only meaningful with
+    /// `data_dir` set). [`FsyncPolicy::Always`] is the crash-safe default.
+    pub fsync: FsyncPolicy,
 }
 
 impl SvcConfig {
@@ -48,6 +58,8 @@ impl SvcConfig {
             batch_max: 1,
             pipeline_depth: 1,
             snapshot_interval: 1024,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 
@@ -74,6 +86,27 @@ impl SvcConfig {
         self
     }
 
+    /// Makes replicas durable: WAL + snapshot under `<base>/node-<i>/`.
+    #[must_use]
+    pub fn with_data_dir(mut self, base: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(base.into());
+        self
+    }
+
+    /// Sets the WAL fsync policy (no effect without a data dir).
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// The data directory of replica `id` under this config, if durable.
+    pub fn node_dir(&self, id: ProcessId) -> Option<PathBuf> {
+        self.data_dir
+            .as_ref()
+            .map(|base| base.join(format!("node-{}", id.index())))
+    }
+
     /// Builds the replica this config describes — the canonical way to
     /// construct the node passed to [`run_svc_node`]. The batching,
     /// pipelining and compaction knobs live on the config but act inside
@@ -88,13 +121,25 @@ impl SvcConfig {
     pub fn replica(&self, id: ProcessId) -> SvcReplica {
         assert!(self.n >= 3, "a replicated service needs n >= 3");
         let system = SystemConfig::new(self.n, (self.n - 1) / 2).expect("valid replica system");
-        SvcReplica::with_tuning(
-            id,
-            system,
-            self.batch_max,
-            self.pipeline_depth,
-            self.snapshot_interval,
-        )
+        match self.node_dir(id) {
+            Some(dir) => SvcReplica::durable(
+                id,
+                system,
+                self.batch_max,
+                self.pipeline_depth,
+                self.snapshot_interval,
+                &dir,
+                self.fsync,
+            )
+            .expect("open durable replica state"),
+            None => SvcReplica::with_tuning(
+                id,
+                system,
+                self.batch_max,
+                self.pipeline_depth,
+                self.snapshot_interval,
+            ),
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 //! client request handling, as a single sans-IO [`Protocol`].
 
 use crate::command::KvWrite;
+use crate::durability::Durability;
 use crate::msg::{ReplicaLogMsg, SvcMsg, SvcReply};
 use crate::store::KvStore;
 use irs_consensus::{Command, ConsensusConfig, ReplicatedLog, MAX_SNAPSHOT_LEN};
@@ -10,7 +11,10 @@ use irs_types::{
     Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, Snapshot, SystemConfig,
     TimerId,
 };
+use irs_wal::FsyncPolicy;
 use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
 
 /// One replica of the key-value service.
 ///
@@ -38,6 +42,11 @@ pub struct SvcReplica {
     requests: u64,
     redirects: u64,
     snapshots_taken: u64,
+    /// Interval snapshots whose export outgrew the single-frame install
+    /// cap (they compact all the same and are served via the chunk plane).
+    oversized_snapshot_skips: u64,
+    /// On-disk WAL + snapshot state; `None` runs the replica in-memory.
+    durability: Option<Durability>,
 }
 
 impl SvcReplica {
@@ -82,7 +91,65 @@ impl SvcReplica {
             requests: 0,
             redirects: 0,
             snapshots_taken: 0,
+            oversized_snapshot_skips: 0,
+            durability: None,
         }
+    }
+
+    /// Builds a *durable* replica: opens (or creates) the data directory,
+    /// replays the snapshot file plus the WAL's valid prefix into the
+    /// store and the log, and from then on persists every accepted ballot
+    /// and decided slot before the round's messages leave the handler.
+    /// Restarting with the same directory resumes with every promise the
+    /// previous incarnation made still in force, and a state machine that
+    /// is digest-identical to deterministic replay of the durable prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening or replaying the directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system does not have a correct majority (`t ≥ n/2`).
+    pub fn durable(
+        id: ProcessId,
+        system: SystemConfig,
+        batch_max: usize,
+        pipeline_depth: u64,
+        snapshot_interval: u64,
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<Self> {
+        let mut replica =
+            Self::with_tuning(id, system, batch_max, pipeline_depth, snapshot_interval);
+        let (durability, recovered) = Durability::open(dir, policy)?;
+        let log_snapshot = recovered.snapshot.as_ref().map(|(upto, blob)| {
+            // A blob that passed the file checksum but fails semantic
+            // validation is not one of our exports; recovery then starts
+            // from the log floor alone and converges via peer catch-up.
+            if let Some(store) = KvStore::install(blob) {
+                replica.store = store;
+                replica.cursor = *upto;
+                replica.last_snapshot = *upto;
+            }
+            (*upto, Arc::from(blob.as_slice()))
+        });
+        let cfg = ConsensusConfig::new(system).with_batching(batch_max, pipeline_depth);
+        replica.log = ReplicatedLog::recover(
+            id,
+            cfg,
+            OmegaProcess::fig3(id, system),
+            log_snapshot,
+            recovered.decisions,
+            recovered.accepted,
+        );
+        replica.durability = Some(durability);
+        // Apply the replayed decided prefix before any message flows; the
+        // drained actions go nowhere (clients re-learn outcomes by retry).
+        replica.apply_ready(&mut Actions::new());
+        // Recording starts only now, so replay itself is never re-logged.
+        replica.log.set_durable(true);
+        Ok(replica)
     }
 
     /// The applied key-value state.
@@ -222,12 +289,12 @@ impl SvcReplica {
     }
 
     /// Exports the store and truncates the log once enough slots have been
-    /// applied since the last snapshot attempt. Skipped when the exported
-    /// state outgrows one wire frame — the log then keeps its decisions
-    /// (replay still works) rather than serving an uninstallable snapshot;
-    /// the attempt marker advances either way, so the O(store) export
-    /// re-runs once per interval, not once per applied slot, until deletes
-    /// shrink the state back under the bound.
+    /// applied since the last snapshot. Compaction *always* proceeds — an
+    /// export too large for one `SnapshotInstall` frame is served to
+    /// laggards via the chunk plane instead, and is counted (plus logged,
+    /// at most once per interval since that is how often this runs) so the
+    /// regime is observable rather than a silent stall that used to retain
+    /// the whole decided log.
     fn maybe_snapshot(&mut self) {
         if self.snapshot_interval == 0 || self.cursor < self.last_snapshot + self.snapshot_interval
         {
@@ -236,10 +303,45 @@ impl SvcReplica {
         self.last_snapshot = self.cursor;
         let blob = self.store.export();
         if blob.len() > MAX_SNAPSHOT_LEN {
+            self.oversized_snapshot_skips += 1;
+            eprintln!(
+                "[irs-svc] replica {}: snapshot at slot {} is {} bytes > {} single-frame cap; serving it chunked",
+                self.log.id(),
+                self.cursor,
+                blob.len(),
+                MAX_SNAPSHOT_LEN,
+            );
+        }
+        self.log.truncate_below(self.cursor, blob.as_slice());
+        self.snapshots_taken += 1;
+        self.persist_snapshot(self.cursor, &blob);
+    }
+
+    /// Writes the snapshot file and rotates the WAL down to the log's live
+    /// tail. A durability failure is fatal: continuing would silently void
+    /// the persist-before-send contract.
+    fn persist_snapshot(&mut self, upto: u64, blob: &[u8]) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        // Events recorded earlier in this handler round are subsumed by
+        // the rotation seed (sub-floor ones by the blob itself).
+        let _ = self.log.take_wal_events();
+        d.install_snapshot(upto, blob, self.log.retained(), self.log.accepted_states())
+            .expect("persist snapshot + rotate WAL");
+    }
+
+    /// Commits this handler round's durability events. Runs at the end of
+    /// every handler, before the runtime releases the round's outbound
+    /// frames — persist-before-send.
+    fn persist(&mut self) {
+        if self.durability.is_none() {
             return;
         }
-        self.log.truncate_below(self.cursor, blob);
-        self.snapshots_taken += 1;
+        let events = self.log.take_wal_events();
+        if let Some(d) = self.durability.as_mut() {
+            d.append_events(&events).expect("append to WAL");
+        }
     }
 
     /// Adopts a snapshot a peer sent us (we lag past its truncation point):
@@ -259,7 +361,8 @@ impl SvcReplica {
         self.store = restored;
         self.cursor = upto;
         self.last_snapshot = upto;
-        self.log.complete_install(upto, blob);
+        self.log.complete_install(upto, blob.clone());
+        self.persist_snapshot(upto, &blob);
         // Anything we still owed an ack for is covered (or superseded) by
         // the snapshot; falling far enough behind to need an install means
         // those clients gave up on us long ago. A retry of a client's
@@ -295,6 +398,7 @@ impl Protocol for SvcReplica {
         }
         self.maybe_install();
         self.apply_ready(out);
+        self.persist();
     }
 
     fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Self::Msg>) {
@@ -303,6 +407,7 @@ impl Protocol for SvcReplica {
         self.lift(inner, out);
         self.maybe_install();
         self.apply_ready(out);
+        self.persist();
     }
 }
 
@@ -323,6 +428,12 @@ impl Introspect for SvcReplica {
         snap.extra.push(("requests", self.requests));
         snap.extra.push(("redirects", self.redirects));
         snap.extra.push(("snapshots_taken", self.snapshots_taken));
+        snap.extra
+            .push(("oversized_snapshot_skips", self.oversized_snapshot_skips));
+        let d = self.durability.as_ref();
+        snap.extra
+            .push(("wal_appended", d.map_or(0, |d| d.appended())));
+        snap.extra.push(("wal_syncs", d.map_or(0, |d| d.syncs())));
         snap
     }
 }
@@ -553,6 +664,9 @@ mod tests {
             "requests",
             "redirects",
             "snapshots_taken",
+            "oversized_snapshot_skips",
+            "wal_appended",
+            "wal_syncs",
             "retained_decisions",
             "compact_floor",
             "snapshot_installs",
@@ -595,6 +709,59 @@ mod tests {
             .collect();
         assert_eq!(acks, vec![7, 8, 9], "one ack per batched write");
         assert!(replica.awaiting.is_empty());
+    }
+
+    /// The compaction-stall regression: an export too large for one
+    /// install frame used to be silently dropped, leaving the whole
+    /// decided log retained. It must now compact anyway, count the
+    /// oversized export, and keep the blob servable (chunked).
+    #[test]
+    fn oversized_exports_still_compact_and_are_counted() {
+        let mut replica = SvcReplica::with_tuning(ProcessId::new(0), system(), 1, 1, 8);
+        // ~56 KiB of state: 72 keys × 800-byte values (commands stay under
+        // the command/value caps; the export outgrows MAX_SNAPSHOT_LEN).
+        for slot in 0..72u64 {
+            let w = KvWrite {
+                client: 7,
+                seq: slot + 1,
+                op: KvOp::Put {
+                    key: format!("key-{slot:04}").into_bytes(),
+                    value: vec![slot as u8; 800],
+                },
+            };
+            replica.log.on_message(
+                ProcessId::new(1),
+                &irs_consensus::LogMsg::Slot {
+                    slot,
+                    msg: irs_consensus::PaxosMsg::Decide {
+                        v: irs_consensus::Batch::one(w.encode()),
+                    },
+                },
+                &mut Actions::new(),
+            );
+            replica.apply_ready(&mut Actions::new());
+        }
+        assert!(
+            replica.store.export().len() > MAX_SNAPSHOT_LEN,
+            "test state must outgrow the single-frame cap"
+        );
+        assert!(
+            replica.oversized_snapshot_skips >= 1,
+            "oversized exports are counted"
+        );
+        assert!(
+            replica.log.retained_decisions() <= 8,
+            "compaction must proceed past the cap, not stall: {} slots retained",
+            replica.log.retained_decisions()
+        );
+        assert_eq!(replica.cursor, 72);
+        // The oversized blob is the log's servable snapshot (chunk plane).
+        let snap = replica.snapshot();
+        assert_eq!(
+            snap.gauge("oversized_snapshot_skips"),
+            Some(replica.oversized_snapshot_skips)
+        );
+        assert!(snap.gauge("compact_floor").unwrap() >= 64);
     }
 
     /// The replica-level snapshot flow: an interval-triggered truncation at

@@ -1,0 +1,624 @@
+//! Crash-restart durability for the replicated service: a write-ahead log
+//! of consensus-critical events plus atomically written snapshot files.
+//!
+//! The paper's model lets a process blink out and return with its identity
+//! intact; this crate supplies the persistence that makes such a restart
+//! safe for the acceptor role. A replica records every *accepted ballot*
+//! and every *decided slot* here before releasing the corresponding
+//! protocol messages (votes, client acks), so a `kill -9` + restart cannot
+//! un-promise a vote or drop an acked write.
+//!
+//! # Frame format
+//!
+//! The WAL is a flat sequence of length-prefixed, checksummed frames,
+//! built on the same little-endian primitives as the network codec
+//! (`irs_net::wire`):
+//!
+//! ```text
+//! | len: u32 | checksum: u64 (FNV-1a of payload) | payload: len bytes |
+//! ```
+//!
+//! The payload is a tagged [`WalRecord`]: `Accept { slot, ballot, batch }`,
+//! `Decide { slot, batch }`, or `SnapshotMark { upto }`, where `batch` is
+//! the already-wire-encoded value bytes (opaque to the WAL). Frames longer
+//! than [`MAX_RECORD_LEN`] are rejected on write and treated as torn on
+//! read, so a corrupt length prefix can never trigger an oversized
+//! allocation.
+//!
+//! # Fsync policy
+//!
+//! Appends are buffered in memory; [`Wal::commit`] flushes them with a
+//! single `write(2)` and then applies the [`FsyncPolicy`]. The intended
+//! host pattern is *group commit*: append every record produced by one
+//! event-loop round, then `commit()` once before releasing that round's
+//! outbound messages — one write + at most one fsync per round, regardless
+//! of how many slots the round touched.
+//!
+//! # Recovery invariants
+//!
+//! * **Torn tails are truncated, never propagated.** Replay stops at the
+//!   first frame with a short body, an oversized length, a checksum
+//!   mismatch, or an undecodable payload; [`Wal::open`] truncates the file
+//!   there so the damage cannot resurface later.
+//! * **Replay is deterministic.** The recovered record sequence is a pure
+//!   function of the on-disk bytes ([`read_records_bytes`]), so the same
+//!   bytes always rebuild the same state digest.
+//! * **Snapshots are atomic.** [`write_snapshot`] writes a temp file,
+//!   fsyncs it, and renames it over the live name; a crash mid-snapshot
+//!   leaves the previous snapshot (or none) plus the un-rotated WAL, both
+//!   of which recovery handles.
+//! * **Records below the snapshot floor are inert.** After a rotation the
+//!   WAL may still gain records for slots the snapshot already covers
+//!   (drained late from the same event round); recovery filters by the
+//!   snapshot's `upto`, so they are harmless.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use irs_consensus::Ballot;
+use irs_net::wire::{put_u32, put_u64, WireError, WireReader};
+use irs_types::{Fnv64, ProcessId};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on one WAL frame's payload, far above any legal batch
+/// (`MAX_BATCH_BYTES` is 48 KiB) so a garbage length prefix reads as torn
+/// instead of allocating gigabytes.
+pub const MAX_RECORD_LEN: usize = 256 * 1024;
+
+/// File name of the write-ahead log inside a replica's data directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// File name of the snapshot inside a replica's data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+const FRAME_HEADER: usize = 4 + 8;
+const SNAPSHOT_MAGIC: &[u8; 4] = b"IRSN";
+
+const TAG_ACCEPT: u8 = 1;
+const TAG_DECIDE: u8 = 2;
+const TAG_SNAPSHOT_MARK: u8 = 3;
+
+/// One durable event of the replicated log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// This replica, as an acceptor, accepted `(ballot, batch)` for `slot`.
+    /// `batch` is the wire-encoded batch value, opaque to the WAL.
+    Accept {
+        /// The log slot.
+        slot: u64,
+        /// The accepted ballot.
+        ballot: Ballot,
+        /// Wire-encoded batch bytes.
+        batch: Vec<u8>,
+    },
+    /// `slot` decided on `batch` (wire-encoded, opaque to the WAL).
+    Decide {
+        /// The log slot.
+        slot: u64,
+        /// Wire-encoded batch bytes.
+        batch: Vec<u8>,
+    },
+    /// A snapshot covering every slot below `upto` was durably written;
+    /// re-seeds a rotated WAL so the file is self-describing.
+    SnapshotMark {
+        /// First slot *not* covered by the snapshot.
+        upto: u64,
+    },
+}
+
+/// When [`Wal::commit`] issues an `fsync`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsyncPolicy {
+    /// Fsync on every commit (group commit: one fsync per event round).
+    /// The only policy that survives machine crashes; the default.
+    Always,
+    /// Fsync once at least this many records have accumulated since the
+    /// last sync. Bounds loss to a record window; a throughput/durability
+    /// trade-off knob for the E13 bench.
+    EveryN(u32),
+    /// Never fsync; rely on the OS page cache. Survives process crashes
+    /// (`kill -9`) but not machine crashes.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Short human-readable name for bench tables.
+    pub fn name(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".into(),
+            FsyncPolicy::EveryN(n) => format!("every-{n}"),
+            FsyncPolicy::Never => "never".into(),
+        }
+    }
+}
+
+fn encode_payload(rec: &WalRecord, buf: &mut Vec<u8>) {
+    match rec {
+        WalRecord::Accept {
+            slot,
+            ballot,
+            batch,
+        } => {
+            buf.push(TAG_ACCEPT);
+            put_u64(buf, *slot);
+            put_u64(buf, ballot.attempt);
+            put_u32(buf, ballot.proposer.as_u32());
+            put_u32(buf, batch.len() as u32);
+            buf.extend_from_slice(batch);
+        }
+        WalRecord::Decide { slot, batch } => {
+            buf.push(TAG_DECIDE);
+            put_u64(buf, *slot);
+            put_u32(buf, batch.len() as u32);
+            buf.extend_from_slice(batch);
+        }
+        WalRecord::SnapshotMark { upto } => {
+            buf.push(TAG_SNAPSHOT_MARK);
+            put_u64(buf, *upto);
+        }
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, WireError> {
+    let mut r = WireReader::new(payload);
+    let rec = match r.u8()? {
+        TAG_ACCEPT => {
+            let slot = r.u64()?;
+            let ballot = Ballot::new(r.u64()?, ProcessId::new(r.u32()?));
+            let len = r.u32()? as usize;
+            WalRecord::Accept {
+                slot,
+                ballot,
+                batch: r.take(len)?.to_vec(),
+            }
+        }
+        TAG_DECIDE => {
+            let slot = r.u64()?;
+            let len = r.u32()? as usize;
+            WalRecord::Decide {
+                slot,
+                batch: r.take(len)?.to_vec(),
+            }
+        }
+        TAG_SNAPSHOT_MARK => WalRecord::SnapshotMark { upto: r.u64()? },
+        other => return Err(WireError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(rec)
+}
+
+/// Encodes one record as a full on-disk frame (`len | checksum | payload`).
+///
+/// Public so tests can compute exact frame boundaries when exercising
+/// torn-tail truncation.
+pub fn encode_frame(rec: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_payload(rec, &mut payload);
+    assert!(
+        payload.len() <= MAX_RECORD_LEN,
+        "WAL record of {} bytes exceeds MAX_RECORD_LEN",
+        payload.len()
+    );
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    put_u32(&mut frame, payload.len() as u32);
+    put_u64(&mut frame, Fnv64::digest_of(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Replays the longest valid frame prefix of `bytes`.
+///
+/// Returns the decoded records and the byte length of the valid prefix.
+/// Replay stops — without error — at the first short, oversized,
+/// checksum-mismatched, or undecodable frame; everything from that offset
+/// on is a torn tail the caller should truncate.
+///
+/// This function is the deterministic core of recovery: same bytes in,
+/// same records (and hence same rebuilt state digest) out.
+pub fn read_records_bytes(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while bytes.len() - off >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if len > MAX_RECORD_LEN || off + FRAME_HEADER + len > bytes.len() {
+            break;
+        }
+        let sum = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
+        let payload = &bytes[off + FRAME_HEADER..off + FRAME_HEADER + len];
+        if Fnv64::digest_of(payload) != sum {
+            break;
+        }
+        match decode_payload(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => break,
+        }
+        off += FRAME_HEADER + len;
+    }
+    (records, off)
+}
+
+/// A fsync-batched write-ahead log backed by one append-only file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Frames appended but not yet written to the file.
+    buf: Vec<u8>,
+    /// Records appended since the last fsync (for [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+    appended: u64,
+    syncs: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `path`, replays its valid prefix, and
+    /// truncates any torn tail in place.
+    ///
+    /// Returns the log handle positioned for appending plus the replayed
+    /// records.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+    ) -> std::io::Result<(Wal, Vec<WalRecord>)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid) = read_records_bytes(&bytes);
+        if valid < bytes.len() {
+            // Torn tail: cut it off so it can never be mistaken for data.
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(valid as u64))?;
+        Ok((
+            Wal {
+                file,
+                path,
+                policy,
+                buf: Vec::new(),
+                unsynced: 0,
+                appended: 0,
+                syncs: 0,
+            },
+            records,
+        ))
+    }
+
+    /// Buffers one record for the next [`commit`](Wal::commit).
+    pub fn append(&mut self, rec: &WalRecord) {
+        self.buf.extend_from_slice(&encode_frame(rec));
+        self.unsynced += 1;
+        self.appended += 1;
+    }
+
+    /// Writes all buffered records with a single `write(2)` and fsyncs
+    /// according to the policy. Call once per event round (group commit),
+    /// *before* releasing the round's outbound messages.
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        let due = match self.policy {
+            FsyncPolicy::Always => self.unsynced > 0,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered records to disk with an fsync, regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Replaces the WAL's contents with `records`, atomically (temp file +
+    /// rename), and keeps appending to the new file.
+    ///
+    /// Called after a snapshot is durably written: the snapshot plus
+    /// `records` (the still-live tail: retained decisions and undecided
+    /// accepted ballots, headed by a [`WalRecord::SnapshotMark`]) supersede
+    /// the old log, bounding WAL growth to one snapshot interval plus the
+    /// pipeline window. Unflushed buffered records are discarded — the
+    /// caller passes the *current* full live state, which subsumes them.
+    pub fn rotate(&mut self, records: &[WalRecord]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("log.tmp");
+        let mut bytes = Vec::new();
+        for rec in records {
+            bytes.extend_from_slice(&encode_frame(rec));
+        }
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        sync_parent_dir(&self.path);
+        f.seek(SeekFrom::End(0))?;
+        self.file = f;
+        self.buf.clear();
+        self.unsynced = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Total records appended (including buffered and rotated-away ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Number of fsyncs issued so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort final flush so a clean shutdown loses nothing even
+    /// under [`FsyncPolicy::Never`].
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+fn sync_parent_dir(path: &Path) {
+    // Persist the rename itself. Directory fsync is Linux-specific
+    // belt-and-braces; failure here is not actionable, so best-effort.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Atomically writes the snapshot file for `dir`:
+/// `IRSN | upto u64 | len u32 | blob | FNV-1a(blob) u64`, via temp file +
+/// fsync + rename, so a crash at any point leaves either the old snapshot
+/// or the new one — never a mix.
+pub fn write_snapshot(dir: &Path, upto: u64, blob: &[u8]) -> std::io::Result<()> {
+    let live = dir.join(SNAPSHOT_FILE);
+    let tmp = dir.join("snapshot.bin.tmp");
+    let mut bytes = Vec::with_capacity(4 + 8 + 4 + blob.len() + 8);
+    bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u64(&mut bytes, upto);
+    put_u32(&mut bytes, blob.len() as u32);
+    bytes.extend_from_slice(blob);
+    put_u64(&mut bytes, Fnv64::digest_of(blob));
+    let mut f = File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, &live)?;
+    sync_parent_dir(&live);
+    Ok(())
+}
+
+/// Reads and validates the snapshot file in `dir`.
+///
+/// Returns `None` when the file is absent or fails validation (bad magic,
+/// short body, checksum mismatch) — thanks to the atomic write protocol a
+/// failed validation means garbage, not a half-new snapshot, so treating
+/// it as absent is safe: the WAL still holds the state.
+pub fn read_snapshot(dir: &Path) -> Option<(u64, Vec<u8>)> {
+    let bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).ok()?;
+    if bytes.len() < 4 + 8 + 4 + 8 || &bytes[..4] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    let upto = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    if bytes.len() != 16 + len + 8 {
+        return None;
+    }
+    let blob = &bytes[16..16 + len];
+    let sum = u64::from_le_bytes(bytes[16 + len..].try_into().unwrap());
+    if Fnv64::digest_of(blob) != sum {
+        return None;
+    }
+    Some((upto, blob.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("irs-wal-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::SnapshotMark { upto: 0 },
+            WalRecord::Accept {
+                slot: 3,
+                ballot: Ballot::new(2, ProcessId::new(1)),
+                batch: vec![9, 8, 7],
+            },
+            WalRecord::Decide {
+                slot: 3,
+                batch: vec![9, 8, 7],
+            },
+            WalRecord::Decide {
+                slot: 4,
+                batch: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_bytes() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_frame(r));
+        }
+        let (back, valid) = read_records_bytes(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(valid, bytes.len());
+    }
+
+    #[test]
+    fn append_commit_reopen_replays_everything() {
+        let dir = tmpdir("replay");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, replayed) = Wal::open(&path, FsyncPolicy::Always).expect("open");
+        assert!(replayed.is_empty());
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit().expect("commit");
+        assert_eq!(wal.appended(), 4);
+        assert_eq!(wal.syncs(), 1);
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, FsyncPolicy::Always).expect("reopen");
+        assert_eq!(replayed, sample_records());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open_and_stays_gone() {
+        let dir = tmpdir("torn");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).expect("open");
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit().expect("commit");
+        drop(wal);
+        let clean_len = std::fs::metadata(&path).expect("meta").len();
+        // A torn write: half a frame of a fifth record.
+        let tail = encode_frame(&WalRecord::Decide {
+            slot: 5,
+            batch: vec![1; 40],
+        });
+        let mut f = OpenOptions::new().append(true).open(&path).expect("append");
+        f.write_all(&tail[..tail.len() / 2]).expect("torn write");
+        drop(f);
+        let (_, replayed) = Wal::open(&path, FsyncPolicy::Always).expect("reopen");
+        assert_eq!(replayed, sample_records(), "torn frame must not replay");
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").len(),
+            clean_len,
+            "torn tail must be truncated off the file"
+        );
+    }
+
+    #[test]
+    fn checksum_flip_stops_replay_at_the_bad_frame() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for r in &records {
+            offsets.push(bytes.len());
+            bytes.extend_from_slice(&encode_frame(r));
+        }
+        // Flip one payload byte of the third frame.
+        let mut corrupt = bytes.clone();
+        corrupt[offsets[2] + FRAME_HEADER] ^= 0xFF;
+        let (back, valid) = read_records_bytes(&corrupt);
+        assert_eq!(back, records[..2].to_vec());
+        assert_eq!(valid, offsets[2]);
+    }
+
+    #[test]
+    fn oversized_length_prefix_reads_as_torn() {
+        let mut bytes = encode_frame(&WalRecord::SnapshotMark { upto: 7 });
+        let mut garbage = vec![0u8; FRAME_HEADER];
+        garbage[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let cut = bytes.len();
+        bytes.extend_from_slice(&garbage);
+        let (back, valid) = read_records_bytes(&bytes);
+        assert_eq!(back, vec![WalRecord::SnapshotMark { upto: 7 }]);
+        assert_eq!(valid, cut);
+    }
+
+    #[test]
+    fn rotation_replaces_contents_and_appends_continue() {
+        let dir = tmpdir("rotate");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Always).expect("open");
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.commit().expect("commit");
+        let live = vec![
+            WalRecord::SnapshotMark { upto: 4 },
+            WalRecord::Decide {
+                slot: 4,
+                batch: vec![],
+            },
+        ];
+        wal.rotate(&live).expect("rotate");
+        wal.append(&WalRecord::Decide {
+            slot: 5,
+            batch: vec![2],
+        });
+        wal.commit().expect("commit post-rotate");
+        drop(wal);
+        let (_, replayed) = Wal::open(&path, FsyncPolicy::Always).expect("reopen");
+        let mut expect = live;
+        expect.push(WalRecord::Decide {
+            slot: 5,
+            batch: vec![2],
+        });
+        assert_eq!(replayed, expect);
+    }
+
+    #[test]
+    fn every_n_policy_batches_fsyncs() {
+        let dir = tmpdir("fsync-n");
+        let (mut wal, _) = Wal::open(dir.join(WAL_FILE), FsyncPolicy::EveryN(3)).expect("open");
+        for i in 0..2 {
+            wal.append(&WalRecord::SnapshotMark { upto: i });
+            wal.commit().expect("commit");
+        }
+        assert_eq!(wal.syncs(), 0, "below the batch threshold");
+        wal.append(&WalRecord::SnapshotMark { upto: 2 });
+        wal.commit().expect("commit");
+        assert_eq!(wal.syncs(), 1, "threshold reached");
+        wal.append(&WalRecord::SnapshotMark { upto: 3 });
+        wal.commit().expect("commit");
+        assert_eq!(wal.syncs(), 1, "counter reset after sync");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_garbage_reads_as_absent() {
+        let dir = tmpdir("snap");
+        assert_eq!(read_snapshot(&dir), None);
+        write_snapshot(&dir, 17, b"state blob").expect("write snapshot");
+        assert_eq!(read_snapshot(&dir), Some((17, b"state blob".to_vec())));
+        // A crash mid-write leaves only the temp file; the live name still
+        // reads as the old snapshot.
+        std::fs::write(dir.join("snapshot.bin.tmp"), b"half written garbage").expect("tmp");
+        assert_eq!(read_snapshot(&dir), Some((17, b"state blob".to_vec())));
+        // Corrupting the live file reads as absent, never as partial data.
+        let mut bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        std::fs::write(dir.join(SNAPSHOT_FILE), &bytes).expect("corrupt");
+        assert_eq!(read_snapshot(&dir), None);
+    }
+}
