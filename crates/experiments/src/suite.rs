@@ -794,6 +794,87 @@ pub fn e11_deployment(quick: bool) -> Table {
         cluster.shutdown();
     }
 
+    // Scaling curve: the multiplexed socket runtime ([`irs_runtime::MuxCluster`]).
+    // One real UDP socket per process, `W = cores` reactor shard threads
+    // serving all of them through the readiness runtime — where the `udp`
+    // rows above park one blocking thread per socket. Quick mode runs the
+    // n = 32 point; the full run adds n = 128 (the CI mux-smoke bound: the
+    // election must converge on ≤ cores threads).
+    {
+        use irs_omega::{OmegaConfig, Variant};
+        use irs_runtime::{MuxCluster, MuxConfig};
+        let sizes: &[usize] = if quick { &[32] } else { &[32, 128] };
+        for &size in sizes {
+            let system = SystemConfig::new(size, (size - 1) / 2).expect("valid system");
+            let (send_period, timeout_unit) = if size >= 64 { (300, 100) } else { (20, 10) };
+            let processes: Vec<OmegaProcess> = system
+                .processes()
+                .map(|id| {
+                    let mut c = OmegaConfig::new(system, Variant::Fig3)
+                        .with_send_period(Duration::from_ticks(send_period))
+                        .with_timeout_unit(Duration::from_ticks(timeout_unit));
+                    if size >= 64 {
+                        c = c.with_delta_gossip(8);
+                    }
+                    OmegaProcess::new(id, c)
+                })
+                .collect();
+            let tick = if size >= 64 {
+                StdDuration::from_millis(1)
+            } else {
+                StdDuration::from_micros(500)
+            };
+            let cluster = MuxCluster::spawn_udp(processes, MuxConfig { tick, workers: 0 })
+                .expect("spawn mux cluster");
+            let size_limit = StdDuration::from_secs(if size >= 64 { 120 } else { 60 });
+            let start = std::time::Instant::now();
+            let elected = loop {
+                let progressed = (0..size as u32)
+                    .all(|i| cluster.snapshot(ProcessId::new(i)).sending_round >= 3);
+                if progressed && cluster.agreed_leader().is_some() {
+                    break Some(start.elapsed());
+                }
+                if start.elapsed() >= size_limit {
+                    break None;
+                }
+                std::thread::sleep(StdDuration::from_millis(10));
+            };
+            // Crash failover on the small point; at n = 128 the election
+            // alone is the acceptance criterion.
+            let reelect = (size < 64)
+                .then(|| {
+                    elected.and_then(|_| {
+                        let first = cluster.agreed_leader().expect("agreed");
+                        cluster.crash(first);
+                        let start = std::time::Instant::now();
+                        loop {
+                            if cluster.agreed_leader().is_some_and(|l| l != first) {
+                                break Some(start.elapsed());
+                            }
+                            if start.elapsed() >= size_limit {
+                                break None;
+                            }
+                            std::thread::sleep(StdDuration::from_millis(10));
+                        }
+                    })
+                })
+                .flatten();
+            table.push_row(vec![
+                "mux-udp".to_string(),
+                format!("none ({} shard threads)", cluster.worker_threads()),
+                size.to_string(),
+                if elected.is_some() { "yes" } else { "no" }.to_string(),
+                ms_cell(elected),
+                if size < 64 {
+                    format!("crash -> {} ms", ms_cell(reelect))
+                } else {
+                    format!("{size} sockets on {} threads", cluster.worker_threads())
+                },
+            ]);
+            cluster.shutdown();
+        }
+    }
+
     // Row 5 (full mode): loss injected over the *socket* backend — the two
     // new subsystems composed.
     if !quick {
@@ -894,16 +975,30 @@ pub fn e12_kv_service(quick: bool) -> Table {
         (report, outcome)
     }
 
-    // Rows 1/2: closed-loop saturation over the in-memory mesh and over
-    // real UDP sockets on localhost.
-    for backend in ["mem", "udp"] {
-        let (report, outcome) = if backend == "mem" {
-            let (cluster, mut cl) = SvcCluster::in_memory(n, clients, SvcConfig::new(n, clients));
-            closed_run(cluster, &mut cl, opts)
-        } else {
-            let (cluster, mut cl) =
-                SvcCluster::udp(n, clients, SvcConfig::new(n, clients)).expect("bind sockets");
-            closed_run(cluster, &mut cl, opts)
+    // Rows 1–3: closed-loop saturation over the in-memory mesh, over real
+    // UDP sockets (one blocking thread per endpoint), and over the
+    // multiplexed socket runtime (same sockets, `W = cores` reactor shard
+    // threads for all the replicas) — the same workload, so the mux row
+    // measures what the readiness runtime costs or buys over thread-per-
+    // socket blocking I/O.
+    for backend in ["mem", "udp", "mux-udp"] {
+        let (report, outcome) = match backend {
+            "mem" => {
+                let (cluster, mut cl) =
+                    SvcCluster::in_memory(n, clients, SvcConfig::new(n, clients));
+                closed_run(cluster, &mut cl, opts)
+            }
+            "udp" => {
+                let (cluster, mut cl) =
+                    SvcCluster::udp(n, clients, SvcConfig::new(n, clients)).expect("bind sockets");
+                closed_run(cluster, &mut cl, opts)
+            }
+            _ => {
+                let (cluster, mut cl) =
+                    SvcCluster::mux_udp(n, clients, 0, SvcConfig::new(n, clients))
+                        .expect("bind sockets");
+                closed_run(cluster, &mut cl, opts)
+            }
         };
         push_row(backend, "closed-loop", clients, &report, outcome);
     }

@@ -101,6 +101,22 @@ pub fn scripted_trace<T: Transport>(
     rounds: u8,
     advance: impl Fn(u8),
 ) -> Vec<(u32, u32, u8)> {
+    scripted_trace_with(endpoints, rounds, Duration::from_millis(5), advance)
+}
+
+/// [`scripted_trace`] with a configurable per-endpoint drain window.
+///
+/// Each drain keeps receiving until one `quiet` window passes with nothing
+/// delivered. The default window suits in-process channel backends; a
+/// backend whose delivery crosses a real socket and a reactor thread (the
+/// mux backend) needs a wider window so a frame in flight on loopback does
+/// not slip into the next round and perturb the trace.
+pub fn scripted_trace_with<T: Transport>(
+    endpoints: &mut [T],
+    rounds: u8,
+    quiet: Duration,
+    advance: impl Fn(u8),
+) -> Vec<(u32, u32, u8)> {
     let n = endpoints.len();
     let mut trace = Vec::new();
     for round in 0..rounds {
@@ -115,7 +131,7 @@ pub fn scripted_trace<T: Transport>(
             }
         }
         for (j, endpoint) in endpoints.iter_mut().enumerate() {
-            while let Some(frame) = endpoint.recv(Duration::from_millis(5)).expect("recv") {
+            while let Some(frame) = endpoint.recv(quiet).expect("recv") {
                 trace.push((j as u32, frame.from.as_u32(), frame.payload[0]));
             }
         }

@@ -503,6 +503,10 @@ impl<T: Transport> Transport for FaultyLink<T> {
         self.inner.malformed_dropped()
     }
 
+    fn sends_batched(&self) -> u64 {
+        self.inner.sends_batched()
+    }
+
     fn pending_held(&self) -> usize {
         self.held.len() + self.echoes.len() + self.inner.pending_held()
     }

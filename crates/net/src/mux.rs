@@ -1,0 +1,358 @@
+//! [`Transport`] endpoint handles multiplexed onto one background reactor.
+//!
+//! [`MuxNetwork`] drives a [`Reactor`] on a single background thread and
+//! hands out [`MuxEndpoint`]s: cheap channel-backed handles implementing
+//! the full [`Transport`] contract. Where [`crate::UdpTransport`] is one
+//! blocking socket *and one caller thread parked in `recv_from`* per
+//! endpoint, a mux network serves any number of endpoints' socket I/O from
+//! one thread — which is what lets a large client fleet (or a conformance
+//! suite) run hundreds of real UDP sockets without hundreds of threads.
+//!
+//! Data flow: `send` enqueues a command and pokes the reactor's **waker
+//! socket** (a datagram to a reactor-owned loopback socket, so the reactor
+//! wakes from its readiness wait immediately instead of at the poll
+//! backstop); the reactor encodes once, queues, and flushes in bursts.
+//! Inbound frames are decoded by the reactor and routed to a per-endpoint
+//! channel that `recv` pops with a timeout. Per-link FIFO is preserved on
+//! loopback: one reactor thread issues sends in command order and drains
+//! each socket in arrival order.
+//!
+//! The reactor thread exits when every handle of the network has been
+//! dropped (the command channel disconnects).
+
+use crate::reactor::Reactor;
+use crate::{Frame, NetError, Transport};
+use irs_types::ProcessId;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Backstop poll interval of the reactor thread: commands are normally
+/// picked up via the waker datagram, but a dropped waker (full socket
+/// buffer) must only cost one backstop, not a hang.
+const POLL_BACKSTOP: Duration = Duration::from_millis(10);
+
+enum Cmd {
+    Send {
+        ep: usize,
+        from: ProcessId,
+        to: ProcessId,
+        payload: Vec<u8>,
+    },
+    SendMany {
+        ep: usize,
+        from: ProcessId,
+        targets: Vec<ProcessId>,
+        payload: Vec<u8>,
+    },
+}
+
+/// Shared per-endpoint gauges, published by the reactor thread.
+#[derive(Debug, Default)]
+struct EpStats {
+    malformed: AtomicU64,
+    sends_batched: AtomicU64,
+}
+
+/// A [`Transport`] endpoint handle served by a background mux reactor.
+#[derive(Debug)]
+pub struct MuxEndpoint {
+    ep: usize,
+    /// Number of routable peers (mirrors the reactor-side peer table so
+    /// `UnknownPeer` is reported synchronously, like the blocking backend).
+    peers: usize,
+    cmd: Sender<Cmd>,
+    rx: Receiver<Frame>,
+    waker: Arc<UdpSocket>,
+    wake_addr: SocketAddr,
+    stats: Arc<EpStats>,
+}
+
+impl std::fmt::Debug for Cmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cmd::Send { ep, to, .. } => write!(f, "Send(ep {ep} -> {to})"),
+            Cmd::SendMany { ep, targets, .. } => {
+                write!(f, "SendMany(ep {ep} -> {} targets)", targets.len())
+            }
+        }
+    }
+}
+
+impl MuxEndpoint {
+    fn wake(&self) {
+        // Best effort: a dropped wake datagram only delays pickup to the
+        // reactor's poll backstop.
+        let _ = self.waker.send_to(b"W", self.wake_addr);
+    }
+}
+
+impl Transport for MuxEndpoint {
+    fn send(&mut self, from: ProcessId, to: ProcessId, payload: &[u8]) -> Result<(), NetError> {
+        if to.index() >= self.peers {
+            return Err(NetError::UnknownPeer(to));
+        }
+        self.cmd
+            .send(Cmd::Send {
+                ep: self.ep,
+                from,
+                to,
+                payload: payload.to_vec(),
+            })
+            .map_err(|_| NetError::Closed)?;
+        self.wake();
+        Ok(())
+    }
+
+    fn send_many(
+        &mut self,
+        from: ProcessId,
+        targets: &[ProcessId],
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        if let Some(&bad) = targets.iter().find(|t| t.index() >= self.peers) {
+            return Err(NetError::UnknownPeer(bad));
+        }
+        if targets.is_empty() {
+            return Ok(());
+        }
+        self.cmd
+            .send(Cmd::SendMany {
+                ep: self.ep,
+                from,
+                targets: targets.to_vec(),
+                payload: payload.to_vec(),
+            })
+            .map_err(|_| NetError::Closed)?;
+        self.wake();
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
+        if timeout.is_zero() {
+            return match self.rx.try_recv() {
+                Ok(frame) => Ok(Some(frame)),
+                Err(TryRecvError::Empty) => Ok(None),
+                Err(TryRecvError::Disconnected) => Err(NetError::Closed),
+            };
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn malformed_dropped(&self) -> u64 {
+        self.stats.malformed.load(Ordering::Relaxed)
+    }
+
+    fn sends_batched(&self) -> u64 {
+        self.stats.sends_batched.load(Ordering::Relaxed)
+    }
+}
+
+/// Builder for mux-backed endpoint meshes (see module docs).
+#[derive(Debug)]
+pub struct MuxNetwork;
+
+impl MuxNetwork {
+    /// Binds `n` UDP endpoints on ephemeral localhost ports, fully meshed,
+    /// all served by one background reactor thread. The drop-in mux
+    /// analogue of [`crate::UdpTransport::localhost_mesh`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding error.
+    pub fn localhost_mesh(n: usize) -> std::io::Result<Vec<MuxEndpoint>> {
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        Self::over_sockets(sockets, peers)
+    }
+
+    /// Wraps pre-bound sockets as mux endpoints sharing one background
+    /// reactor thread. `peers` is the full routing table (`peers[p]` hosts
+    /// `ProcessId(p)`) and may name addresses beyond the wrapped sockets —
+    /// this is how a client fleet routes to replica endpoints it does not
+    /// own.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from binding the waker socket or registering with
+    /// the readiness backend.
+    pub fn over_sockets(
+        sockets: Vec<UdpSocket>,
+        peers: Vec<SocketAddr>,
+    ) -> std::io::Result<Vec<MuxEndpoint>> {
+        let n = sockets.len();
+        let mut reactor = Reactor::new();
+        for socket in sockets {
+            reactor.add_endpoint(socket, peers.clone())?;
+        }
+        // The waker is the last endpoint; its datagrams are not frames and
+        // land in its malformed counter, which nobody reads.
+        let waker_rx = UdpSocket::bind(("127.0.0.1", 0))?;
+        let wake_addr = waker_rx.local_addr()?;
+        reactor.add_endpoint(waker_rx, Vec::new())?;
+        let waker_tx = Arc::new(UdpSocket::bind(("127.0.0.1", 0))?);
+
+        let (cmd_tx, cmd_rx) = channel::<Cmd>();
+        let mut frame_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        let stats: Vec<Arc<EpStats>> = (0..n).map(|_| Arc::new(EpStats::default())).collect();
+        for (ep, stat) in stats.iter().enumerate() {
+            let (tx, rx) = channel::<Frame>();
+            frame_txs.push(tx);
+            handles.push(MuxEndpoint {
+                ep,
+                peers: peers.len(),
+                cmd: cmd_tx.clone(),
+                rx,
+                waker: Arc::clone(&waker_tx),
+                wake_addr,
+                stats: Arc::clone(stat),
+            });
+        }
+        drop(cmd_tx);
+
+        std::thread::Builder::new()
+            .name("irs-mux-net".into())
+            .spawn(move || run_network(reactor, cmd_rx, frame_txs, stats))
+            .expect("spawn mux network thread");
+        Ok(handles)
+    }
+}
+
+fn run_network(
+    mut reactor: Reactor,
+    cmd_rx: Receiver<Cmd>,
+    frame_txs: Vec<Sender<Frame>>,
+    stats: Vec<Arc<EpStats>>,
+) {
+    loop {
+        let poll = reactor.poll_once(POLL_BACKSTOP, |ep, from, to, payload| {
+            if let Some(tx) = frame_txs.get(ep) {
+                // A dropped handle just discards its inbound traffic.
+                let _ = tx.send(Frame {
+                    from,
+                    to,
+                    payload: Arc::from(payload),
+                });
+            }
+        });
+        if poll.is_err() {
+            return; // readiness backend failed; the handles see Closed
+        }
+        let mut disconnected = false;
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(Cmd::Send {
+                    ep,
+                    from,
+                    to,
+                    payload,
+                }) => {
+                    let _ = reactor.queue_frame(ep, from, to, &payload);
+                }
+                Ok(Cmd::SendMany {
+                    ep,
+                    from,
+                    targets,
+                    payload,
+                }) => {
+                    let _ = reactor.queue_fanout(ep, from, &targets, &payload);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        reactor.flush();
+        for (ep, stat) in stats.iter().enumerate() {
+            stat.malformed
+                .store(reactor.malformed(ep), Ordering::Relaxed);
+            // The reactor's batched-send counter is global; publish it on
+            // every endpoint's gauge surface (each handle reports the
+            // network's batched fan-outs, mirroring how a shared socket
+            // runtime is observed).
+            stat.sends_batched
+                .store(reactor.sends_batched(), Ordering::Relaxed);
+        }
+        if disconnected {
+            // Every handle is gone; flush what was queued and stop.
+            reactor.flush();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_travel_between_mux_endpoints() {
+        let mut mesh = MuxNetwork::localhost_mesh(2).unwrap();
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        a.send(ProcessId::new(0), ProcessId::new(1), b"ping")
+            .unwrap();
+        let frame = b
+            .recv(Duration::from_secs(5))
+            .unwrap()
+            .expect("frame arrives via the reactor");
+        assert_eq!(frame.from, ProcessId::new(0));
+        assert_eq!(frame.to, ProcessId::new(1));
+        assert_eq!(&frame.payload[..], b"ping");
+    }
+
+    #[test]
+    fn send_many_batches_and_counts() {
+        let mut mesh = MuxNetwork::localhost_mesh(4).unwrap();
+        let targets: Vec<ProcessId> = (1..4).map(ProcessId::new).collect();
+        mesh[0]
+            .send_many(ProcessId::new(0), &targets, b"fan")
+            .unwrap();
+        for (i, ep) in mesh.iter_mut().enumerate().skip(1) {
+            let frame = ep
+                .recv(Duration::from_secs(5))
+                .unwrap()
+                .expect("fan-out arrives");
+            assert_eq!(frame.to, ProcessId::new(i as u32));
+            assert_eq!(&frame.payload[..], b"fan");
+        }
+        // The gauge is published asynchronously; give the reactor a beat.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while mesh[0].sends_batched() < 3 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(mesh[0].sends_batched(), 3);
+    }
+
+    #[test]
+    fn unknown_peer_is_synchronous() {
+        let mut mesh = MuxNetwork::localhost_mesh(1).unwrap();
+        let err = mesh[0]
+            .send(ProcessId::new(0), ProcessId::new(9), b"x")
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(p) if p == ProcessId::new(9)));
+    }
+
+    #[test]
+    fn recv_times_out_cleanly() {
+        let mut mesh = MuxNetwork::localhost_mesh(1).unwrap();
+        let started = std::time::Instant::now();
+        assert!(mesh[0].recv(Duration::from_millis(50)).unwrap().is_none());
+        assert!(started.elapsed() >= Duration::from_millis(40));
+        assert!(mesh[0].recv(Duration::ZERO).unwrap().is_none());
+    }
+}

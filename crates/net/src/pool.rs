@@ -1,0 +1,163 @@
+//! A freelist of reusable byte buffers for the datagram reactor.
+//!
+//! The reactor's hot path turns protocol sends into wire frames and queued
+//! datagrams into decoded messages thousands of times per second; allocating
+//! a fresh `Vec<u8>` per frame would make the allocator the bottleneck long
+//! before the sockets are. [`BufPool`] keeps returned buffers on a freelist
+//! up to a configured high-water mark: `acquire` pops a recycled buffer (or
+//! allocates one at the configured capacity when the list is dry) and
+//! `recycle` returns it, dropping the buffer instead when the pool is
+//! already full — the high-water mark bounds idle memory, not throughput.
+//!
+//! The pool is deliberately not thread-safe: each reactor shard owns one.
+
+/// A bounded freelist of reusable `Vec<u8>` buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    high_water: usize,
+    buf_capacity: usize,
+    fresh_allocs: u64,
+    recycled_hits: u64,
+    high_water_drops: u64,
+}
+
+impl BufPool {
+    /// A pool retaining at most `high_water` idle buffers, each allocated
+    /// with at least `buf_capacity` bytes of capacity.
+    pub fn new(high_water: usize, buf_capacity: usize) -> Self {
+        BufPool {
+            free: Vec::with_capacity(high_water.min(64)),
+            high_water,
+            buf_capacity,
+            fresh_allocs: 0,
+            recycled_hits: 0,
+            high_water_drops: 0,
+        }
+    }
+
+    /// Hands out an empty buffer: recycled when one is pooled, freshly
+    /// allocated otherwise. The buffer is always empty (`len == 0`).
+    pub fn acquire(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.recycled_hits += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Vec::with_capacity(self.buf_capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the freelist, or drops it when the pool already
+    /// holds `high_water` idle buffers.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.high_water {
+            self.free.push(buf);
+        } else {
+            self.high_water_drops += 1;
+        }
+    }
+
+    /// Number of idle buffers currently pooled (never exceeds the
+    /// high-water mark).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The configured retention bound.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Buffers allocated because the freelist was dry.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Acquires served from the freelist.
+    pub fn recycled_hits(&self) -> u64 {
+        self.recycled_hits
+    }
+
+    /// Buffers dropped on recycle because the pool was full.
+    pub fn high_water_drops(&self) -> u64 {
+        self.high_water_drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn acquire_recycles_and_bounds_retention() {
+        let mut pool = BufPool::new(2, 64);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire();
+        assert_eq!(pool.fresh_allocs(), 3);
+        pool.recycle(a);
+        pool.recycle(b);
+        pool.recycle(c);
+        assert_eq!(pool.pooled(), 2, "third recycle exceeds high water");
+        assert_eq!(pool.high_water_drops(), 1);
+        let again = pool.acquire();
+        assert_eq!(pool.recycled_hits(), 1);
+        assert!(again.is_empty(), "recycled buffers come back empty");
+        assert!(again.capacity() >= 64);
+    }
+
+    #[test]
+    fn acquired_buffers_have_requested_capacity() {
+        let mut pool = BufPool::new(4, 1500);
+        assert!(pool.acquire().capacity() >= 1500);
+    }
+
+    proptest! {
+        /// Random acquire/recycle interleavings never grow the pool past
+        /// its high-water configuration, and no two outstanding buffers
+        /// alias the same allocation.
+        #[test]
+        fn interleavings_respect_high_water_and_never_alias(
+            ops in proptest::collection::vec(0u8..2, 1..200),
+            high_water in 0usize..8,
+        ) {
+            let mut pool = BufPool::new(high_water, 32);
+            let mut outstanding: Vec<Vec<u8>> = Vec::new();
+            for op in ops {
+                let acquire = op == 1;
+                if acquire {
+                    let mut buf = pool.acquire();
+                    // Stamp the buffer so an aliased hand-out would also be
+                    // visible as corrupted content, not just a shared pointer.
+                    buf.push(outstanding.len() as u8);
+                    outstanding.push(buf);
+                } else if let Some(buf) = outstanding.pop() {
+                    pool.recycle(buf);
+                }
+                prop_assert!(pool.pooled() <= high_water);
+                // No aliasing: every outstanding buffer is a distinct
+                // allocation (identical pointers would mean the pool handed
+                // the same buffer out twice).
+                for i in 0..outstanding.len() {
+                    for j in (i + 1)..outstanding.len() {
+                        prop_assert!(
+                            !std::ptr::eq(outstanding[i].as_ptr(), outstanding[j].as_ptr()),
+                            "aliased buffers at {i} and {j}"
+                        );
+                    }
+                }
+                // And the stamps survive, so no buffer was cleared or
+                // swapped out from under its owner.
+                for (k, buf) in outstanding.iter().enumerate() {
+                    prop_assert_eq!(buf.as_slice(), &[k as u8]);
+                }
+            }
+        }
+    }
+}

@@ -135,6 +135,17 @@ pub trait Transport: Send {
         0
     }
 
+    /// Frames this endpoint has sent through a batched fan-out path — an
+    /// encode-once [`Transport::send_many`] that reuses one buffer across
+    /// receivers (the UDP backend's patched-header fan-out, the mux
+    /// reactor's queued broadcasts). Decorators delegate; backends whose
+    /// `send_many` is the per-receiver default report zero. Published as a
+    /// gauge alongside [`Transport::malformed_dropped`] so deployments can
+    /// see whether broadcasts actually take the amortised path.
+    fn sends_batched(&self) -> u64 {
+        0
+    }
+
     /// Frames this endpoint itself is holding for later delivery (a
     /// delaying [`FaultyLink`](crate::FaultyLink) keeps frames until their
     /// arrival time). A shutdown drain keeps polling while this is nonzero

@@ -27,6 +27,16 @@ pub struct UdpTransport {
     out: Vec<u8>,
     /// Datagrams dropped because they failed frame validation.
     malformed: u64,
+    /// Frames sent through the encode-once `send_many` fan-out.
+    batched: u64,
+    /// Mirror of the socket's last-set `SO_RCVTIMEO`, so a `recv` with the
+    /// same timeout as the previous one (the steady state of every node
+    /// loop) skips the `setsockopt` syscall entirely.
+    read_timeout: Option<Duration>,
+    /// Mirror of the socket's nonblocking flag. Left set between zero-
+    /// timeout polls (the batching pattern) and restored lazily when a
+    /// blocking receive needs it.
+    nonblocking: bool,
 }
 
 impl UdpTransport {
@@ -46,7 +56,24 @@ impl UdpTransport {
             buf: vec![0; FRAME_HEADER_LEN + MAX_PAYLOAD],
             out: Vec::with_capacity(1500),
             malformed: 0,
+            batched: 0,
+            read_timeout: None,
+            nonblocking: false,
         })
+    }
+
+    /// Puts the socket in blocking mode with `SO_RCVTIMEO = timeout`,
+    /// issuing only the syscalls whose cached mirror disagrees.
+    fn set_read_timeout_cached(&mut self, timeout: Duration) -> std::io::Result<()> {
+        if self.nonblocking {
+            self.socket.set_nonblocking(false)?;
+            self.nonblocking = false;
+        }
+        if self.read_timeout != Some(timeout) {
+            self.socket.set_read_timeout(Some(timeout))?;
+            self.read_timeout = Some(timeout);
+        }
+        Ok(())
     }
 
     /// The local socket address (to advertise to peers).
@@ -148,14 +175,56 @@ impl Transport for UdpTransport {
         }
     }
 
+    fn send_many(
+        &mut self,
+        from: ProcessId,
+        targets: &[ProcessId],
+        payload: &[u8],
+    ) -> Result<(), NetError> {
+        let Some((&first, _)) = targets.split_first() else {
+            return Ok(());
+        };
+        // Validate every target up front so an unroutable receiver is an
+        // error before any datagram leaves, not after a partial fan-out.
+        if let Some(&bad) = targets.iter().find(|t| t.index() >= self.peers.len()) {
+            return Err(NetError::UnknownPeer(bad));
+        }
+        // Encode the frame once; each receiver differs only in the four
+        // `to` bytes, patched in place before its `send_to`.
+        let mut out = std::mem::take(&mut self.out);
+        out.clear();
+        wire::encode_frame(&mut out, from, first, payload);
+        let mut result = Ok(());
+        for &to in targets {
+            let addr = self.peers[to.index()];
+            wire::set_frame_to(&mut out, to);
+            match self.socket.send_to(&out, addr) {
+                Ok(_) => self.batched += 1,
+                // A full socket buffer is packet loss, which the contract
+                // allows; the frame still took the batched path.
+                Err(e) if e.kind() == ErrorKind::WouldBlock => self.batched += 1,
+                Err(e) => {
+                    result = Err(NetError::Io(e));
+                    break;
+                }
+            }
+        }
+        self.out = out;
+        result
+    }
+
     fn recv(&mut self, timeout: Duration) -> Result<Option<Frame>, NetError> {
         // A zero timeout is a non-blocking poll (the shard loop uses it to
-        // batch already-arrived datagrams), not a guaranteed miss.
+        // batch already-arrived datagrams), not a guaranteed miss. The
+        // nonblocking flag is left set between polls: consecutive
+        // zero-timeout calls — the batching pattern — cost no setsockopt
+        // at all, and the next blocking call restores it lazily.
         if timeout.is_zero() {
-            self.socket.set_nonblocking(true)?;
-            let result = self.socket.recv_from(&mut self.buf);
-            self.socket.set_nonblocking(false)?;
-            return match result {
+            if !self.nonblocking {
+                self.socket.set_nonblocking(true)?;
+                self.nonblocking = true;
+            }
+            return match self.socket.recv_from(&mut self.buf) {
                 Ok((len, _)) => Ok(self.parse_datagram(len)),
                 Err(e)
                     if matches!(
@@ -169,32 +238,43 @@ impl Transport for UdpTransport {
             };
         }
         let deadline = Instant::now() + timeout;
+        // First wait uses the caller's timeout verbatim: node loops call
+        // recv with the same budget every iteration, so the cached mirror
+        // makes the steady state zero-setsockopt. Only the rare re-waits
+        // below (malformed frame, signal) recompute a remainder.
+        // set_read_timeout(Some(ZERO)) is rejected by the std API; the
+        // zero case was handled by the early return above, and re-waits
+        // return before setting a zero remainder.
+        let mut wait = timeout;
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Ok(None);
-            }
-            // set_read_timeout(Some(ZERO)) is rejected by the std API, so the
-            // zero case is handled by the early return above.
-            self.socket.set_read_timeout(Some(remaining))?;
+            self.set_read_timeout_cached(wait)?;
             match self.socket.recv_from(&mut self.buf) {
-                Ok((len, _)) => match self.parse_datagram(len) {
-                    Some(frame) => return Ok(Some(frame)),
-                    None => continue,
-                },
+                Ok((len, _)) => {
+                    if let Some(frame) = self.parse_datagram(len) {
+                        return Ok(Some(frame));
+                    }
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(None)
                 }
                 // A signal (profiler, debugger, SIGCHLD in the embedder)
                 // interrupting the blocking read is not a dead link.
-                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(NetError::Io(e)),
+            }
+            wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                return Ok(None);
             }
         }
     }
 
     fn malformed_dropped(&self) -> u64 {
         self.malformed
+    }
+
+    fn sends_batched(&self) -> u64 {
+        self.batched
     }
 }
 
@@ -238,6 +318,85 @@ mod tests {
         let started = Instant::now();
         assert!(mesh[0].recv(Duration::from_millis(50)).unwrap().is_none());
         assert!(started.elapsed() >= Duration::from_millis(40));
+    }
+
+    /// Satellite: `send_many` encodes once and fans out from one buffer —
+    /// every receiver still gets a frame addressed to itself, and the
+    /// batched-sends gauge counts the fan-out.
+    #[test]
+    fn send_many_patches_to_per_receiver_and_counts() {
+        let mut mesh = UdpTransport::localhost_mesh(4).unwrap();
+        let targets: Vec<ProcessId> = (1..4).map(ProcessId::new).collect();
+        let mut sender = mesh.remove(0);
+        sender
+            .send_many(ProcessId::new(0), &targets, b"fan")
+            .unwrap();
+        assert_eq!(sender.sends_batched(), 3);
+        for (i, receiver) in mesh.iter_mut().enumerate() {
+            let frame = receiver
+                .recv(Duration::from_secs(2))
+                .unwrap()
+                .expect("fan-out arrives");
+            assert_eq!(frame.from, ProcessId::new(0));
+            assert_eq!(frame.to, ProcessId::new((i + 1) as u32));
+            assert_eq!(&frame.payload[..], b"fan");
+        }
+        // An unknown receiver mid-list errors without corrupting the
+        // reusable buffer for later sends.
+        let err = sender
+            .send_many(
+                ProcessId::new(0),
+                &[ProcessId::new(1), ProcessId::new(9)],
+                b"x",
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer(p) if p == ProcessId::new(9)));
+        sender
+            .send(ProcessId::new(0), ProcessId::new(1), b"ok")
+            .unwrap();
+        let frame = mesh[0].recv(Duration::from_secs(2)).unwrap().unwrap();
+        assert_eq!(&frame.payload[..], b"ok");
+    }
+
+    /// Satellite: the cached `SO_RCVTIMEO` mirror keeps repeated recv
+    /// calls correct — same-timeout calls still block and time out, a
+    /// changed timeout takes effect, and zero-timeout polls interleave
+    /// cleanly with blocking ones (the nonblocking flag is restored
+    /// lazily).
+    #[test]
+    fn timeout_caching_preserves_recv_semantics() {
+        let mut mesh = UdpTransport::localhost_mesh(2).unwrap();
+        let mut b = mesh.pop().unwrap();
+        let a = mesh.pop().unwrap();
+
+        // Two same-timeout waits (second one skips the setsockopt).
+        for _ in 0..2 {
+            let started = Instant::now();
+            assert!(b.recv(Duration::from_millis(50)).unwrap().is_none());
+            assert!(started.elapsed() >= Duration::from_millis(40));
+        }
+        // A different timeout takes effect.
+        let started = Instant::now();
+        assert!(b.recv(Duration::from_millis(120)).unwrap().is_none());
+        assert!(started.elapsed() >= Duration::from_millis(100));
+        // Zero-timeout polls leave the socket nonblocking...
+        assert!(b.recv(Duration::ZERO).unwrap().is_none());
+        assert!(b.recv(Duration::ZERO).unwrap().is_none());
+        // ...and a blocking recv afterwards still blocks and delivers.
+        let addr = b.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let mut a = a;
+            a.send(ProcessId::new(0), ProcessId::new(1), b"late")
+                .unwrap();
+            let _ = addr;
+        });
+        let frame = b
+            .recv(Duration::from_secs(2))
+            .unwrap()
+            .expect("blocking recv after zero-polls still delivers");
+        assert_eq!(&frame.payload[..], b"late");
+        handle.join().unwrap();
     }
 
     #[test]

@@ -204,6 +204,27 @@ pub fn encode_frame(buf: &mut Vec<u8>, from: ProcessId, to: ProcessId, payload: 
     buf.extend_from_slice(payload);
 }
 
+/// Byte offset of the `to` field inside an encoded frame (after magic and
+/// version, before the sender).
+const FRAME_TO_OFFSET: usize = 2 + 1 + 4;
+
+/// Rewrites the `to` field of an already-encoded frame in place.
+///
+/// This is what makes encode-once fan-out possible: a broadcast encodes the
+/// frame a single time and patches these four bytes per receiver instead of
+/// re-encoding header and payload for every destination
+/// ([`crate::UdpTransport::send_many`] and the reactor's send queue both use
+/// it).
+///
+/// # Panics
+///
+/// Panics if `frame` is shorter than a frame header — the caller produced
+/// it with [`encode_frame`], so anything shorter is a logic error.
+pub fn set_frame_to(frame: &mut [u8], to: ProcessId) {
+    assert!(frame.len() >= FRAME_HEADER_LEN, "not an encoded frame");
+    frame[FRAME_TO_OFFSET..FRAME_TO_OFFSET + 4].copy_from_slice(&to.as_u32().to_le_bytes());
+}
+
 /// Decodes one frame, returning `(from, to, payload)`.
 ///
 /// # Errors
@@ -395,6 +416,34 @@ mod tests {
         assert_eq!(from, ProcessId::new(3));
         assert_eq!(to, ProcessId::new(7));
         assert_eq!(payload, b"hello");
+    }
+
+    /// A patched frame is byte-identical to one freshly encoded for the new
+    /// receiver — the invariant the encode-once fan-out paths rely on.
+    #[test]
+    fn patched_to_field_matches_fresh_encode() {
+        let mut patched = Vec::new();
+        encode_frame(
+            &mut patched,
+            ProcessId::new(3),
+            ProcessId::new(0),
+            b"payload",
+        );
+        for to in [0u32, 1, 7, u32::MAX] {
+            set_frame_to(&mut patched, ProcessId::new(to));
+            let mut fresh = Vec::new();
+            encode_frame(
+                &mut fresh,
+                ProcessId::new(3),
+                ProcessId::new(to),
+                b"payload",
+            );
+            assert_eq!(patched, fresh, "to = {to}");
+            let (from, decoded_to, payload) = decode_frame(&patched).unwrap();
+            assert_eq!(from, ProcessId::new(3));
+            assert_eq!(decoded_to, ProcessId::new(to));
+            assert_eq!(payload, b"payload");
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   architecture.
 //! * [`NetCluster`] — one node thread per process, each over its own
 //!   transport endpoint: in-memory, UDP-socket, or fault-injected links.
+//! * [`MuxCluster`] — one real UDP socket per process, `W` reactor shard
+//!   threads serving all of them through the nonblocking readiness runtime
+//!   ([`irs_net::Reactor`]): a 128-socket deployment on a handful of
+//!   threads, where [`NetCluster`] would park 128 threads in `recv`.
 //! * [`run_node`] — the single-node event loop itself, for deployments
 //!   where every process is its own OS process (see
 //!   `examples/socket_cluster.rs`).
@@ -54,9 +58,11 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod muxcluster;
 mod netcluster;
 mod node;
 
 pub use cluster::{Cluster, LinkDelay, RealtimeConfig};
+pub use muxcluster::{MuxAccept, MuxCluster, MuxConfig};
 pub use netcluster::NetCluster;
-pub use node::{accept_frame, run_node, run_node_with, NodeConfig, NodeHandle};
+pub use node::{accept_frame, accept_frame_bytes, run_node, run_node_with, NodeConfig, NodeHandle};

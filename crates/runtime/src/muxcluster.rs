@@ -1,0 +1,607 @@
+//! The multiplexed cluster runtime: many UDP endpoints per reactor shard.
+//!
+//! [`Cluster`](crate::Cluster) multiplexes *processes* onto shard threads
+//! but still gives every shard exactly one transport endpoint;
+//! [`NetCluster`](crate::NetCluster) gives every process its own socket but
+//! spends one OS thread blocked in `recv` per socket. [`MuxCluster`] is the
+//! deployment shape the socket runtime was built for: every process keeps
+//! its own real UDP socket, and `W` shard threads each drive an
+//! [`irs_net::Reactor`] over their processes' sockets — nonblocking I/O,
+//! one readiness wait per shard per turn, batched drains into recycled
+//! buffers, and encode-once broadcast fan-out through the reactor's queued
+//! sends. A 128-socket election therefore runs on `W ≤ cores` threads
+//! instead of 128.
+//!
+//! Timers use the same [`irs_sim::EventQueue`] timing wheel as the sharded
+//! cluster, with the same generation-stamped re-arm semantics; inbound
+//! frames are admitted by a caller-suppliable policy (the analogue of
+//! [`crate::run_node_with`]'s `accept`), applied on the reactor's
+//! borrowed-bytes hot path without assembling a [`irs_net::Frame`] per
+//! datagram. The observation surface (snapshots, leaders, crash, draining
+//! shutdown) mirrors the other cluster runtimes.
+
+use irs_net::{Reactor, Wire};
+use irs_sim::{Event, EventQueue};
+use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot, Time, TimerId};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+/// How the multiplexed cluster maps ticks to the wall clock and shards its
+/// sockets.
+#[derive(Clone, Copy, Debug)]
+pub struct MuxConfig {
+    /// The wall-clock length of one logical tick.
+    pub tick: StdDuration,
+    /// Number of reactor shards; `0` (the default) means the machine's
+    /// available parallelism. Clamped to `1..=n` at spawn time.
+    pub workers: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            tick: StdDuration::from_micros(100),
+            workers: 0,
+        }
+    }
+}
+
+/// A frame-admission policy: `(me, from, to, payload)` for a datagram that
+/// arrived on the socket of process `me`, returning the decoded message or
+/// `None` to drop it as link noise. Applied on the reactor's borrowed-bytes
+/// path — the payload is valid only for the duration of the call.
+pub type MuxAccept<M> =
+    Arc<dyn Fn(ProcessId, ProcessId, ProcessId, &[u8]) -> Option<M> + Send + Sync>;
+
+/// Longest a shard blocks in the poller before re-checking control flags.
+const POLL_BUDGET: StdDuration = StdDuration::from_millis(20);
+/// Poll timeout while sends are still queued behind socket backpressure:
+/// short, so the flush retry is not delayed by a full poll budget.
+const BACKPRESSURE_BUDGET: StdDuration = StdDuration::from_millis(1);
+/// Quiet window that ends the shutdown drain (one full window with nothing
+/// arriving and nothing queued to send).
+const DRAIN_QUIET: StdDuration = StdDuration::from_millis(50);
+/// Hard cap on the shutdown drain.
+const DRAIN_CAP: StdDuration = StdDuration::from_secs(10);
+
+/// One process hosted by a mux shard. Its reactor endpoint index equals its
+/// position in the shard's `locals` (sockets are registered in that order).
+struct MuxLocal<P> {
+    global: usize,
+    me: ProcessId,
+    proto: P,
+    crashed: Arc<AtomicBool>,
+    /// Timer generations, densely indexed by raw `TimerId`; stale
+    /// generations are skipped when a `TimerFire` pops (re-arming replaces).
+    timer_gen: Vec<u64>,
+    snapshot: Arc<Mutex<Snapshot>>,
+    frames_delivered: u64,
+}
+
+impl<P> MuxLocal<P> {
+    fn bump_timer_gen(&mut self, id: TimerId) -> u64 {
+        let i = id.raw() as usize;
+        if i >= self.timer_gen.len() {
+            self.timer_gen.resize(i + 1, 0);
+        }
+        self.timer_gen[i] += 1;
+        self.timer_gen[i]
+    }
+
+    fn timer_gen(&self, id: TimerId) -> u64 {
+        self.timer_gen.get(id.raw() as usize).copied().unwrap_or(0)
+    }
+}
+
+/// A cluster of protocol instances, each on its own UDP socket, served by
+/// `W` reactor shard threads (see module docs).
+///
+/// Dropping the cluster without [`MuxCluster::shutdown`] still stops the
+/// shard threads (the shared stop flag is set on drop), but does not join
+/// them or recover the final states.
+#[derive(Debug)]
+pub struct MuxCluster<P: Protocol> {
+    n: usize,
+    workers: usize,
+    stop: Arc<AtomicBool>,
+    snapshots: Vec<Arc<Mutex<Snapshot>>>,
+    crashed: Vec<Arc<AtomicBool>>,
+    addrs: Vec<SocketAddr>,
+    threads: Vec<JoinHandle<Vec<(usize, P)>>>,
+}
+
+impl<P> MuxCluster<P>
+where
+    P: Protocol + Introspect + Send + 'static,
+    P::Msg: Wire,
+{
+    /// Binds one ephemeral localhost UDP socket per process and spawns the
+    /// cluster over them with the default admission policy
+    /// ([`crate::accept_frame_bytes`]: addressed to the hosting process,
+    /// sender inside the deployment, payload decodable and sized for it).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding or readiness-registration error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order.
+    pub fn spawn_udp(processes: Vec<P>, config: MuxConfig) -> std::io::Result<Self> {
+        let n = processes.len();
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        let accept: MuxAccept<P::Msg> = Arc::new(move |me, from, to, payload| {
+            crate::node::accept_frame_bytes::<P::Msg>(from, to, payload, me, n)
+        });
+        Self::spawn_on_sockets(processes, sockets, peers, config, accept)
+    }
+
+    /// Spawns the cluster over pre-bound sockets: `sockets[i]` hosts
+    /// process `i`, and `peer_addrs` is the full routing table (`peer_addrs
+    /// [p]` hosts `ProcessId(p)`), which may name endpoints beyond the
+    /// hosted processes — that is how a service replica group routes
+    /// replies to client endpoints it does not own. `accept` admits inbound
+    /// datagrams (see [`MuxAccept`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from switching a socket to nonblocking mode or
+    /// registering it with the readiness backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order, or if the
+    /// socket count differs from the process count.
+    pub fn spawn_on_sockets(
+        processes: Vec<P>,
+        sockets: Vec<UdpSocket>,
+        peer_addrs: Vec<SocketAddr>,
+        config: MuxConfig,
+        accept: MuxAccept<P::Msg>,
+    ) -> std::io::Result<Self> {
+        for (i, p) in processes.iter().enumerate() {
+            assert_eq!(
+                p.id(),
+                ProcessId::new(i as u32),
+                "process at index {i} reports id {}",
+                p.id()
+            );
+        }
+        let n = processes.len();
+        assert_eq!(sockets.len(), n, "need one socket per process");
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        }
+        .clamp(1, n.max(1));
+        let tick = config.tick.max(StdDuration::from_nanos(1));
+
+        let snapshots: Vec<Arc<Mutex<Snapshot>>> = processes
+            .iter()
+            .map(|p| Arc::new(Mutex::new(p.snapshot())))
+            .collect();
+        let crashed: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let addrs: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+
+        // Round-robin the processes (and their sockets) over the shards:
+        // shard `s` hosts every process `i` with `i % W == s`, registered
+        // with its reactor in ascending order so endpoint index == local
+        // index.
+        let mut per_shard: Vec<Vec<MuxLocal<P>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut per_shard_sockets: Vec<Vec<UdpSocket>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, (proto, socket)) in processes.into_iter().zip(sockets).enumerate() {
+            per_shard[i % workers].push(MuxLocal {
+                global: i,
+                me: ProcessId::new(i as u32),
+                proto,
+                crashed: Arc::clone(&crashed[i]),
+                timer_gen: Vec::new(),
+                snapshot: Arc::clone(&snapshots[i]),
+                frames_delivered: 0,
+            });
+            per_shard_sockets[i % workers].push(socket);
+        }
+
+        let epoch = Instant::now();
+        let mut threads = Vec::with_capacity(workers);
+        for (s, (locals, shard_sockets)) in per_shard.into_iter().zip(per_shard_sockets).enumerate()
+        {
+            let mut reactor = Reactor::new();
+            for socket in shard_sockets {
+                reactor.add_endpoint(socket, peer_addrs.clone())?;
+            }
+            let shard = MuxShard {
+                reactor,
+                locals,
+                wheel: EventQueue::new(),
+                rx_scratch: Vec::new(),
+                accept: Arc::clone(&accept),
+                stop: Arc::clone(&stop),
+                n,
+                workers,
+                tick,
+                epoch,
+                dirty: Vec::new(),
+                targets_scratch: Vec::new(),
+                encode_scratch: Vec::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("irs-mux-{s}"))
+                .spawn(move || shard.run())
+                .expect("spawn mux shard thread");
+            threads.push(handle);
+        }
+
+        Ok(MuxCluster {
+            n,
+            workers,
+            stop,
+            snapshots,
+            crashed,
+            addrs,
+            threads,
+        })
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of reactor shard threads the cluster runs on.
+    pub fn worker_threads(&self) -> usize {
+        self.workers
+    }
+
+    /// The local socket addresses, in process-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The latest published snapshot of a process.
+    pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
+        self.snapshots[pid.index()]
+            .lock()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// The current `leader()` output of a process.
+    pub fn leader_of(&self, pid: ProcessId) -> ProcessId {
+        self.snapshot(pid).leader
+    }
+
+    /// The current `leader()` output of every process, in id order.
+    pub fn leaders(&self) -> Vec<ProcessId> {
+        (0..self.n)
+            .map(|i| self.leader_of(ProcessId::new(i as u32)))
+            .collect()
+    }
+
+    /// Returns `Some(p)` when every non-crashed process currently outputs
+    /// the same leader `p` and `p` has not been crashed.
+    pub fn agreed_leader(&self) -> Option<ProcessId> {
+        let mut agreed: Option<ProcessId> = None;
+        for i in 0..self.n {
+            if self.crashed[i].load(Ordering::SeqCst) {
+                continue;
+            }
+            let leader = self.leader_of(ProcessId::new(i as u32));
+            match agreed {
+                None => agreed = Some(leader),
+                Some(l) if l == leader => {}
+                Some(_) => return None,
+            }
+        }
+        agreed.filter(|l| !self.crashed[l.index()].load(Ordering::SeqCst))
+    }
+
+    /// Crash-stops a process: it stops reacting to messages and timers
+    /// while its socket keeps draining (arrivals are dropped).
+    pub fn crash(&self, pid: ProcessId) {
+        self.crashed[pid.index()].store(true, Ordering::SeqCst);
+    }
+
+    /// Returns `true` if the process has been crashed through
+    /// [`MuxCluster::crash`].
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.crashed[pid.index()].load(Ordering::SeqCst)
+    }
+
+    /// Stops every shard and returns the final protocol states (crashed
+    /// processes included), in id order. Shutdown drains: frames already on
+    /// the wire (or queued behind backpressure) are still flushed and
+    /// delivered before the states are returned, with the reactions they
+    /// would trigger discarded.
+    pub fn shutdown(mut self) -> Vec<P> {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut slots: Vec<Option<P>> = (0..self.n).map(|_| None).collect();
+        for handle in self.threads.drain(..) {
+            for (global, proto) in handle.join().expect("mux shard thread panicked") {
+                slots[global] = Some(proto);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|p| p.expect("every process returned by its shard"))
+            .collect()
+    }
+}
+
+impl<P: Protocol> Drop for MuxCluster<P> {
+    fn drop(&mut self) {
+        // A dropped cluster must not leave shard threads polling detached
+        // forever; they observe the flag within one poll budget and drain.
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One reactor shard's event loop state.
+struct MuxShard<P: Protocol> {
+    reactor: Reactor,
+    locals: Vec<MuxLocal<P>>,
+    /// Pending timers of this shard's processes (deliveries go straight to
+    /// the protocol from the reactor drain; only timers live in the wheel).
+    wheel: EventQueue<()>,
+    /// Messages staged by the reactor's decode callback, applied after the
+    /// poll returns (the callback cannot touch the protocols: the reactor
+    /// is mutably borrowed for its duration).
+    rx_scratch: Vec<(usize, ProcessId, P::Msg)>,
+    accept: MuxAccept<P::Msg>,
+    stop: Arc<AtomicBool>,
+    n: usize,
+    workers: usize,
+    tick: StdDuration,
+    epoch: Instant,
+    dirty: Vec<bool>,
+    targets_scratch: Vec<ProcessId>,
+    encode_scratch: Vec<u8>,
+}
+
+impl<P> MuxShard<P>
+where
+    P: Protocol + Introspect + Send + 'static,
+    P::Msg: Wire,
+{
+    fn now_tick(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    fn run(mut self) -> Vec<(usize, P)> {
+        self.dirty = vec![false; self.locals.len()];
+        let mut out = Actions::new();
+        for li in 0..self.locals.len() {
+            self.locals[li].proto.on_start(&mut out);
+            self.apply(li, &mut out);
+            self.dirty[li] = true;
+        }
+        self.publish_dirty();
+
+        while !self.stop.load(Ordering::SeqCst) {
+            self.run_due(&mut out);
+            self.publish_dirty();
+            // Block in the poller until the next wheel deadline, the next
+            // readable socket, or the poll budget — whichever comes first.
+            // Queued sends behind a full socket buffer shorten the wait so
+            // the flush retry is prompt.
+            let budget = if self.reactor.pending_sends() > 0 {
+                BACKPRESSURE_BUDGET
+            } else {
+                POLL_BUDGET
+            };
+            let timeout = match self.wheel.peek_time() {
+                Some(at) => {
+                    let target = self.tick.as_nanos().saturating_mul(u128::from(at.ticks()));
+                    let elapsed = self.epoch.elapsed().as_nanos();
+                    if target <= elapsed {
+                        StdDuration::ZERO
+                    } else {
+                        StdDuration::from_nanos((target - elapsed).min(u128::from(u64::MAX)) as u64)
+                            .min(budget)
+                    }
+                }
+                None => budget,
+            };
+            if self.poll_and_stage(timeout).is_err() {
+                break; // readiness backend failed; nothing to serve
+            }
+            self.deliver_staged(&mut out);
+        }
+        self.drain_and_finish()
+    }
+
+    /// One reactor turn: flush, wait, batch-drain. Valid frames admitted by
+    /// the policy are staged into `rx_scratch`; the protocols run after the
+    /// poll returns.
+    fn poll_and_stage(&mut self, timeout: StdDuration) -> std::io::Result<usize> {
+        let MuxShard {
+            reactor,
+            locals,
+            rx_scratch,
+            accept,
+            ..
+        } = self;
+        reactor.poll_once(timeout, |ep, from, to, payload| {
+            let Some(local) = locals.get(ep) else {
+                return;
+            };
+            if let Some(msg) = accept(local.me, from, to, payload) {
+                rx_scratch.push((ep, from, msg));
+            }
+        })
+    }
+
+    fn deliver_staged(&mut self, out: &mut Actions<P::Msg>) {
+        if self.rx_scratch.is_empty() {
+            return;
+        }
+        let mut staged = std::mem::take(&mut self.rx_scratch);
+        for (li, from, msg) in staged.drain(..) {
+            let local = &mut self.locals[li];
+            if local.crashed.load(Ordering::SeqCst) {
+                continue;
+            }
+            local.frames_delivered += 1;
+            local.proto.on_message(from, &msg, out);
+            self.apply(li, out);
+            self.dirty[li] = true;
+        }
+        self.rx_scratch = staged;
+        self.publish_dirty();
+    }
+
+    /// Pops and executes every timer due at the current wall tick.
+    fn run_due(&mut self, out: &mut Actions<P::Msg>) {
+        loop {
+            let now = self.now_tick();
+            let Some(at) = self.wheel.peek_time() else {
+                break;
+            };
+            if at.ticks() > now {
+                break;
+            }
+            let Some((_, event)) = self.wheel.pop() else {
+                break;
+            };
+            let Event::TimerFire {
+                pid,
+                timer,
+                generation,
+            } = event
+            else {
+                continue; // the mux wheel holds only timers
+            };
+            let li = pid.index() / self.workers;
+            let stale = {
+                let local = &self.locals[li];
+                local.crashed.load(Ordering::SeqCst) || local.timer_gen(timer) != generation
+            };
+            if stale {
+                continue;
+            }
+            self.locals[li].proto.on_timer(timer, out);
+            self.apply(li, out);
+            self.dirty[li] = true;
+        }
+    }
+
+    /// Executes the actions a local process recorded: encodes each message
+    /// once and queues it on the reactor (the flush loop patches the `to`
+    /// header per receiver), and arms timers in the wheel.
+    fn apply(&mut self, li: usize, out: &mut Actions<P::Msg>) {
+        if out.is_empty() {
+            return;
+        }
+        let now = self.now_tick();
+        let from = self.locals[li].me;
+        for outbound in out.drain_sends() {
+            self.encode_scratch.clear();
+            outbound.msg.encode(&mut self.encode_scratch);
+            self.targets_scratch.clear();
+            match outbound.dest {
+                Destination::To(q) => self.targets_scratch.push(q),
+                Destination::AllOthers => self.targets_scratch.extend(
+                    (0..self.n as u32)
+                        .map(ProcessId::new)
+                        .filter(|&q| q != from),
+                ),
+                Destination::All => self
+                    .targets_scratch
+                    .extend((0..self.n as u32).map(ProcessId::new)),
+            }
+            // Queue overflow sheds as link loss; an unroutable peer cannot
+            // happen for in-deployment targets (the table covers 0..n).
+            let _ =
+                self.reactor
+                    .queue_fanout(li, from, &self.targets_scratch, &self.encode_scratch);
+        }
+        for req in out.drain_timers() {
+            let generation = self.locals[li].bump_timer_gen(req.id);
+            self.wheel.push(
+                Time::from_ticks(now + req.after.ticks()),
+                Event::TimerFire {
+                    pid: from,
+                    timer: req.id,
+                    generation,
+                },
+            );
+        }
+        for id in out.drain_cancels() {
+            self.locals[li].bump_timer_gen(id);
+        }
+    }
+
+    /// The shutdown drain: flush queued sends and deliver what is already
+    /// on the wire (reactions discarded) until a full quiet window passes
+    /// with nothing arriving and nothing left to flush.
+    fn drain_and_finish(mut self) -> Vec<(usize, P)> {
+        let drain_started = Instant::now();
+        let mut sink = Actions::new();
+        while let Ok(delivered) = self.poll_and_stage(DRAIN_QUIET) {
+            let mut staged = std::mem::take(&mut self.rx_scratch);
+            for (li, from, msg) in staged.drain(..) {
+                let local = &mut self.locals[li];
+                if local.crashed.load(Ordering::SeqCst) {
+                    continue;
+                }
+                local.frames_delivered += 1;
+                local.proto.on_message(from, &msg, &mut sink);
+                sink.clear();
+                self.dirty[li] = true;
+            }
+            self.rx_scratch = staged;
+            if delivered == 0 && self.reactor.pending_sends() == 0 {
+                break;
+            }
+            if drain_started.elapsed() >= DRAIN_CAP {
+                break;
+            }
+        }
+        self.publish_dirty();
+        self.locals
+            .into_iter()
+            .map(|l| (l.global, l.proto))
+            .collect()
+    }
+
+    /// Publishes changed snapshots, with the runtime gauges the node loop
+    /// also publishes: `malformed_dropped` (this endpoint's counter),
+    /// `frames_delivered` (admitted frames), and `sends_batched` (the
+    /// shard reactor's encode-once fan-outs, shared across its endpoints).
+    fn publish_dirty(&mut self) {
+        for li in 0..self.locals.len() {
+            if !self.dirty[li] {
+                continue;
+            }
+            self.dirty[li] = false;
+            let mut snap = self.locals[li].proto.snapshot();
+            snap.extra
+                .push(("malformed_dropped", self.reactor.malformed(li)));
+            snap.extra
+                .push(("frames_delivered", self.locals[li].frames_delivered));
+            snap.extra
+                .push(("sends_batched", self.reactor.sends_batched()));
+            *self.locals[li]
+                .snapshot
+                .lock()
+                .expect("snapshot lock poisoned") = snap;
+        }
+    }
+}

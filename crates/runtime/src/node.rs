@@ -16,11 +16,13 @@
 //! (`irs-svc`) uses it to admit client frames from endpoints outside the
 //! replica group, which the default policy treats as link noise.
 //!
-//! The loop appends two runtime gauges to every published snapshot:
+//! The loop appends three runtime gauges to every published snapshot:
 //! `malformed_dropped` (the transport's malformed-input counter — nonzero
-//! on a UDP endpoint receiving stray traffic) and `frames_delivered`
-//! (frames accepted and handed to the protocol, the shutdown drain
-//! included).
+//! on a UDP endpoint receiving stray traffic), `frames_delivered` (frames
+//! accepted and handed to the protocol, the shutdown drain included), and
+//! `sends_batched` (frames sent through the transport's encode-once
+//! fan-out path, so a deployment can see whether broadcasts take the
+//! amortised path).
 
 use irs_net::{Frame, Transport, Wire};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot};
@@ -93,10 +95,25 @@ const DRAIN_CAP: StdDuration = StdDuration::from_secs(10);
 /// node down. Used by both the live loop and the shutdown drain so the two
 /// can never diverge on what counts as stray.
 pub fn accept_frame<M: Wire>(frame: &Frame, me: ProcessId, n: usize) -> Option<M> {
-    if frame.to != me || frame.from.index() >= n {
+    accept_frame_bytes(frame.from, frame.to, &frame.payload, me, n)
+}
+
+/// [`accept_frame`] over borrowed parts instead of an assembled [`Frame`].
+///
+/// The mux reactor hands its decode callback `(from, to, &[u8])` without
+/// allocating a frame per datagram; this lets the multiplexed cluster apply
+/// the exact same admission policy on that borrowed hot path.
+pub fn accept_frame_bytes<M: Wire>(
+    from: ProcessId,
+    to: ProcessId,
+    payload: &[u8],
+    me: ProcessId,
+    n: usize,
+) -> Option<M> {
+    if to != me || from.index() >= n {
         return None;
     }
-    let msg = irs_net::wire::decode_payload::<M>(&frame.payload).ok()?;
+    let msg = irs_net::wire::decode_payload::<M>(payload).ok()?;
     msg.valid_for(n).then_some(msg)
 }
 
@@ -191,6 +208,8 @@ where
         snap.extra
             .push(("malformed_dropped", transport.malformed_dropped()));
         snap.extra.push(("frames_delivered", delivered));
+        snap.extra
+            .push(("sends_batched", transport.sends_batched()));
         *handle.snapshot.lock().expect("snapshot lock poisoned") = snap;
     };
 

@@ -9,23 +9,39 @@
 //! `examples/kv_cluster.rs`.
 
 use crate::client::SvcClient;
-use crate::node::{run_svc_node, SvcConfig};
+use crate::node::{accept_svc_frame_bytes, run_svc_node, SvcConfig};
 use crate::replica::SvcReplica;
-use irs_net::{FaultyLink, LinkModel, MemNetwork, MemTransport, Transport, UdpTransport};
-use irs_runtime::NodeHandle;
+use irs_net::{
+    FaultyLink, LinkModel, MemNetwork, MemTransport, MuxEndpoint, MuxNetwork, Transport,
+    UdpTransport,
+};
+use irs_runtime::{MuxAccept, MuxCluster, MuxConfig, NodeHandle};
 use irs_types::{ProcessId, Snapshot};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Seed base for the deterministic per-client retry jitter.
 const CLIENT_SEED: u64 = 0x5EED_C11E;
 
-/// A running KV-service deployment: one node thread per replica.
+/// How the replicas are being driven: one node thread per replica (the
+/// historical shape), or the multiplexed socket runtime (one socket per
+/// replica, `W` reactor shard threads for all of them). The observation
+/// surface is identical either way.
+#[derive(Debug)]
+enum Backing {
+    Threads {
+        handles: Vec<NodeHandle>,
+        threads: Vec<JoinHandle<SvcReplica>>,
+    },
+    Mux(MuxCluster<SvcReplica>),
+}
+
+/// A running KV-service deployment.
 #[derive(Debug)]
 pub struct SvcCluster {
     n: usize,
-    handles: Vec<NodeHandle>,
-    threads: Vec<JoinHandle<SvcReplica>>,
+    backing: Backing,
 }
 
 impl SvcCluster {
@@ -61,8 +77,7 @@ impl SvcCluster {
             .collect();
         SvcCluster {
             n,
-            handles,
-            threads,
+            backing: Backing::Threads { handles, threads },
         }
     }
 
@@ -117,6 +132,62 @@ impl SvcCluster {
         Ok((cluster, Self::wrap_clients(n, client_eps)))
     }
 
+    /// An `n`-replica deployment on the multiplexed socket runtime: every
+    /// replica and every client keeps its own real UDP socket, but the
+    /// replicas are served by `workers` reactor shard threads (`0` = the
+    /// machine's parallelism) and the whole client fleet by one more —
+    /// where [`SvcCluster::udp`] spends one blocking thread per endpoint.
+    /// This is the deployment shape that scales the service to large
+    /// client fleets in one process.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding or readiness-registration error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn mux_udp(
+        n: usize,
+        clients: usize,
+        workers: usize,
+        config: SvcConfig,
+    ) -> std::io::Result<(Self, Vec<SvcClient<MuxEndpoint>>)> {
+        assert!(n >= 3, "a replicated service needs n >= 3");
+        let mut sockets: Vec<std::net::UdpSocket> = (0..n + clients)
+            .map(|_| std::net::UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peer_addrs: Vec<std::net::SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        let client_sockets = sockets.split_off(n);
+
+        let replicas: Vec<SvcReplica> = (0..n)
+            .map(|i| config.replica(ProcessId::new(i as u32)))
+            .collect();
+        let peers = config.peers;
+        let accept: MuxAccept<crate::msg::SvcMsg> = Arc::new(move |me, from, to, payload| {
+            accept_svc_frame_bytes(from, to, payload, me, n, peers)
+        });
+        let mux = MuxCluster::spawn_on_sockets(
+            replicas,
+            sockets,
+            peer_addrs.clone(),
+            MuxConfig {
+                tick: config.tick,
+                workers,
+            },
+            accept,
+        )?;
+        let client_eps = MuxNetwork::over_sockets(client_sockets, peer_addrs)?;
+        let cluster = SvcCluster {
+            n,
+            backing: Backing::Mux(mux),
+        };
+        Ok((cluster, Self::wrap_clients(n, client_eps)))
+    }
+
     fn wrap_clients<T: Transport>(n: usize, endpoints: Vec<T>) -> Vec<SvcClient<T>> {
         endpoints
             .into_iter()
@@ -135,11 +206,14 @@ impl SvcCluster {
 
     /// The latest published snapshot of a replica.
     pub fn snapshot(&self, pid: ProcessId) -> Snapshot {
-        self.handles[pid.index()]
-            .snapshot
-            .lock()
-            .expect("snapshot lock poisoned")
-            .clone()
+        match &self.backing {
+            Backing::Threads { handles, .. } => handles[pid.index()]
+                .snapshot
+                .lock()
+                .expect("snapshot lock poisoned")
+                .clone(),
+            Backing::Mux(mux) => mux.snapshot(pid),
+        }
     }
 
     /// The current leader output of a replica.
@@ -152,41 +226,56 @@ impl SvcCluster {
     pub fn agreed_leader(&self) -> Option<ProcessId> {
         let mut agreed: Option<ProcessId> = None;
         for i in 0..self.n {
-            if self.handles[i].crashed.load(Ordering::SeqCst) {
+            let pid = ProcessId::new(i as u32);
+            if self.is_crashed(pid) {
                 continue;
             }
-            let leader = self.leader_of(ProcessId::new(i as u32));
+            let leader = self.leader_of(pid);
             match agreed {
                 None => agreed = Some(leader),
                 Some(l) if l == leader => {}
                 Some(_) => return None,
             }
         }
-        agreed.filter(|l| !self.handles[l.index()].crashed.load(Ordering::SeqCst))
+        agreed.filter(|&l| !self.is_crashed(l))
     }
 
     /// Crash-stops a replica: it stops reacting to messages and timers.
     pub fn crash(&self, pid: ProcessId) {
-        self.handles[pid.index()]
-            .crashed
-            .store(true, Ordering::SeqCst);
+        match &self.backing {
+            Backing::Threads { handles, .. } => {
+                handles[pid.index()].crashed.store(true, Ordering::SeqCst)
+            }
+            Backing::Mux(mux) => mux.crash(pid),
+        }
     }
 
     /// Returns `true` if the replica was crashed via [`SvcCluster::crash`].
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
-        self.handles[pid.index()].crashed.load(Ordering::SeqCst)
+        match &self.backing {
+            Backing::Threads { handles, .. } => handles[pid.index()].crashed.load(Ordering::SeqCst),
+            Backing::Mux(mux) => mux.is_crashed(pid),
+        }
     }
 
     /// Stops every replica and returns the final states (stores included)
     /// in id order.
-    pub fn shutdown(mut self) -> Vec<SvcReplica> {
-        for handle in &self.handles {
-            handle.stop.store(true, Ordering::SeqCst);
+    pub fn shutdown(self) -> Vec<SvcReplica> {
+        match self.backing {
+            Backing::Threads {
+                handles,
+                mut threads,
+            } => {
+                for handle in &handles {
+                    handle.stop.store(true, Ordering::SeqCst);
+                }
+                threads
+                    .drain(..)
+                    .map(|t| t.join().expect("replica thread panicked"))
+                    .collect()
+            }
+            Backing::Mux(mux) => mux.shutdown(),
         }
-        self.threads
-            .drain(..)
-            .map(|t| t.join().expect("replica thread panicked"))
-            .collect()
     }
 }
 
@@ -226,6 +315,20 @@ mod tests {
         let slot = clients[0]
             .put(b"k", b"v", StdDuration::from_secs(30))
             .expect("put over UDP");
+        let finals = cluster.shutdown();
+        assert!(finals
+            .iter()
+            .any(|r| r.store().get(b"k") == Some(b"v".as_slice())));
+        assert!(finals[0].log().decision(slot).is_some());
+    }
+
+    #[test]
+    fn mux_udp_service_applies_a_put_end_to_end() {
+        let (cluster, mut clients) =
+            SvcCluster::mux_udp(3, 1, 2, SvcConfig::new(3, 1)).expect("bind sockets");
+        let slot = clients[0]
+            .put(b"k", b"v", StdDuration::from_secs(30))
+            .expect("put over multiplexed UDP");
         let finals = cluster.shutdown();
         assert!(finals
             .iter()

@@ -147,18 +147,33 @@ impl SvcConfig {
 /// process-per-node deployments (`examples/kv_cluster.rs`) share the exact
 /// policy with [`run_svc_node`].
 pub fn accept_svc_frame(frame: &Frame, me: ProcessId, n: usize, peers: usize) -> Option<SvcMsg> {
-    if frame.to != me {
+    accept_svc_frame_bytes(frame.from, frame.to, &frame.payload, me, n, peers)
+}
+
+/// [`accept_svc_frame`] over borrowed parts instead of an assembled
+/// [`Frame`] — the policy the multiplexed deployment applies on the
+/// reactor's borrowed-bytes decode path (the service analogue of
+/// [`irs_runtime::accept_frame_bytes`]).
+pub fn accept_svc_frame_bytes(
+    from: ProcessId,
+    to: ProcessId,
+    payload: &[u8],
+    me: ProcessId,
+    n: usize,
+    peers: usize,
+) -> Option<SvcMsg> {
+    if to != me {
         return None;
     }
-    let msg = decode_payload::<SvcMsg>(&frame.payload).ok()?;
+    let msg = decode_payload::<SvcMsg>(payload).ok()?;
     if !msg.valid_for(n) {
         return None;
     }
     match msg {
         // The consensus plane is replicas-only.
-        SvcMsg::Log(_) => (frame.from.index() < n).then_some(msg),
+        SvcMsg::Log(_) => (from.index() < n).then_some(msg),
         // Requests may come from any endpoint we can route a reply to.
-        SvcMsg::Request { .. } => (frame.from.index() < peers).then_some(msg),
+        SvcMsg::Request { .. } => (from.index() < peers).then_some(msg),
         // Replies belong on the client side of the link.
         SvcMsg::Reply(_) => None,
     }
