@@ -280,10 +280,13 @@ impl Introspect for OmegaMessagePattern {
             timer_value: self.cfg.period.ticks(),
             susp_levels: self.counters.clone(),
             extra: vec![
-                ("queries_issued", self.queries_issued),
-                ("responses_sent", self.responses_sent),
-                ("loser_reports_sent", self.loser_reports_sent),
-                ("vote_rounds_retained", self.votes.len() as u64),
+                (irs_obs::names::QUERIES_ISSUED, self.queries_issued),
+                (irs_obs::names::RESPONSES_SENT, self.responses_sent),
+                (irs_obs::names::LOSER_REPORTS_SENT, self.loser_reports_sent),
+                (
+                    irs_obs::names::VOTE_ROUNDS_RETAINED,
+                    self.votes.len() as u64,
+                ),
             ],
         }
     }

@@ -212,9 +212,9 @@ impl Introspect for OmegaTimeoutAll {
             timer_value: self.timeouts.iter().map(|d| d.ticks()).max().unwrap_or(0),
             susp_levels: self.counters.clone(),
             extra: vec![
-                ("false_suspicions", self.false_suspicions),
+                (irs_obs::names::FALSE_SUSPICIONS, self.false_suspicions),
                 (
-                    "suspected_now",
+                    irs_obs::names::SUSPECTED_NOW,
                     self.suspected.iter().filter(|s| **s).count() as u64,
                 ),
             ],

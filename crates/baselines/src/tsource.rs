@@ -290,9 +290,9 @@ impl Introspect for OmegaTSource {
             timer_value: self.timeouts.iter().map(|d| d.ticks()).max().unwrap_or(0),
             susp_levels: self.counters.clone(),
             extra: vec![
-                ("accusations_sent", self.accusations_sent),
-                ("quorum_accusations", self.quorum_accusations),
-                ("my_counter", self.my_counter),
+                (irs_obs::names::ACCUSATIONS_SENT, self.accusations_sent),
+                (irs_obs::names::QUORUM_ACCUSATIONS, self.quorum_accusations),
+                (irs_obs::names::MY_COUNTER, self.my_counter),
             ],
         }
     }

@@ -299,15 +299,16 @@ where
     V: LogValue,
 {
     fn snapshot(&self) -> Snapshot {
+        use irs_obs::names;
         let mut snap = self.oracle.snapshot();
         snap.extra
-            .push(("decided", u64::from(self.instance.decided().is_some())));
+            .push((names::DECIDED, u64::from(self.instance.decided().is_some())));
         snap.extra.push((
-            "decided_value",
+            names::DECIDED_VALUE,
             self.instance.decided().map(LogValue::gauge).unwrap_or(0),
         ));
         snap.extra
-            .push(("ballots_started", self.instance.ballots_started()));
+            .push((names::BALLOTS_STARTED, self.instance.ballots_started()));
         snap
     }
 }

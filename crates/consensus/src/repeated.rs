@@ -321,6 +321,11 @@ pub struct ReplicatedLog<O, V = Value> {
     snapshot_installs: u64,
     chunks_served: u64,
     chunk_rerequests: u64,
+    /// Optional flight-recorder hook: ballot lifecycle, catch-ups and
+    /// snapshot traffic become [`irs_obs::TraceEvent`]s when set. The log
+    /// itself is sans-IO; the tracer stamps wall-clock time only when the
+    /// host built it with one.
+    tracer: Option<irs_obs::Tracer>,
 }
 
 impl<V: LogValue> ReplicatedLog<irs_omega::OmegaProcess, V> {
@@ -381,6 +386,7 @@ where
             snapshot_installs: 0,
             chunks_served: 0,
             chunk_rerequests: 0,
+            tracer: None,
         }
     }
 
@@ -423,6 +429,19 @@ where
             log.instance(slot).restore_accepted(ballot, value);
         }
         log
+    }
+
+    /// Attaches a flight-recorder tracer; subsequent ballot openings,
+    /// decisions, catch-ups and snapshot transfers are recorded on it.
+    pub fn set_tracer(&mut self, tracer: irs_obs::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    #[inline]
+    fn trace(&self, kind: irs_obs::EventKind, a: u64, b: u64) {
+        if let Some(t) = &self.tracer {
+            t.emit_now(kind, a, b);
+        }
     }
 
     /// Turns durability-event recording on or off (off by default). A host
@@ -601,11 +620,14 @@ where
                 self.pending.remove(pos);
             }
         }
-        if self.durable && !self.decisions.contains_key(&slot) {
-            self.wal_events.push(LogEvent::Decided {
-                slot,
-                value: batch.clone(),
-            });
+        if !self.decisions.contains_key(&slot) {
+            self.trace(irs_obs::EventKind::Decided, slot, batch.len() as u64);
+            if self.durable {
+                self.wal_events.push(LogEvent::Decided {
+                    slot,
+                    value: batch.clone(),
+                });
+            }
         }
         self.decisions.entry(slot).or_insert(batch);
         // If this slot decided something other than what we assigned to it
@@ -740,6 +762,7 @@ where
                 let start = chunk as usize * SNAPSHOT_CHUNK_LEN;
                 let end = (start + SNAPSHOT_CHUNK_LEN).min(state.len());
                 let data: Arc<[u8]> = state[start..end].to_vec().into();
+                let bytes = data.len() as u64;
                 out.send(
                     to,
                     LogMsg::SnapshotChunk {
@@ -751,6 +774,7 @@ where
                     },
                 );
                 self.chunks_served += 1;
+                self.trace(irs_obs::EventKind::SnapshotChunk, u64::from(chunk), bytes);
             }
             Some((mine, _)) if *mine > upto => {
                 // The requested snapshot is gone; restart the straggler on
@@ -884,6 +908,7 @@ where
         if upto <= self.compact_floor {
             return;
         }
+        self.trace(irs_obs::EventKind::SnapshotTaken, upto, state.len() as u64);
         self.compact_floor = upto;
         self.snapshot = Some((upto, state));
         self.decisions = self.decisions.split_off(&upto);
@@ -929,6 +954,7 @@ where
             self.frontier += 1;
         }
         self.snapshot_installs += 1;
+        self.trace(irs_obs::EventKind::SnapshotInstalled, upto, 0);
     }
 
     /// Rebuilds the duplicate-suppression set from the retained decisions
@@ -994,9 +1020,11 @@ where
             inst.set_proposal(batch);
             inst.start_ballot(&mut sends);
             let progress = inst.progress_counter();
+            let attempt = inst.ballots_started();
             self.last_progress.insert(slot, progress);
             if !sends.is_empty() {
                 self.slots_driven += 1;
+                self.trace(irs_obs::EventKind::BallotOpened, slot, attempt);
             }
             self.emit_slot(slot, sends, out);
             slot += 1;
@@ -1027,6 +1055,7 @@ where
             let target = self.catchup_target();
             out.send(target, LogMsg::Catchup { from: frontier });
             self.catchups_sent += 1;
+            self.trace(irs_obs::EventKind::CatchupSent, frontier, 0);
         }
         self.last_check_frontier = frontier;
         let leader = self.oracle.leader();
@@ -1055,7 +1084,7 @@ where
             .map(|(s, _)| *s)
             .collect();
         for slot in stalled_slots {
-            let (sends, progress) = {
+            let (sends, progress, attempt) = {
                 let Some(inst) = self.instances.get_mut(&slot) else {
                     continue;
                 };
@@ -1068,11 +1097,12 @@ where
                 if stalled {
                     inst.start_ballot(&mut sends);
                 }
-                (sends, progress)
+                (sends, progress, inst.ballots_started())
             };
             self.last_progress.insert(slot, progress);
             if !sends.is_empty() {
                 self.slots_driven += 1;
+                self.trace(irs_obs::EventKind::BallotOpened, slot, attempt);
             }
             self.emit_slot(slot, sends, out);
         }
@@ -1129,6 +1159,7 @@ where
                         },
                     );
                     self.catchups_sent += 1;
+                    self.trace(irs_obs::EventKind::CatchupSent, self.frontier(), 0);
                 }
             }
             LogMsg::SnapshotInstall { upto, state } => {
@@ -1244,16 +1275,17 @@ where
     V: LogValue,
 {
     fn snapshot(&self) -> Snapshot {
+        use irs_obs::names;
         let mut snap = self.oracle.snapshot();
-        snap.extra.push(("log_len", self.frontier()));
-        snap.extra.push(("pending", self.pending_len() as u64));
-        snap.extra.push(("slots_driven", self.slots_driven));
-        snap.extra.push(("catchups_sent", self.catchups_sent));
+        snap.extra.push((names::LOG_LEN, self.frontier()));
+        snap.extra.push((names::PENDING, self.pending_len() as u64));
+        snap.extra.push((names::SLOTS_DRIVEN, self.slots_driven));
+        snap.extra.push((names::CATCHUPS_SENT, self.catchups_sent));
         snap.extra
-            .push(("retained_decisions", self.decisions.len() as u64));
-        snap.extra.push(("compact_floor", self.compact_floor));
+            .push((names::RETAINED_DECISIONS, self.decisions.len() as u64));
+        snap.extra.push((names::COMPACT_FLOOR, self.compact_floor));
         snap.extra
-            .push(("snapshot_installs", self.snapshot_installs));
+            .push((names::SNAPSHOT_INSTALLS, self.snapshot_installs));
         snap
     }
 }

@@ -355,16 +355,25 @@ impl Introspect for OmegaProcess {
             timer_value: self.current_timer_ticks,
             susp_levels: self.susp.to_vec(),
             extra: vec![
-                ("alive_broadcasts", self.metrics.alive_broadcasts),
-                ("rounds_closed", self.metrics.rounds_closed),
-                ("susp_increments", self.metrics.susp_increments),
-                ("max_timer_ticks", self.metrics.max_timer_ticks),
                 (
-                    "retained_suspicion_rounds",
+                    irs_obs::names::ALIVE_BROADCASTS,
+                    self.metrics.alive_broadcasts,
+                ),
+                (irs_obs::names::ROUNDS_CLOSED, self.metrics.rounds_closed),
+                (
+                    irs_obs::names::SUSP_INCREMENTS,
+                    self.metrics.susp_increments,
+                ),
+                (
+                    irs_obs::names::MAX_TIMER_TICKS,
+                    self.metrics.max_timer_ticks,
+                ),
+                (
+                    irs_obs::names::RETAINED_SUSPICION_ROUNDS,
                     self.book.retained_suspicion_rounds() as u64,
                 ),
                 (
-                    "retained_rec_from_rounds",
+                    irs_obs::names::RETAINED_REC_FROM_ROUNDS,
                     self.book.retained_rec_from_rounds() as u64,
                 ),
             ],

@@ -1083,9 +1083,11 @@ pub fn e12_kv_service(quick: bool) -> Table {
     // agree with the client-acked prefix — batches, pipelined slots and
     // truncated history included.
     {
+        let obs = std::sync::Arc::new(irs_obs::Obs::new(n));
         let crash_config = SvcConfig::new(n, clients)
             .with_batching(8, 4)
-            .with_snapshot_interval(64);
+            .with_snapshot_interval(64)
+            .with_obs(obs.clone());
         let (cluster, mut cl) = SvcCluster::with_link_models(n, clients, crash_config, |p| {
             LinkModel::new(0x0E12_C4A5 ^ u64::from(p.as_u32())).with_drop_prob(0.05)
         });
@@ -1112,7 +1114,13 @@ pub fn e12_kv_service(quick: bool) -> Table {
                 "leader {crashed} crashed; {} survivors identical, no acked op lost/reordered",
                 survivors.len()
             ),
-            Err(e) => format!("INCONSISTENT: {e}"),
+            Err(e) => {
+                // A failed verdict is exactly what the flight recorder is
+                // for: dump the per-node trace of the run's last events as
+                // a CI-collectable artifact before reporting.
+                let path = flight_recorder_artifact("e12-crash", &obs);
+                format!("INCONSISTENT: {e} (flight recorder: {path})")
+            }
         };
         push_row("mem+drop0.05", "crash b8xd4", clients, &report, outcome);
     }
@@ -1411,6 +1419,212 @@ pub fn e13_durability(quick: bool) -> Table {
     table
 }
 
+/// Writes the flight-recorder text dump of `obs` under `target/` (falling
+/// back to the temp dir) and returns the path it landed at — the crash
+/// artifact CI uploads when a verdict fails.
+fn flight_recorder_artifact(tag: &str, obs: &irs_obs::Obs) -> String {
+    let name = format!("{tag}-flight-recorder.txt");
+    let target = std::path::Path::new("target");
+    let path = if target.is_dir() {
+        target.join(&name)
+    } else {
+        std::env::temp_dir().join(&name)
+    };
+    match std::fs::write(&path, obs.dump_trace()) {
+        Ok(()) => path.display().to_string(),
+        Err(e) => format!("<unwritable: {e}>"),
+    }
+}
+
+/// E14 — Observability: what the instrumentation plane costs and what it
+/// buys. The overhead rows run the same mem-backend closed-loop workload
+/// with observability off, metrics-only, and metrics + flight recorder;
+/// the acceptance bar is ≤ 3% throughput cost for the full mode (reported
+/// as WARN, not failure, beyond that — single-core CI runners are noisy).
+/// The forensics row crashes the leader of a durable, fully instrumented
+/// cluster mid-load and verifies the flight-recorder dump actually tells
+/// the story: leader-change and WAL-commit events leading up to the crash.
+pub fn e14_observability(quick: bool) -> Table {
+    use irs_obs::{EventKind, Obs};
+    use irs_svc::loadgen::{check_consistency, closed_loop, ClosedLoopOptions};
+    use irs_svc::{FsyncPolicy, SvcCluster, SvcConfig, SvcReplica};
+    use std::sync::Arc;
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E14",
+        "Observability: metrics/flight-recorder overhead and crash forensics",
+        &[
+            "mode", "n", "clients", "ops/s", "p50 us", "p99 us", "verdict",
+        ],
+    );
+    let n = 5;
+    let clients = if quick { 3 } else { 4 };
+    let opts = ClosedLoopOptions {
+        duration: StdDuration::from_secs(if quick { 2 } else { 5 }),
+        op_deadline: StdDuration::from_secs(8),
+        ..ClosedLoopOptions::default()
+    };
+
+    // One measured closed-loop run over the mem backend under the given
+    // obs mode; returns ops/s alongside the report row fields.
+    fn measured(
+        n: usize,
+        clients: usize,
+        opts: ClosedLoopOptions,
+        obs: Option<Arc<Obs>>,
+    ) -> (irs_svc::loadgen::LoadReport, String) {
+        let mut config = SvcConfig::new(n, clients);
+        if let Some(obs) = obs {
+            config = config.with_obs(obs);
+        }
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, acked) = closed_loop(&mut cl, opts);
+        let finals = cluster.shutdown();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let verdict = match check_consistency(&refs, &acked) {
+            Ok(()) => format!("{} acked, replicas identical", report.ops),
+            Err(e) => format!("INCONSISTENT: {e}"),
+        };
+        (report, verdict)
+    }
+
+    // Warm-up (discarded): fault in code paths and thread pools so the
+    // first measured row is not paying one-time costs the others skip.
+    let warm = ClosedLoopOptions {
+        duration: StdDuration::from_millis(500),
+        ..opts
+    };
+    let _ = measured(n, clients, warm, None);
+
+    let mut ops_by_mode: Vec<(&str, f64)> = Vec::new();
+    for mode in ["off", "metrics", "metrics+recorder"] {
+        let obs = match mode {
+            "off" => None,
+            "metrics" => Some(Arc::new(Obs::metrics_only())),
+            _ => Some(Arc::new(Obs::new(n))),
+        };
+        let (report, verdict) = measured(n, clients, opts, obs);
+        ops_by_mode.push((mode, report.ops_per_sec()));
+        table.push_row(vec![
+            mode.to_string(),
+            n.to_string(),
+            clients.to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            report.latency.percentile(50.0).to_string(),
+            report.latency.percentile(99.0).to_string(),
+            verdict,
+        ]);
+    }
+
+    // The ≤ 3% gate, soft: closed-loop throughput on a contended runner
+    // jitters more than the effect size, so the row reports PASS/WARN
+    // with the measured ratio instead of failing the suite.
+    {
+        let off = ops_by_mode[0].1.max(1.0);
+        let full = ops_by_mode[2].1;
+        let overhead = 100.0 * (1.0 - full / off);
+        let verdict = if overhead <= 3.0 {
+            format!("PASS: metrics+recorder costs {overhead:.1}% vs off (gate 3%)")
+        } else {
+            format!("WARN: metrics+recorder costs {overhead:.1}% vs off (gate 3%, noisy runner?)")
+        };
+        table.push_row(vec![
+            "overhead gate".to_string(),
+            n.to_string(),
+            clients.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            verdict,
+        ]);
+    }
+
+    // Crash forensics: durable replicas, full instrumentation, leader
+    // crashed mid-load. The dump must contain leader-change and WAL-commit
+    // events leading up to the crash — the artifact a postmortem starts
+    // from — and the survivors must still pass the consistency contract.
+    {
+        let base = std::env::temp_dir().join(format!("irs-e14-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        // A deep ring for forensics: the default 512/node is sized for
+        // steady-state tails, but this row keeps loading the cluster for
+        // two thirds of the run *after* the re-election and must not let
+        // the post-crash traffic evict the events that explain it.
+        let obs = Arc::new(Obs::with_ring(n, 1 << 15));
+        let config = SvcConfig::new(n, clients)
+            .with_batching(8, 4)
+            .with_snapshot_interval(64)
+            .with_data_dir(&base)
+            .with_fsync(FsyncPolicy::EveryN(8))
+            .with_obs(obs.clone());
+        let crash_opts = ClosedLoopOptions {
+            duration: StdDuration::from_secs(if quick { 4 } else { 8 }),
+            op_deadline: StdDuration::from_secs(8),
+            ..ClosedLoopOptions::default()
+        };
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, acked, crashed) = irs_svc::loadgen::closed_loop_with_leader_crash(
+            &cluster,
+            &mut cl,
+            crash_opts,
+            crash_opts.duration / 3,
+        );
+        irs_svc::loadgen::await_survivor_convergence(&cluster, crashed, StdDuration::from_secs(30));
+        let events = obs.recorder().expect("recorder attached").dump();
+        let leader_changes = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LeaderChange)
+            .count();
+        let wal_commits = events
+            .iter()
+            .filter(|e| e.kind == EventKind::WalCommit)
+            .count();
+        // The postmortem property itself: WAL commits *leading up to* the
+        // re-election the crash forced (the dump is (at, node)-sorted, so
+        // this is a prefix check against the first leader change).
+        let first_change = events
+            .iter()
+            .find(|e| e.kind == EventKind::LeaderChange)
+            .map(|e| e.at);
+        let commits_before_change = first_change.is_some_and(|at| {
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::WalCommit && e.at < at)
+        });
+        let artifact = flight_recorder_artifact("e14-crash", &obs);
+        let finals = cluster.shutdown();
+        let survivors: Vec<&SvcReplica> = finals
+            .iter()
+            .filter(|r| irs_types::Protocol::id(*r) != crashed)
+            .collect();
+        let verdict = if leader_changes == 0 || wal_commits == 0 || !commits_before_change {
+            format!(
+                "FAIL: dump missing forensics (leader_change={leader_changes}, wal_commit={wal_commits}, commits_before_change={commits_before_change}) — {artifact}"
+            )
+        } else {
+            match check_consistency(&survivors, &acked) {
+                Ok(()) => format!(
+                    "leader {crashed} crashed; dump has {leader_changes} leader_change + {wal_commits} wal_commit events, commits precede re-election ({artifact}); survivors consistent"
+                ),
+                Err(e) => format!("INCONSISTENT: {e} ({artifact})"),
+            }
+        };
+        table.push_row(vec![
+            "crash forensics".to_string(),
+            n.to_string(),
+            clients.to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            report.latency.percentile(50.0).to_string(),
+            report.latency.percentile(99.0).to_string(),
+            verdict,
+        ]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -1430,6 +1644,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e11", e11_deployment),
         ("e12", e12_kv_service),
         ("e13", e13_durability),
+        ("e14", e14_observability),
     ]
 }
 
@@ -1440,9 +1655,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 13);
+        assert_eq!(unique.len(), 14);
     }
 
     #[test]

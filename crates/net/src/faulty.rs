@@ -176,6 +176,9 @@ pub struct LinkModel {
     delivered: u64,
     duplicated: u64,
     replayed: u64,
+    /// Registry mirrors of the four counters above, in the same order
+    /// (see [`LinkModel::attach_obs`]).
+    obs: Option<[irs_obs::Counter; 4]>,
 }
 
 impl LinkModel {
@@ -196,7 +199,21 @@ impl LinkModel {
             delivered: 0,
             duplicated: 0,
             replayed: 0,
+            obs: None,
         }
+    }
+
+    /// Mirrors the model's counters onto `registry` under the `link_*`
+    /// canonical names (one registry aggregates every link of a cluster;
+    /// the local counters stay authoritative for the accessors).
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry) {
+        use irs_obs::names;
+        self.obs = Some([
+            registry.counter(names::LINK_DROPPED),
+            registry.counter(names::LINK_DELIVERED),
+            registry.counter(names::LINK_DUPLICATED),
+            registry.counter(names::LINK_REPLAYED),
+        ]);
     }
 
     /// Drops each arriving frame independently with probability `p`.
@@ -320,6 +337,13 @@ impl LinkModel {
         } else {
             self.dropped += 1;
         }
+        if let Some([dropped, delivered, ..]) = &self.obs {
+            if keep {
+                delivered.inc(t as usize)
+            } else {
+                dropped.inc(t as usize)
+            }
+        }
         keep
     }
 
@@ -338,6 +362,9 @@ impl LinkModel {
         let mut extra = Vec::new();
         if self.dup_prob > 0.0 && unit(SALT_DUP) < self.dup_prob {
             self.duplicated += 1;
+            if let Some([_, _, duplicated, _]) = &self.obs {
+                duplicated.inc(t as usize);
+            }
             extra.push(frame.clone());
         }
         if self.replay_prob > 0.0 {
@@ -345,6 +372,9 @@ impl LinkModel {
             if !ring.is_empty() && unit(SALT_REPLAY) < self.replay_prob {
                 let pick = mix(self.seed ^ SALT_PICK, f, t, index) as usize % ring.len();
                 self.replayed += 1;
+                if let Some([.., replayed]) = &self.obs {
+                    replayed.inc(t as usize);
+                }
                 extra.push(ring[pick].clone());
             }
             ring.push_back(frame.clone());
@@ -405,6 +435,12 @@ impl<T: Transport> FaultyLink<T> {
     /// The model's counters and schedule.
     pub fn model(&self) -> &LinkModel {
         &self.model
+    }
+
+    /// Mirrors the link model's counters onto `registry` (see
+    /// [`LinkModel::attach_obs`]).
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry) {
+        self.model.attach_obs(registry);
     }
 
     /// Unwraps the inner transport.

@@ -86,7 +86,22 @@ pub struct Reactor {
     /// Freelist for the per-send target lists, recycled like the buffers.
     targets_free: Vec<Vec<(ProcessId, SocketAddr)>>,
     frames_rx: u64,
+    frames_tx: u64,
     sends_batched: u64,
+    obs: Option<ObsHook>,
+}
+
+/// Registry handles mirroring the reactor's hot counters (attached once
+/// via [`Reactor::attach_obs`]; every update is a relaxed atomic add,
+/// sharded by endpoint index).
+#[derive(Debug)]
+struct ObsHook {
+    frames_rx: irs_obs::Counter,
+    frames_tx: irs_obs::Counter,
+    sends_batched: irs_obs::Counter,
+    malformed: irs_obs::Counter,
+    shed: irs_obs::Counter,
+    queue_depth: irs_obs::Gauge,
 }
 
 impl Reactor {
@@ -101,7 +116,26 @@ impl Reactor {
             targets_free: Vec::new(),
             sends_batched: 0,
             frames_rx: 0,
+            frames_tx: 0,
+            obs: None,
         }
+    }
+
+    /// Mirrors the reactor's counters onto `registry` under the
+    /// `net_*` canonical names. The local `u64` counters stay the source
+    /// of truth for the accessors; the registry cells receive the same
+    /// increments so a scrape sees live totals without touching the
+    /// reactor thread.
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry) {
+        use irs_obs::names;
+        self.obs = Some(ObsHook {
+            frames_rx: registry.counter(names::NET_FRAMES_RX),
+            frames_tx: registry.counter(names::NET_FRAMES_TX),
+            sends_batched: registry.counter(names::NET_SENDS_BATCHED),
+            malformed: registry.counter(names::NET_MALFORMED_DROPPED),
+            shed: registry.counter(names::NET_SENDS_SHED),
+            queue_depth: registry.gauge(names::NET_SEND_QUEUE_DEPTH),
+        });
     }
 
     /// Registers a socket as endpoint `token` (dense, in call order) with
@@ -200,6 +234,9 @@ impl Reactor {
         wire::encode_frame(&mut buf, from, targets[0], payload);
         if targets.len() > 1 {
             self.sends_batched += targets.len() as u64;
+            if let Some(o) = &self.obs {
+                o.sends_batched.add(ep, targets.len() as u64);
+            }
         }
         endpoint.queue.push_back(QueuedSend {
             buf,
@@ -212,6 +249,12 @@ impl Reactor {
                 self.pool.recycle(old.buf);
                 self.targets_free.push(old.targets);
             }
+            if let Some(o) = &self.obs {
+                o.shed.inc(ep);
+            }
+        }
+        if let Some(o) = &self.obs {
+            o.queue_depth.raise(self.eps[ep].queue.len() as u64);
         }
         Ok(())
     }
@@ -227,14 +270,18 @@ impl Reactor {
     }
 
     fn flush_ep(&mut self, ep: usize) {
+        let mut sent = 0u64;
         let Ep { socket, queue, .. } = &mut self.eps[ep];
-        while let Some(entry) = queue.front_mut() {
+        'entries: while let Some(entry) = queue.front_mut() {
             while entry.next < entry.targets.len() {
                 let (to, addr) = entry.targets[entry.next];
                 wire::set_frame_to(&mut entry.buf, to);
                 match socket.send_to(&entry.buf, addr) {
-                    Ok(_) => entry.next += 1,
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Ok(_) => {
+                        entry.next += 1;
+                        sent += 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break 'entries,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     // Anything else (e.g. an ICMP-reported unreachable
                     // peer) is loss on that link; the rest of the fan-out
@@ -245,6 +292,12 @@ impl Reactor {
             let done = queue.pop_front().expect("front_mut implies non-empty");
             self.pool.recycle(done.buf);
             self.targets_free.push(done.targets);
+        }
+        self.frames_tx += sent;
+        if let Some(o) = &self.obs {
+            if sent > 0 {
+                o.frames_tx.add(ep, sent);
+            }
         }
     }
 
@@ -279,7 +332,12 @@ impl Reactor {
                             delivered += 1;
                             on_frame(token, from, to, payload);
                         }
-                        Err(_) => endpoint.malformed += 1,
+                        Err(_) => {
+                            endpoint.malformed += 1;
+                            if let Some(o) = &self.obs {
+                                o.malformed.inc(token);
+                            }
+                        }
                     },
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -290,6 +348,11 @@ impl Reactor {
             }
         }
         self.frames_rx += delivered as u64;
+        if let Some(o) = &self.obs {
+            if delivered > 0 {
+                o.frames_rx.add(0, delivered as u64);
+            }
+        }
         self.poller.note_progress(delivered > 0);
         Ok(delivered)
     }
@@ -297,6 +360,17 @@ impl Reactor {
     /// Total valid frames delivered to callbacks.
     pub fn frames_rx(&self) -> u64 {
         self.frames_rx
+    }
+
+    /// Total datagrams successfully written to sockets.
+    pub fn frames_tx(&self) -> u64 {
+        self.frames_tx
+    }
+
+    /// Current send-queue depth (entries not yet fully flushed) on
+    /// endpoint `ep`.
+    pub fn queue_depth(&self, ep: usize) -> usize {
+        self.eps[ep].queue.len()
     }
 
     /// Frames queued through a fan-out of more than one receiver (the

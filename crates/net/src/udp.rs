@@ -37,6 +37,9 @@ pub struct UdpTransport {
     /// timeout polls (the batching pattern) and restored lazily when a
     /// blocking receive needs it.
     nonblocking: bool,
+    /// Registry mirrors of `malformed` / `batched` (see
+    /// [`UdpTransport::attach_obs`]).
+    obs: Option<(irs_obs::Counter, irs_obs::Counter)>,
 }
 
 impl UdpTransport {
@@ -59,7 +62,18 @@ impl UdpTransport {
             batched: 0,
             read_timeout: None,
             nonblocking: false,
+            obs: None,
         })
+    }
+
+    /// Mirrors this transport's counters onto `registry` under the
+    /// `udp_*` canonical names (the local counters remain authoritative
+    /// for the `Transport` accessors).
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry) {
+        self.obs = Some((
+            registry.counter(irs_obs::names::UDP_MALFORMED_DROPPED),
+            registry.counter(irs_obs::names::UDP_SENDS_BATCHED),
+        ));
     }
 
     /// Puts the socket in blocking mode with `SO_RCVTIMEO = timeout`,
@@ -101,6 +115,9 @@ impl UdpTransport {
             }),
             Err(_) => {
                 self.malformed += 1;
+                if let Some((malformed, _)) = &self.obs {
+                    malformed.inc(0);
+                }
                 None
             }
         }
@@ -199,7 +216,12 @@ impl Transport for UdpTransport {
             let addr = self.peers[to.index()];
             wire::set_frame_to(&mut out, to);
             match self.socket.send_to(&out, addr) {
-                Ok(_) => self.batched += 1,
+                Ok(_) => {
+                    self.batched += 1;
+                    if let Some((_, batched)) = &self.obs {
+                        batched.inc(to.index());
+                    }
+                }
                 // A full socket buffer is packet loss, which the contract
                 // allows; the frame still took the batched path.
                 Err(e) if e.kind() == ErrorKind::WouldBlock => self.batched += 1,

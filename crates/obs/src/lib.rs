@@ -1,0 +1,40 @@
+//! Unified observability for the intermittent-rotating-star workspace.
+//!
+//! The paper's guarantees — eventual leadership, bounded timer values
+//! (Fernández & Raynal, Sections 5–6) — are *temporal*: checking them in
+//! a live deployment, or diagnosing why a node re-elects or a WAL stalls,
+//! needs time-stamped internal state that is cheap enough to leave on
+//! permanently. This crate is that instrumentation plane, dependency-free
+//! so every other crate can use it:
+//!
+//! * [`Registry`] — sharded, lock-free-on-the-hot-path counters, gauges
+//!   and log2-bucket histograms behind cheap atomic handles
+//!   ([`Counter`], [`Gauge`], [`HistHandle`]); registration takes a lock
+//!   once per name, recording never does.
+//! * [`Histogram`] — the workspace's one log2-bucket latency histogram
+//!   (promoted from `irs_sim`, which re-exports it), used by simulation
+//!   summaries, the load generator and registry scrapes alike.
+//! * [`FlightRecorder`] — fixed-capacity per-node rings of compact
+//!   [`TraceEvent`]s (leader changes, ballot lifecycle, WAL commits,
+//!   backpressure…) with caller-supplied monotone timestamps, dumped on
+//!   demand, on crash, or when a consistency verdict fails.
+//! * [`Obs`] + [`expose`] — one process-wide handle tying registry and
+//!   recorder together, with Prometheus-style text / JSON exposition and
+//!   a periodic file-dump hook for running hosts.
+//! * [`names`] — the canonical metric-name table every producer imports,
+//!   so gauge names cannot drift between crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod expose;
+mod hist;
+pub mod names;
+mod recorder;
+mod registry;
+
+pub use expose::{render_json, render_prometheus, DumpGuard, Obs};
+pub use hist::Histogram;
+pub use recorder::{Clock, EventKind, FlightRecorder, TraceEvent, Tracer};
+pub use registry::{Counter, Gauge, HistHandle, MetricValue, Registry, SHARDS};

@@ -1,0 +1,458 @@
+//! Flight recorder: fixed-capacity per-node rings of compact trace events.
+//!
+//! Metrics say *how much*; the recorder says *what happened, in order*,
+//! for the last `capacity` events per node — enough to reconstruct the
+//! leader changes, ballot lifecycle and WAL commits leading up to a crash
+//! or a failed consistency verdict without paying for an unbounded log.
+//!
+//! Timestamps are **caller-supplied** (`at`): runtime hosts stamp with a
+//! monotone microsecond [`Clock`], the simulator stamps with virtual-clock
+//! ticks. The recorder never reads a clock itself, so identical
+//! `(seed, config)` simulation runs produce byte-identical event streams.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a [`TraceEvent`] describes. The two payload words `a`/`b` are
+/// documented per kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Ω output changed on this node: `a` = old leader id, `b` = new.
+    LeaderChange,
+    /// A failure-detector round advanced: `a` = new round.
+    RoundAdvance,
+    /// A consensus ballot opened on the coordinator: `a` = slot, `b` = ballot.
+    BallotOpened,
+    /// A slot decided: `a` = slot, `b` = commands in the decided batch.
+    Decided,
+    /// A catchup request left this node: `a` = first missing slot.
+    CatchupSent,
+    /// A compaction snapshot was exported: `a` = floor slot, `b` = bytes.
+    SnapshotTaken,
+    /// A peer snapshot was installed: `a` = new floor slot.
+    SnapshotInstalled,
+    /// One snapshot chunk was transferred: `a` = chunk index, `b` = bytes.
+    SnapshotChunk,
+    /// A WAL commit hit the log file: `a` = records, `b` = fsynced (0/1).
+    WalCommit,
+    /// A send queue pushed back (shed or blocked): `a` = endpoint,
+    /// `b` = queue depth.
+    Backpressure,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventKind::LeaderChange => "leader_change",
+            EventKind::RoundAdvance => "round_advance",
+            EventKind::BallotOpened => "ballot_opened",
+            EventKind::Decided => "decided",
+            EventKind::CatchupSent => "catchup_sent",
+            EventKind::SnapshotTaken => "snapshot_taken",
+            EventKind::SnapshotInstalled => "snapshot_installed",
+            EventKind::SnapshotChunk => "snapshot_chunk",
+            EventKind::WalCommit => "wal_commit",
+            EventKind::Backpressure => "backpressure",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One compact trace record: 40 bytes, no heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Caller-supplied monotone timestamp (µs in live hosts, ticks in sim).
+    pub at: u64,
+    /// The node the event happened on.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (see [`EventKind`]).
+    pub b: u64,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:>10} n{:<3} {:<18} a={} b={}",
+            self.at,
+            self.node,
+            self.kind.to_string(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// A fixed-capacity overwrite-oldest ring.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    head: usize,
+    total: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent, cap: usize) {
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+        }
+        self.total += 1;
+    }
+
+    /// Oldest-to-newest copy of the surviving events.
+    fn drain_in_order(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        let (tail, headpart) = self.buf.split_at(self.head);
+        headpart.iter().chain(tail.iter()).copied()
+    }
+}
+
+/// Per-node rings of the last `capacity` [`TraceEvent`]s each.
+///
+/// Recording takes one short per-node `Mutex` (a node's events come from
+/// one thread at a time in every deployment here; the lock is for the
+/// occasional cross-thread dump, not for contention).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Vec<Mutex<Ring>>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder for `nodes` nodes keeping the last `capacity` events
+    /// per node (`capacity` is clamped to at least 1).
+    pub fn new(nodes: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            rings: (0..nodes)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: Vec::new(),
+                        head: 0,
+                        total: 0,
+                    })
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Per-node ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of node rings.
+    pub fn nodes(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Records one event (dropped if `ev.node` is out of range — a
+    /// recorder sized for the replica group must not panic on a stray
+    /// client-endpoint id).
+    pub fn record(&self, ev: TraceEvent) {
+        if let Some(ring) = self.rings.get(ev.node as usize) {
+            ring.lock()
+                .expect("recorder poisoned")
+                .push(ev, self.capacity);
+        }
+    }
+
+    /// Convenience over [`FlightRecorder::record`].
+    pub fn emit(&self, at: u64, node: u32, kind: EventKind, a: u64, b: u64) {
+        self.record(TraceEvent {
+            at,
+            node,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// Total events ever offered to `node`'s ring (survivors plus
+    /// overwritten).
+    pub fn total_recorded(&self, node: u32) -> u64 {
+        self.rings
+            .get(node as usize)
+            .map(|r| r.lock().expect("recorder poisoned").total)
+            .unwrap_or(0)
+    }
+
+    /// All surviving events, ordered by `(at, node)` with per-node write
+    /// order preserved (the merge is stable).
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().expect("recorder poisoned").drain_in_order());
+        }
+        all.sort_by_key(|ev| (ev.at, ev.node));
+        all
+    }
+
+    /// The surviving events of one node, oldest first.
+    pub fn dump_node(&self, node: u32) -> Vec<TraceEvent> {
+        self.rings
+            .get(node as usize)
+            .map(|r| {
+                r.lock()
+                    .expect("recorder poisoned")
+                    .drain_in_order()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Human-readable dump, one event per line (the crash artifact).
+    pub fn dump_text(&self) -> String {
+        let events = self.dump();
+        let mut out = String::with_capacity(events.len() * 48 + 64);
+        out.push_str(&format!(
+            "# flight recorder: {} nodes, last {} events/node, {} surviving\n",
+            self.nodes(),
+            self.capacity,
+            events.len()
+        ));
+        for ev in events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Empties every ring (totals are kept).
+    pub fn clear(&self) {
+        for ring in &self.rings {
+            let mut r = ring.lock().expect("recorder poisoned");
+            r.buf.clear();
+            r.head = 0;
+        }
+    }
+}
+
+/// A recorder handle bound to one node: what instrumented components hold
+/// so call sites don't repeat the node id.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    recorder: std::sync::Arc<FlightRecorder>,
+    node: u32,
+    /// Wall clock for [`Tracer::emit_now`]; absent in deterministic
+    /// contexts (the simulator stamps virtual ticks explicitly).
+    clock: Option<Clock>,
+}
+
+impl Tracer {
+    /// A tracer writing `node`'s ring of `recorder`, without a wall
+    /// clock — callers stamp every event explicitly.
+    pub fn new(recorder: std::sync::Arc<FlightRecorder>, node: u32) -> Self {
+        Tracer {
+            recorder,
+            node,
+            clock: None,
+        }
+    }
+
+    /// A tracer that stamps [`Tracer::emit_now`] events with `clock` —
+    /// share one clock across a process so events from different layers
+    /// are comparable.
+    pub fn with_clock(recorder: std::sync::Arc<FlightRecorder>, node: u32, clock: Clock) -> Self {
+        Tracer {
+            recorder,
+            node,
+            clock: Some(clock),
+        }
+    }
+
+    /// The node this tracer stamps on every event.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Records one event on this tracer's node.
+    #[inline]
+    pub fn emit(&self, at: u64, kind: EventKind, a: u64, b: u64) {
+        self.recorder.emit(at, self.node, kind, a, b);
+    }
+
+    /// Records one event stamped by the embedded wall clock (zero when
+    /// the tracer was built without one).
+    #[inline]
+    pub fn emit_now(&self, kind: EventKind, a: u64, b: u64) {
+        let at = self.clock.map_or(0, |c| c.micros());
+        self.emit(at, kind, a, b);
+    }
+}
+
+/// A monotone microsecond clock for live (non-simulated) hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    origin: Instant,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock {
+    /// A clock anchored now; readings are µs since this call.
+    pub fn new() -> Self {
+        Clock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the anchor (monotone, never goes backwards).
+    pub fn micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_exactly_the_last_n() {
+        let rec = FlightRecorder::new(1, 4);
+        for i in 0..10u64 {
+            rec.emit(i, 0, EventKind::RoundAdvance, i, 0);
+        }
+        let events = rec.dump_node(0);
+        let ats: Vec<u64> = events.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![6, 7, 8, 9]);
+        assert_eq!(rec.total_recorded(0), 10);
+    }
+
+    #[test]
+    fn out_of_range_node_is_dropped_not_panicking() {
+        let rec = FlightRecorder::new(2, 8);
+        rec.emit(1, 7, EventKind::LeaderChange, 0, 1);
+        assert!(rec.dump().is_empty());
+        assert_eq!(rec.total_recorded(7), 0);
+    }
+
+    #[test]
+    fn dump_merges_by_timestamp() {
+        let rec = FlightRecorder::new(3, 8);
+        rec.emit(5, 2, EventKind::Decided, 1, 1);
+        rec.emit(1, 0, EventKind::LeaderChange, 0, 2);
+        rec.emit(3, 1, EventKind::WalCommit, 4, 1);
+        let ats: Vec<(u64, u32)> = rec.dump().iter().map(|e| (e.at, e.node)).collect();
+        assert_eq!(ats, vec![(1, 0), (3, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn dump_text_is_readable() {
+        let rec = FlightRecorder::new(1, 8);
+        rec.emit(42, 0, EventKind::LeaderChange, 1, 2);
+        rec.emit(43, 0, EventKind::WalCommit, 3, 1);
+        let text = rec.dump_text();
+        assert!(text.contains("leader_change"), "{text}");
+        assert!(text.contains("wal_commit"), "{text}");
+        assert!(text.lines().count() == 3, "{text}");
+    }
+
+    #[test]
+    fn tracer_binds_the_node() {
+        let rec = Arc::new(FlightRecorder::new(4, 8));
+        let t = Tracer::new(rec.clone(), 3);
+        assert_eq!(t.node(), 3);
+        t.emit(9, EventKind::BallotOpened, 0, 5);
+        assert_eq!(rec.dump_node(3).len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_totals() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.emit(1, 0, EventKind::Decided, 0, 1);
+        rec.clear();
+        assert!(rec.dump().is_empty());
+        assert_eq!(rec.total_recorded(0), 1);
+        rec.emit(2, 0, EventKind::Decided, 1, 1);
+        assert_eq!(rec.dump().len(), 1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = Clock::new();
+        let a = c.micros();
+        let b = c.micros();
+        assert!(b >= a);
+    }
+
+    proptest! {
+        /// Under arbitrary interleaved writers the ring keeps exactly the
+        /// last `min(cap, total)` events per node, and what survives for
+        /// each writer is a suffix of what that writer wrote, in order.
+        #[test]
+        fn prop_ring_keeps_exactly_last_n_under_interleaving(
+            cap in 1usize..32,
+            writes in proptest::collection::vec((0u32..4, 0u64..1_000), 0..200),
+        ) {
+            let rec = Arc::new(FlightRecorder::new(4, cap));
+            // Deterministic interleaving of 4 logical writers; the ring
+            // invariant is per-node, so the schedule may be arbitrary.
+            let mut per_node: Vec<Vec<TraceEvent>> = vec![Vec::new(); 4];
+            for (i, &(node, payload)) in writes.iter().enumerate() {
+                let ev = TraceEvent {
+                    at: i as u64,
+                    node,
+                    kind: EventKind::RoundAdvance,
+                    a: payload,
+                    b: 0,
+                };
+                rec.record(ev);
+                per_node[node as usize].push(ev);
+            }
+            for node in 0..4u32 {
+                let wrote = &per_node[node as usize];
+                let kept = rec.dump_node(node);
+                let expect_len = wrote.len().min(cap);
+                prop_assert_eq!(kept.len(), expect_len);
+                prop_assert_eq!(&kept[..], &wrote[wrote.len() - expect_len..]);
+                prop_assert_eq!(rec.total_recorded(node), wrote.len() as u64);
+            }
+        }
+
+        /// The same holds with real concurrent writers: each node's ring
+        /// sees one writer thread (the deployment invariant), threads
+        /// interleave arbitrarily, and every surviving ring is a suffix
+        /// of its writer's sequence.
+        #[test]
+        fn prop_ring_suffix_under_threads(
+            cap in 1usize..16,
+            counts in proptest::collection::vec(0usize..64, 3..4),
+        ) {
+            let rec = Arc::new(FlightRecorder::new(3, cap));
+            std::thread::scope(|s| {
+                for (node, &count) in counts.iter().enumerate() {
+                    let rec = rec.clone();
+                    s.spawn(move || {
+                        for i in 0..count {
+                            rec.emit(i as u64, node as u32, EventKind::Decided, i as u64, 0);
+                        }
+                    });
+                }
+            });
+            for (node, &count) in counts.iter().enumerate() {
+                let kept = rec.dump_node(node as u32);
+                let expect_len = count.min(cap);
+                prop_assert_eq!(kept.len(), expect_len);
+                let expect_ats: Vec<u64> =
+                    ((count - expect_len)..count).map(|i| i as u64).collect();
+                let ats: Vec<u64> = kept.iter().map(|e| e.at).collect();
+                prop_assert_eq!(ats, expect_ats);
+            }
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Sharded, lock-free-on-the-hot-path metrics registry.
+//!
+//! A [`Registry`] hands out cheap cloneable handles — [`Counter`],
+//! [`Gauge`], [`HistHandle`] — backed by atomic `u64` cells. Registration
+//! takes a `Mutex` once per metric name; every `record`/`add`/`set` after
+//! that is a relaxed atomic operation on a cache-line-padded cell, so hot
+//! loops (a reactor shard, a load-generator client thread) never contend
+//! on a lock. Counters and histograms are sharded [`SHARDS`] ways: callers
+//! pass a shard hint (node id, shard id, client id — anything stable per
+//! writer) and a scrape merges the shards.
+
+use crate::hist::Histogram;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent cells behind each counter/histogram handle.
+/// A power of two so the shard hint reduces with a mask.
+pub const SHARDS: usize = 8;
+
+/// One atomic cell on its own cache line, so two shards never false-share.
+#[repr(align(64))]
+struct Cell(AtomicU64);
+
+impl Cell {
+    const fn new(v: u64) -> Self {
+        Cell(AtomicU64::new(v))
+    }
+}
+
+fn cells() -> Arc<[Cell; SHARDS]> {
+    Arc::new([
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+        Cell::new(0),
+    ])
+}
+
+/// A monotonically increasing sharded counter.
+#[derive(Clone)]
+pub struct Counter {
+    cells: Arc<[Cell; SHARDS]>,
+}
+
+impl Counter {
+    /// A counter detached from any registry (all-zero sink; still counts).
+    pub fn detached() -> Self {
+        Counter { cells: cells() }
+    }
+
+    /// Adds `v` on the cell picked by `shard` (reduced modulo [`SHARDS`]).
+    #[inline]
+    pub fn add(&self, shard: usize, v: u64) {
+        self.cells[shard & (SHARDS - 1)]
+            .0
+            .fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self, shard: usize) {
+        self.add(shard, 1);
+    }
+
+    /// Sum across all shards (the scrape read).
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// A last-write-wins gauge (single cell; gauges report a level, not a sum).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<Cell>,
+}
+
+impl Gauge {
+    /// A gauge detached from any registry.
+    pub fn detached() -> Self {
+        Gauge {
+            cell: Arc::new(Cell::new(0)),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.cell.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.cell.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.value())
+    }
+}
+
+/// One histogram shard: the same log2 buckets as [`Histogram`], in atomics.
+struct HistShard {
+    buckets: [AtomicU64; Histogram::BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistShard {
+    fn new() -> Self {
+        HistShard {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A sharded atomic histogram handle; `record` is four relaxed atomic ops.
+#[derive(Clone)]
+pub struct HistHandle {
+    shards: Arc<Vec<HistShard>>,
+}
+
+impl HistHandle {
+    /// A histogram detached from any registry.
+    pub fn detached() -> Self {
+        HistHandle {
+            shards: Arc::new((0..SHARDS).map(|_| HistShard::new()).collect()),
+        }
+    }
+
+    /// Records one sample on the cell set picked by `shard`.
+    #[inline]
+    pub fn record(&self, shard: usize, v: u64) {
+        let s = &self.shards[shard & (SHARDS - 1)];
+        s.buckets[Histogram::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merges every shard into a plain [`Histogram`] (the scrape read).
+    pub fn snapshot(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for s in self.shards.iter() {
+            let mut counts = [0u64; Histogram::BUCKETS];
+            for (c, b) in counts.iter_mut().zip(&s.buckets) {
+                *c = b.load(Ordering::Relaxed);
+            }
+            out.merge(&Histogram::from_parts(
+                counts,
+                u128::from(s.sum.load(Ordering::Relaxed)),
+                s.min.load(Ordering::Relaxed),
+                s.max.load(Ordering::Relaxed),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for HistHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HistHandle({})", self.snapshot())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Hist(HistHandle),
+}
+
+/// A scraped metric value, detached from the live cells.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's cross-shard sum.
+    Counter(u64),
+    /// A gauge's current level.
+    Gauge(u64),
+    /// A histogram's merged snapshot (boxed: a `Histogram` is ~0.5 KiB of
+    /// buckets, far larger than the scalar variants).
+    Hist(Box<Histogram>),
+}
+
+/// The metrics registry: name → handle, locked only at registration and
+/// scrape time.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<HashMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or retrieves) the counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// that is a wiring bug, not a runtime condition.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Counter::detached()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge named `name` (panics on a kind
+    /// clash, as [`Registry::counter`] does).
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram named `name` (panics on a
+    /// kind clash, as [`Registry::counter`] does).
+    pub fn histogram(&self, name: &'static str) -> HistHandle {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Hist(HistHandle::detached()))
+        {
+            Metric::Hist(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// Reads every registered metric, sorted by name.
+    pub fn scrape(&self) -> Vec<(&'static str, MetricValue)> {
+        let map = self.inner.lock().expect("registry poisoned");
+        let mut out: Vec<(&'static str, MetricValue)> = map
+            .iter()
+            .map(|(&name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.value()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                    Metric::Hist(h) => MetricValue::Hist(Box::new(h.snapshot())),
+                };
+                (name, v)
+            })
+            .collect();
+        out.sort_unstable_by_key(|(name, _)| *name);
+        out
+    }
+
+    /// Names currently registered, sorted (for the name-hygiene test).
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut names: Vec<_> = self
+            .inner
+            .lock()
+            .expect("registry poisoned")
+            .keys()
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let r = Registry::new();
+        let c = r.counter("frames");
+        for shard in 0..SHARDS * 3 {
+            c.add(shard, 2);
+        }
+        assert_eq!(c.value(), (SHARDS as u64) * 3 * 2);
+        // Same name returns the same cells.
+        assert_eq!(r.counter("frames").value(), c.value());
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins_with_raise() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.value(), 3);
+        g.raise(10);
+        g.raise(5);
+        assert_eq!(g.value(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn scrape_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_counter").inc(0);
+        r.gauge("a_gauge").set(9);
+        r.histogram("c_hist").record(0, 100);
+        let s = r.scrape();
+        let names: Vec<_> = s.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a_gauge", "b_counter", "c_hist"]);
+        assert_eq!(s[0].1, MetricValue::Gauge(9));
+        assert_eq!(s[1].1, MetricValue::Counter(1));
+        match &s[2].1 {
+            MetricValue::Hist(h) => assert_eq!((h.count(), h.min(), h.max()), (1, 100, 100)),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let r = Registry::new();
+        let c = r.counter("hits");
+        let h = r.histogram("lat");
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let (c, h) = (c.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.inc(t);
+                        h.record(t, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 40_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 40_000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 9_999);
+    }
+
+    proptest! {
+        /// An atomic histogram scrape equals recording the same samples
+        /// into the plain histogram, regardless of shard hints.
+        #[test]
+        fn prop_atomic_hist_matches_plain(
+            samples in proptest::collection::vec((0usize..64, 0u64..1_000_000), 0..300),
+        ) {
+            let atomic = HistHandle::detached();
+            let mut plain = Histogram::new();
+            for &(shard, v) in &samples {
+                atomic.record(shard, v);
+                plain.record(v);
+            }
+            prop_assert_eq!(atomic.snapshot(), plain);
+        }
+    }
+}

@@ -65,4 +65,7 @@ mod node;
 pub use cluster::{Cluster, LinkDelay, RealtimeConfig};
 pub use muxcluster::{MuxAccept, MuxCluster, MuxConfig};
 pub use netcluster::NetCluster;
-pub use node::{accept_frame, accept_frame_bytes, run_node, run_node_with, NodeConfig, NodeHandle};
+pub use node::{
+    accept_frame, accept_frame_bytes, run_node, run_node_with, run_node_with_obs, NodeConfig,
+    NodeHandle,
+};

@@ -21,6 +21,7 @@
 //! shutdown) mirrors the other cluster runtimes.
 
 use irs_net::{Reactor, Wire};
+use irs_obs::{names, Obs};
 use irs_sim::{Event, EventQueue};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot, Time, TimerId};
 use std::net::{SocketAddr, UdpSocket};
@@ -79,6 +80,10 @@ struct MuxLocal<P> {
     timer_gen: Vec<u64>,
     snapshot: Arc<Mutex<Snapshot>>,
     frames_delivered: u64,
+    /// This node's flight-recorder handle, when observability is attached.
+    tracer: Option<irs_obs::Tracer>,
+    /// Leader in the last published snapshot (leader-change trace diffing).
+    last_leader: ProcessId,
 }
 
 impl<P> MuxLocal<P> {
@@ -145,6 +150,31 @@ where
         Self::spawn_on_sockets(processes, sockets, peers, config, accept)
     }
 
+    /// [`MuxCluster::spawn_udp`] with observability attached (see
+    /// [`MuxCluster::spawn_on_sockets_obs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket-binding or readiness-registration error.
+    pub fn spawn_udp_obs(
+        processes: Vec<P>,
+        config: MuxConfig,
+        obs: Arc<Obs>,
+    ) -> std::io::Result<Self> {
+        let n = processes.len();
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<std::io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()?;
+        let accept: MuxAccept<P::Msg> = Arc::new(move |me, from, to, payload| {
+            crate::node::accept_frame_bytes::<P::Msg>(from, to, payload, me, n)
+        });
+        Self::spawn_on_sockets_obs(processes, sockets, peers, config, accept, Some(obs))
+    }
+
     /// Spawns the cluster over pre-bound sockets: `sockets[i]` hosts
     /// process `i`, and `peer_addrs` is the full routing table (`peer_addrs
     /// [p]` hosts `ProcessId(p)`), which may name endpoints beyond the
@@ -167,6 +197,33 @@ where
         peer_addrs: Vec<SocketAddr>,
         config: MuxConfig,
         accept: MuxAccept<P::Msg>,
+    ) -> std::io::Result<Self> {
+        Self::spawn_on_sockets_obs(processes, sockets, peer_addrs, config, accept, None)
+    }
+
+    /// [`MuxCluster::spawn_on_sockets`] with an optional observability
+    /// handle: each shard's reactor mirrors its counters onto the
+    /// registry, shard loops count polls/timers/frames, and every hosted
+    /// node traces leader changes and reactor backpressure to the flight
+    /// recorder when `obs` carries one. [`MuxConfig`] stays `Copy`; the
+    /// handle rides alongside it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from switching a socket to nonblocking mode or
+    /// registering it with the readiness backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances' ids are not `0..n` in order, or if the
+    /// socket count differs from the process count.
+    pub fn spawn_on_sockets_obs(
+        processes: Vec<P>,
+        sockets: Vec<UdpSocket>,
+        peer_addrs: Vec<SocketAddr>,
+        config: MuxConfig,
+        accept: MuxAccept<P::Msg>,
+        obs: Option<Arc<Obs>>,
     ) -> std::io::Result<Self> {
         for (i, p) in processes.iter().enumerate() {
             assert_eq!(
@@ -207,6 +264,7 @@ where
         let mut per_shard: Vec<Vec<MuxLocal<P>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut per_shard_sockets: Vec<Vec<UdpSocket>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, (proto, socket)) in processes.into_iter().zip(sockets).enumerate() {
+            let last_leader = proto.leader();
             per_shard[i % workers].push(MuxLocal {
                 global: i,
                 me: ProcessId::new(i as u32),
@@ -215,6 +273,8 @@ where
                 timer_gen: Vec::new(),
                 snapshot: Arc::clone(&snapshots[i]),
                 frames_delivered: 0,
+                tracer: obs.as_ref().and_then(|o| o.tracer(i as u32)),
+                last_leader,
             });
             per_shard_sockets[i % workers].push(socket);
         }
@@ -226,6 +286,9 @@ where
             let mut reactor = Reactor::new();
             for socket in shard_sockets {
                 reactor.add_endpoint(socket, peer_addrs.clone())?;
+            }
+            if let Some(o) = &obs {
+                reactor.attach_obs(o.registry());
             }
             let shard = MuxShard {
                 reactor,
@@ -241,6 +304,7 @@ where
                 dirty: Vec::new(),
                 targets_scratch: Vec::new(),
                 encode_scratch: Vec::new(),
+                obs: obs.as_ref().map(|o| ShardObs::new(o, s)),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("irs-mux-{s}"))
@@ -353,6 +417,30 @@ impl<P: Protocol> Drop for MuxCluster<P> {
     }
 }
 
+/// A mux shard's registry handles plus the monotone clock stamping its
+/// trace events.
+struct ShardObs {
+    polls: irs_obs::Counter,
+    timers_fired: irs_obs::Counter,
+    frames: irs_obs::Counter,
+    shard: usize,
+    /// Whether the previous loop turn saw queued sends (backpressure
+    /// events are traced on the off→on transition, not every turn).
+    backpressured: bool,
+}
+
+impl ShardObs {
+    fn new(obs: &Obs, shard: usize) -> Self {
+        ShardObs {
+            polls: obs.registry().counter(names::RUNTIME_POLLS),
+            timers_fired: obs.registry().counter(names::RUNTIME_TIMERS_FIRED),
+            frames: obs.registry().counter(names::RUNTIME_FRAMES_DELIVERED),
+            shard,
+            backpressured: false,
+        }
+    }
+}
+
 /// One reactor shard's event loop state.
 struct MuxShard<P: Protocol> {
     reactor: Reactor,
@@ -373,6 +461,7 @@ struct MuxShard<P: Protocol> {
     dirty: Vec<bool>,
     targets_scratch: Vec<ProcessId>,
     encode_scratch: Vec<u8>,
+    obs: Option<ShardObs>,
 }
 
 impl<P> MuxShard<P>
@@ -401,7 +490,25 @@ where
             // readable socket, or the poll budget — whichever comes first.
             // Queued sends behind a full socket buffer shorten the wait so
             // the flush retry is prompt.
-            let budget = if self.reactor.pending_sends() > 0 {
+            let pending = self.reactor.pending_sends();
+            if let Some(o) = &mut self.obs {
+                o.polls.inc(o.shard);
+                // Trace the onset of backpressure (with the queued count)
+                // against the first local node, once per episode.
+                if pending > 0 && !o.backpressured {
+                    if let Some(local) = self.locals.first() {
+                        if let Some(t) = &local.tracer {
+                            t.emit_now(
+                                irs_obs::EventKind::Backpressure,
+                                o.shard as u64,
+                                pending as u64,
+                            );
+                        }
+                    }
+                }
+                o.backpressured = pending > 0;
+            }
+            let budget = if pending > 0 {
                 BACKPRESSURE_BUDGET
             } else {
                 POLL_BUDGET
@@ -462,6 +569,9 @@ where
             local.proto.on_message(from, &msg, out);
             self.apply(li, out);
             self.dirty[li] = true;
+            if let Some(o) = &self.obs {
+                o.frames.inc(o.shard);
+            }
         }
         self.rx_scratch = staged;
         self.publish_dirty();
@@ -499,6 +609,9 @@ where
             self.locals[li].proto.on_timer(timer, out);
             self.apply(li, out);
             self.dirty[li] = true;
+            if let Some(o) = &self.obs {
+                o.timers_fired.inc(o.shard);
+            }
         }
     }
 
@@ -582,9 +695,13 @@ where
     }
 
     /// Publishes changed snapshots, with the runtime gauges the node loop
-    /// also publishes: `malformed_dropped` (this endpoint's counter),
-    /// `frames_delivered` (admitted frames), and `sends_batched` (the
-    /// shard reactor's encode-once fan-outs, shared across its endpoints).
+    /// also publishes — `malformed_dropped` (this endpoint's counter),
+    /// `frames_delivered` (admitted frames), `sends_batched` (the shard
+    /// reactor's encode-once fan-outs, shared across its endpoints) — plus
+    /// the reactor surface that used to be invisible behind the mux
+    /// thread: `frames_rx`/`frames_tx` (shard socket totals) and this
+    /// endpoint's `send_queue_depth` and `sends_shed`. Leader changes are
+    /// traced to the flight recorder as part of the same diff.
     fn publish_dirty(&mut self) {
         for li in 0..self.locals.len() {
             if !self.dirty[li] {
@@ -593,15 +710,30 @@ where
             self.dirty[li] = false;
             let mut snap = self.locals[li].proto.snapshot();
             snap.extra
-                .push(("malformed_dropped", self.reactor.malformed(li)));
+                .push((names::MALFORMED_DROPPED, self.reactor.malformed(li)));
             snap.extra
-                .push(("frames_delivered", self.locals[li].frames_delivered));
+                .push((names::FRAMES_DELIVERED, self.locals[li].frames_delivered));
             snap.extra
-                .push(("sends_batched", self.reactor.sends_batched()));
-            *self.locals[li]
-                .snapshot
-                .lock()
-                .expect("snapshot lock poisoned") = snap;
+                .push((names::SENDS_BATCHED, self.reactor.sends_batched()));
+            snap.extra
+                .push((names::FRAMES_RX, self.reactor.frames_rx()));
+            snap.extra
+                .push((names::FRAMES_TX, self.reactor.frames_tx()));
+            snap.extra
+                .push((names::SEND_QUEUE_DEPTH, self.reactor.queue_depth(li) as u64));
+            snap.extra.push((names::SENDS_SHED, self.reactor.shed(li)));
+            let local = &mut self.locals[li];
+            if snap.leader != local.last_leader {
+                if let Some(t) = &local.tracer {
+                    t.emit_now(
+                        irs_obs::EventKind::LeaderChange,
+                        u64::from(local.last_leader.index() as u32),
+                        u64::from(snap.leader.index() as u32),
+                    );
+                }
+                local.last_leader = snap.leader;
+            }
+            *local.snapshot.lock().expect("snapshot lock poisoned") = snap;
         }
     }
 }

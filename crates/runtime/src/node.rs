@@ -25,10 +25,51 @@
 //! amortised path).
 
 use irs_net::{Frame, Transport, Wire};
+use irs_obs::{names, EventKind, Obs};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration as StdDuration, Instant};
+
+/// Per-node observability state for the host loop: registry counters
+/// (sharded by node id), the node's flight-recorder tracer, and the
+/// monotone clock that stamps trace events.
+struct NodeObs {
+    polls: irs_obs::Counter,
+    timers_fired: irs_obs::Counter,
+    frames: irs_obs::Counter,
+    tracer: Option<irs_obs::Tracer>,
+    shard: usize,
+    last_leader: ProcessId,
+}
+
+impl NodeObs {
+    fn new(obs: &Obs, me: ProcessId, initial_leader: ProcessId) -> Self {
+        NodeObs {
+            polls: obs.registry().counter(names::RUNTIME_POLLS),
+            timers_fired: obs.registry().counter(names::RUNTIME_TIMERS_FIRED),
+            frames: obs.registry().counter(names::RUNTIME_FRAMES_DELIVERED),
+            tracer: obs.tracer(me.index() as u32),
+            shard: me.index(),
+            last_leader: initial_leader,
+        }
+    }
+
+    /// Emits a `LeaderChange` trace event when the published snapshot
+    /// disagrees with the last one.
+    fn note_leader(&mut self, leader: ProcessId) {
+        if leader != self.last_leader {
+            if let Some(t) = &self.tracer {
+                t.emit_now(
+                    EventKind::LeaderChange,
+                    u64::from(self.last_leader.index() as u32),
+                    u64::from(leader.index() as u32),
+                );
+            }
+            self.last_leader = leader;
+        }
+    }
+}
 
 /// How a node maps protocol ticks onto the wall clock.
 #[derive(Clone, Copy, Debug)]
@@ -139,16 +180,57 @@ where
     })
 }
 
+/// [`run_node_with`] plus observability: host-loop counters land on
+/// `obs`'s registry (`runtime_polls`, `runtime_timers_fired`,
+/// `runtime_frames_delivered`, sharded by node id) and Ω leader changes
+/// are traced to `obs`'s flight recorder when it carries one. The
+/// [`NodeConfig`] stays `Copy`; the observability handle rides alongside
+/// it instead of inside it.
+pub fn run_node_with_obs<P, T, F>(
+    proto: P,
+    transport: T,
+    config: NodeConfig,
+    handle: NodeHandle,
+    accept: F,
+    obs: &Obs,
+) -> P
+where
+    P: Protocol + Introspect,
+    P::Msg: Wire,
+    T: Transport,
+    F: FnMut(&Frame) -> Option<P::Msg>,
+{
+    let node_obs = NodeObs::new(obs, proto.id(), proto.snapshot().leader);
+    run_node_inner(proto, transport, config, handle, accept, Some(node_obs))
+}
+
 /// [`run_node`] with a caller-supplied acceptance policy: `accept` turns a
 /// received [`Frame`] into a protocol message, or `None` to drop it as link
 /// noise. The policy is applied identically in the live loop and the
 /// shutdown drain.
 pub fn run_node_with<P, T, F>(
+    proto: P,
+    transport: T,
+    config: NodeConfig,
+    handle: NodeHandle,
+    accept: F,
+) -> P
+where
+    P: Protocol + Introspect,
+    P::Msg: Wire,
+    T: Transport,
+    F: FnMut(&Frame) -> Option<P::Msg>,
+{
+    run_node_inner(proto, transport, config, handle, accept, None)
+}
+
+fn run_node_inner<P, T, F>(
     mut proto: P,
     mut transport: T,
     config: NodeConfig,
     handle: NodeHandle,
     mut accept: F,
+    mut obs: Option<NodeObs>,
 ) -> P
 where
     P: Protocol + Introspect,
@@ -203,24 +285,34 @@ where
         }
     };
 
-    let publish = |proto: &P, transport: &T, delivered: u64, handle: &NodeHandle| {
+    let publish = |proto: &P,
+                   transport: &T,
+                   delivered: u64,
+                   handle: &NodeHandle,
+                   obs: &mut Option<NodeObs>| {
         let mut snap = proto.snapshot();
         snap.extra
-            .push(("malformed_dropped", transport.malformed_dropped()));
-        snap.extra.push(("frames_delivered", delivered));
+            .push((names::MALFORMED_DROPPED, transport.malformed_dropped()));
+        snap.extra.push((names::FRAMES_DELIVERED, delivered));
         snap.extra
-            .push(("sends_batched", transport.sends_batched()));
+            .push((names::SENDS_BATCHED, transport.sends_batched()));
+        if let Some(o) = obs {
+            o.note_leader(snap.leader);
+        }
         *handle.snapshot.lock().expect("snapshot lock poisoned") = snap;
     };
 
     proto.on_start(&mut out);
     apply(me, &mut out, &mut timers, &mut transport, &mut scratch, 0);
-    publish(&proto, &transport, frames_delivered, &handle);
+    publish(&proto, &transport, frames_delivered, &handle, &mut obs);
 
     while !handle.stop.load(Ordering::SeqCst) {
         let crashed = handle.crashed.load(Ordering::SeqCst);
         let now = now_tick(Instant::now());
         let mut dirty = false;
+        if let Some(o) = &obs {
+            o.polls.inc(o.shard);
+        }
 
         // Fire everything due. A fired timer may re-arm itself for a
         // deadline that is already due; loop until quiescent.
@@ -237,6 +329,9 @@ where
                 proto.on_timer(irs_types::TimerId::new(slot as u16), &mut out);
                 apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
                 dirty = true;
+                if let Some(o) = &obs {
+                    o.timers_fired.inc(o.shard);
+                }
             }
         }
 
@@ -259,6 +354,9 @@ where
                         proto.on_message(frame.from, &msg, &mut out);
                         apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
                         dirty = true;
+                        if let Some(o) = &obs {
+                            o.frames.inc(o.shard);
+                        }
                     }
                 }
             }
@@ -266,7 +364,7 @@ where
             Err(_) => break, // every peer endpoint is gone
         }
         if dirty {
-            publish(&proto, &transport, frames_delivered, &handle);
+            publish(&proto, &transport, frames_delivered, &handle, &mut obs);
         }
     }
 
@@ -297,6 +395,6 @@ where
             break;
         }
     }
-    publish(&proto, &transport, frames_delivered, &handle);
+    publish(&proto, &transport, frames_delivered, &handle, &mut obs);
     proto
 }

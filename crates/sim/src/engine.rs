@@ -281,6 +281,9 @@ where
     /// Reusable action buffer: one per engine, so the per-event callback
     /// costs no allocation once its capacity has warmed up.
     scratch: Actions<P::Msg>,
+    /// Optional flight recorder; events are stamped with virtual-clock
+    /// ticks, so identical `(seed, config)` runs record identical streams.
+    recorder: Option<std::sync::Arc<irs_obs::FlightRecorder>>,
 }
 
 impl<P, A> core::fmt::Debug for Simulation<P, A>
@@ -358,6 +361,7 @@ where
             crash_plan: crashes,
             started: false,
             scratch: Actions::new(),
+            recorder: None,
         }
     }
 
@@ -556,6 +560,15 @@ where
         true
     }
 
+    /// Attaches a flight recorder; from now on every Ω leader change
+    /// observed by the engine is recorded as a
+    /// [`irs_obs::EventKind::LeaderChange`] event stamped with the
+    /// virtual clock (ticks). Determinism is preserved: the recorder
+    /// never reads wall time.
+    pub fn attach_recorder(&mut self, recorder: std::sync::Arc<irs_obs::FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
     /// Runs until the horizon (or until no event is pending) and reports.
     pub fn run(&mut self) -> SimReport {
         self.start();
@@ -631,6 +644,15 @@ where
         let old_leader = self.procs[pid.index()].last_leader;
         if new_leader != old_leader {
             self.procs[pid.index()].last_leader = new_leader;
+            if let Some(rec) = &self.recorder {
+                rec.emit(
+                    self.now.ticks(),
+                    pid.index() as u32,
+                    irs_obs::EventKind::LeaderChange,
+                    u64::from(old_leader.index() as u32),
+                    u64::from(new_leader.index() as u32),
+                );
+            }
             // O(1) agreement update: move this process's vote. Only the
             // bucket that gained a vote can now hold every live vote, so no
             // rescan is needed. Votes for out-of-range leader ids (no
@@ -1009,7 +1031,7 @@ mod tests {
                 receiving_round: self.ticks,
                 timer_value: 10,
                 susp_levels: Vec::new(),
-                extra: vec![("ticks", self.ticks)],
+                extra: vec![(irs_obs::names::TICKS, self.ticks)],
             }
         }
     }

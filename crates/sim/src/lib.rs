@@ -48,6 +48,7 @@ mod trace;
 pub use crash::CrashPlan;
 pub use engine::{SimConfig, SimReport, Simulation, Stabilization};
 pub use event::{Event, EventQueue};
+pub use irs_obs::Histogram;
 pub use rng::SimRng;
-pub use stats::{percentage, Histogram, Summary};
+pub use stats::{percentage, Summary};
 pub use trace::{LeaderChange, Trace, TraceCounters};

@@ -1,4 +1,9 @@
 //! Small statistics helpers for experiment reporting.
+//!
+//! The streaming log2-bucket [`Histogram`](crate::Histogram) formerly
+//! defined here now lives in `irs-obs` (one histogram for simulation,
+//! load-generator and live-scrape percentiles alike); this crate
+//! re-exports it, so `irs_sim::Histogram` remains a valid path.
 
 use core::fmt;
 
@@ -102,171 +107,6 @@ impl fmt::Display for Summary {
     }
 }
 
-/// A streaming latency histogram with logarithmic (power-of-two) buckets.
-///
-/// Where [`Summary`] stores every sample (fine for a few thousand
-/// simulation outcomes), a load generator records millions of latencies;
-/// this histogram is O(1) per record and O(64) in memory. Bucket `0` holds
-/// the value `0`; bucket `b ≥ 1` holds values in `[2^(b−1), 2^b)`, so a
-/// percentile read is exact to within a factor of two and, in practice,
-/// much closer (the reported value is the geometric midpoint of the
-/// bucket, clamped by the observed min/max).
-///
-/// # Example
-///
-/// ```
-/// use irs_sim::Histogram;
-///
-/// let mut h = Histogram::new();
-/// for v in [100, 200, 300, 400, 50_000] {
-///     h.record(v);
-/// }
-/// assert_eq!(h.count(), 5);
-/// assert_eq!(h.min(), 100);
-/// assert_eq!(h.max(), 50_000);
-/// let p50 = h.percentile(50.0);
-/// assert!((128..=512).contains(&p50), "p50 = {p50}");
-/// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Histogram {
-    counts: [u64; 65],
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            counts: [0; 65],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            64 - v.leading_zeros() as usize
-        }
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        self.counts[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Smallest recorded sample (zero when empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest recorded sample (zero when empty).
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Arithmetic mean (zero when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Folds another histogram into this one (for per-thread collection).
-    pub fn merge(&mut self, other: &Histogram) {
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
-    }
-
-    /// The `p`-th percentile (`p` in `[0, 100]`), approximated as the
-    /// geometric midpoint of the bucket holding the `p`-th sample, clamped
-    /// into `[min, max]`. Zero when empty.
-    pub fn percentile(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let p = p.clamp(0.0, 100.0);
-        // Nearest-rank on the cumulative bucket counts; the extreme ranks
-        // are tracked exactly.
-        let rank = ((p / 100.0) * (self.count as f64 - 1.0)).round() as u64;
-        if rank == 0 {
-            return self.min;
-        }
-        if rank == self.count - 1 {
-            return self.max;
-        }
-        let mut seen = 0u64;
-        for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if c > 0 && seen > rank {
-                let mid = if b == 0 {
-                    0
-                } else {
-                    // Geometric midpoint of [2^(b−1), 2^b): √2 · 2^(b−1).
-                    let lo = 1u64 << (b - 1);
-                    (lo as f64 * std::f64::consts::SQRT_2) as u64
-                };
-                return mid.clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// The median (50th percentile).
-    pub fn median(&self) -> u64 {
-        self.percentile(50.0)
-    }
-}
-
-impl fmt::Display for Histogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={} mean={:.1} p50={} p99={} min={} max={}",
-            self.count,
-            self.mean(),
-            self.percentile(50.0),
-            self.percentile(99.0),
-            self.min(),
-            self.max()
-        )
-    }
-}
-
 /// Fraction of `hits` over `total`, rendered as a percentage string.
 pub fn percentage(hits: usize, total: usize) -> String {
     if total == 0 {
@@ -279,6 +119,7 @@ pub fn percentage(hits: usize, total: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Histogram;
     use proptest::prelude::*;
 
     #[test]
@@ -326,60 +167,6 @@ mod tests {
         assert_eq!(percentage(3, 4), "75%");
         assert_eq!(percentage(0, 0), "n/a");
         assert_eq!(percentage(5, 5), "100%");
-    }
-
-    #[test]
-    fn histogram_empty_is_all_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(Histogram::default(), Histogram::new());
-    }
-
-    #[test]
-    fn histogram_tracks_extremes_and_mean_exactly() {
-        let mut h = Histogram::new();
-        for v in [0u64, 1, 2, 3, 1000] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 1000);
-        assert_eq!(h.mean(), 201.2);
-        assert_eq!(h.percentile(0.0), 0);
-        assert_eq!(h.percentile(100.0), 1000);
-    }
-
-    #[test]
-    fn histogram_merge_equals_recording_everything_in_one() {
-        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
-        for v in [5u64, 80, 3000] {
-            a.record(v);
-            all.record(v);
-        }
-        for v in [9u64, 70_000] {
-            b.record(v);
-            all.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a, all);
-        // Merging an empty histogram changes nothing.
-        let before = all.clone();
-        all.merge(&Histogram::new());
-        assert_eq!(all, before);
-    }
-
-    #[test]
-    fn histogram_display_reports_key_fields() {
-        let mut h = Histogram::new();
-        h.record(100);
-        h.record(200);
-        let d = h.to_string();
-        assert!(d.contains("n=2"), "{d}");
-        assert!(d.contains("p99="), "{d}");
     }
 
     proptest! {

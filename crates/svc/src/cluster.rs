@@ -42,6 +42,10 @@ enum Backing {
 pub struct SvcCluster {
     n: usize,
     backing: Backing,
+    /// The shared observability handle, when the config carried one —
+    /// callers scrape metrics or dump the flight recorder through it
+    /// while the cluster runs (and after shutdown).
+    obs: Option<Arc<irs_obs::Obs>>,
 }
 
 impl SvcCluster {
@@ -58,6 +62,7 @@ impl SvcCluster {
         T: Transport + 'static,
     {
         let n = config.n;
+        let obs = config.obs.clone();
         assert!(n >= 3, "a replicated service needs n >= 3");
         assert_eq!(transports.len(), n, "one endpoint per replica");
         let handles: Vec<NodeHandle> = (0..n).map(|_| NodeHandle::new()).collect();
@@ -78,6 +83,7 @@ impl SvcCluster {
         SvcCluster {
             n,
             backing: Backing::Threads { handles, threads },
+            obs,
         }
     }
 
@@ -106,11 +112,16 @@ impl SvcCluster {
     ) -> (Self, Vec<SvcClient<MemTransport>>) {
         let mut mesh = MemNetwork::mesh(n + clients);
         let client_eps = mesh.split_off(n);
-        let faulty: Vec<FaultyLink<MemTransport>> = mesh
+        let mut faulty: Vec<FaultyLink<MemTransport>> = mesh
             .into_iter()
             .enumerate()
             .map(|(i, t)| FaultyLink::new(t, model(ProcessId::new(i as u32))))
             .collect();
+        if let Some(obs) = &config.obs {
+            for t in &mut faulty {
+                t.attach_obs(obs.registry());
+            }
+        }
         let cluster = Self::spawn(faulty, config);
         (cluster, Self::wrap_clients(n, client_eps))
     }
@@ -128,6 +139,11 @@ impl SvcCluster {
     ) -> std::io::Result<(Self, Vec<SvcClient<UdpTransport>>)> {
         let mut mesh = UdpTransport::localhost_mesh(n + clients)?;
         let client_eps = mesh.split_off(n);
+        if let Some(obs) = &config.obs {
+            for t in &mut mesh {
+                t.attach_obs(obs.registry());
+            }
+        }
         let cluster = Self::spawn(mesh, config);
         Ok((cluster, Self::wrap_clients(n, client_eps)))
     }
@@ -170,7 +186,7 @@ impl SvcCluster {
         let accept: MuxAccept<crate::msg::SvcMsg> = Arc::new(move |me, from, to, payload| {
             accept_svc_frame_bytes(from, to, payload, me, n, peers)
         });
-        let mux = MuxCluster::spawn_on_sockets(
+        let mux = MuxCluster::spawn_on_sockets_obs(
             replicas,
             sockets,
             peer_addrs.clone(),
@@ -179,11 +195,13 @@ impl SvcCluster {
                 workers,
             },
             accept,
+            config.obs.clone(),
         )?;
         let client_eps = MuxNetwork::over_sockets(client_sockets, peer_addrs)?;
         let cluster = SvcCluster {
             n,
             backing: Backing::Mux(mux),
+            obs: config.obs.clone(),
         };
         Ok((cluster, Self::wrap_clients(n, client_eps)))
     }
@@ -202,6 +220,11 @@ impl SvcCluster {
     /// Number of replicas.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The shared observability handle, when the config carried one.
+    pub fn obs(&self) -> Option<&Arc<irs_obs::Obs>> {
+        self.obs.as_ref()
     }
 
     /// The latest published snapshot of a replica.

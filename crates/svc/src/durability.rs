@@ -188,6 +188,12 @@ impl Durability {
         self.wal.appended()
     }
 
+    /// Mirrors WAL commit latency and batch sizes onto `registry`,
+    /// recording on `shard` (the owning node's index).
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry, shard: usize) {
+        self.wal.attach_obs(registry, shard);
+    }
+
     /// Fsyncs issued since open (gauge).
     pub fn syncs(&self) -> u64 {
         self.wal.syncs()

@@ -8,7 +8,9 @@
 //!   acks (arrival-rate load: latency reflects queueing, unacked requests
 //!   at the end count as failures).
 //!
-//! Latencies are recorded in microseconds into [`irs_sim::Histogram`]
+//! Latencies are recorded in microseconds into [`irs_obs::Histogram`] —
+//! the same log2-bucket type the metrics registry scrapes, so load-test
+//! percentiles and live-service percentiles come from one implementation
 //! (log2 buckets, so p50/p99 reads are factor-of-two accurate at O(1)
 //! memory per client).
 
@@ -16,7 +18,7 @@ use crate::client::{ClientError, ReplyOutcome, SvcClient};
 use crate::command::{KvOp, KvWrite};
 use crate::replica::SvcReplica;
 use irs_net::Transport;
-use irs_sim::Histogram;
+use irs_obs::Histogram;
 use irs_types::Protocol;
 use std::collections::BTreeMap;
 use std::time::{Duration as StdDuration, Instant};

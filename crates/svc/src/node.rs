@@ -11,10 +11,12 @@
 use crate::msg::SvcMsg;
 use crate::replica::SvcReplica;
 use irs_net::{wire::decode_payload, Frame, Transport, Wire};
-use irs_runtime::{run_node_with, NodeConfig, NodeHandle};
+use irs_obs::Obs;
+use irs_runtime::{run_node_with, run_node_with_obs, NodeConfig, NodeHandle};
 use irs_types::{ProcessId, Protocol, SystemConfig};
 use irs_wal::FsyncPolicy;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration as StdDuration;
 
 /// Deployment shape of one service node.
@@ -45,6 +47,11 @@ pub struct SvcConfig {
     /// When a replica syncs its WAL to disk (only meaningful with
     /// `data_dir` set). [`FsyncPolicy::Always`] is the crash-safe default.
     pub fsync: FsyncPolicy,
+    /// Shared observability handle. When set, every replica this config
+    /// builds records onto its registry (and flight recorder, if the
+    /// handle carries one), and [`run_svc_node`] adds host-loop counters.
+    /// `None` (the default) runs fully uninstrumented, as before PR 8.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl SvcConfig {
@@ -60,6 +67,7 @@ impl SvcConfig {
             snapshot_interval: 1024,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            obs: None,
         }
     }
 
@@ -100,6 +108,13 @@ impl SvcConfig {
         self
     }
 
+    /// Attaches a shared observability handle (see [`SvcConfig::obs`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// The data directory of replica `id` under this config, if durable.
     pub fn node_dir(&self, id: ProcessId) -> Option<PathBuf> {
         self.data_dir
@@ -121,7 +136,7 @@ impl SvcConfig {
     pub fn replica(&self, id: ProcessId) -> SvcReplica {
         assert!(self.n >= 3, "a replicated service needs n >= 3");
         let system = SystemConfig::new(self.n, (self.n - 1) / 2).expect("valid replica system");
-        match self.node_dir(id) {
+        let mut replica = match self.node_dir(id) {
             Some(dir) => SvcReplica::durable(
                 id,
                 system,
@@ -139,7 +154,11 @@ impl SvcConfig {
                 self.pipeline_depth,
                 self.snapshot_interval,
             ),
+        };
+        if let Some(obs) = &self.obs {
+            replica.attach_obs(obs);
         }
+        replica
     }
 }
 
@@ -191,13 +210,12 @@ pub fn run_svc_node<T: Transport>(
 ) -> SvcReplica {
     let me = replica.id();
     let (n, peers) = (config.n, config.peers);
-    run_node_with(
-        replica,
-        transport,
-        NodeConfig::new(n).with_tick(config.tick),
-        handle,
-        move |frame| accept_svc_frame(frame, me, n, peers),
-    )
+    let node_config = NodeConfig::new(n).with_tick(config.tick);
+    let accept = move |frame: &Frame| accept_svc_frame(frame, me, n, peers);
+    match &config.obs {
+        Some(obs) => run_node_with_obs(replica, transport, node_config, handle, accept, obs),
+        None => run_node_with(replica, transport, node_config, handle, accept),
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,23 @@ pub struct SvcReplica {
     oversized_snapshot_skips: u64,
     /// On-disk WAL + snapshot state; `None` runs the replica in-memory.
     durability: Option<Durability>,
+    /// Optional observability hooks (metrics handles + flight-recorder
+    /// tracer); `None` costs nothing on the hot path.
+    obs: Option<ReplicaObs>,
+}
+
+/// The registry handles and tracer a replica records onto once
+/// [`SvcReplica::attach_obs`] ran.
+#[derive(Debug)]
+struct ReplicaObs {
+    /// Per-slot state-machine apply latency, µs.
+    apply_micros: irs_obs::HistHandle,
+    /// Commands per decided batch (batch occupancy at apply time).
+    batch_commands: irs_obs::HistHandle,
+    /// Flight-recorder hook for WAL commits (the log layer holds its own
+    /// clone for ballot/snapshot events).
+    tracer: Option<irs_obs::Tracer>,
+    shard: usize,
 }
 
 impl SvcReplica {
@@ -93,6 +110,7 @@ impl SvcReplica {
             snapshots_taken: 0,
             oversized_snapshot_skips: 0,
             durability: None,
+            obs: None,
         }
     }
 
@@ -150,6 +168,28 @@ impl SvcReplica {
         // Recording starts only now, so replay itself is never re-logged.
         replica.log.set_durable(true);
         Ok(replica)
+    }
+
+    /// Wires this replica into the process-wide [`irs_obs::Obs`] handle:
+    /// apply-latency and batch-occupancy histograms on the registry, WAL
+    /// commit/latency histograms on the durability layer, and (when `obs`
+    /// carries a flight recorder) trace events for the ballot lifecycle,
+    /// snapshots and WAL commits.
+    pub fn attach_obs(&mut self, obs: &irs_obs::Obs) {
+        let shard = self.log.id().index();
+        let tracer = obs.tracer(self.log.id().index() as u32);
+        if let Some(t) = tracer.clone() {
+            self.log.set_tracer(t);
+        }
+        if let Some(d) = self.durability.as_mut() {
+            d.attach_obs(obs.registry(), shard);
+        }
+        self.obs = Some(ReplicaObs {
+            apply_micros: obs.registry().histogram(irs_obs::names::SVC_APPLY_MICROS),
+            batch_commands: obs.registry().histogram(irs_obs::names::SVC_BATCH_COMMANDS),
+            tracer,
+            shard,
+        });
     }
 
     /// The applied key-value state.
@@ -253,6 +293,7 @@ impl SvcReplica {
         while let Some(batch) = self.log.decision(self.cursor).cloned() {
             let slot = self.cursor;
             self.cursor += 1;
+            let apply_start = self.obs.as_ref().map(|_| std::time::Instant::now());
             // Unparseable commands are no-op entries; the rest go through
             // the store's one batch-apply path, with the ack bookkeeping
             // riding the per-write callback.
@@ -279,6 +320,11 @@ impl SvcReplica {
                     _ => {}
                 }
             });
+            if let (Some(o), Some(t0)) = (&self.obs, apply_start) {
+                o.apply_micros
+                    .record(o.shard, t0.elapsed().as_micros() as u64);
+                o.batch_commands.record(o.shard, batch.len() as u64);
+            }
         }
         if self.cursor > cursor_before {
             self.maybe_snapshot();
@@ -340,7 +386,14 @@ impl SvcReplica {
         }
         let events = self.log.take_wal_events();
         if let Some(d) = self.durability.as_mut() {
+            let syncs_before = d.syncs();
             d.append_events(&events).expect("append to WAL");
+            if !events.is_empty() {
+                if let Some(t) = self.obs.as_ref().and_then(|o| o.tracer.as_ref()) {
+                    let fsynced = u64::from(d.syncs() > syncs_before);
+                    t.emit_now(irs_obs::EventKind::WalCommit, events.len() as u64, fsynced);
+                }
+            }
         }
     }
 
@@ -419,21 +472,28 @@ impl LeaderOracle for SvcReplica {
 
 impl Introspect for SvcReplica {
     fn snapshot(&self) -> Snapshot {
+        use irs_obs::names;
         let mut snap = self.log.snapshot();
-        snap.extra.push(("applied", self.store.applied()));
-        snap.extra.push(("kv_entries", self.store.len() as u64));
-        snap.extra.push(("kv_digest", self.store.digest()));
-        snap.extra.push(("dup_skips", self.store.dup_skips()));
-        snap.extra.push(("awaiting", self.awaiting.len() as u64));
-        snap.extra.push(("requests", self.requests));
-        snap.extra.push(("redirects", self.redirects));
-        snap.extra.push(("snapshots_taken", self.snapshots_taken));
+        snap.extra.push((names::APPLIED, self.store.applied()));
         snap.extra
-            .push(("oversized_snapshot_skips", self.oversized_snapshot_skips));
+            .push((names::KV_ENTRIES, self.store.len() as u64));
+        snap.extra.push((names::KV_DIGEST, self.store.digest()));
+        snap.extra.push((names::DUP_SKIPS, self.store.dup_skips()));
+        snap.extra
+            .push((names::AWAITING, self.awaiting.len() as u64));
+        snap.extra.push((names::REQUESTS, self.requests));
+        snap.extra.push((names::REDIRECTS, self.redirects));
+        snap.extra
+            .push((names::SNAPSHOTS_TAKEN, self.snapshots_taken));
+        snap.extra.push((
+            names::OVERSIZED_SNAPSHOT_SKIPS,
+            self.oversized_snapshot_skips,
+        ));
         let d = self.durability.as_ref();
         snap.extra
-            .push(("wal_appended", d.map_or(0, |d| d.appended())));
-        snap.extra.push(("wal_syncs", d.map_or(0, |d| d.syncs())));
+            .push((names::WAL_APPENDED, d.map_or(0, |d| d.appended())));
+        snap.extra
+            .push((names::WAL_SYNCS, d.map_or(0, |d| d.syncs())));
         snap
     }
 }

@@ -250,8 +250,12 @@ pub struct Wal {
     buf: Vec<u8>,
     /// Records appended since the last fsync (for [`FsyncPolicy::EveryN`]).
     unsynced: u32,
+    /// Records appended since the last commit (the group-commit batch size).
+    batch_records: u32,
     appended: u64,
     syncs: u64,
+    /// Optional registry hooks: (commit latency µs, records per commit).
+    obs: Option<(irs_obs::HistHandle, irs_obs::HistHandle, usize)>,
 }
 
 impl Wal {
@@ -287,8 +291,10 @@ impl Wal {
                 policy,
                 buf: Vec::new(),
                 unsynced: 0,
+                batch_records: 0,
                 appended: 0,
                 syncs: 0,
+                obs: None,
             },
             records,
         ))
@@ -298,13 +304,28 @@ impl Wal {
     pub fn append(&mut self, rec: &WalRecord) {
         self.buf.extend_from_slice(&encode_frame(rec));
         self.unsynced += 1;
+        self.batch_records += 1;
         self.appended += 1;
+    }
+
+    /// Mirrors commit latency and group-commit batch sizes onto `registry`
+    /// ([`irs_obs::names::WAL_COMMIT_MICROS`] /
+    /// [`irs_obs::names::WAL_BATCH_RECORDS`]), recording on `shard` —
+    /// pass the owning node's index so concurrent replicas do not contend
+    /// on one cache line.
+    pub fn attach_obs(&mut self, registry: &irs_obs::Registry, shard: usize) {
+        self.obs = Some((
+            registry.histogram(irs_obs::names::WAL_COMMIT_MICROS),
+            registry.histogram(irs_obs::names::WAL_BATCH_RECORDS),
+            shard,
+        ));
     }
 
     /// Writes all buffered records with a single `write(2)` and fsyncs
     /// according to the policy. Call once per event round (group commit),
     /// *before* releasing the round's outbound messages.
     pub fn commit(&mut self) -> std::io::Result<()> {
+        let started = self.obs.as_ref().map(|_| std::time::Instant::now());
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.buf.clear();
@@ -316,6 +337,13 @@ impl Wal {
         };
         if due {
             self.sync()?;
+        }
+        let batch = std::mem::take(&mut self.batch_records);
+        if let (Some((latency, sizes, shard)), Some(t0)) = (&self.obs, started) {
+            if batch > 0 {
+                latency.record(*shard, t0.elapsed().as_micros() as u64);
+                sizes.record(*shard, u64::from(batch));
+            }
         }
         Ok(())
     }

@@ -12,8 +12,14 @@
 //! after `STOP`).
 //!
 //! Run with: `cargo run --release --example kv_cluster -- --n 5 --clients 3`
+//!
+//! Pass `--metrics` to instrument every replica: each child process then
+//! rewrites `<tmp>/irs-kv-cluster-node-<id>.prom` with its Prometheus
+//! metrics twice a second while it runs (scrape it with any file-tailing
+//! collector), and prints the path it dumps to.
 
 use intermittent_rotating_star::net::{reexec, UdpTransport};
+use intermittent_rotating_star::obs::Obs;
 use intermittent_rotating_star::runtime::NodeHandle;
 use intermittent_rotating_star::svc::loadgen::{closed_loop, ClosedLoopOptions};
 use intermittent_rotating_star::svc::{run_svc_node, SvcClient, SvcConfig};
@@ -31,12 +37,22 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn child(id: u32, n: usize, clients: usize) {
+fn child(id: u32, n: usize, clients: usize, metrics: bool) {
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     let transport = reexec::child_join_mesh(&mut lines, n + clients);
 
-    let config = SvcConfig::new(n, clients).with_tick(TICK);
+    let mut config = SvcConfig::new(n, clients).with_tick(TICK);
+    // --metrics: a full Obs (registry + flight recorder) per replica
+    // process, with a periodic Prometheus text dump as the scrape surface.
+    let mut dump_guard = None;
+    if metrics {
+        let obs = std::sync::Arc::new(Obs::new(n));
+        let path = std::env::temp_dir().join(format!("irs-kv-cluster-node-{id}.prom"));
+        eprintln!("[child {id}] dumping metrics to {}", path.display());
+        dump_guard = Some(obs.start_dump(Duration::from_millis(500), path));
+        config = config.with_obs(obs);
+    }
     let replica = config.replica(ProcessId::new(id));
     let handle = NodeHandle::new();
     let observer = handle.clone();
@@ -49,6 +65,7 @@ fn child(id: u32, n: usize, clients: usize) {
     }
     observer.stop.store(true, Ordering::SeqCst);
     let replica = node.join().expect("node thread");
+    drop(dump_guard); // final metrics dump before the digest report
     println!(
         "DIGEST {:x} {}",
         replica.store().digest(),
@@ -61,10 +78,11 @@ fn main() {
     let n: usize = arg_value(&args, "--n").map_or(5, |v| v.parse().expect("--n"));
     let clients: usize = arg_value(&args, "--clients").map_or(3, |v| v.parse().expect("--clients"));
     let secs: u64 = arg_value(&args, "--secs").map_or(2, |v| v.parse().expect("--secs"));
+    let metrics = args.iter().any(|a| a == "--metrics");
     assert!(n >= 3, "--n must be at least 3");
     assert!(clients >= 1, "--clients must be at least 1");
     if let Some(id) = arg_value(&args, "--child") {
-        child(id.parse().expect("child id"), n, clients);
+        child(id.parse().expect("child id"), n, clients, metrics);
         return;
     }
 
@@ -78,6 +96,9 @@ fn main() {
             "--clients",
             &clients.to_string(),
         ]);
+        if metrics {
+            cmd.arg("--metrics");
+        }
     });
 
     // One socket per client, endpoints n..n+clients.

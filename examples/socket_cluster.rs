@@ -10,10 +10,17 @@
 //! agreed.
 //!
 //! Run with: `cargo run --release --example socket_cluster -- --n 8`
+//!
+//! Pass `--metrics` to instrument every node: each child process then
+//! rewrites `<tmp>/irs-socket-cluster-node-<id>.prom` with its Prometheus
+//! metrics twice a second while it runs.
 
 use intermittent_rotating_star::net::reexec;
+use intermittent_rotating_star::obs::Obs;
 use intermittent_rotating_star::omega::OmegaProcess;
-use intermittent_rotating_star::runtime::{run_node, NodeConfig, NodeHandle};
+use intermittent_rotating_star::runtime::{
+    accept_frame, run_node, run_node_with_obs, NodeConfig, NodeHandle,
+};
 use intermittent_rotating_star::types::{ProcessId, SystemConfig};
 use std::io::BufRead;
 use std::sync::atomic::Ordering;
@@ -28,7 +35,7 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn child(id: u32, n: usize) {
+fn child(id: u32, n: usize, metrics: bool) {
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     let transport = reexec::child_join_mesh(&mut lines, n);
@@ -37,8 +44,28 @@ fn child(id: u32, n: usize) {
     let proto = OmegaProcess::fig3(ProcessId::new(id), system);
     let handle = NodeHandle::new();
     let observer = handle.clone();
+    // --metrics: per-process registry + flight recorder, dumped to a
+    // Prometheus text file twice a second while the node runs.
+    let obs = metrics.then(|| std::sync::Arc::new(Obs::new(n)));
+    let _dump_guard = obs.as_ref().map(|o| {
+        let path = std::env::temp_dir().join(format!("irs-socket-cluster-node-{id}.prom"));
+        eprintln!("[child {id}] dumping metrics to {}", path.display());
+        o.start_dump(Duration::from_millis(500), path)
+    });
     let node = std::thread::spawn(move || {
-        run_node(proto, transport, NodeConfig::new(n).with_tick(TICK), handle)
+        let config = NodeConfig::new(n).with_tick(TICK);
+        let me = ProcessId::new(id);
+        match obs {
+            Some(obs) => run_node_with_obs(
+                proto,
+                transport,
+                config,
+                handle,
+                move |frame| accept_frame(frame, me, n),
+                &obs,
+            ),
+            None => run_node(proto, transport, config, handle),
+        }
     });
 
     // Report once our leader output has been stable for 2 s (cap 40 s).
@@ -64,15 +91,19 @@ fn child(id: u32, n: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = arg_value(&args, "--n").map_or(8, |v| v.parse().expect("--n"));
+    let metrics = args.iter().any(|a| a == "--metrics");
     assert!(n >= 2, "--n must be at least 2");
     if let Some(id) = arg_value(&args, "--child") {
-        child(id.parse().expect("child id"), n);
+        child(id.parse().expect("child id"), n, metrics);
         return;
     }
 
     println!("spawning {n} node processes over localhost UDP …");
     let (mut children, mut readers) = reexec::spawn_self_children(n, |id, cmd| {
         cmd.args(["--child", &id.to_string(), "--n", &n.to_string()]);
+        if metrics {
+            cmd.arg("--metrics");
+        }
     });
     let ports = reexec::exchange_peer_table(&mut children, &mut readers, &[]);
     println!(

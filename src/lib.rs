@@ -11,6 +11,8 @@
 //!   (Theorem 5);
 //! * [`net`] — the pluggable transport subsystem: wire codec, in-memory /
 //!   UDP-socket backends, fault-injecting link models;
+//! * [`obs`] — dependency-free observability: the sharded metrics
+//!   registry, the flight recorder, and Prometheus/JSON exposition;
 //! * [`runtime`] — the real-time runtimes (sharded cluster, per-node
 //!   deployments) over those transports;
 //! * [`svc`] — the replicated key-value service on the Ω-driven log:
@@ -30,6 +32,7 @@ pub use irs_baselines as baselines;
 pub use irs_consensus as consensus;
 pub use irs_experiments as experiments;
 pub use irs_net as net;
+pub use irs_obs as obs;
 pub use irs_omega as omega;
 pub use irs_runtime as runtime;
 pub use irs_sim as sim;
