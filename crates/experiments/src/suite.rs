@@ -1497,14 +1497,24 @@ pub fn e14_observability(quick: bool) -> Table {
     };
     let _ = measured(n, clients, warm, None);
 
+    // Median of three runs per mode: a single closed-loop run on a
+    // contended runner jitters more than the ~3% effect under test, and
+    // the median discards exactly the outlier runs (GC of another job, a
+    // cold scheduler) that used to flip the gate.
     let mut ops_by_mode: Vec<(&str, f64)> = Vec::new();
     for mode in ["off", "metrics", "metrics+recorder"] {
-        let obs = match mode {
-            "off" => None,
-            "metrics" => Some(Arc::new(Obs::metrics_only())),
-            _ => Some(Arc::new(Obs::new(n))),
-        };
-        let (report, verdict) = measured(n, clients, opts, obs);
+        let mut runs: Vec<(irs_svc::loadgen::LoadReport, String)> = (0..3)
+            .map(|_| {
+                let obs = match mode {
+                    "off" => None,
+                    "metrics" => Some(Arc::new(Obs::metrics_only())),
+                    _ => Some(Arc::new(Obs::new(n))),
+                };
+                measured(n, clients, opts, obs)
+            })
+            .collect();
+        runs.sort_by(|a, b| a.0.ops_per_sec().total_cmp(&b.0.ops_per_sec()));
+        let (report, verdict) = runs.swap_remove(1);
         ops_by_mode.push((mode, report.ops_per_sec()));
         table.push_row(vec![
             mode.to_string(),
@@ -1517,9 +1527,9 @@ pub fn e14_observability(quick: bool) -> Table {
         ]);
     }
 
-    // The ≤ 3% gate, soft: closed-loop throughput on a contended runner
-    // jitters more than the effect size, so the row reports PASS/WARN
-    // with the measured ratio instead of failing the suite.
+    // The ≤ 3% gate on the per-mode medians, still soft: even the median
+    // jitters on a busy runner, so the row reports PASS/WARN with the
+    // measured ratio instead of failing the suite.
     {
         let off = ops_by_mode[0].1.max(1.0);
         let full = ops_by_mode[2].1;
@@ -1547,11 +1557,14 @@ pub fn e14_observability(quick: bool) -> Table {
     {
         let base = std::env::temp_dir().join(format!("irs-e14-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&base);
-        // A deep ring for forensics: the default 512/node is sized for
-        // steady-state tails, but this row keeps loading the cluster for
-        // two thirds of the run *after* the re-election and must not let
-        // the post-crash traffic evict the events that explain it.
-        let obs = Arc::new(Obs::with_ring(n, 1 << 15));
+        // The default ring is enough for forensics now that the recorder
+        // tiers by severity: this row keeps loading the cluster for two
+        // thirds of the run *after* the re-election, but the bulk traffic
+        // can only evict other bulk events — the leader changes live in
+        // the critical ring, and the crashed leader's ring freezes at the
+        // crash with the WAL commits that precede it. (This row used to
+        // hand-tune a 32k-deep ring to survive the same traffic.)
+        let obs = Arc::new(Obs::new(n));
         let config = SvcConfig::new(n, clients)
             .with_batching(8, 4)
             .with_snapshot_interval(64)
@@ -1581,13 +1594,17 @@ pub fn e14_observability(quick: bool) -> Table {
             .filter(|e| e.kind == EventKind::WalCommit)
             .count();
         // The postmortem property itself: WAL commits *leading up to* the
-        // re-election the crash forced (the dump is (at, node)-sorted, so
-        // this is a prefix check against the first leader change).
-        let first_change = events
+        // re-election the crash forced. The dump is time-sorted and the
+        // critical tier keeps every leader change (startup election
+        // included), so the re-election is the *last* one; the commits
+        // that precede it survive in the crashed leader's rings, frozen
+        // at the crash.
+        let reelection = events
             .iter()
+            .rev()
             .find(|e| e.kind == EventKind::LeaderChange)
             .map(|e| e.at);
-        let commits_before_change = first_change.is_some_and(|at| {
+        let commits_before_change = reelection.is_some_and(|at| {
             events
                 .iter()
                 .any(|e| e.kind == EventKind::WalCommit && e.at < at)
@@ -1625,6 +1642,383 @@ pub fn e14_observability(quick: bool) -> Table {
     table
 }
 
+/// E15 — the live telemetry plane: scrape a running cluster over the wire
+/// (no shared filesystem, no shared memory), merge the per-node registries
+/// into one artifact, and machine-check the leader-reign SLO panel — on
+/// clean UDP, under a receiver-side drop adversary, and under duty-cycle
+/// intermittency; plus the default-ring crash-forensics window the
+/// severity-tiered recorder now preserves without hand-tuning.
+pub fn e15_live_telemetry(quick: bool) -> Table {
+    use irs_net::{
+        DutyCycle, FaultyLink, LinkModel, MemNetwork, Transport, TransportScraper, UdpTransport,
+    };
+    use irs_obs::collector::{check_conformance, parse_prometheus, ClusterScrape};
+    use irs_obs::{EventKind, Obs};
+    use irs_runtime::NodeHandle;
+    use irs_svc::loadgen::{check_consistency, closed_loop, ClosedLoopOptions};
+    use irs_svc::{run_svc_node, FsyncPolicy, SvcClient, SvcCluster, SvcConfig, SvcReplica};
+    use std::sync::atomic::Ordering as AtomicOrdering;
+    use std::sync::Arc;
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E15",
+        "Live telemetry plane: scrape-over-UDP, collector merge, leader-reign SLO",
+        &["row", "backend", "n", "clients", "ops/s", "verdict"],
+    );
+    let n = 5;
+    let clients = if quick { 2 } else { 3 };
+    let opts = ClosedLoopOptions {
+        duration: StdDuration::from_secs(if quick { 2 } else { 4 }),
+        op_deadline: StdDuration::from_secs(8),
+        ..ClosedLoopOptions::default()
+    };
+
+    /// The machine-checked verdict over one collected artifact: the merge
+    /// renders, parses back conformant, carries the reign panel for all
+    /// `n` nodes, and reports a sane stable-reign fraction at or above the
+    /// row's floor.
+    fn artifact_verdict(
+        scrape: &ClusterScrape,
+        n: usize,
+        min_stable: f64,
+    ) -> Result<String, String> {
+        let merged = scrape.render_prometheus()?;
+        if !merged.contains("omega_reign_ms") {
+            return Err("merged artifact is missing omega_reign_ms".into());
+        }
+        let exposition = parse_prometheus(&merged)?;
+        check_conformance(&exposition)?;
+        let stats = scrape
+            .reign_stats()?
+            .ok_or("merged artifact has no reign panel")?;
+        if stats.nodes != n as u64 {
+            return Err(format!("reign panel covers {} of {n} nodes", stats.nodes));
+        }
+        if stats.uptime_ms == 0 {
+            return Err("reign panel reports zero uptime".into());
+        }
+        if !(0.0..=1.0).contains(&stats.stable_fraction) {
+            return Err(format!(
+                "stable-reign fraction {} outside [0, 1]",
+                stats.stable_fraction
+            ));
+        }
+        if stats.stable_fraction < min_stable {
+            return Err(format!(
+                "stable-reign fraction {:.3} below the row floor {min_stable}",
+                stats.stable_fraction
+            ));
+        }
+        Ok(format!("PASS: {}", stats.render()))
+    }
+
+    // Spawns one replica node thread per endpoint, each with its *own*
+    // observability handle — the telemetry topology of the process-per-
+    // node deployment (one registry per address space), which is what the
+    // collector merge is for. A cluster-shared registry would make every
+    // endpoint serve the same panel and the merge double-count it.
+    fn spawn_per_node<T>(
+        transports: Vec<T>,
+        n: usize,
+        clients: usize,
+        obs: &[Arc<Obs>],
+    ) -> (Vec<NodeHandle>, Vec<std::thread::JoinHandle<SvcReplica>>)
+    where
+        T: Transport + Send + 'static,
+    {
+        transports
+            .into_iter()
+            .enumerate()
+            .map(|(i, transport)| {
+                let config = SvcConfig::new(n, clients).with_obs(Arc::clone(&obs[i]));
+                let replica = config.replica(ProcessId::new(i as u32));
+                let handle = NodeHandle::new();
+                let inner = handle.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("irs-e15-{i}"))
+                    .spawn(move || run_svc_node(replica, transport, config, inner))
+                    .expect("spawn replica thread");
+                (handle, thread)
+            })
+            .unzip()
+    }
+
+    // One row's worth of work, generic over the transport backend: drive
+    // closed-loop load, scrape every replica live over the wire from the
+    // collector endpoint mid-load, then settle, freeze the cluster and
+    // check both the artifact verdict and the service consistency
+    // contract. The settle window lets replicas behind an intermittent
+    // link catch back up before the digests are compared.
+    #[allow(clippy::too_many_arguments)]
+    fn scrape_mid_load<T>(
+        handles: Vec<NodeHandle>,
+        threads: Vec<std::thread::JoinHandle<SvcReplica>>,
+        mut cl: Vec<SvcClient<T>>,
+        collector: T,
+        n: usize,
+        clients: usize,
+        opts: ClosedLoopOptions,
+        min_stable: f64,
+        settle: StdDuration,
+    ) -> (f64, String)
+    where
+        T: Transport + Send + 'static,
+    {
+        let load = std::thread::spawn(move || {
+            let (report, acked) = closed_loop(&mut cl, opts);
+            (report, acked, cl)
+        });
+        std::thread::sleep(opts.duration / 2);
+        let mut scraper = TransportScraper::new(collector, ProcessId::new((n + clients) as u32))
+            .with_timeout(StdDuration::from_millis(250))
+            .with_retries(16);
+        let scraped = ClusterScrape::collect(&mut scraper, n as u32);
+        let (report, mut acked, mut cl) = load.join().expect("load thread");
+        // Bounded convergence wait on the published snapshots. A replica
+        // behind an intermittent link only notices the slots it missed
+        // when newer log traffic arrives, so a silent cluster can stay
+        // diverged forever — each poll therefore drives a short trickle
+        // burst whose new slots give catch-up something to key off. The
+        // trickle writes are acked writes like any others and join the
+        // consistency input.
+        let deadline = std::time::Instant::now() + settle;
+        loop {
+            let snaps: Vec<_> = handles
+                .iter()
+                .map(|h| h.snapshot.lock().expect("snapshot lock").clone())
+                .collect();
+            let converged = snaps.windows(2).all(|w| {
+                w[0].gauge("kv_digest") == w[1].gauge("kv_digest")
+                    && w[0].gauge("applied") == w[1].gauge("applied")
+            });
+            if converged || std::time::Instant::now() >= deadline {
+                break;
+            }
+            let trickle = ClosedLoopOptions {
+                duration: StdDuration::from_millis(100),
+                op_deadline: StdDuration::from_secs(2),
+                ..opts
+            };
+            let (_, extra) = closed_loop(&mut cl, trickle);
+            acked.extend(extra);
+            // Give the burst's tail a full duty-cycle period to replicate
+            // before the digests are compared again.
+            std::thread::sleep(StdDuration::from_millis(400));
+        }
+        for handle in &handles {
+            handle.stop.store(true, AtomicOrdering::SeqCst);
+        }
+        let finals: Vec<SvcReplica> = threads
+            .into_iter()
+            .map(|t| t.join().expect("replica thread"))
+            .collect();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let verdict = match (scraped, check_consistency(&refs, &acked)) {
+            (Err(e), _) => format!("FAIL: live scrape failed: {e}"),
+            (_, Err(e)) => format!("FAIL: INCONSISTENT: {e}"),
+            (Ok(scrape), Ok(())) => {
+                artifact_verdict(&scrape, n, min_stable).unwrap_or_else(|e| format!("FAIL: {e}"))
+            }
+        };
+        (report.ops_per_sec(), verdict)
+    }
+
+    // Row 1: clean localhost UDP — n replica node threads, each with its
+    // own real socket, scraped mid-load through one extra collector
+    // socket. The floor asks for a meaningfully stable cluster: most of
+    // the scraped wall time under a reign at least 1024 check periods
+    // long.
+    {
+        let mut mesh = UdpTransport::localhost_mesh(n + clients + 1).expect("bind sockets");
+        let collector = mesh.pop().expect("collector endpoint");
+        let client_eps = mesh.split_off(n);
+        let obs: Vec<Arc<Obs>> = (0..n).map(|_| Arc::new(Obs::new(n))).collect();
+        let mut replica_eps = mesh;
+        for (i, t) in replica_eps.iter_mut().enumerate() {
+            t.attach_obs(obs[i].registry());
+        }
+        let (handles, threads) = spawn_per_node(replica_eps, n, clients, &obs);
+        let cl: Vec<SvcClient<UdpTransport>> = client_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                SvcClient::new(
+                    ProcessId::new((n + i) as u32),
+                    n,
+                    t,
+                    0x0E15_C11E ^ (i as u64 + 1),
+                )
+            })
+            .collect();
+        let (ops, verdict) = scrape_mid_load(
+            handles,
+            threads,
+            cl,
+            collector,
+            n,
+            clients,
+            opts,
+            0.15,
+            StdDuration::from_secs(10),
+        );
+        table.push_row(vec![
+            "live scrape".to_string(),
+            "udp".to_string(),
+            n.to_string(),
+            clients.to_string(),
+            format!("{ops:.0}"),
+            verdict,
+        ]);
+    }
+
+    // Rows 2–3: the same live scrape with an adversary on every *replica*
+    // link (receiver-driven, mirroring `SvcCluster::with_link_models`;
+    // the client and collector endpoints stay clean, so what is under
+    // stress is the consensus plane and the scrape plane riding the same
+    // lossy sockets). Stability floors are lower: the adversary is
+    // supposed to cost reign stability, the panel is supposed to show it.
+    for (row, min_stable) in [("drop 0.2", 0.08), ("duty-cycle", 0.05)] {
+        let mut mesh = MemNetwork::mesh(n + clients + 1);
+        let collector = mesh.pop().expect("collector endpoint");
+        let client_eps = mesh.split_off(n);
+        let obs: Vec<Arc<Obs>> = (0..n).map(|_| Arc::new(Obs::new(n))).collect();
+        let mut replica_eps: Vec<FaultyLink<irs_net::MemTransport>> = mesh
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let seed = 0x0E15_FA17 ^ (i as u64);
+                let model = if row == "drop 0.2" {
+                    LinkModel::new(seed).with_drop_prob(0.2)
+                } else {
+                    // Every replica dark for the last quarter of each
+                    // 400 ms window (1 ms wall tick), phases staggered so
+                    // the cluster never goes fully dark at once. Off
+                    // windows are far shorter than the scraper's retry
+                    // budget, so the scrape must still complete.
+                    LinkModel::new(seed).with_duty_cycle(DutyCycle {
+                        node: i as u32,
+                        period: 400,
+                        on: 300,
+                        phase: (i as u64) * 80,
+                    })
+                };
+                FaultyLink::new(t, model)
+            })
+            .collect();
+        for (i, t) in replica_eps.iter_mut().enumerate() {
+            t.attach_obs(obs[i].registry());
+        }
+        let (handles, threads) = spawn_per_node(replica_eps, n, clients, &obs);
+        let cl: Vec<SvcClient<irs_net::MemTransport>> = client_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                SvcClient::new(
+                    ProcessId::new((n + i) as u32),
+                    n,
+                    t,
+                    0x0E15_C11E ^ (i as u64 + 1),
+                )
+            })
+            .collect();
+        let (ops, verdict) = scrape_mid_load(
+            handles,
+            threads,
+            cl,
+            collector,
+            n,
+            clients,
+            opts,
+            min_stable,
+            StdDuration::from_secs(15),
+        );
+        table.push_row(vec![
+            format!("live scrape, {row}"),
+            "mem+faulty".to_string(),
+            n.to_string(),
+            clients.to_string(),
+            format!("{ops:.0}"),
+            verdict,
+        ]);
+    }
+
+    // Row 4: the crash-forensics window on the *default* ring. The
+    // severity-tiered recorder must preserve the re-election and the WAL
+    // commits that precede it without the 32k-deep ring E14 used to
+    // hand-tune: leader changes live in the small critical ring, and the
+    // crashed leader's rings freeze at the crash.
+    {
+        let base = std::env::temp_dir().join(format!("irs-e15-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let obs = Arc::new(Obs::new(n));
+        let config = SvcConfig::new(n, clients)
+            .with_batching(8, 4)
+            .with_snapshot_interval(64)
+            .with_data_dir(&base)
+            .with_fsync(FsyncPolicy::EveryN(8))
+            .with_obs(obs.clone());
+        let crash_opts = ClosedLoopOptions {
+            duration: StdDuration::from_secs(if quick { 3 } else { 6 }),
+            op_deadline: StdDuration::from_secs(8),
+            ..ClosedLoopOptions::default()
+        };
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, acked, crashed) = irs_svc::loadgen::closed_loop_with_leader_crash(
+            &cluster,
+            &mut cl,
+            crash_opts,
+            crash_opts.duration / 3,
+        );
+        irs_svc::loadgen::await_survivor_convergence(&cluster, crashed, StdDuration::from_secs(30));
+        let events = obs.recorder().expect("recorder attached").dump();
+        // The dump is time-sorted and the critical tier preserves *every*
+        // leader change (startup election included), so the re-election
+        // the crash forced is the last one; the window property is that
+        // WAL commits leading up to it survived — they live in the
+        // crashed leader's rings, frozen at the crash.
+        let reelection = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == EventKind::LeaderChange)
+            .map(|e| e.at);
+        let commits_before_change = reelection.is_some_and(|at| {
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::WalCommit && e.at < at)
+        });
+        let finals = cluster.shutdown();
+        let survivors: Vec<&SvcReplica> = finals
+            .iter()
+            .filter(|r| irs_types::Protocol::id(*r) != crashed)
+            .collect();
+        let verdict = if reelection.is_none() || !commits_before_change {
+            format!(
+                "FAIL: default ring lost the crash window (leader_change seen: {}, wal_commit before it: {commits_before_change})",
+                reelection.is_some()
+            )
+        } else {
+            match check_consistency(&survivors, &acked) {
+                Ok(()) => format!(
+                    "PASS: default ring kept the window — leader {crashed} crashed, re-election and preceding wal_commit events survived"
+                ),
+                Err(e) => format!("FAIL: INCONSISTENT: {e}"),
+            }
+        };
+        table.push_row(vec![
+            "crash window, default ring".to_string(),
+            "mem".to_string(),
+            n.to_string(),
+            clients.to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            verdict,
+        ]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -1645,6 +2039,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e12", e12_kv_service),
         ("e13", e13_durability),
         ("e14", e14_observability),
+        ("e15", e15_live_telemetry),
     ]
 }
 
@@ -1655,9 +2050,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 14);
+        assert_eq!(unique.len(), 15);
     }
 
     #[test]

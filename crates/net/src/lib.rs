@@ -68,6 +68,7 @@ mod transport;
 mod udp;
 pub mod wire;
 pub mod wire_consensus;
+pub mod wire_obs;
 
 pub use faulty::{DutyCycle, FaultClock, FaultyLink, LinkModel, ManualClock, Partition};
 pub use mem::{MemNetwork, MemTransport};
@@ -78,3 +79,4 @@ pub use reactor::Reactor;
 pub use transport::{Frame, NetError, Transport};
 pub use udp::UdpTransport;
 pub use wire::{Wire, WireError};
+pub use wire_obs::{answer_scrape, is_obs_payload, ObsMsg, TransportScraper};

@@ -20,6 +20,7 @@
 //!                             | SnapshotOffer | SnapshotInstall
 //!                             | SnapshotChunkRequest | SnapshotChunk
 //! (irs-svc)     0x20..=0x23   Log | Request | Reply(Applied) | Reply(Redirect)
+//! ObsMsg        0x30..=0x31   ScrapeRequest | ScrapeChunk (crate::wire_obs)
 //! PaxosMsg      0x00..=0x04   (always nested behind one of the above)
 //! ```
 //!

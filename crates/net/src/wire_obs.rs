@@ -1,0 +1,443 @@
+//! Wire codec for the live telemetry plane: [`ObsMsg`] scrape
+//! request/response messages, plus the transport-level helpers hosts and
+//! collectors use to speak them.
+//!
+//! # Tag range
+//!
+//! `ObsMsg` owns the disjoint leading-tag range `0x30..=0x31`
+//! ([`TAG_OBS_BASE`]; see the registry in [`crate::wire_consensus`]), so a
+//! scrape datagram fed to a protocol decoder fails with `BadTag` — and a
+//! protocol datagram fed to this decoder does too. Hosts peek at the
+//! first payload byte with [`is_obs_payload`] to route scrape traffic
+//! before protocol decoding.
+//!
+//! # Protocol
+//!
+//! A scraper sends `ScrapeRequest { format, cursor }` and the node
+//! answers with exactly one `ScrapeChunk { seq, last, bytes }` where
+//! `seq == cursor`. Bodies larger than one datagram stream out in
+//! [`irs_obs::SCRAPE_CHUNK_LEN`]-bounded chunks — the same cursor-walk
+//! shape as the snapshot chunk transfer — with the rendering and session
+//! caching done by [`irs_obs::Responder`]. Requests are idempotent and
+//! chunks carry their cursor, so the usual datagram failure modes (loss,
+//! duplication, reordering) cost a retry, never a torn body.
+
+use crate::transport::{NetError, Transport};
+use crate::wire::{decode_payload, put_u32, Wire, WireError, WireReader};
+use irs_obs::collector::ScrapeSource;
+use irs_obs::{Obs, Responder, ScrapeFormat, SCRAPE_CHUNK_LEN};
+use irs_types::ProcessId;
+use std::time::{Duration, Instant};
+
+/// First tag of the observability range (`0x30..=0x31`).
+pub const TAG_OBS_BASE: u8 = 0x30;
+
+const TAG_OBS_SCRAPE_REQUEST: u8 = TAG_OBS_BASE;
+const TAG_OBS_SCRAPE_CHUNK: u8 = TAG_OBS_BASE + 1;
+
+/// A telemetry-plane message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObsMsg {
+    /// "Send me chunk `cursor` of your `format` exposition body."
+    ScrapeRequest {
+        /// What to render.
+        format: ScrapeFormat,
+        /// Zero-based chunk index; cursor 0 renders a fresh body.
+        cursor: u32,
+    },
+    /// One chunk of an exposition body.
+    ScrapeChunk {
+        /// Echo of the request cursor.
+        seq: u32,
+        /// `true` on the final chunk of the body.
+        last: bool,
+        /// At most [`SCRAPE_CHUNK_LEN`] body bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Wire for ObsMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ObsMsg::ScrapeRequest { format, cursor } => {
+                buf.push(TAG_OBS_SCRAPE_REQUEST);
+                buf.push(format.as_u8());
+                put_u32(buf, *cursor);
+            }
+            ObsMsg::ScrapeChunk { seq, last, bytes } => {
+                buf.push(TAG_OBS_SCRAPE_CHUNK);
+                put_u32(buf, *seq);
+                buf.push(u8::from(*last));
+                put_u32(buf, bytes.len() as u32);
+                buf.extend_from_slice(bytes);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            TAG_OBS_SCRAPE_REQUEST => {
+                let fmt_byte = r.u8()?;
+                let format = ScrapeFormat::from_u8(fmt_byte).ok_or(WireError::BadTag(fmt_byte))?;
+                let cursor = r.u32()?;
+                Ok(ObsMsg::ScrapeRequest { format, cursor })
+            }
+            TAG_OBS_SCRAPE_CHUNK => {
+                let seq = r.u32()?;
+                let last = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(WireError::BadTag(other)),
+                };
+                let len = r.u32()? as usize;
+                if len > SCRAPE_CHUNK_LEN {
+                    return Err(WireError::BadLength(len));
+                }
+                let bytes = r.take(len)?.to_vec();
+                Ok(ObsMsg::ScrapeChunk { seq, last, bytes })
+            }
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// `true` when `payload` leads with an observability tag — the cheap
+/// route test hosts apply before protocol decoding. A `true` answer does
+/// not promise a well-formed message, only that the payload belongs to
+/// this plane (and would be noise to every protocol decoder).
+pub fn is_obs_payload(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(&t) if (TAG_OBS_BASE..=TAG_OBS_SCRAPE_CHUNK).contains(&t))
+}
+
+/// Session key for [`Responder`] caching: the scraped node and the
+/// scraping endpoint together, so interleaved scrapes of two nodes hosted
+/// by one process never mix pages.
+pub fn scrape_session_key(me: ProcessId, from: ProcessId) -> u64 {
+    (u64::from(me.as_u32()) << 32) | u64::from(from.as_u32())
+}
+
+/// Answers one scrape payload addressed to `me` in-handler: decodes the
+/// request, renders/pages via `responder`, and sends the chunk back to
+/// `from` over `transport`. Returns `true` when the payload was consumed
+/// as scrape traffic (well-formed or not — a malformed obs-tagged payload
+/// is dropped, never forwarded to the protocol). Send failures are
+/// ignored: scraping is best-effort by design and the scraper retries.
+pub fn answer_scrape<T: Transport + ?Sized>(
+    responder: &Responder,
+    obs: &Obs,
+    transport: &mut T,
+    me: ProcessId,
+    from: ProcessId,
+    payload: &[u8],
+) -> bool {
+    if !is_obs_payload(payload) {
+        return false;
+    }
+    if let Ok(ObsMsg::ScrapeRequest { format, cursor }) = decode_payload::<ObsMsg>(payload) {
+        let (bytes, last) = responder.chunk(obs, scrape_session_key(me, from), format, cursor);
+        let mut buf = Vec::with_capacity(bytes.len() + 16);
+        ObsMsg::ScrapeChunk {
+            seq: cursor,
+            last,
+            bytes,
+        }
+        .encode(&mut buf);
+        let _ = transport.send(me, from, &buf);
+    }
+    true
+}
+
+/// Encodes the reply to one already-decoded scrape request into `buf` —
+/// the allocation-free variant for hosts that own their own send path
+/// (the mux reactor queues the fan-out itself).
+pub fn encode_scrape_reply(
+    responder: &Responder,
+    obs: &Obs,
+    session: u64,
+    format: ScrapeFormat,
+    cursor: u32,
+    buf: &mut Vec<u8>,
+) {
+    let (bytes, last) = responder.chunk(obs, session, format, cursor);
+    ObsMsg::ScrapeChunk {
+        seq: cursor,
+        last,
+        bytes,
+    }
+    .encode(buf);
+}
+
+/// A [`ScrapeSource`] over any [`Transport`]: the collector's wire-level
+/// client. Node index `i` is scraped at `ProcessId::new(base + i)`.
+pub struct TransportScraper<T: Transport> {
+    transport: T,
+    me: ProcessId,
+    base: u32,
+    timeout: Duration,
+    retries: u32,
+}
+
+impl<T: Transport> std::fmt::Debug for TransportScraper<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransportScraper")
+            .field("me", &self.me)
+            .field("base", &self.base)
+            .field("timeout", &self.timeout)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> TransportScraper<T> {
+    /// A scraper sending from `me` over `transport`, mapping collector
+    /// node `i` to `ProcessId::new(i)`.
+    pub fn new(transport: T, me: ProcessId) -> Self {
+        TransportScraper {
+            transport,
+            me,
+            base: 0,
+            timeout: Duration::from_millis(250),
+            retries: 8,
+        }
+    }
+
+    /// Maps collector node `i` to `ProcessId::new(base + i)`.
+    pub fn with_base(mut self, base: u32) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Per-request receive timeout (each of the `retries` attempts waits
+    /// this long).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Attempts per chunk before the fetch fails.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries.max(1);
+        self
+    }
+
+    /// Gives the transport back (to scrape again later or shut down).
+    pub fn into_inner(self) -> T {
+        self.transport
+    }
+
+    fn attempt(
+        &mut self,
+        target: ProcessId,
+        format: ScrapeFormat,
+        cursor: u32,
+    ) -> Result<Option<(Vec<u8>, bool)>, String> {
+        let mut req = Vec::with_capacity(8);
+        ObsMsg::ScrapeRequest { format, cursor }.encode(&mut req);
+        match self.transport.send(self.me, target, &req) {
+            Ok(()) | Err(NetError::UnknownPeer(_)) => {}
+            Err(e) => return Err(format!("scrape send to {target}: {e}")),
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let frame = self
+                .transport
+                .recv(deadline - now)
+                .map_err(|e| format!("scrape recv: {e}"))?;
+            let Some(frame) = frame else { return Ok(None) };
+            // Drop anything that is not the chunk we asked for: stale
+            // retransmissions, chunks for earlier cursors, stray frames
+            // from other planes on a reused endpoint.
+            if frame.from != target || frame.to != self.me {
+                continue;
+            }
+            match decode_payload::<ObsMsg>(&frame.payload) {
+                Ok(ObsMsg::ScrapeChunk { seq, last, bytes }) if seq == cursor => {
+                    return Ok(Some((bytes, last)));
+                }
+                _ => continue,
+            }
+        }
+    }
+}
+
+impl<T: Transport> ScrapeSource for TransportScraper<T> {
+    fn fetch_chunk(
+        &mut self,
+        node: u32,
+        format: ScrapeFormat,
+        cursor: u32,
+    ) -> Result<(Vec<u8>, bool), String> {
+        let target = ProcessId::new(self.base + node);
+        for _ in 0..self.retries {
+            if let Some(hit) = self.attempt(target, format, cursor)? {
+                return Ok(hit);
+            }
+        }
+        Err(format!(
+            "node {node} ({target}) did not answer scrape cursor {cursor} after {} attempts",
+            self.retries
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemNetwork;
+    use irs_obs::collector::ClusterScrape;
+    use irs_obs::names;
+    use std::sync::Arc;
+
+    #[test]
+    fn obs_msgs_roundtrip() {
+        let msgs = vec![
+            ObsMsg::ScrapeRequest {
+                format: ScrapeFormat::Prometheus,
+                cursor: 0,
+            },
+            ObsMsg::ScrapeRequest {
+                format: ScrapeFormat::Json,
+                cursor: 7,
+            },
+            ObsMsg::ScrapeRequest {
+                format: ScrapeFormat::Trace,
+                cursor: u32::MAX,
+            },
+            ObsMsg::ScrapeChunk {
+                seq: 0,
+                last: true,
+                bytes: Vec::new(),
+            },
+            ObsMsg::ScrapeChunk {
+                seq: 3,
+                last: false,
+                bytes: vec![0xAB; SCRAPE_CHUNK_LEN],
+            },
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            msg.encode(&mut buf);
+            let back: ObsMsg = decode_payload(&buf).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn decoder_is_total_over_noise() {
+        let mut rng = 0x0B5_u64;
+        for _ in 0..2000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let len = (rng >> 48) as usize % 64;
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    (rng >> 32) as u8
+                })
+                .collect();
+            let _ = decode_payload::<ObsMsg>(&bytes); // must not panic
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        // Foreign tags: an Ω or consensus payload is noise here.
+        for tag in [0x00u8, 0x10, 0x18, 0x20, 0x32, 0xFF] {
+            assert!(decode_payload::<ObsMsg>(&[tag, 0, 0, 0, 0, 0]).is_err());
+        }
+        // Unknown scrape format.
+        let bad_format = [TAG_OBS_SCRAPE_REQUEST, 9, 0, 0, 0, 0];
+        assert_eq!(
+            decode_payload::<ObsMsg>(&bad_format),
+            Err(WireError::BadTag(9))
+        );
+        // Oversized chunk length.
+        let mut oversized = vec![TAG_OBS_SCRAPE_CHUNK];
+        put_u32(&mut oversized, 0);
+        oversized.push(1);
+        put_u32(&mut oversized, (SCRAPE_CHUNK_LEN + 1) as u32);
+        oversized.resize(oversized.len() + SCRAPE_CHUNK_LEN + 1, 0);
+        assert_eq!(
+            decode_payload::<ObsMsg>(&oversized),
+            Err(WireError::BadLength(SCRAPE_CHUNK_LEN + 1))
+        );
+        // Non-boolean `last` byte.
+        let mut bad_last = vec![TAG_OBS_SCRAPE_CHUNK];
+        put_u32(&mut bad_last, 0);
+        bad_last.push(2);
+        put_u32(&mut bad_last, 0);
+        assert_eq!(
+            decode_payload::<ObsMsg>(&bad_last),
+            Err(WireError::BadTag(2))
+        );
+        // Trailing bytes after a complete message.
+        let mut trailing = Vec::new();
+        ObsMsg::ScrapeRequest {
+            format: ScrapeFormat::Prometheus,
+            cursor: 1,
+        }
+        .encode(&mut trailing);
+        trailing.push(0);
+        assert!(decode_payload::<ObsMsg>(&trailing).is_err());
+    }
+
+    #[test]
+    fn payload_routing_predicate() {
+        let mut req = Vec::new();
+        ObsMsg::ScrapeRequest {
+            format: ScrapeFormat::Prometheus,
+            cursor: 0,
+        }
+        .encode(&mut req);
+        assert!(is_obs_payload(&req));
+        assert!(!is_obs_payload(&[]));
+        assert!(!is_obs_payload(&[0x00]));
+        assert!(!is_obs_payload(&[0x20]));
+        assert!(!is_obs_payload(&[0x32]));
+    }
+
+    /// End-to-end over the in-memory mesh: a "node" thread answers with
+    /// [`answer_scrape`], the collector pulls through a
+    /// [`TransportScraper`], and the merged artifact carries the node's
+    /// metrics.
+    #[test]
+    fn scrape_roundtrip_over_mem_transport() {
+        let mut mesh = MemNetwork::mesh(2);
+        let mut node_t = mesh.remove(0);
+        let collector_t = mesh.remove(0);
+        let node_id = ProcessId::new(0);
+        let collector_id = ProcessId::new(1);
+
+        let obs = Arc::new(Obs::new(1));
+        obs.registry().counter(names::WAL_APPENDED).add(0, 42);
+        let node_obs = Arc::clone(&obs);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let node_stop = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            let responder = Responder::new();
+            while !node_stop.load(std::sync::atomic::Ordering::Acquire) {
+                if let Ok(Some(frame)) = node_t.recv(Duration::from_millis(10)) {
+                    answer_scrape(
+                        &responder,
+                        &node_obs,
+                        &mut node_t,
+                        node_id,
+                        frame.from,
+                        &frame.payload,
+                    );
+                }
+            }
+        });
+
+        let mut scraper = TransportScraper::new(collector_t, collector_id);
+        let cluster = ClusterScrape::collect(&mut scraper, 1).expect("scrape succeeds");
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        server.join().unwrap();
+
+        let merged = cluster.render_prometheus().expect("merge succeeds");
+        assert!(merged.contains("wal_appended{node=\"0\"} 42"), "{merged}");
+    }
+}

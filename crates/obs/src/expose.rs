@@ -88,6 +88,24 @@ pub fn render_json(scrape: &[(&'static str, MetricValue)]) -> String {
     out
 }
 
+/// Writes `bytes` to `path` atomically: the content lands in a `.tmp`
+/// sibling first and is renamed over `path`, so an external reader (a
+/// scraper tailing the examples' twice-a-second rewrites, the collector
+/// artifact consumer) never observes a torn or partially written file.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 /// The process-wide observability handle: one [`Registry`] plus an
 /// optional [`FlightRecorder`], shared by every instrumented layer.
 #[derive(Debug)]
@@ -189,7 +207,7 @@ impl Obs {
                     std::thread::sleep(slice);
                     slept += slice;
                 }
-                let _ = std::fs::write(&path, obs.render_prometheus());
+                let _ = write_atomic(&path, obs.render_prometheus().as_bytes());
                 if stop_thread.load(Ordering::Acquire) {
                     return;
                 }
@@ -307,6 +325,23 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).expect("dump file written");
         assert!(text.contains("runtime_polls 9"), "{text}");
+        // tmp+rename: the staging sibling never survives a dump cycle.
+        assert!(
+            !dir.join("metrics.prom.tmp").exists(),
+            "staging file left behind"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_files() {
+        let dir = std::env::temp_dir().join(format!("irs-obs-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.prom");
+        write_atomic(&path, b"first version, quite long").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!dir.join("a.prom.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -14,13 +14,29 @@
 //! * [`Histogram`] — the workspace's one log2-bucket latency histogram
 //!   (promoted from `irs_sim`, which re-exports it), used by simulation
 //!   summaries, the load generator and registry scrapes alike.
-//! * [`FlightRecorder`] — fixed-capacity per-node rings of compact
-//!   [`TraceEvent`]s (leader changes, ballot lifecycle, WAL commits,
-//!   backpressure…) with caller-supplied monotone timestamps, dumped on
-//!   demand, on crash, or when a consistency verdict fails.
+//! * [`FlightRecorder`] — fixed-capacity per-node, severity-tiered rings
+//!   of compact [`TraceEvent`]s (leader changes, ballot lifecycle, WAL
+//!   commits, backpressure…) with caller-supplied monotone timestamps,
+//!   dumped on demand, on crash, or when a consistency verdict fails.
+//!   Rare forensic events ([`EventKind::severity`] = [`Severity::Critical`])
+//!   live in a small protected ring high-rate traffic cannot evict.
 //! * [`Obs`] + [`expose`] — one process-wide handle tying registry and
 //!   recorder together, with Prometheus-style text / JSON exposition and
-//!   a periodic file-dump hook for running hosts.
+//!   an atomic (tmp+rename) periodic file-dump hook for running hosts.
+//! * [`scrape`] — the node side of the **live telemetry plane**: a
+//!   [`scrape::Responder`] renders and pages exposition bodies for the
+//!   chunked scrape-over-datagram protocol (`ScrapeRequest{format,
+//!   cursor}` → `ScrapeChunk{seq, last, bytes}`; the wire codec lives in
+//!   `irs_net::wire_obs`, tag range `0x30..`). Hosts answer scrapes
+//!   in-handler, so any node reachable over its normal transport is
+//!   observable with no filesystem sharing.
+//! * [`collector`] — the pull side: scrape N nodes over any
+//!   [`collector::ScrapeSource`], parse and conformance-check each body,
+//!   and merge them into one cluster-wide `node`-labelled artifact.
+//! * [`reign`] — the leader-reign SLO panel: [`reign::ReignTracker`]
+//!   turns observed leader changes into the `omega_reign_ms` histogram
+//!   and stable-reign accounting; [`reign::ReignStats`] recomputes the
+//!   stable-reign fraction from any scrape or artifact.
 //! * [`names`] — the canonical metric-name table every producer imports,
 //!   so gauge names cannot drift between crates.
 
@@ -28,13 +44,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod collector;
 pub mod expose;
 mod hist;
 pub mod names;
 mod recorder;
 mod registry;
+pub mod reign;
+pub mod scrape;
 
-pub use expose::{render_json, render_prometheus, DumpGuard, Obs};
+pub use expose::{render_json, render_prometheus, write_atomic, DumpGuard, Obs};
 pub use hist::Histogram;
-pub use recorder::{Clock, EventKind, FlightRecorder, TraceEvent, Tracer};
+pub use recorder::{Clock, EventKind, FlightRecorder, Severity, TraceEvent, Tracer, CRITICAL_RING};
 pub use registry::{Counter, Gauge, HistHandle, MetricValue, Registry, SHARDS};
+pub use reign::{ReignStats, ReignTracker};
+pub use scrape::{Responder, ScrapeFormat, SCRAPE_CHUNK_LEN};

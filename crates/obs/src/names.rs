@@ -162,6 +162,25 @@ pub const WAL_COMMIT_MICROS: &str = "wal_commit_micros";
 /// Records per WAL commit batch (histogram).
 pub const WAL_BATCH_RECORDS: &str = "wal_batch_records";
 
+// ── Registry metrics: leader-reign SLO panel (irs-obs reign tracker) ────
+/// Completed leader-reign durations, ms (histogram) — the paper's
+/// "intermittent rotating star" active-phase distribution, measured on
+/// our own leaders.
+pub const OMEGA_REIGN_MS: &str = "omega_reign_ms";
+/// Completed leader reigns observed (counter).
+pub const OMEGA_REIGNS_TOTAL: &str = "omega_reigns_total";
+/// Age of the reign currently in progress, ms (gauge).
+pub const OMEGA_CURRENT_REIGN_MS: &str = "omega_current_reign_ms";
+/// Wall time spent under completed reigns at least the stability
+/// threshold long, ms (counter).
+pub const OMEGA_STABLE_REIGN_MS: &str = "omega_stable_reign_ms";
+/// The stability threshold (K check periods), ms (gauge).
+pub const OMEGA_REIGN_STABLE_THRESHOLD_MS: &str = "omega_reign_stable_threshold_ms";
+/// Reign trackers feeding this registry — one per hosted node (counter).
+pub const OMEGA_REIGN_NODES: &str = "omega_reign_nodes";
+/// Process uptime since observability attach, ms (gauge).
+pub const OBS_UPTIME_MS: &str = "obs_uptime_ms";
+
 /// Every canonical name with its documentation line — the single table
 /// the name-hygiene test checks and exposition can consult for `# HELP`.
 pub const ALL: &[(&str, &str)] = &[
@@ -260,6 +279,22 @@ pub const ALL: &[(&str, &str)] = &[
     (SVC_BATCH_COMMANDS, "commands per decided batch"),
     (WAL_COMMIT_MICROS, "WAL commit latency, us"),
     (WAL_BATCH_RECORDS, "records per WAL commit batch"),
+    (OMEGA_REIGN_MS, "completed leader-reign durations, ms"),
+    (OMEGA_REIGNS_TOTAL, "completed leader reigns observed"),
+    (OMEGA_CURRENT_REIGN_MS, "age of the reign in progress, ms"),
+    (
+        OMEGA_STABLE_REIGN_MS,
+        "wall time under stable (>= threshold) completed reigns, ms",
+    ),
+    (
+        OMEGA_REIGN_STABLE_THRESHOLD_MS,
+        "stable-reign threshold (K check periods), ms",
+    ),
+    (OMEGA_REIGN_NODES, "reign trackers feeding this registry"),
+    (
+        OBS_UPTIME_MS,
+        "process uptime since observability attach, ms",
+    ),
 ];
 
 /// Looks up the documentation line for `name` (exposition `# HELP`).

@@ -9,6 +9,15 @@
 //! monotone microsecond [`Clock`], the simulator stamps with virtual-clock
 //! ticks. The recorder never reads a clock itself, so identical
 //! `(seed, config)` simulation runs produce byte-identical event streams.
+//!
+//! Events are **severity-tiered**: each node owns a large *bulk* ring for
+//! high-rate traffic (`wal_commit`, `backpressure`, round advances) and a
+//! small *critical* ring for rare, forensically load-bearing events
+//! (`leader_change`, snapshot install). A flood of WAL commits can never
+//! evict the leader changes that explain it, so a default-sized dump stays
+//! crash-forensic without manual ring tuning. [`FlightRecorder::dump`]
+//! merges both tiers of every node back into one global timeline ordered
+//! by `(at, node)` with per-node write order preserved.
 
 use std::fmt;
 use std::sync::Mutex;
@@ -39,6 +48,34 @@ pub enum EventKind {
     /// A send queue pushed back (shed or blocked): `a` = endpoint,
     /// `b` = queue depth.
     Backpressure,
+}
+
+/// Which per-node ring a [`TraceEvent`] lands in (see
+/// [`EventKind::severity`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Rare, forensically load-bearing: kept in a small ring that bulk
+    /// traffic cannot evict.
+    Critical,
+    /// High-rate operational traffic: kept in the large main ring.
+    Bulk,
+}
+
+impl EventKind {
+    /// The tier this kind records into. Leadership transitions and peer
+    /// snapshot installs are orders of magnitude rarer than WAL commits,
+    /// yet they are what a crash dump is read for — they go to the
+    /// protected critical ring. `SnapshotTaken` is deliberately *not*
+    /// critical: a loaded replica compacts every `snapshot_interval`
+    /// applies (tens per second), and routing that periodic housekeeping
+    /// into the small critical ring would evict the one re-election a
+    /// postmortem actually needs.
+    pub fn severity(self) -> Severity {
+        match self {
+            EventKind::LeaderChange | EventKind::SnapshotInstalled => Severity::Critical,
+            _ => Severity::Bulk,
+        }
+    }
 }
 
 impl fmt::Display for EventKind {
@@ -88,65 +125,83 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// A fixed-capacity overwrite-oldest ring.
-#[derive(Debug)]
+/// Per-node cap of the critical tier: rare events only, so a small ring
+/// spans a long wall-clock window. Clamped to the bulk capacity when the
+/// recorder is built smaller than this.
+pub const CRITICAL_RING: usize = 64;
+
+/// A fixed-capacity overwrite-oldest ring of sequence-stamped events.
+/// The sequence number restores a node's write order when the two tiers
+/// are merged back into one timeline.
+#[derive(Debug, Default)]
 struct Ring {
-    buf: Vec<TraceEvent>,
+    buf: Vec<(u64, TraceEvent)>,
     head: usize,
     total: u64,
 }
 
 impl Ring {
-    fn push(&mut self, ev: TraceEvent, cap: usize) {
+    fn push(&mut self, seq: u64, ev: TraceEvent, cap: usize) {
         if self.buf.len() < cap {
-            self.buf.push(ev);
+            self.buf.push((seq, ev));
         } else {
-            self.buf[self.head] = ev;
+            self.buf[self.head] = (seq, ev);
             self.head = (self.head + 1) % cap;
         }
         self.total += 1;
     }
 
     /// Oldest-to-newest copy of the surviving events.
-    fn drain_in_order(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+    fn drain_in_order(&self) -> impl Iterator<Item = (u64, TraceEvent)> + '_ {
         let (tail, headpart) = self.buf.split_at(self.head);
         headpart.iter().chain(tail.iter()).copied()
     }
 }
 
-/// Per-node rings of the last `capacity` [`TraceEvent`]s each.
+/// One node's two tiers plus the write-order stamp shared between them.
+#[derive(Debug, Default)]
+struct NodeRings {
+    bulk: Ring,
+    critical: Ring,
+    next_seq: u64,
+}
+
+/// Per-node severity-tiered rings of the last `capacity` bulk events and
+/// the last [`CRITICAL_RING`] critical events each.
 ///
 /// Recording takes one short per-node `Mutex` (a node's events come from
 /// one thread at a time in every deployment here; the lock is for the
 /// occasional cross-thread dump, not for contention).
 #[derive(Debug)]
 pub struct FlightRecorder {
-    rings: Vec<Mutex<Ring>>,
+    rings: Vec<Mutex<NodeRings>>,
     capacity: usize,
+    critical_capacity: usize,
 }
 
 impl FlightRecorder {
-    /// A recorder for `nodes` nodes keeping the last `capacity` events
-    /// per node (`capacity` is clamped to at least 1).
+    /// A recorder for `nodes` nodes keeping the last `capacity` bulk
+    /// events per node (`capacity` is clamped to at least 1) plus a
+    /// protected critical tier of `capacity.min(CRITICAL_RING)` events.
     pub fn new(nodes: usize, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         FlightRecorder {
             rings: (0..nodes)
-                .map(|_| {
-                    Mutex::new(Ring {
-                        buf: Vec::new(),
-                        head: 0,
-                        total: 0,
-                    })
-                })
+                .map(|_| Mutex::new(NodeRings::default()))
                 .collect(),
             capacity,
+            critical_capacity: capacity.min(CRITICAL_RING),
         }
     }
 
-    /// Per-node ring capacity.
+    /// Per-node bulk-ring capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Per-node critical-ring capacity.
+    pub fn critical_capacity(&self) -> usize {
+        self.critical_capacity
     }
 
     /// Number of node rings.
@@ -158,10 +213,14 @@ impl FlightRecorder {
     /// recorder sized for the replica group must not panic on a stray
     /// client-endpoint id).
     pub fn record(&self, ev: TraceEvent) {
-        if let Some(ring) = self.rings.get(ev.node as usize) {
-            ring.lock()
-                .expect("recorder poisoned")
-                .push(ev, self.capacity);
+        if let Some(rings) = self.rings.get(ev.node as usize) {
+            let mut r = rings.lock().expect("recorder poisoned");
+            let seq = r.next_seq;
+            r.next_seq += 1;
+            match ev.kind.severity() {
+                Severity::Bulk => r.bulk.push(seq, ev, self.capacity),
+                Severity::Critical => r.critical.push(seq, ev, self.critical_capacity),
+            }
         }
     }
 
@@ -176,35 +235,46 @@ impl FlightRecorder {
         });
     }
 
-    /// Total events ever offered to `node`'s ring (survivors plus
-    /// overwritten).
+    /// Total events ever offered to `node`'s rings (survivors plus
+    /// overwritten, both tiers).
     pub fn total_recorded(&self, node: u32) -> u64 {
         self.rings
             .get(node as usize)
-            .map(|r| r.lock().expect("recorder poisoned").total)
+            .map(|r| {
+                let r = r.lock().expect("recorder poisoned");
+                r.bulk.total + r.critical.total
+            })
             .unwrap_or(0)
     }
 
-    /// All surviving events, ordered by `(at, node)` with per-node write
-    /// order preserved (the merge is stable).
-    pub fn dump(&self) -> Vec<TraceEvent> {
-        let mut all: Vec<TraceEvent> = Vec::new();
-        for ring in &self.rings {
-            all.extend(ring.lock().expect("recorder poisoned").drain_in_order());
-        }
-        all.sort_by_key(|ev| (ev.at, ev.node));
-        all
+    fn collect_node(rings: &NodeRings, node_seq: &mut Vec<(u64, TraceEvent)>) {
+        node_seq.extend(rings.bulk.drain_in_order());
+        node_seq.extend(rings.critical.drain_in_order());
     }
 
-    /// The surviving events of one node, oldest first.
+    /// All surviving events across both tiers of every node, merged into
+    /// one global timeline ordered by `(at, node)` with per-node write
+    /// order preserved (the tiers carry sequence stamps for the
+    /// tie-break, so the merge is deterministic).
+    pub fn dump(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<(u64, TraceEvent)> = Vec::new();
+        for ring in &self.rings {
+            Self::collect_node(&ring.lock().expect("recorder poisoned"), &mut all);
+        }
+        all.sort_by_key(|&(seq, ev)| (ev.at, ev.node, seq));
+        all.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// The surviving events of one node, both tiers merged, oldest first
+    /// in the node's write order.
     pub fn dump_node(&self, node: u32) -> Vec<TraceEvent> {
         self.rings
             .get(node as usize)
             .map(|r| {
-                r.lock()
-                    .expect("recorder poisoned")
-                    .drain_in_order()
-                    .collect()
+                let mut out: Vec<(u64, TraceEvent)> = Vec::new();
+                Self::collect_node(&r.lock().expect("recorder poisoned"), &mut out);
+                out.sort_by_key(|&(seq, _)| seq);
+                out.into_iter().map(|(_, ev)| ev).collect()
             })
             .unwrap_or_default()
     }
@@ -214,9 +284,10 @@ impl FlightRecorder {
         let events = self.dump();
         let mut out = String::with_capacity(events.len() * 48 + 64);
         out.push_str(&format!(
-            "# flight recorder: {} nodes, last {} events/node, {} surviving\n",
+            "# flight recorder: {} nodes, last {} bulk + {} critical events/node, {} surviving\n",
             self.nodes(),
             self.capacity,
+            self.critical_capacity,
             events.len()
         ));
         for ev in events {
@@ -226,12 +297,14 @@ impl FlightRecorder {
         out
     }
 
-    /// Empties every ring (totals are kept).
+    /// Empties every ring (totals and sequence stamps are kept).
     pub fn clear(&self) {
         for ring in &self.rings {
             let mut r = ring.lock().expect("recorder poisoned");
-            r.buf.clear();
-            r.head = 0;
+            r.bulk.buf.clear();
+            r.bulk.head = 0;
+            r.critical.buf.clear();
+            r.critical.head = 0;
         }
     }
 }
@@ -390,10 +463,73 @@ mod tests {
         assert!(b >= a);
     }
 
+    #[test]
+    fn severity_maps_rare_kinds_to_critical() {
+        assert_eq!(EventKind::LeaderChange.severity(), Severity::Critical);
+        assert_eq!(EventKind::SnapshotInstalled.severity(), Severity::Critical);
+        // Periodic compaction is high-rate under load: it must not be able
+        // to churn the critical ring.
+        assert_eq!(EventKind::SnapshotTaken.severity(), Severity::Bulk);
+        assert_eq!(EventKind::WalCommit.severity(), Severity::Bulk);
+        assert_eq!(EventKind::Backpressure.severity(), Severity::Bulk);
+        assert_eq!(EventKind::RoundAdvance.severity(), Severity::Bulk);
+    }
+
+    #[test]
+    fn bulk_flood_cannot_evict_critical_events() {
+        // Default-sized ring, one leader change, then a WAL-commit storm
+        // orders of magnitude larger than the ring.
+        let rec = FlightRecorder::new(1, 512);
+        rec.emit(10, 0, EventKind::LeaderChange, u64::MAX, 2);
+        for i in 0..100_000u64 {
+            rec.emit(100 + i, 0, EventKind::WalCommit, 1, 1);
+        }
+        let dump = rec.dump();
+        assert!(
+            dump.iter().any(|e| e.kind == EventKind::LeaderChange),
+            "leader_change evicted by bulk traffic"
+        );
+        // And the event stream is still globally ordered.
+        assert!(dump.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn tiny_capacity_clamps_critical_ring() {
+        let rec = FlightRecorder::new(1, 2);
+        assert_eq!(rec.critical_capacity(), 2);
+        for i in 0..5u64 {
+            rec.emit(i, 0, EventKind::LeaderChange, i, i + 1);
+        }
+        let kept = rec.dump_node(0);
+        let ats: Vec<u64> = kept.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![3, 4]);
+    }
+
+    #[test]
+    fn dump_node_merges_tiers_in_write_order() {
+        let rec = FlightRecorder::new(1, 8);
+        // Same timestamp on purpose: write order must break the tie.
+        rec.emit(7, 0, EventKind::WalCommit, 1, 0);
+        rec.emit(7, 0, EventKind::LeaderChange, 0, 2);
+        rec.emit(7, 0, EventKind::WalCommit, 2, 0);
+        let kinds: Vec<EventKind> = rec.dump_node(0).iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::WalCommit,
+                EventKind::LeaderChange,
+                EventKind::WalCommit
+            ]
+        );
+        // The global dump preserves the same tie-broken order.
+        let kinds: Vec<EventKind> = rec.dump().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds[1], EventKind::LeaderChange);
+    }
+
     proptest! {
-        /// Under arbitrary interleaved writers the ring keeps exactly the
-        /// last `min(cap, total)` events per node, and what survives for
-        /// each writer is a suffix of what that writer wrote, in order.
+        /// Under arbitrary interleaved writers the bulk ring keeps exactly
+        /// the last `min(cap, total)` events per node, and what survives
+        /// for each writer is a suffix of what that writer wrote, in order.
         #[test]
         fn prop_ring_keeps_exactly_last_n_under_interleaving(
             cap in 1usize..32,
@@ -453,6 +589,33 @@ mod tests {
                 let ats: Vec<u64> = kept.iter().map(|e| e.at).collect();
                 prop_assert_eq!(ats, expect_ats);
             }
+        }
+
+        /// Critical events survive an arbitrary interleaving of bulk
+        /// traffic as long as at most `CRITICAL_RING` of them happen.
+        #[test]
+        fn prop_critical_survives_bulk_interleaving(
+            bulk_between in proptest::collection::vec(0usize..200, 1..8),
+        ) {
+            let rec = FlightRecorder::new(1, 16);
+            let mut at = 0u64;
+            let mut critical_ats = Vec::new();
+            for &burst in &bulk_between {
+                for _ in 0..burst {
+                    rec.emit(at, 0, EventKind::WalCommit, 1, 0);
+                    at += 1;
+                }
+                rec.emit(at, 0, EventKind::LeaderChange, 0, 1);
+                critical_ats.push(at);
+                at += 1;
+            }
+            let kept: Vec<u64> = rec
+                .dump_node(0)
+                .iter()
+                .filter(|e| e.kind == EventKind::LeaderChange)
+                .map(|e| e.at)
+                .collect();
+            prop_assert_eq!(kept, critical_ats);
         }
     }
 }

@@ -1,0 +1,340 @@
+//! Leader-reign SLO panel: turns `LeaderChange` notifications into the
+//! reign-duration distribution the paper's eventual-leadership theorem is
+//! about.
+//!
+//! The long-term observations of the intermittent pulsar B1931+24 are
+//! summarised by its *active-phase duration distribution*; the analogous
+//! signal for an Ω deployment is how long each elected leader reigns
+//! before the output changes. A [`ReignTracker`] sits next to a hosted
+//! node, is poked on every observed leader change and on every metrics
+//! publish tick, and maintains:
+//!
+//! * `omega_reign_ms` — histogram of completed reign durations;
+//! * `omega_reigns_total` — completed reigns;
+//! * `omega_current_reign_ms` — age of the reign in progress;
+//! * `omega_stable_reign_ms` — cumulative wall time under completed
+//!   reigns at least the stability threshold long;
+//! * `omega_reign_stable_threshold_ms` / `omega_reign_nodes` /
+//!   `obs_uptime_ms` — the denominators a scraper needs to turn those
+//!   into the **stable-reign fraction** without out-of-band knowledge.
+//!
+//! [`ReignStats`] recomputes that fraction from any `(name, value)`
+//! metric listing — a live registry scrape or a parsed collector
+//! artifact — so the E15 verdict and external dashboards share one
+//! definition.
+
+use crate::expose::Obs;
+use crate::names;
+use crate::registry::{Counter, Gauge, HistHandle};
+
+/// Per-node reign bookkeeping over the shared registry panel.
+#[derive(Debug)]
+pub struct ReignTracker {
+    reign_ms: HistHandle,
+    reigns_total: Counter,
+    current_reign_ms: Gauge,
+    stable_reign_ms: Counter,
+    uptime_ms: Gauge,
+    shard: usize,
+    threshold_ms: u64,
+    /// `now_ms` when the current reign began; `None` until the first
+    /// leader is observed (no reign is charged for the anarchic prefix).
+    reign_start_ms: Option<u64>,
+}
+
+impl ReignTracker {
+    /// A tracker for one hosted node writing `obs`'s registry.
+    /// `threshold_ms` is the stable-reign bar — K failure-detector check
+    /// periods expressed in milliseconds (clamped to at least 1).
+    pub fn new(obs: &Obs, shard: usize, threshold_ms: u64) -> Self {
+        let threshold_ms = threshold_ms.max(1);
+        let r = obs.registry();
+        r.gauge(names::OMEGA_REIGN_STABLE_THRESHOLD_MS)
+            .set(threshold_ms);
+        r.counter(names::OMEGA_REIGN_NODES).inc(shard);
+        ReignTracker {
+            reign_ms: r.histogram(names::OMEGA_REIGN_MS),
+            reigns_total: r.counter(names::OMEGA_REIGNS_TOTAL),
+            current_reign_ms: r.gauge(names::OMEGA_CURRENT_REIGN_MS),
+            stable_reign_ms: r.counter(names::OMEGA_STABLE_REIGN_MS),
+            uptime_ms: r.gauge(names::OBS_UPTIME_MS),
+            shard,
+            threshold_ms,
+            reign_start_ms: None,
+        }
+    }
+
+    /// The stable-reign bar this tracker charges against.
+    pub fn threshold_ms(&self) -> u64 {
+        self.threshold_ms
+    }
+
+    /// Called when this node's Ω output changes at `now_ms` (milliseconds
+    /// on the same clock as [`ReignTracker::tick`]). Completes the reign
+    /// in progress, if any, and starts the next one.
+    pub fn on_leader_change(&mut self, now_ms: u64) {
+        if let Some(start) = self.reign_start_ms {
+            let dur = now_ms.saturating_sub(start);
+            self.reign_ms.record(self.shard, dur);
+            self.reigns_total.inc(self.shard);
+            if dur >= self.threshold_ms {
+                self.stable_reign_ms.add(self.shard, dur);
+            }
+        }
+        self.reign_start_ms = Some(now_ms);
+    }
+
+    /// Called on every metrics publish: refreshes the in-progress-reign
+    /// age and the uptime gauge. Gauges are last-write-wins, so in a
+    /// multi-node process the panel shows one representative node —
+    /// counters and the histogram aggregate across all of them.
+    pub fn tick(&self, now_ms: u64) {
+        self.uptime_ms.raise(now_ms);
+        self.current_reign_ms
+            .set(self.reign_start_ms.map_or(0, |s| now_ms.saturating_sub(s)));
+    }
+}
+
+/// The machine-readable reign summary recomputed from metric listings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReignStats {
+    /// Completed reigns observed.
+    pub reigns_total: u64,
+    /// Cumulative ms under stable completed reigns.
+    pub stable_reign_ms: u64,
+    /// Age of the newest in-progress reign, ms.
+    pub current_reign_ms: u64,
+    /// The stability bar, ms.
+    pub threshold_ms: u64,
+    /// Reign trackers feeding the listing (nodes).
+    pub nodes: u64,
+    /// Uptime of the listing's process(es), ms.
+    pub uptime_ms: u64,
+    /// Share of per-node wall time spent under a stable reign, in
+    /// `[0, 1]`: `(stable_reign_ms + stable in-progress credit) /
+    /// (uptime_ms × nodes)`.
+    pub stable_fraction: f64,
+}
+
+impl ReignStats {
+    /// Computes the summary from `(name, value)` pairs — scalar metric
+    /// values as `u64` (counters and gauges; histogram entries are not
+    /// needed). Returns `None` when the listing carries no reign panel
+    /// (`omega_reigns_total` absent and no trackers registered).
+    pub fn from_metrics<'a, I>(metrics: I) -> Option<ReignStats>
+    where
+        I: IntoIterator<Item = (&'a str, u64)>,
+    {
+        let mut reigns_total = None;
+        let mut stable = 0u64;
+        let mut current = 0u64;
+        let mut threshold = 0u64;
+        let mut nodes = 0u64;
+        let mut uptime = 0u64;
+        for (name, v) in metrics {
+            match name {
+                names::OMEGA_REIGNS_TOTAL => reigns_total = Some(reigns_total.unwrap_or(0) + v),
+                names::OMEGA_STABLE_REIGN_MS => stable += v,
+                // Across merged nodes keep the strongest current reign.
+                names::OMEGA_CURRENT_REIGN_MS => current = current.max(v),
+                names::OMEGA_REIGN_STABLE_THRESHOLD_MS => threshold = threshold.max(v),
+                names::OMEGA_REIGN_NODES => nodes += v,
+                names::OBS_UPTIME_MS => uptime = uptime.max(v),
+                _ => {}
+            }
+        }
+        let reigns_total = match (reigns_total, nodes) {
+            (Some(t), _) => t,
+            (None, 0) => return None,
+            (None, _) => 0,
+        };
+        // Credit the reign still in progress when it already clears the
+        // bar: a cluster that converged once and never changed leader
+        // again has zero *completed* reigns but is maximally stable.
+        let credit = if threshold > 0 && current >= threshold {
+            u128::from(current)
+        } else {
+            0
+        };
+        let nodes_nz = nodes.max(1);
+        let denom = u128::from(uptime) * u128::from(nodes_nz);
+        let stable_fraction = if denom == 0 {
+            0.0
+        } else {
+            (((u128::from(stable) + credit) as f64) / (denom as f64)).min(1.0)
+        };
+        Some(ReignStats {
+            reigns_total,
+            stable_reign_ms: stable,
+            current_reign_ms: current,
+            threshold_ms: threshold,
+            nodes,
+            uptime_ms: uptime,
+            stable_fraction,
+        })
+    }
+
+    /// Combines per-process summaries into one cluster summary — the
+    /// collector's aggregation over a process-per-node deployment. Unlike
+    /// feeding every process's metrics through [`ReignStats::from_metrics`]
+    /// at once, this credits each process's in-progress stable reign and
+    /// weights each process's wall clock by the trackers it hosts, so a
+    /// cluster of uniformly stable single-node processes reads as
+    /// `stable_fraction ≈ 1`, not `1/n`.
+    pub fn combine(parts: &[ReignStats]) -> Option<ReignStats> {
+        if parts.is_empty() {
+            return None;
+        }
+        let mut out = ReignStats {
+            reigns_total: 0,
+            stable_reign_ms: 0,
+            current_reign_ms: 0,
+            threshold_ms: 0,
+            nodes: 0,
+            uptime_ms: 0,
+            stable_fraction: 0.0,
+        };
+        let mut num = 0u128;
+        let mut denom = 0u128;
+        for p in parts {
+            out.reigns_total += p.reigns_total;
+            out.stable_reign_ms += p.stable_reign_ms;
+            out.current_reign_ms = out.current_reign_ms.max(p.current_reign_ms);
+            out.threshold_ms = out.threshold_ms.max(p.threshold_ms);
+            out.nodes += p.nodes;
+            out.uptime_ms = out.uptime_ms.max(p.uptime_ms);
+            let credit = if p.threshold_ms > 0 && p.current_reign_ms >= p.threshold_ms {
+                u128::from(p.current_reign_ms)
+            } else {
+                0
+            };
+            num += u128::from(p.stable_reign_ms) + credit;
+            denom += u128::from(p.uptime_ms) * u128::from(p.nodes.max(1));
+        }
+        out.stable_fraction = if denom == 0 {
+            0.0
+        } else {
+            ((num as f64) / (denom as f64)).min(1.0)
+        };
+        Some(out)
+    }
+
+    /// Computes the summary from a live `Obs` registry.
+    pub fn from_obs(obs: &Obs) -> Option<ReignStats> {
+        let scraped = obs.registry().scrape();
+        ReignStats::from_metrics(scraped.iter().filter_map(|(name, v)| match v {
+            crate::registry::MetricValue::Counter(c) => Some((*name, *c)),
+            crate::registry::MetricValue::Gauge(g) => Some((*name, *g)),
+            crate::registry::MetricValue::Hist(_) => None,
+        }))
+    }
+
+    /// One-line machine-readable rendering (the `reign_stats` summary).
+    pub fn render(&self) -> String {
+        format!(
+            "reign_stats reigns_total={} stable_reign_ms={} current_reign_ms={} \
+             threshold_ms={} nodes={} uptime_ms={} stable_fraction={:.4}",
+            self.reigns_total,
+            self.stable_reign_ms,
+            self.current_reign_ms,
+            self.threshold_ms,
+            self.nodes,
+            self.uptime_ms,
+            self.stable_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_reigns_land_in_histogram_and_counters() {
+        let obs = Obs::metrics_only();
+        let mut t = ReignTracker::new(&obs, 0, 100);
+        t.on_leader_change(0); // first leader observed at t=0
+        t.on_leader_change(250); // 250 ms reign: stable
+        t.on_leader_change(300); // 50 ms reign: churn
+        t.tick(340);
+        let stats = ReignStats::from_obs(&obs).expect("panel present");
+        assert_eq!(stats.reigns_total, 2);
+        assert_eq!(stats.stable_reign_ms, 250);
+        assert_eq!(stats.current_reign_ms, 40);
+        assert_eq!(stats.threshold_ms, 100);
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.uptime_ms, 340);
+        // 250 stable ms over 340 ms of uptime; the 40 ms in-progress
+        // reign is below the bar so earns no credit.
+        assert!((stats.stable_fraction - 250.0 / 340.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_progress_stable_reign_earns_credit() {
+        let obs = Obs::metrics_only();
+        let mut t = ReignTracker::new(&obs, 0, 100);
+        t.on_leader_change(10);
+        t.tick(1_010);
+        let stats = ReignStats::from_obs(&obs).unwrap();
+        assert_eq!(stats.reigns_total, 0);
+        assert_eq!(stats.current_reign_ms, 1_000);
+        assert!(
+            stats.stable_fraction > 0.9,
+            "converged-once cluster must read as stable: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn anarchic_prefix_is_not_a_reign() {
+        let obs = Obs::metrics_only();
+        let mut t = ReignTracker::new(&obs, 0, 100);
+        // No leader ever observed: ticks accrue uptime but no reign.
+        t.tick(500);
+        let stats = ReignStats::from_obs(&obs).unwrap();
+        assert_eq!(stats.reigns_total, 0);
+        assert_eq!(stats.current_reign_ms, 0);
+        assert_eq!(stats.stable_fraction, 0.0);
+        // First change starts (not completes) a reign.
+        t.on_leader_change(600);
+        let stats = ReignStats::from_obs(&obs).unwrap();
+        assert_eq!(stats.reigns_total, 0);
+    }
+
+    #[test]
+    fn multi_node_panel_normalises_by_node_count() {
+        let obs = Obs::metrics_only();
+        let mut a = ReignTracker::new(&obs, 0, 100);
+        let mut b = ReignTracker::new(&obs, 1, 100);
+        for t in [&mut a, &mut b] {
+            t.on_leader_change(0);
+            t.on_leader_change(1_000); // 1 s stable reign each
+            t.tick(1_000);
+        }
+        let stats = ReignStats::from_obs(&obs).unwrap();
+        assert_eq!(stats.nodes, 2);
+        assert_eq!(stats.stable_reign_ms, 2_000);
+        assert_eq!(stats.uptime_ms, 1_000);
+        assert!((stats.stable_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_panel_reads_as_none() {
+        let obs = Obs::metrics_only();
+        assert_eq!(ReignStats::from_obs(&obs), None);
+        assert_eq!(ReignStats::from_metrics(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn render_is_one_machine_readable_line() {
+        let obs = Obs::metrics_only();
+        let mut t = ReignTracker::new(&obs, 0, 50);
+        t.on_leader_change(0);
+        t.on_leader_change(80);
+        t.tick(100);
+        let line = ReignStats::from_obs(&obs).unwrap().render();
+        assert!(line.starts_with("reign_stats "), "{line}");
+        assert!(line.contains("reigns_total=1"), "{line}");
+        assert!(line.contains("stable_fraction="), "{line}");
+        assert_eq!(line.lines().count(), 1);
+    }
+}

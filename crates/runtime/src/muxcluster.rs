@@ -20,8 +20,10 @@
 //! datagram. The observation surface (snapshots, leaders, crash, draining
 //! shutdown) mirrors the other cluster runtimes.
 
-use irs_net::{Reactor, Wire};
-use irs_obs::{names, Obs};
+use irs_net::wire::decode_payload;
+use irs_net::wire_obs::{encode_scrape_reply, is_obs_payload, scrape_session_key};
+use irs_net::{ObsMsg, Reactor, Wire};
+use irs_obs::{names, Obs, ReignTracker, Responder, ScrapeFormat};
 use irs_sim::{Event, EventQueue};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot, Time, TimerId};
 use std::net::{SocketAddr, UdpSocket};
@@ -82,6 +84,9 @@ struct MuxLocal<P> {
     frames_delivered: u64,
     /// This node's flight-recorder handle, when observability is attached.
     tracer: Option<irs_obs::Tracer>,
+    /// This node's leader-reign SLO tracker, when observability is
+    /// attached.
+    reign: Option<ReignTracker>,
     /// Leader in the last published snapshot (leader-change trace diffing).
     last_leader: ProcessId,
 }
@@ -208,6 +213,15 @@ where
     /// recorder when `obs` carries one. [`MuxConfig`] stays `Copy`; the
     /// handle rides alongside it.
     ///
+    /// With `obs` attached every hosted node also joins the live telemetry
+    /// plane: inbound [`irs_net::ObsMsg::ScrapeRequest`] datagrams (leading
+    /// tag `0x30..`, see [`irs_net::is_obs_payload`]) are intercepted on
+    /// the reactor's borrowed-bytes path — they never reach the protocol's
+    /// admission policy — and answered through the shard's shared
+    /// [`Responder`] via the reactor's queued sends, and each node feeds
+    /// the leader-reign SLO panel (`omega_reign_ms` and friends) from the
+    /// same leader diff that drives the flight-recorder trace.
+    ///
     /// # Errors
     ///
     /// Returns any error from switching a socket to nonblocking mode or
@@ -263,6 +277,7 @@ where
         // index.
         let mut per_shard: Vec<Vec<MuxLocal<P>>> = (0..workers).map(|_| Vec::new()).collect();
         let mut per_shard_sockets: Vec<Vec<UdpSocket>> = (0..workers).map(|_| Vec::new()).collect();
+        let threshold_ms = crate::node::stable_reign_threshold_ms(tick);
         for (i, (proto, socket)) in processes.into_iter().zip(sockets).enumerate() {
             let last_leader = proto.leader();
             per_shard[i % workers].push(MuxLocal {
@@ -274,6 +289,14 @@ where
                 snapshot: Arc::clone(&snapshots[i]),
                 frames_delivered: 0,
                 tracer: obs.as_ref().and_then(|o| o.tracer(i as u32)),
+                reign: obs.as_ref().map(|o| {
+                    let mut reign = ReignTracker::new(o, i, threshold_ms);
+                    // The initial output counts as a reign (see
+                    // `run_node_with_obs`): a cluster whose first leader
+                    // survives forever must read as maximally stable.
+                    reign.on_leader_change(o.now_micros() / 1_000);
+                    reign
+                }),
                 last_leader,
             });
             per_shard_sockets[i % workers].push(socket);
@@ -295,6 +318,7 @@ where
                 locals,
                 wheel: EventQueue::new(),
                 rx_scratch: Vec::new(),
+                scrape_scratch: Vec::new(),
                 accept: Arc::clone(&accept),
                 stop: Arc::clone(&stop),
                 n,
@@ -420,9 +444,15 @@ impl<P: Protocol> Drop for MuxCluster<P> {
 /// A mux shard's registry handles plus the monotone clock stamping its
 /// trace events.
 struct ShardObs {
+    /// The deployment's registry/recorder handle — rendered by the scrape
+    /// responder, read for the panel clock.
+    obs: Arc<Obs>,
     polls: irs_obs::Counter,
     timers_fired: irs_obs::Counter,
     frames: irs_obs::Counter,
+    /// Scrape sessions for every node this shard hosts (session keys mix
+    /// in the scraped node's id, so one responder serves them all).
+    responder: Responder,
     shard: usize,
     /// Whether the previous loop turn saw queued sends (backpressure
     /// events are traced on the off→on transition, not every turn).
@@ -430,11 +460,13 @@ struct ShardObs {
 }
 
 impl ShardObs {
-    fn new(obs: &Obs, shard: usize) -> Self {
+    fn new(obs: &Arc<Obs>, shard: usize) -> Self {
         ShardObs {
+            obs: Arc::clone(obs),
             polls: obs.registry().counter(names::RUNTIME_POLLS),
             timers_fired: obs.registry().counter(names::RUNTIME_TIMERS_FIRED),
             frames: obs.registry().counter(names::RUNTIME_FRAMES_DELIVERED),
+            responder: Responder::new(),
             shard,
             backpressured: false,
         }
@@ -452,6 +484,10 @@ struct MuxShard<P: Protocol> {
     /// poll returns (the callback cannot touch the protocols: the reactor
     /// is mutably borrowed for its duration).
     rx_scratch: Vec<(usize, ProcessId, P::Msg)>,
+    /// Scrape requests staged by the same callback (`(local index, asker,
+    /// format, cursor)`), answered after the poll for the same reason —
+    /// replies go out through the reactor's queued sends.
+    scrape_scratch: Vec<(usize, ProcessId, ScrapeFormat, u32)>,
     accept: MuxAccept<P::Msg>,
     stop: Arc<AtomicBool>,
     n: usize,
@@ -529,6 +565,8 @@ where
             if self.poll_and_stage(timeout).is_err() {
                 break; // readiness backend failed; nothing to serve
             }
+            self.answer_scrapes();
+            self.tick_reigns();
             self.deliver_staged(&mut out);
         }
         self.drain_and_finish()
@@ -536,23 +574,83 @@ where
 
     /// One reactor turn: flush, wait, batch-drain. Valid frames admitted by
     /// the policy are staged into `rx_scratch`; the protocols run after the
-    /// poll returns.
+    /// poll returns. With observability attached, telemetry-plane payloads
+    /// are routed off by their leading tag before the admission policy
+    /// sees them: well-formed scrape requests stage into `scrape_scratch`,
+    /// anything else obs-tagged is dropped as noise.
     fn poll_and_stage(&mut self, timeout: StdDuration) -> std::io::Result<usize> {
         let MuxShard {
             reactor,
             locals,
             rx_scratch,
+            scrape_scratch,
             accept,
+            obs,
             ..
         } = self;
+        let scraping = obs.is_some();
         reactor.poll_once(timeout, |ep, from, to, payload| {
             let Some(local) = locals.get(ep) else {
                 return;
             };
+            if scraping && is_obs_payload(payload) {
+                if to == local.me {
+                    if let Ok(ObsMsg::ScrapeRequest { format, cursor }) =
+                        decode_payload::<ObsMsg>(payload)
+                    {
+                        scrape_scratch.push((ep, from, format, cursor));
+                    }
+                }
+                return;
+            }
             if let Some(msg) = accept(local.me, from, to, payload) {
                 rx_scratch.push((ep, from, msg));
             }
         })
+    }
+
+    /// Answers the scrape requests the last poll staged: renders/pages
+    /// through the shard's [`Responder`] and queues each chunk on the
+    /// reactor addressed back to the asker. Queue overflow sheds as link
+    /// loss — the scraper retries, same as any lost datagram.
+    fn answer_scrapes(&mut self) {
+        if self.scrape_scratch.is_empty() {
+            return;
+        }
+        let mut staged = std::mem::take(&mut self.scrape_scratch);
+        if let Some(o) = &self.obs {
+            for &(li, from, format, cursor) in staged.iter() {
+                let me = self.locals[li].me;
+                self.encode_scratch.clear();
+                encode_scrape_reply(
+                    &o.responder,
+                    &o.obs,
+                    scrape_session_key(me, from),
+                    format,
+                    cursor,
+                    &mut self.encode_scratch,
+                );
+                let _ = self
+                    .reactor
+                    .queue_fanout(li, me, &[from], &self.encode_scratch);
+            }
+        }
+        staged.clear();
+        self.scrape_scratch = staged;
+    }
+
+    /// Refreshes every hosted node's time-derived SLO gauges (in-progress
+    /// reign age, uptime) — called once per loop turn.
+    fn tick_reigns(&mut self) {
+        let Some(o) = &self.obs else {
+            return;
+        };
+        let now_ms = o.obs.now_micros() / 1_000;
+        for local in &self.locals {
+            if let Some(reign) = &local.reign {
+                reign.tick(now_ms);
+            }
+        }
     }
 
     fn deliver_staged(&mut self, out: &mut Actions<P::Msg>) {
@@ -668,6 +766,9 @@ where
         let drain_started = Instant::now();
         let mut sink = Actions::new();
         while let Ok(delivered) = self.poll_and_stage(DRAIN_QUIET) {
+            // A scraper racing the shutdown still gets its chunk — the
+            // drain exists to flush exactly this kind of queued send.
+            self.answer_scrapes();
             let mut staged = std::mem::take(&mut self.rx_scratch);
             for (li, from, msg) in staged.drain(..) {
                 let local = &mut self.locals[li];
@@ -722,6 +823,7 @@ where
             snap.extra
                 .push((names::SEND_QUEUE_DEPTH, self.reactor.queue_depth(li) as u64));
             snap.extra.push((names::SENDS_SHED, self.reactor.shed(li)));
+            let now_ms = self.obs.as_ref().map(|o| o.obs.now_micros() / 1_000);
             let local = &mut self.locals[li];
             if snap.leader != local.last_leader {
                 if let Some(t) = &local.tracer {
@@ -730,6 +832,9 @@ where
                         u64::from(local.last_leader.index() as u32),
                         u64::from(snap.leader.index() as u32),
                     );
+                }
+                if let (Some(reign), Some(now_ms)) = (&mut local.reign, now_ms) {
+                    reign.on_leader_change(now_ms);
                 }
                 local.last_leader = snap.leader;
             }

@@ -24,39 +24,65 @@
 //! fan-out path, so a deployment can see whether broadcasts take the
 //! amortised path).
 
+use irs_net::wire_obs::answer_scrape;
 use irs_net::{Frame, Transport, Wire};
-use irs_obs::{names, EventKind, Obs};
+use irs_obs::{names, EventKind, Obs, ReignTracker, Responder};
 use irs_types::{Actions, Destination, Introspect, ProcessId, Protocol, Snapshot};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration as StdDuration, Instant};
 
+/// Check periods a reign must span to count as *stable* in the
+/// leader-reign SLO panel: the stable-reign threshold is
+/// `tick × STABLE_REIGN_TICKS` milliseconds (clamped to ≥ 1 ms). With the
+/// default 100 µs tick that is ≈ 102 ms — far past the churn of an
+/// election, far under a healthy reign.
+pub const STABLE_REIGN_TICKS: u32 = 1024;
+
+/// The stable-reign threshold in milliseconds for a host running at
+/// `tick`.
+pub fn stable_reign_threshold_ms(tick: StdDuration) -> u64 {
+    ((tick * STABLE_REIGN_TICKS).as_millis() as u64).max(1)
+}
+
 /// Per-node observability state for the host loop: registry counters
-/// (sharded by node id), the node's flight-recorder tracer, and the
-/// monotone clock that stamps trace events.
-struct NodeObs {
+/// (sharded by node id), the node's flight-recorder tracer, the
+/// leader-reign SLO tracker, and the scrape responder that answers
+/// telemetry requests in-handler.
+struct NodeObs<'a> {
+    obs: &'a Obs,
     polls: irs_obs::Counter,
     timers_fired: irs_obs::Counter,
     frames: irs_obs::Counter,
     tracer: Option<irs_obs::Tracer>,
+    reign: ReignTracker,
+    responder: Responder,
     shard: usize,
     last_leader: ProcessId,
 }
 
-impl NodeObs {
-    fn new(obs: &Obs, me: ProcessId, initial_leader: ProcessId) -> Self {
+impl<'a> NodeObs<'a> {
+    fn new(obs: &'a Obs, me: ProcessId, initial_leader: ProcessId, threshold_ms: u64) -> Self {
+        let mut reign = ReignTracker::new(obs, me.index(), threshold_ms);
+        // The initial output is a reign too: a deployment whose first
+        // leader survives forever should read as maximally stable, not as
+        // having no reigns at all.
+        reign.on_leader_change(obs.now_micros() / 1_000);
         NodeObs {
+            obs,
             polls: obs.registry().counter(names::RUNTIME_POLLS),
             timers_fired: obs.registry().counter(names::RUNTIME_TIMERS_FIRED),
             frames: obs.registry().counter(names::RUNTIME_FRAMES_DELIVERED),
             tracer: obs.tracer(me.index() as u32),
+            reign,
+            responder: Responder::new(),
             shard: me.index(),
             last_leader: initial_leader,
         }
     }
 
     /// Emits a `LeaderChange` trace event when the published snapshot
-    /// disagrees with the last one.
+    /// disagrees with the last one, and closes the reign on the SLO panel.
     fn note_leader(&mut self, leader: ProcessId) {
         if leader != self.last_leader {
             if let Some(t) = &self.tracer {
@@ -66,8 +92,14 @@ impl NodeObs {
                     u64::from(leader.index() as u32),
                 );
             }
+            self.reign.on_leader_change(self.obs.now_micros() / 1_000);
             self.last_leader = leader;
         }
+    }
+
+    /// Refreshes the time-derived gauges (in-progress reign age, uptime).
+    fn tick_panel(&self) {
+        self.reign.tick(self.obs.now_micros() / 1_000);
     }
 }
 
@@ -200,7 +232,12 @@ where
     T: Transport,
     F: FnMut(&Frame) -> Option<P::Msg>,
 {
-    let node_obs = NodeObs::new(obs, proto.id(), proto.snapshot().leader);
+    let node_obs = NodeObs::new(
+        obs,
+        proto.id(),
+        proto.snapshot().leader,
+        stable_reign_threshold_ms(config.tick),
+    );
     run_node_inner(proto, transport, config, handle, accept, Some(node_obs))
 }
 
@@ -230,7 +267,7 @@ fn run_node_inner<P, T, F>(
     config: NodeConfig,
     handle: NodeHandle,
     mut accept: F,
-    mut obs: Option<NodeObs>,
+    mut obs: Option<NodeObs<'_>>,
 ) -> P
 where
     P: Protocol + Introspect,
@@ -289,7 +326,7 @@ where
                    transport: &T,
                    delivered: u64,
                    handle: &NodeHandle,
-                   obs: &mut Option<NodeObs>| {
+                   obs: &mut Option<NodeObs<'_>>| {
         let mut snap = proto.snapshot();
         snap.extra
             .push((names::MALFORMED_DROPPED, transport.malformed_dropped()));
@@ -298,6 +335,7 @@ where
             .push((names::SENDS_BATCHED, transport.sends_batched()));
         if let Some(o) = obs {
             o.note_leader(snap.leader);
+            o.tick_panel();
         }
         *handle.snapshot.lock().expect("snapshot lock poisoned") = snap;
     };
@@ -348,6 +386,23 @@ where
         match transport.recv(timeout) {
             Ok(Some(frame)) => {
                 if !crashed {
+                    // Telemetry-plane traffic is answered in-handler and
+                    // never reaches the protocol: a scrape must observe a
+                    // node, not perturb it.
+                    if let Some(o) = &obs {
+                        if frame.to == me
+                            && answer_scrape(
+                                &o.responder,
+                                o.obs,
+                                &mut transport,
+                                me,
+                                frame.from,
+                                &frame.payload,
+                            )
+                        {
+                            continue;
+                        }
+                    }
                     if let Some(msg) = accept(&frame) {
                         frames_delivered += 1;
                         let now = now_tick(Instant::now());

@@ -17,8 +17,17 @@
 //! rewrites `<tmp>/irs-kv-cluster-node-<id>.prom` with its Prometheus
 //! metrics twice a second while it runs (scrape it with any file-tailing
 //! collector), and prints the path it dumps to.
+//!
+//! Pass `--scrape` to pull the same telemetry live over the wire instead:
+//! every replica joins the scrape plane (the node loop answers
+//! `ObsMsg::ScrapeRequest` datagrams in-handler), and the parent — which
+//! shares no filesystem state with its children beyond the spawn — runs
+//! the cluster collector mid-load over one extra UDP endpoint, merges the
+//! per-process registries, writes `<tmp>/irs-kv-cluster-cluster.prom`
+//! atomically, and prints the leader-reign SLO summary.
 
-use intermittent_rotating_star::net::{reexec, UdpTransport};
+use intermittent_rotating_star::net::{reexec, TransportScraper, UdpTransport};
+use intermittent_rotating_star::obs::collector::ClusterScrape;
 use intermittent_rotating_star::obs::Obs;
 use intermittent_rotating_star::runtime::NodeHandle;
 use intermittent_rotating_star::svc::loadgen::{closed_loop, ClosedLoopOptions};
@@ -37,20 +46,27 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn child(id: u32, n: usize, clients: usize, metrics: bool) {
+fn child(id: u32, n: usize, clients: usize, metrics: bool, scrape: bool) {
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
-    let transport = reexec::child_join_mesh(&mut lines, n + clients);
+    // With --scrape the mesh has one extra endpoint: the parent's
+    // collector socket, right after the client endpoints.
+    let extra = usize::from(scrape);
+    let transport = reexec::child_join_mesh(&mut lines, n + clients + extra);
 
     let mut config = SvcConfig::new(n, clients).with_tick(TICK);
     // --metrics: a full Obs (registry + flight recorder) per replica
     // process, with a periodic Prometheus text dump as the scrape surface.
+    // --scrape attaches the same Obs but serves it over the wire instead:
+    // run_svc_node answers scrape datagrams in-handler, no dump needed.
     let mut dump_guard = None;
-    if metrics {
+    if metrics || scrape {
         let obs = std::sync::Arc::new(Obs::new(n));
-        let path = std::env::temp_dir().join(format!("irs-kv-cluster-node-{id}.prom"));
-        eprintln!("[child {id}] dumping metrics to {}", path.display());
-        dump_guard = Some(obs.start_dump(Duration::from_millis(500), path));
+        if metrics {
+            let path = std::env::temp_dir().join(format!("irs-kv-cluster-node-{id}.prom"));
+            eprintln!("[child {id}] dumping metrics to {}", path.display());
+            dump_guard = Some(obs.start_dump(Duration::from_millis(500), path));
+        }
         config = config.with_obs(obs);
     }
     let replica = config.replica(ProcessId::new(id));
@@ -79,10 +95,11 @@ fn main() {
     let clients: usize = arg_value(&args, "--clients").map_or(3, |v| v.parse().expect("--clients"));
     let secs: u64 = arg_value(&args, "--secs").map_or(2, |v| v.parse().expect("--secs"));
     let metrics = args.iter().any(|a| a == "--metrics");
+    let scrape = args.iter().any(|a| a == "--scrape");
     assert!(n >= 3, "--n must be at least 3");
     assert!(clients >= 1, "--clients must be at least 1");
     if let Some(id) = arg_value(&args, "--child") {
-        child(id.parse().expect("child id"), n, clients, metrics);
+        child(id.parse().expect("child id"), n, clients, metrics, scrape);
         return;
     }
 
@@ -99,23 +116,35 @@ fn main() {
         if metrics {
             cmd.arg("--metrics");
         }
+        if scrape {
+            cmd.arg("--scrape");
+        }
     });
 
-    // One socket per client, endpoints n..n+clients.
+    // One socket per client, endpoints n..n+clients — plus, with --scrape,
+    // one collector endpoint at n+clients.
     let mut client_transports: Vec<UdpTransport> = (0..clients)
         .map(|_| UdpTransport::bind_localhost_retry().expect("bind client socket"))
         .collect();
-    let client_ports: Vec<u16> = client_transports
+    let mut collector_transport =
+        scrape.then(|| UdpTransport::bind_localhost_retry().expect("bind collector socket"));
+    let mut parent_ports: Vec<u16> = client_transports
         .iter()
         .map(|t| t.local_addr().expect("addr").port())
         .collect();
-    let replica_ports = reexec::exchange_peer_table(&mut children, &mut readers, &client_ports);
+    if let Some(t) = &collector_transport {
+        parent_ports.push(t.local_addr().expect("addr").port());
+    }
+    let replica_ports = reexec::exchange_peer_table(&mut children, &mut readers, &parent_ports);
     let all_addrs: Vec<_> = replica_ports
         .iter()
-        .chain(client_ports.iter())
+        .chain(parent_ports.iter())
         .map(|&p| reexec::localhost(p))
         .collect();
     for t in &mut client_transports {
+        t.set_peers(all_addrs.clone());
+    }
+    if let Some(t) = &mut collector_transport {
         t.set_peers(all_addrs.clone());
     }
 
@@ -133,13 +162,41 @@ fn main() {
         .collect();
 
     println!("driving {clients} closed-loop clients for {secs}s …");
-    let (report, _acked) = closed_loop(
-        &mut svc_clients,
-        ClosedLoopOptions {
-            duration: Duration::from_secs(secs),
-            ..ClosedLoopOptions::default()
-        },
-    );
+    let load = std::thread::spawn(move || {
+        let (report, _acked) = closed_loop(
+            &mut svc_clients,
+            ClosedLoopOptions {
+                duration: Duration::from_secs(secs),
+                ..ClosedLoopOptions::default()
+            },
+        );
+        report
+    });
+
+    // --scrape: while the clients hammer the replicas, pull every replica
+    // process's registry over the wire, merge, and persist atomically.
+    if let Some(t) = collector_transport.take() {
+        std::thread::sleep(Duration::from_millis((secs * 1000 / 2).max(200)));
+        let collector_id = ProcessId::new((n + clients) as u32);
+        let mut scraper = TransportScraper::new(t, collector_id)
+            .with_timeout(Duration::from_millis(250))
+            .with_retries(8);
+        let cluster = ClusterScrape::collect(&mut scraper, n as u32).expect("live scrape");
+        let merged = cluster.render_prometheus().expect("merge scrapes");
+        assert!(
+            merged.contains("omega_reign_ms"),
+            "merged artifact is missing the leader-reign SLO panel"
+        );
+        let path = std::env::temp_dir().join("irs-kv-cluster-cluster.prom");
+        cluster.write_prometheus(&path).expect("write artifact");
+        println!("scraped {n} live processes mid-load -> {}", path.display());
+        match cluster.reign_stats().expect("reign stats") {
+            Some(stats) => println!("{}", stats.render()),
+            None => println!("(no reign panel in scrape)"),
+        }
+    }
+
+    let report = load.join().expect("load thread");
     println!(
         "load: {:.0} ops/s, p50 {} µs, p99 {} µs ({} acked, {} failures, {} redirects)",
         report.ops_per_sec(),

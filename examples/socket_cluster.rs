@@ -13,7 +13,12 @@
 //!
 //! Pass `--metrics` to instrument every node: each child process then
 //! rewrites `<tmp>/irs-socket-cluster-node-<id>.prom` with its Prometheus
-//! metrics twice a second while it runs.
+//! metrics twice a second while it runs. Because the instrumented path
+//! runs `run_node_with_obs`, every such node also answers live
+//! `ObsMsg::ScrapeRequest` datagrams on its mesh socket — point the
+//! cluster collector (see `examples/kv_cluster.rs --scrape`) at the
+//! printed ports to pull the registries over the wire instead of tailing
+//! the dump files.
 
 use intermittent_rotating_star::net::reexec;
 use intermittent_rotating_star::obs::Obs;
