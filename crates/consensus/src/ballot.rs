@@ -42,7 +42,35 @@ impl Ballot {
     pub fn is_real(self) -> bool {
         self.attempt > 0
     }
+
+    /// The reign epoch carried in the high bits of the attempt number.
+    ///
+    /// A reign-scoped ballot (the phase-1-skip fast path of the replicated
+    /// log) is the *first* attempt of an epoch: `attempt = epoch << 32`.
+    /// Per-slot fallback ballots derived from it via [`Ballot::next_for`]
+    /// stay inside the same epoch (the low 32 bits give over four billion
+    /// retries per reign), so the first ballot of epoch `e + 1` is greater
+    /// than every ballot — reign or fallback — of epoch `e`.
+    pub fn reign_epoch(self) -> u64 {
+        self.attempt >> REIGN_EPOCH_SHIFT
+    }
+
+    /// The first ballot of reign `epoch` owned by `proposer`.
+    ///
+    /// Epoch 0 is the legacy per-slot space (every ballot minted by
+    /// [`Ballot::next_for`] from [`Ballot::ZERO`] lives there), so real
+    /// reigns start at epoch 1.
+    pub fn for_reign(epoch: u64, proposer: ProcessId) -> Ballot {
+        Ballot {
+            attempt: epoch << REIGN_EPOCH_SHIFT,
+            proposer,
+        }
+    }
 }
+
+/// Bit position splitting [`Ballot::attempt`] into a reign epoch (high bits)
+/// and a within-reign retry counter (low bits).
+pub const REIGN_EPOCH_SHIFT: u32 = 32;
 
 impl fmt::Display for Ballot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -308,6 +336,23 @@ mod tests {
         assert!(n > b);
         assert_eq!(n.proposer, ProcessId::new(0));
         assert_eq!(n.attempt, 4);
+    }
+
+    #[test]
+    fn reign_epochs_dominate_within_epoch_retries() {
+        let reign1 = Ballot::for_reign(1, ProcessId::new(2));
+        assert_eq!(reign1.reign_epoch(), 1);
+        assert_eq!(Ballot::ZERO.reign_epoch(), 0);
+        // Legacy ballots (epoch 0) sit below every real reign.
+        assert!(Ballot::new(u32::MAX as u64, ProcessId::new(4)) < reign1);
+        // Per-slot retries derived from the reign ballot stay in its epoch…
+        let retry = reign1.next_for(ProcessId::new(2));
+        assert_eq!(retry.reign_epoch(), 1);
+        assert!(retry > reign1);
+        // …and the next epoch beats all of them.
+        let reign2 = Ballot::for_reign(2, ProcessId::new(0));
+        assert!(reign2 > retry);
+        assert!(reign2 > reign1);
     }
 
     #[test]

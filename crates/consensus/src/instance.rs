@@ -201,6 +201,60 @@ impl<V: LogValue> PaxosInstance<V> {
         out.push((Destination::All, PaxosMsg::Prepare { b: self.current }));
     }
 
+    /// Acceptor-side half of a reign-scoped (multi-slot) promise: raises the
+    /// promised bound without replying — the replicated log aggregates one
+    /// `PromiseReign` covering every slot, so no per-slot `Promise` is sent.
+    ///
+    /// After this call the acceptor rejects per-slot `Prepare`s and
+    /// `Accept`s below `b`, exactly as if it had answered a per-slot
+    /// `Prepare { b }`.
+    pub fn pre_promise(&mut self, b: Ballot) {
+        self.promised = self.promised.max(b);
+    }
+
+    /// The acceptor's promised bound, for reign bookkeeping and tests.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Overwrites the proposal with a value inherited from reign promises —
+    /// the phase-1 value rule ("adopt the highest reported acceptance")
+    /// applied at the replicated-log level rather than per slot. Unlike
+    /// [`PaxosInstance::set_proposal`], later calls win: inherited values
+    /// take precedence over this process's own input.
+    pub fn adopt_proposal(&mut self, v: V) {
+        self.proposal = Some(v);
+    }
+
+    /// Proposer-side half of the phase-1 skip: opens this slot directly in
+    /// phase 2 under an established reign ballot `b`, broadcasting `Accept`
+    /// without a per-slot `Prepare`/`Promise` round trip.
+    ///
+    /// The caller (the replicated log) must hold a quorum of reign promises
+    /// covering this slot — that quorum plays the role of the per-slot
+    /// phase-1 quorum, and quorum intersection carries the usual safety
+    /// argument: any value that could have been decided below `b` was
+    /// reported in some reign promise and adopted by the caller via
+    /// [`PaxosInstance::set_proposal`] before this call.
+    ///
+    /// No-op when the slot is already decided, has no proposal, or the
+    /// acceptor state has moved past `b` (a newer reign took over — the
+    /// caller falls back to [`PaxosInstance::start_ballot`]).
+    pub fn start_ballot_skipped(&mut self, b: Ballot, out: &mut Vec<PaxosSend<V>>) {
+        if self.decided.is_some() || b < self.promised || b <= self.current {
+            return;
+        }
+        let Some(v) = self.proposal.clone() else {
+            return;
+        };
+        self.promised = b;
+        self.current = b;
+        self.promises.clear();
+        self.phase2_started = true;
+        self.ballots_started += 1;
+        out.push((Destination::All, PaxosMsg::Accept { b, v }));
+    }
+
     /// Handles one incoming consensus message.
     pub fn handle(&mut self, from: ProcessId, msg: PaxosMsg<V>, out: &mut Vec<PaxosSend<V>>) {
         match msg {
@@ -484,6 +538,87 @@ mod tests {
             &mut out,
         );
         assert_eq!(learner.decided(), Some(&Value(9)));
+    }
+
+    /// The phase-1 skip: with a reign-wide pre-promise in place of per-slot
+    /// `Prepare`s, a single `Accept` broadcast decides the slot.
+    #[test]
+    fn skip_opening_decides_without_prepare() {
+        let mut insts = instances();
+        let b = Ballot::for_reign(1, ProcessId::new(0));
+        for inst in insts.iter_mut() {
+            inst.pre_promise(b);
+        }
+        let mut out = Vec::new();
+        insts[0].start_ballot_skipped(b, &mut out);
+        assert_eq!(out.len(), 1, "exactly one Accept, no Prepare");
+        assert!(matches!(out[0].1, PaxosMsg::Accept { .. }));
+        assert_eq!(insts[0].ballots_started(), 1);
+        route(
+            &mut insts,
+            out.into_iter().map(|s| (ProcessId::new(0), s)).collect(),
+        );
+        for inst in &insts {
+            assert_eq!(inst.decided(), Some(&Value(100)));
+        }
+    }
+
+    /// A pre-promise raises the acceptor bound exactly like a per-slot
+    /// promise: lower prepares and accepts bounce.
+    #[test]
+    fn pre_promise_rejects_lower_ballots() {
+        let mut acceptor: PaxosInstance = PaxosInstance::new(ProcessId::new(1), system());
+        let reign = Ballot::for_reign(2, ProcessId::new(4));
+        acceptor.pre_promise(reign);
+        assert_eq!(acceptor.promised(), reign);
+        let low = Ballot::new(7, ProcessId::new(0));
+        let mut out = Vec::new();
+        acceptor.handle(ProcessId::new(0), PaxosMsg::Prepare { b: low }, &mut out);
+        assert!(
+            out.is_empty(),
+            "pre-promised acceptor must reject lower prepare"
+        );
+        acceptor.handle(
+            ProcessId::new(0),
+            PaxosMsg::Accept {
+                b: low,
+                v: Value(9),
+            },
+            &mut out,
+        );
+        assert!(
+            out.is_empty(),
+            "pre-promised acceptor must reject lower accept"
+        );
+        // A pre-promise never lowers the bound.
+        acceptor.pre_promise(Ballot::for_reign(1, ProcessId::new(0)));
+        assert_eq!(acceptor.promised(), reign);
+    }
+
+    /// A skipped open yields when the acceptor state moved past the reign
+    /// ballot (a newer reign took over) — the caller falls back to the
+    /// classic per-slot path.
+    #[test]
+    fn skipped_open_yields_to_newer_reign() {
+        let mut inst: PaxosInstance = PaxosInstance::new(ProcessId::new(0), system());
+        inst.set_proposal(Value(1));
+        inst.pre_promise(Ballot::for_reign(3, ProcessId::new(2)));
+        let mut out = Vec::new();
+        inst.start_ballot_skipped(Ballot::for_reign(2, ProcessId::new(0)), &mut out);
+        assert!(out.is_empty(), "stale reign must not open phase 2");
+        assert_eq!(inst.ballots_started(), 0);
+    }
+
+    /// Inherited values overwrite the local proposal (the log-level phase-1
+    /// value rule), while `set_proposal` keeps first-call-wins semantics.
+    #[test]
+    fn adopt_proposal_overrides_local_input() {
+        let mut inst: PaxosInstance = PaxosInstance::new(ProcessId::new(0), system());
+        inst.set_proposal(Value(1));
+        inst.set_proposal(Value(2));
+        assert_eq!(inst.proposal(), Some(&Value(1)));
+        inst.adopt_proposal(Value(9));
+        assert_eq!(inst.proposal(), Some(&Value(9)));
     }
 
     /// The same ballot flow decides whole command batches: one round trip

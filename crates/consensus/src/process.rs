@@ -68,17 +68,26 @@ pub struct ConsensusConfig {
     /// reproduces the one-slot-at-a-time protocol exactly. Single-decree
     /// [`ConsensusProcess`] ignores it.
     pub pipeline_depth: u64,
+    /// Whether the replicated-log leader amortises phase 1 over its reign:
+    /// one reign-scoped `Prepare` covering all future slots, then
+    /// Accept-only rounds per slot (falling back to per-slot ballots on any
+    /// leadership change). `false` reproduces the per-slot two-phase
+    /// protocol exactly. Single-decree [`ConsensusProcess`] ignores it.
+    pub phase1_skip: bool,
 }
 
 impl ConsensusConfig {
     /// Default tuning: check every 80 ticks, one value per slot, one slot
-    /// in flight.
+    /// in flight, per-slot ballots (no phase-1 skip) — byte-for-byte the
+    /// protocol the Theorem 5 experiments analyse. The replicated service
+    /// layer (`irs-svc`) opts into the reign fast path explicitly.
     pub fn new(system: SystemConfig) -> Self {
         ConsensusConfig {
             system,
             ballot_check_period: Duration::from_ticks(80),
             batch_max: 1,
             pipeline_depth: 1,
+            phase1_skip: false,
         }
     }
 
@@ -89,6 +98,14 @@ impl ConsensusConfig {
     pub fn with_batching(mut self, batch_max: usize, pipeline_depth: u64) -> Self {
         self.batch_max = batch_max.clamp(1, crate::MAX_BATCH_LEN);
         self.pipeline_depth = pipeline_depth.max(1);
+        self
+    }
+
+    /// Enables or disables the reign-scoped phase-1 skip of the replicated
+    /// log (the per-slot two-phase protocol when `false`).
+    #[must_use]
+    pub fn with_phase1_skip(mut self, on: bool) -> Self {
+        self.phase1_skip = on;
         self
     }
 }

@@ -33,6 +33,34 @@
 //! pending queue and re-proposed in a later slot, so nothing submitted is
 //! silently lost.
 //!
+//! # Phase-1 skip (the stable-reign fast path)
+//!
+//! The paper's Ω extracts a *long-lived* leader; with
+//! [`ConsensusConfig::phase1_skip`] enabled the log exploits that
+//! stability. On taking leadership the leader mints a reign ballot
+//! ([`Ballot::for_reign`]: a fresh epoch in the attempt's high bits) and
+//! runs **one** [`LogMsg::PrepareReign`] covering every slot from its
+//! frontier upward. Each acceptor promises the whole range at once
+//! ([`LogMsg::PromiseReign`]), reporting its accepted state for those
+//! slots; once a quorum has promised, the reign is *established* and every
+//! new slot opens directly in phase 2 — a single `Accept` broadcast per
+//! slot instead of a `Prepare`/`Promise` round trip plus the `Accept`,
+//! halving the per-slot message cost.
+//!
+//! Safety is the per-slot argument lifted to the range: the reign promise
+//! quorum plays the role of each future slot's phase-1 quorum. Any value
+//! that could have been decided below the reign ballot at some slot was
+//! accepted by a member of that quorum *before* it promised (promising
+//! forbids later low accepts), so it appears in a counted report and the
+//! leader re-proposes it; an acceptor whose report would be incomplete
+//! (bounded by [`REIGN_REPORT_MAX`]/[`REIGN_REPORT_BYTES`]) refuses to
+//! promise, and the leader falls back to per-slot ballots. On any
+//! leadership change the reign is discarded; per-slot ballots (stalled
+//! ballot restarts in [`check`](ReplicatedLog::check)) remain the recovery
+//! path throughout. Like per-slot promises, reign promises are *not*
+//! persisted across a crash — only acceptances are; the durability model
+//! is unchanged.
+//!
 //! # Catch-up
 //!
 //! Under a lossy link a replica can miss every `Decide` for a slot while its
@@ -114,6 +142,21 @@ pub fn snapshot_chunk_count(len: usize) -> u32 {
     len.max(1).div_ceil(SNAPSHOT_CHUNK_LEN) as u32
 }
 
+/// Most accepted-state reports one [`LogMsg::PromiseReign`] carries. An
+/// acceptor holding more undecided acceptances than this refuses the reign
+/// promise (an incomplete report would be unsafe), forcing the leader back
+/// to per-slot ballots.
+pub const REIGN_REPORT_MAX: usize = 64;
+
+/// Byte budget of a [`LogMsg::PromiseReign`]'s reported batches, measured
+/// by [`LogValue::estimated_size`] — keeps the reply inside one wire frame.
+pub const REIGN_REPORT_BYTES: usize = 32 * 1024;
+
+/// Check ticks a reign prepare may stall (no promise quorum) before the
+/// leader re-broadcasts it, and how many re-broadcasts it attempts before
+/// falling back to per-slot ballots for the rest of its reign.
+const REIGN_RETRIES: u32 = 3;
+
 /// Message of the replicated log: either an oracle message or a consensus
 /// message tagged with its log slot.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -187,6 +230,27 @@ pub enum LogMsg<M, V = Value> {
         /// The chunk payload.
         data: Arc<[u8]>,
     },
+    /// Reign-scoped phase-1a (the phase-1 skip): the leader asks every
+    /// acceptor to promise ballot `b` for *all* slots `from` upward at
+    /// once, instead of running a `Prepare` per slot.
+    PrepareReign {
+        /// The reign ballot (a fresh [`Ballot::reign_epoch`]).
+        b: Ballot,
+        /// First slot the reign covers (the leader's frontier).
+        from: u64,
+    },
+    /// Reign-scoped phase-1b: one promise covering every slot ≥ `from`,
+    /// carrying the acceptor's *complete* accepted state for those slots
+    /// (bounded by [`REIGN_REPORT_MAX`]/[`REIGN_REPORT_BYTES`]; an acceptor
+    /// that cannot report completely does not promise at all).
+    PromiseReign {
+        /// The promised reign ballot.
+        b: Ballot,
+        /// First covered slot, echoed from the prepare.
+        from: u64,
+        /// The acceptor's accepted `(slot, ballot, batch)` state ≥ `from`.
+        accepted: Vec<(u64, Ballot, Batch<V>)>,
+    },
 }
 
 impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
@@ -199,11 +263,14 @@ impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
             | LogMsg::SnapshotOffer { .. }
             | LogMsg::SnapshotInstall { .. }
             | LogMsg::SnapshotChunkRequest { .. }
-            | LogMsg::SnapshotChunk { .. } => None,
+            | LogMsg::SnapshotChunk { .. }
+            | LogMsg::PrepareReign { .. }
+            | LogMsg::PromiseReign { .. } => None,
         }
     }
 
     fn estimated_size(&self) -> usize {
+        const BALLOT: usize = 12;
         match self {
             LogMsg::Omega(m) => 1 + m.estimated_size(),
             LogMsg::Slot { msg, .. } => 1 + 8 + msg.estimated_size(),
@@ -212,6 +279,16 @@ impl<M: RoundTagged, V: LogValue> RoundTagged for LogMsg<M, V> {
             LogMsg::SnapshotInstall { state, .. } => 1 + 8 + 4 + state.len(),
             LogMsg::SnapshotChunkRequest { .. } => 1 + 8 + 4,
             LogMsg::SnapshotChunk { data, .. } => 1 + 8 + 4 + 4 + 8 + 4 + data.len(),
+            LogMsg::PrepareReign { .. } => 1 + BALLOT + 8,
+            LogMsg::PromiseReign { accepted, .. } => {
+                1 + BALLOT
+                    + 8
+                    + 4
+                    + accepted
+                        .iter()
+                        .map(|(_, _, v)| 8 + BALLOT + v.estimated_size())
+                        .sum::<usize>()
+            }
         }
     }
 }
@@ -257,6 +334,28 @@ struct ChunkAssembly {
     /// progress across a whole check period re-requests its missing
     /// chunks — the resume path after a link drop.
     last_check_received: u32,
+}
+
+/// Leader-side state of the phase-1 skip (see the module docs).
+#[derive(Debug)]
+enum Reign<V> {
+    /// Collecting reign promises for `ballot`, which covers slots ≥ `from`.
+    Preparing {
+        ballot: Ballot,
+        from: u64,
+        /// Acceptors that promised so far.
+        promised: BTreeSet<ProcessId>,
+        /// Highest reported acceptance per slot, merged across promises.
+        reported: BTreeMap<u64, (Ballot, Batch<V>)>,
+        /// Check ticks without a quorum; drives re-broadcast then fallback.
+        stalls: u32,
+    },
+    /// A quorum promised: slots ≥ `from` open directly in phase 2.
+    Established { ballot: Ballot, from: u64 },
+    /// Establishment failed (stalled past [`REIGN_RETRIES`], or acceptors
+    /// refused oversized reports): classic per-slot ballots until the next
+    /// leadership change mints a fresh reign.
+    Fallback,
 }
 
 /// One replica of the totally ordered log. `O` is the embedded eventual
@@ -316,11 +415,23 @@ pub struct ReplicatedLog<O, V = Value> {
     /// Durability events since the last [`take_wal_events`]
     /// (ReplicatedLog::take_wal_events) drain.
     wal_events: Vec<LogEvent<V>>,
+    /// Leader-side reign (phase-1 skip) state; `None` when not leading or
+    /// when `cfg.phase1_skip` is off.
+    reign: Option<Reign<V>>,
+    /// Acceptor-side reign promise: the highest `(ballot, from)` this
+    /// replica has promised for all slots ≥ `from`. Applied to every
+    /// instance materialised at or above `from` from then on.
+    reign_promise: Option<(Ballot, u64)>,
+    /// Highest [`Ballot::reign_epoch`] observed in any ballot, so a fresh
+    /// reign always outbids every earlier reign and its fallback ballots.
+    max_epoch_seen: u64,
     slots_driven: u64,
     catchups_sent: u64,
     snapshot_installs: u64,
     chunks_served: u64,
     chunk_rerequests: u64,
+    phase1_skips: u64,
+    reign_prepares: u64,
     /// Optional flight-recorder hook: ballot lifecycle, catch-ups and
     /// snapshot traffic become [`irs_obs::TraceEvent`]s when set. The log
     /// itself is sans-IO; the tracer stamps wall-clock time only when the
@@ -381,11 +492,16 @@ where
             chunk_rx: None,
             durable: false,
             wal_events: Vec::new(),
+            reign: None,
+            reign_promise: None,
+            max_epoch_seen: 0,
             slots_driven: 0,
             catchups_sent: 0,
             snapshot_installs: 0,
             chunks_served: 0,
             chunk_rerequests: 0,
+            phase1_skips: 0,
+            reign_prepares: 0,
             tracer: None,
         }
     }
@@ -486,6 +602,36 @@ where
     /// window — each one is a resume after lost chunks.
     pub fn chunk_rerequests(&self) -> u64 {
         self.chunk_rerequests
+    }
+
+    /// Slots this replica opened directly in phase 2 under an established
+    /// reign (each one saved a `Prepare` broadcast and its promises).
+    pub fn phase1_skips(&self) -> u64 {
+        self.phase1_skips
+    }
+
+    /// Reign-scoped prepares this replica has broadcast as a leader.
+    pub fn reign_prepares(&self) -> u64 {
+        self.reign_prepares
+    }
+
+    /// Returns `true` while this replica leads under an established reign
+    /// (new slots take the Accept-only fast path).
+    pub fn reign_established(&self) -> bool {
+        matches!(self.reign, Some(Reign::Established { .. }))
+    }
+
+    /// Enables or disables the stable-reign fast path. Meant for
+    /// construction-time configuration (benchmark baselines run with it
+    /// off); safety never depends on the flag — disabling merely makes
+    /// every future slot pay the classic per-slot phase 1 again, and any
+    /// open reign-leader state is dropped. Acceptor-side reign promises
+    /// are kept: promises once made stay binding.
+    pub fn set_phase1_skip(&mut self, enabled: bool) {
+        self.cfg.phase1_skip = enabled;
+        if !enabled {
+            self.reign = None;
+        }
     }
 
     /// Submits a value for eventual inclusion in the log.
@@ -601,9 +747,40 @@ where
     fn instance(&mut self, slot: u64) -> &mut PaxosInstance<Batch<V>> {
         let id = self.id;
         let system = self.cfg.system;
-        self.instances
+        let reign_promise = self.reign_promise;
+        let inst = self
+            .instances
             .entry(slot)
-            .or_insert_with(|| PaxosInstance::new(id, system))
+            .or_insert_with(|| PaxosInstance::new(id, system));
+        // A reign promise covers slots that do not exist yet: materialising
+        // one inside the promised range starts it pre-promised (idempotent —
+        // `pre_promise` only ever raises the bound).
+        if let Some((b, from)) = reign_promise {
+            if slot >= from {
+                inst.pre_promise(b);
+            }
+        }
+        inst
+    }
+
+    /// Tracks the highest reign epoch seen in any ballot, and discards this
+    /// replica's own leader-side reign the moment a newer epoch appears —
+    /// another process claimed a newer reign, so our Accept-only path can no
+    /// longer gather quorums and must re-establish (or cede).
+    fn note_epoch(&mut self, b: Ballot) {
+        let epoch = b.reign_epoch();
+        if epoch > self.max_epoch_seen {
+            self.max_epoch_seen = epoch;
+        }
+        let superseded = match &self.reign {
+            Some(Reign::Preparing { ballot, .. }) | Some(Reign::Established { ballot, .. }) => {
+                epoch > ballot.reign_epoch()
+            }
+            _ => false,
+        };
+        if superseded {
+            self.reign = None;
+        }
     }
 
     /// Records a fresh decision, retires the pending/in-flight values it
@@ -967,6 +1144,151 @@ where
             .collect();
     }
 
+    /// Mints a fresh reign ballot (one epoch above everything seen) and
+    /// broadcasts the reign-scoped prepare. Called by `drive`/`check` when
+    /// this replica leads with `phase1_skip` on and no reign in progress.
+    fn begin_reign(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
+        let epoch = self.max_epoch_seen + 1;
+        let ballot = Ballot::for_reign(epoch, self.id);
+        self.max_epoch_seen = epoch;
+        let from = self.frontier();
+        self.reign = Some(Reign::Preparing {
+            ballot,
+            from,
+            promised: BTreeSet::new(),
+            reported: BTreeMap::new(),
+            stalls: 0,
+        });
+        self.reign_prepares += 1;
+        self.trace(irs_obs::EventKind::BallotOpened, u64::MAX, epoch);
+        out.broadcast_all(LogMsg::PrepareReign { b: ballot, from });
+    }
+
+    /// Acceptor side of the reign prepare: promise ballot `b` for every
+    /// slot ≥ `first` at once, reporting the complete accepted state of
+    /// those slots. Refuses (stays silent) when the report would exceed its
+    /// bounds — an incomplete report could hide a decidable value from the
+    /// leader's phase-1 value rule, so partial promises are never made.
+    fn on_prepare_reign(
+        &mut self,
+        from: ProcessId,
+        b: Ballot,
+        first: u64,
+        out: &mut Actions<LogMsg<O::Msg, V>>,
+    ) {
+        self.note_epoch(b);
+        if self.reign_promise.is_some_and(|(prev, _)| prev > b) {
+            return; // already promised a newer reign
+        }
+        let mut reports = Vec::new();
+        let mut bytes = 0usize;
+        for (&slot, inst) in self.instances.range(first..) {
+            if self.decisions.contains_key(&slot) {
+                continue; // the leader learns decided slots via the replay below
+            }
+            if let Some((ab, av)) = inst.accepted() {
+                bytes += 8 + 12 + av.estimated_size();
+                reports.push((slot, *ab, av.clone()));
+                if reports.len() > REIGN_REPORT_MAX || bytes > REIGN_REPORT_BYTES {
+                    return; // cannot report completely: do not promise at all
+                }
+            }
+        }
+        self.reign_promise = Some((b, first));
+        for (_, inst) in self.instances.range_mut(first..) {
+            inst.pre_promise(b);
+        }
+        out.send(
+            from,
+            LogMsg::PromiseReign {
+                b,
+                from: first,
+                accepted: reports,
+            },
+        );
+        // A leader preparing from below our frontier is also lagging;
+        // replay the decided history it is missing (bounded, same path as
+        // an explicit catch-up request).
+        if first < self.frontier() {
+            self.answer_catchup(from, first, out);
+        }
+    }
+
+    /// Leader side of the reign promise: collect the quorum, then establish
+    /// the reign and recover every reported slot by re-proposing the
+    /// highest reported acceptance under the reign ballot (the phase-1
+    /// value rule applied once for the whole range).
+    fn on_promise_reign(
+        &mut self,
+        from: ProcessId,
+        b: Ballot,
+        first: u64,
+        accepted: &[(u64, Ballot, Batch<V>)],
+        out: &mut Actions<LogMsg<O::Msg, V>>,
+    ) {
+        let quorum = self.cfg.system.quorum();
+        let Some(Reign::Preparing {
+            ballot,
+            from: reign_from,
+            promised,
+            reported,
+            ..
+        }) = &mut self.reign
+        else {
+            return; // late promise of an established or abandoned reign
+        };
+        if *ballot != b || *reign_from != first {
+            return;
+        }
+        promised.insert(from);
+        for (slot, ab, av) in accepted {
+            match reported.entry(*slot) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((*ab, av.clone()));
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    if *ab > e.get().0 {
+                        e.insert((*ab, av.clone()));
+                    }
+                }
+            }
+        }
+        if promised.len() < quorum {
+            return;
+        }
+        let (ballot, reign_from, reported) = (*ballot, *reign_from, std::mem::take(reported));
+        self.reign = Some(Reign::Established {
+            ballot,
+            from: reign_from,
+        });
+        // Recover the quorum's reported slots: any value decidable below
+        // the reign ballot is among them (quorum intersection), so each is
+        // re-proposed as-is on the fast path. Unreported slots are provably
+        // free and open later with fresh batches.
+        for (slot, (_, v)) in reported {
+            if slot < self.frontier() || self.decisions.contains_key(&slot) {
+                continue;
+            }
+            let inst = self.instance(slot);
+            if inst.decided().is_some() {
+                continue;
+            }
+            inst.adopt_proposal(v);
+            let mut sends = Vec::new();
+            inst.start_ballot_skipped(ballot, &mut sends);
+            let progress = inst.progress_counter();
+            self.last_progress.insert(slot, progress);
+            if !sends.is_empty() {
+                self.slots_driven += 1;
+                self.phase1_skips += 1;
+                self.trace(irs_obs::EventKind::BallotOpened, slot, 0);
+            }
+            self.emit_slot(slot, sends, out);
+        }
+        // With the reign established, queued values open on the fast path.
+        self.drive(out);
+    }
+
     /// Event-driven fast path: if this process believes it leads, it opens
     /// ballots for undecided slots across the pipeline window, draining up
     /// to `batch_max` pending values into each slot it opens — *now*,
@@ -981,8 +1303,29 @@ where
     /// round-trip-bound instead of check-period-bound.
     pub fn drive(&mut self, out: &mut Actions<LogMsg<O::Msg, V>>) {
         if self.oracle.leader() != self.id {
+            // Any leadership change ends the reign: the fast path is only
+            // ever driven by the process Ω currently points at.
+            self.reign = None;
             return;
         }
+        // The phase-1 skip gate. A fresh leader first establishes its reign
+        // (one PrepareReign round trip); until the quorum answers, queued
+        // values wait — the one-off establishment latency the fast path
+        // amortises over the whole reign. `Fallback` and `phase1_skip =
+        // false` take the classic per-slot path below.
+        let reign_ballot = if self.cfg.phase1_skip {
+            match &self.reign {
+                None => {
+                    self.begin_reign(out);
+                    return;
+                }
+                Some(Reign::Preparing { .. }) => return,
+                Some(Reign::Established { ballot, from }) => Some((*ballot, *from)),
+                Some(Reign::Fallback) => None,
+            }
+        } else {
+            None
+        };
         let batch_max = self.cfg.batch_max.clamp(1, MAX_BATCH_LEN);
         let mut slot = self.frontier();
         let window_end = slot.saturating_add(self.depth());
@@ -1018,12 +1361,26 @@ where
             let mut sends = Vec::new();
             let inst = self.instances.get_mut(&slot).expect("opened above");
             inst.set_proposal(batch);
-            inst.start_ballot(&mut sends);
+            let mut skipped = false;
+            if let Some((rb, rfrom)) = reign_ballot {
+                if slot >= rfrom {
+                    inst.start_ballot_skipped(rb, &mut sends);
+                    skipped = !sends.is_empty();
+                }
+            }
+            if sends.is_empty() {
+                // No reign covers this slot (or a newer reign outbid ours):
+                // the classic two-phase opening.
+                inst.start_ballot(&mut sends);
+            }
             let progress = inst.progress_counter();
             let attempt = inst.ballots_started();
             self.last_progress.insert(slot, progress);
             if !sends.is_empty() {
                 self.slots_driven += 1;
+                if skipped {
+                    self.phase1_skips += 1;
+                }
                 self.trace(irs_obs::EventKind::BallotOpened, slot, attempt);
             }
             self.emit_slot(slot, sends, out);
@@ -1060,15 +1417,41 @@ where
         self.last_check_frontier = frontier;
         let leader = self.oracle.leader();
         if leader != self.id {
-            // Not the leader: reclaim any slot assignments from a reign
-            // that ended, then forward our oldest pending submissions to
-            // the process we currently believe leads.
+            // Not the leader: discard any reign, reclaim any slot
+            // assignments from a reign that ended, then forward our oldest
+            // pending submissions to the process we currently believe leads.
+            self.reign = None;
             self.reclaim_inflight();
             let forward = self.cfg.batch_max.clamp(1, MAX_BATCH_LEN);
             for v in self.pending.iter().take(forward) {
                 out.send(leader, LogMsg::Forward { v: v.clone() });
             }
             return;
+        }
+        // Reign maintenance: a prepare that keeps stalling (lost frames, a
+        // refusing quorum) is re-broadcast a bounded number of times, then
+        // abandoned for per-slot ballots — liveness never waits on the fast
+        // path. A leader with nothing queued still establishes its reign
+        // here, so the first burst of a quiet reign already skips phase 1.
+        if self.cfg.phase1_skip {
+            match &mut self.reign {
+                None => self.begin_reign(out),
+                Some(Reign::Preparing {
+                    ballot,
+                    from,
+                    stalls,
+                    ..
+                }) => {
+                    *stalls += 1;
+                    let (ballot, from, stalls) = (*ballot, *from, *stalls);
+                    if stalls > REIGN_RETRIES {
+                        self.reign = Some(Reign::Fallback);
+                    } else {
+                        out.broadcast_all(LogMsg::PrepareReign { b: ballot, from });
+                    }
+                }
+                Some(Reign::Established { .. }) | Some(Reign::Fallback) => {}
+            }
         }
         // Restart genuinely stalled ballots across the window — every
         // instance that carries a proposal of ours, not just the `inflight`
@@ -1189,8 +1572,27 @@ where
             } => {
                 self.on_snapshot_chunk(from, *upto, *chunk, *total, *digest, Arc::clone(data), out);
             }
+            LogMsg::PrepareReign { b, from: first } => {
+                self.on_prepare_reign(from, *b, *first, out);
+            }
+            LogMsg::PromiseReign {
+                b,
+                from: first,
+                accepted,
+            } => {
+                self.on_promise_reign(from, *b, *first, accepted, out);
+            }
             LogMsg::Slot { slot, msg } => {
                 let (slot, msg) = (*slot, msg.clone());
+                if let Some(b) = match &msg {
+                    PaxosMsg::Prepare { b }
+                    | PaxosMsg::Promise { b, .. }
+                    | PaxosMsg::Accept { b, .. }
+                    | PaxosMsg::Accepted { b, .. } => Some(*b),
+                    PaxosMsg::Decide { .. } => None,
+                } {
+                    self.note_epoch(b);
+                }
                 self.note_seen_slot(slot);
                 if slot < self.compact_floor {
                     // The decision is gone; point the straggler at the
@@ -1286,6 +1688,9 @@ where
         snap.extra.push((names::COMPACT_FLOOR, self.compact_floor));
         snap.extra
             .push((names::SNAPSHOT_INSTALLS, self.snapshot_installs));
+        snap.extra.push((names::PHASE1_SKIPS, self.phase1_skips));
+        snap.extra
+            .push((names::REIGN_PREPARES, self.reign_prepares));
         snap
     }
 }
@@ -2207,5 +2612,309 @@ mod tests {
             &out.sends()[0].msg,
             LogMsg::SnapshotInstall { upto: 10, .. }
         ));
+    }
+
+    // ---- The reign fast path (phase-1 skip) ------------------------------
+
+    type LogActions = Actions<LogMsg<<irs_omega::OmegaProcess as Protocol>::Msg, Value>>;
+
+    fn skip_leader(id: u32, depth: u64) -> ReplicatedLog<irs_omega::OmegaProcess> {
+        let system = system();
+        ReplicatedLog::new(
+            ProcessId::new(id),
+            ConsensusConfig::new(system)
+                .with_batching(1, depth)
+                .with_phase1_skip(true),
+            irs_omega::OmegaProcess::fig3(ProcessId::new(id), system),
+        )
+    }
+
+    fn reign_prepare<M, V: LogValue>(out: &Actions<LogMsg<M, V>>) -> Option<(crate::Ballot, u64)> {
+        out.sends().iter().find_map(|s| match &s.msg {
+            LogMsg::PrepareReign { b, from } => Some((*b, *from)),
+            _ => None,
+        })
+    }
+
+    fn accept_slots<M, V: LogValue>(out: &Actions<LogMsg<M, V>>) -> Vec<(u64, Batch<V>)> {
+        out.sends()
+            .iter()
+            .filter_map(|s| match &s.msg {
+                LogMsg::Slot {
+                    slot,
+                    msg: PaxosMsg::Accept { v, .. },
+                } => Some((*slot, v.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drives a fresh skip-enabled leader through establishment: start, one
+    /// check (broadcasts the reign prepare), then a quorum of promises from
+    /// peers 1 and 2 plus the self-delivered one (`Destination::All`
+    /// includes the sender). Returns the log, the reign ballot, and the
+    /// actions of the quorum-completing delivery.
+    fn established_leader(
+        depth: u64,
+    ) -> (
+        ReplicatedLog<irs_omega::OmegaProcess>,
+        crate::Ballot,
+        LogActions,
+    ) {
+        let mut log = skip_leader(0, depth);
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let (b, first) = reign_prepare(&out).expect("a skip-enabled leader begins its reign");
+        let mut out = Actions::new();
+        log.on_message(
+            ProcessId::new(0),
+            &LogMsg::PrepareReign { b, from: first },
+            &mut out,
+        );
+        let own_promise = out.sends()[0].msg.clone();
+        let mut out = Actions::new();
+        log.on_message(ProcessId::new(0), &own_promise, &mut out);
+        let mut out = Actions::new();
+        for peer in [1, 2] {
+            out = Actions::new();
+            log.on_message(
+                ProcessId::new(peer),
+                &LogMsg::PromiseReign {
+                    b,
+                    from: first,
+                    accepted: Vec::new(),
+                },
+                &mut out,
+            );
+        }
+        (log, b, out)
+    }
+
+    #[test]
+    fn reign_establishes_then_opens_slots_accept_only() {
+        let mut log = skip_leader(0, 1);
+        log.submit(Value(7));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        // The first check broadcasts the reign prepare and opens no slot:
+        // queued values wait out the one-off establishment round trip.
+        let (b, first) = reign_prepare(&out).expect("leader must begin its reign");
+        assert_eq!(first, 0);
+        assert_eq!(b.reign_epoch(), 1);
+        assert!(prepared_slots(&out).is_empty());
+        assert!(accept_slots(&out).is_empty());
+        assert_eq!(log.reign_prepares(), 1);
+        // Route the leader's own prepare back to it; it promises itself.
+        let mut out = Actions::new();
+        log.on_message(
+            ProcessId::new(0),
+            &LogMsg::PrepareReign { b, from: first },
+            &mut out,
+        );
+        let own_promise = out.sends()[0].msg.clone();
+        assert!(matches!(own_promise, LogMsg::PromiseReign { .. }));
+        let mut out = Actions::new();
+        log.on_message(ProcessId::new(0), &own_promise, &mut out);
+        assert!(!log.reign_established(), "one promise is not a quorum");
+        // Two peer promises complete the quorum (n − t = 3); establishment
+        // immediately drives the queued value with an Accept-only opening.
+        let mut out = Actions::new();
+        for peer in [1, 2] {
+            out = Actions::new();
+            log.on_message(
+                ProcessId::new(peer),
+                &LogMsg::PromiseReign {
+                    b,
+                    from: first,
+                    accepted: Vec::new(),
+                },
+                &mut out,
+            );
+        }
+        assert!(log.reign_established());
+        assert_eq!(accept_slots(&out), vec![(0, Batch::one(Value(7)))]);
+        assert!(
+            prepared_slots(&out).is_empty(),
+            "no per-slot Prepare on the fast path"
+        );
+        assert_eq!(log.phase1_skips(), 1);
+    }
+
+    #[test]
+    fn establishment_adopts_reported_acceptances_before_new_values() {
+        let mut log = skip_leader(0, 2);
+        log.submit(Value(7));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let (b, first) = reign_prepare(&out).expect("reign prepare");
+        // A quorum of peer promises, one reporting an acceptance a previous
+        // leader left on slot 0 — the phase-1 value rule, applied once for
+        // the whole range, must re-propose it under the reign ballot.
+        let stale = crate::Ballot::new(4, ProcessId::new(4));
+        let mut out = Actions::new();
+        log.on_message(
+            ProcessId::new(1),
+            &LogMsg::PromiseReign {
+                b,
+                from: first,
+                accepted: vec![(0, stale, Batch::one(Value(42)))],
+            },
+            &mut out,
+        );
+        for peer in [2, 3] {
+            out = Actions::new();
+            log.on_message(
+                ProcessId::new(peer),
+                &LogMsg::PromiseReign {
+                    b,
+                    from: first,
+                    accepted: Vec::new(),
+                },
+                &mut out,
+            );
+        }
+        assert!(log.reign_established());
+        let accepts = accept_slots(&out);
+        assert!(
+            accepts.contains(&(0, Batch::one(Value(42)))),
+            "the reported acceptance is re-proposed, not overwritten: {accepts:?}"
+        );
+        assert!(
+            accepts.contains(&(1, Batch::one(Value(7)))),
+            "the fresh value rides the next free slot: {accepts:?}"
+        );
+        assert!(prepared_slots(&out).is_empty());
+        assert_eq!(log.phase1_skips(), 2);
+    }
+
+    #[test]
+    fn higher_epoch_traffic_ends_the_reign() {
+        let (mut log, b, _) = established_leader(1);
+        assert!(log.reign_established());
+        // Per-slot traffic carrying a newer reign epoch proves another
+        // process is (or was) leading; our reign's ballots can no longer
+        // win, so the fast path must stop using them.
+        let usurper = crate::Ballot::for_reign(b.reign_epoch() + 1, ProcessId::new(4));
+        let mut out = Actions::new();
+        log.on_message(
+            ProcessId::new(4),
+            &LogMsg::Slot {
+                slot: 0,
+                msg: PaxosMsg::Prepare { b: usurper },
+            },
+            &mut out,
+        );
+        assert!(!log.reign_established());
+        // If Ω still points here, the next check starts over with an epoch
+        // that outbids the usurper.
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let (b2, _) = reign_prepare(&out).expect("a new reign begins");
+        assert!(b2.reign_epoch() > usurper.reign_epoch());
+        assert!(b2 > usurper);
+    }
+
+    #[test]
+    fn unanswered_reign_prepare_falls_back_to_per_slot_ballots() {
+        let mut log = skip_leader(0, 1);
+        log.submit(Value(7));
+        let mut out = Actions::new();
+        log.on_start(&mut out);
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        let (b, first) = reign_prepare(&out).expect("reign prepare");
+        // The next REIGN_RETRIES checks re-broadcast the same prepare…
+        for _ in 0..REIGN_RETRIES {
+            let mut out = Actions::new();
+            log.on_timer(TIMER_LOG_CHECK, &mut out);
+            assert_eq!(
+                reign_prepare(&out),
+                Some((b, first)),
+                "a stalled prepare is re-broadcast unchanged"
+            );
+            assert!(prepared_slots(&out).is_empty());
+        }
+        // …then the fast path is abandoned and liveness reverts to the
+        // classic per-slot two-phase opening.
+        let mut out = Actions::new();
+        log.on_timer(TIMER_LOG_CHECK, &mut out);
+        assert_eq!(reign_prepare(&out), None);
+        assert_eq!(prepared_slots(&out), vec![0]);
+        assert_eq!(log.phase1_skips(), 0);
+        assert_eq!(log.reign_prepares(), 1);
+    }
+
+    #[test]
+    fn acceptor_refuses_reign_prepare_it_cannot_report_completely() {
+        // An acceptor holding more accepted-but-undecided slots than a
+        // complete report can carry must stay silent: a partial report could
+        // hide a decidable value from the leader's phase-1 value rule.
+        let mut over = with_batching(1, 1, 1);
+        let b = crate::Ballot::new(1, ProcessId::new(0));
+        for slot in 0..=(REIGN_REPORT_MAX as u64) {
+            let mut out = Actions::new();
+            over.on_message(
+                ProcessId::new(0),
+                &LogMsg::Slot {
+                    slot,
+                    msg: PaxosMsg::Accept {
+                        b,
+                        v: Batch::one(Value(slot)),
+                    },
+                },
+                &mut out,
+            );
+        }
+        let reign = crate::Ballot::for_reign(1, ProcessId::new(0));
+        let mut out = Actions::new();
+        over.on_message(
+            ProcessId::new(0),
+            &LogMsg::PrepareReign { b: reign, from: 0 },
+            &mut out,
+        );
+        assert!(
+            !out.sends()
+                .iter()
+                .any(|s| matches!(s.msg, LogMsg::PromiseReign { .. })),
+            "an incomplete report must refuse the promise entirely"
+        );
+        // At exactly the bound the report is complete and the promise goes
+        // out with every acceptance attached.
+        let mut full = with_batching(2, 1, 1);
+        for slot in 0..(REIGN_REPORT_MAX as u64) {
+            let mut out = Actions::new();
+            full.on_message(
+                ProcessId::new(0),
+                &LogMsg::Slot {
+                    slot,
+                    msg: PaxosMsg::Accept {
+                        b,
+                        v: Batch::one(Value(slot)),
+                    },
+                },
+                &mut out,
+            );
+        }
+        let mut out = Actions::new();
+        full.on_message(
+            ProcessId::new(0),
+            &LogMsg::PrepareReign { b: reign, from: 0 },
+            &mut out,
+        );
+        let reported = out
+            .sends()
+            .iter()
+            .find_map(|s| match &s.msg {
+                LogMsg::PromiseReign { accepted, .. } => Some(accepted.len()),
+                _ => None,
+            })
+            .expect("a complete report fits, so the acceptor promises");
+        assert_eq!(reported, REIGN_REPORT_MAX);
     }
 }

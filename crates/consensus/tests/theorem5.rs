@@ -3,12 +3,13 @@
 //! rotating t-star, even across leader crashes; and repeated consensus
 //! yields identical logs at every correct replica.
 
-use irs_consensus::{ConsensusProcess, ReplicatedLog, Value};
+use irs_consensus::{ConsensusConfig, ConsensusProcess, ReplicatedLog, Value};
 use irs_sim::adversary::presets;
 use irs_sim::adversary::star::{StarAdversary, StarConfig};
 use irs_sim::adversary::DelayDist;
 use irs_sim::{CrashPlan, SimConfig, Simulation};
 use irs_types::{Duration, ProcessId, SystemConfig, Time};
+use std::collections::BTreeSet;
 
 fn system() -> SystemConfig {
     SystemConfig::new(5, 2).unwrap()
@@ -175,5 +176,212 @@ fn replicated_log_converges_to_identical_prefixes() {
     let mut seen = std::collections::BTreeSet::new();
     for v in &logs[0][..min_len] {
         assert!(seen.insert(*v), "duplicate {v} in log");
+    }
+}
+
+// ---- The stable-reign fast path (phase-1 skip) ---------------------------
+
+fn log_replicas(
+    sys: SystemConfig,
+    phase1_skip: bool,
+) -> Vec<ReplicatedLog<irs_omega::OmegaProcess>> {
+    sys.processes()
+        .map(|id| {
+            ReplicatedLog::new(
+                id,
+                ConsensusConfig::new(sys).with_phase1_skip(phase1_skip),
+                irs_omega::OmegaProcess::fig3(id, sys),
+            )
+        })
+        .collect()
+}
+
+/// A stable reign amortises one `PrepareReign` round over every later slot:
+/// after convergence the leader opens slots with Accept-only rounds, and the
+/// skip counter accounts for (nearly) every decided slot.
+#[test]
+fn stable_reign_skips_phase_one_for_later_slots() {
+    let sys = system();
+    let adversary = StarAdversary::new(StarConfig::a_prime(sys, ProcessId::new(1)), 13);
+    let mut replicas = log_replicas(sys, true);
+    for id in sys.processes() {
+        replicas[id.index()].submit(Value(10 + id.as_u32() as u64));
+        replicas[id.index()].submit(Value(20 + id.as_u32() as u64));
+    }
+    let mut sim = Simulation::new(
+        SimConfig::new(11, Time::from_ticks(500_000)),
+        replicas,
+        adversary,
+        CrashPlan::new(),
+    );
+    sim.start();
+    while sim.step() {
+        if sys.processes().all(|p| sim.process(p).log().len() >= 10) {
+            break;
+        }
+    }
+    let logs: Vec<Vec<Value>> = sys.processes().map(|p| sim.process(p).log()).collect();
+    let min_len = logs.iter().map(|l| l.len()).min().unwrap();
+    assert!(min_len >= 10, "logs too short: {logs:?}");
+    for log in &logs {
+        assert_eq!(&log[..min_len], &logs[0][..min_len], "logs diverged");
+    }
+    let skips: u64 = sys.processes().map(|p| sim.process(p).phase1_skips()).sum();
+    let prepares: u64 = sys
+        .processes()
+        .map(|p| sim.process(p).reign_prepares())
+        .sum();
+    assert!(
+        skips >= min_len as u64 / 2,
+        "a stable reign should open most slots Accept-only (skips {skips} of {min_len} slots)"
+    );
+    assert!(
+        prepares < min_len as u64,
+        "reign prepares must amortise, not track slot count (prepares {prepares})"
+    );
+}
+
+/// One run of the replicated log under an intermittent-rotating-star flicker
+/// schedule and an optional crash. Returns whether every value submitted by
+/// a never-crashed replica was decided at every live replica within the
+/// horizon, plus each live replica's decided log.
+fn flicker_run(
+    phase1_skip: bool,
+    seed: u64,
+    centre: ProcessId,
+    burst: u64,
+    crash: Option<(ProcessId, u64)>,
+) -> (bool, Vec<Vec<Value>>) {
+    let sys = system();
+    let adversary = presets::intermittent_rotating_star(
+        sys,
+        centre,
+        Duration::from_ticks(burst),
+        4,
+        background(),
+        seed ^ 0xA5A5,
+    );
+    let mut replicas = log_replicas(sys, phase1_skip);
+    for id in sys.processes() {
+        replicas[id.index()].submit(Value(100 * (1 + id.as_u32() as u64)));
+        replicas[id.index()].submit(Value(100 * (1 + id.as_u32() as u64) + 1));
+    }
+    let mut crashes = CrashPlan::new();
+    if let Some((p, at)) = crash {
+        crashes = crashes.crash(p, Time::from_ticks(at));
+    }
+    let expected: BTreeSet<Value> = sys
+        .processes()
+        .filter(|p| crash.map(|(c, _)| c) != Some(*p))
+        .flat_map(|p| {
+            let base = 100 * (1 + p.as_u32() as u64);
+            [Value(base), Value(base + 1)]
+        })
+        .collect();
+    let mut sim = Simulation::new(
+        SimConfig::new(seed, Time::from_ticks(800_000)),
+        replicas,
+        adversary,
+        crashes,
+    );
+    sim.start();
+    macro_rules! all_decided {
+        () => {
+            sys.processes().filter(|p| !sim.is_crashed(*p)).all(|p| {
+                let log = sim.process(p).log();
+                expected.iter().all(|v| log.contains(v))
+            })
+        };
+    }
+    let mut steps = 0u64;
+    let mut done = false;
+    while sim.step() {
+        steps += 1;
+        if steps.is_multiple_of(256) && all_decided!() {
+            done = true;
+            break;
+        }
+    }
+    done = done || all_decided!();
+    let logs = sys
+        .processes()
+        .filter(|p| !sim.is_crashed(*p))
+        .map(|p| sim.process(p).log())
+        .collect();
+    (done, logs)
+}
+
+/// Agreement, total order, and no duplication within one run's live logs.
+fn assert_safe(logs: &[Vec<Value>], label: &str) {
+    let min_len = logs.iter().map(|l| l.len()).min().unwrap_or(0);
+    for log in logs {
+        assert_eq!(
+            &log[..min_len],
+            &logs[0][..min_len],
+            "{label}: logs diverged: {logs:?}"
+        );
+    }
+    let mut seen = BTreeSet::new();
+    for v in &logs[0][..min_len] {
+        assert!(seen.insert(*v), "{label}: duplicate {v} in log");
+    }
+}
+
+mod skip_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The ISSUE's safety pin: for random request/crash/flicker
+        /// schedules, the phase-1-skip build decides exactly what the
+        /// per-slot-Prepare build decides — both runs satisfy agreement,
+        /// total order and no-duplication, both terminate under the
+        /// intermittent rotating star, and both decide every value submitted
+        /// by a never-crashed replica. (Cross-run log *order* may differ —
+        /// different message schedules elect leaders in different moments —
+        /// but the decided *set* over surviving submitters is identical.)
+        #[test]
+        fn prop_skip_path_is_decision_equivalent_under_flicker(
+            seed in 1u64..1_000_000,
+            centre_raw in 0u32..5,
+            burst in 4u64..24,
+            crash_raw in 0u32..10,
+            crash_at in 500u64..20_000,
+        ) {
+            let centre = ProcessId::new(centre_raw);
+            // At most one crash (t = 2), never the star centre: a star
+            // centred at a crashed process guarantees nothing, so liveness
+            // would be unfalsifiable noise.
+            let crash = (crash_raw < 5 && crash_raw != centre_raw)
+                .then(|| (ProcessId::new(crash_raw), crash_at));
+            let (done_skip, logs_skip) =
+                flicker_run(true, seed, centre, burst, crash);
+            let (done_slot, logs_slot) =
+                flicker_run(false, seed, centre, burst, crash);
+            assert_safe(&logs_skip, "phase1-skip build");
+            assert_safe(&logs_slot, "per-slot build");
+            prop_assert!(done_skip, "skip build missed decisions: {logs_skip:?}");
+            prop_assert!(done_slot, "per-slot build missed decisions: {logs_slot:?}");
+            // Decision equivalence over the surviving submitters' values.
+            let survivors: BTreeSet<Value> = logs_skip[0]
+                .iter()
+                .chain(logs_slot[0].iter())
+                .copied()
+                .filter(|v| {
+                    crash.is_none_or(|(c, _)| {
+                        let base = 100 * (1 + c.as_u32() as u64);
+                        v.0 != base && v.0 != base + 1
+                    })
+                })
+                .collect();
+            let decided_skip: BTreeSet<Value> = logs_skip[0].iter().copied().collect();
+            let decided_slot: BTreeSet<Value> = logs_slot[0].iter().copied().collect();
+            for v in &survivors {
+                prop_assert!(decided_skip.contains(v), "skip build lost {v}");
+                prop_assert!(decided_slot.contains(v), "per-slot build lost {v}");
+            }
+        }
     }
 }

@@ -52,7 +52,7 @@ fn main() {
     let catalogue = suite::all();
 
     if selections.is_empty() || selections.iter().any(|s| s == "list") {
-        eprintln!("usage: irs-experiments [list | all | e1 .. e15]... [--quick] [--csv]");
+        eprintln!("usage: irs-experiments [list | all | e1 .. e16]... [--quick] [--csv]");
         eprintln!("available experiments:");
         for (id, _) in &catalogue {
             eprintln!("  {id}");

@@ -2019,6 +2019,261 @@ pub fn e15_live_telemetry(quick: bool) -> Table {
     table
 }
 
+/// E16 — The stable-reign fast path: what the phase-1 skip and the leader
+/// lease buy, and whether the read tiers keep their promises under load.
+///
+/// * **Mix rows** run an in-memory n = 5 cluster under a deterministic
+///   read/write mix (95/5 read-heavy and 50/50 balanced) at each
+///   [`irs_svc::ReadTier`]. Every run's reads are machine-checked against
+///   the acked write order (`check_read_linearizability`) and its writes
+///   against the surviving state (`check_consistency`) — the verdict is
+///   the checker's, not an eyeball's. Lease reads never leave the leader,
+///   so at 95/5 they should beat read-index reads (which pay a probe
+///   round) by a wide margin; the summary row asserts ≥ 3×.
+/// * **Crash row** kills the agreed leader mid-run while its lease may
+///   still be live — the scenario the lease clock-safety argument (see
+///   `irs_svc::replica` module docs) must survive. PASS requires reads to
+///   stay linearizable across the reign change and no acked write lost.
+/// * **Skip rows** run the same write-only load with the phase-1 skip on
+///   and off (`SvcConfig::with_phase1_skip`) and read the consensus
+///   counters: with the skip on, slots open directly in phase 2 under one
+///   reign-scoped prepare; the baseline pays a prepare broadcast per
+///   slot. The verdict carries the counter delta.
+pub fn e16_stable_reign_fast_path(quick: bool) -> Table {
+    use irs_svc::loadgen::{
+        check_consistency, check_read_linearizability, closed_loop, mixed_loop,
+        mixed_loop_with_leader_crash, ClosedLoopOptions, MixedLoopOptions,
+    };
+    use irs_svc::{ReadTier, SvcCluster, SvcConfig, SvcReplica};
+    use irs_types::Protocol;
+    use std::time::Duration as StdDuration;
+
+    let mut table = Table::new(
+        "E16",
+        "Stable-reign fast path: phase-1 skip, leader leases, linearizable reads",
+        &[
+            "scenario",
+            "tier",
+            "mix r/w",
+            "reads/s",
+            "writes/s",
+            "rd p50 us",
+            "rd p99 us",
+            "verdict",
+        ],
+    );
+    let n = 5;
+    let clients = if quick { 2 } else { 4 };
+    let duration = StdDuration::from_millis(if quick { 1500 } else { 4000 });
+
+    // Mix rows: every tier at 95/5, the linearizable tiers also at 50/50.
+    let mixes: [(ReadTier, u32); 5] = [
+        (ReadTier::Lease, 95),
+        (ReadTier::ReadIndex, 95),
+        (ReadTier::Stale, 95),
+        (ReadTier::Lease, 50),
+        (ReadTier::ReadIndex, 50),
+    ];
+    let mut reads_per_sec_at_95: std::collections::BTreeMap<&str, f64> =
+        std::collections::BTreeMap::new();
+    for (tier, read_pct) in mixes {
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, SvcConfig::new(n, clients));
+        let (report, acked, reads) = mixed_loop(
+            &mut cl,
+            MixedLoopOptions {
+                duration,
+                op_deadline: StdDuration::from_secs(8),
+                read_pct,
+                tier,
+                ..MixedLoopOptions::default()
+            },
+        );
+        let finals = cluster.shutdown();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let tier_name = match tier {
+            ReadTier::Lease => "lease",
+            ReadTier::ReadIndex => "read-index",
+            ReadTier::Stale => "stale",
+        };
+        let verdict = match (
+            check_read_linearizability(&reads),
+            check_consistency(&refs, &acked),
+        ) {
+            (Ok(()), Ok(())) => format!(
+                "{} reads within contract, {} writes consistent",
+                report.reads, report.writes
+            ),
+            (Err(e), _) => format!("FAIL: read contract violated: {e}"),
+            (_, Err(e)) => format!("FAIL: INCONSISTENT: {e}"),
+        };
+        if read_pct == 95 {
+            reads_per_sec_at_95.insert(tier_name, report.reads_per_sec());
+        }
+        table.push_row(vec![
+            "mixed load".to_string(),
+            tier_name.to_string(),
+            format!("{read_pct}/{}", 100 - read_pct),
+            format!("{:.0}", report.reads_per_sec()),
+            format!("{:.0}", report.writes_per_sec()),
+            report.read_latency.percentile(50.0).to_string(),
+            report.read_latency.percentile(99.0).to_string(),
+            verdict,
+        ]);
+    }
+
+    // Summary row: the lease's whole point is that reads stop paying for
+    // coordination — at 95/5 it must beat the probe-per-batch read-index
+    // path by at least 3×.
+    {
+        let lease = reads_per_sec_at_95.get("lease").copied().unwrap_or(0.0);
+        let ri = reads_per_sec_at_95
+            .get("read-index")
+            .copied()
+            .unwrap_or(0.0);
+        let ratio = if ri > 0.0 { lease / ri } else { f64::INFINITY };
+        let verdict = if ratio >= 3.0 {
+            format!("PASS: lease reads {ratio:.1}x read-index reads at 95/5")
+        } else {
+            format!("FAIL: lease reads only {ratio:.1}x read-index reads (need >= 3x)")
+        };
+        table.push_row(vec![
+            "lease vs read-index".to_string(),
+            "-".to_string(),
+            "95/5".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            verdict,
+        ]);
+    }
+
+    // Crash row: leader dies while its lease may still be live.
+    {
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, SvcConfig::new(n, clients));
+        let (report, acked, reads, crashed) = mixed_loop_with_leader_crash(
+            &cluster,
+            &mut cl,
+            MixedLoopOptions {
+                duration: StdDuration::from_secs(if quick { 3 } else { 5 }),
+                op_deadline: StdDuration::from_secs(10),
+                read_pct: 95,
+                tier: ReadTier::Lease,
+                ..MixedLoopOptions::default()
+            },
+            StdDuration::from_millis(if quick { 900 } else { 1500 }),
+        );
+        let converged = irs_svc::loadgen::await_survivor_convergence(
+            &cluster,
+            crashed,
+            StdDuration::from_secs(30),
+        );
+        let finals = cluster.shutdown();
+        let survivors: Vec<&SvcReplica> = finals.iter().filter(|r| r.id() != crashed).collect();
+        let verdict = if !converged {
+            "FAIL: survivors never converged".to_string()
+        } else {
+            match (
+                check_read_linearizability(&reads),
+                check_consistency(&survivors, &acked),
+            ) {
+                (Ok(()), Ok(())) => format!(
+                    "PASS: leader {crashed} crashed mid-lease; {} reads stayed linearizable, \
+                     {} writes consistent",
+                    report.reads, report.writes
+                ),
+                (Err(e), _) => format!("FAIL: read went non-linearizable: {e}"),
+                (_, Err(e)) => format!("FAIL: INCONSISTENT: {e}"),
+            }
+        };
+        table.push_row(vec![
+            "leader crash mid-lease".to_string(),
+            "lease".to_string(),
+            "95/5".to_string(),
+            format!("{:.0}", report.reads_per_sec()),
+            format!("{:.0}", report.writes_per_sec()),
+            report.read_latency.percentile(50.0).to_string(),
+            report.read_latency.percentile(99.0).to_string(),
+            verdict,
+        ]);
+    }
+
+    // Skip rows: write-only load, phase-1 skip on vs off, counter deltas.
+    let mut skip_stats: Vec<(bool, f64, u64, u64, u64)> = Vec::new();
+    for skip in [true, false] {
+        let config = SvcConfig::new(n, clients).with_phase1_skip(skip);
+        let (cluster, mut cl) = SvcCluster::in_memory(n, clients, config);
+        let (report, acked) = closed_loop(
+            &mut cl,
+            ClosedLoopOptions {
+                duration,
+                op_deadline: StdDuration::from_secs(8),
+                ..ClosedLoopOptions::default()
+            },
+        );
+        // Read the consensus counters while the cluster is live, summed
+        // across replicas (only the leader's are nonzero in a calm run).
+        let (mut skips, mut prepares, mut slots) = (0, 0, 0);
+        for p in (0..n as u32).map(irs_types::ProcessId::new) {
+            let snap = cluster.snapshot(p);
+            skips += snap.gauge("phase1_skips").unwrap_or(0);
+            prepares += snap.gauge("reign_prepares").unwrap_or(0);
+            slots += snap.gauge("slots_driven").unwrap_or(0);
+        }
+        let finals = cluster.shutdown();
+        let refs: Vec<&SvcReplica> = finals.iter().collect();
+        let verdict = match check_consistency(&refs, &acked) {
+            Ok(()) => {
+                format!("{slots} slots driven, {prepares} reign prepares, {skips} phase-1 skips")
+            }
+            Err(e) => format!("FAIL: INCONSISTENT: {e}"),
+        };
+        skip_stats.push((skip, report.ops_per_sec(), skips, prepares, slots));
+        table.push_row(vec![
+            format!("write-only, skip {}", if skip { "on" } else { "off" }),
+            "-".to_string(),
+            "0/100".to_string(),
+            "-".to_string(),
+            format!("{:.0}", report.ops_per_sec()),
+            "-".to_string(),
+            "-".to_string(),
+            verdict,
+        ]);
+    }
+
+    // Summary row: with the skip on, nearly every driven slot must have
+    // skipped its per-slot phase 1; the baseline skips none.
+    {
+        let on = skip_stats.iter().find(|s| s.0).expect("skip-on row ran");
+        let off = skip_stats.iter().find(|s| !s.0).expect("skip-off row ran");
+        let saved = on.2; // each skip = one Prepare broadcast + its promises saved
+        let verdict = if on.2 > 0 && off.2 == 0 && on.2 >= on.4 / 2 {
+            format!(
+                "PASS: skip saved {saved} per-slot prepare broadcasts over {} slots \
+                 (baseline paid phase 1 on every slot, {} slots)",
+                on.4, off.4
+            )
+        } else {
+            format!(
+                "FAIL: expected most slots to skip (on: {}/{} skipped, off: {}/{})",
+                on.2, on.4, off.2, off.4
+            )
+        };
+        table.push_row(vec![
+            "phase-1 frame delta".to_string(),
+            "-".to_string(),
+            "0/100".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            verdict,
+        ]);
+    }
+
+    table
+}
+
 /// One experiment entry point: takes the `quick` flag, returns its table.
 pub type ExperimentFn = fn(bool) -> Table;
 
@@ -2040,6 +2295,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e13", e13_durability),
         ("e14", e14_observability),
         ("e15", e15_live_telemetry),
+        ("e16", e16_stable_reign_fast_path),
     ]
 }
 
@@ -2050,9 +2306,9 @@ mod tests {
     #[test]
     fn all_lists_every_experiment_once() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         let unique: std::collections::BTreeSet<&&str> = ids.iter().collect();
-        assert_eq!(unique.len(), 15);
+        assert_eq!(unique.len(), 16);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! LogMsg        0x18..=0x1F   Omega | Slot | Forward | Catchup
 //!                             | SnapshotOffer | SnapshotInstall
 //!                             | SnapshotChunkRequest | SnapshotChunk
-//! (irs-svc)     0x20..=0x23   Log | Request | Reply(Applied) | Reply(Redirect)
+//! (irs-svc)     0x20..=0x27   Log | Request | Reply(Applied) | Reply(Redirect)
+//!                             | Read | Reply(Value) | LeaseProbe | LeaseAck
+//! LogMsg (ext)  0x28..=0x29   PrepareReign | PromiseReign (the 0x18 range
+//!                             was full when the reign fast path landed)
 //! ObsMsg        0x30..=0x31   ScrapeRequest | ScrapeChunk (crate::wire_obs)
 //! PaxosMsg      0x00..=0x04   (always nested behind one of the above)
 //! ```
@@ -38,7 +41,7 @@
 use crate::wire::{put_u32, put_u64, Wire, WireError, WireReader};
 use irs_consensus::{
     Ballot, Batch, Command, ConsensusMsg, LogMsg, PaxosMsg, Value, MAX_BATCH_LEN, MAX_COMMAND_LEN,
-    MAX_SNAPSHOT_CHUNKS, MAX_SNAPSHOT_LEN, SNAPSHOT_CHUNK_LEN,
+    MAX_SNAPSHOT_CHUNKS, MAX_SNAPSHOT_LEN, REIGN_REPORT_MAX, SNAPSHOT_CHUNK_LEN,
 };
 use irs_types::ProcessId;
 use std::sync::Arc;
@@ -59,6 +62,14 @@ const TAG_LOG_SNAPSHOT_OFFER: u8 = TAG_LOG_BASE + 4;
 const TAG_LOG_SNAPSHOT_INSTALL: u8 = TAG_LOG_BASE + 5;
 const TAG_LOG_SNAPSHOT_CHUNK_REQUEST: u8 = TAG_LOG_BASE + 6;
 const TAG_LOG_SNAPSHOT_CHUNK: u8 = TAG_LOG_BASE + 7;
+
+/// First tag of the [`LogMsg`] extension range (the base range's eight tags
+/// were all taken when the reign fast path landed; the svc range sits in
+/// between).
+pub const TAG_LOG_EXT_BASE: u8 = 0x28;
+
+const TAG_LOG_PREPARE_REIGN: u8 = TAG_LOG_EXT_BASE;
+const TAG_LOG_PROMISE_REIGN: u8 = TAG_LOG_EXT_BASE + 1;
 
 const TAG_PAXOS_PREPARE: u8 = 0;
 const TAG_PAXOS_PROMISE: u8 = 1;
@@ -295,6 +306,22 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                 put_u32(buf, data.len() as u32);
                 buf.extend_from_slice(data);
             }
+            LogMsg::PrepareReign { b, from } => {
+                buf.push(TAG_LOG_PREPARE_REIGN);
+                b.encode(buf);
+                put_u64(buf, *from);
+            }
+            LogMsg::PromiseReign { b, from, accepted } => {
+                buf.push(TAG_LOG_PROMISE_REIGN);
+                b.encode(buf);
+                put_u64(buf, *from);
+                put_u32(buf, accepted.len() as u32);
+                for (slot, ab, av) in accepted {
+                    put_u64(buf, *slot);
+                    ab.encode(buf);
+                    av.encode(buf);
+                }
+            }
         }
     }
 
@@ -339,6 +366,23 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                     data,
                 })
             }
+            TAG_LOG_PREPARE_REIGN => Ok(LogMsg::PrepareReign {
+                b: Ballot::decode(r)?,
+                from: r.u64()?,
+            }),
+            TAG_LOG_PROMISE_REIGN => {
+                let b = Ballot::decode(r)?;
+                let from = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > REIGN_REPORT_MAX {
+                    return Err(WireError::BadLength(count));
+                }
+                let mut accepted = Vec::with_capacity(count.min(r.remaining()));
+                for _ in 0..count {
+                    accepted.push((r.u64()?, Ballot::decode(r)?, Batch::decode(r)?));
+                }
+                Ok(LogMsg::PromiseReign { b, from, accepted })
+            }
             other => Err(WireError::BadTag(other)),
         }
     }
@@ -356,6 +400,14 @@ impl<M: Wire, V: Wire> Wire for LogMsg<M, V> {
                 chunk, total, data, ..
             } => {
                 *chunk < *total && *total <= MAX_SNAPSHOT_CHUNKS && data.len() <= SNAPSHOT_CHUNK_LEN
+            }
+            LogMsg::PrepareReign { b, .. } => b.valid_for(n),
+            LogMsg::PromiseReign { b, accepted, .. } => {
+                b.valid_for(n)
+                    && accepted.len() <= REIGN_REPORT_MAX
+                    && accepted
+                        .iter()
+                        .all(|(_, ab, av)| ab.valid_for(n) && av.valid_for(n))
             }
         }
     }
@@ -412,7 +464,24 @@ mod tests {
     }
 
     fn log_from(seed: u8, slot: u64, bytes: &[u8]) -> LMsg {
-        match seed % 8 {
+        match seed % 10 {
+            8 => LogMsg::PrepareReign {
+                b: Ballot::for_reign(slot + 1, ProcessId::new(seed as u32 % 4)),
+                from: slot,
+            },
+            9 => LogMsg::PromiseReign {
+                b: Ballot::for_reign(slot + 2, ProcessId::new(seed as u32 % 4)),
+                from: slot,
+                accepted: (0..(seed as u64 % 3))
+                    .map(|i| {
+                        (
+                            slot + i,
+                            Ballot::new(i + 1, ProcessId::new(i as u32)),
+                            Batch::one(Command::new(bytes.to_vec())),
+                        )
+                    })
+                    .collect(),
+            },
             0 => LogMsg::Omega(alive(4)),
             1 => LogMsg::Slot {
                 slot,
@@ -487,10 +556,78 @@ mod tests {
         assert_eq!(roundtrip(&omega), omega);
         let paxos: CMsg = ConsensusMsg::Paxos(paxos_from(2, 4, 1, 9));
         assert_eq!(roundtrip(&paxos), paxos);
-        for seed in 0..8u8 {
+        for seed in 0..10u8 {
             let msg = log_from(seed, 11, &[1, 2, 3]);
             assert_eq!(roundtrip(&msg), msg, "log variant {seed}");
         }
+    }
+
+    #[test]
+    fn oversized_reign_reports_are_rejected_not_allocated() {
+        let mut buf = vec![TAG_LOG_PROMISE_REIGN];
+        Ballot::for_reign(3, ProcessId::new(1)).encode(&mut buf);
+        put_u64(&mut buf, 0); // from
+        put_u32(&mut buf, (REIGN_REPORT_MAX + 1) as u32);
+        assert_eq!(
+            decode_payload::<LMsg>(&buf),
+            Err(WireError::BadLength(REIGN_REPORT_MAX + 1))
+        );
+        // valid_for mirrors the decoder bound and checks embedded ids.
+        let report = |proposer: u32| {
+            (
+                4u64,
+                Ballot::new(1, ProcessId::new(proposer)),
+                Batch::one(Command::default()),
+            )
+        };
+        let promise: LMsg = LogMsg::PromiseReign {
+            b: Ballot::for_reign(2, ProcessId::new(1)),
+            from: 4,
+            accepted: vec![report(7)],
+        };
+        assert!(promise.valid_for(8));
+        assert!(!promise.valid_for(4), "reported ballot id outside n");
+        let stray: LMsg = LogMsg::PrepareReign {
+            b: Ballot::for_reign(2, ProcessId::new(9)),
+            from: 0,
+        };
+        assert!(stray.valid_for(16));
+        assert!(!stray.valid_for(4));
+    }
+
+    /// The largest reign promise an acceptor can legally produce (the
+    /// acceptor refuses to report past `REIGN_REPORT_BYTES`, estimated at
+    /// ≈ 20 bytes of per-entry overhead plus the batch) must encode within
+    /// one wire frame.
+    #[test]
+    fn a_bound_respecting_reign_report_fits_one_wire_frame() {
+        use irs_consensus::{LogValue, REIGN_REPORT_BYTES};
+        // Worst case admitted by the byte bound: entries just under the
+        // budget. Model it with uniform entries that sum to the cap.
+        let per_value = Command::new(vec![7u8; 64]);
+        let per_entry = 8 + 12 + Batch::one(per_value.clone()).estimated_size();
+        let count = (REIGN_REPORT_BYTES / per_entry).min(REIGN_REPORT_MAX);
+        let promise: LMsg = LogMsg::PromiseReign {
+            b: Ballot::for_reign(5, ProcessId::new(2)),
+            from: 10,
+            accepted: (0..count as u64)
+                .map(|i| {
+                    (
+                        10 + i,
+                        Ballot::new(i + 1, ProcessId::new((i % 5) as u32)),
+                        Batch::one(per_value.clone()),
+                    )
+                })
+                .collect(),
+        };
+        let mut buf = Vec::new();
+        promise.encode(&mut buf);
+        assert!(
+            buf.len() <= crate::wire::MAX_PAYLOAD,
+            "reign report encodes to {} bytes > frame cap",
+            buf.len()
+        );
+        assert_eq!(roundtrip(&promise), promise);
     }
 
     #[test]

@@ -264,6 +264,27 @@ impl<T: Transport> TransportScraper<T> {
     }
 }
 
+/// One node's in-flight scrape session inside the pipelined collection.
+struct ScrapeSession {
+    body: Vec<u8>,
+    cursor: u32,
+    attempts_left: u32,
+    deadline: Instant,
+    outcome: Option<Result<Vec<u8>, String>>,
+}
+
+impl<T: Transport> TransportScraper<T> {
+    fn send_request(&mut self, node: u32, format: ScrapeFormat, cursor: u32) -> Result<(), String> {
+        let target = ProcessId::new(self.base + node);
+        let mut req = Vec::with_capacity(8);
+        ObsMsg::ScrapeRequest { format, cursor }.encode(&mut req);
+        match self.transport.send(self.me, target, &req) {
+            Ok(()) | Err(NetError::UnknownPeer(_)) => Ok(()),
+            Err(e) => Err(format!("scrape send to {target}: {e}")),
+        }
+    }
+}
+
 impl<T: Transport> ScrapeSource for TransportScraper<T> {
     fn fetch_chunk(
         &mut self,
@@ -281,6 +302,125 @@ impl<T: Transport> ScrapeSource for TransportScraper<T> {
             "node {node} ({target}) did not answer scrape cursor {cursor} after {} attempts",
             self.retries
         ))
+    }
+
+    /// Pipelined collection: one request stays in flight *per node* over
+    /// the single endpoint, chunks are matched back to their session by
+    /// `(sender, seq)`, and a timed-out node retries without stalling the
+    /// others. The wall clock of a cluster scrape is therefore bounded by
+    /// the slowest node, not the sum of all nodes — a straggler costs its
+    /// own latency once, where the sequential default would serialise
+    /// behind it.
+    fn fetch_bodies(&mut self, n: u32, format: ScrapeFormat) -> Vec<Result<Vec<u8>, String>> {
+        let now = Instant::now();
+        let mut sessions: Vec<ScrapeSession> = (0..n)
+            .map(|_| ScrapeSession {
+                body: Vec::new(),
+                cursor: 0,
+                attempts_left: self.retries,
+                deadline: now, // nothing in flight yet; send below
+                outcome: None,
+            })
+            .collect();
+        // Open every session: chunk 0 of every node goes out back-to-back.
+        for node in 0..n {
+            match self.send_request(node, format, 0) {
+                Ok(()) => sessions[node as usize].deadline = Instant::now() + self.timeout,
+                Err(e) => sessions[node as usize].outcome = Some(Err(e)),
+            }
+        }
+        while sessions.iter().any(|s| s.outcome.is_none()) {
+            // Wait until the earliest open deadline for the next frame.
+            let horizon = sessions
+                .iter()
+                .filter(|s| s.outcome.is_none())
+                .map(|s| s.deadline)
+                .min()
+                .expect("an open session exists");
+            let now = Instant::now();
+            let frame = if horizon > now {
+                match self.transport.recv(horizon - now) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        // Transport gone: every open session fails.
+                        for s in sessions.iter_mut().filter(|s| s.outcome.is_none()) {
+                            s.outcome = Some(Err(format!("scrape recv: {e}")));
+                        }
+                        break;
+                    }
+                }
+            } else {
+                None
+            };
+            if let Some(frame) = frame {
+                // Match the chunk to its session by sender and cursor;
+                // anything else (stale retransmission, stray plane) drops.
+                if frame.to != self.me || frame.from.as_u32() < self.base {
+                    continue;
+                }
+                let node = frame.from.as_u32() - self.base;
+                let Some(s) = sessions.get_mut(node as usize) else {
+                    continue;
+                };
+                if s.outcome.is_some() {
+                    continue;
+                }
+                match decode_payload::<ObsMsg>(&frame.payload) {
+                    Ok(ObsMsg::ScrapeChunk { seq, last, bytes }) if seq == s.cursor => {
+                        s.body.extend_from_slice(&bytes);
+                        if last {
+                            s.outcome = Some(Ok(std::mem::take(&mut s.body)));
+                            continue;
+                        }
+                        s.cursor += 1;
+                        if s.cursor >= irs_obs::collector::MAX_CHUNKS {
+                            s.outcome = Some(Err(format!(
+                                "node {node}: scrape body exceeded {} chunks",
+                                irs_obs::collector::MAX_CHUNKS
+                            )));
+                            continue;
+                        }
+                        // A fresh chunk resets the retry budget, like the
+                        // sequential path's per-chunk attempts.
+                        s.attempts_left = self.retries;
+                        match self.send_request(node, format, s.cursor) {
+                            Ok(()) => s.deadline = Instant::now() + self.timeout,
+                            Err(e) => s.outcome = Some(Err(e)),
+                        }
+                    }
+                    _ => continue,
+                }
+            }
+            // Expire overdue sessions: retry or fail, without blocking
+            // the nodes that are answering.
+            let now = Instant::now();
+            for node in 0..n {
+                let timeout = self.timeout;
+                let retries = self.retries;
+                let s = &mut sessions[node as usize];
+                if s.outcome.is_some() || s.deadline > now {
+                    continue;
+                }
+                s.attempts_left = s.attempts_left.saturating_sub(1);
+                if s.attempts_left == 0 {
+                    s.outcome = Some(Err(format!(
+                        "node {node} ({}) did not answer scrape cursor {} after {retries} attempts",
+                        ProcessId::new(self.base + node),
+                        s.cursor
+                    )));
+                    continue;
+                }
+                let cursor = s.cursor;
+                match self.send_request(node, format, cursor) {
+                    Ok(()) => sessions[node as usize].deadline = Instant::now() + timeout,
+                    Err(e) => sessions[node as usize].outcome = Some(Err(e)),
+                }
+            }
+        }
+        sessions
+            .into_iter()
+            .map(|s| s.outcome.expect("every session closed"))
+            .collect()
     }
 }
 
@@ -439,5 +579,73 @@ mod tests {
 
         let merged = cluster.render_prometheus().expect("merge succeeds");
         assert!(merged.contains("wal_appended{node=\"0\"} 42"), "{merged}");
+    }
+
+    /// Satellite: the pipelined collection pays the *slowest* node once,
+    /// not the sum of every node's latency. Four nodes each sit on a
+    /// scrape request for `DELAY` before answering; the sequential walk
+    /// would serialise to ≥ 4 × `DELAY`, the pipelined one finishes well
+    /// under 2 × `DELAY` because all four delays overlap.
+    #[test]
+    fn cluster_scrape_overlaps_slow_nodes() {
+        const N: usize = 4;
+        const DELAY: Duration = Duration::from_millis(120);
+        let mut mesh = MemNetwork::mesh(N + 1);
+        let collector_t = mesh.remove(N);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let servers: Vec<_> = mesh
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut node_t)| {
+                let node_id = ProcessId::new(i as u32);
+                let node_stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let obs = Obs::new(1);
+                    obs.registry()
+                        .counter(names::WAL_APPENDED)
+                        .add(0, i as u64 + 1);
+                    let responder = Responder::new();
+                    while !node_stop.load(std::sync::atomic::Ordering::Acquire) {
+                        if let Ok(Some(frame)) = node_t.recv(Duration::from_millis(10)) {
+                            std::thread::sleep(DELAY); // every node is a straggler
+                            answer_scrape(
+                                &responder,
+                                &obs,
+                                &mut node_t,
+                                node_id,
+                                frame.from,
+                                &frame.payload,
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut scraper = TransportScraper::new(collector_t, ProcessId::new(N as u32))
+            .with_timeout(Duration::from_secs(2));
+        let started = Instant::now();
+        let cluster = ClusterScrape::collect(&mut scraper, N as u32).expect("scrape succeeds");
+        let elapsed = started.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for s in servers {
+            s.join().unwrap();
+        }
+
+        assert_eq!(cluster.nodes.len(), N);
+        let merged = cluster.render_prometheus().expect("merge succeeds");
+        for node in 0..N {
+            assert!(
+                merged.contains(&format!("wal_appended{{node=\"{node}\"}} {}", node + 1)),
+                "{merged}"
+            );
+        }
+        // Sum would be ≥ 480 ms; overlap must land far under that. The
+        // bound leaves slack for CI scheduling noise while still ruling
+        // out any serialised walk.
+        assert!(
+            elapsed < DELAY * (N as u32) - DELAY / 2,
+            "scrape took {elapsed:?}, which looks serialised (DELAY = {DELAY:?}, N = {N})"
+        );
     }
 }

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 
 /// Hard cap on chunks fetched per node: 1024 × 32 KiB = 32 MiB, far past
 /// any real exposition body; a source that never says `last` is broken.
-const MAX_CHUNKS: u32 = 1024;
+pub const MAX_CHUNKS: u32 = 1024;
 
 /// Anything that can fetch one scrape chunk from one node.
 pub trait ScrapeSource {
@@ -29,6 +29,17 @@ pub trait ScrapeSource {
         format: ScrapeFormat,
         cursor: u32,
     ) -> Result<(Vec<u8>, bool), String>;
+
+    /// Fetches the whole `format` body of every node `0..n`, one result
+    /// per node. The provided implementation walks the nodes one after
+    /// another, so the collection's wall clock is the *sum* of the
+    /// per-node scrape latencies. Sources that can keep one request in
+    /// flight per node concurrently (the wire scraper) override this so
+    /// a stalled or slow node only costs the *max* — a cluster scrape
+    /// must not degrade linearly in one straggler.
+    fn fetch_bodies(&mut self, n: u32, format: ScrapeFormat) -> Vec<Result<Vec<u8>, String>> {
+        (0..n).map(|node| fetch_all(self, node, format)).collect()
+    }
 }
 
 /// Walks the cursor until the source says `last`, returning the whole
@@ -331,14 +342,16 @@ pub struct ClusterScrape {
 }
 
 impl ClusterScrape {
-    /// Scrapes nodes `0..n` from `source`, parsing and conformance-
-    /// checking each body as it arrives (a malformed node fails the
+    /// Scrapes nodes `0..n` from `source` — concurrently when the source
+    /// supports it ([`ScrapeSource::fetch_bodies`]) — then parses and
+    /// conformance-checks each body (a malformed node fails the
     /// collection with its node id in the error).
     pub fn collect<S: ScrapeSource + ?Sized>(source: &mut S, n: u32) -> Result<Self, String> {
+        let bodies = source.fetch_bodies(n, ScrapeFormat::Prometheus);
+        assert_eq!(bodies.len(), n as usize, "source answered wrong node count");
         let mut nodes = Vec::with_capacity(n as usize);
-        for node in 0..n {
-            let body = fetch_all(source, node, ScrapeFormat::Prometheus)?;
-            let text = String::from_utf8(body)
+        for (node, body) in (0..n).zip(bodies) {
+            let text = String::from_utf8(body?)
                 .map_err(|_| format!("node {node}: scrape body is not UTF-8"))?;
             let exp = parse_prometheus(&text).map_err(|e| format!("node {node}: {e}"))?;
             check_conformance(&exp).map_err(|e| format!("node {node}: {e}"))?;

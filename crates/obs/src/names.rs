@@ -49,6 +49,10 @@ pub const RETAINED_DECISIONS: &str = "retained_decisions";
 pub const COMPACT_FLOOR: &str = "compact_floor";
 /// Peer snapshots installed into the log.
 pub const SNAPSHOT_INSTALLS: &str = "snapshot_installs";
+/// Slots opened directly in phase 2 under an established reign.
+pub const PHASE1_SKIPS: &str = "phase1_skips";
+/// Reign-scoped prepares broadcast as a leader.
+pub const REIGN_PREPARES: &str = "reign_prepares";
 
 // ── Baselines (crates/baselines) snapshot gauges ────────────────────────
 /// Queries issued (query/response baseline).
@@ -97,6 +101,16 @@ pub const OVERSIZED_SNAPSHOT_SKIPS: &str = "oversized_snapshot_skips";
 pub const WAL_APPENDED: &str = "wal_appended";
 /// WAL fsync batches issued by this replica.
 pub const WAL_SYNCS: &str = "wal_syncs";
+/// Reads served from the leader lease without any round trip.
+pub const READS_LEASE: &str = "reads_lease";
+/// Reads served through a read-index quorum confirmation.
+pub const READS_READ_INDEX: &str = "reads_read_index";
+/// Stale reads served locally from the apply frontier.
+pub const READS_STALE: &str = "reads_stale";
+/// Leader lease refreshes (quorum grants collected).
+pub const LEASE_REFRESHES: &str = "lease_refreshes";
+/// Leader lease expiries (validity window ran out unrefreshed).
+pub const LEASE_EXPIRIES: &str = "lease_expiries";
 
 // ── Runtime host (crates/runtime) snapshot gauges ───────────────────────
 /// Undecodable or off-policy frames dropped by the host loop.
@@ -180,6 +194,9 @@ pub const OMEGA_REIGN_STABLE_THRESHOLD_MS: &str = "omega_reign_stable_threshold_
 pub const OMEGA_REIGN_NODES: &str = "omega_reign_nodes";
 /// Process uptime since observability attach, ms (gauge).
 pub const OBS_UPTIME_MS: &str = "obs_uptime_ms";
+/// p99 of the measured check-period distribution, µs (gauge) — the clock
+/// the self-calibrating stable-reign threshold derives from.
+pub const OMEGA_CHECK_PERIOD_P99_US: &str = "omega_check_period_p99_us";
 
 /// Every canonical name with its documentation line — the single table
 /// the name-hygiene test checks and exposition can consult for `# HELP`.
@@ -202,6 +219,11 @@ pub const ALL: &[(&str, &str)] = &[
     (RETAINED_DECISIONS, "decisions retained after compaction"),
     (COMPACT_FLOOR, "first slot not yet compacted away"),
     (SNAPSHOT_INSTALLS, "peer snapshots installed into the log"),
+    (
+        PHASE1_SKIPS,
+        "slots opened phase-2-direct under an established reign",
+    ),
+    (REIGN_PREPARES, "reign-scoped prepares broadcast as leader"),
     (QUERIES_ISSUED, "queries issued (query/response baseline)"),
     (RESPONSES_SENT, "responses sent (query/response baseline)"),
     (
@@ -241,6 +263,14 @@ pub const ALL: &[(&str, &str)] = &[
     ),
     (WAL_APPENDED, "WAL records appended by this replica"),
     (WAL_SYNCS, "WAL fsync batches issued by this replica"),
+    (READS_LEASE, "reads served from the leader lease"),
+    (READS_READ_INDEX, "reads served via read-index confirmation"),
+    (READS_STALE, "stale reads served from the apply frontier"),
+    (LEASE_REFRESHES, "leader lease refreshes (quorum grants)"),
+    (
+        LEASE_EXPIRIES,
+        "leader lease expiries (unrefreshed windows)",
+    ),
     (MALFORMED_DROPPED, "off-policy frames dropped by the host"),
     (FRAMES_DELIVERED, "frames delivered to the protocol"),
     (SENDS_BATCHED, "sends coalesced by encode-once fan-out"),
@@ -294,6 +324,10 @@ pub const ALL: &[(&str, &str)] = &[
     (
         OBS_UPTIME_MS,
         "process uptime since observability attach, ms",
+    ),
+    (
+        OMEGA_CHECK_PERIOD_P99_US,
+        "p99 of the measured check-period distribution, us",
     ),
 ];
 

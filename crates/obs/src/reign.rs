@@ -24,8 +24,20 @@
 //! definition.
 
 use crate::expose::Obs;
+use crate::hist::Histogram;
 use crate::names;
 use crate::registry::{Counter, Gauge, HistHandle};
+
+/// Measured check periods needed before the stable-reign threshold starts
+/// self-calibrating; below this the configured prior holds (a handful of
+/// early samples is noise, not a distribution).
+pub const CHECK_PERIOD_MIN_SAMPLES: u64 = 32;
+
+/// Safety factor of the self-calibrating threshold: a reign counts as
+/// stable once it spans this many p99 check periods. Sixteen p99 periods
+/// comfortably outlast any single missed check or scheduling hiccup while
+/// staying far under a healthy reign.
+pub const CHECK_PERIOD_SAFETY_FACTOR: u64 = 16;
 
 /// Per-node reign bookkeeping over the shared registry panel.
 #[derive(Debug)]
@@ -35,8 +47,16 @@ pub struct ReignTracker {
     current_reign_ms: Gauge,
     stable_reign_ms: Counter,
     uptime_ms: Gauge,
+    threshold_gauge: Gauge,
+    check_p99_gauge: Gauge,
     shard: usize,
     threshold_ms: u64,
+    /// The configured prior the threshold starts from and never exceeds:
+    /// a pathological clock must not inflate the stability bar without
+    /// bound, it just keeps the conservative static value.
+    prior_ms: u64,
+    /// Measured failure-detector check periods, µs (log2 buckets).
+    check_periods: Histogram,
     /// `now_ms` when the current reign began; `None` until the first
     /// leader is observed (no reign is charged for the anarchic prefix).
     reign_start_ms: Option<u64>,
@@ -44,13 +64,16 @@ pub struct ReignTracker {
 
 impl ReignTracker {
     /// A tracker for one hosted node writing `obs`'s registry.
-    /// `threshold_ms` is the stable-reign bar — K failure-detector check
-    /// periods expressed in milliseconds (clamped to at least 1).
+    /// `threshold_ms` is the *prior* stable-reign bar — K failure-detector
+    /// check periods expressed in milliseconds (clamped to at least 1).
+    /// Once enough check periods have been measured
+    /// ([`ReignTracker::note_check_period_us`]) the bar re-derives itself
+    /// from the observed distribution instead of the static guess.
     pub fn new(obs: &Obs, shard: usize, threshold_ms: u64) -> Self {
         let threshold_ms = threshold_ms.max(1);
         let r = obs.registry();
-        r.gauge(names::OMEGA_REIGN_STABLE_THRESHOLD_MS)
-            .set(threshold_ms);
+        let threshold_gauge = r.gauge(names::OMEGA_REIGN_STABLE_THRESHOLD_MS);
+        threshold_gauge.set(threshold_ms);
         r.counter(names::OMEGA_REIGN_NODES).inc(shard);
         ReignTracker {
             reign_ms: r.histogram(names::OMEGA_REIGN_MS),
@@ -58,8 +81,12 @@ impl ReignTracker {
             current_reign_ms: r.gauge(names::OMEGA_CURRENT_REIGN_MS),
             stable_reign_ms: r.counter(names::OMEGA_STABLE_REIGN_MS),
             uptime_ms: r.gauge(names::OBS_UPTIME_MS),
+            check_p99_gauge: r.gauge(names::OMEGA_CHECK_PERIOD_P99_US),
+            threshold_gauge,
             shard,
             threshold_ms,
+            prior_ms: threshold_ms,
+            check_periods: Histogram::new(),
             reign_start_ms: None,
         }
     }
@@ -67,6 +94,37 @@ impl ReignTracker {
     /// The stable-reign bar this tracker charges against.
     pub fn threshold_ms(&self) -> u64 {
         self.threshold_ms
+    }
+
+    /// Check periods measured so far.
+    pub fn check_period_samples(&self) -> u64 {
+        self.check_periods.count()
+    }
+
+    /// Records one measured failure-detector check period (the wall-clock
+    /// gap between consecutive check-timer fires) and, once
+    /// [`CHECK_PERIOD_MIN_SAMPLES`] have accumulated, re-derives the
+    /// stable-reign bar as `p99 × CHECK_PERIOD_SAFETY_FACTOR`, clamped to
+    /// `[1 ms, prior]`. The fixed 1024-tick prior guessed at how many
+    /// check periods matter; the measured distribution knows — a host
+    /// whose timers actually fire every 800 µs gets a ~13 ms bar instead
+    /// of the 102 ms guess, so short-but-real stable reigns earn credit.
+    pub fn note_check_period_us(&mut self, us: u64) {
+        self.check_periods.record(us);
+        if self.check_periods.count() < CHECK_PERIOD_MIN_SAMPLES {
+            return;
+        }
+        let p99_us = self.check_periods.percentile(99.0);
+        self.check_p99_gauge.set(p99_us);
+        let derived_ms = p99_us
+            .saturating_mul(CHECK_PERIOD_SAFETY_FACTOR)
+            .div_ceil(1_000)
+            .max(1);
+        let new = derived_ms.min(self.prior_ms);
+        if new != self.threshold_ms {
+            self.threshold_ms = new;
+            self.threshold_gauge.set(new);
+        }
     }
 
     /// Called when this node's Ω output changes at `now_ms` (milliseconds
@@ -322,6 +380,58 @@ mod tests {
         let obs = Obs::metrics_only();
         assert_eq!(ReignStats::from_obs(&obs), None);
         assert_eq!(ReignStats::from_metrics(std::iter::empty()), None);
+    }
+
+    /// Satellite: the stable-reign bar re-derives itself from the
+    /// measured check-period distribution (p99 × safety factor) once
+    /// enough samples exist, instead of trusting the fixed-tick guess.
+    #[test]
+    fn threshold_self_calibrates_from_measured_check_periods() {
+        let obs = Obs::metrics_only();
+        // The 1024-tick prior at a 100 µs tick: ~102 ms.
+        let mut t = ReignTracker::new(&obs, 0, 102);
+        // Below the sample floor the prior holds untouched.
+        for _ in 0..CHECK_PERIOD_MIN_SAMPLES - 1 {
+            t.note_check_period_us(800);
+        }
+        assert_eq!(t.threshold_ms(), 102);
+        // The floor-crossing sample recalibrates: p99 = 800 µs, so the
+        // bar drops to ⌈800 × 16 / 1000⌉ = 13 ms.
+        t.note_check_period_us(800);
+        assert_eq!(t.threshold_ms(), 13);
+        let scraped = obs.registry().scrape();
+        let gauge = |name: &str| {
+            scraped
+                .iter()
+                .find(|(n, _)| *n == name)
+                .and_then(|(_, v)| match v {
+                    crate::registry::MetricValue::Gauge(g) => Some(*g),
+                    _ => None,
+                })
+        };
+        assert_eq!(gauge(names::OMEGA_CHECK_PERIOD_P99_US), Some(800));
+        assert_eq!(gauge(names::OMEGA_REIGN_STABLE_THRESHOLD_MS), Some(13));
+        // A 20 ms reign now clears the calibrated bar (it would have
+        // missed the 102 ms prior).
+        t.on_leader_change(0);
+        t.on_leader_change(20);
+        t.tick(20);
+        let stats = ReignStats::from_obs(&obs).unwrap();
+        assert_eq!(stats.stable_reign_ms, 20);
+        assert_eq!(stats.threshold_ms, 13);
+    }
+
+    /// A pathologically slow clock cannot inflate the bar past the
+    /// configured prior — calibration only ever tightens it.
+    #[test]
+    fn calibrated_threshold_is_capped_by_the_prior() {
+        let obs = Obs::metrics_only();
+        let mut t = ReignTracker::new(&obs, 0, 102);
+        for _ in 0..CHECK_PERIOD_MIN_SAMPLES {
+            t.note_check_period_us(10_000); // p99 × 16 = 160 ms > prior
+        }
+        assert_eq!(t.threshold_ms(), 102);
+        assert!(t.check_period_samples() >= CHECK_PERIOD_MIN_SAMPLES);
     }
 
     #[test]

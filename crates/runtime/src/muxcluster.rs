@@ -89,6 +89,9 @@ struct MuxLocal<P> {
     reign: Option<ReignTracker>,
     /// Leader in the last published snapshot (leader-change trace diffing).
     last_leader: ProcessId,
+    /// Instant of the last Ω check-timer fire, feeding the measured
+    /// check-period distribution (see `crate::node::CHECK_TIMER_SLOT`).
+    last_check_fire: Option<Instant>,
 }
 
 impl<P> MuxLocal<P> {
@@ -298,6 +301,7 @@ where
                     reign
                 }),
                 last_leader,
+                last_check_fire: None,
             });
             per_shard_sockets[i % workers].push(socket);
         }
@@ -709,6 +713,18 @@ where
             self.dirty[li] = true;
             if let Some(o) = &self.obs {
                 o.timers_fired.inc(o.shard);
+            }
+            // One measured Ω check period per consecutive pair of
+            // check-timer fires, feeding the self-calibrating bar.
+            if timer.raw() as usize == crate::node::CHECK_TIMER_SLOT {
+                let local = &mut self.locals[li];
+                let at = Instant::now();
+                if let (Some(reign), Some(prev)) =
+                    (&mut local.reign, local.last_check_fire.replace(at))
+                {
+                    let us = at.duration_since(prev).as_micros();
+                    reign.note_check_period_us(us.min(u128::from(u64::MAX)) as u64);
+                }
             }
         }
     }

@@ -40,10 +40,19 @@ use std::time::{Duration as StdDuration, Instant};
 pub const STABLE_REIGN_TICKS: u32 = 1024;
 
 /// The stable-reign threshold in milliseconds for a host running at
-/// `tick`.
+/// `tick`. This is the *prior*: once a node has measured enough real Ω
+/// check periods, the bar re-derives itself from their p99 (see
+/// [`irs_obs::ReignTracker::note_check_period_us`]) and this value only
+/// caps it.
 pub fn stable_reign_threshold_ms(tick: StdDuration) -> u64 {
     ((tick * STABLE_REIGN_TICKS).as_millis() as u64).max(1)
 }
+
+/// Timer slot of the Ω failure detector's round (check) timer — the
+/// cadence whose measured distribution calibrates the stable-reign bar.
+/// Every hosted protocol in this stack forwards the oracle's timers with
+/// their ids intact, so the slot is host-invariant.
+pub(crate) const CHECK_TIMER_SLOT: usize = 1;
 
 /// Per-node observability state for the host loop: registry counters
 /// (sharded by node id), the node's flight-recorder tracer, the
@@ -59,6 +68,10 @@ struct NodeObs<'a> {
     responder: Responder,
     shard: usize,
     last_leader: ProcessId,
+    /// Wall-clock instant of the last Ω check-timer fire, feeding the
+    /// measured check-period distribution the stable-reign threshold
+    /// self-calibrates from.
+    last_check_fire: Option<Instant>,
 }
 
 impl<'a> NodeObs<'a> {
@@ -78,6 +91,21 @@ impl<'a> NodeObs<'a> {
             responder: Responder::new(),
             shard: me.index(),
             last_leader: initial_leader,
+            last_check_fire: None,
+        }
+    }
+
+    /// Called on every protocol timer fire: the gap between consecutive
+    /// Ω *check*-timer fires (the failure detector's round timer) is one
+    /// measured check period for the self-calibrating reign panel.
+    fn note_timer_fire(&mut self, slot: usize, at: Instant) {
+        if slot != CHECK_TIMER_SLOT {
+            return;
+        }
+        if let Some(prev) = self.last_check_fire.replace(at) {
+            let us = at.duration_since(prev).as_micros();
+            self.reign
+                .note_check_period_us(us.min(u128::from(u64::MAX)) as u64);
         }
     }
 
@@ -367,8 +395,9 @@ where
                 proto.on_timer(irs_types::TimerId::new(slot as u16), &mut out);
                 apply(me, &mut out, &mut timers, &mut transport, &mut scratch, now);
                 dirty = true;
-                if let Some(o) = &obs {
+                if let Some(o) = &mut obs {
                     o.timers_fired.inc(o.shard);
+                    o.note_timer_fire(slot, Instant::now());
                 }
             }
         }

@@ -10,7 +10,7 @@
 //! a crashed or dark leader mid-load.
 
 use crate::command::{KvOp, KvWrite, MAX_KEY_LEN, MAX_VALUE_LEN};
-use crate::msg::{SvcMsg, SvcReply};
+use crate::msg::{ReadTier, SvcMsg, SvcReply};
 use irs_net::{wire::decode_payload, Transport, Wire};
 use irs_sim::SimRng;
 use irs_types::ProcessId;
@@ -168,6 +168,78 @@ impl<T: Transport> SvcClient<T> {
         self.execute(KvOp::Del { key: key.to_vec() }, deadline)
     }
 
+    /// Reads `key` at the chosen consistency tier, blocking until a value
+    /// reply arrives or `deadline` elapses. Returns the binding (`None`
+    /// when the key is unbound) plus the answering replica's apply
+    /// frontier — the staleness witness.
+    ///
+    /// Linearizable tiers ([`ReadTier::Lease`], [`ReadTier::ReadIndex`])
+    /// follow redirects to the leader like writes do; [`ReadTier::Stale`]
+    /// is answered by whichever replica the request lands on.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::TimedOut`] when no reply arrived in time,
+    /// [`ClientError::Closed`] when the transport is gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key exceeds [`MAX_KEY_LEN`].
+    pub fn get(
+        &mut self,
+        key: &[u8],
+        tier: ReadTier,
+        deadline: StdDuration,
+    ) -> Result<(Option<Vec<u8>>, u64), ClientError> {
+        assert!(key.len() <= MAX_KEY_LEN, "key too long");
+        let rid = self.alloc_seq();
+        let msg = SvcMsg::Read {
+            client: self.client_id(),
+            rid,
+            key: key.to_vec(),
+            tier,
+        };
+        let overall = Instant::now() + deadline;
+        let mut attempt_wait = BASE_RETRY;
+        let mut redirect_streak = 0u32;
+        loop {
+            if Instant::now() >= overall {
+                self.stats.failures += 1;
+                return Err(ClientError::TimedOut);
+            }
+            self.send_msg(&msg)?;
+            let attempt_deadline = (Instant::now() + attempt_wait).min(overall);
+            match self.await_reply(rid, attempt_deadline)? {
+                Some(ReplyOutcome::Value { value, frontier }) => {
+                    self.stats.acked += 1;
+                    return Ok((value, frontier));
+                }
+                Some(ReplyOutcome::Applied { .. }) => {} // foreign; keep going
+                Some(ReplyOutcome::Redirected) if redirect_streak < MAX_REDIRECT_STREAK => {
+                    redirect_streak += 1;
+                    continue;
+                }
+                Some(ReplyOutcome::Redirected) | None => {}
+            }
+            redirect_streak = 0;
+            if Instant::now() >= overall {
+                self.stats.failures += 1;
+                return Err(ClientError::TimedOut);
+            }
+            self.stats.retries += 1;
+            self.rotate_hint();
+            let jitter_unit = self.rng.range_u64(0..1000);
+            let jitter = attempt_wait.mul_f64(0.5 * jitter_unit as f64 / 1000.0);
+            let sleep = (attempt_wait / 2 + jitter).min(
+                overall
+                    .saturating_duration_since(Instant::now())
+                    .max(StdDuration::from_millis(1)),
+            );
+            std::thread::sleep(sleep);
+            attempt_wait = (attempt_wait * 2).min(MAX_RETRY);
+        }
+    }
+
     /// Runs one operation through the redirect/retry protocol.
     fn execute(&mut self, op: KvOp, deadline: StdDuration) -> Result<u64, ClientError> {
         self.seq += 1;
@@ -192,6 +264,9 @@ impl<T: Transport> SvcClient<T> {
                     self.stats.acked += 1;
                     return Ok(slot);
                 }
+                // A Value for a write's seq cannot happen (writes and reads
+                // draw from one seq space); treat it as silence.
+                Some(ReplyOutcome::Value { .. }) => {}
                 Some(ReplyOutcome::Redirected) if redirect_streak < MAX_REDIRECT_STREAK => {
                     // Follow the redirect immediately; a fresh hint is not a
                     // retry. A long streak of redirects, though, means the
@@ -225,9 +300,14 @@ impl<T: Transport> SvcClient<T> {
 
     /// Sends one request frame to the current hint.
     pub(crate) fn send_request(&mut self, cmd: &irs_consensus::Command) -> Result<(), ClientError> {
+        self.send_msg(&SvcMsg::Request { cmd: cmd.clone() })
+    }
+
+    /// Sends one already-built service message to the current hint.
+    pub(crate) fn send_msg(&mut self, msg: &SvcMsg) -> Result<(), ClientError> {
         self.scratch.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        SvcMsg::Request { cmd: cmd.clone() }.encode(&mut scratch);
+        msg.encode(&mut scratch);
         let result = self.transport.send(self.id, self.hint, &scratch);
         self.scratch = scratch;
         match result {
@@ -326,13 +406,21 @@ impl<T: Transport> SvcClient<T> {
                 }
                 Some((seq, ReplyOutcome::Redirected))
             }
+            SvcMsg::Reply(SvcReply::Value {
+                client,
+                rid,
+                value,
+                frontier,
+            }) if client == self.client_id() => {
+                Some((rid, ReplyOutcome::Value { value, frontier }))
+            }
             _ => None,
         }
     }
 }
 
 /// What a reply meant for the outstanding request.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum ReplyOutcome {
     /// Acked: decided and applied at the answering replica.
     Applied {
@@ -341,6 +429,13 @@ pub(crate) enum ReplyOutcome {
     },
     /// The hint changed; resend to the new hint.
     Redirected,
+    /// A read answered with the key's binding and the apply frontier.
+    Value {
+        /// The binding (`None` = unbound).
+        value: Option<Vec<u8>>,
+        /// The answering replica's apply frontier.
+        frontier: u64,
+    },
 }
 
 #[cfg(test)]

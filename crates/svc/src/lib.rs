@@ -75,7 +75,7 @@ pub use command::{KvOp, KvWrite};
 pub use durability::{Durability, Recovered};
 pub use irs_consensus::Command;
 pub use irs_wal::FsyncPolicy;
-pub use msg::{SvcMsg, SvcReply};
+pub use msg::{ReadTier, SvcMsg, SvcReply};
 pub use node::{accept_svc_frame, run_svc_node, SvcConfig};
-pub use replica::SvcReplica;
+pub use replica::{SvcReplica, TIMER_LEASE};
 pub use store::KvStore;

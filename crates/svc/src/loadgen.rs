@@ -16,6 +16,7 @@
 
 use crate::client::{ClientError, ReplyOutcome, SvcClient};
 use crate::command::{KvOp, KvWrite};
+use crate::msg::ReadTier;
 use crate::replica::SvcReplica;
 use irs_net::Transport;
 use irs_obs::Histogram;
@@ -263,7 +264,7 @@ pub fn open_loop<T: Transport>(client: &mut SvcClient<T>, opts: OpenLoopOptions)
                     let _ = client.send_write(&w);
                 }
             }
-            Ok(None) => {}
+            Ok(Some((_, ReplyOutcome::Value { .. }))) | Ok(None) => {}
             Err(_) => break,
         }
     }
@@ -284,7 +285,7 @@ pub fn open_loop<T: Transport>(client: &mut SvcClient<T>, opts: OpenLoopOptions)
                     let _ = client.send_write(&w);
                 }
             }
-            Ok(None) => {}
+            Ok(Some((_, ReplyOutcome::Value { .. }))) | Ok(None) => {}
             Err(_) => break,
         }
     }
@@ -418,6 +419,324 @@ pub fn check_consistency(replicas: &[&SvcReplica], acked: &[ClientAcks]) -> Resu
                         client.client, key, other
                     ))
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- Mixed read/write load (the E16 family) ----
+
+/// Tuning of a mixed read/write closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedLoopOptions {
+    /// Wall-clock length of the run.
+    pub duration: StdDuration,
+    /// Per-operation deadline (retries included).
+    pub op_deadline: StdDuration,
+    /// Keys each client cycles through.
+    pub keys_per_client: u64,
+    /// Value payload length in bytes.
+    pub value_len: usize,
+    /// Reads per 100 operations (95 = the read-heavy mix, 50 = balanced).
+    pub read_pct: u32,
+    /// The consistency tier every read selects.
+    pub tier: ReadTier,
+}
+
+impl Default for MixedLoopOptions {
+    fn default() -> Self {
+        MixedLoopOptions {
+            duration: StdDuration::from_secs(2),
+            op_deadline: StdDuration::from_secs(3),
+            keys_per_client: 8,
+            value_len: 16,
+            read_pct: 95,
+            tier: ReadTier::Lease,
+        }
+    }
+}
+
+/// What one mixed run produced, split by operation class.
+#[derive(Clone, Debug, Default)]
+pub struct MixedReport {
+    /// Acknowledged writes.
+    pub writes: u64,
+    /// Writes that exhausted their deadline.
+    pub write_failures: u64,
+    /// Answered reads.
+    pub reads: u64,
+    /// Reads that exhausted their deadline.
+    pub read_failures: u64,
+    /// Redirects followed across all clients.
+    pub redirects: u64,
+    /// Wall-clock span of the run.
+    pub elapsed: StdDuration,
+    /// Write ack latencies, µs.
+    pub write_latency: Histogram,
+    /// Read answer latencies, µs.
+    pub read_latency: Histogram,
+}
+
+impl MixedReport {
+    /// Answered reads per second of wall clock.
+    pub fn reads_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.reads as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Acknowledged writes per second of wall clock.
+    pub fn writes_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.writes as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// All answered operations per second of wall clock.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            (self.reads + self.writes) as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+}
+
+/// One answered read, as the issuing client saw it, with the bounds the
+/// linearizability checker needs: what the client had *acked* on the key
+/// before issuing (the floor a linearizable read must observe) and what it
+/// had *issued* (the ceiling any read may observe — a value never written
+/// cannot be read).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedRead {
+    /// The key read.
+    pub key: Vec<u8>,
+    /// The seq carried by the returned value (`None` = key unbound).
+    pub value_seq: Option<u64>,
+    /// The answering replica's apply frontier (staleness witness).
+    pub frontier: u64,
+    /// Largest write seq this client had acked on the key before issuing.
+    pub acked_floor: Option<u64>,
+    /// Largest write seq this client had issued on the key before issuing
+    /// (timed-out writes included — they may still land).
+    pub issued_ceiling: Option<u64>,
+}
+
+/// Everything one client observed through reads during a run.
+#[derive(Clone, Debug, Default)]
+pub struct ClientReads {
+    /// The logical client id.
+    pub client: u64,
+    /// The tier the reads ran at.
+    pub tier: Option<ReadTier>,
+    /// Answered reads in issue order.
+    pub reads: Vec<ObservedRead>,
+}
+
+/// Runs every client closed-loop on a deterministic read/write mix
+/// (`read_pct` reads per 100 ops, interleaved evenly). Returns the merged
+/// per-class report, each client's acked writes (for
+/// [`check_consistency`]) and each client's observed reads (for
+/// [`check_read_linearizability`]).
+pub fn mixed_loop<T: Transport>(
+    clients: &mut [SvcClient<T>],
+    opts: MixedLoopOptions,
+) -> (MixedReport, Vec<ClientAcks>, Vec<ClientReads>) {
+    let started = Instant::now();
+    let per_client: Vec<(MixedReport, ClientAcks, ClientReads)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .map(|client| {
+                scope.spawn(move || {
+                    let stats_before = client.stats;
+                    let mut report = MixedReport::default();
+                    let mut acks = ClientAcks {
+                        client: client.client_id(),
+                        acked: Vec::new(),
+                    };
+                    let mut reads = ClientReads {
+                        client: client.client_id(),
+                        tier: Some(opts.tier),
+                        reads: Vec::new(),
+                    };
+                    // Per key: largest acked and largest issued write seq.
+                    let mut acked_floor: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+                    let mut issued_ceiling: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+                    let deadline = Instant::now() + opts.duration;
+                    let mut op = 0u64;
+                    let mut k = 0u64;
+                    while Instant::now() < deadline {
+                        let key = key_for(acks.client, k % opts.keys_per_client);
+                        k += 1;
+                        // Even interleave: op i is a read iff its residue
+                        // falls inside the read share of each 100-op window.
+                        let is_read = (op % 100) < u64::from(opts.read_pct.min(100));
+                        op += 1;
+                        let op_started = Instant::now();
+                        if is_read {
+                            match client.get(&key, opts.tier, opts.op_deadline) {
+                                Ok((value, frontier)) => {
+                                    report
+                                        .read_latency
+                                        .record(op_started.elapsed().as_micros() as u64);
+                                    report.reads += 1;
+                                    reads.reads.push(ObservedRead {
+                                        value_seq: value.as_deref().and_then(seq_of_value),
+                                        frontier,
+                                        acked_floor: acked_floor.get(&key).copied(),
+                                        issued_ceiling: issued_ceiling.get(&key).copied(),
+                                        key,
+                                    });
+                                }
+                                Err(ClientError::Closed) => break,
+                                Err(ClientError::TimedOut) => report.read_failures += 1,
+                            }
+                        } else {
+                            let seq = client.next_seq();
+                            let value = value_for(seq, opts.value_len);
+                            issued_ceiling.insert(key.clone(), seq);
+                            match client.put(&key, &value, opts.op_deadline) {
+                                Ok(slot) => {
+                                    report
+                                        .write_latency
+                                        .record(op_started.elapsed().as_micros() as u64);
+                                    report.writes += 1;
+                                    acked_floor.insert(key.clone(), seq);
+                                    acks.acked.push(AckedWrite { seq, key, slot });
+                                }
+                                Err(ClientError::Closed) => break,
+                                Err(ClientError::TimedOut) => report.write_failures += 1,
+                            }
+                        }
+                    }
+                    report.redirects = client.stats.redirects - stats_before.redirects;
+                    (report, acks, reads)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let mut merged = MixedReport {
+        elapsed: started.elapsed(),
+        ..MixedReport::default()
+    };
+    let (mut all_acks, mut all_reads) = (Vec::new(), Vec::new());
+    for (report, acks, reads) in per_client {
+        merged.writes += report.writes;
+        merged.write_failures += report.write_failures;
+        merged.reads += report.reads;
+        merged.read_failures += report.read_failures;
+        merged.redirects += report.redirects;
+        merged.write_latency.merge(&report.write_latency);
+        merged.read_latency.merge(&report.read_latency);
+        all_acks.push(acks);
+        all_reads.push(reads);
+    }
+    (merged, all_acks, all_reads)
+}
+
+/// [`mixed_loop`] with the agreed leader crash-stopped after `crash_after`
+/// — the E16 crash-during-lease scenario. The crash lands while the
+/// victim's lease may still be live, so this is the run that exercises the
+/// lease expiry / redirect / re-election path under a read-heavy mix.
+/// Returns the report, acks, reads, and who was crashed.
+pub fn mixed_loop_with_leader_crash<T: Transport>(
+    cluster: &crate::SvcCluster,
+    clients: &mut [SvcClient<T>],
+    opts: MixedLoopOptions,
+    crash_after: StdDuration,
+) -> (
+    MixedReport,
+    Vec<ClientAcks>,
+    Vec<ClientReads>,
+    irs_types::ProcessId,
+) {
+    std::thread::scope(|scope| {
+        let crasher = scope.spawn(move || {
+            std::thread::sleep(crash_after);
+            let victim = cluster
+                .agreed_leader()
+                .unwrap_or(irs_types::ProcessId::new(0));
+            cluster.crash(victim);
+            victim
+        });
+        let (report, acked, reads) = mixed_loop(clients, opts);
+        (
+            report,
+            acked,
+            reads,
+            crasher.join().expect("crasher thread"),
+        )
+    })
+}
+
+/// Verifies every observed read against the acked write order the same
+/// client produced:
+///
+/// * **any tier** — a read never returns a value the client had not yet
+///   issued on that key (values carry their write seq; an invented or
+///   cross-key value is a protocol violation);
+/// * **linearizable tiers** ([`ReadTier::Lease`], [`ReadTier::ReadIndex`])
+///   — a read issued after the client acked write seq `s` on the key
+///   returns a value with seq ≥ `s` (acked writes are visible), and the
+///   seqs a client observes on one key never go backwards across its own
+///   reads (real-time order at one observer).
+///
+/// Stale-tier reads are exempt from the floor and monotonicity — their
+/// guarantee (the answer is a committed prefix) is pinned by the
+/// replica-level frontier-bound test instead.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_read_linearizability(reads: &[ClientReads]) -> Result<(), String> {
+    for log in reads {
+        let linearizable = !matches!(log.tier, Some(ReadTier::Stale));
+        let mut seen_floor: BTreeMap<&[u8], u64> = BTreeMap::new();
+        for (i, r) in log.reads.iter().enumerate() {
+            if let Some(seq) = r.value_seq {
+                match r.issued_ceiling {
+                    Some(ceiling) if seq <= ceiling => {}
+                    other => {
+                        return Err(format!(
+                            "client {} read #{i} of {:?}: value seq {seq} above issued ceiling {other:?}",
+                            log.client, r.key
+                        ))
+                    }
+                }
+            }
+            if !linearizable {
+                continue;
+            }
+            if let Some(floor) = r.acked_floor {
+                match r.value_seq {
+                    Some(seq) if seq >= floor => {}
+                    other => {
+                        return Err(format!(
+                            "client {} read #{i} of {:?}: acked seq {floor} before the read, \
+                             but it returned {other:?} — an acked write went invisible",
+                            log.client, r.key
+                        ))
+                    }
+                }
+            }
+            if let Some(seq) = r.value_seq {
+                let e = seen_floor.entry(r.key.as_slice()).or_insert(seq);
+                if seq < *e {
+                    return Err(format!(
+                        "client {} read #{i} of {:?}: observed seq went backwards {} -> {seq}",
+                        log.client, r.key, *e
+                    ));
+                }
+                *e = seq;
             }
         }
     }

@@ -52,6 +52,10 @@ pub struct SvcConfig {
     /// handle carries one), and [`run_svc_node`] adds host-loop counters.
     /// `None` (the default) runs fully uninstrumented, as before PR 8.
     pub obs: Option<Arc<Obs>>,
+    /// Whether replicas take the stable-reign fast path (one reign-scoped
+    /// prepare per leadership, Accept-only slots thereafter). On by
+    /// default; the E16 baseline turns it off to measure the saving.
+    pub phase1_skip: bool,
 }
 
 impl SvcConfig {
@@ -68,6 +72,7 @@ impl SvcConfig {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             obs: None,
+            phase1_skip: true,
         }
     }
 
@@ -115,6 +120,13 @@ impl SvcConfig {
         self
     }
 
+    /// Enables or disables the stable-reign fast path (default on).
+    #[must_use]
+    pub fn with_phase1_skip(mut self, enabled: bool) -> Self {
+        self.phase1_skip = enabled;
+        self
+    }
+
     /// The data directory of replica `id` under this config, if durable.
     pub fn node_dir(&self, id: ProcessId) -> Option<PathBuf> {
         self.data_dir
@@ -155,6 +167,7 @@ impl SvcConfig {
                 self.snapshot_interval,
             ),
         };
+        replica.set_phase1_skip(self.phase1_skip);
         if let Some(obs) = &self.obs {
             replica.attach_obs(obs);
         }
@@ -189,10 +202,13 @@ pub fn accept_svc_frame_bytes(
         return None;
     }
     match msg {
-        // The consensus plane is replicas-only.
-        SvcMsg::Log(_) => (from.index() < n).then_some(msg),
-        // Requests may come from any endpoint we can route a reply to.
-        SvcMsg::Request { .. } => (from.index() < peers).then_some(msg),
+        // The consensus and lease planes are replicas-only.
+        SvcMsg::Log(_) | SvcMsg::LeaseProbe { .. } | SvcMsg::LeaseAck { .. } => {
+            (from.index() < n).then_some(msg)
+        }
+        // Requests and reads may come from any endpoint we can route a
+        // reply to.
+        SvcMsg::Request { .. } | SvcMsg::Read { .. } => (from.index() < peers).then_some(msg),
         // Replies belong on the client side of the link.
         SvcMsg::Reply(_) => None,
     }
@@ -273,5 +289,38 @@ mod tests {
         // Replies never enter a replica; misrouted frames die too.
         assert!(accept_svc_frame(&frame(2, 0, &reply), me, n, peers).is_none());
         assert!(accept_svc_frame(&frame(2, 3, &log), me, n, peers).is_none());
+    }
+
+    /// The read plane follows the same boundary: reads are client traffic,
+    /// lease probes/acks are replica-only, value replies never enter a
+    /// replica.
+    #[test]
+    fn policy_splits_the_read_plane_like_the_write_plane() {
+        let me = ProcessId::new(0);
+        let (n, peers) = (5, 8);
+        let read = SvcMsg::Read {
+            client: 6,
+            rid: 1,
+            key: b"k".to_vec(),
+            tier: crate::msg::ReadTier::Lease,
+        };
+        let probe = SvcMsg::LeaseProbe { rid: 3 };
+        let ack = SvcMsg::LeaseAck {
+            rid: 3,
+            granted: true,
+        };
+        let value = SvcMsg::Reply(SvcReply::Value {
+            client: 6,
+            rid: 1,
+            value: None,
+            frontier: 0,
+        });
+        assert!(accept_svc_frame(&frame(6, 0, &read), me, n, peers).is_some());
+        assert!(accept_svc_frame(&frame(9, 0, &read), me, n, peers).is_none());
+        assert!(accept_svc_frame(&frame(2, 0, &probe), me, n, peers).is_some());
+        assert!(accept_svc_frame(&frame(2, 0, &ack), me, n, peers).is_some());
+        assert!(accept_svc_frame(&frame(6, 0, &probe), me, n, peers).is_none());
+        assert!(accept_svc_frame(&frame(6, 0, &ack), me, n, peers).is_none());
+        assert!(accept_svc_frame(&frame(2, 0, &value), me, n, peers).is_none());
     }
 }

@@ -1,20 +1,63 @@
 //! One service replica: the replicated log plus the KV apply loop plus the
 //! client request handling, as a single sans-IO [`Protocol`].
+//!
+//! # The leader lease and its clock-safety argument
+//!
+//! The lease plane lets a stable leader serve linearizable reads without
+//! logging them. Every [`TIMER_LEASE`] period the leader broadcasts a
+//! [`SvcMsg::LeaseProbe`]; a replica answers granted only while its own Ω
+//! output names the prober and it holds no unexpired grant to anyone else.
+//! A quorum of grants makes the lease valid for [`LEASE_VALIDITY`] periods
+//! counted **from the period the probe was sent**, while each granting
+//! replica honours its grant for [`GRANT_PERIODS`] periods counted **from
+//! the period the probe was received**. Receipt never precedes send in
+//! real time, so with `GRANT_PERIODS = 2 × LEASE_VALIDITY` every grant
+//! outlives the leader's validity window as long as no replica's timer
+//! cadence runs more than twice as fast as the leader's — far beyond the
+//! drift of timers all driven at the same configured tick. While the
+//! quorum lease is valid no competing leader can collect its own quorum of
+//! grants, and Ω stability (the paper's intermittent rotating star) is
+//! exactly what keeps the grants flowing — so a lease-tier read served
+//! from the leader's applied store observes every write the service ever
+//! acknowledged, because acks are only sent after local application at
+//! that same leader.
+//!
+//! When the lease is uncertain (just elected, grants lost, Ω flickering)
+//! a lease-tier read degrades to the read-index path: the read is queued
+//! with the current decided frontier as its read index, leadership is
+//! re-confirmed by a quorum of granted acks for a probe round **started
+//! after the read arrived**, and the answer waits until the apply cursor
+//! covers the read index. Stale-tier reads skip coordination entirely:
+//! any replica answers from its applied prefix, so the answer is a
+//! committed (possibly old) state — never an unacked in-flight write.
 
 use crate::command::KvWrite;
 use crate::durability::Durability;
-use crate::msg::{ReplicaLogMsg, SvcMsg, SvcReply};
+use crate::msg::{ReadTier, ReplicaLogMsg, SvcMsg, SvcReply};
 use crate::store::KvStore;
 use irs_consensus::{Command, ConsensusConfig, ReplicatedLog, MAX_SNAPSHOT_LEN};
 use irs_omega::OmegaProcess;
 use irs_types::{
-    Actions, Destination, Introspect, LeaderOracle, ProcessId, Protocol, Snapshot, SystemConfig,
-    TimerId,
+    Actions, Destination, Duration, Introspect, LeaderOracle, ProcessId, Protocol, Snapshot,
+    SystemConfig, TimerId,
 };
 use irs_wal::FsyncPolicy;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::Arc;
+
+/// The lease/read-index probe timer (disjoint from the oracle's 0..,
+/// consensus' 200 and the log's 201).
+pub const TIMER_LEASE: TimerId = TimerId::new(202);
+
+/// Periods a quorum-granted lease stays valid, counted from the period the
+/// winning probe was *sent* (see the module docs for why send-side
+/// counting is the safe side of the inequality).
+const LEASE_VALIDITY: u64 = 4;
+
+/// Periods a replica honours a grant, counted from probe *receipt*. Twice
+/// the validity window: the safety margin against relative timer drift.
+const GRANT_PERIODS: u64 = 2 * LEASE_VALIDITY;
 
 /// One replica of the key-value service.
 ///
@@ -50,6 +93,64 @@ pub struct SvcReplica {
     /// Optional observability hooks (metrics handles + flight-recorder
     /// tracer); `None` costs nothing on the hot path.
     obs: Option<ReplicaObs>,
+    /// The lease/read-index plane (see the module docs).
+    lease: LeaseState,
+}
+
+/// One read awaiting its read-index conditions at the leader.
+#[derive(Debug)]
+struct PendingRead {
+    /// The endpoint to answer.
+    from: ProcessId,
+    client: u64,
+    rid: u64,
+    key: Vec<u8>,
+    /// The decided frontier when the read arrived; the answer waits until
+    /// the apply cursor covers it.
+    read_index: u64,
+    /// The probe round whose quorum confirms leadership for this read —
+    /// always a round *sent after* the read arrived.
+    confirm_rid: u64,
+}
+
+/// The lease clock and probe bookkeeping of one replica.
+#[derive(Debug, Default)]
+struct LeaseState {
+    /// Cadence of [`TIMER_LEASE`] (the consensus ballot-check period).
+    period: Duration,
+    /// Local period counter — the only clock the lease logic reads.
+    now: u64,
+    /// Phase-1 quorum size (`n − t`), shared with the consensus layer.
+    quorum: usize,
+    /// Leader side: the probe round currently collecting acks.
+    probe_rid: u64,
+    /// Leader side: the period `probe_rid` was sent.
+    probe_sent_at: u64,
+    /// Leader side: replicas that granted the current round (self included
+    /// implicitly).
+    grants: BTreeSet<ProcessId>,
+    /// Leader side: the highest probe round that reached a grant quorum.
+    confirmed_rid: u64,
+    /// Leader side: first period at which the lease is no longer valid
+    /// (0 = no lease).
+    valid_until: u64,
+    /// Follower side: an open grant `(leader, first period it no longer
+    /// binds)`.
+    granted: Option<(ProcessId, u64)>,
+    /// Reads queued on the read-index path.
+    pending_reads: Vec<PendingRead>,
+    reads_lease: u64,
+    reads_read_index: u64,
+    reads_stale: u64,
+    refreshes: u64,
+    expiries: u64,
+}
+
+impl LeaseState {
+    /// Whether the quorum lease currently covers a leader-local read.
+    fn valid(&self) -> bool {
+        self.now < self.valid_until
+    }
 }
 
 /// The registry handles and tracer a replica records onto once
@@ -97,7 +198,16 @@ impl SvcReplica {
             system.n(),
             system.t()
         );
-        let cfg = ConsensusConfig::new(system).with_batching(batch_max, pipeline_depth);
+        // The service opts into the stable-reign fast path: one reign
+        // prepare per leadership, Accept-only slots from then on.
+        let cfg = ConsensusConfig::new(system)
+            .with_batching(batch_max, pipeline_depth)
+            .with_phase1_skip(true);
+        let lease = LeaseState {
+            period: cfg.ballot_check_period,
+            quorum: system.quorum(),
+            ..LeaseState::default()
+        };
         SvcReplica {
             log: ReplicatedLog::new(id, cfg, OmegaProcess::fig3(id, system)),
             store: KvStore::new(),
@@ -111,6 +221,7 @@ impl SvcReplica {
             oversized_snapshot_skips: 0,
             durability: None,
             obs: None,
+            lease,
         }
     }
 
@@ -152,7 +263,9 @@ impl SvcReplica {
             }
             (*upto, Arc::from(blob.as_slice()))
         });
-        let cfg = ConsensusConfig::new(system).with_batching(batch_max, pipeline_depth);
+        let cfg = ConsensusConfig::new(system)
+            .with_batching(batch_max, pipeline_depth)
+            .with_phase1_skip(true);
         replica.log = ReplicatedLog::recover(
             id,
             cfg,
@@ -168,6 +281,13 @@ impl SvcReplica {
         // Recording starts only now, so replay itself is never re-logged.
         replica.log.set_durable(true);
         Ok(replica)
+    }
+
+    /// Enables or disables the stable-reign fast path on the underlying
+    /// log (on by default; see [`irs_consensus::ReplicatedLog::set_phase1_skip`]).
+    /// Benchmark baselines turn it off to measure what the skip buys.
+    pub fn set_phase1_skip(&mut self, enabled: bool) {
+        self.log.set_phase1_skip(enabled);
     }
 
     /// Wires this replica into the process-wide [`irs_obs::Obs`] handle:
@@ -283,6 +403,195 @@ impl SvcReplica {
         let mut inner = Actions::new();
         self.log.drive(&mut inner);
         self.lift(inner, out);
+    }
+
+    /// Answers one read under its tier's guarantee (or queues it on the
+    /// read-index path; see the module docs).
+    fn on_read(
+        &mut self,
+        from: ProcessId,
+        client: u64,
+        rid: u64,
+        key: &[u8],
+        tier: ReadTier,
+        out: &mut Actions<SvcMsg>,
+    ) {
+        self.requests += 1;
+        if tier == ReadTier::Stale {
+            // Any replica serves its applied prefix — committed state,
+            // bounded behind the decided frontier by the apply cursor.
+            self.lease.reads_stale += 1;
+            self.reply_value(from, client, rid, key, out);
+            return;
+        }
+        let me = self.log.id();
+        let leader = self.log.leader();
+        if leader != me {
+            self.redirects += 1;
+            out.send(
+                from,
+                SvcMsg::Reply(SvcReply::Redirect {
+                    client,
+                    seq: rid,
+                    leader,
+                }),
+            );
+            return;
+        }
+        if tier == ReadTier::Lease && self.lease.valid() {
+            // The lease fast path: zero messages. Every acked write was
+            // applied here before its ack left, so the local store is a
+            // linearizable read point while the lease pins leadership.
+            self.lease.reads_lease += 1;
+            self.reply_value(from, client, rid, key, out);
+            return;
+        }
+        // Read-index (and the lease-uncertain fallback): confirm
+        // leadership with a probe round sent after this moment, then wait
+        // for the apply cursor to cover today's decided frontier.
+        self.lease.pending_reads.push(PendingRead {
+            from,
+            client,
+            rid,
+            key: key.to_vec(),
+            read_index: self.log.frontier_slot(),
+            confirm_rid: self.lease.probe_rid + 1,
+        });
+    }
+
+    /// Sends the store's current binding of `key` with the apply frontier
+    /// as the staleness witness.
+    fn reply_value(
+        &mut self,
+        to: ProcessId,
+        client: u64,
+        rid: u64,
+        key: &[u8],
+        out: &mut Actions<SvcMsg>,
+    ) {
+        out.send(
+            to,
+            SvcMsg::Reply(SvcReply::Value {
+                client,
+                rid,
+                value: self.store.get(key).map(<[u8]>::to_vec),
+                frontier: self.cursor,
+            }),
+        );
+    }
+
+    /// One firing of the lease timer: advance the local period clock, let
+    /// a leader open the next probe round, and let a deposed leader drop
+    /// its lease state.
+    fn on_lease_tick(&mut self, out: &mut Actions<SvcMsg>) {
+        self.lease.now += 1;
+        let me = self.log.id();
+        if self.log.leader() == me {
+            if self.lease.valid_until != 0 && !self.lease.valid() {
+                self.lease.expiries += 1;
+                self.lease.valid_until = 0;
+            }
+            self.lease.probe_rid += 1;
+            self.lease.probe_sent_at = self.lease.now;
+            self.lease.grants.clear();
+            out.broadcast_others(SvcMsg::LeaseProbe {
+                rid: self.lease.probe_rid,
+            });
+        } else {
+            if self.lease.valid() {
+                // Deposed mid-lease: the lease dies with the leadership.
+                self.lease.expiries += 1;
+            }
+            self.lease.valid_until = 0;
+            self.lease.grants.clear();
+            self.redirect_pending_reads(out);
+        }
+        out.set_timer(TIMER_LEASE, self.lease.period);
+    }
+
+    /// A probe from `from`: grant only while our Ω output names the
+    /// prober and no unexpired grant to a different leader is open. The
+    /// grant window counts from *this* period — probe receipt, which
+    /// follows probe send in real time (the safe side of the clock
+    /// inequality).
+    fn on_lease_probe(&mut self, from: ProcessId, rid: u64, out: &mut Actions<SvcMsg>) {
+        let free = match self.lease.granted {
+            Some((holder, until)) => holder == from || self.lease.now >= until,
+            None => true,
+        };
+        let granted = free && self.log.leader() == from && from != self.log.id();
+        if granted {
+            self.lease.granted = Some((from, self.lease.now + GRANT_PERIODS));
+        }
+        out.send(from, SvcMsg::LeaseAck { rid, granted });
+    }
+
+    /// An ack for the current probe round. A quorum of grants (the prober
+    /// counts itself) refreshes the lease — validity counted from the
+    /// round's *send* period — and confirms leadership for queued
+    /// read-index reads.
+    fn on_lease_ack(
+        &mut self,
+        from: ProcessId,
+        rid: u64,
+        granted: bool,
+        out: &mut Actions<SvcMsg>,
+    ) {
+        if !granted || rid != self.lease.probe_rid || self.log.leader() != self.log.id() {
+            return;
+        }
+        self.lease.grants.insert(from);
+        if self.lease.grants.len() + 1 >= self.lease.quorum && self.lease.confirmed_rid < rid {
+            self.lease.confirmed_rid = rid;
+            let fresh = self.lease.probe_sent_at + LEASE_VALIDITY;
+            if fresh > self.lease.valid_until {
+                self.lease.valid_until = fresh;
+                self.lease.refreshes += 1;
+            }
+        }
+        self.service_pending_reads(out);
+    }
+
+    /// Answers every queued read whose leadership round confirmed and
+    /// whose read index the apply cursor has covered.
+    fn service_pending_reads(&mut self, out: &mut Actions<SvcMsg>) {
+        if self.lease.pending_reads.is_empty() {
+            return;
+        }
+        let (confirmed, cursor) = (self.lease.confirmed_rid, self.cursor);
+        let ready: Vec<PendingRead> = {
+            let pending = &mut self.lease.pending_reads;
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < pending.len() {
+                if confirmed >= pending[i].confirm_rid && cursor >= pending[i].read_index {
+                    ready.push(pending.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        for r in ready {
+            self.lease.reads_read_index += 1;
+            self.reply_value(r.from, r.client, r.rid, &r.key, out);
+        }
+    }
+
+    /// A deposed leader cannot answer its queued reads; redirect them so
+    /// clients re-aim instead of waiting out their deadline.
+    fn redirect_pending_reads(&mut self, out: &mut Actions<SvcMsg>) {
+        let leader = self.log.leader();
+        for r in self.lease.pending_reads.drain(..) {
+            out.send(
+                r.from,
+                SvcMsg::Reply(SvcReply::Redirect {
+                    client: r.client,
+                    seq: r.rid,
+                    leader,
+                }),
+            );
+        }
     }
 
     /// Applies every newly decided contiguous slot — each slot is a batch,
@@ -435,6 +744,7 @@ impl Protocol for SvcReplica {
         let mut inner = Actions::new();
         self.log.on_start(&mut inner);
         self.lift(inner, out);
+        out.set_timer(TIMER_LEASE, self.lease.period);
     }
 
     fn on_message(&mut self, from: ProcessId, msg: &Self::Msg, out: &mut Actions<Self::Msg>) {
@@ -445,21 +755,35 @@ impl Protocol for SvcReplica {
                 self.lift(inner, out);
             }
             SvcMsg::Request { cmd } => self.on_request(from, cmd, out),
+            SvcMsg::Read {
+                client,
+                rid,
+                key,
+                tier,
+            } => self.on_read(from, *client, *rid, key, *tier, out),
+            SvcMsg::LeaseProbe { rid } => self.on_lease_probe(from, *rid, out),
+            SvcMsg::LeaseAck { rid, granted } => self.on_lease_ack(from, *rid, *granted, out),
             // Replies are client-plane messages; at a replica they are
             // stray traffic.
             SvcMsg::Reply(_) => {}
         }
         self.maybe_install();
         self.apply_ready(out);
+        self.service_pending_reads(out);
         self.persist();
     }
 
     fn on_timer(&mut self, timer: TimerId, out: &mut Actions<Self::Msg>) {
-        let mut inner = Actions::new();
-        self.log.on_timer(timer, &mut inner);
-        self.lift(inner, out);
+        if timer == TIMER_LEASE {
+            self.on_lease_tick(out);
+        } else {
+            let mut inner = Actions::new();
+            self.log.on_timer(timer, &mut inner);
+            self.lift(inner, out);
+        }
         self.maybe_install();
         self.apply_ready(out);
+        self.service_pending_reads(out);
         self.persist();
     }
 }
@@ -489,6 +813,16 @@ impl Introspect for SvcReplica {
             names::OVERSIZED_SNAPSHOT_SKIPS,
             self.oversized_snapshot_skips,
         ));
+        snap.extra
+            .push((names::READS_LEASE, self.lease.reads_lease));
+        snap.extra
+            .push((names::READS_READ_INDEX, self.lease.reads_read_index));
+        snap.extra
+            .push((names::READS_STALE, self.lease.reads_stale));
+        snap.extra
+            .push((names::LEASE_REFRESHES, self.lease.refreshes));
+        snap.extra
+            .push((names::LEASE_EXPIRIES, self.lease.expiries));
         let d = self.durability.as_ref();
         snap.extra
             .push((names::WAL_APPENDED, d.map_or(0, |d| d.appended())));
@@ -560,13 +894,15 @@ mod tests {
         let cmd = write(7, 1).encode();
         let mut out = Actions::new();
         replicas[0].on_message(client_ep, &SvcMsg::Request { cmd }, &mut out);
-        // The event-driven fast path opens slot 0's first ballot right on
-        // request arrival — no waiting for the periodic log check.
+        // The event-driven fast path acts right on request arrival — no
+        // waiting for the periodic log check. With the phase-1 skip on,
+        // the first request opens the reign prepare (slot ballots follow
+        // Accept-only once a promise quorum answers).
         assert!(
             out.sends()
                 .iter()
-                .any(|s| matches!(s.msg, SvcMsg::Log(LogMsg::Slot { slot: 0, .. }))),
-            "request arrival must drive the frontier slot: {:?}",
+                .any(|s| matches!(s.msg, SvcMsg::Log(LogMsg::PrepareReign { .. }))),
+            "request arrival must open the reign: {:?}",
             out.sends().len()
         );
         assert_eq!(replicas[0].log.pending_len(), 1);
@@ -725,6 +1061,11 @@ mod tests {
             "redirects",
             "snapshots_taken",
             "oversized_snapshot_skips",
+            "reads_lease",
+            "reads_read_index",
+            "reads_stale",
+            "lease_refreshes",
+            "lease_expiries",
             "wal_appended",
             "wal_syncs",
             "retained_decisions",
@@ -822,6 +1163,294 @@ mod tests {
             Some(replica.oversized_snapshot_skips)
         );
         assert!(snap.gauge("compact_floor").unwrap() >= 64);
+    }
+
+    // ---- The lease/read plane ----
+
+    /// Fires the lease timer once and returns what went out.
+    fn lease_tick(replica: &mut SvcReplica) -> Actions<SvcMsg> {
+        let mut out = Actions::new();
+        replica.on_timer(TIMER_LEASE, &mut out);
+        out
+    }
+
+    /// Grants the current probe round from `granters` (enough for quorum
+    /// with n = 5, t = 2 when two grant).
+    fn grant_round(replica: &mut SvcReplica, rid: u64, granters: &[u32]) -> Actions<SvcMsg> {
+        let mut out = Actions::new();
+        for &g in granters {
+            replica.on_message(
+                ProcessId::new(g),
+                &SvcMsg::LeaseAck { rid, granted: true },
+                &mut out,
+            );
+        }
+        out
+    }
+
+    fn read_msg(client: u64, rid: u64, key: &[u8], tier: crate::msg::ReadTier) -> SvcMsg {
+        SvcMsg::Read {
+            client,
+            rid,
+            key: key.to_vec(),
+            tier,
+        }
+    }
+
+    /// The lease fast path: a probe round broadcast on the timer, a grant
+    /// quorum refreshing the lease, then a lease-tier read answered
+    /// locally with zero extra messages.
+    #[test]
+    fn a_granted_lease_serves_leader_reads_locally() {
+        use crate::msg::ReadTier;
+        let mut leader = SvcReplica::new(ProcessId::new(0), system());
+        leader.store.apply(0, &write(7, 1));
+        leader.cursor = 1;
+        let out = lease_tick(&mut leader);
+        assert!(
+            out.sends()
+                .iter()
+                .any(|s| matches!(s.msg, SvcMsg::LeaseProbe { rid: 1 })
+                    && matches!(s.dest, Destination::AllOthers)),
+            "the leader opens probe round 1 on the first tick"
+        );
+        assert!(!leader.lease.valid(), "no quorum yet");
+        grant_round(&mut leader, 1, &[1, 2]);
+        assert!(leader.lease.valid(), "two grants + self = quorum of 3");
+        assert_eq!(leader.lease.refreshes, 1);
+        let mut out = Actions::new();
+        leader.on_message(
+            ProcessId::new(9),
+            &read_msg(7, 5, b"k7", ReadTier::Lease),
+            &mut out,
+        );
+        let values: Vec<_> = out
+            .sends()
+            .iter()
+            .filter_map(|s| match &s.msg {
+                SvcMsg::Reply(SvcReply::Value {
+                    client: 7,
+                    rid: 5,
+                    value,
+                    frontier,
+                }) => Some((value.clone(), *frontier)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            values,
+            vec![(Some(1u64.to_le_bytes().to_vec()), 1)],
+            "served immediately from the applied store"
+        );
+        assert_eq!(leader.lease.reads_lease, 1);
+        assert_eq!(leader.lease.reads_read_index, 0);
+    }
+
+    /// A lease-tier read under an uncertain lease degrades to the
+    /// read-index path: queued until a probe round *started after the
+    /// read* reaches a grant quorum and the cursor covers the read index.
+    #[test]
+    fn an_uncertain_lease_falls_back_to_a_read_index_round() {
+        use crate::msg::ReadTier;
+        let mut leader = SvcReplica::new(ProcessId::new(0), system());
+        let mut out = Actions::new();
+        leader.on_message(
+            ProcessId::new(9),
+            &read_msg(9, 1, b"nope", ReadTier::Lease),
+            &mut out,
+        );
+        assert!(
+            out.sends().is_empty(),
+            "no lease yet: the read must wait, not answer early"
+        );
+        assert_eq!(leader.lease.pending_reads.len(), 1);
+        // The next probe round confirms leadership after the read arrived.
+        lease_tick(&mut leader);
+        let out = grant_round(&mut leader, 1, &[1, 2]);
+        let answered = out.sends().iter().any(|s| {
+            matches!(
+                &s.msg,
+                SvcMsg::Reply(SvcReply::Value {
+                    client: 9,
+                    rid: 1,
+                    value: None,
+                    ..
+                })
+            )
+        });
+        assert!(answered, "confirmed round answers the queued read");
+        assert_eq!(leader.lease.reads_read_index, 1);
+        assert!(leader.lease.pending_reads.is_empty());
+    }
+
+    /// An explicitly read-index read takes the quorum round even while a
+    /// lease is live — the caller asked for the always-coordinated tier.
+    #[test]
+    fn read_index_tier_always_takes_the_quorum_round() {
+        use crate::msg::ReadTier;
+        let mut leader = SvcReplica::new(ProcessId::new(0), system());
+        lease_tick(&mut leader);
+        grant_round(&mut leader, 1, &[1, 2]);
+        assert!(leader.lease.valid());
+        let mut out = Actions::new();
+        leader.on_message(
+            ProcessId::new(9),
+            &read_msg(9, 2, b"k", ReadTier::ReadIndex),
+            &mut out,
+        );
+        assert_eq!(leader.lease.pending_reads.len(), 1, "queued, not served");
+        lease_tick(&mut leader);
+        let out = grant_round(&mut leader, 2, &[1, 2]);
+        assert!(out
+            .sends()
+            .iter()
+            .any(|s| matches!(&s.msg, SvcMsg::Reply(SvcReply::Value { rid: 2, .. }))));
+        assert_eq!(leader.lease.reads_read_index, 1);
+    }
+
+    /// An unrefreshed lease expires after its validity window, is counted,
+    /// and lease-tier reads queue again instead of serving stale
+    /// leadership.
+    #[test]
+    fn an_unrefreshed_lease_expires_and_stops_serving() {
+        use crate::msg::ReadTier;
+        let mut leader = SvcReplica::new(ProcessId::new(0), system());
+        lease_tick(&mut leader);
+        grant_round(&mut leader, 1, &[1, 2]);
+        assert!(leader.lease.valid());
+        // Validity is counted from the send period; ticking past it with
+        // no further grants must expire the lease.
+        for _ in 0..=LEASE_VALIDITY {
+            lease_tick(&mut leader);
+        }
+        assert!(!leader.lease.valid());
+        assert_eq!(leader.lease.expiries, 1);
+        let mut out = Actions::new();
+        leader.on_message(
+            ProcessId::new(9),
+            &read_msg(9, 3, b"k", ReadTier::Lease),
+            &mut out,
+        );
+        assert!(out.sends().is_empty(), "expired lease must not serve");
+        assert_eq!(leader.lease.pending_reads.len(), 1);
+        assert_eq!(leader.lease.reads_lease, 0);
+    }
+
+    /// Followers grant only their own Ω leader output, and replicas never
+    /// probe for themselves.
+    #[test]
+    fn followers_grant_only_their_omega_leader() {
+        let mut follower = SvcReplica::new(ProcessId::new(3), system());
+        // p1 (id 0) is the initial Ω output everywhere.
+        let mut out = Actions::new();
+        follower.on_message(ProcessId::new(0), &SvcMsg::LeaseProbe { rid: 1 }, &mut out);
+        assert!(out.sends().iter().any(|s| matches!(
+            s.msg,
+            SvcMsg::LeaseAck {
+                rid: 1,
+                granted: true
+            }
+        )));
+        // A probe from a non-leader is acked but not granted.
+        let mut out = Actions::new();
+        follower.on_message(ProcessId::new(2), &SvcMsg::LeaseProbe { rid: 4 }, &mut out);
+        assert!(out.sends().iter().any(|s| matches!(
+            s.msg,
+            SvcMsg::LeaseAck {
+                rid: 4,
+                granted: false
+            }
+        )));
+        assert_eq!(
+            follower.lease.granted,
+            Some((ProcessId::new(0), GRANT_PERIODS))
+        );
+    }
+
+    /// Linearizable tiers redirect at non-leaders; the stale tier answers
+    /// anywhere.
+    #[test]
+    fn non_leaders_redirect_linearizable_reads_but_serve_stale_ones() {
+        use crate::msg::ReadTier;
+        let mut follower = SvcReplica::new(ProcessId::new(3), system());
+        for tier in [ReadTier::Lease, ReadTier::ReadIndex] {
+            let mut out = Actions::new();
+            follower.on_message(ProcessId::new(9), &read_msg(9, 1, b"k", tier), &mut out);
+            assert!(
+                out.sends().iter().any(|s| matches!(
+                    s.msg,
+                    SvcMsg::Reply(SvcReply::Redirect { client: 9, seq: 1, leader })
+                        if leader == ProcessId::new(0)
+                )),
+                "{tier:?} must redirect at a follower"
+            );
+        }
+        let mut out = Actions::new();
+        follower.on_message(
+            ProcessId::new(9),
+            &read_msg(9, 2, b"k", ReadTier::Stale),
+            &mut out,
+        );
+        assert!(out.sends().iter().any(|s| matches!(
+            &s.msg,
+            SvcMsg::Reply(SvcReply::Value {
+                client: 9,
+                rid: 2,
+                value: None,
+                frontier: 0,
+            })
+        )));
+        assert_eq!(follower.lease.reads_stale, 1);
+    }
+
+    /// The stale-tier staleness bound: the answer reflects exactly the
+    /// applied prefix — a write that is pending (submitted, undecided) or
+    /// decided-but-unapplied is never visible, and the frontier witness
+    /// equals the apply cursor.
+    #[test]
+    fn stale_reads_are_bounded_by_the_apply_frontier() {
+        use crate::msg::ReadTier;
+        let mut replica = SvcReplica::new(ProcessId::new(0), system());
+        // Slot 0 decided and applied: k7 = 1.
+        replica.log.on_message(
+            ProcessId::new(1),
+            &irs_consensus::LogMsg::Slot {
+                slot: 0,
+                msg: irs_consensus::PaxosMsg::Decide {
+                    v: irs_consensus::Batch::one(write(7, 1).encode()),
+                },
+            },
+            &mut Actions::new(),
+        );
+        replica.apply_ready(&mut Actions::new());
+        // A newer write of the same key is in flight but NOT decided.
+        replica.log.submit(write(7, 2).encode());
+        let mut out = Actions::new();
+        replica.on_message(
+            ProcessId::new(9),
+            &read_msg(9, 8, b"k7", ReadTier::Stale),
+            &mut out,
+        );
+        let answer = out
+            .sends()
+            .iter()
+            .find_map(|s| match &s.msg {
+                SvcMsg::Reply(SvcReply::Value {
+                    rid: 8,
+                    value,
+                    frontier,
+                    ..
+                }) => Some((value.clone(), *frontier)),
+                _ => None,
+            })
+            .expect("stale read answered");
+        assert_eq!(
+            answer.0,
+            Some(1u64.to_le_bytes().to_vec()),
+            "the unacked in-flight write (seq 2) must not be visible"
+        );
+        assert_eq!(answer.1, 1, "frontier witness = apply cursor");
+        assert!(answer.1 <= replica.log.frontier_slot());
     }
 
     /// The replica-level snapshot flow: an interval-triggered truncation at
